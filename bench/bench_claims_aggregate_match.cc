@@ -1,0 +1,105 @@
+// Experiment C3 (§4.2): "If an OPS5 program needs to act based on the
+// cardinality of a set ... it needs to cycle through all the members of
+// that set calculating the second order value. With aggregate operators,
+// this value can be directly accessed."
+// Compares a :test (count ...) trigger against the classic counter-WME
+// maintenance program.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sorel {
+namespace bench {
+namespace {
+
+// Direct second-order match (the paper's way).
+std::string SetProgram(int threshold) {
+  return std::string(kPlayerSchema) +
+         "(p enough { [player ^team A] <A> }"
+         " :test ((count <A>) >= " + std::to_string(threshold) + ")"
+         " --> (make player ^team signal) (halt))";
+}
+
+// Tuple-oriented counting: every new member must be marked counted and a
+// counter WME incremented — one firing per member (§4.2's "cycle").
+std::string TupleProgram(int threshold) {
+  return std::string(kPlayerSchema) +
+         "(literalize tally n)"
+         "(p count-one { (player ^team A ^score nil) <p> }"
+         "             { (tally ^n <c>) <t> } -->"
+         " (modify <p> ^score counted)"
+         " (modify <t> ^n (<c> + 1)))"
+         "(p enough (tally ^n >= " + std::to_string(threshold) + ")"
+         " --> (make player ^team signal) (halt))";
+}
+
+struct Measured {
+  int firings;
+  double millis;
+};
+
+Measured RunToSignal(const std::string& program, int members, bool tuple) {
+  Engine engine;
+  engine.set_output(DevNull());
+  MustLoad(engine, program);
+  if (tuple) MustMake(engine, "tally", {{"n", Value::Int(0)}});
+  for (int i = 0; i < members; ++i) {
+    MustMake(engine, "player", {{"team", engine.Sym("A")},
+                                {"id", Value::Int(i)}});
+  }
+  auto start = std::chrono::steady_clock::now();
+  Measured m;
+  m.firings = MustRun(engine, 1000000);
+  m.millis = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start)
+                 .count();
+  if (!engine.halted()) {
+    std::fprintf(stderr, "threshold never reached — bad workload\n");
+    std::abort();
+  }
+  return m;
+}
+
+void PrintTable() {
+  std::printf("=== §4.2 claim: direct aggregate match vs counting rules ===\n");
+  std::printf("%8s | %16s %10s | %16s %10s\n", "members", "set-firings",
+              "set-ms", "tuple-firings", "tuple-ms");
+  for (int n : {16, 128, 1024}) {
+    Measured set = RunToSignal(SetProgram(n), n, false);
+    Measured tuple = RunToSignal(TupleProgram(n), n, true);
+    std::printf("%8d | %16d %10.2f | %16d %10.2f\n", n, set.firings,
+                set.millis, tuple.firings, tuple.millis);
+  }
+  std::printf("(shape: cardinality is matched directly in 1 firing; the\n"
+              " counting program needs one firing per member and the count\n"
+              " 'is not automatically updated when the size changes')\n\n");
+}
+
+void BM_CardinalityTrigger(benchmark::State& state) {
+  bool tuple = state.range(0) != 0;
+  int n = static_cast<int>(state.range(1));
+  std::string program = tuple ? TupleProgram(n) : SetProgram(n);
+  for (auto _ : state) {
+    Measured m = RunToSignal(program, n, tuple);
+    state.counters["firings"] = m.firings;
+    benchmark::DoNotOptimize(m.firings);
+  }
+  state.SetLabel(tuple ? "counter-WME maintenance" : ":test (count ...)");
+}
+BENCHMARK(BM_CardinalityTrigger)->Args({0, 128})->Args({1, 128})
+    ->Args({0, 512})->Args({1, 512});
+
+}  // namespace
+}  // namespace bench
+}  // namespace sorel
+
+int main(int argc, char** argv) {
+  sorel::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Experiment F1 (Figure 1): the tuple-oriented `compete` rule — rule, WM,
+// and conflict set. Prints the paper's six instantiations, then benchmarks
+// conflict-set growth for the n x m cross product that motivates
+// set-oriented matching.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sorel {
+namespace bench {
+namespace {
+
+constexpr const char* kCompete =
+    "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B)"
+    " --> (write PlayerA: <n1> PlayerB: <n2> (crlf)))";
+
+void PrintFigure1() {
+  std::printf("=== Figure 1: rule, working memory, and conflict set ===\n");
+  Engine engine;
+  engine.set_output(DevNull());
+  MustLoad(engine, std::string(kPlayerSchema) + kCompete);
+  const char* kWm[][2] = {{"A", "Jack"}, {"A", "Janice"}, {"B", "Sue"},
+                          {"B", "Jack"}, {"B", "Sue"}};
+  for (const auto& [team, name] : kWm) {
+    TimeTag tag = MustMake(engine, "player",
+                           {{"team", engine.Sym(team)},
+                            {"name", engine.Sym(name)}});
+    std::printf("%lld: (player ^team %s ^name %s)\n",
+                static_cast<long long>(tag), team, name);
+  }
+  std::printf("%zu instantiations:\n", engine.conflict_set().size());
+  for (InstantiationRef* inst : engine.conflict_set().Entries()) {
+    std::vector<Row> rows;
+    inst->CollectRows(&rows);
+    const Row& row = rows.front();
+    std::printf("  %lld: player A  %lld: player B\n",
+                static_cast<long long>(row[0]->time_tag()),
+                static_cast<long long>(row[1]->time_tag()));
+  }
+  std::printf("(paper: 6 instantiations — the 2 x 3 cross product)\n\n");
+}
+
+// Conflict-set growth: n A-players x n B-players => n^2 instantiations.
+void BM_CrossProductMatch(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    engine.set_output(DevNull());
+    MustLoad(engine, std::string(kPlayerSchema) + kCompete);
+    for (int i = 0; i < n; ++i) {
+      MustMake(engine, "player", {{"team", engine.Sym("A")},
+                                  {"name", engine.Sym("x" + std::to_string(i))}});
+      MustMake(engine, "player", {{"team", engine.Sym("B")},
+                                  {"name", engine.Sym("y" + std::to_string(i))}});
+    }
+    benchmark::DoNotOptimize(engine.conflict_set().size());
+    state.counters["instantiations"] =
+        static_cast<double>(engine.conflict_set().size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CrossProductMatch)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+// Firing every instantiation: the tuple-oriented cost the paper contrasts
+// with a single set-oriented firing (see bench_fig5).
+void BM_FireAllInstantiations(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    engine.set_output(DevNull());
+    MustLoad(engine, std::string(kPlayerSchema) + kCompete);
+    for (int i = 0; i < n; ++i) {
+      MustMake(engine, "player", {{"team", engine.Sym("A")},
+                                  {"name", engine.Sym("x" + std::to_string(i))}});
+      MustMake(engine, "player", {{"team", engine.Sym("B")},
+                                  {"name", engine.Sym("y" + std::to_string(i))}});
+    }
+    state.ResumeTiming();
+    int fired = MustRun(engine);
+    state.counters["firings"] = static_cast<double>(fired);
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_FireAllInstantiations)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace bench
+}  // namespace sorel
+
+int main(int argc, char** argv) {
+  sorel::bench::PrintFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

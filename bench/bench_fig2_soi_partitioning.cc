@@ -1,0 +1,107 @@
+// Experiment F2 (Figure 2): set-oriented LHSs and their instantiations.
+// Prints the 1-SOI / 3-SOI / 6-instantiation comparison of the figure,
+// then benchmarks the S-node's SOI grouping as the number of partitions
+// varies (same total work, different γ-memory shapes).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sorel {
+namespace bench {
+namespace {
+
+void PrintFigure2() {
+  std::printf("=== Figure 2: set-oriented LHSs and instantiations ===\n");
+  struct Variant {
+    const char* label;
+    const char* lhs;
+  };
+  const Variant kVariants[] = {
+      {"[A] [B]  (both set-oriented)",
+       "[player ^name <n1> ^team A] [player ^name <n2> ^team B]"},
+      {"[A] (B)  (mixed)",
+       "[player ^name <n1> ^team A] (player ^name <n2> ^team B)"},
+      {"(A) (B)  (regular OPS5)",
+       "(player ^name <n1> ^team A) (player ^name <n2> ^team B)"},
+  };
+  for (const Variant& v : kVariants) {
+    Engine engine;
+    engine.set_output(DevNull());
+    MustLoad(engine, std::string(kPlayerSchema) + "(p compete " + v.lhs +
+                         " --> (halt))");
+    const char* kWm[][2] = {{"A", "Jack"}, {"A", "Janice"}, {"B", "Sue"},
+                            {"B", "Jack"}, {"B", "Sue"}};
+    for (const auto& [team, name] : kWm) {
+      MustMake(engine, "player", {{"team", engine.Sym(team)},
+                                  {"name", engine.Sym(name)}});
+    }
+    SNode* snode = engine.snode("compete");
+    if (snode != nullptr) {
+      std::printf("  %-32s -> %zu instantiation(s)", v.label,
+                  snode->num_sois());
+      std::printf(" with rows:");
+      for (const Soi* soi : snode->sois()) std::printf(" %zu", soi->size());
+      std::printf("\n");
+    } else {
+      std::printf("  %-32s -> %zu instantiation(s) with rows: 1 each\n",
+                  v.label, engine.conflict_set().size());
+    }
+  }
+  std::printf("(paper: 1 SOI of 6; 3 SOIs of 2; 6 regular instantiations)\n\n");
+}
+
+// Fixed number of tokens, varying partition count: grouping cost of the
+// S-node key (non-set CE identity + :scalar values).
+void BM_SoiPartitioning(benchmark::State& state) {
+  int groups = static_cast<int>(state.range(0));
+  constexpr int kWmes = 2048;
+  for (auto _ : state) {
+    Engine engine;
+    engine.set_output(DevNull());
+    MustLoad(engine, std::string(kPlayerSchema) +
+                         "(p bygroup [player ^team <t> ^name <n>]"
+                         " :scalar (<t>) --> (halt))");
+    FillPlayers(engine, kWmes, groups, 16);
+    SNode* snode = engine.snode("bygroup");
+    benchmark::DoNotOptimize(snode->num_sois());
+    state.counters["sois"] = static_cast<double>(snode->num_sois());
+  }
+  state.SetItemsProcessed(state.iterations() * kWmes);
+}
+BENCHMARK(BM_SoiPartitioning)->Arg(1)->Arg(16)->Arg(256)->Arg(2048);
+
+// The invariant behind Figure 2: an SOI aggregates exactly the regular
+// instantiations. Measures both matchers' build cost for the same LHS.
+void BM_SetVsRegularMatchCost(benchmark::State& state) {
+  bool set_oriented = state.range(0) != 0;
+  constexpr int kWmes = 512;
+  std::string lhs = set_oriented
+                        ? "[player ^team <t> ^name <n>] :scalar (<t>)"
+                        : "(player ^team <t> ^name <n>)";
+  for (auto _ : state) {
+    Engine engine;
+    engine.set_output(DevNull());
+    MustLoad(engine, std::string(kPlayerSchema) + "(p r " + lhs +
+                         " --> (halt))");
+    FillPlayers(engine, kWmes, 8, 16);
+    benchmark::DoNotOptimize(engine.conflict_set().size());
+  }
+  state.SetItemsProcessed(state.iterations() * kWmes);
+  state.SetLabel(set_oriented ? "set-oriented (8 SOIs)"
+                              : "tuple-oriented (512 instantiations)");
+}
+BENCHMARK(BM_SetVsRegularMatchCost)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace sorel
+
+int main(int argc, char** argv) {
+  sorel::bench::PrintFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Experiment F3 (Figure 3): the S-node algorithm. Demonstrates the
+// +/-/time decision flow, then benchmarks the two design choices the
+// γ-memory state buys (DESIGN.md ablations):
+//   - incremental aggregate maintenance vs full recompute per token,
+//   - hashed SOI lookup vs Figure 3's literal candidate scan.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sorel {
+namespace bench {
+namespace {
+
+constexpr const char* kThreshold =
+    "(p pair { [player ^team <t> ^name <n>] <P> } :scalar (<t>)"
+    " :test ((count <P>) >= 2) --> (halt))";
+
+void PrintFigure3() {
+  std::printf("=== Figure 3: S-node decision flow ===\n");
+  Engine engine;
+  engine.set_output(DevNull());
+  MustLoad(engine, std::string(kPlayerSchema) + kThreshold);
+  SNode* snode = engine.snode("pair");
+  auto report = [&](const char* event) {
+    const SNode::Stats& s = snode->stats();
+    std::printf("  %-28s -> tokens=%llu  <S,+>=%llu  <S,->=%llu  "
+                "<S,time>=%llu  SOIs=%zu\n",
+                event, static_cast<unsigned long long>(s.tokens),
+                static_cast<unsigned long long>(s.sends_plus),
+                static_cast<unsigned long long>(s.sends_minus),
+                static_cast<unsigned long long>(s.sends_time),
+                snode->num_sois());
+  };
+  TimeTag first = MustMake(engine, "player", {{"team", engine.Sym("A")},
+                                              {"name", engine.Sym("p1")}});
+  report("add p1 (new, test fails)");
+  MustMake(engine, "player",
+           {{"team", engine.Sym("A")}, {"name", engine.Sym("p2")}});
+  report("add p2 (new-time, activate)");
+  MustMake(engine, "player",
+           {{"team", engine.Sym("A")}, {"name", engine.Sym("p3")}});
+  report("add p3 (new-time on active)");
+  Check(engine.RemoveWme(first), "remove");
+  report("remove p1 (same-time)");
+  std::printf("\n");
+}
+
+// Incremental (value, counter) aggregates vs recompute-from-members, as a
+// function of SOI size. Incremental is O(log d) per token; recompute is
+// O(n) — the γ-memory "additional state" of §5.
+void BM_AggregateMaintenance(benchmark::State& state) {
+  bool recompute = state.range(0) != 0;
+  int soi_size = static_cast<int>(state.range(1));
+  EngineOptions options;
+  options.snode.recompute_aggregates = recompute;
+  Engine engine(options);
+  engine.set_output(DevNull());
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p sums { [player ^score <s>] <P> }"
+                       " :test ((sum <s>) > 1000000) --> (halt))");
+  for (int i = 0; i < soi_size; ++i) {
+    MustMake(engine, "player", {{"score", Value::Int(i % 97)}});
+  }
+  // Steady state: one token in, one token out per iteration.
+  for (auto _ : state) {
+    TimeTag tag = MustMake(engine, "player", {{"score", Value::Int(7)}});
+    Check(engine.RemoveWme(tag), "remove");
+  }
+  state.SetLabel(recompute ? "ablation: recompute per token"
+                           : "incremental (paper)");
+  state.SetItemsProcessed(state.iterations() * 2);  // two tokens
+}
+BENCHMARK(BM_AggregateMaintenance)
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Args({0, 8192})
+    ->Args({1, 8192});
+
+// Hashed γ-memory lookup vs Figure 3's literal "for i in candidate SOIs"
+// scan, as a function of the number of SOIs.
+void BM_GammaLookup(benchmark::State& state) {
+  bool linear = state.range(0) != 0;
+  int sois = static_cast<int>(state.range(1));
+  EngineOptions options;
+  options.snode.linear_scan_gamma = linear;
+  Engine engine(options);
+  engine.set_output(DevNull());
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p bygroup [player ^team <t> ^name <n>]"
+                       " :scalar (<t>) --> (halt))");
+  FillPlayers(engine, sois * 4, sois, 16);
+  for (auto _ : state) {
+    TimeTag tag = MustMake(engine, "player",
+                           {{"team", engine.Sym("team0")},
+                            {"name", engine.Sym("probe")}});
+    Check(engine.RemoveWme(tag), "remove");
+  }
+  state.SetLabel(linear ? "ablation: Figure-3 linear scan" : "hashed γ-memory");
+  state.counters["sois"] = static_cast<double>(sois);
+}
+BENCHMARK(BM_GammaLookup)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 512})
+    ->Args({1, 512});
+
+}  // namespace
+}  // namespace bench
+}  // namespace sorel
+
+int main(int argc, char** argv) {
+  sorel::bench::PrintFigure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+#ifndef SOREL_BENCH_BENCH_UTIL_H_
+#define SOREL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "engine/engine.h"
+
+namespace sorel {
+namespace bench {
+
+/// An ostream that discards everything (rule output is not what we time).
+inline std::ostream* DevNull() {
+  static std::ostringstream* sink = new std::ostringstream;
+  sink->str("");  // keep it from growing across benchmarks
+  return sink;
+}
+
+/// Aborts the benchmark on error — benches must not silently misreport.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "benchmark setup failed (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+inline T CheckResult(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "benchmark setup failed (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void MustLoad(Engine& engine, const std::string& src) {
+  Check(engine.LoadString(src), "LoadString");
+}
+
+inline TimeTag MustMake(
+    Engine& engine, std::string_view cls,
+    const std::vector<std::pair<std::string, Value>>& values) {
+  return CheckResult(engine.MakeWme(cls, values), "MakeWme");
+}
+
+inline int MustRun(Engine& engine, int max = -1) {
+  return CheckResult(engine.Run(max), "Run");
+}
+
+/// Adds `n` players per team over `teams` team symbols; names cycle through
+/// `distinct_names` values. Returns the last time tag.
+inline TimeTag FillPlayers(Engine& engine, int n, int teams,
+                           int distinct_names) {
+  TimeTag last = 0;
+  for (int i = 0; i < n; ++i) {
+    std::string team = "team" + std::to_string(i % teams);
+    std::string name = "name" + std::to_string(i % distinct_names);
+    last = MustMake(engine, "player",
+                    {{"team", engine.Sym(team)}, {"name", engine.Sym(name)}});
+  }
+  return last;
+}
+
+inline constexpr const char* kPlayerSchema =
+    "(literalize player name team score id)";
+
+}  // namespace bench
+}  // namespace sorel
+
+#endif  // SOREL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,170 @@
+// Animal identification: the classic forward-chaining expert-system demo
+// (in the style of Winston's ZOOKEEPER), showing disjunctions, negation,
+// and inference chains — plus a set-oriented summary rule that reports all
+// conclusions in one firing.
+//
+// Build & run:  ./build/examples/animal_expert
+
+#include <cstdio>
+#include <iostream>
+
+#include "engine/engine.h"
+
+namespace {
+
+constexpr const char* kRules = R"(
+  (literalize fact animal attr value)
+  (literalize conclusion animal species)
+  (literalize request kind)
+
+  ; ---- intermediate classification ----
+  (p mammal-by-hair
+     (fact ^animal <a> ^attr has ^value hair)
+     - (fact ^animal <a> ^attr class ^value mammal)
+     -->
+     (make fact ^animal <a> ^attr class ^value mammal))
+
+  (p mammal-by-milk
+     (fact ^animal <a> ^attr gives ^value milk)
+     - (fact ^animal <a> ^attr class ^value mammal)
+     -->
+     (make fact ^animal <a> ^attr class ^value mammal))
+
+  (p bird-by-feathers
+     (fact ^animal <a> ^attr has ^value feathers)
+     - (fact ^animal <a> ^attr class ^value bird)
+     -->
+     (make fact ^animal <a> ^attr class ^value bird))
+
+  (p bird-by-flight
+     (fact ^animal <a> ^attr can ^value fly)
+     (fact ^animal <a> ^attr lays ^value eggs)
+     - (fact ^animal <a> ^attr class ^value bird)
+     -->
+     (make fact ^animal <a> ^attr class ^value bird))
+
+  (p carnivore-by-teeth
+     (fact ^animal <a> ^attr has ^value << |sharp teeth| claws >>)
+     (fact ^animal <a> ^attr eats ^value meat)
+     - (fact ^animal <a> ^attr class ^value carnivore)
+     -->
+     (make fact ^animal <a> ^attr class ^value carnivore))
+
+  (p ungulate
+     (fact ^animal <a> ^attr class ^value mammal)
+     (fact ^animal <a> ^attr has ^value hooves)
+     - (fact ^animal <a> ^attr class ^value ungulate)
+     -->
+     (make fact ^animal <a> ^attr class ^value ungulate))
+
+  ; ---- species ----
+  (p cheetah
+     (fact ^animal <a> ^attr class ^value mammal)
+     (fact ^animal <a> ^attr class ^value carnivore)
+     (fact ^animal <a> ^attr has ^value |tawny color|)
+     (fact ^animal <a> ^attr has ^value |dark spots|)
+     - (conclusion ^animal <a>)
+     -->
+     (make conclusion ^animal <a> ^species cheetah))
+
+  (p tiger
+     (fact ^animal <a> ^attr class ^value mammal)
+     (fact ^animal <a> ^attr class ^value carnivore)
+     (fact ^animal <a> ^attr has ^value |tawny color|)
+     (fact ^animal <a> ^attr has ^value |black stripes|)
+     - (conclusion ^animal <a>)
+     -->
+     (make conclusion ^animal <a> ^species tiger))
+
+  (p giraffe
+     (fact ^animal <a> ^attr class ^value ungulate)
+     (fact ^animal <a> ^attr has ^value |long neck|)
+     (fact ^animal <a> ^attr has ^value |dark spots|)
+     - (conclusion ^animal <a>)
+     -->
+     (make conclusion ^animal <a> ^species giraffe))
+
+  (p zebra
+     (fact ^animal <a> ^attr class ^value ungulate)
+     (fact ^animal <a> ^attr has ^value |black stripes|)
+     - (conclusion ^animal <a>)
+     -->
+     (make conclusion ^animal <a> ^species zebra))
+
+  (p penguin
+     (fact ^animal <a> ^attr class ^value bird)
+     - (fact ^animal <a> ^attr can ^value fly)
+     (fact ^animal <a> ^attr can ^value swim)
+     - (conclusion ^animal <a>)
+     -->
+     (make conclusion ^animal <a> ^species penguin))
+
+  (p albatross
+     (fact ^animal <a> ^attr class ^value bird)
+     (fact ^animal <a> ^attr can ^value |fly well|)
+     - (conclusion ^animal <a>)
+     -->
+     (make conclusion ^animal <a> ^species albatross))
+
+  ; ---- set-oriented report: one firing lists every identification ----
+  (p report
+     (request ^kind report)
+     { [conclusion ^animal <a> ^species <s>] <C> }
+     -->
+     (remove 1)
+     (write identified (count <C>) animals: (crlf))
+     (foreach <C> ascending
+       (write |  | <a> is a <s> (crlf))))
+
+  (p report-nothing
+     (request ^kind report)
+     -->
+     (remove 1)
+     (write no animals identified (crlf)))
+)";
+
+void Must(const sorel::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void Fact(sorel::Engine& engine, const char* animal, const char* attr,
+          const char* value) {
+  Must(engine
+           .MakeWme("fact", {{"animal", engine.Sym(animal)},
+                             {"attr", engine.Sym(attr)},
+                             {"value", engine.Sym(value)}})
+           .status());
+}
+
+}  // namespace
+
+int main() {
+  sorel::Engine engine;
+  Must(engine.LoadString(kRules));
+
+  // Observations about three zoo animals.
+  Fact(engine, "blaze", "has", "hair");
+  Fact(engine, "blaze", "eats", "meat");
+  Fact(engine, "blaze", "has", "sharp teeth");
+  Fact(engine, "blaze", "has", "tawny color");
+  Fact(engine, "blaze", "has", "black stripes");
+
+  Fact(engine, "patches", "gives", "milk");
+  Fact(engine, "patches", "has", "hooves");
+  Fact(engine, "patches", "has", "long neck");
+  Fact(engine, "patches", "has", "dark spots");
+
+  Fact(engine, "waddles", "has", "feathers");
+  Fact(engine, "waddles", "can", "swim");
+  Fact(engine, "waddles", "lays", "eggs");
+
+  Must(engine.Run(200).status());
+  Must(engine.MakeWme("request", {{"kind", engine.Sym("report")}}).status());
+  Must(engine.Run(10).status());
+
+  std::cout << "(" << engine.run_stats().firings << " inference firings)\n";
+  return 0;
+}

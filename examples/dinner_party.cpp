@@ -1,0 +1,37 @@
+// Dinner party: a Manners-style seating run with a set-oriented completion
+// test and one-firing report.
+//
+// Build & run:  ./build/examples/dinner_party [guests]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "engine/engine.h"
+#include "examples/dinner_party_program.h"
+
+int main(int argc, char** argv) {
+  int guests = argc > 1 ? std::atoi(argv[1]) : 8;
+  if (guests < 2 || guests % 2 != 0) {
+    std::fprintf(stderr, "usage: %s <even guest count>\n", argv[0]);
+    return 1;
+  }
+  sorel::Engine engine;
+  sorel::Status status = engine.LoadString(sorel_examples::kDinnerRules);
+  if (status.ok()) {
+    status = engine.LoadString(sorel_examples::DinnerPartyWm(guests));
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto fired = engine.Run(10 * guests + 16);
+  if (!fired.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 fired.status().ToString().c_str());
+    return 1;
+  }
+  std::cout << "---\n" << *fired << " firings to seat " << guests
+            << " guests\n";
+  return 0;
+}

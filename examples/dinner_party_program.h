@@ -1,0 +1,85 @@
+#ifndef SOREL_EXAMPLES_DINNER_PARTY_PROGRAM_H_
+#define SOREL_EXAMPLES_DINNER_PARTY_PROGRAM_H_
+
+#include <string>
+
+// A Manners-style dinner-seating workload (after the classic OPS5
+// benchmark): seat guests around the table alternating sex, each adjacent
+// pair sharing a hobby. The generated guest population (equal sexes, two
+// of three hobbies each, so any two guests overlap) makes the greedy
+// strategy complete, keeping runs deterministic across matchers. Shared by
+// the dinner_party example and the macro-workload benchmark.
+
+namespace sorel_examples {
+
+inline constexpr const char* kDinnerRules = R"(
+  (literalize guest name sex hobby)
+  (literalize seated seat name)
+  (literalize context state target)
+  (literalize lastseat n)
+
+  ; Seat any male guest first.
+  (p start
+     { (context ^state start) <c> }
+     (guest ^name <g> ^sex m)
+     -->
+     (modify <c> ^state seat)
+     (make seated ^seat 1 ^name <g>)
+     (make lastseat ^n 1))
+
+  ; Extend the chain: opposite sex, shared hobby, not yet seated.
+  (p seat-next
+     (context ^state seat)
+     { (lastseat ^n <k>) <l> }
+     (seated ^seat <k> ^name <prev>)
+     (guest ^name <prev> ^sex <ps> ^hobby <h>)
+     (guest ^name <g> ^sex <> <ps> ^hobby <h>)
+     - (seated ^name <g>)
+     -->
+     (make seated ^seat (<k> + 1) ^name <g>)
+     (modify <l> ^n (<k> + 1)))
+
+  ; Set-oriented completion check: the second-order count against the
+  ; target replaces a counter-maintenance scheme, and the report walks the
+  ; whole seating in one firing.
+  (p all-seated
+     { (context ^state seat ^target <n>) <c> }
+     { [seated ^seat <s> ^name <g>] <S> }
+     :test ((count <S>) == <n>)
+     -->
+     (modify <c> ^state done)
+     (write seated (count <S>) guests: (crlf))
+     (foreach <s> ascending
+       (foreach <g> (write |  seat| <s> : <g> (crlf)))))
+)";
+
+// Tuple-oriented completion check used when running on the TREAT baseline
+// (which rejects set-oriented rules).
+inline constexpr const char* kDinnerDoneTuple = R"(
+  (p all-seated
+     { (context ^state seat ^target <n>) <c> }
+     (lastseat ^n <n>)
+     -->
+     (modify <c> ^state done))
+)";
+
+/// Generates `(startup ...)` forms for `n` guests (n even): alternating
+/// sexes, hobbies {i%3, (i+1)%3} so any two guests share one.
+inline std::string DinnerPartyWm(int n) {
+  std::string out = "(startup\n";
+  for (int i = 0; i < n; ++i) {
+    std::string name = "guest" + std::to_string(i);
+    const char* sex = (i % 2 == 0) ? "m" : "f";
+    for (int h : {i % 3, (i + 1) % 3}) {
+      out += "  (make guest ^name " + name + " ^sex " + sex + " ^hobby h" +
+             std::to_string(h) + ")\n";
+    }
+  }
+  out += "  (make context ^state start ^target " + std::to_string(n) +
+         "))\n";
+  return out;
+}
+
+}  // namespace sorel_examples
+
+#endif  // SOREL_EXAMPLES_DINNER_PARTY_PROGRAM_H_

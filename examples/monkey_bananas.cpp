@@ -1,0 +1,34 @@
+// Monkey and bananas: the classic OPS5 goal-driven planning demo running
+// on the sorel engine under the MEA strategy, with a set-oriented goal
+// cleanup rule thrown in (one firing sweeps all satisfied goals).
+//
+// Build & run:  ./build/examples/monkey_bananas
+
+#include <cstdio>
+#include <iostream>
+
+#include "engine/engine.h"
+#include "examples/monkey_bananas_program.h"
+
+int main() {
+  sorel::EngineOptions options;
+  options.strategy = sorel::Strategy::kMea;  // goal-driven control
+  sorel::Engine engine(options);
+
+  sorel::Status status = engine.LoadString(sorel_examples::kMonkeyBananas);
+  if (status.ok()) status = engine.LoadString(sorel_examples::kMonkeyBananasWm);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto fired = engine.Run(200);
+  if (!fired.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 fired.status().ToString().c_str());
+    return 1;
+  }
+  std::cout << "---\nplan finished in " << *fired << " firings"
+            << (engine.halted() ? " (success)" : " (no solution!)") << "\n";
+  return engine.halted() ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+#ifndef SOREL_EXAMPLES_MONKEY_BANANAS_PROGRAM_H_
+#define SOREL_EXAMPLES_MONKEY_BANANAS_PROGRAM_H_
+
+// The classic OPS5 "monkey and bananas" planning program (after Cooper &
+// Wogrin 1988, which the paper cites for OPS5 programming practice),
+// adapted to sorel syntax. Goal-driven: runs under the MEA strategy so the
+// most recent subgoal controls the search. Shared by the monkey_bananas
+// example and the integration test.
+
+namespace sorel_examples {
+
+inline constexpr const char* kMonkeyBananas = R"(
+  (literalize monkey at on holds)
+  (literalize thing name at on weight)
+  (literalize goal status type object to)
+
+  ; ---- holds: grab an object hanging from the ceiling ----
+  (p holds-ceiling-needs-ladder
+     (goal ^status active ^type holds ^object <o>)
+     (thing ^name <o> ^on ceiling ^at <p>)
+     - (thing ^name ladder ^at <p>)
+     -->
+     (write subgoal: move the ladder (crlf))
+     (make goal ^status active ^type move ^object ladder ^to <p>))
+
+  (p holds-ceiling-needs-climb
+     (goal ^status active ^type holds ^object <o>)
+     (thing ^name <o> ^on ceiling ^at <p>)
+     (thing ^name ladder ^at <p>)
+     - (monkey ^on ladder)
+     -->
+     (write subgoal: climb the ladder (crlf))
+     (make goal ^status active ^type on ^object ladder))
+
+  (p grab-from-ladder
+     { (goal ^status active ^type holds ^object <o>) <g> }
+     (thing ^name <o> ^on ceiling ^at <p>)
+     (thing ^name ladder ^at <p>)
+     { (monkey ^on ladder ^holds nil) <m> }
+     -->
+     (write the monkey grabs the <o> (crlf))
+     (modify <m> ^holds <o>)
+     (modify <g> ^status satisfied))
+
+  ; ---- holds: grab an object lying on the floor ----
+  (p holds-floor-needs-walk
+     (goal ^status active ^type holds ^object <o>)
+     (thing ^name <o> ^on floor ^at <p>)
+     - (monkey ^at <p>)
+     -->
+     (write subgoal: walk to the <o> (crlf))
+     (make goal ^status active ^type at ^to <p>))
+
+  (p grab-from-floor
+     { (goal ^status active ^type holds ^object <o>) <g> }
+     (thing ^name <o> ^on floor ^at <p>)
+     { (monkey ^at <p> ^on floor ^holds nil) <m> }
+     -->
+     (write the monkey picks up the <o> (crlf))
+     (modify <m> ^holds <o>)
+     (modify <g> ^status satisfied))
+
+  ; ---- move: bring a light object somewhere ----
+  (p move-needs-holds
+     (goal ^status active ^type move ^object <o>)
+     (thing ^name <o> ^weight light)
+     - (monkey ^holds <o>)
+     -->
+     (write subgoal: hold the <o> first (crlf))
+     (make goal ^status active ^type holds ^object <o>))
+
+  (p move-carry
+     { (goal ^status active ^type move ^object <o> ^to <to>) <g> }
+     { (thing ^name <o> ^at { <p> <> <to> }) <t> }
+     { (monkey ^holds <o> ^on floor) <m> }
+     -->
+     (write the monkey carries the <o> to <to> (crlf))
+     (modify <m> ^at <to>)
+     (modify <t> ^at <to>)
+     (modify <g> ^status satisfied))
+
+  ; After carrying, the monkey's hands must be free for the next grab.
+  (p drop-after-move
+     (goal ^status satisfied ^type move ^object <o>)
+     { (monkey ^holds <o>) <m> }
+     -->
+     (write the monkey drops the <o> (crlf))
+     (modify <m> ^holds nil))
+
+  ; ---- on: climb onto something ----
+  (p on-needs-walk
+     (goal ^status active ^type on ^object <o>)
+     (thing ^name <o> ^at <p>)
+     - (monkey ^at <p>)
+     -->
+     (write subgoal: walk to the <o> (crlf))
+     (make goal ^status active ^type at ^to <p>))
+
+  (p climb
+     { (goal ^status active ^type on ^object <o>) <g> }
+     (thing ^name <o> ^at <p>)
+     { (monkey ^at <p> ^on floor ^holds nil) <m> }
+     -->
+     (write the monkey climbs onto the <o> (crlf))
+     (modify <m> ^on <o>)
+     (modify <g> ^status satisfied))
+
+  ; ---- at: walk somewhere (floor only) ----
+  (p walk
+     { (goal ^status active ^type at ^to <to>) <g> }
+     { (monkey ^on floor ^at { <p> <> <to> }) <m> }
+     -->
+     (write the monkey walks to <to> (crlf))
+     (modify <m> ^at <to>)
+     (modify <g> ^status satisfied))
+
+  (p get-down-first
+     (goal ^status active ^type at)
+     { (monkey ^on { <x> <> floor }) <m> }
+     -->
+     (write the monkey climbs down (crlf))
+     (modify <m> ^on floor))
+
+  ; ---- success + set-oriented cleanup ----
+  (p success
+     (monkey ^holds bananas)
+     -->
+     (write the monkey has the bananas! (crlf))
+     (halt))
+
+  ; One firing sweeps every satisfied goal away (a set-oriented cleanup
+  ; that plain OPS5 would do one goal at a time).
+  (p cleanup-satisfied
+     { [goal ^status satisfied] <Done> }
+     :test ((count <Done>) >= 3)
+     -->
+     (write cleanup: (count <Done>) satisfied goals removed (crlf))
+     (set-remove <Done>))
+)";
+
+// The standard initial situation: bananas hang from the ceiling at 9-9,
+// the ladder stands at 7-7, the monkey idles on the couch at 5-5.
+inline constexpr const char* kMonkeyBananasWm = R"(
+  (startup
+    (make monkey ^at |5-5| ^on couch ^holds nil)
+    (make thing ^name couch ^at |5-5| ^on floor ^weight heavy)
+    (make thing ^name ladder ^at |7-7| ^on floor ^weight light)
+    (make thing ^name bananas ^at |9-9| ^on ceiling ^weight light)
+    (make goal ^status active ^type holds ^object bananas ^to eat))
+)";
+
+}  // namespace sorel_examples
+
+#endif  // SOREL_EXAMPLES_MONKEY_BANANAS_PROGRAM_H_

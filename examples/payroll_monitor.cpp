@@ -1,0 +1,119 @@
+// Payroll monitor: second-order (aggregate) tests driving database-style
+// bulk updates — the kind of workload §8 argues rule languages need
+// set-oriented constructs for. Departments whose average salary drifts
+// below a target get an across-the-board raise in ONE rule firing;
+// head-count compliance is matched directly with (count ...).
+//
+// Build & run:  ./build/examples/payroll_monitor
+
+#include <cstdio>
+#include <iostream>
+
+#include "engine/engine.h"
+
+namespace {
+
+constexpr const char* kProgram = R"(
+  (literalize employee id name dept salary)
+  (literalize dept-target dept floor headcount)
+  (literalize audit dept)
+
+  ; Department below its salary floor: raise everyone 10% in one firing.
+  ; The :test reads the second-order value directly (§4.2) instead of
+  ; maintaining running totals in extra WMEs.
+  (p below-floor-raise
+     (dept-target ^dept <d> ^floor <f>)
+     { [employee ^dept <d> ^salary <s>] <Staff> }
+     :test ((avg <s>) < <f>)
+     -->
+     (write raise: dept <d> avg (avg <s>) below floor <f>
+            — raising (count <Staff>) employees (crlf))
+     (foreach <Staff>
+       (modify <Staff> ^salary ((<s> * 11) / 10))))
+
+  ; Head-count compliance: cardinality matched directly.
+  (p overstaffed
+     (dept-target ^dept <d> ^headcount <h>)
+     { [employee ^dept <d>] <Staff> }
+     :test ((count <Staff>) > <h>)
+     -->
+     (write alert: dept <d> has (count <Staff>) employees
+            |(limit| <h> |)| (crlf))
+     (make audit ^dept <d>))
+
+  ; Audit report: salary spread per audited department.
+  (p audit-report
+     { (audit ^dept <d>) <A> }
+     [employee ^dept <d> ^salary <s> ^name <n>]
+     -->
+     (remove <A>)
+     (write audit <d> : min (min <s>) max (max <s>)
+            sum (sum <s>) avg (avg <s>) (crlf))
+     (foreach <s> descending
+       (foreach <n> (write |   | <n> at <s> (crlf)))))
+)";
+
+void Must(const sorel::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void Hire(sorel::Engine& engine, int id, const char* name, const char* dept,
+          int salary) {
+  Must(engine
+           .MakeWme("employee", {{"id", sorel::Value::Int(id)},
+                                 {"name", engine.Sym(name)},
+                                 {"dept", engine.Sym(dept)},
+                                 {"salary", sorel::Value::Int(salary)}})
+           .status());
+}
+
+}  // namespace
+
+int main() {
+  sorel::Engine engine;
+  Must(engine.LoadString(kProgram));
+
+  // Targets first: engineering floor 100, support floor 50, headcount 3.
+  Must(engine
+           .MakeWme("dept-target", {{"dept", engine.Sym("eng")},
+                                    {"floor", sorel::Value::Int(100)},
+                                    {"headcount", sorel::Value::Int(3)}})
+           .status());
+  Must(engine
+           .MakeWme("dept-target", {{"dept", engine.Sym("support")},
+                                    {"floor", sorel::Value::Int(50)},
+                                    {"headcount", sorel::Value::Int(3)}})
+           .status());
+
+  std::cout << "== hiring ==\n";
+  Hire(engine, 1, "ada", "eng", 90);
+  Hire(engine, 2, "grace", "eng", 95);
+  Hire(engine, 3, "edsger", "eng", 80);   // eng avg 88.3 < 100
+  Hire(engine, 4, "tony", "support", 60);
+  Hire(engine, 5, "barbara", "support", 70);  // support avg 65 >= 50
+
+  std::cout << "== payroll pass ==\n";
+  Must(engine.Run(32).status());  // raises iterate until avg >= floor
+
+  std::cout << "== hiring a fourth engineer trips the head-count rule ==\n";
+  Hire(engine, 6, "alan", "eng", 120);
+  Must(engine.Run(32).status());
+
+  std::cout << "== final payroll ==\n";
+  sorel::SymbolId name = engine.symbols().Intern("name");
+  sorel::SymbolId salary = engine.symbols().Intern("salary");
+  sorel::SymbolId dept = engine.symbols().Intern("dept");
+  for (const sorel::WmePtr& w : engine.wm().Snapshot()) {
+    const sorel::ClassSchema* schema = engine.schemas().Find(w->cls());
+    if (engine.symbols().Name(w->cls()) != "employee") continue;
+    std::cout << "  " << w->field(schema->FieldOf(name)).ToString(engine.symbols())
+              << " (" << w->field(schema->FieldOf(dept)).ToString(engine.symbols())
+              << ") " << w->field(schema->FieldOf(salary)).ToString(engine.symbols())
+              << "\n";
+  }
+  std::cout << "== " << engine.run_stats().firings << " firings total ==\n";
+  return 0;
+}

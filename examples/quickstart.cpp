@@ -1,0 +1,63 @@
+// Quickstart: load a rule program, add working memory, run the engine.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "engine/engine.h"
+
+int main() {
+  sorel::Engine engine;
+
+  // 1. Declare a WME class and two rules — one tuple-oriented (regular
+  //    OPS5), one set-oriented with an aggregate test (the paper's
+  //    extension).
+  sorel::Status status = engine.LoadString(R"(
+    (literalize player name team)
+
+    ; Regular OPS5: fires once per (A, B) pair.
+    (p compete
+       (player ^name <n1> ^team A)
+       (player ^name <n2> ^team B)
+       -->
+       (write <n1> vs <n2> (crlf)))
+
+    ; Set-oriented: one firing sees the whole team roster.
+    (p roster
+       [player ^team <t> ^name <n>]
+       :scalar (<t>)
+       :test ((count <n>) >= 2)
+       -->
+       (write team <t> has (count <n>) distinct players: (crlf))
+       (foreach <n> ascending (write |  -| <n> (crlf))))
+  )");
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Populate working memory (Figure 1 of the paper).
+  const char* roster[][2] = {{"A", "Jack"}, {"A", "Janice"}, {"B", "Sue"},
+                             {"B", "Jack"}, {"B", "Sue"}};
+  for (const auto& [team, name] : roster) {
+    auto tag = engine.MakeWme("player", {{"team", engine.Sym(team)},
+                                         {"name", engine.Sym(name)}});
+    if (!tag.ok()) {
+      std::fprintf(stderr, "make failed: %s\n",
+                   tag.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 3. Run the recognize-act cycle to quiescence.
+  auto fired = engine.Run();
+  if (!fired.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", fired.status().ToString().c_str());
+    return 1;
+  }
+  std::cout << "---\n"
+            << *fired << " rule firings ("
+            << engine.run_stats().actions << " primitive actions)\n";
+  return 0;
+}

@@ -1,0 +1,246 @@
+// sorel_shell: an interactive OPS5-style top level for the sorel engine.
+//
+//   $ ./build/examples/sorel_shell
+//   sorel> (literalize player name team)
+//   sorel> (p hi [player ^name <n>] --> (write hello (count <n>) (crlf)))
+//   sorel> make player ^name Jack ^team A
+//   sorel> run
+//   sorel> wm
+//   sorel> quit
+//
+// Also works in batch mode:  sorel_shell < script.txt
+// and can pre-load programs: sorel_shell program.ops
+
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "lang/linter.h"
+#include "lang/printer.h"
+
+namespace {
+
+using sorel::Engine;
+
+void PrintHelp() {
+  std::cout <<
+      "commands:\n"
+      "  (literalize ...) / (p ...) / (startup ...)   load source forms\n"
+      "  load <file>         load a rule file\n"
+      "  make <cls> ^a v ..  add a WME\n"
+      "  remove <tag>        remove the WME with that time tag\n"
+      "  run [n]             fire until quiescence (or at most n firings)\n"
+      "  wm                  list working memory\n"
+      "  cs                  list the conflict set\n"
+      "  rules               pretty-print the loaded rules\n"
+      "  excise <rule>       remove a rule\n"
+      "  lint                run the rule linter\n"
+      "  save <file>         dump working memory as a reloadable file\n"
+      "  network             dump the Rete network topology\n"
+      "  matches <rule>      show a set-oriented rule's SOIs\n"
+      "  watch <0|1|2>       0: quiet, 1: firings, 2: firings + WM changes\n"
+      "  stats               cumulative firing statistics\n"
+      "  help                this text\n"
+      "  quit                exit\n";
+}
+
+bool BalancedParens(const std::string& text) {
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+  }
+  return depth <= 0;
+}
+
+void ShowStatus(const sorel::Status& status) {
+  if (!status.ok()) std::cout << "error: " << status.ToString() << "\n";
+}
+
+void CmdWm(Engine& engine) {
+  for (const sorel::WmePtr& wme : engine.wm().Snapshot()) {
+    const sorel::ClassSchema* schema = engine.schemas().Find(wme->cls());
+    std::cout << wme->ToString(engine.symbols(), *schema) << "\n";
+  }
+  std::cout << engine.wm().size() << " wmes\n";
+}
+
+void CmdCs(Engine& engine) {
+  for (sorel::InstantiationRef* inst : engine.conflict_set().Entries()) {
+    std::vector<sorel::Row> rows;
+    inst->CollectRows(&rows);
+    std::cout << inst->rule().name << " (" << rows.size()
+              << (rows.size() == 1 ? " row;" : " rows;") << " recency";
+    for (sorel::TimeTag tag : inst->RecencyTags()) std::cout << " " << tag;
+    std::cout << ")\n";
+  }
+  std::cout << engine.conflict_set().EligibleCount() << " eligible of "
+            << engine.conflict_set().size() << " entries\n";
+}
+
+void CmdRules(Engine& engine) {
+  sorel::AstPrinter printer(&engine.symbols());
+  for (const sorel::CompiledRulePtr& rule : engine.rules()) {
+    std::cout << printer.PrintRule(rule->ast) << "\n";
+  }
+  std::cout << engine.rules().size() << " rules\n";
+}
+
+void CmdMatches(Engine& engine, const std::string& rule_name) {
+  const sorel::CompiledRule* rule = engine.FindRule(rule_name);
+  if (rule == nullptr) {
+    std::cout << "no such rule: " << rule_name << "\n";
+    return;
+  }
+  sorel::SNode* snode = engine.snode(rule_name);
+  if (snode == nullptr) {
+    std::cout << rule_name << " is not set-oriented (or not on Rete)\n";
+    return;
+  }
+  for (const sorel::Soi* soi : snode->sois()) {
+    std::cout << (soi->active() ? "active  " : "inactive") << " SOI with "
+              << soi->size() << " rows:";
+    for (const sorel::Soi::Member& m : soi->members()) {
+      std::cout << " [";
+      for (size_t i = 0; i < m.row.size(); ++i) {
+        std::cout << (i > 0 ? " " : "") << m.row[i]->time_tag();
+      }
+      std::cout << "]";
+    }
+    std::cout << "\n";
+  }
+  std::cout << snode->num_sois() << " SOIs in the gamma memory\n";
+}
+
+void CmdStats(Engine& engine) {
+  const Engine::RunStats& stats = engine.run_stats();
+  std::cout << stats.firings << " firings, " << stats.actions
+            << " actions\n";
+  for (const auto& [rule, count] : stats.firings_by_rule) {
+    std::cout << "  " << rule << ": " << count << "\n";
+  }
+}
+
+/// Dispatches one complete command line. Returns false to quit.
+bool Dispatch(Engine& engine, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) return true;
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    PrintHelp();
+  } else if (cmd[0] == '(') {
+    ShowStatus(engine.LoadString(line));
+  } else if (cmd == "load") {
+    std::string path;
+    in >> path;
+    ShowStatus(engine.LoadFile(path));
+  } else if (cmd == "make") {
+    std::string rest;
+    std::getline(in, rest);
+    ShowStatus(engine.LoadString("(startup (make " + rest + "))"));
+  } else if (cmd == "remove") {
+    sorel::TimeTag tag = 0;
+    in >> tag;
+    ShowStatus(engine.RemoveWme(tag));
+  } else if (cmd == "run") {
+    int max = -1;
+    in >> max;
+    auto fired = engine.Run(in ? max : -1);
+    ShowStatus(fired.status());
+    if (fired.ok()) {
+      std::cout << *fired << " firings"
+                << (engine.halted() ? " (halted)" : "") << "\n";
+    }
+  } else if (cmd == "wm") {
+    CmdWm(engine);
+  } else if (cmd == "cs") {
+    CmdCs(engine);
+  } else if (cmd == "rules") {
+    CmdRules(engine);
+  } else if (cmd == "matches") {
+    std::string rule;
+    in >> rule;
+    CmdMatches(engine, rule);
+  } else if (cmd == "watch") {
+    int level = 0;
+    in >> level;
+    engine.set_trace_firings(level >= 1);
+    engine.set_trace_wm(level >= 2);
+    std::cout << "watch level " << level << "\n";
+  } else if (cmd == "lint") {
+    size_t count = 0;
+    for (const sorel::CompiledRulePtr& rule : engine.rules()) {
+      for (const sorel::LintWarning& w : sorel::LintRule(*rule)) {
+        std::cout << w.ToString() << "\n";
+        ++count;
+      }
+    }
+    std::cout << count << " warnings\n";
+  } else if (cmd == "excise") {
+    std::string rule;
+    in >> rule;
+    ShowStatus(engine.ExciseRule(rule));
+  } else if (cmd == "save") {
+    std::string path;
+    in >> path;
+    std::ofstream out(path);
+    if (!out) {
+      std::cout << "cannot open " << path << "\n";
+    } else {
+      engine.DumpWm(out);
+      std::cout << "saved " << engine.wm().size() << " wmes to " << path
+                << "\n";
+    }
+  } else if (cmd == "network") {
+    if (engine.rete_matcher() != nullptr) {
+      engine.rete_matcher()->DumpNetwork(std::cout, engine.symbols());
+    } else {
+      std::cout << "network dump is only available on the Rete matcher\n";
+    }
+  } else if (cmd == "stats") {
+    CmdStats(engine);
+  } else {
+    std::cout << "unknown command '" << cmd << "' (try: help)\n";
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Engine engine;
+  for (int i = 1; i < argc; ++i) {
+    sorel::Status status = engine.LoadFile(argv[i]);
+    if (!status.ok()) {
+      std::cerr << argv[i] << ": " << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  bool interactive = isatty(STDIN_FILENO) != 0;
+  if (interactive) {
+    std::cout << "sorel shell — set-oriented production system "
+                 "(type 'help')\n";
+  }
+  std::string pending;
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << (pending.empty() ? "sorel> " : "...    ");
+    if (!std::getline(std::cin, line)) break;
+    pending += pending.empty() ? line : "\n" + line;
+    // Multi-line source forms: wait for balanced brackets.
+    if (!pending.empty() && pending[0] == '(' && !BalancedParens(pending)) {
+      continue;
+    }
+    bool keep_going = Dispatch(engine, pending);
+    pending.clear();
+    if (!keep_going) break;
+  }
+  return 0;
+}

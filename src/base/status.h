@@ -1,0 +1,117 @@
+#ifndef SOREL_BASE_STATUS_H_
+#define SOREL_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sorel {
+
+/// Error categories used across the library. The library never throws;
+/// all fallible operations return `Status` or `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // bad API usage (unknown class, wrong value kind, ...)
+  kParseError,       // lexical or syntactic error in rule source
+  kCompileError,     // semantic error in a rule (unbound variable, ...)
+  kRuntimeError,     // error during rule firing (bad action target, ...)
+  kNotFound,         // lookup failure (time tag, attribute, ...)
+  kUnimplemented,    // feature intentionally not supported
+};
+
+/// Returns a short human-readable name for `code` ("ParseError", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status; `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CompileError(std::string msg) {
+    return Status(StatusCode::kCompileError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error. Holds `T` when `ok()`, otherwise an error `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;` inside Result-returning functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::ParseError(...)`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Accessors for the held value.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from `expr` out of the enclosing function.
+#define SOREL_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::sorel::Status _sorel_status = (expr);        \
+    if (!_sorel_status.ok()) return _sorel_status; \
+  } while (false)
+
+/// Evaluates `expr` (a Result<T>), propagating its error or assigning
+/// its value to `lhs`.
+#define SOREL_ASSIGN_OR_RETURN(lhs, expr)            \
+  SOREL_ASSIGN_OR_RETURN_IMPL_(                      \
+      SOREL_STATUS_CONCAT_(_sorel_result, __LINE__), lhs, expr)
+
+#define SOREL_STATUS_CONCAT_INNER_(a, b) a##b
+#define SOREL_STATUS_CONCAT_(a, b) SOREL_STATUS_CONCAT_INNER_(a, b)
+#define SOREL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace sorel
+
+#endif  // SOREL_BASE_STATUS_H_

@@ -1,0 +1,36 @@
+#include "base/symbol_table.h"
+
+#include <cassert>
+
+namespace sorel {
+
+SymbolTable::SymbolTable() {
+  SymbolId nil = Intern("nil");
+  SymbolId tru = Intern("true");
+  SymbolId fls = Intern("false");
+  assert(nil == kNil && tru == kTrue && fls == kFalse);
+  (void)nil;
+  (void)tru;
+  (void)fls;
+}
+
+SymbolId SymbolTable::Intern(std::string_view text) {
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(text);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+SymbolId SymbolTable::Find(std::string_view text) const {
+  auto it = ids_.find(text);
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+std::string_view SymbolTable::Name(SymbolId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < names_.size());
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace sorel

@@ -1,0 +1,59 @@
+#ifndef SOREL_BASE_SYMBOL_TABLE_H_
+#define SOREL_BASE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sorel {
+
+/// Identifier of an interned symbol. Symbols with equal text always have
+/// equal ids within one `SymbolTable`.
+using SymbolId = int32_t;
+
+/// Id of the invalid/unset symbol.
+inline constexpr SymbolId kInvalidSymbol = -1;
+
+/// Interns strings to dense small integer ids, as OPS5 implementations do
+/// for symbolic atoms. A table is owned by an `Engine` (or a test) and is
+/// passed by const reference to code that needs symbol names.
+///
+/// Well-known symbols (`nil`, `true`, `false`) are pre-interned with fixed
+/// ids so that code can refer to them without a table lookup.
+class SymbolTable {
+ public:
+  /// Fixed ids of the pre-interned symbols.
+  static constexpr SymbolId kNil = 0;
+  static constexpr SymbolId kTrue = 1;
+  static constexpr SymbolId kFalse = 2;
+
+  SymbolTable();
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `text`, interning it on first use.
+  SymbolId Intern(std::string_view text);
+
+  /// Returns the id for `text` or kInvalidSymbol if never interned.
+  SymbolId Find(std::string_view text) const;
+
+  /// Returns the text of `id`. `id` must be a valid id from this table.
+  std::string_view Name(SymbolId id) const;
+
+  /// Number of interned symbols.
+  size_t size() const { return names_.size(); }
+
+ private:
+  // Deque: element addresses are stable, so the string_view keys in ids_
+  // (which point into these strings) survive growth.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, SymbolId> ids_;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_BASE_SYMBOL_TABLE_H_

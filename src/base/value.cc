@@ -1,0 +1,90 @@
+#include "base/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sorel {
+
+namespace {
+
+// Rank used to order values of different kinds: nil < numbers < symbols.
+int KindRank(ValueKind k) {
+  switch (k) {
+    case ValueKind::kNil:
+      return 0;
+    case ValueKind::kInt:
+    case ValueKind::kFloat:
+      return 1;
+    case ValueKind::kSymbol:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& a, const Value& b) {
+  int ra = KindRank(a.kind()), rb = KindRank(b.kind());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a.kind()) {
+    case ValueKind::kNil:
+      return 0;
+    case ValueKind::kInt:
+      if (b.kind() == ValueKind::kInt) {
+        return a.int_ < b.int_ ? -1 : (a.int_ > b.int_ ? 1 : 0);
+      }
+      [[fallthrough]];
+    case ValueKind::kFloat: {
+      double da = a.AsDouble(), db = b.AsDouble();
+      return da < db ? -1 : (da > db ? 1 : 0);
+    }
+    case ValueKind::kSymbol: {
+      SymbolId sa = a.as_symbol(), sb = b.as_symbol();
+      return sa < sb ? -1 : (sa > sb ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (kind_) {
+    case ValueKind::kNil:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueKind::kInt:
+      // Hash ints via their double image so 5 and 5.0 collide, matching ==.
+      // Integers beyond 2^53 lose precision in the key but == still
+      // disambiguates inside buckets.
+      return std::hash<double>()(static_cast<double>(int_));
+    case ValueKind::kFloat:
+      return std::hash<double>()(float_);
+    case ValueKind::kSymbol:
+      return std::hash<int64_t>()(int_) ^ 0x517cc1b727220a95ull;
+  }
+  return 0;
+}
+
+std::string Value::ToString(const SymbolTable& symbols) const {
+  switch (kind_) {
+    case ValueKind::kNil:
+      return "nil";
+    case ValueKind::kInt:
+      return std::to_string(int_);
+    case ValueKind::kFloat: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", float_);
+      return buf;
+    }
+    case ValueKind::kSymbol:
+      return std::string(symbols.Name(as_symbol()));
+  }
+  return "?";
+}
+
+bool ValueNameLess::operator()(const Value& a, const Value& b) const {
+  if (a.is_symbol() && b.is_symbol()) {
+    return symbols_->Name(a.as_symbol()) < symbols_->Name(b.as_symbol());
+  }
+  return Value::Compare(a, b) < 0;
+}
+
+}  // namespace sorel

@@ -1,0 +1,131 @@
+#ifndef SOREL_BASE_VALUE_H_
+#define SOREL_BASE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/symbol_table.h"
+
+namespace sorel {
+
+/// Runtime kind of a `Value`.
+enum class ValueKind : uint8_t {
+  kNil = 0,   // absent attribute / the symbol `nil`
+  kInt,       // 64-bit integer
+  kFloat,     // IEEE double
+  kSymbol,    // interned symbolic atom
+};
+
+/// An OPS5 attribute value: nil, an integer, a float, or an interned symbol.
+///
+/// Equality follows OPS5 matching rules: integers and floats compare
+/// numerically across kinds (`5 == 5.0`), symbols compare by identity, and
+/// nil equals only nil. `Compare` extends this to a total order used by
+/// aggregate state and `foreach ... ascending|descending`:
+/// nil < all numbers (by numeric value) < all symbols (by id).
+///
+/// For user-facing symbol ordering by *name* (rather than interning order)
+/// use `ValueNameLess` with the owning `SymbolTable`.
+class Value {
+ public:
+  /// Constructs nil.
+  constexpr Value() : kind_(ValueKind::kNil), int_(0) {}
+
+  static constexpr Value Nil() { return Value(); }
+  static constexpr Value Int(int64_t v) { return Value(ValueKind::kInt, v); }
+  static constexpr Value Float(double v) {
+    Value out(ValueKind::kFloat, 0);
+    out.float_ = v;
+    return out;
+  }
+  static constexpr Value Symbol(SymbolId id) {
+    return Value(ValueKind::kSymbol, id);
+  }
+  /// The boolean results of test expressions are the symbols true/false.
+  static constexpr Value Bool(bool b) {
+    return Symbol(b ? SymbolTable::kTrue : SymbolTable::kFalse);
+  }
+
+  ValueKind kind() const { return kind_; }
+  bool is_nil() const { return kind_ == ValueKind::kNil; }
+  bool is_int() const { return kind_ == ValueKind::kInt; }
+  bool is_float() const { return kind_ == ValueKind::kFloat; }
+  bool is_symbol() const { return kind_ == ValueKind::kSymbol; }
+  bool is_number() const { return is_int() || is_float(); }
+
+  /// Requires is_int().
+  int64_t as_int() const { return int_; }
+  /// Requires is_float().
+  double as_float() const { return float_; }
+  /// Requires is_symbol().
+  SymbolId as_symbol() const { return static_cast<SymbolId>(int_); }
+  /// Requires is_number(); widens ints to double.
+  double AsDouble() const {
+    return kind_ == ValueKind::kFloat ? float_ : static_cast<double>(int_);
+  }
+  /// True iff this is the symbol `true`. Anything else is falsy.
+  bool IsTruthy() const {
+    return kind_ == ValueKind::kSymbol && as_symbol() == SymbolTable::kTrue;
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.is_number() && b.is_number()) {
+      if (a.kind_ == b.kind_) {
+        return a.kind_ == ValueKind::kInt ? a.int_ == b.int_
+                                          : a.float_ == b.float_;
+      }
+      return a.AsDouble() == b.AsDouble();
+    }
+    if (a.kind_ != b.kind_) return false;
+    if (a.kind_ == ValueKind::kNil) return true;
+    return a.int_ == b.int_;  // symbol ids (and exact ints) share storage
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order: returns <0, 0, >0. See class comment.
+  static int Compare(const Value& a, const Value& b);
+
+  /// Hash compatible with operator== (numerically equal int/float values
+  /// hash equally).
+  size_t Hash() const;
+
+  /// Renders the value using `symbols` for symbol names.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  constexpr Value(ValueKind kind, int64_t raw) : kind_(kind), int_(raw) {}
+
+  ValueKind kind_;
+  union {
+    int64_t int_;  // also holds SymbolId for kSymbol
+    double float_;
+  };
+};
+
+/// std-container hasher for Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Strict weak order on `Value` using `Value::Compare`.
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return Value::Compare(a, b) < 0;
+  }
+};
+
+/// Order that sorts symbols lexicographically by name (numbers and nil as in
+/// `Value::Compare`); used by `foreach ... ascending|descending`.
+class ValueNameLess {
+ public:
+  explicit ValueNameLess(const SymbolTable& symbols) : symbols_(&symbols) {}
+  bool operator()(const Value& a, const Value& b) const;
+
+ private:
+  const SymbolTable* symbols_;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_BASE_VALUE_H_

@@ -1,0 +1,77 @@
+#include "core/aggregate.h"
+
+namespace sorel {
+
+void AggState::Insert(const Value& v) {
+  auto [it, inserted] = support_.try_emplace(v, 0);
+  ++it->second;
+  if (!inserted) return;
+  // `v` entered the domain.
+  if (v.is_int()) {
+    isum_ += v.as_int();
+  } else if (v.is_float()) {
+    fsum_ += v.as_float();
+    ++float_count_;
+  } else {
+    ++nonnum_count_;
+  }
+}
+
+void AggState::Remove(const Value& v) {
+  auto it = support_.find(v);
+  if (it == support_.end()) return;  // defensive; callers keep this balanced
+  if (--it->second > 0) return;
+  support_.erase(it);
+  // `v` left the domain.
+  if (v.is_int()) {
+    isum_ -= v.as_int();
+  } else if (v.is_float()) {
+    fsum_ -= v.as_float();
+    --float_count_;
+  } else {
+    --nonnum_count_;
+  }
+}
+
+Result<Value> AggState::Current() const {
+  switch (op_) {
+    case AggOp::kCount:
+      return Value::Int(static_cast<int64_t>(support_.size()));
+    case AggOp::kMin:
+      if (support_.empty()) {
+        return Status::RuntimeError("min of an empty domain");
+      }
+      return support_.begin()->first;
+    case AggOp::kMax:
+      if (support_.empty()) {
+        return Status::RuntimeError("max of an empty domain");
+      }
+      return support_.rbegin()->first;
+    case AggOp::kSum:
+    case AggOp::kAvg: {
+      if (nonnum_count_ != 0) {
+        return Status::RuntimeError("sum/avg over non-numeric domain");
+      }
+      if (op_ == AggOp::kSum) {
+        if (float_count_ == 0) return Value::Int(isum_);
+        return Value::Float(fsum_ + static_cast<double>(isum_));
+      }
+      if (support_.empty()) {
+        return Status::RuntimeError("avg of an empty domain");
+      }
+      double total = fsum_ + static_cast<double>(isum_);
+      return Value::Float(total / static_cast<double>(support_.size()));
+    }
+  }
+  return Status::RuntimeError("unknown aggregate");
+}
+
+void AggState::Clear() {
+  support_.clear();
+  isum_ = 0;
+  fsum_ = 0;
+  float_count_ = 0;
+  nonnum_count_ = 0;
+}
+
+}  // namespace sorel

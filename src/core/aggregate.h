@@ -1,0 +1,60 @@
+#ifndef SOREL_CORE_AGGREGATE_H_
+#define SOREL_CORE_AGGREGATE_H_
+
+#include <map>
+
+#include "base/status.h"
+#include "base/value.h"
+#include "lang/ast.h"
+
+namespace sorel {
+
+/// Incrementally maintained aggregate state: the paper's AV entry — "the
+/// aggregate's current value followed by a list of (value, counter) pairs
+/// representing the values in the WMEs used in the computation" (§5).
+///
+/// Aggregates operate on the *domain* of a set-oriented PV, which §4.1
+/// defines as the **set** of values occurring in the matching WMEs; the
+/// counters track support so a value leaves the domain only when its last
+/// supporting instantiation row is removed. For CE element variables the
+/// values are WME time tags, making `count` the number of distinct WMEs.
+class AggState {
+ public:
+  explicit AggState(AggOp op) : op_(op) {}
+
+  /// Registers one supporting occurrence of `v`.
+  void Insert(const Value& v);
+
+  /// Unregisters one supporting occurrence of `v` (must be supported).
+  void Remove(const Value& v);
+
+  /// Current aggregate value:
+  ///   count -> Int(#distinct values)
+  ///   min/max -> smallest/largest domain value (error on empty domain)
+  ///   sum -> Int if the domain is all-integer, else Float
+  ///          (error if any domain value is non-numeric)
+  ///   avg -> Float (same numeric requirement; error on empty domain)
+  Result<Value> Current() const;
+
+  AggOp op() const { return op_; }
+  /// Number of distinct values in the domain.
+  size_t distinct() const { return support_.size(); }
+  bool empty() const { return support_.empty(); }
+
+  /// Rebuilds state from scratch (ablation baseline for benches).
+  void Clear();
+
+ private:
+  AggOp op_;
+  std::map<Value, int64_t, ValueLess> support_;
+  // Maintained only while the domain stays numeric-only; `sum` falls back
+  // to an error otherwise.
+  int64_t isum_ = 0;
+  double fsum_ = 0;
+  size_t float_count_ = 0;    // distinct float values
+  size_t nonnum_count_ = 0;   // distinct non-numeric values
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_CORE_AGGREGATE_H_

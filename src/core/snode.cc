@@ -1,0 +1,257 @@
+#include "core/snode.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "lang/eval.h"
+
+namespace sorel {
+
+namespace {
+
+/// The aggregated value one row contributes to `spec`: the PV's value at
+/// its binding site, or the WME's time tag for CE element aggregates.
+Value AggInputValue(const AggregateSpec& spec, const Row& row) {
+  const WmePtr& wme = row[static_cast<size_t>(spec.token_pos)];
+  if (spec.over_element) return Value::Int(wme->time_tag());
+  return wme->field(spec.field);
+}
+
+std::vector<TimeTag> RowRecency(const Row& row) {
+  std::vector<TimeTag> tags;
+  tags.reserve(row.size());
+  for (const WmePtr& w : row) tags.push_back(w->time_tag());
+  std::sort(tags.rbegin(), tags.rend());
+  return tags;
+}
+
+/// Resolves scalar variables of the rule against an SOI's head row for
+/// `:test` evaluation; aggregates come from the γ-memory state.
+class SoiTestContext : public EvalContext {
+ public:
+  explicit SoiTestContext(const Soi& soi) : soi_(soi) {}
+
+  Result<Value> ResolveVar(const std::string& name) const override {
+    const VarInfo* info = soi_.rule().FindVar(name);
+    if (info == nullptr || info->kind != VarInfo::Kind::kValue ||
+        info->set_oriented || info->occurrences.empty() ||
+        soi_.members().empty()) {
+      return Status::RuntimeError("variable <" + name +
+                                  "> is not scalar in :test");
+    }
+    const auto& [pos, field] = info->occurrences.front();
+    const Row& row = soi_.members().front().row;
+    return row[static_cast<size_t>(pos)]->field(field);
+  }
+
+  Result<Value> EvalAggregate(const Expr& agg) const override {
+    if (agg.agg_index < 0) {
+      return Status::RuntimeError("aggregate not compiled for :test");
+    }
+    return soi_.AggregateValue(agg.agg_index);
+  }
+
+ private:
+  const Soi& soi_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------ Soi ---
+
+void Soi::CollectRows(std::vector<Row>* out) const {
+  out->reserve(out->size() + members_.size());
+  for (const Member& m : members_) out->push_back(m.row);
+}
+
+std::vector<TimeTag> Soi::RecencyTags() const {
+  if (members_.empty()) return {};
+  return members_.front().rec;
+}
+
+TimeTag Soi::FirstCeTag() const {
+  if (members_.empty() || members_.front().row.empty()) return 0;
+  return members_.front().row.front()->time_tag();
+}
+
+Result<Value> Soi::AggregateValue(int index) const {
+  if (index < 0 || index >= static_cast<int>(aggs_.size())) {
+    return Status::InvalidArgument("aggregate index out of range");
+  }
+  return aggs_[static_cast<size_t>(index)].Current();
+}
+
+// ---------------------------------------------------------------- SNode ---
+
+SNode::SNode(const CompiledRule* rule, ConflictSet* cs, SNodeOptions options)
+    : rule_(rule), cs_(cs), options_(options) {}
+
+SNode::~SNode() {
+  for (auto& [key, soi] : gamma_) {
+    if (soi->active_) cs_->Remove(soi.get());
+  }
+}
+
+Soi* SNode::FindOrNull(const SoiKey& key) {
+  if (options_.linear_scan_gamma) {
+    // Figure 3 verbatim: "for i in candidate SOIs ... if ∀x∈C i[x] =
+    // token[x] and ∀x∈P i[x] = token[x]".
+    for (auto& [k, soi] : gamma_) {
+      if (k == key) return soi.get();
+    }
+    return nullptr;
+  }
+  auto it = gamma_.find(key);
+  return it == gamma_.end() ? nullptr : it->second.get();
+}
+
+bool SNode::EvalTest(const Soi& soi) {
+  if (rule_->ast.test == nullptr) return true;
+  SoiTestContext ctx(soi);
+  Result<Value> result = EvalExpr(*rule_->ast.test, ctx);
+  if (!result.ok()) {
+    if (last_error_.ok()) last_error_ = result.status();
+    return false;
+  }
+  return result->IsTruthy();
+}
+
+void SNode::RebuildAggregates(Soi* soi) {
+  for (size_t i = 0; i < soi->aggs_.size(); ++i) {
+    AggState& agg = soi->aggs_[i];
+    agg.Clear();
+    for (const Soi::Member& m : soi->members_) {
+      agg.Insert(AggInputValue(rule_->test_aggregates[i], m.row));
+    }
+  }
+}
+
+void SNode::OnToken(Token* token, bool added) {
+  ++stats_.tokens;
+  Row row;
+  TokenRow(token, &row);
+  SoiKey key = MakeSoiKey(*rule_, row);
+
+  enum class Chg { kNew, kDelete, kNewTime, kSameTime, kFail };
+  Chg chg;
+  Soi* soi = FindOrNull(key);
+
+  // --- Stage 1 (Figure 3): find the SOI and the place within it. ---
+  if (added) {
+    Soi::Member member{token, row, RowRecency(row)};
+    if (soi == nullptr) {
+      auto fresh = std::make_unique<Soi>(rule_);
+      for (const AggregateSpec& spec : rule_->test_aggregates) {
+        fresh->aggs_.emplace_back(spec.op);
+      }
+      soi = fresh.get();
+      gamma_.emplace(std::move(key), std::move(fresh));
+      ++stats_.sois_created;
+      chg = Chg::kNew;
+      soi->members_.push_back(std::move(member));
+    } else {
+      // Insert ordered like the conflict set: descending recency.
+      size_t i = 0;
+      while (i < soi->members_.size() &&
+             CompareRecencyTags(member.rec, soi->members_[i].rec) <= 0) {
+        ++i;
+      }
+      chg = (i == 0) ? Chg::kNewTime : Chg::kSameTime;
+      soi->members_.insert(
+          soi->members_.begin() + static_cast<ptrdiff_t>(i),
+          std::move(member));
+    }
+  } else {
+    if (soi == nullptr) return;  // defensive: unknown token
+    size_t i = 0;
+    while (i < soi->members_.size() && soi->members_[i].token != token) ++i;
+    if (i == soi->members_.size()) return;  // defensive
+    bool was_head = (i == 0);
+    soi->members_.erase(soi->members_.begin() + static_cast<ptrdiff_t>(i));
+    if (soi->members_.empty()) {
+      chg = Chg::kDelete;
+    } else {
+      chg = was_head ? Chg::kNewTime : Chg::kSameTime;
+    }
+  }
+  ++soi->mutation_;
+
+  // --- Stage 2: update the aggregates and re-evaluate the test. ---
+  if (chg != Chg::kDelete) {
+    if (options_.recompute_aggregates) {
+      RebuildAggregates(soi);
+    } else {
+      for (size_t i = 0; i < soi->aggs_.size(); ++i) {
+        Value v = AggInputValue(rule_->test_aggregates[i], row);
+        if (added) {
+          soi->aggs_[i].Insert(v);
+        } else {
+          soi->aggs_[i].Remove(v);
+        }
+      }
+    }
+    if (!EvalTest(*soi)) chg = Chg::kFail;
+  }
+
+  // --- Stage 3: decide the flow of the SOI. ---
+  switch (chg) {
+    case Chg::kNew:
+      // Figure 3 activates unconditionally here, but the test was already
+      // evaluated in stage 2 (chg would be kFail had it failed).
+      soi->active_ = true;
+      cs_->Add(soi);
+      ++stats_.sends_plus;
+      break;
+    case Chg::kDelete: {
+      if (soi->active_) {
+        cs_->Remove(soi);
+        ++stats_.sends_minus;
+      }
+      // Re-derive the key (the insertion path moved `key` into the map).
+      SoiKey dead = MakeSoiKey(*rule_, row);
+      gamma_.erase(dead);
+      ++stats_.sois_deleted;
+      break;
+    }
+    case Chg::kFail:
+      if (soi->active_) {
+        soi->active_ = false;
+        cs_->Remove(soi);
+        ++stats_.sends_minus;
+      }
+      break;
+    case Chg::kNewTime:
+      if (soi->active_) {
+        cs_->Touch(soi);  // the `time` mark: reposition in the conflict set
+        ++stats_.sends_time;
+      } else {
+        soi->active_ = true;
+        cs_->Add(soi);
+        ++stats_.sends_plus;
+      }
+      break;
+    case Chg::kSameTime:
+      // Figure 3 sends nothing here; §6 still makes the SOI eligible again
+      // ("if any part of the instantiation changes"). Touch restores
+      // eligibility without repositioning. We also activate an inactive SOI
+      // whose test now passes — a completion of the paper's pseudocode
+      // (see DESIGN.md).
+      if (soi->active_) {
+        cs_->Touch(soi);
+      } else {
+        soi->active_ = true;
+        cs_->Add(soi);
+        ++stats_.sends_plus;
+      }
+      break;
+  }
+}
+
+std::vector<const Soi*> SNode::sois() const {
+  std::vector<const Soi*> out;
+  out.reserve(gamma_.size());
+  for (const auto& [key, soi] : gamma_) out.push_back(soi.get());
+  return out;
+}
+
+}  // namespace sorel

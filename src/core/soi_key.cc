@@ -1,0 +1,31 @@
+#include "core/soi_key.h"
+
+#include <functional>
+
+namespace sorel {
+
+size_t SoiKeyHash::operator()(const SoiKey& k) const {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (TimeTag t : k.tags) {
+    h ^= std::hash<TimeTag>()(t) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  for (const Value& v : k.vals) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+SoiKey MakeSoiKey(const CompiledRule& rule, const Row& row) {
+  SoiKey key;
+  key.tags.reserve(rule.key_token_positions.size());
+  for (int pos : rule.key_token_positions) {
+    key.tags.push_back(row[static_cast<size_t>(pos)]->time_tag());
+  }
+  key.vals.reserve(rule.key_scalars.size());
+  for (const auto& [pos, field] : rule.key_scalars) {
+    key.vals.push_back(row[static_cast<size_t>(pos)]->field(field));
+  }
+  return key;
+}
+
+}  // namespace sorel

@@ -1,0 +1,35 @@
+#ifndef SOREL_CORE_SOI_KEY_H_
+#define SOREL_CORE_SOI_KEY_H_
+
+#include <vector>
+
+#include "base/value.h"
+#include "lang/compiled_rule.h"
+#include "rete/instantiation.h"
+
+namespace sorel {
+
+/// The SOI partition key of Figure 3: the identities (time tags) of the
+/// WMEs matching the non-set-oriented CEs (the paper's C) plus the values
+/// of the `:scalar` PVs (the paper's P). Two regular instantiations belong
+/// to the same SOI iff their keys are equal. Shared by the S-node's
+/// γ-memory and the DIPS group-by retrieval (§8.2).
+struct SoiKey {
+  std::vector<TimeTag> tags;
+  std::vector<Value> vals;
+
+  bool operator==(const SoiKey& other) const {
+    return tags == other.tags && vals == other.vals;
+  }
+};
+
+struct SoiKeyHash {
+  size_t operator()(const SoiKey& k) const;
+};
+
+/// Builds the key for one instantiation row of `rule`.
+SoiKey MakeSoiKey(const CompiledRule& rule, const Row& row);
+
+}  // namespace sorel
+
+#endif  // SOREL_CORE_SOI_KEY_H_

@@ -1,0 +1,65 @@
+#include "core/test_eval.h"
+
+#include "core/aggregate.h"
+#include "lang/eval.h"
+
+namespace sorel {
+
+namespace {
+
+class RowsTestContext : public EvalContext {
+ public:
+  RowsTestContext(const CompiledRule& rule, const std::vector<Row>& rows)
+      : rule_(rule), rows_(rows) {}
+
+  Result<Value> ResolveVar(const std::string& name) const override {
+    const VarInfo* info = rule_.FindVar(name);
+    if (info == nullptr || info->kind != VarInfo::Kind::kValue ||
+        info->set_oriented || info->occurrences.empty() || rows_.empty()) {
+      return Status::RuntimeError("variable <" + name +
+                                  "> is not scalar in :test");
+    }
+    const auto& [pos, field] = info->occurrences.front();
+    return rows_.front()[static_cast<size_t>(pos)]->field(field);
+  }
+
+  Result<Value> EvalAggregate(const Expr& agg) const override {
+    const VarInfo* info = rule_.FindVar(agg.var);
+    if (info == nullptr) {
+      return Status::RuntimeError("unbound variable <" + agg.var + ">");
+    }
+    AggState state(agg.agg_op);
+    if (info->kind == VarInfo::Kind::kElement) {
+      for (const Row& row : rows_) {
+        state.Insert(Value::Int(
+            row[static_cast<size_t>(info->elem_token_pos)]->time_tag()));
+      }
+    } else {
+      if (info->occurrences.empty()) {
+        return Status::RuntimeError("variable <" + agg.var +
+                                    "> has no binding site");
+      }
+      const auto& [pos, field] = info->occurrences.front();
+      for (const Row& row : rows_) {
+        state.Insert(row[static_cast<size_t>(pos)]->field(field));
+      }
+    }
+    return state.Current();
+  }
+
+ private:
+  const CompiledRule& rule_;
+  const std::vector<Row>& rows_;
+};
+
+}  // namespace
+
+Result<bool> EvalTestOverRows(const CompiledRule& rule,
+                              const std::vector<Row>& rows) {
+  if (rule.ast.test == nullptr) return true;
+  RowsTestContext ctx(rule, rows);
+  SOREL_ASSIGN_OR_RETURN(Value v, EvalExpr(*rule.ast.test, ctx));
+  return v.IsTruthy();
+}
+
+}  // namespace sorel

@@ -1,0 +1,22 @@
+#ifndef SOREL_CORE_TEST_EVAL_H_
+#define SOREL_CORE_TEST_EVAL_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "lang/compiled_rule.h"
+#include "rete/instantiation.h"
+
+namespace sorel {
+
+/// Evaluates `rule`'s `:test` expression over an explicit row set,
+/// computing aggregates from scratch (distinct-domain semantics identical
+/// to the S-node's incremental state). Returns true if the rule has no
+/// test. Used by the DIPS matcher (§8.2, per-group test evaluation) and as
+/// the non-incremental oracle in property tests.
+Result<bool> EvalTestOverRows(const CompiledRule& rule,
+                              const std::vector<Row>& rows);
+
+}  // namespace sorel
+
+#endif  // SOREL_CORE_TEST_EVAL_H_

@@ -1,0 +1,125 @@
+#include "dips/cond_table.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sorel {
+namespace dips {
+
+namespace {
+
+/// Finds the variable whose canonical binding site is (token_pos, field);
+/// join tests are always emitted against canonical sites.
+const VarInfo* FindVarByCanonicalSite(const CompiledRule& rule, int token_pos,
+                                      int field) {
+  for (const auto& [name, info] : rule.vars) {
+    if (info.kind == VarInfo::Kind::kValue && !info.occurrences.empty() &&
+        info.occurrences.front() == std::make_pair(token_pos, field)) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<CondTable> CondTable::Create(const CompiledRule* rule, int ce_index) {
+  CondTable table;
+  table.rule_ = rule;
+  table.cond_ = &rule->conditions[static_cast<size_t>(ce_index)];
+  const CompiledCondition& cond = *table.cond_;
+
+  std::vector<std::string> columns;
+  if (cond.negated) {
+    table.tag_column_ = "tneg" + std::to_string(ce_index);
+    columns.push_back(table.tag_column_);
+    // One column per join test: eq tests become anti-join keys, others are
+    // residual predicates.
+    for (size_t k = 0; k < cond.join_tests.size(); ++k) {
+      const JoinTest& jt = cond.join_tests[k];
+      const VarInfo* ref = FindVarByCanonicalSite(*rule, jt.other_token_pos,
+                                                  jt.other_field);
+      if (ref == nullptr) {
+        return Status::CompileError(
+            "DIPS: cannot resolve join reference in negated CE of rule '" +
+            rule->name + "'");
+      }
+      PredColumn pc;
+      pc.column = "_n" + std::to_string(ce_index) + "_" + std::to_string(k);
+      pc.pred = jt.pred;
+      pc.ref_var = ref->name;
+      pc.field = jt.field;
+      pc.is_eq = jt.pred == TestPred::kEq;
+      columns.push_back(pc.column);
+      table.pred_columns_.push_back(std::move(pc));
+    }
+  } else {
+    table.tag_column_ = "t" + std::to_string(cond.token_pos);
+    columns.push_back(table.tag_column_);
+    // Variable columns: every value PV with a binding occurrence here,
+    // sorted by name for deterministic schemas.
+    std::vector<std::pair<std::string, int>> vars;
+    for (const auto& [name, info] : rule->vars) {
+      if (info.kind != VarInfo::Kind::kValue) continue;
+      for (const auto& [pos, field] : info.occurrences) {
+        if (pos == cond.token_pos) {
+          vars.emplace_back(name, field);
+          break;
+        }
+      }
+    }
+    std::sort(vars.begin(), vars.end());
+    for (auto& [name, field] : vars) {
+      columns.push_back(name);
+      table.var_columns_.emplace_back(name, field);
+    }
+    // Non-equality join predicates need the tested field as a column.
+    for (size_t k = 0; k < cond.join_tests.size(); ++k) {
+      const JoinTest& jt = cond.join_tests[k];
+      if (jt.pred == TestPred::kEq) continue;  // covered by variable columns
+      const VarInfo* ref = FindVarByCanonicalSite(*rule, jt.other_token_pos,
+                                                  jt.other_field);
+      if (ref == nullptr) {
+        return Status::CompileError(
+            "DIPS: cannot resolve join reference in rule '" + rule->name +
+            "'");
+      }
+      PredColumn pc;
+      pc.column = "_p" + std::to_string(cond.token_pos) + "_" +
+                  std::to_string(k);
+      pc.pred = jt.pred;
+      pc.ref_var = ref->name;
+      pc.field = jt.field;
+      pc.is_eq = false;
+      columns.push_back(pc.column);
+      table.pred_columns_.push_back(std::move(pc));
+    }
+  }
+  table.rel_ = rdb::Relation(rdb::RelSchema(std::move(columns)));
+  return table;
+}
+
+bool CondTable::Accepts(const Wme& wme) const {
+  return wme.cls() == cond_->cls && PassesAlphaTests(*cond_, wme);
+}
+
+Status CondTable::Insert(const Wme& wme) {
+  rdb::Tuple row;
+  row.reserve(static_cast<size_t>(rel_.schema().arity()));
+  row.push_back(Value::Int(wme.time_tag()));
+  for (const auto& [name, field] : var_columns_) {
+    row.push_back(wme.field(field));
+  }
+  for (const PredColumn& pc : pred_columns_) {
+    row.push_back(wme.field(pc.field));
+  }
+  return rel_.Insert(std::move(row));
+}
+
+void CondTable::RemoveTag(TimeTag tag) {
+  Value key = Value::Int(tag);
+  rel_.Erase([&key](const rdb::Tuple& row) { return row[0] == key; });
+}
+
+}  // namespace dips
+}  // namespace sorel

@@ -1,0 +1,74 @@
+#ifndef SOREL_DIPS_COND_TABLE_H_
+#define SOREL_DIPS_COND_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "lang/compiled_rule.h"
+#include "rdb/relation.h"
+#include "wm/wme.h"
+
+namespace sorel {
+namespace dips {
+
+/// A COND table (§8.1): the relational storage for one CE of one rule,
+/// holding the WME identifiers (time tags, the paper's WME-TAGS refinement
+/// of §8.2) and the attribute bindings the rule references.
+///
+/// Schema:
+///   - positive CE at token position p: ["t<p>", <variable columns>,
+///     <"_p<k>" columns for non-equality join tests>]
+///   - negated CE: ["tneg<ce>", <"_n<k>" columns, one per join test>]
+///
+/// Variable columns are named by the pattern variable, so the DIPS match
+/// query can equi-join COND tables on shared column names — the relational
+/// reading of OPS5 joins (§3).
+class CondTable {
+ public:
+  /// Metadata for one non-key predicate column.
+  struct PredColumn {
+    std::string column;   // "_p<k>" / "_n<k>"
+    TestPred pred;        // wme.field PRED referenced-variable
+    std::string ref_var;  // canonical variable it compares against
+    int field;            // WME field stored in the column
+    bool is_eq;           // equality tests become join keys instead
+  };
+
+  static Result<CondTable> Create(const CompiledRule* rule, int ce_index);
+
+  const CompiledCondition& cond() const { return *cond_; }
+  const rdb::Relation& relation() const { return rel_; }
+  const std::string& tag_column() const { return tag_column_; }
+  /// Variable columns (positive CEs): column name == variable name.
+  const std::vector<std::pair<std::string, int>>& var_columns() const {
+    return var_columns_;
+  }
+  const std::vector<PredColumn>& pred_columns() const {
+    return pred_columns_;
+  }
+
+  /// True if `wme` belongs here (class + alpha tests).
+  bool Accepts(const Wme& wme) const;
+
+  /// Inserts a row for `wme` (must pass Accepts).
+  Status Insert(const Wme& wme);
+
+  /// Deletes the row(s) with this tag.
+  void RemoveTag(TimeTag tag);
+
+ private:
+  CondTable() = default;
+
+  const CompiledRule* rule_ = nullptr;
+  const CompiledCondition* cond_ = nullptr;
+  std::string tag_column_;
+  std::vector<std::pair<std::string, int>> var_columns_;  // (var, field)
+  std::vector<PredColumn> pred_columns_;
+  rdb::Relation rel_;
+};
+
+}  // namespace dips
+}  // namespace sorel
+
+#endif  // SOREL_DIPS_COND_TABLE_H_

@@ -1,0 +1,104 @@
+#ifndef SOREL_DIPS_DIPS_H_
+#define SOREL_DIPS_DIPS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "core/soi_key.h"
+#include "dips/cond_table.h"
+#include "lang/compiled_rule.h"
+#include "rdb/ops.h"
+#include "rete/conflict_set.h"
+#include "rete/matcher.h"
+#include "wm/working_memory.h"
+
+namespace sorel {
+namespace dips {
+
+/// The DIPS matcher (§8): OPS5 matching implemented on the relational
+/// substrate. Each CE's matches live in a COND table; instantiations are
+/// computed by a relational query (equi-joins on shared pattern-variable
+/// columns, anti-joins for negated CEs) and set-oriented instantiations are
+/// the groups of that query's result under the partition key — exactly the
+/// `group-by` retrieval of §8.2 / Figure 6.
+///
+/// After every WM change the affected rules' match relations are
+/// re-evaluated and diffed against the current conflict set (DIPS is a
+/// query-per-cycle system; the per-change cost is measured in
+/// bench_fig6_dips). Unlike TREAT, set-oriented rules are fully supported:
+/// this is the paper's §8.2 contribution.
+class DipsMatcher : public Matcher {
+ public:
+  DipsMatcher(WorkingMemory* wm, ConflictSet* cs);
+  ~DipsMatcher() override;
+
+  DipsMatcher(const DipsMatcher&) = delete;
+  DipsMatcher& operator=(const DipsMatcher&) = delete;
+
+  Status AddRule(const CompiledRule* rule) override;
+  Status RemoveRule(const CompiledRule* rule) override;
+  ConflictSet& conflict_set() override { return *cs_; }
+
+  void OnAdd(const WmePtr& wme) override;
+  void OnRemove(const WmePtr& wme) override;
+
+  /// The rule's full match relation: tag columns `t<pos>` per positive CE
+  /// plus one column per pattern variable.
+  Result<rdb::Relation> MatchRelation(const CompiledRule* rule) const;
+
+  /// Figure 6's "Query to retrieve SOIs": the match relation projected to
+  /// the tag columns and sorted (grouped) by the SOI partition-key columns.
+  Result<rdb::Relation> RetrieveSois(const CompiledRule* rule) const;
+
+  /// One row per SOI group: partition key columns plus a `rows` count.
+  Result<rdb::Relation> SoiSummary(const CompiledRule* rule) const;
+
+  /// COND table of `rule`'s `ce_index`-th CE (for tests/inspection).
+  const CondTable* cond_table(const CompiledRule* rule, int ce_index) const;
+
+  /// First internal error hit inside a WM-change callback, if any.
+  const Status& last_error() const { return last_error_; }
+
+ private:
+  class DipsInst;
+  class DipsSoi;
+
+  struct TagVecHash {
+    size_t operator()(const std::vector<TimeTag>& tags) const;
+  };
+
+  struct RuleState {
+    const CompiledRule* rule = nullptr;
+    std::vector<CondTable> tables;  // one per CE, in CE order
+    // Regular instantiations keyed by row signature.
+    std::unordered_map<std::vector<TimeTag>, std::unique_ptr<DipsInst>,
+                       TagVecHash>
+        insts;
+    // Set-oriented instantiations keyed by partition key.
+    std::unordered_map<SoiKey, std::unique_ptr<DipsSoi>, SoiKeyHash> sois;
+  };
+
+  /// Column names of the SOI partition key in the match relation.
+  static std::vector<std::string> KeyColumns(const CompiledRule& rule);
+
+  Result<rdb::Relation> ComputeMatch(const RuleState& rs) const;
+  /// Recomputes the match and diffs it into the conflict set.
+  Status Refresh(RuleState* rs);
+  Status RefreshRegular(RuleState* rs, const rdb::Relation& match);
+  Status RefreshSet(RuleState* rs, const rdb::Relation& match);
+  /// Materializes one match tuple into an instantiation row.
+  Result<Row> RowFromTuple(const RuleState& rs, const rdb::Relation& match,
+                           const rdb::Tuple& tuple) const;
+
+  WorkingMemory* wm_;
+  ConflictSet* cs_;
+  std::vector<std::unique_ptr<RuleState>> rules_;
+  Status last_error_;
+};
+
+}  // namespace dips
+}  // namespace sorel
+
+#endif  // SOREL_DIPS_DIPS_H_

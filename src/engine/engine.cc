@@ -1,0 +1,310 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_set>
+#include <sstream>
+#include <utility>
+
+#include "dips/dips.h"
+#include "lang/parser.h"
+#include "treat/treat.h"
+
+namespace sorel {
+
+/// Prints working-memory changes (OPS5's `watch 1`-style tracing).
+class Engine::WmTracer : public WorkingMemory::Listener {
+ public:
+  explicit WmTracer(Engine* engine) : engine_(engine) {}
+  void OnAdd(const WmePtr& wme) override { Print("==>", wme); }
+  void OnRemove(const WmePtr& wme) override { Print("<==", wme); }
+
+ private:
+  void Print(const char* arrow, const WmePtr& wme) {
+    const ClassSchema* schema = engine_->schemas_.Find(wme->cls());
+    *engine_->out_ << arrow << " "
+                   << wme->ToString(engine_->symbols_, *schema) << "\n";
+  }
+  Engine* engine_;
+};
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      wm_(std::make_unique<WorkingMemory>(&schemas_, &symbols_)),
+      compiler_(&symbols_, &schemas_),
+      rhs_(wm_.get(), &symbols_, &std::cout) {
+  rhs_.set_output(out_);
+  if (options_.matcher == MatcherKind::kRete) {
+    SinkFactory factory = [this](const CompiledRule& rule)
+        -> std::unique_ptr<ReteSink> {
+      if (!rule.has_set) return std::make_unique<PNode>(&rule, &cs_);
+      auto snode = std::make_unique<SNode>(&rule, &cs_, options_.snode);
+      snodes_[rule.name] = snode.get();
+      return snode;
+    };
+    auto rete = std::make_unique<ReteMatcher>(wm_.get(), &cs_,
+                                              std::move(factory));
+    rete_ = rete.get();
+    matcher_ = std::move(rete);
+  } else if (options_.matcher == MatcherKind::kTreat) {
+    matcher_ = std::make_unique<TreatMatcher>(wm_.get(), &cs_);
+  } else {
+    matcher_ = std::make_unique<dips::DipsMatcher>(wm_.get(), &cs_);
+  }
+  startup_context_.name = "startup";
+  if (options_.trace_wm) {
+    tracer_ = std::make_unique<WmTracer>(this);
+    wm_->AddListener(tracer_.get());
+  }
+}
+
+Engine::~Engine() {
+  if (tracer_ != nullptr) wm_->RemoveListener(tracer_.get());
+}
+
+void Engine::set_output(std::ostream* out) {
+  out_ = out;
+  rhs_.set_output(out);
+}
+
+void Engine::set_trace_wm(bool on) {
+  options_.trace_wm = on;
+  if (on && tracer_ == nullptr) {
+    tracer_ = std::make_unique<WmTracer>(this);
+    wm_->AddListener(tracer_.get());
+  } else if (!on && tracer_ != nullptr) {
+    wm_->RemoveListener(tracer_.get());
+    tracer_.reset();
+  }
+}
+
+Status Engine::LoadString(std::string_view source) {
+  SOREL_ASSIGN_OR_RETURN(ProgramAst program, Parse(source));
+  for (const LiteralizeAst& lit : program.literalizes) {
+    SOREL_RETURN_IF_ERROR(compiler_.DeclareLiteralize(lit));
+  }
+  for (RuleAst& rule_ast : program.rules) {
+    if (FindRule(rule_ast.name) != nullptr) {
+      return Status::CompileError("duplicate rule name '" + rule_ast.name +
+                                  "'");
+    }
+    SOREL_ASSIGN_OR_RETURN(CompiledRulePtr rule,
+                           compiler_.Compile(std::move(rule_ast)));
+    SOREL_RETURN_IF_ERROR(matcher_->AddRule(rule.get()));
+    rules_.push_back(std::move(rule));
+  }
+  if (!program.startup.empty()) {
+    SOREL_RETURN_IF_ERROR(compiler_.CompileStartup(&program.startup));
+    SOREL_ASSIGN_OR_RETURN(
+        RhsExecutor::FireResult result,
+        rhs_.ExecuteStandalone(startup_context_, program.startup));
+    (void)result;
+  }
+  return Status::Ok();
+}
+
+Status Engine::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadString(buf.str());
+}
+
+Result<TimeTag> Engine::MakeWme(
+    std::string_view cls,
+    const std::vector<std::pair<std::string, Value>>& values) {
+  std::vector<std::pair<SymbolId, Value>> resolved;
+  resolved.reserve(values.size());
+  for (const auto& [attr, value] : values) {
+    resolved.emplace_back(symbols_.Intern(attr), value);
+  }
+  SOREL_ASSIGN_OR_RETURN(WmePtr wme,
+                         wm_->Make(symbols_.Intern(cls), resolved));
+  return wme->time_tag();
+}
+
+Status Engine::RemoveWme(TimeTag tag) { return wm_->Remove(tag); }
+
+Result<TimeTag> Engine::ModifyWme(
+    TimeTag tag, const std::vector<std::pair<std::string, Value>>& values) {
+  WmePtr old = wm_->Find(tag);
+  if (old == nullptr) {
+    return Status::NotFound("modify: no live WME with time tag " +
+                            std::to_string(tag));
+  }
+  const ClassSchema* schema = schemas_.Find(old->cls());
+  std::vector<Value> fields = old->fields();
+  for (const auto& [attr, value] : values) {
+    int field = schema->FieldOf(symbols_.Intern(attr));
+    if (field < 0) {
+      return Status::InvalidArgument("modify: class '" +
+                                     std::string(symbols_.Name(old->cls())) +
+                                     "' has no attribute '" + attr + "'");
+    }
+    fields[static_cast<size_t>(field)] = value;
+  }
+  SOREL_RETURN_IF_ERROR(wm_->Remove(tag));
+  SOREL_ASSIGN_OR_RETURN(WmePtr wme,
+                         wm_->MakeFromFields(old->cls(), std::move(fields)));
+  return wme->time_tag();
+}
+
+namespace {
+
+// Quotes a symbol if it contains delimiter characters or looks numeric.
+std::string QuoteAtom(std::string_view text) {
+  bool needs_quote = text.empty();
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0 ||
+        std::string_view("()[]{};^<>=|\"").find(c) != std::string_view::npos) {
+      needs_quote = true;
+    }
+  }
+  if (!text.empty() &&
+      (std::isdigit(static_cast<unsigned char>(text.front())) != 0 ||
+       text.front() == '-' || text.front() == '+')) {
+    needs_quote = true;
+  }
+  if (!needs_quote) return std::string(text);
+  return "|" + std::string(text) + "|";
+}
+
+}  // namespace
+
+void Engine::DumpWm(std::ostream& out) const {
+  out << "(startup\n";
+  for (const WmePtr& wme : wm_->Snapshot()) {
+    const ClassSchema* schema = schemas_.Find(wme->cls());
+    out << "  (make " << symbols_.Name(wme->cls());
+    for (int i = 0; i < wme->num_fields(); ++i) {
+      const Value& v = wme->field(i);
+      if (v.is_nil()) continue;
+      out << " ^" << symbols_.Name(schema->attrs()[static_cast<size_t>(i)])
+          << " ";
+      if (v.is_symbol()) {
+        out << QuoteAtom(symbols_.Name(v.as_symbol()));
+      } else {
+        out << v.ToString(symbols_);
+      }
+    }
+    out << ")\n";
+  }
+  out << ")\n";
+}
+
+Status Engine::ExciseRule(std::string_view name) {
+  const CompiledRule* rule = FindRule(name);
+  if (rule == nullptr) {
+    return Status::NotFound("no rule named '" + std::string(name) + "'");
+  }
+  SOREL_RETURN_IF_ERROR(matcher_->RemoveRule(rule));
+  snodes_.erase(std::string(name));
+  std::erase_if(rules_, [rule](const CompiledRulePtr& r) {
+    return r.get() == rule;
+  });
+  return Status::Ok();
+}
+
+SNode* Engine::snode(std::string_view rule_name) {
+  auto it = snodes_.find(rule_name);
+  return it == snodes_.end() ? nullptr : it->second;
+}
+
+const CompiledRule* Engine::FindRule(std::string_view name) const {
+  for (const CompiledRulePtr& rule : rules_) {
+    if (rule->name == name) return rule.get();
+  }
+  return nullptr;
+}
+
+Result<int> Engine::Run(int max_firings) {
+  halted_ = false;
+  int fired = 0;
+  while (max_firings < 0 || fired < max_firings) {
+    InstantiationRef* inst = cs_.Select(options_.strategy);
+    if (inst == nullptr) break;
+    const CompiledRule& rule = inst->rule();
+    // Snapshot before firing: RHS actions may retract (or even delete) the
+    // instantiation itself.
+    std::vector<Row> rows;
+    inst->CollectRows(&rows);
+    if (options_.trace_firings) {
+      *out_ << "FIRE " << rule.name;
+      for (TimeTag t : inst->RecencyTags()) *out_ << " " << t;
+      *out_ << " (" << rows.size() << (rows.size() == 1 ? " row)" : " rows)")
+            << "\n";
+    }
+    // Regular instantiations obey classic refraction (drop the entry); SOIs
+    // stay, ineligible until the γ-memory changes again (§6).
+    cs_.MarkFired(inst, /*remove_entry=*/!rule.has_set);
+    SOREL_ASSIGN_OR_RETURN(RhsExecutor::FireResult result,
+                           rhs_.Fire(rule, std::move(rows)));
+    ++fired;
+    ++run_stats_.firings;
+    run_stats_.actions += result.actions;
+    ++run_stats_.firings_by_rule[rule.name];
+    if (result.halted) {
+      halted_ = true;
+      break;
+    }
+  }
+  return fired;
+}
+
+Result<int> Engine::RunParallel(int max_cycles) {
+  halted_ = false;
+  int cycles = 0;
+  while (max_cycles < 0 || cycles < max_cycles) {
+    std::vector<InstantiationRef*> eligible =
+        cs_.SortedEligible(options_.strategy);
+    if (eligible.empty()) break;
+    // Greedy batch: support sets must be pairwise disjoint.
+    struct Pending {
+      const CompiledRule* rule;
+      std::vector<Row> rows;
+    };
+    std::vector<Pending> batch;
+    std::unordered_set<TimeTag> claimed;
+    for (InstantiationRef* inst : eligible) {
+      std::vector<Row> rows;
+      inst->CollectRows(&rows);
+      bool overlaps = false;
+      std::vector<TimeTag> tags;
+      for (const Row& row : rows) {
+        for (const WmePtr& w : row) {
+          if (claimed.count(w->time_tag()) != 0) overlaps = true;
+          tags.push_back(w->time_tag());
+        }
+      }
+      if (overlaps) {
+        ++parallel_stats_.conflicts;
+        continue;
+      }
+      for (TimeTag t : tags) claimed.insert(t);
+      cs_.MarkFired(inst, /*remove_entry=*/!inst->rule().has_set);
+      batch.push_back({&inst->rule(), std::move(rows)});
+    }
+    // Execute the batch. All members were snapshotted against the same WM
+    // state; disjoint support keeps their effects independent.
+    for (Pending& pending : batch) {
+      SOREL_ASSIGN_OR_RETURN(RhsExecutor::FireResult result,
+                             rhs_.Fire(*pending.rule,
+                                       std::move(pending.rows)));
+      ++run_stats_.firings;
+      ++parallel_stats_.firings;
+      run_stats_.actions += result.actions;
+      ++run_stats_.firings_by_rule[pending.rule->name];
+      if (result.halted) halted_ = true;
+    }
+    ++cycles;
+    ++parallel_stats_.cycles;
+    parallel_stats_.largest_batch =
+        std::max(parallel_stats_.largest_batch,
+                 static_cast<uint64_t>(batch.size()));
+    if (halted_) break;
+  }
+  return cycles;
+}
+
+}  // namespace sorel

@@ -1,0 +1,170 @@
+#ifndef SOREL_ENGINE_ENGINE_H_
+#define SOREL_ENGINE_ENGINE_H_
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol_table.h"
+#include "base/value.h"
+#include "core/snode.h"
+#include "engine/rhs.h"
+#include "lang/compiled_rule.h"
+#include "lang/compiler.h"
+#include "rete/conflict_set.h"
+#include "rete/matcher.h"
+#include "rete/network.h"
+#include "wm/schema.h"
+#include "wm/working_memory.h"
+
+namespace sorel {
+
+/// Which match algorithm drives the engine.
+enum class MatcherKind {
+  kRete,   // the paper's extended Rete (S-node support)
+  kTreat,  // tuple-oriented TREAT baseline (no set-oriented rules)
+  kDips,   // relational (COND-table) matching per §8, set-oriented included
+};
+
+/// Construction-time options.
+struct EngineOptions {
+  Strategy strategy = Strategy::kLex;
+  MatcherKind matcher = MatcherKind::kRete;
+  SNodeOptions snode;
+  /// Print "FIRE rule [tags]" lines to the output stream.
+  bool trace_firings = false;
+  /// Print "==> (wme)" / "<== (wme)" lines on every WM change.
+  bool trace_wm = false;
+};
+
+/// The sorel production-system engine: an OPS5 interpreter extended with
+/// the paper's set-oriented constructs. Typical use:
+///
+///   Engine engine;
+///   engine.LoadString(R"((literalize player name team)
+///                        (p compete [player ^name <n> ^team A]
+///                                   [player ^name <n> ^team B]
+///                                   --> (write ...)))");
+///   engine.MakeWme("player", {{"name", engine.Sym("Jack")},
+///                             {"team", engine.Sym("A")}});
+///   engine.Run();
+class Engine {
+ public:
+  struct RunStats {
+    uint64_t firings = 0;
+    uint64_t actions = 0;
+    std::map<std::string, uint64_t> firings_by_rule;
+  };
+
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Loads `(literalize ...)` and `(p ...)` forms from source text.
+  Status LoadString(std::string_view source);
+  Status LoadFile(const std::string& path);
+
+  /// Runs the recognize–act cycle until quiescence, `halt`, or
+  /// `max_firings` (< 0: unlimited). Returns the number of firings.
+  Result<int> Run(int max_firings = -1);
+
+  /// Removes a production (OPS5's `excise`): its instantiations leave the
+  /// conflict set and the match network is pruned.
+  Status ExciseRule(std::string_view name);
+
+  /// Parallel-firing mode (§8.1: DIPS "attempts to execute all satisfied
+  /// instantiations concurrently, relying on transaction semantics to block
+  /// inconsistent updates"). Each *cycle* greedily selects, in
+  /// conflict-resolution order, a maximal batch of eligible instantiations
+  /// whose matched WMEs are pairwise disjoint (the conservative conflict
+  /// test: overlapping support could invalidate each other, the problem
+  /// Raschid et al. report), snapshots them all against the same WM state,
+  /// then fires the batch. Returns the number of cycles executed; see
+  /// `parallel_stats()` for firings per cycle — the §1 parallelism measure.
+  Result<int> RunParallel(int max_cycles = -1);
+
+  struct ParallelStats {
+    uint64_t cycles = 0;
+    uint64_t firings = 0;
+    uint64_t largest_batch = 0;
+    /// Instantiations skipped because their support overlapped a batch
+    /// member (the would-be transaction aborts of §8.1).
+    uint64_t conflicts = 0;
+  };
+  const ParallelStats& parallel_stats() const { return parallel_stats_; }
+
+  /// True if the last Run ended with a `(halt)`.
+  bool halted() const { return halted_; }
+
+  // --- programmatic working-memory access ---
+  /// Creates a WME; unmentioned attributes are nil. Returns its time tag.
+  Result<TimeTag> MakeWme(
+      std::string_view cls,
+      const std::vector<std::pair<std::string, Value>>& values);
+  Status RemoveWme(TimeTag tag);
+  /// OPS5 modify semantics: remove + re-make with the given attributes
+  /// changed and a fresh time tag. Returns the new tag.
+  Result<TimeTag> ModifyWme(
+      TimeTag tag, const std::vector<std::pair<std::string, Value>>& values);
+  /// Writes the live working memory as a reloadable `(startup (make ...))`
+  /// form — a poor man's checkpoint (DIPS-style persistence, §8).
+  void DumpWm(std::ostream& out) const;
+  /// Interned symbol value for `text` (convenience for MakeWme).
+  Value Sym(std::string_view text) { return Value::Symbol(symbols_.Intern(text)); }
+
+  // --- component access ---
+  SymbolTable& symbols() { return symbols_; }
+  SchemaRegistry& schemas() { return schemas_; }
+  WorkingMemory& wm() { return *wm_; }
+  ConflictSet& conflict_set() { return cs_; }
+  Matcher& matcher() { return *matcher_; }
+  /// Non-null when options.matcher == kRete.
+  ReteMatcher* rete_matcher() { return rete_; }
+  /// The S-node of a set-oriented rule, or nullptr (regular rule / TREAT).
+  SNode* snode(std::string_view rule_name);
+  const CompiledRule* FindRule(std::string_view name) const;
+  const std::vector<CompiledRulePtr>& rules() const { return rules_; }
+
+  /// Redirects `write` output and traces (default: std::cout).
+  void set_output(std::ostream* out);
+  /// Toggles firing traces at run time (OPS5 `watch`-style).
+  void set_trace_firings(bool on) { options_.trace_firings = on; }
+  /// Toggles working-memory change traces at run time.
+  void set_trace_wm(bool on);
+  const RunStats& run_stats() const { return run_stats_; }
+  const RhsExecutor::Stats& rhs_stats() const { return rhs_.stats(); }
+
+ private:
+  EngineOptions options_;
+  SymbolTable symbols_;
+  SchemaRegistry schemas_;
+  std::unique_ptr<WorkingMemory> wm_;
+  ConflictSet cs_;
+  std::ostream* out_ = &std::cout;
+  std::map<std::string, SNode*, std::less<>> snodes_;
+  // Rules are declared before the matcher: beta nodes and S-nodes hold
+  // pointers into them, and the matcher's teardown still dereferences them.
+  std::vector<CompiledRulePtr> rules_;
+  std::unique_ptr<Matcher> matcher_;
+  ReteMatcher* rete_ = nullptr;  // borrowed view of matcher_ when Rete
+  RuleCompiler compiler_;
+  RhsExecutor rhs_;
+  RunStats run_stats_;
+  ParallelStats parallel_stats_;
+  bool halted_ = false;
+  /// Empty rule context for startup-action execution.
+  CompiledRule startup_context_;
+  /// Listener printing WM changes when options.trace_wm is set.
+  class WmTracer;
+  std::unique_ptr<WorkingMemory::Listener> tracer_;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_ENGINE_ENGINE_H_

@@ -1,0 +1,114 @@
+#include "lang/ast.h"
+
+namespace sorel {
+
+std::string_view TestPredName(TestPred pred) {
+  switch (pred) {
+    case TestPred::kEq:
+      return "=";
+    case TestPred::kNe:
+      return "<>";
+    case TestPred::kLt:
+      return "<";
+    case TestPred::kLe:
+      return "<=";
+    case TestPred::kGt:
+      return ">";
+    case TestPred::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalTestPred(TestPred pred, const Value& a, const Value& b) {
+  switch (pred) {
+    case TestPred::kEq:
+      return a == b;
+    case TestPred::kNe:
+      return a != b;
+    default:
+      break;
+  }
+  if (!a.is_number() || !b.is_number()) return false;
+  double da = a.AsDouble(), db = b.AsDouble();
+  switch (pred) {
+    case TestPred::kLt:
+      return da < db;
+    case TestPred::kLe:
+      return da <= db;
+    case TestPred::kGt:
+      return da > db;
+    case TestPred::kGe:
+      return da >= db;
+    default:
+      return false;
+  }
+}
+
+std::string_view AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Const(Value v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kConst;
+  e->constant = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::Var(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::Aggregate(AggOp op, std::string var, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAggregate;
+  e->agg_op = op;
+  e->var = std::move(var);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::Binary(BinOp op, ExprPtr l, ExprPtr r, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->bin_op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNot;
+  e->lhs = std::move(operand);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::Crlf(SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCrlf;
+  e->loc = loc;
+  return e;
+}
+
+}  // namespace sorel

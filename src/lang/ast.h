@@ -1,0 +1,178 @@
+#ifndef SOREL_LANG_AST_H_
+#define SOREL_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/value.h"
+
+namespace sorel {
+
+/// Position inside a rule source buffer (1-based).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+/// Comparison predicates usable inside LHS attribute tests.
+enum class TestPred { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Returns the surface syntax of `pred` ("=", "<>", ...).
+std::string_view TestPredName(TestPred pred);
+
+/// Evaluates `a pred b` with OPS5 matching semantics: equality/inequality
+/// across any kinds (numbers compare numerically), relational predicates
+/// defined only between two numbers (false otherwise).
+bool EvalTestPred(TestPred pred, const Value& a, const Value& b);
+
+/// Binary operators in `:test` / RHS expressions.
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+/// Aggregate operators of §4.2 (the SQL five).
+enum class AggOp { kCount, kMin, kMax, kSum, kAvg };
+
+/// Returns "count", "min", ...
+std::string_view AggOpName(AggOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression AST shared by `:test`, `bind`, `if`, `write` arguments, and
+/// RHS value terms.
+struct Expr {
+  enum class Kind {
+    kConst,      // literal value
+    kVar,        // <x>
+    kAggregate,  // (count <x>) etc.
+    kBinary,     // (a op b)
+    kNot,        // (not a)
+    kCrlf,       // (crlf), only meaningful inside write
+  };
+
+  Kind kind;
+  SourceLoc loc;
+  Value constant;    // kConst
+  std::string var;   // kVar and kAggregate target
+  AggOp agg_op = AggOp::kCount;  // kAggregate
+  BinOp bin_op = BinOp::kAdd;    // kBinary
+  ExprPtr lhs;       // kBinary / kNot operand
+  ExprPtr rhs;       // kBinary
+  /// Filled by the compiler for aggregates that appear in `:test`: index
+  /// into CompiledRule::test_aggregates. -1 elsewhere.
+  int agg_index = -1;
+
+  static ExprPtr Const(Value v, SourceLoc loc = {});
+  static ExprPtr Var(std::string name, SourceLoc loc = {});
+  static ExprPtr Aggregate(AggOp op, std::string var, SourceLoc loc = {});
+  static ExprPtr Binary(BinOp op, ExprPtr l, ExprPtr r, SourceLoc loc = {});
+  static ExprPtr Not(ExprPtr operand, SourceLoc loc = {});
+  static ExprPtr Crlf(SourceLoc loc = {});
+};
+
+/// One value test attached to an attribute: `pred term` where term is a
+/// constant or a variable.
+///
+/// Symbol constants cannot be interned at parse time (the SymbolTable lives
+/// in the engine), so for a symbolic constant the parser leaves
+/// `constant == nil` and stashes the text in `var`; the compiler interns it.
+/// The same convention applies to `Expr::kConst`.
+struct TestTerm {
+  enum class Kind { kConst, kVar };
+  Kind kind = Kind::kConst;
+  Value constant;
+  std::string var;  // variable name, or stashed symbol-constant text
+};
+
+/// The tests written after one `^attr` inside a CE: either a conjunction of
+/// predicate atoms (the common single equality test is a one-atom
+/// conjunction) or a disjunction `<< a b c >>` of constants.
+struct AttrTest {
+  std::string attr;
+  enum class Kind { kAtoms, kDisjunction };
+  Kind kind = Kind::kAtoms;
+  std::vector<std::pair<TestPred, TestTerm>> atoms;
+  std::vector<Value> disjunction;
+  /// Parallel to `disjunction`: non-empty entries are un-interned symbol
+  /// constant texts (see TestTerm).
+  std::vector<std::string> disjunction_texts;
+  SourceLoc loc;
+};
+
+/// One condition element. `set_oriented` corresponds to the paper's square
+/// brackets; `elem_var` to the `{ce <v>}` element-variable syntax.
+struct ConditionAst {
+  bool negated = false;
+  bool set_oriented = false;
+  std::string cls;
+  std::vector<AttrTest> attrs;
+  std::string elem_var;  // empty if none
+  SourceLoc loc;
+};
+
+struct Action;
+using ActionPtr = std::unique_ptr<Action>;
+
+/// One RHS action. Which fields are meaningful depends on `kind`.
+struct Action {
+  enum class Kind {
+    kMake,       // (make cls ^a v ...)
+    kModify,     // (modify <e> ^a v ...)
+    kRemove,     // (remove <e>) or (remove N)
+    kSetModify,  // (set-modify <E> ^a v ...)      [§6, paper]
+    kSetRemove,  // (set-remove <E>)               [§6, paper]
+    kWrite,      // (write args...)
+    kBind,       // (bind <x> expr)
+    kForeach,    // (foreach <v> [ascending|descending] actions...)  [§6]
+    kIf,         // (if (cond) actions... [else actions...])
+    kHalt,       // (halt)
+  };
+
+  enum class Order { kDefault, kAscending, kDescending };
+
+  Kind kind;
+  SourceLoc loc;
+  std::string cls;                   // kMake
+  std::string var;                   // target of modify/remove/set-*/bind/foreach
+  int remove_ordinal = -1;           // (remove N); -1 when a variable is used
+  std::vector<std::pair<std::string, ExprPtr>> assigns;  // make/modify attrs
+  ExprPtr expr;                      // bind value / if condition
+  std::vector<ExprPtr> write_args;   // kWrite
+  Order order = Order::kDefault;     // kForeach
+  std::vector<ActionPtr> body;       // foreach body / if-then
+  std::vector<ActionPtr> else_body;  // if-else
+};
+
+/// A parsed `(p name ...)` production.
+struct RuleAst {
+  std::string name;
+  std::vector<ConditionAst> conditions;
+  std::vector<std::string> scalar_vars;  // :scalar clause
+  ExprPtr test;                          // :test clause, may be null
+  std::vector<ActionPtr> actions;
+  SourceLoc loc;
+};
+
+/// A parsed `(literalize cls attrs...)`.
+struct LiteralizeAst {
+  std::string cls;
+  std::vector<std::string> attrs;
+  SourceLoc loc;
+};
+
+/// A whole source buffer.
+struct ProgramAst {
+  std::vector<LiteralizeAst> literalizes;
+  std::vector<RuleAst> rules;
+  /// Actions from `(startup ...)` forms, executed once at load time.
+  std::vector<ActionPtr> startup;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_AST_H_

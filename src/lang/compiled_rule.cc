@@ -1,0 +1,42 @@
+#include "lang/compiled_rule.h"
+
+#include "wm/wme.h"
+
+namespace sorel {
+
+bool PassesAlphaTests(const CompiledCondition& cond, const Wme& wme) {
+  for (const ConstantTest& t : cond.const_tests) {
+    if (!EvalTestPred(t.pred, wme.field(t.field), t.value)) return false;
+  }
+  for (const MemberTest& t : cond.member_tests) {
+    bool any = false;
+    for (const Value& v : t.values) {
+      if (wme.field(t.field) == v) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  for (const IntraTest& t : cond.intra_tests) {
+    if (!EvalTestPred(t.pred, wme.field(t.field), wme.field(t.other_field))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PassesJoinTests(const CompiledCondition& cond,
+                     const std::vector<WmePtr>& row, const Wme& wme) {
+  for (const JoinTest& jt : cond.join_tests) {
+    const WmePtr& other = row[static_cast<size_t>(jt.other_token_pos)];
+    if (other == nullptr) return false;
+    if (!EvalTestPred(jt.pred, wme.field(jt.field),
+                      other->field(jt.other_field))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sorel

@@ -1,0 +1,141 @@
+#ifndef SOREL_LANG_COMPILED_RULE_H_
+#define SOREL_LANG_COMPILED_RULE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/symbol_table.h"
+#include "base/value.h"
+#include "lang/ast.h"
+#include "wm/schema.h"
+#include "wm/wme.h"
+
+namespace sorel {
+
+/// Alpha-level test: `field pred constant`.
+struct ConstantTest {
+  int field;
+  TestPred pred;
+  Value value;
+};
+
+/// Alpha-level membership test from `<< a b c >>`.
+struct MemberTest {
+  int field;
+  std::vector<Value> values;
+};
+
+/// Intra-CE variable consistency: `field pred other_field` within one WME.
+struct IntraTest {
+  int field;
+  TestPred pred;
+  int other_field;
+};
+
+/// Join test against an earlier positive CE:
+/// `wme.field pred token[other_token_pos].field(other_field)`.
+struct JoinTest {
+  int field;
+  TestPred pred;
+  int other_token_pos;
+  int other_field;
+};
+
+/// A fully resolved condition element.
+struct CompiledCondition {
+  bool negated = false;
+  bool set_oriented = false;
+  SymbolId cls = kInvalidSymbol;
+  const ClassSchema* schema = nullptr;
+  std::vector<ConstantTest> const_tests;
+  std::vector<MemberTest> member_tests;
+  std::vector<IntraTest> intra_tests;
+  std::vector<JoinTest> join_tests;
+  /// Index among the rule's positive CEs (what tokens and instantiation rows
+  /// are indexed by); -1 for negated CEs.
+  int token_pos = -1;
+  /// Index in RuleAst::conditions.
+  int ce_index = 0;
+};
+
+/// How a pattern variable is classified after analysis (§4.1).
+struct VarInfo {
+  enum class Kind { kValue, kElement };
+
+  std::string name;
+  Kind kind = Kind::kValue;
+  /// True if the variable is set-oriented: all occurrences are in
+  /// set-oriented CEs and it is not listed in `:scalar`.
+  bool set_oriented = false;
+  /// All (token_pos, field) value occurrences in positive CEs, in CE order.
+  /// Join tests already enforce that every row agrees across occurrences.
+  std::vector<std::pair<int, int>> occurrences;
+  /// For kElement: the token position of the CE it names.
+  int elem_token_pos = -1;
+  /// For kValue: true if listed in the `:scalar` clause.
+  bool in_scalar_clause = false;
+};
+
+/// One aggregate occurring in the `:test` expression; the S-node maintains
+/// incremental state per spec (the paper's APVs and ACEs).
+struct AggregateSpec {
+  AggOp op;
+  std::string var;
+  /// True when the target is a CE element variable (an "ACE"): the
+  /// aggregated values are WME time tags.
+  bool over_element = false;
+  /// Value source for PV aggregates; for element aggregates only
+  /// `token_pos` is meaningful.
+  int token_pos = 0;
+  int field = 0;
+};
+
+/// A production compiled against a schema registry and symbol table;
+/// consumed by the Rete builder, the TREAT matcher, the DIPS translator,
+/// and the RHS executor.
+struct CompiledRule {
+  std::string name;
+  /// The rule AST; RHS actions and the raw test expression stay in AST form
+  /// and are interpreted at fire time.
+  RuleAst ast;
+  std::vector<CompiledCondition> conditions;
+  std::unordered_map<std::string, VarInfo> vars;
+  /// Aggregates appearing in `:test`, deduplicated; Expr::agg_index points
+  /// here.
+  std::vector<AggregateSpec> test_aggregates;
+
+  /// True if any CE is set-oriented (the rule needs an S-node).
+  bool has_set = false;
+  int num_positive = 0;
+  /// SOI partition key, per Figure 3: token positions of the non-set
+  /// positive CEs (the paper's C)...
+  std::vector<int> key_token_positions;
+  /// ...plus value sources of the `:scalar` variables (the paper's P).
+  std::vector<std::pair<int, int>> key_scalars;
+
+  /// LEX specificity: total number of tests in the LHS.
+  int specificity = 0;
+
+  const VarInfo* FindVar(const std::string& name) const {
+    auto it = vars.find(name);
+    return it == vars.end() ? nullptr : &it->second;
+  }
+};
+
+using CompiledRulePtr = std::unique_ptr<CompiledRule>;
+
+/// True if `wme` (already class-checked) passes `cond`'s intra-WME tests
+/// (constants, disjunctions, same-WME variable consistency).
+bool PassesAlphaTests(const CompiledCondition& cond, const Wme& wme);
+
+/// True if `wme` passes `cond`'s join tests against `row` (indexed by token
+/// position; referenced entries must be non-null).
+bool PassesJoinTests(const CompiledCondition& cond,
+                     const std::vector<WmePtr>& row, const Wme& wme);
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_COMPILED_RULE_H_

@@ -1,0 +1,644 @@
+#include "lang/compiler.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace sorel {
+
+namespace {
+
+/// Per-compilation state for one rule.
+class RuleAnalysis {
+ public:
+  RuleAnalysis(SymbolTable* symbols, SchemaRegistry* schemas)
+      : symbols_(symbols), schemas_(schemas) {}
+
+  Result<CompiledRulePtr> Run(RuleAst rule_ast) {
+    auto rule = std::make_unique<CompiledRule>();
+    rule->name = rule_ast.name;
+    rule->ast = std::move(rule_ast);
+    rule_ = rule.get();
+
+    SOREL_RETURN_IF_ERROR(CompileConditions());
+    SOREL_RETURN_IF_ERROR(ApplyScalarClause());
+    ClassifyVariables();
+    BuildPartitionKey();
+    SOREL_RETURN_IF_ERROR(CompileTest());
+    SOREL_RETURN_IF_ERROR(ValidateRhs());
+    ComputeSpecificity();
+    return CompiledRulePtr(std::move(rule));
+  }
+
+ private:
+  Status Err(SourceLoc loc, std::string msg) const {
+    return Status::CompileError("rule '" + rule_->name + "' (line " +
+                                std::to_string(loc.line) + "): " +
+                                std::move(msg));
+  }
+
+  // Resolves a parsed constant (see TestTerm doc: symbol texts are stashed).
+  Value ResolveConst(const Value& parsed, const std::string& text) {
+    if (text.empty()) return parsed;
+    if (text == "nil") return Value::Nil();
+    return Value::Symbol(symbols_->Intern(text));
+  }
+
+  bool IsSetCe(int ce_index) const {
+    return rule_->ast.conditions[static_cast<size_t>(ce_index)].set_oriented;
+  }
+
+  // ---------- conditions ----------
+  Status CompileConditions() {
+    const auto& ces = rule_->ast.conditions;
+    if (ces.empty()) {
+      return Err(rule_->ast.loc, "rule has no condition elements");
+    }
+    if (ces[0].negated) {
+      return Err(ces[0].loc, "first condition element must be positive");
+    }
+    int next_pos = 0;
+    for (int i = 0; i < static_cast<int>(ces.size()); ++i) {
+      const ConditionAst& ce = ces[static_cast<size_t>(i)];
+      CompiledCondition cc;
+      cc.ce_index = i;
+      cc.negated = ce.negated;
+      cc.set_oriented = ce.set_oriented;
+      if (ce.negated && ce.set_oriented) {
+        return Err(ce.loc, "negated set-oriented CEs are not supported");
+      }
+      if (ce.negated && !ce.elem_var.empty()) {
+        return Err(ce.loc, "a negated CE cannot have an element variable");
+      }
+      cc.cls = symbols_->Intern(ce.cls);
+      cc.schema = schemas_->Find(cc.cls);
+      if (cc.schema == nullptr) {
+        return Err(ce.loc, "class '" + ce.cls + "' was never literalized");
+      }
+      cc.token_pos = ce.negated ? -1 : next_pos++;
+      SOREL_RETURN_IF_ERROR(CompileCeTests(ce, &cc));
+      if (!ce.elem_var.empty()) {
+        SOREL_RETURN_IF_ERROR(BindElementVar(ce, cc.token_pos));
+      }
+      if (ce.set_oriented) rule_->has_set = true;
+      rule_->conditions.push_back(std::move(cc));
+    }
+    rule_->num_positive = next_pos;
+    return Status::Ok();
+  }
+
+  Status CompileCeTests(const ConditionAst& ce, CompiledCondition* cc) {
+    // Variables bound locally inside a negated CE are invisible elsewhere.
+    std::unordered_map<std::string, int> neg_locals;  // name -> field
+    for (const AttrTest& at : ce.attrs) {
+      SymbolId attr = symbols_->Intern(at.attr);
+      int field = cc->schema->FieldOf(attr);
+      if (field < 0) {
+        return Err(at.loc, "class '" + ce.cls + "' has no attribute '" +
+                               at.attr + "'");
+      }
+      if (at.kind == AttrTest::Kind::kDisjunction) {
+        MemberTest mt;
+        mt.field = field;
+        for (size_t k = 0; k < at.disjunction.size(); ++k) {
+          mt.values.push_back(
+              ResolveConst(at.disjunction[k], at.disjunction_texts[k]));
+        }
+        cc->member_tests.push_back(std::move(mt));
+        continue;
+      }
+      for (const auto& [pred, term] : at.atoms) {
+        if (term.kind == TestTerm::Kind::kConst) {
+          cc->const_tests.push_back(
+              {field, pred, ResolveConst(term.constant, term.var)});
+          continue;
+        }
+        // Variable term.
+        const std::string& name = term.var;
+        if (ce.negated) {
+          SOREL_RETURN_IF_ERROR(
+              CompileNegatedVar(at.loc, name, pred, field, cc, &neg_locals));
+          continue;
+        }
+        SOREL_RETURN_IF_ERROR(
+            CompilePositiveVar(at.loc, name, pred, field, cc));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status CompilePositiveVar(SourceLoc loc, const std::string& name,
+                            TestPred pred, int field, CompiledCondition* cc) {
+    auto it = rule_->vars.find(name);
+    if (it == rule_->vars.end()) {
+      if (pred != TestPred::kEq) {
+        return Err(loc, "variable <" + name +
+                            "> used in a predicate before being bound");
+      }
+      VarInfo info;
+      info.name = name;
+      info.kind = VarInfo::Kind::kValue;
+      info.occurrences.emplace_back(cc->token_pos, field);
+      occurrence_ce_[name].push_back(cc->ce_index);
+      rule_->vars.emplace(name, std::move(info));
+      return Status::Ok();
+    }
+    VarInfo& info = it->second;
+    if (info.kind == VarInfo::Kind::kElement) {
+      return Err(loc, "element variable <" + name +
+                          "> cannot be used as a value");
+    }
+    // Earlier occurrence in this same CE -> intra test; otherwise join test
+    // against the canonical (first) occurrence.
+    int same_ce_field = -1;
+    for (const auto& [pos, f] : info.occurrences) {
+      if (pos == cc->token_pos) {
+        same_ce_field = f;
+        break;
+      }
+    }
+    if (same_ce_field >= 0) {
+      cc->intra_tests.push_back({field, pred, same_ce_field});
+    } else {
+      const auto& [opos, ofield] = info.occurrences.front();
+      cc->join_tests.push_back({field, pred, opos, ofield});
+    }
+    if (pred == TestPred::kEq && same_ce_field < 0) {
+      info.occurrences.emplace_back(cc->token_pos, field);
+      occurrence_ce_[name].push_back(cc->ce_index);
+    }
+    return Status::Ok();
+  }
+
+  Status CompileNegatedVar(SourceLoc loc, const std::string& name,
+                           TestPred pred, int field, CompiledCondition* cc,
+                           std::unordered_map<std::string, int>* neg_locals) {
+    auto global = rule_->vars.find(name);
+    if (global != rule_->vars.end() &&
+        global->second.kind == VarInfo::Kind::kValue) {
+      const auto& [opos, ofield] = global->second.occurrences.front();
+      cc->join_tests.push_back({field, pred, opos, ofield});
+      return Status::Ok();
+    }
+    auto local = neg_locals->find(name);
+    if (local != neg_locals->end()) {
+      cc->intra_tests.push_back({field, pred, local->second});
+      return Status::Ok();
+    }
+    if (pred != TestPred::kEq) {
+      return Err(loc, "variable <" + name +
+                          "> used in a predicate before being bound");
+    }
+    neg_locals->emplace(name, field);
+    return Status::Ok();
+  }
+
+  Status BindElementVar(const ConditionAst& ce, int token_pos) {
+    if (rule_->vars.count(ce.elem_var) != 0) {
+      return Err(ce.loc,
+                 "element variable <" + ce.elem_var + "> already bound");
+    }
+    VarInfo info;
+    info.name = ce.elem_var;
+    info.kind = VarInfo::Kind::kElement;
+    info.elem_token_pos = token_pos;
+    info.set_oriented = ce.set_oriented;
+    rule_->vars.emplace(ce.elem_var, std::move(info));
+    return Status::Ok();
+  }
+
+  // ---------- :scalar and variable classification ----------
+  Status ApplyScalarClause() {
+    for (const std::string& name : rule_->ast.scalar_vars) {
+      auto it = rule_->vars.find(name);
+      if (it == rule_->vars.end()) {
+        return Err(rule_->ast.loc,
+                   ":scalar lists unbound variable <" + name + ">");
+      }
+      if (it->second.kind == VarInfo::Kind::kElement) {
+        return Err(rule_->ast.loc, ":scalar cannot list element variable <" +
+                                       name + ">");
+      }
+      it->second.in_scalar_clause = true;
+    }
+    return Status::Ok();
+  }
+
+  void ClassifyVariables() {
+    for (auto& [name, info] : rule_->vars) {
+      if (info.kind == VarInfo::Kind::kElement) continue;  // set by CE kind
+      bool all_set = true;
+      for (int ce : occurrence_ce_[name]) {
+        if (!IsSetCe(ce)) all_set = false;
+      }
+      info.set_oriented = all_set && !info.in_scalar_clause;
+    }
+  }
+
+  void BuildPartitionKey() {
+    for (const CompiledCondition& cc : rule_->conditions) {
+      if (!cc.negated && !cc.set_oriented) {
+        rule_->key_token_positions.push_back(cc.token_pos);
+      }
+    }
+    for (const std::string& name : rule_->ast.scalar_vars) {
+      const VarInfo& info = rule_->vars.at(name);
+      rule_->key_scalars.push_back(info.occurrences.front());
+    }
+  }
+
+  // ---------- :test ----------
+  Status CompileTest() {
+    if (rule_->ast.test == nullptr) return Status::Ok();
+    if (!rule_->has_set) {
+      return Err(rule_->ast.loc,
+                 ":test requires at least one set-oriented CE");
+    }
+    return CompileExpr(rule_->ast.test.get(), /*in_test=*/true,
+                       /*scope=*/nullptr);
+  }
+
+  // ---------- RHS ----------
+  struct RhsScope {
+    std::unordered_set<std::string> locals;        // bind targets
+    std::unordered_set<std::string> fixed_vars;    // foreach iterator vars
+    std::unordered_set<int> fixed_positions;       // CEs fixed by foreach
+  };
+
+  // True if `info` can be read as a scalar value under `scope`.
+  bool ScalarUsable(const VarInfo& info, const RhsScope* scope) const {
+    if (info.kind == VarInfo::Kind::kElement) return false;
+    if (!info.set_oriented) return true;
+    if (scope == nullptr) return false;
+    if (scope->fixed_vars.count(info.name) != 0) return true;
+    for (const auto& [pos, field] : info.occurrences) {
+      if (scope->fixed_positions.count(pos) != 0) return true;
+    }
+    return false;
+  }
+
+  Status CompileExpr(Expr* e, bool in_test, const RhsScope* scope) {
+    switch (e->kind) {
+      case Expr::Kind::kConst:
+        e->constant = ResolveConst(e->constant, e->var);
+        return Status::Ok();
+      case Expr::Kind::kCrlf:
+        if (in_test) return Err(e->loc, "(crlf) is only valid inside write");
+        return Status::Ok();
+      case Expr::Kind::kVar: {
+        const VarInfo* info = rule_->FindVar(e->var);
+        if (info == nullptr) {
+          if (scope != nullptr && scope->locals.count(e->var) != 0) {
+            return Status::Ok();  // RHS-local bind target
+          }
+          return Err(e->loc, "unbound variable <" + e->var + ">");
+        }
+        if (info->kind == VarInfo::Kind::kElement) {
+          return Err(e->loc, "element variable <" + e->var +
+                                 "> cannot be used as a value");
+        }
+        if (!ScalarUsable(*info, scope)) {
+          return Err(e->loc,
+                     "set-oriented variable <" + e->var +
+                         "> needs an aggregate, foreach, or :scalar");
+        }
+        return Status::Ok();
+      }
+      case Expr::Kind::kAggregate: {
+        const VarInfo* info = rule_->FindVar(e->var);
+        if (info == nullptr) {
+          return Err(e->loc, "unbound variable <" + e->var + ">");
+        }
+        if (!info->set_oriented) {
+          return Err(e->loc, "aggregate over non-set-oriented variable <" +
+                                 e->var + ">");
+        }
+        if (info->kind == VarInfo::Kind::kElement &&
+            e->agg_op != AggOp::kCount) {
+          return Err(e->loc,
+                     std::string(AggOpName(e->agg_op)) +
+                         " cannot be applied to an element variable; only "
+                         "count is defined over WMEs");
+        }
+        if (in_test) e->agg_index = InternAggregate(*info, e->agg_op);
+        return Status::Ok();
+      }
+      case Expr::Kind::kNot:
+        return CompileExpr(e->lhs.get(), in_test, scope);
+      case Expr::Kind::kBinary:
+        SOREL_RETURN_IF_ERROR(CompileExpr(e->lhs.get(), in_test, scope));
+        return CompileExpr(e->rhs.get(), in_test, scope);
+    }
+    return Status::Ok();
+  }
+
+  int InternAggregate(const VarInfo& info, AggOp op) {
+    for (int i = 0; i < static_cast<int>(rule_->test_aggregates.size()); ++i) {
+      const AggregateSpec& spec =
+          rule_->test_aggregates[static_cast<size_t>(i)];
+      if (spec.op == op && spec.var == info.name) return i;
+    }
+    AggregateSpec spec;
+    spec.op = op;
+    spec.var = info.name;
+    if (info.kind == VarInfo::Kind::kElement) {
+      spec.over_element = true;
+      spec.token_pos = info.elem_token_pos;
+    } else {
+      spec.over_element = false;
+      spec.token_pos = info.occurrences.front().first;
+      spec.field = info.occurrences.front().second;
+    }
+    rule_->test_aggregates.push_back(spec);
+    return static_cast<int>(rule_->test_aggregates.size()) - 1;
+  }
+
+  Status ValidateRhs() {
+    RhsScope scope;
+    // `bind` scoping is firing-wide (a rebind inside foreach persists), so
+    // collect all bind targets up front; use-before-bind is caught at run
+    // time as an unbound local.
+    CollectBinds(rule_->ast.actions, &scope);
+    return ValidateActions(rule_->ast.actions, &scope);
+  }
+
+  void CollectBinds(const std::vector<ActionPtr>& actions, RhsScope* scope) {
+    for (const ActionPtr& a : actions) {
+      if (a->kind == Action::Kind::kBind) scope->locals.insert(a->var);
+      CollectBinds(a->body, scope);
+      CollectBinds(a->else_body, scope);
+    }
+  }
+
+  Status ValidateActions(const std::vector<ActionPtr>& actions,
+                         RhsScope* scope) {
+    for (const ActionPtr& a : actions) {
+      SOREL_RETURN_IF_ERROR(ValidateAction(*a, scope));
+    }
+    return Status::Ok();
+  }
+
+  Status ValidateAction(Action& a, RhsScope* scope) {
+    switch (a.kind) {
+      case Action::Kind::kMake: {
+        SymbolId cls = symbols_->Intern(a.cls);
+        const ClassSchema* schema = schemas_->Find(cls);
+        if (schema == nullptr) {
+          return Err(a.loc, "make: class '" + a.cls + "' never literalized");
+        }
+        return ValidateAssigns(a, *schema, scope);
+      }
+      case Action::Kind::kModify:
+      case Action::Kind::kRemove: {
+        if (a.kind == Action::Kind::kRemove && a.var.empty()) {
+          return ValidateRemoveOrdinal(a);
+        }
+        const VarInfo* info = rule_->FindVar(a.var);
+        if (info == nullptr || info->kind != VarInfo::Kind::kElement) {
+          return Err(a.loc, "target of modify/remove must be an element "
+                            "variable bound with { ce <var> }");
+        }
+        if (info->set_oriented &&
+            scope->fixed_positions.count(info->elem_token_pos) == 0) {
+          return Err(a.loc, "element variable <" + a.var +
+                                "> is set-oriented; use set-modify/"
+                                "set-remove or a foreach over it");
+        }
+        if (a.kind == Action::Kind::kModify) {
+          const ClassSchema* schema =
+              SchemaOfTokenPos(info->elem_token_pos);
+          return ValidateAssigns(a, *schema, scope);
+        }
+        return Status::Ok();
+      }
+      case Action::Kind::kSetModify:
+      case Action::Kind::kSetRemove: {
+        const VarInfo* info = rule_->FindVar(a.var);
+        if (info == nullptr || info->kind != VarInfo::Kind::kElement ||
+            !info->set_oriented) {
+          return Err(a.loc, "target of set-modify/set-remove must be the "
+                            "element variable of a set-oriented CE");
+        }
+        if (a.kind == Action::Kind::kSetModify) {
+          const ClassSchema* schema =
+              SchemaOfTokenPos(info->elem_token_pos);
+          return ValidateAssigns(a, *schema, scope);
+        }
+        return Status::Ok();
+      }
+      case Action::Kind::kWrite: {
+        for (ExprPtr& arg : a.write_args) {
+          SOREL_RETURN_IF_ERROR(
+              CompileExpr(arg.get(), /*in_test=*/false, scope));
+        }
+        return Status::Ok();
+      }
+      case Action::Kind::kBind: {
+        const VarInfo* info = rule_->FindVar(a.var);
+        if (info != nullptr) {
+          return Err(a.loc, "bind target <" + a.var +
+                                "> shadows an LHS variable");
+        }
+        return CompileExpr(a.expr.get(), /*in_test=*/false, scope);
+      }
+      case Action::Kind::kForeach: {
+        const VarInfo* info = rule_->FindVar(a.var);
+        if (info == nullptr) {
+          return Err(a.loc, "foreach over unbound variable <" + a.var + ">");
+        }
+        if (!info->set_oriented) {
+          return Err(a.loc, "foreach over non-set-oriented variable <" +
+                                a.var + ">");
+        }
+        RhsScope inner = *scope;
+        inner.fixed_vars.insert(a.var);
+        if (info->kind == VarInfo::Kind::kElement) {
+          inner.fixed_positions.insert(info->elem_token_pos);
+        }
+        return ValidateActions(a.body, &inner);
+      }
+      case Action::Kind::kIf: {
+        SOREL_RETURN_IF_ERROR(
+            CompileExpr(a.expr.get(), /*in_test=*/false, scope));
+        SOREL_RETURN_IF_ERROR(ValidateActions(a.body, scope));
+        return ValidateActions(a.else_body, scope);
+      }
+      case Action::Kind::kHalt:
+        return Status::Ok();
+    }
+    return Status::Ok();
+  }
+
+  Status ValidateRemoveOrdinal(const Action& a) {
+    int idx = a.remove_ordinal - 1;  // ordinals are 1-based
+    if (idx < 0 || idx >= static_cast<int>(rule_->conditions.size())) {
+      return Err(a.loc, "remove: condition ordinal out of range");
+    }
+    const CompiledCondition& cc = rule_->conditions[static_cast<size_t>(idx)];
+    if (cc.negated) return Err(a.loc, "remove: cannot remove a negated CE");
+    if (cc.set_oriented) {
+      return Err(a.loc,
+                 "remove: use set-remove for set-oriented CE ordinals");
+    }
+    return Status::Ok();
+  }
+
+  const ClassSchema* SchemaOfTokenPos(int token_pos) const {
+    for (const CompiledCondition& cc : rule_->conditions) {
+      if (cc.token_pos == token_pos) return cc.schema;
+    }
+    return nullptr;
+  }
+
+  Status ValidateAssigns(Action& a, const ClassSchema& schema,
+                         const RhsScope* scope) {
+    for (auto& [attr, expr] : a.assigns) {
+      SymbolId id = symbols_->Intern(attr);
+      if (schema.FieldOf(id) < 0) {
+        return Err(a.loc, "class '" +
+                              std::string(symbols_->Name(schema.cls())) +
+                              "' has no attribute '" + attr + "'");
+      }
+      SOREL_RETURN_IF_ERROR(CompileExpr(expr.get(), /*in_test=*/false, scope));
+    }
+    return Status::Ok();
+  }
+
+  // ---------- LEX specificity ----------
+  void ComputeSpecificity() {
+    int n = 0;
+    for (const CompiledCondition& cc : rule_->conditions) {
+      n += 1;  // the class test
+      n += static_cast<int>(cc.const_tests.size() + cc.member_tests.size() +
+                            cc.intra_tests.size() + cc.join_tests.size());
+    }
+    rule_->specificity = n;
+  }
+
+  SymbolTable* symbols_;
+  SchemaRegistry* schemas_;
+  CompiledRule* rule_ = nullptr;
+  // CE indices of each value variable's binding occurrences (parallel to
+  // VarInfo::occurrences), used to classify set-oriented variables.
+  std::unordered_map<std::string, std::vector<int>> occurrence_ce_;
+};
+
+}  // namespace
+
+Status RuleCompiler::DeclareLiteralize(const LiteralizeAst& lit) {
+  std::vector<SymbolId> attrs;
+  attrs.reserve(lit.attrs.size());
+  for (const std::string& a : lit.attrs) attrs.push_back(symbols_->Intern(a));
+  return schemas_->Declare(symbols_->Intern(lit.cls), std::move(attrs),
+                           *symbols_);
+}
+
+Result<CompiledRulePtr> RuleCompiler::Compile(RuleAst rule) {
+  return RuleAnalysis(symbols_, schemas_).Run(std::move(rule));
+}
+
+namespace {
+
+/// Minimal validation/resolution for startup actions (no rule context).
+class StartupAnalysis {
+ public:
+  StartupAnalysis(SymbolTable* symbols, SchemaRegistry* schemas)
+      : symbols_(symbols), schemas_(schemas) {}
+
+  Status Run(std::vector<ActionPtr>* actions) {
+    for (ActionPtr& action : *actions) {
+      SOREL_RETURN_IF_ERROR(Validate(action.get()));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static Status Err(SourceLoc loc, std::string msg) {
+    return Status::CompileError("startup (line " + std::to_string(loc.line) +
+                                "): " + std::move(msg));
+  }
+
+  Status ResolveExpr(Expr* e) {
+    if (e == nullptr) return Status::Ok();
+    switch (e->kind) {
+      case Expr::Kind::kConst:
+        if (!e->var.empty()) {
+          e->constant = e->var == "nil"
+                            ? Value::Nil()
+                            : Value::Symbol(symbols_->Intern(e->var));
+        }
+        return Status::Ok();
+      case Expr::Kind::kVar:
+        if (locals_.count(e->var) == 0) {
+          return Err(e->loc, "unbound variable <" + e->var + ">");
+        }
+        return Status::Ok();
+      case Expr::Kind::kAggregate:
+        return Err(e->loc, "aggregates are not allowed in startup");
+      case Expr::Kind::kCrlf:
+        return Status::Ok();
+      case Expr::Kind::kNot:
+        return ResolveExpr(e->lhs.get());
+      case Expr::Kind::kBinary:
+        SOREL_RETURN_IF_ERROR(ResolveExpr(e->lhs.get()));
+        return ResolveExpr(e->rhs.get());
+    }
+    return Status::Ok();
+  }
+
+  Status Validate(Action* a) {
+    switch (a->kind) {
+      case Action::Kind::kMake: {
+        const ClassSchema* schema = schemas_->Find(symbols_->Intern(a->cls));
+        if (schema == nullptr) {
+          return Err(a->loc, "class '" + a->cls + "' never literalized");
+        }
+        for (auto& [attr, expr] : a->assigns) {
+          if (schema->FieldOf(symbols_->Intern(attr)) < 0) {
+            return Err(a->loc, "class '" + a->cls + "' has no attribute '" +
+                                   attr + "'");
+          }
+          SOREL_RETURN_IF_ERROR(ResolveExpr(expr.get()));
+        }
+        return Status::Ok();
+      }
+      case Action::Kind::kWrite:
+        for (ExprPtr& arg : a->write_args) {
+          SOREL_RETURN_IF_ERROR(ResolveExpr(arg.get()));
+        }
+        return Status::Ok();
+      case Action::Kind::kBind:
+        SOREL_RETURN_IF_ERROR(ResolveExpr(a->expr.get()));
+        locals_.insert(a->var);
+        return Status::Ok();
+      case Action::Kind::kIf: {
+        SOREL_RETURN_IF_ERROR(ResolveExpr(a->expr.get()));
+        for (ActionPtr& sub : a->body) SOREL_RETURN_IF_ERROR(Validate(sub.get()));
+        for (ActionPtr& sub : a->else_body) {
+          SOREL_RETURN_IF_ERROR(Validate(sub.get()));
+        }
+        return Status::Ok();
+      }
+      case Action::Kind::kHalt:
+        return Status::Ok();
+      default:
+        return Err(a->loc,
+                   "only make/write/bind/if/halt are allowed in startup");
+    }
+  }
+
+  SymbolTable* symbols_;
+  SchemaRegistry* schemas_;
+  std::unordered_set<std::string> locals_;
+};
+
+}  // namespace
+
+Status RuleCompiler::CompileStartup(std::vector<ActionPtr>* actions) {
+  return StartupAnalysis(symbols_, schemas_).Run(actions);
+}
+
+}  // namespace sorel

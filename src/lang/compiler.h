@@ -1,0 +1,40 @@
+#ifndef SOREL_LANG_COMPILER_H_
+#define SOREL_LANG_COMPILER_H_
+
+#include "base/status.h"
+#include "base/symbol_table.h"
+#include "lang/ast.h"
+#include "lang/compiled_rule.h"
+#include "wm/schema.h"
+
+namespace sorel {
+
+/// Semantic analysis: resolves classes/attributes against `literalize`
+/// declarations, classifies pattern variables as scalar vs set-oriented
+/// (§4.1), derives alpha/intra/join tests, the SOI partition key (the
+/// paper's C and P), the aggregate specs (APVs/ACEs), and validates the RHS
+/// including `foreach` scoping rules (§6).
+class RuleCompiler {
+ public:
+  RuleCompiler(SymbolTable* symbols, SchemaRegistry* schemas)
+      : symbols_(symbols), schemas_(schemas) {}
+
+  /// Registers a `(literalize ...)` declaration.
+  Status DeclareLiteralize(const LiteralizeAst& lit);
+
+  /// Compiles one rule. Takes ownership of the AST.
+  Result<CompiledRulePtr> Compile(RuleAst rule);
+
+  /// Validates and resolves the actions of a `(startup ...)` form. Only
+  /// make / write / bind / if / halt are allowed (there is no matched
+  /// instantiation to reference).
+  Status CompileStartup(std::vector<ActionPtr>* actions);
+
+ private:
+  SymbolTable* symbols_;
+  SchemaRegistry* schemas_;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_COMPILER_H_

@@ -1,0 +1,91 @@
+#include "lang/eval.h"
+
+namespace sorel {
+
+namespace {
+
+Status TypeError(const Expr& e, const char* what) {
+  return Status::RuntimeError("line " + std::to_string(e.loc.line) + ": " +
+                              what);
+}
+
+Result<Value> EvalArith(const Expr& e, const Value& a, const Value& b) {
+  if (!a.is_number() || !b.is_number()) {
+    return TypeError(e, "arithmetic on non-numeric value");
+  }
+  bool both_int = a.is_int() && b.is_int();
+  switch (e.bin_op) {
+    case BinOp::kAdd:
+      return both_int ? Value::Int(a.as_int() + b.as_int())
+                      : Value::Float(a.AsDouble() + b.AsDouble());
+    case BinOp::kSub:
+      return both_int ? Value::Int(a.as_int() - b.as_int())
+                      : Value::Float(a.AsDouble() - b.AsDouble());
+    case BinOp::kMul:
+      return both_int ? Value::Int(a.as_int() * b.as_int())
+                      : Value::Float(a.AsDouble() * b.AsDouble());
+    case BinOp::kDiv:
+      if (both_int) {
+        if (b.as_int() == 0) return TypeError(e, "division by zero");
+        return Value::Int(a.as_int() / b.as_int());
+      }
+      if (b.AsDouble() == 0) return TypeError(e, "division by zero");
+      return Value::Float(a.AsDouble() / b.AsDouble());
+    case BinOp::kMod:
+      if (!both_int) return TypeError(e, "mod on non-integer value");
+      if (b.as_int() == 0) return TypeError(e, "mod by zero");
+      return Value::Int(a.as_int() % b.as_int());
+    default:
+      return TypeError(e, "unexpected operator");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return e.constant;
+    case Expr::Kind::kVar:
+      return ctx.ResolveVar(e.var);
+    case Expr::Kind::kAggregate:
+      return ctx.EvalAggregate(e);
+    case Expr::Kind::kCrlf:
+      return TypeError(e, "(crlf) used outside write");
+    case Expr::Kind::kNot: {
+      SOREL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, ctx));
+      return Value::Bool(!v.IsTruthy());
+    }
+    case Expr::Kind::kBinary:
+      break;
+  }
+  // Binary operators. `and`/`or` short-circuit.
+  if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
+    SOREL_ASSIGN_OR_RETURN(Value a, EvalExpr(*e.lhs, ctx));
+    bool ta = a.IsTruthy();
+    if (e.bin_op == BinOp::kAnd && !ta) return Value::Bool(false);
+    if (e.bin_op == BinOp::kOr && ta) return Value::Bool(true);
+    SOREL_ASSIGN_OR_RETURN(Value b, EvalExpr(*e.rhs, ctx));
+    return Value::Bool(b.IsTruthy());
+  }
+  SOREL_ASSIGN_OR_RETURN(Value a, EvalExpr(*e.lhs, ctx));
+  SOREL_ASSIGN_OR_RETURN(Value b, EvalExpr(*e.rhs, ctx));
+  switch (e.bin_op) {
+    case BinOp::kEq:
+      return Value::Bool(a == b);
+    case BinOp::kNe:
+      return Value::Bool(a != b);
+    case BinOp::kLt:
+      return Value::Bool(EvalTestPred(TestPred::kLt, a, b));
+    case BinOp::kLe:
+      return Value::Bool(EvalTestPred(TestPred::kLe, a, b));
+    case BinOp::kGt:
+      return Value::Bool(EvalTestPred(TestPred::kGt, a, b));
+    case BinOp::kGe:
+      return Value::Bool(EvalTestPred(TestPred::kGe, a, b));
+    default:
+      return EvalArith(e, a, b);
+  }
+}
+
+}  // namespace sorel

@@ -1,0 +1,33 @@
+#ifndef SOREL_LANG_EVAL_H_
+#define SOREL_LANG_EVAL_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "base/value.h"
+#include "lang/ast.h"
+
+namespace sorel {
+
+/// Name resolution environment for expression evaluation. Implemented by
+/// the S-node (for `:test`, §5) and the RHS executor (for actions, §6).
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+
+  /// Scalar value of variable `name` in the current context.
+  virtual Result<Value> ResolveVar(const std::string& name) const = 0;
+
+  /// Value of an aggregate expression (`agg.kind == kAggregate`).
+  virtual Result<Value> EvalAggregate(const Expr& agg) const = 0;
+};
+
+/// Evaluates `e` under `ctx`. Comparison results are the symbols
+/// true/false; `and`/`or`/`not` treat exactly the symbol `true` as truthy.
+/// Arithmetic stays integral when both operands are integers (except `/`
+/// by zero and `mod` on non-integers, which are errors).
+Result<Value> EvalExpr(const Expr& e, const EvalContext& ctx);
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_EVAL_H_

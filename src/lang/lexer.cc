@@ -1,0 +1,244 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sorel {
+
+namespace {
+
+/// Characters that terminate a bare symbol / variable / attribute name.
+bool IsDelimiter(char c) {
+  switch (c) {
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+    case ';':
+    case '^':
+    case '<':
+    case '>':
+    case '=':
+    case '|':
+    case '"':
+      return true;
+    default:
+      return std::isspace(static_cast<unsigned char>(c)) != 0;
+  }
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Tok>> Run() {
+    std::vector<Tok> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      SourceLoc loc = Loc();
+      if (AtEnd()) {
+        out.push_back({TokKind::kEnd, "", 0, 0, loc});
+        return out;
+      }
+      char c = Peek();
+      switch (c) {
+        case '(':
+          Next();
+          out.push_back({TokKind::kLParen, "", 0, 0, loc});
+          continue;
+        case ')':
+          Next();
+          out.push_back({TokKind::kRParen, "", 0, 0, loc});
+          continue;
+        case '[':
+          Next();
+          out.push_back({TokKind::kLBracket, "", 0, 0, loc});
+          continue;
+        case ']':
+          Next();
+          out.push_back({TokKind::kRBracket, "", 0, 0, loc});
+          continue;
+        case '{':
+          Next();
+          out.push_back({TokKind::kLBrace, "", 0, 0, loc});
+          continue;
+        case '}':
+          Next();
+          out.push_back({TokKind::kRBrace, "", 0, 0, loc});
+          continue;
+        case '^': {
+          Next();
+          std::string name = ReadSymbolText();
+          if (name.empty()) {
+            return Status::ParseError(Where(loc) + "empty attribute name");
+          }
+          out.push_back({TokKind::kAttr, std::move(name), 0, 0, loc});
+          continue;
+        }
+        case '=':
+          Next();
+          if (!AtEnd() && Peek() == '=') Next();
+          out.push_back({TokKind::kEq, "", 0, 0, loc});
+          continue;
+        case '<': {
+          Next();
+          if (!AtEnd() && Peek() == '<') {
+            Next();
+            out.push_back({TokKind::kDLAngle, "", 0, 0, loc});
+          } else if (!AtEnd() && Peek() == '=') {
+            Next();
+            out.push_back({TokKind::kLe, "", 0, 0, loc});
+          } else if (!AtEnd() && Peek() == '>') {
+            Next();
+            out.push_back({TokKind::kNe, "", 0, 0, loc});
+          } else if (!AtEnd() && !IsDelimiter(Peek())) {
+            std::string name = ReadSymbolText();
+            if (AtEnd() || Peek() != '>') {
+              return Status::ParseError(Where(loc) +
+                                        "unterminated variable '<" + name +
+                                        "'");
+            }
+            Next();  // consume '>'
+            out.push_back({TokKind::kVariable, std::move(name), 0, 0, loc});
+          } else {
+            out.push_back({TokKind::kLt, "", 0, 0, loc});
+          }
+          continue;
+        }
+        case '>':
+          Next();
+          if (!AtEnd() && Peek() == '>') {
+            Next();
+            out.push_back({TokKind::kDRAngle, "", 0, 0, loc});
+          } else if (!AtEnd() && Peek() == '=') {
+            Next();
+            out.push_back({TokKind::kGe, "", 0, 0, loc});
+          } else {
+            out.push_back({TokKind::kGt, "", 0, 0, loc});
+          }
+          continue;
+        case '|':
+        case '"': {
+          char quote = c;
+          Next();
+          std::string text;
+          while (!AtEnd() && Peek() != quote) text.push_back(Next());
+          if (AtEnd()) {
+            return Status::ParseError(Where(loc) + "unterminated quoted atom");
+          }
+          Next();  // closing quote
+          out.push_back({TokKind::kSymbol, std::move(text), 0, 0, loc});
+          continue;
+        }
+        default:
+          break;
+      }
+      // Arrow, number, or bare symbol.
+      if (c == '-' && pos_ + 2 < src_.size() && src_[pos_ + 1] == '-' &&
+          src_[pos_ + 2] == '>') {
+        Next();
+        Next();
+        Next();
+        out.push_back({TokKind::kArrow, "", 0, 0, loc});
+        continue;
+      }
+      if (IsDigit(c) ||
+          ((c == '-' || c == '+') && pos_ + 1 < src_.size() &&
+           (IsDigit(src_[pos_ + 1]) || src_[pos_ + 1] == '.')) ||
+          (c == '.' && pos_ + 1 < src_.size() && IsDigit(src_[pos_ + 1]))) {
+        SOREL_RETURN_IF_ERROR(LexNumber(loc, &out));
+        continue;
+      }
+      std::string name = ReadSymbolText();
+      if (name.empty()) {
+        return Status::ParseError(Where(loc) + "unexpected character '" +
+                                  std::string(1, Next()) + "'");
+      }
+      out.push_back({TokKind::kSymbol, std::move(name), 0, 0, loc});
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+  char Next() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  SourceLoc Loc() const { return {line_, col_}; }
+  static std::string Where(SourceLoc loc) {
+    return "line " + std::to_string(loc.line) + ":" +
+           std::to_string(loc.column) + ": ";
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Next();
+      } else if (c == ';') {
+        while (!AtEnd() && Peek() != '\n') Next();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string ReadSymbolText() {
+    std::string out;
+    while (!AtEnd() && !IsDelimiter(Peek())) out.push_back(Next());
+    return out;
+  }
+
+  Status LexNumber(SourceLoc loc, std::vector<Tok>* out) {
+    std::string text;
+    bool is_float = false;
+    if (Peek() == '-' || Peek() == '+') text.push_back(Next());
+    while (!AtEnd() && (IsDigit(Peek()) || Peek() == '.' || Peek() == 'e' ||
+                        Peek() == 'E' ||
+                        ((Peek() == '-' || Peek() == '+') && !text.empty() &&
+                         (text.back() == 'e' || text.back() == 'E')))) {
+      if (Peek() == '.' || Peek() == 'e' || Peek() == 'E') is_float = true;
+      text.push_back(Next());
+    }
+    if (is_float) {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) {
+        return Status::ParseError(Where(loc) + "bad number '" + text + "'");
+      }
+      out->push_back({TokKind::kFloat, "", 0, v, loc});
+    } else {
+      char* end = nullptr;
+      int64_t v = std::strtoll(text.c_str(), &end, 10);
+      if (end != text.c_str() + text.size()) {
+        return Status::ParseError(Where(loc) + "bad number '" + text + "'");
+      }
+      out->push_back({TokKind::kInt, "", v, 0, loc});
+    }
+    return Status::Ok();
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Tok>> Lex(std::string_view source) {
+  return LexerImpl(source).Run();
+}
+
+}  // namespace sorel

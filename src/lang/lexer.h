@@ -1,0 +1,54 @@
+#ifndef SOREL_LANG_LEXER_H_
+#define SOREL_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "lang/ast.h"
+
+namespace sorel {
+
+/// Lexical token kinds of the sorel rule language (OPS5 syntax plus the
+/// paper's set-oriented extensions).
+enum class TokKind {
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [   set-oriented CE open
+  kRBracket,  // ]
+  kLBrace,    // {
+  kRBrace,    // }
+  kArrow,     // -->
+  kSymbol,    // bare atom: player, make, +, -, and, :scalar ...
+  kInt,       // 42
+  kFloat,     // 4.5
+  kVariable,  // <x>  (text carries "x")
+  kAttr,      // ^name (text carries "name")
+  kEq,        // = or ==
+  kNe,        // <>
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kDLAngle,   // <<  disjunction open
+  kDRAngle,   // >>  disjunction close
+  kEnd,       // end of input
+};
+
+/// One lexical token.
+struct Tok {
+  TokKind kind;
+  std::string text;    // symbol / variable / attribute name
+  int64_t int_value = 0;
+  double float_value = 0;
+  SourceLoc loc;
+};
+
+/// Tokenizes rule source. Comments run from `;` to end of line. Symbols may
+/// be quoted with `|...|` (OPS5 style) or `"..."`.
+Result<std::vector<Tok>> Lex(std::string_view source);
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_LEXER_H_

@@ -1,0 +1,175 @@
+#include "lang/linter.h"
+
+#include <unordered_set>
+
+namespace sorel {
+
+std::string_view LintCodeName(LintCode code) {
+  switch (code) {
+    case LintCode::kUnusedVariable:
+      return "unused-variable";
+    case LintCode::kCrossProduct:
+      return "cross-product";
+    case LintCode::kPointlessSet:
+      return "pointless-set";
+    case LintCode::kSelfTrigger:
+      return "self-trigger";
+    case LintCode::kNoTestNoPartition:
+      return "tuple-rule-in-disguise";
+  }
+  return "?";
+}
+
+namespace {
+
+/// What the RHS and `:test` do with names, collected in one walk.
+struct Usage {
+  std::unordered_set<std::string> read_vars;     // value reads
+  std::unordered_set<std::string> agg_vars;      // aggregate targets
+  std::unordered_set<std::string> iterated_vars; // foreach targets
+  std::unordered_set<std::string> elem_targets;  // modify/remove/set-* targets
+  std::unordered_set<std::string> made_classes;  // make targets
+  bool has_set_consumer = false;  // foreach / set-modify / set-remove / agg
+};
+
+void ScanExpr(const Expr* e, Usage* usage) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case Expr::Kind::kVar:
+      usage->read_vars.insert(e->var);
+      break;
+    case Expr::Kind::kAggregate:
+      usage->agg_vars.insert(e->var);
+      usage->has_set_consumer = true;
+      break;
+    default:
+      break;
+  }
+  ScanExpr(e->lhs.get(), usage);
+  ScanExpr(e->rhs.get(), usage);
+}
+
+void ScanActions(const std::vector<ActionPtr>& actions, Usage* usage) {
+  for (const ActionPtr& a : actions) {
+    switch (a->kind) {
+      case Action::Kind::kMake:
+        usage->made_classes.insert(a->cls);
+        break;
+      case Action::Kind::kModify:
+      case Action::Kind::kRemove:
+        if (!a->var.empty()) usage->elem_targets.insert(a->var);
+        break;
+      case Action::Kind::kSetModify:
+      case Action::Kind::kSetRemove:
+        usage->elem_targets.insert(a->var);
+        usage->has_set_consumer = true;
+        break;
+      case Action::Kind::kForeach:
+        usage->iterated_vars.insert(a->var);
+        usage->has_set_consumer = true;
+        break;
+      default:
+        break;
+    }
+    for (const auto& [attr, expr] : a->assigns) ScanExpr(expr.get(), usage);
+    ScanExpr(a->expr.get(), usage);
+    for (const ExprPtr& arg : a->write_args) ScanExpr(arg.get(), usage);
+    ScanActions(a->body, usage);
+    ScanActions(a->else_body, usage);
+  }
+}
+
+bool VarTouchesCe(const VarInfo& info, int token_pos) {
+  if (info.kind == VarInfo::Kind::kElement) {
+    return info.elem_token_pos == token_pos;
+  }
+  for (const auto& [pos, field] : info.occurrences) {
+    if (pos == token_pos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<LintWarning> LintRule(const CompiledRule& rule) {
+  std::vector<LintWarning> warnings;
+  auto warn = [&](LintCode code, std::string message) {
+    warnings.push_back({code, rule.name, std::move(message)});
+  };
+
+  Usage usage;
+  ScanActions(rule.ast.actions, &usage);
+  if (rule.ast.test != nullptr) ScanExpr(rule.ast.test.get(), &usage);
+
+  // --- unused variables ---
+  for (const auto& [name, info] : rule.vars) {
+    bool used = usage.read_vars.count(name) != 0 ||
+                usage.agg_vars.count(name) != 0 ||
+                usage.iterated_vars.count(name) != 0 ||
+                usage.elem_targets.count(name) != 0;
+    if (info.kind == VarInfo::Kind::kValue && info.occurrences.size() > 1) {
+      used = true;  // participates in a join
+    }
+    if (info.in_scalar_clause) used = true;  // partitions the SOI
+    if (!used) {
+      warn(LintCode::kUnusedVariable,
+           "variable <" + name + "> is bound but never used");
+    }
+  }
+
+  // --- unconstrained joins ---
+  for (const CompiledCondition& cond : rule.conditions) {
+    if (cond.negated || cond.token_pos <= 0) continue;
+    if (cond.join_tests.empty()) {
+      warn(LintCode::kCrossProduct,
+           "condition element " + std::to_string(cond.ce_index + 1) +
+               " has no join test against earlier CEs (cross product)");
+    }
+  }
+
+  // --- set CEs that are never consumed as sets ---
+  for (const CompiledCondition& cond : rule.conditions) {
+    if (!cond.set_oriented) continue;
+    bool consumed = false;
+    for (const auto& [name, info] : rule.vars) {
+      if (!info.set_oriented || !VarTouchesCe(info, cond.token_pos)) continue;
+      if (usage.agg_vars.count(name) != 0 ||
+          usage.iterated_vars.count(name) != 0 ||
+          (info.kind == VarInfo::Kind::kElement &&
+           usage.elem_targets.count(name) != 0)) {
+        consumed = true;
+      }
+    }
+    if (!consumed) {
+      warn(LintCode::kPointlessSet,
+           "set-oriented CE " + std::to_string(cond.ce_index + 1) +
+               " is never used through an aggregate, foreach, or set "
+               "action");
+    }
+  }
+
+  // --- RHS makes what the LHS matches ---
+  // (The linter sees interned names through the AST, so compare by text.)
+  std::unordered_set<std::string> matched_classes;
+  for (const ConditionAst& ce : rule.ast.conditions) {
+    if (!ce.negated) matched_classes.insert(ce.cls);
+  }
+  for (const std::string& cls : usage.made_classes) {
+    if (matched_classes.count(cls) != 0) {
+      warn(LintCode::kSelfTrigger,
+           "RHS makes a '" + cls +
+               "' WME that this rule's own LHS matches (possible loop)");
+    }
+  }
+
+  // --- a set rule that never consumes its sets at all ---
+  if (rule.has_set && rule.ast.test == nullptr && !usage.has_set_consumer) {
+    warn(LintCode::kNoTestNoPartition,
+         "set-oriented rule has no :test, foreach, aggregate, or set "
+         "action — set brackets only suppress multiple firings here");
+  }
+
+  return warnings;
+}
+
+}  // namespace sorel

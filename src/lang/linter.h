@@ -1,0 +1,42 @@
+#ifndef SOREL_LANG_LINTER_H_
+#define SOREL_LANG_LINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/compiled_rule.h"
+
+namespace sorel {
+
+/// Static analysis over compiled rules. The paper argues (§1) that directly
+/// expressed set operations give compilers something to optimize; this
+/// linter is the first half of that story — it recognizes the patterns
+/// (unconstrained joins, pointless set-ness, self-triggering RHS actions,
+/// dead variables) that either cost performance or signal intent mismatch.
+enum class LintCode {
+  kUnusedVariable,    // bound once, never read
+  kCrossProduct,      // positive CE with no join to any earlier CE
+  kPointlessSet,      // set CE never used via aggregate/foreach/set-action
+  kSelfTrigger,       // RHS makes/modifies a class the LHS matches
+  kNoTestNoPartition, // set rule collapsing everything into one SOI
+};
+
+/// Returns a short stable identifier ("unused-variable", ...).
+std::string_view LintCodeName(LintCode code);
+
+struct LintWarning {
+  LintCode code;
+  std::string rule;
+  std::string message;
+
+  std::string ToString() const {
+    return rule + ": [" + std::string(LintCodeName(code)) + "] " + message;
+  }
+};
+
+/// Analyzes one compiled rule.
+std::vector<LintWarning> LintRule(const CompiledRule& rule);
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_LINTER_H_

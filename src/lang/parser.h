@@ -1,0 +1,34 @@
+#ifndef SOREL_LANG_PARSER_H_
+#define SOREL_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "lang/ast.h"
+
+namespace sorel {
+
+/// Parses a source buffer containing `(literalize ...)` and `(p ...)` forms
+/// into a `ProgramAst`. Syntax is OPS5 plus the paper's extensions:
+///
+///   (p name
+///      (class ^attr test ...)            ; regular CE
+///      [class ^attr test ...]            ; set-oriented CE       (§4.1)
+///      { [class ...] <E> }               ; CE with element variable
+///      - (class ...)                     ; negated CE
+///      :scalar (<x> <y>)                 ; scalar clause         (§4.1)
+///      :test ((count <E>) > 1)           ; aggregate test        (§4.2)
+///      -->
+///      (make ...) (modify <e> ...) (remove <e>) (write ... (crlf))
+///      (bind <x> expr) (halt)
+///      (set-modify <E> ^a v) (set-remove <E>)                  ; (§6)
+///      (foreach <v> [ascending|descending] actions...)         ; (§6)
+///      (if (expr) actions... [else actions...]))
+///
+/// Attribute tests: constant, <var>, predicate+term (`> 5`, `<> <x>`),
+/// conjunction `{ > 2 < 8 }`, disjunction `<< red blue >>`.
+Result<ProgramAst> Parse(std::string_view source);
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_PARSER_H_

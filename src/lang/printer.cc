@@ -1,0 +1,216 @@
+#include "lang/printer.h"
+
+namespace sorel {
+
+namespace {
+
+std::string_view BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "mod";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+std::string Indent(int n) { return std::string(static_cast<size_t>(n), ' '); }
+
+}  // namespace
+
+std::string AstPrinter::PrintConst(const Value& value,
+                                   const std::string& text) const {
+  if (!text.empty()) return text;  // parser-stashed symbol text
+  return value.ToString(*symbols_);
+}
+
+std::string AstPrinter::PrintTerm(const TestTerm& term) const {
+  if (term.kind == TestTerm::Kind::kVar) return "<" + term.var + ">";
+  return PrintConst(term.constant, term.var);
+}
+
+std::string AstPrinter::PrintAttrTest(const AttrTest& test) const {
+  std::string out = "^" + test.attr + " ";
+  if (test.kind == AttrTest::Kind::kDisjunction) {
+    out += "<<";
+    for (size_t i = 0; i < test.disjunction.size(); ++i) {
+      out += " " + PrintConst(test.disjunction[i], test.disjunction_texts[i]);
+    }
+    out += " >>";
+    return out;
+  }
+  auto atom = [this](const std::pair<TestPred, TestTerm>& a) {
+    std::string s;
+    if (a.first != TestPred::kEq) {
+      s += TestPredName(a.first);
+      s += " ";
+    }
+    s += PrintTerm(a.second);
+    return s;
+  };
+  if (test.atoms.size() == 1) return out + atom(test.atoms.front());
+  out += "{";
+  for (const auto& a : test.atoms) out += " " + atom(a);
+  out += " }";
+  return out;
+}
+
+std::string AstPrinter::PrintCondition(const ConditionAst& ce) const {
+  std::string inner;
+  inner += ce.set_oriented ? "[" : "(";
+  inner += ce.cls;
+  for (const AttrTest& test : ce.attrs) inner += " " + PrintAttrTest(test);
+  inner += ce.set_oriented ? "]" : ")";
+  std::string out;
+  if (ce.negated) out += "- ";
+  if (!ce.elem_var.empty()) {
+    out += "{ " + inner + " <" + ce.elem_var + "> }";
+  } else {
+    out += inner;
+  }
+  return out;
+}
+
+std::string AstPrinter::PrintExpr(const Expr& e) const {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return PrintConst(e.constant, e.var);
+    case Expr::Kind::kVar:
+      return "<" + e.var + ">";
+    case Expr::Kind::kAggregate:
+      return "(" + std::string(AggOpName(e.agg_op)) + " <" + e.var + ">)";
+    case Expr::Kind::kCrlf:
+      return "(crlf)";
+    case Expr::Kind::kNot:
+      return "(not " + PrintExpr(*e.lhs) + ")";
+    case Expr::Kind::kBinary:
+      return "(" + PrintExpr(*e.lhs) + " " + std::string(BinOpName(e.bin_op)) +
+             " " + PrintExpr(*e.rhs) + ")";
+  }
+  return "?";
+}
+
+std::string AstPrinter::PrintActions(const std::vector<ActionPtr>& actions,
+                                     int indent) const {
+  std::string out;
+  for (const ActionPtr& action : actions) {
+    out += "\n" + Indent(indent) + PrintAction(*action, indent);
+  }
+  return out;
+}
+
+std::string AstPrinter::PrintAction(const Action& action, int indent) const {
+  switch (action.kind) {
+    case Action::Kind::kMake:
+    case Action::Kind::kModify:
+    case Action::Kind::kSetModify: {
+      std::string out = "(";
+      out += action.kind == Action::Kind::kMake
+                 ? "make " + action.cls
+                 : (action.kind == Action::Kind::kModify ? "modify <"
+                                                         : "set-modify <") +
+                       action.var + ">";
+      for (const auto& [attr, expr] : action.assigns) {
+        out += " ^" + attr + " " + PrintExpr(*expr);
+      }
+      return out + ")";
+    }
+    case Action::Kind::kRemove:
+      if (action.var.empty()) {
+        return "(remove " + std::to_string(action.remove_ordinal) + ")";
+      }
+      return "(remove <" + action.var + ">)";
+    case Action::Kind::kSetRemove:
+      return "(set-remove <" + action.var + ">)";
+    case Action::Kind::kWrite: {
+      std::string out = "(write";
+      for (const ExprPtr& arg : action.write_args) {
+        out += " " + PrintExpr(*arg);
+      }
+      return out + ")";
+    }
+    case Action::Kind::kBind:
+      return "(bind <" + action.var + "> " + PrintExpr(*action.expr) + ")";
+    case Action::Kind::kForeach: {
+      std::string out = "(foreach <" + action.var + ">";
+      if (action.order == Action::Order::kAscending) out += " ascending";
+      if (action.order == Action::Order::kDescending) out += " descending";
+      out += PrintActions(action.body, indent + 2);
+      return out + ")";
+    }
+    case Action::Kind::kIf: {
+      std::string out = "(if " + PrintExpr(*action.expr);
+      out += PrintActions(action.body, indent + 2);
+      if (!action.else_body.empty()) {
+        out += "\n" + Indent(indent + 1) + "else";
+        out += PrintActions(action.else_body, indent + 2);
+      }
+      return out + ")";
+    }
+    case Action::Kind::kHalt:
+      return "(halt)";
+  }
+  return "?";
+}
+
+std::string AstPrinter::PrintRule(const RuleAst& rule) const {
+  std::string out = "(p " + rule.name;
+  for (const ConditionAst& ce : rule.conditions) {
+    out += "\n   " + PrintCondition(ce);
+  }
+  if (!rule.scalar_vars.empty()) {
+    out += "\n   :scalar (";
+    for (size_t i = 0; i < rule.scalar_vars.size(); ++i) {
+      if (i > 0) out += " ";
+      out += "<" + rule.scalar_vars[i] + ">";
+    }
+    out += ")";
+  }
+  if (rule.test != nullptr) {
+    out += "\n   :test " + PrintExpr(*rule.test);
+  }
+  out += "\n   -->";
+  out += PrintActions(rule.actions, 3);
+  return out + ")";
+}
+
+std::string AstPrinter::PrintLiteralize(const LiteralizeAst& lit) const {
+  std::string out = "(literalize " + lit.cls;
+  for (const std::string& attr : lit.attrs) out += " " + attr;
+  return out + ")";
+}
+
+std::string AstPrinter::PrintProgram(const ProgramAst& program) const {
+  std::string out;
+  for (const LiteralizeAst& lit : program.literalizes) {
+    out += PrintLiteralize(lit) + "\n";
+  }
+  for (const RuleAst& rule : program.rules) {
+    out += PrintRule(rule) + "\n";
+  }
+  return out;
+}
+
+}  // namespace sorel

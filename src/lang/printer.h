@@ -1,0 +1,41 @@
+#ifndef SOREL_LANG_PRINTER_H_
+#define SOREL_LANG_PRINTER_H_
+
+#include <string>
+
+#include "base/symbol_table.h"
+#include "lang/ast.h"
+
+namespace sorel {
+
+/// Renders AST nodes back to rule-language source. Round-trip property:
+/// `Parse(Print(ast))` is structurally identical to `ast` (used by the
+/// parser round-trip tests and the shell's `rules` command).
+///
+/// Interned symbol constants are printed via `symbols`; constants that are
+/// still carrying parser-stashed text print that text directly, so printing
+/// works both before and after compilation.
+class AstPrinter {
+ public:
+  explicit AstPrinter(const SymbolTable* symbols) : symbols_(symbols) {}
+
+  std::string PrintProgram(const ProgramAst& program) const;
+  std::string PrintLiteralize(const LiteralizeAst& lit) const;
+  std::string PrintRule(const RuleAst& rule) const;
+  std::string PrintCondition(const ConditionAst& ce) const;
+  std::string PrintAction(const Action& action, int indent = 2) const;
+  std::string PrintExpr(const Expr& e) const;
+
+ private:
+  std::string PrintConst(const Value& value, const std::string& text) const;
+  std::string PrintTerm(const TestTerm& term) const;
+  std::string PrintAttrTest(const AttrTest& test) const;
+  std::string PrintActions(const std::vector<ActionPtr>& actions,
+                           int indent) const;
+
+  const SymbolTable* symbols_;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_PRINTER_H_

@@ -1,0 +1,264 @@
+#include "rdb/ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/aggregate.h"
+
+namespace sorel {
+namespace rdb {
+
+namespace {
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x9e3779b97f4a7c15ull;
+    for (const Value& v : t) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+Result<std::vector<int>> ResolveColumns(const Relation& in,
+                                        const std::vector<std::string>& cols) {
+  std::vector<int> idx;
+  idx.reserve(cols.size());
+  for (const std::string& c : cols) {
+    int i = in.schema().IndexOf(c);
+    if (i < 0) return Status::InvalidArgument("no such column: " + c);
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+Tuple KeyOf(const Tuple& row, const std::vector<int>& idx) {
+  Tuple key;
+  key.reserve(idx.size());
+  for (int i : idx) key.push_back(row[static_cast<size_t>(i)]);
+  return key;
+}
+
+}  // namespace
+
+Relation Select(const Relation& in, const RowPred& pred) {
+  Relation out(in.schema());
+  for (const Tuple& row : in.rows()) {
+    if (pred(row)) (void)out.Insert(row);
+  }
+  return out;
+}
+
+Result<Relation> SelectWhere(const Relation& in, std::string_view column,
+                             TestPred pred, const Value& value) {
+  int i = in.schema().IndexOf(column);
+  if (i < 0) {
+    return Status::InvalidArgument("no such column: " + std::string(column));
+  }
+  return Select(in, [i, pred, value](const Tuple& row) {
+    return EvalTestPred(pred, row[static_cast<size_t>(i)], value);
+  });
+}
+
+Result<Relation> Project(const Relation& in,
+                         const std::vector<std::string>& columns) {
+  SOREL_ASSIGN_OR_RETURN(std::vector<int> idx, ResolveColumns(in, columns));
+  Relation out{RelSchema(columns)};
+  for (const Tuple& row : in.rows()) {
+    SOREL_RETURN_IF_ERROR(out.Insert(KeyOf(row, idx)));
+  }
+  return out;
+}
+
+Result<Relation> Rename(
+    const Relation& in,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  std::vector<std::string> columns = in.schema().columns();
+  for (const auto& [from, to] : renames) {
+    int i = in.schema().IndexOf(from);
+    if (i < 0) return Status::InvalidArgument("no such column: " + from);
+    columns[static_cast<size_t>(i)] = to;
+  }
+  Relation out{RelSchema(std::move(columns))};
+  for (const Tuple& row : in.rows()) SOREL_RETURN_IF_ERROR(out.Insert(row));
+  return out;
+}
+
+namespace {
+
+// Common machinery for HashJoin/AntiJoin: per-left-row partner iteration.
+struct JoinIndex {
+  std::vector<int> left_idx, right_idx;
+  std::unordered_multimap<Tuple, size_t, TupleHash> right_by_key;
+};
+
+Result<JoinIndex> BuildJoinIndex(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& keys) {
+  JoinIndex ji;
+  for (const auto& [l, r] : keys) {
+    int li = left.schema().IndexOf(l);
+    int ri = right.schema().IndexOf(r);
+    if (li < 0) return Status::InvalidArgument("no such column: " + l);
+    if (ri < 0) return Status::InvalidArgument("no such column: " + r);
+    ji.left_idx.push_back(li);
+    ji.right_idx.push_back(ri);
+  }
+  for (size_t j = 0; j < right.rows().size(); ++j) {
+    ji.right_by_key.emplace(KeyOf(right.rows()[j], ji.right_idx), j);
+  }
+  return ji;
+}
+
+}  // namespace
+
+Result<Relation> HashJoin(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& keys,
+    const PairPred& residual) {
+  SOREL_ASSIGN_OR_RETURN(JoinIndex ji, BuildJoinIndex(left, right, keys));
+  // Output schema: left columns + right non-key columns.
+  std::vector<std::string> out_cols = left.schema().columns();
+  std::vector<int> right_keep;
+  for (int i = 0; i < right.schema().arity(); ++i) {
+    if (std::find(ji.right_idx.begin(), ji.right_idx.end(), i) !=
+        ji.right_idx.end()) {
+      continue;
+    }
+    const std::string& name =
+        right.schema().columns()[static_cast<size_t>(i)];
+    if (std::find(out_cols.begin(), out_cols.end(), name) != out_cols.end()) {
+      return Status::InvalidArgument("join column name collision: " + name);
+    }
+    out_cols.push_back(name);
+    right_keep.push_back(i);
+  }
+  Relation out{RelSchema(std::move(out_cols))};
+  for (const Tuple& lrow : left.rows()) {
+    Tuple key = KeyOf(lrow, ji.left_idx);
+    auto [lo, hi] = ji.right_by_key.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& rrow = right.rows()[it->second];
+      if (residual != nullptr && !residual(lrow, rrow)) continue;
+      Tuple joined = lrow;
+      for (int i : right_keep) joined.push_back(rrow[static_cast<size_t>(i)]);
+      SOREL_RETURN_IF_ERROR(out.Insert(std::move(joined)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> AntiJoin(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& keys,
+    const PairPred& residual) {
+  SOREL_ASSIGN_OR_RETURN(JoinIndex ji, BuildJoinIndex(left, right, keys));
+  Relation out(left.schema());
+  for (const Tuple& lrow : left.rows()) {
+    Tuple key = KeyOf(lrow, ji.left_idx);
+    auto [lo, hi] = ji.right_by_key.equal_range(key);
+    bool blocked = false;
+    for (auto it = lo; it != hi && !blocked; ++it) {
+      const Tuple& rrow = right.rows()[it->second];
+      blocked = residual == nullptr || residual(lrow, rrow);
+    }
+    if (!blocked) SOREL_RETURN_IF_ERROR(out.Insert(lrow));
+  }
+  return out;
+}
+
+Relation Distinct(const Relation& in) {
+  Relation out(in.schema());
+  std::unordered_map<Tuple, bool, TupleHash> seen;
+  for (const Tuple& row : in.rows()) {
+    if (seen.emplace(row, true).second) (void)out.Insert(row);
+  }
+  return out;
+}
+
+Result<Relation> Sort(const Relation& in,
+                      const std::vector<std::string>& columns) {
+  SOREL_ASSIGN_OR_RETURN(std::vector<int> idx, ResolveColumns(in, columns));
+  Relation out(in.schema());
+  std::vector<Tuple> rows = in.rows();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&idx](const Tuple& a, const Tuple& b) {
+                     for (int i : idx) {
+                       int c = Value::Compare(a[static_cast<size_t>(i)],
+                                              b[static_cast<size_t>(i)]);
+                       if (c != 0) return c < 0;
+                     }
+                     return false;
+                   });
+  for (Tuple& row : rows) SOREL_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  return out;
+}
+
+Result<Relation> GroupBy(const Relation& in,
+                         const std::vector<std::string>& keys,
+                         const std::vector<AggColumn>& aggs) {
+  SOREL_ASSIGN_OR_RETURN(std::vector<int> key_idx, ResolveColumns(in, keys));
+  struct Group {
+    Tuple key;
+    std::vector<AggState> states;
+    int64_t row_count = 0;
+  };
+  std::vector<int> agg_idx;
+  for (const AggColumn& a : aggs) {
+    if (a.count_star) {
+      agg_idx.push_back(-1);
+      continue;
+    }
+    int i = in.schema().IndexOf(a.column);
+    if (i < 0) return Status::InvalidArgument("no such column: " + a.column);
+    agg_idx.push_back(i);
+  }
+  std::unordered_map<Tuple, size_t, TupleHash> index;
+  std::vector<Group> groups;
+  for (const Tuple& row : in.rows()) {
+    Tuple key = KeyOf(row, key_idx);
+    auto [it, inserted] = index.emplace(key, groups.size());
+    if (inserted) {
+      Group g;
+      g.key = std::move(key);
+      for (const AggColumn& a : aggs) g.states.emplace_back(a.op);
+      groups.push_back(std::move(g));
+    }
+    Group& g = groups[it->second];
+    ++g.row_count;
+    for (size_t k = 0; k < aggs.size(); ++k) {
+      if (agg_idx[k] >= 0) {
+        g.states[k].Insert(row[static_cast<size_t>(agg_idx[k])]);
+      }
+    }
+  }
+  std::vector<std::string> out_cols = keys;
+  for (const AggColumn& a : aggs) out_cols.push_back(a.as);
+  Relation out{RelSchema(std::move(out_cols))};
+  for (const Group& g : groups) {
+    Tuple row = g.key;
+    for (size_t k = 0; k < aggs.size(); ++k) {
+      if (aggs[k].count_star) {
+        row.push_back(Value::Int(g.row_count));
+      } else {
+        SOREL_ASSIGN_OR_RETURN(Value v, g.states[k].Current());
+        row.push_back(v);
+      }
+    }
+    SOREL_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+Result<Relation> Union(const Relation& a, const Relation& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("union of incompatible schemas");
+  }
+  Relation out(a.schema());
+  for (const Tuple& row : a.rows()) SOREL_RETURN_IF_ERROR(out.Insert(row));
+  for (const Tuple& row : b.rows()) SOREL_RETURN_IF_ERROR(out.Insert(row));
+  return out;
+}
+
+}  // namespace rdb
+}  // namespace sorel

@@ -1,0 +1,81 @@
+#ifndef SOREL_RDB_OPS_H_
+#define SOREL_RDB_OPS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lang/ast.h"
+#include "rdb/relation.h"
+
+namespace sorel {
+namespace rdb {
+
+/// Row predicate used by Select / join residuals.
+using RowPred = std::function<bool(const Tuple&)>;
+/// Residual predicate over a (left, right) tuple pair in joins.
+using PairPred = std::function<bool(const Tuple&, const Tuple&)>;
+
+/// σ: rows of `in` satisfying `pred`.
+Relation Select(const Relation& in, const RowPred& pred);
+
+/// σ with a simple `column pred constant` condition.
+Result<Relation> SelectWhere(const Relation& in, std::string_view column,
+                             TestPred pred, const Value& value);
+
+/// π: keeps `columns` in the given order (duplicates of rows preserved).
+Result<Relation> Project(const Relation& in,
+                         const std::vector<std::string>& columns);
+
+/// ρ: renames columns (from -> to pairs).
+Result<Relation> Rename(
+    const Relation& in,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+/// Equi-hash-join on `keys` (left column, right column). The result schema
+/// is left's columns followed by right's non-key columns; a non-key name
+/// collision is an error. With empty `keys` this is a cross product. An
+/// optional `residual` filters joined pairs (for non-equality conditions).
+Result<Relation> HashJoin(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& keys,
+    const PairPred& residual = nullptr);
+
+/// Anti-join: left rows with NO right partner under `keys` + `residual`
+/// (relational NOT EXISTS; used for negated CEs in DIPS).
+Result<Relation> AntiJoin(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& keys,
+    const PairPred& residual = nullptr);
+
+/// δ: distinct rows (first occurrence kept, order preserved).
+Relation Distinct(const Relation& in);
+
+/// Sorts by `columns` ascending using Value::Compare; stable.
+Result<Relation> Sort(const Relation& in,
+                      const std::vector<std::string>& columns);
+
+/// One aggregate output column of GroupBy.
+struct AggColumn {
+  AggOp op;
+  std::string column;  // input column (ignored for count-star)
+  std::string as;      // output column name
+  bool count_star = false;  // count rows instead of distinct values
+};
+
+/// γ: SQL GROUP BY over `keys` with `aggs` (distinct-value semantics for
+/// count/sum/min/max/avg, matching the engine's aggregate semantics; use
+/// `count_star` for plain row counts). Output schema: keys then aggregates.
+/// Groups appear in first-seen order.
+Result<Relation> GroupBy(const Relation& in,
+                         const std::vector<std::string>& keys,
+                         const std::vector<AggColumn>& aggs);
+
+/// ∪ of two union-compatible relations (bag semantics).
+Result<Relation> Union(const Relation& a, const Relation& b);
+
+}  // namespace rdb
+}  // namespace sorel
+
+#endif  // SOREL_RDB_OPS_H_

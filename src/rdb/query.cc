@@ -1,0 +1,86 @@
+#include "rdb/query.h"
+
+namespace sorel {
+namespace rdb {
+
+Query&& Query::Push(Stage stage) && {
+  stages_.push_back(std::move(stage));
+  return std::move(*this);
+}
+
+Query&& Query::Where(std::string column, TestPred pred, Value value) && {
+  return std::move(*this).Push(
+      [column = std::move(column), pred, value](Relation in) {
+        return SelectWhere(in, column, pred, value);
+      });
+}
+
+Query&& Query::Where(RowPred pred) && {
+  return std::move(*this).Push([pred = std::move(pred)](Relation in) {
+    return Result<Relation>(Select(in, pred));
+  });
+}
+
+Query&& Query::Join(Relation right,
+                    std::vector<std::pair<std::string, std::string>> keys,
+                    PairPred residual) && {
+  return std::move(*this).Push(
+      [right = std::move(right), keys = std::move(keys),
+       residual = std::move(residual)](Relation in) {
+        return HashJoin(in, right, keys, residual);
+      });
+}
+
+Query&& Query::AntiJoin(Relation right,
+                        std::vector<std::pair<std::string, std::string>> keys,
+                        PairPred residual) && {
+  return std::move(*this).Push(
+      [right = std::move(right), keys = std::move(keys),
+       residual = std::move(residual)](Relation in) {
+        return rdb::AntiJoin(in, right, keys, residual);
+      });
+}
+
+Query&& Query::Project(std::vector<std::string> columns) && {
+  return std::move(*this).Push([columns = std::move(columns)](Relation in) {
+    return rdb::Project(in, columns);
+  });
+}
+
+Query&& Query::Rename(
+    std::vector<std::pair<std::string, std::string>> renames) && {
+  return std::move(*this).Push([renames = std::move(renames)](Relation in) {
+    return rdb::Rename(in, renames);
+  });
+}
+
+Query&& Query::GroupBy(std::vector<std::string> keys,
+                       std::vector<AggColumn> aggs) && {
+  return std::move(*this).Push(
+      [keys = std::move(keys), aggs = std::move(aggs)](Relation in) {
+        return rdb::GroupBy(in, keys, aggs);
+      });
+}
+
+Query&& Query::OrderBy(std::vector<std::string> columns) && {
+  return std::move(*this).Push([columns = std::move(columns)](Relation in) {
+    return Sort(in, columns);
+  });
+}
+
+Query&& Query::Distinct() && {
+  return std::move(*this).Push([](Relation in) {
+    return Result<Relation>(rdb::Distinct(in));
+  });
+}
+
+Result<Relation> Query::Execute() && {
+  Relation current = std::move(base_);
+  for (Stage& stage : stages_) {
+    SOREL_ASSIGN_OR_RETURN(current, stage(std::move(current)));
+  }
+  return current;
+}
+
+}  // namespace rdb
+}  // namespace sorel

@@ -1,0 +1,76 @@
+#ifndef SOREL_RDB_QUERY_H_
+#define SOREL_RDB_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdb/ops.h"
+#include "rdb/relation.h"
+
+namespace sorel {
+namespace rdb {
+
+/// A fluent, lazily evaluated pipeline over the rdb operators — the query
+/// shape DIPS issues against COND tables (§8.2), reusable by library
+/// clients:
+///
+///   SOREL_ASSIGN_OR_RETURN(
+///       Relation result,
+///       Query(cond_e)
+///           .Join(cond_w, {{"x", "x"}})
+///           .Where("salary", TestPred::kGt, Value::Int(1000))
+///           .GroupBy({"t0"}, {{AggOp::kCount, "", "rows", true}})
+///           .OrderBy({"rows"})
+///           .Execute());
+///
+/// Stages are recorded and run left to right by `Execute()`; the first
+/// error aborts the pipeline. Input relations are captured by value so the
+/// query remains valid after its sources change (snapshot semantics, as a
+/// disk-based DIPS transaction would see).
+class Query {
+ public:
+  explicit Query(Relation base) : base_(std::move(base)) {}
+
+  /// σ with `column pred constant`.
+  Query&& Where(std::string column, TestPred pred, Value value) &&;
+  /// σ with an arbitrary row predicate.
+  Query&& Where(RowPred pred) &&;
+  /// Equi-join against `right` (keys: left column, right column), with an
+  /// optional non-equality residual.
+  Query&& Join(Relation right,
+               std::vector<std::pair<std::string, std::string>> keys,
+               PairPred residual = nullptr) &&;
+  /// Anti-join (NOT EXISTS) against `right`.
+  Query&& AntiJoin(Relation right,
+                   std::vector<std::pair<std::string, std::string>> keys,
+                   PairPred residual = nullptr) &&;
+  /// π to `columns`, in order.
+  Query&& Project(std::vector<std::string> columns) &&;
+  /// ρ column renames (from -> to).
+  Query&& Rename(std::vector<std::pair<std::string, std::string>> renames) &&;
+  /// γ grouping with aggregate columns.
+  Query&& GroupBy(std::vector<std::string> keys,
+                  std::vector<AggColumn> aggs) &&;
+  /// Ascending stable sort by `columns`.
+  Query&& OrderBy(std::vector<std::string> columns) &&;
+  /// δ distinct rows.
+  Query&& Distinct() &&;
+
+  /// Runs the pipeline.
+  Result<Relation> Execute() &&;
+
+ private:
+  using Stage = std::function<Result<Relation>(Relation)>;
+
+  Query&& Push(Stage stage) &&;
+
+  Relation base_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace rdb
+}  // namespace sorel
+
+#endif  // SOREL_RDB_QUERY_H_

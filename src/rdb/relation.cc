@@ -1,0 +1,46 @@
+#include "rdb/relation.h"
+
+#include <utility>
+
+namespace sorel {
+namespace rdb {
+
+RelSchema::RelSchema(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+int RelSchema::IndexOf(std::string_view column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Relation::Insert(Tuple row) {
+  if (static_cast<int>(row.size()) != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(row.size()) +
+        " does not match schema arity " + std::to_string(schema_.arity()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+std::string Relation::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (size_t i = 0; i < schema_.columns().size(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema_.columns()[i];
+  }
+  out += "\n";
+  for (const Tuple& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString(symbols);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rdb
+}  // namespace sorel

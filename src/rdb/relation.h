@@ -1,0 +1,76 @@
+#ifndef SOREL_RDB_RELATION_H_
+#define SOREL_RDB_RELATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol_table.h"
+#include "base/value.h"
+
+namespace sorel {
+namespace rdb {
+
+/// A tuple: one `Value` per schema column. `nil` doubles as SQL NULL.
+using Tuple = std::vector<Value>;
+
+/// Column-name schema of a relation.
+class RelSchema {
+ public:
+  RelSchema() = default;
+  explicit RelSchema(std::vector<std::string> columns);
+
+  /// Index of `column`, or -1.
+  int IndexOf(std::string_view column) const;
+  int arity() const { return static_cast<int>(columns_.size()); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  bool operator==(const RelSchema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+/// An in-memory relation: a schema plus a bag of tuples (the DIPS substrate
+/// of §8 — COND tables, intermediate join results, SOI groups).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(RelSchema schema) : schema_(std::move(schema)) {}
+
+  const RelSchema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends `row`; errors if the arity does not match the schema.
+  Status Insert(Tuple row);
+
+  /// Removes all rows for which `pred` holds; returns how many.
+  template <typename Pred>
+  size_t Erase(Pred pred) {
+    size_t before = rows_.size();
+    std::erase_if(rows_, pred);
+    return before - rows_.size();
+  }
+
+  /// Value of `column` in `row` (both must be valid).
+  const Value& At(size_t row, int column) const {
+    return rows_[row][static_cast<size_t>(column)];
+  }
+
+  /// Multi-line debug rendering with a header row.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  RelSchema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace rdb
+}  // namespace sorel
+
+#endif  // SOREL_RDB_RELATION_H_

@@ -1,0 +1,103 @@
+#include "rete/conflict_set.h"
+
+#include <algorithm>
+
+namespace sorel {
+
+void ConflictSet::Add(InstantiationRef* inst) {
+  auto [it, inserted] = entries_.try_emplace(inst);
+  if (inserted) {
+    it->second.seq = next_seq_++;
+  } else {
+    it->second.fired = false;
+  }
+}
+
+void ConflictSet::Remove(InstantiationRef* inst) { entries_.erase(inst); }
+
+void ConflictSet::MarkFired(InstantiationRef* inst, bool remove_entry) {
+  if (remove_entry) {
+    entries_.erase(inst);
+    return;
+  }
+  auto it = entries_.find(inst);
+  if (it != entries_.end()) it->second.fired = true;
+}
+
+int CompareRecencyTags(const std::vector<TimeTag>& a,
+                       const std::vector<TimeTag>& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] > b[i] ? 1 : -1;
+  }
+  if (a.size() != b.size()) return a.size() > b.size() ? 1 : -1;
+  return 0;
+}
+
+bool ConflictSet::Precedes(Strategy strategy, const InstantiationRef& a,
+                           uint64_t seq_a, const InstantiationRef& b,
+                           uint64_t seq_b) {
+  if (strategy == Strategy::kMea) {
+    TimeTag fa = a.FirstCeTag(), fb = b.FirstCeTag();
+    if (fa != fb) return fa > fb;
+  }
+  int rec = CompareRecencyTags(a.RecencyTags(), b.RecencyTags());
+  if (rec != 0) return rec > 0;
+  int sa = a.rule().specificity, sb = b.rule().specificity;
+  if (sa != sb) return sa > sb;
+  return seq_a > seq_b;  // arbitrary but deterministic
+}
+
+InstantiationRef* ConflictSet::Select(Strategy strategy) const {
+  InstantiationRef* best = nullptr;
+  uint64_t best_seq = 0;
+  for (const auto& [inst, entry] : entries_) {
+    if (entry.fired) continue;
+    if (best == nullptr ||
+        Precedes(strategy, *inst, entry.seq, *best, best_seq)) {
+      best = inst;
+      best_seq = entry.seq;
+    }
+  }
+  return best;
+}
+
+std::vector<InstantiationRef*> ConflictSet::SortedEligible(
+    Strategy strategy) const {
+  std::vector<std::pair<InstantiationRef*, uint64_t>> eligible;
+  for (const auto& [inst, entry] : entries_) {
+    if (!entry.fired) eligible.emplace_back(inst, entry.seq);
+  }
+  std::sort(eligible.begin(), eligible.end(),
+            [strategy](const auto& a, const auto& b) {
+              return Precedes(strategy, *a.first, a.second, *b.first,
+                              b.second);
+            });
+  std::vector<InstantiationRef*> out;
+  out.reserve(eligible.size());
+  for (const auto& [inst, seq] : eligible) out.push_back(inst);
+  return out;
+}
+
+size_t ConflictSet::EligibleCount() const {
+  size_t n = 0;
+  for (const auto& [inst, entry] : entries_) {
+    if (!entry.fired) ++n;
+  }
+  return n;
+}
+
+std::vector<InstantiationRef*> ConflictSet::Entries() const {
+  std::vector<std::pair<uint64_t, InstantiationRef*>> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& [inst, entry] : entries_) {
+    ordered.emplace_back(entry.seq, inst);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<InstantiationRef*> out;
+  out.reserve(ordered.size());
+  for (const auto& [seq, inst] : ordered) out.push_back(inst);
+  return out;
+}
+
+}  // namespace sorel

@@ -1,0 +1,75 @@
+#ifndef SOREL_RETE_CONFLICT_SET_H_
+#define SOREL_RETE_CONFLICT_SET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rete/instantiation.h"
+
+namespace sorel {
+
+/// Conflict-resolution strategies (OPS5).
+enum class Strategy { kLex, kMea };
+
+/// The conflict set: all instantiations currently eligible to fire plus
+/// fired-but-unchanged SOIs awaiting a change (§6: "if any part of the
+/// instantiation changes, the instantiation is again eligible to fire").
+///
+/// Regular instantiations are removed when they fire (classic refraction —
+/// a time-tag-identical instantiation can never re-arise). SOIs stay with a
+/// `fired` flag that any subsequent γ-memory change clears via Add/Touch.
+class ConflictSet {
+ public:
+  /// Inserts `inst`, or reinstates it (clears the fired flag) if present.
+  void Add(InstantiationRef* inst);
+
+  /// Removes `inst` if present.
+  void Remove(InstantiationRef* inst);
+
+  /// Signals that `inst` changed (content or recency): clears fired.
+  /// Equivalent to Add; spelled separately for S-node `time` tokens.
+  void Touch(InstantiationRef* inst) { Add(inst); }
+
+  /// Marks `inst` fired. With `remove_entry` the entry is dropped entirely
+  /// (regular instantiations); otherwise it stays, ineligible until the next
+  /// Add/Touch (SOIs).
+  void MarkFired(InstantiationRef* inst, bool remove_entry);
+
+  /// Returns the best eligible instantiation under `strategy`, or nullptr.
+  InstantiationRef* Select(Strategy strategy) const;
+
+  /// All eligible instantiations, best first — the candidate batch for
+  /// parallel firing (§8.1: DIPS "attempts to execute all satisfied
+  /// instantiations concurrently").
+  std::vector<InstantiationRef*> SortedEligible(Strategy strategy) const;
+
+  /// Total entries (including fired-but-retained SOIs).
+  size_t size() const { return entries_.size(); }
+
+  /// Entries that could fire now.
+  size_t EligibleCount() const;
+
+  /// All entries in insertion order (stable; for tests and tracing).
+  std::vector<InstantiationRef*> Entries() const;
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    bool fired = false;
+    uint64_t seq = 0;
+  };
+
+  // Returns true if `a` should fire before `b`.
+  static bool Precedes(Strategy strategy, const InstantiationRef& a,
+                       uint64_t seq_a, const InstantiationRef& b,
+                       uint64_t seq_b);
+
+  std::unordered_map<InstantiationRef*, Entry> entries_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_RETE_CONFLICT_SET_H_

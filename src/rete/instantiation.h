@@ -1,0 +1,44 @@
+#ifndef SOREL_RETE_INSTANTIATION_H_
+#define SOREL_RETE_INSTANTIATION_H_
+
+#include <vector>
+
+#include "lang/compiled_rule.h"
+#include "wm/wme.h"
+
+namespace sorel {
+
+/// One regular instantiation's matched WMEs, indexed by token position
+/// (i.e., by positive CE).
+using Row = std::vector<WmePtr>;
+
+/// A conflict-set resident: either a regular instantiation (one row) or a
+/// set-oriented instantiation (many rows, §4.1). SOIs are *live* views into
+/// the S-node's γ-memory — "updates to an active SOI ... transparently
+/// update the SOI in the conflict set" (§5) — so rows are collected fresh
+/// when the instantiation fires.
+class InstantiationRef {
+ public:
+  virtual ~InstantiationRef() = default;
+
+  virtual const CompiledRule& rule() const = 0;
+
+  /// Appends the current rows (a snapshot safe to iterate while WM mutates).
+  virtual void CollectRows(std::vector<Row>* out) const = 0;
+
+  /// Time tags for LEX recency, sorted descending. For an SOI these are the
+  /// tags of its most recent member row.
+  virtual std::vector<TimeTag> RecencyTags() const = 0;
+
+  /// Time tag of the WME matching the first CE (for MEA).
+  virtual TimeTag FirstCeTag() const = 0;
+};
+
+/// Lexicographic comparison of descending recency tag lists; on a common
+/// prefix the longer list dominates (OPS5 LEX). Returns <0, 0, >0.
+int CompareRecencyTags(const std::vector<TimeTag>& a,
+                       const std::vector<TimeTag>& b);
+
+}  // namespace sorel
+
+#endif  // SOREL_RETE_INSTANTIATION_H_

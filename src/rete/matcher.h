@@ -1,0 +1,31 @@
+#ifndef SOREL_RETE_MATCHER_H_
+#define SOREL_RETE_MATCHER_H_
+
+#include "base/status.h"
+#include "lang/compiled_rule.h"
+#include "rete/conflict_set.h"
+#include "wm/working_memory.h"
+
+namespace sorel {
+
+/// A match algorithm: consumes WM changes, produces conflict-set updates.
+/// Implemented by `ReteMatcher` (with S-node support, the paper's extended
+/// Rete) and `TreatMatcher` (the tuple-oriented baseline).
+class Matcher : public WorkingMemory::Listener {
+ public:
+  ~Matcher() override = default;
+
+  /// Adds a production. The rule object must outlive the matcher. Existing
+  /// WM contents are matched immediately.
+  virtual Status AddRule(const CompiledRule* rule) = 0;
+
+  /// Removes a production: its instantiations leave the conflict set and
+  /// all per-rule match state is reclaimed (OPS5's `excise`).
+  virtual Status RemoveRule(const CompiledRule* rule) = 0;
+
+  virtual ConflictSet& conflict_set() = 0;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_RETE_MATCHER_H_

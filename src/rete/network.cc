@@ -1,0 +1,467 @@
+#include "rete/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "lang/ast.h"
+
+namespace sorel {
+
+namespace {
+
+bool SameConstantTests(const std::vector<ConstantTest>& a,
+                       const std::vector<ConstantTest>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].field != b[i].field || a[i].pred != b[i].pred ||
+        !(a[i].value == b[i].value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameMemberTests(const std::vector<MemberTest>& a,
+                     const std::vector<MemberTest>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].field != b[i].field || a[i].values.size() != b[i].values.size()) {
+      return false;
+    }
+    for (size_t k = 0; k < a[i].values.size(); ++k) {
+      if (!(a[i].values[k] == b[i].values[k])) return false;
+    }
+  }
+  return true;
+}
+
+bool SameIntraTests(const std::vector<IntraTest>& a,
+                    const std::vector<IntraTest>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].field != b[i].field || a[i].pred != b[i].pred ||
+        a[i].other_field != b[i].other_field) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- alpha ---
+
+AlphaMemory::AlphaMemory(const CompiledCondition& cond)
+    : cls_(cond.cls),
+      const_tests_(cond.const_tests),
+      member_tests_(cond.member_tests),
+      intra_tests_(cond.intra_tests) {}
+
+bool AlphaMemory::Accepts(const Wme& wme) const {
+  for (const ConstantTest& t : const_tests_) {
+    if (!EvalTestPred(t.pred, wme.field(t.field), t.value)) return false;
+  }
+  for (const MemberTest& t : member_tests_) {
+    bool any = false;
+    for (const Value& v : t.values) {
+      if (wme.field(t.field) == v) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  for (const IntraTest& t : intra_tests_) {
+    if (!EvalTestPred(t.pred, wme.field(t.field), wme.field(t.other_field))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AlphaMemory::SameTests(const CompiledCondition& cond) const {
+  return cls_ == cond.cls && SameConstantTests(const_tests_, cond.const_tests) &&
+         SameMemberTests(member_tests_, cond.member_tests) &&
+         SameIntraTests(intra_tests_, cond.intra_tests);
+}
+
+// ----------------------------------------------------------------- beta ---
+
+bool BetaNode::Matches(const Token* t, const Wme& wme) const {
+  for (const JoinTest& jt : cond_->join_tests) {
+    const Wme* other = WmeAt(t, jt.other_token_pos);
+    if (other == nullptr) return false;
+    if (!EvalTestPred(jt.pred, wme.field(jt.field),
+                      other->field(jt.other_field))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BetaNode::PropagateDown(Token* t) {
+  if (child_ != nullptr) child_->OnParentToken(t);
+  if (sink_ != nullptr) sink_->OnToken(t, /*added=*/true);
+}
+
+// ----------------------------------------------------------------- join ---
+
+void JoinNode::OnParentToken(Token* t) {
+  const std::vector<WmePtr>& items = amem_->items();
+  // Index loop: propagation never mutates this alpha memory, but stay
+  // defensive about iterator invalidation conventions.
+  for (size_t i = 0; i < items.size(); ++i) {
+    const WmePtr& w = items[i];
+    if (Matches(t, *w)) {
+      Token* out = net_->NewToken(this, t, w);
+      PropagateDown(out);
+    }
+  }
+}
+
+void JoinNode::RightActivate(const WmePtr& wme, bool added) {
+  if (!added) return;  // removals are handled by token-tree deletion
+  if (parent_ == nullptr) {
+    Token* root = net_->root_token();
+    if (Matches(root, *wme)) {
+      Token* out = net_->NewToken(this, root, wme);
+      PropagateDown(out);
+    }
+    return;
+  }
+  parent_->ForEachActiveOutput([&](Token* t) {
+    if (Matches(t, *wme)) {
+      Token* out = net_->NewToken(this, t, wme);
+      PropagateDown(out);
+    }
+  });
+}
+
+void JoinNode::OnOwnedTokenDeleted(Token* t) {
+  outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), t),
+                 outputs_.end());
+  if (sink_ != nullptr) sink_->OnToken(t, /*added=*/false);
+}
+
+void JoinNode::ForEachActiveOutput(
+    const std::function<void(Token*)>& fn) const {
+  for (size_t i = 0; i < outputs_.size(); ++i) fn(outputs_[i]);
+}
+
+// ------------------------------------------------------------- negative ---
+
+int NegativeNode::CountBlockers(const Token* t) const {
+  int n = 0;
+  for (const WmePtr& w : amem_->items()) {
+    if (Matches(t, *w)) ++n;
+  }
+  return n;
+}
+
+void NegativeNode::OnParentToken(Token* up) {
+  Token* t = net_->NewToken(this, up, nullptr);
+  t->blockers = CountBlockers(t);
+  if (t->blockers == 0) Propagate(t);
+}
+
+void NegativeNode::RightActivate(const WmePtr& wme, bool added) {
+  // Snapshot: Retract/Propagate can cascade but never changes outputs_ of
+  // this node (children live downstream).
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    Token* t = outputs_[i];
+    if (!Matches(t, *wme)) continue;
+    if (added) {
+      if (t->blockers++ == 0) Retract(t);
+    } else {
+      if (--t->blockers == 0) Propagate(t);
+    }
+  }
+}
+
+void NegativeNode::Propagate(Token* t) {
+  t->propagated = true;
+  if (child_ != nullptr) child_->OnParentToken(t);
+  if (sink_ != nullptr) sink_->OnToken(t, /*added=*/true);
+}
+
+void NegativeNode::Retract(Token* t) {
+  while (!t->children.empty()) net_->DeleteTokenTree(t->children.back());
+  if (sink_ != nullptr && t->propagated) sink_->OnToken(t, /*added=*/false);
+  t->propagated = false;
+}
+
+void NegativeNode::OnOwnedTokenDeleted(Token* t) {
+  outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), t),
+                 outputs_.end());
+  if (sink_ != nullptr && t->propagated) sink_->OnToken(t, /*added=*/false);
+}
+
+void NegativeNode::ForEachActiveOutput(
+    const std::function<void(Token*)>& fn) const {
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i]->propagated) fn(outputs_[i]);
+  }
+}
+
+// ---------------------------------------------------------------- pnode ---
+
+/// Conflict-set entry for a regular instantiation: one complete token.
+class PNode::RegularInst : public InstantiationRef {
+ public:
+  RegularInst(const CompiledRule* rule, Token* token)
+      : rule_(rule), token_(token) {}
+
+  const CompiledRule& rule() const override { return *rule_; }
+
+  void CollectRows(std::vector<Row>* out) const override {
+    Row row;
+    TokenRow(token_, &row);
+    out->push_back(std::move(row));
+  }
+
+  std::vector<TimeTag> RecencyTags() const override {
+    std::vector<TimeTag> tags;
+    for (const Token* t = token_; t != nullptr; t = t->parent) {
+      if (t->wme != nullptr) tags.push_back(t->wme->time_tag());
+    }
+    std::sort(tags.rbegin(), tags.rend());
+    return tags;
+  }
+
+  TimeTag FirstCeTag() const override {
+    const Wme* w = WmeAt(token_, 0);
+    return w == nullptr ? 0 : w->time_tag();
+  }
+
+ private:
+  const CompiledRule* rule_;
+  Token* token_;
+};
+
+PNode::~PNode() {
+  for (auto& [token, inst] : insts_) cs_->Remove(inst.get());
+}
+
+void PNode::OnToken(Token* token, bool added) {
+  if (added) {
+    auto inst = std::make_unique<RegularInst>(rule_, token);
+    cs_->Add(inst.get());
+    insts_.emplace(token, std::move(inst));
+    return;
+  }
+  auto it = insts_.find(token);
+  if (it == insts_.end()) return;
+  cs_->Remove(it->second.get());
+  insts_.erase(it);
+}
+
+// -------------------------------------------------------------- matcher ---
+
+ReteMatcher::ReteMatcher(WorkingMemory* wm, ConflictSet* cs,
+                         SinkFactory sink_factory)
+    : wm_(wm), cs_(cs), sink_factory_(std::move(sink_factory)) {
+  wm_->AddListener(this);
+}
+
+ReteMatcher::~ReteMatcher() {
+  wm_->RemoveListener(this);
+  while (!root_.children.empty()) DeleteTokenTree(root_.children.back());
+}
+
+Token* ReteMatcher::NewToken(BetaNode* owner, Token* parent, WmePtr wme) {
+  Token* t = new Token;
+  t->owner = owner;
+  t->parent = parent;
+  t->wme = std::move(wme);
+  if (parent != nullptr) parent->children.push_back(t);
+  if (t->wme != nullptr) {
+    wme_meta_[t->wme->time_tag()].tokens.push_back(t);
+  }
+  // Register in the owner's output memory.
+  // (BetaNode::outputs_ is protected; ReteMatcher is a friend.)
+  owner->outputs_.push_back(t);
+  ++live_tokens_;
+  return t;
+}
+
+void ReteMatcher::DeleteTokenTree(Token* t) {
+  while (!t->children.empty()) DeleteTokenTree(t->children.back());
+  t->owner->OnOwnedTokenDeleted(t);
+  if (t->parent != nullptr) {
+    auto& siblings = t->parent->children;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), t),
+                   siblings.end());
+  }
+  if (t->wme != nullptr) {
+    auto it = wme_meta_.find(t->wme->time_tag());
+    if (it != wme_meta_.end()) {
+      auto& tokens = it->second.tokens;
+      tokens.erase(std::remove(tokens.begin(), tokens.end(), t),
+                   tokens.end());
+    }
+  }
+  delete t;
+  --live_tokens_;
+}
+
+AlphaMemory* ReteMatcher::GetOrCreateAlpha(const CompiledCondition& cond) {
+  auto& memories = alphas_by_class_[cond.cls];
+  for (const auto& am : memories) {
+    if (am->SameTests(cond)) return am.get();
+  }
+  auto am = std::make_unique<AlphaMemory>(cond);
+  // Seed with the current working memory.
+  for (const WmePtr& w : wm_->Snapshot()) {
+    if (w->cls() == cond.cls && am->Accepts(*w)) {
+      am->items_.push_back(w);
+      wme_meta_[w->time_tag()].amems.push_back(am.get());
+    }
+  }
+  memories.push_back(std::move(am));
+  return memories.back().get();
+}
+
+Status ReteMatcher::AddRule(const CompiledRule* rule) {
+  if (rule->has_set && sink_factory_ == nullptr) {
+    return Status::Unimplemented(
+        "rule '" + rule->name +
+        "': this matcher was built without set-oriented (S-node) support");
+  }
+  // Build the linear beta chain.
+  std::vector<BetaNode*> chain;
+  BetaNode* prev = nullptr;
+  for (const CompiledCondition& cond : rule->conditions) {
+    AlphaMemory* am = GetOrCreateAlpha(cond);
+    std::unique_ptr<BetaNode> node;
+    if (cond.negated) {
+      node = std::make_unique<NegativeNode>(this, am, prev, &cond);
+    } else {
+      node = std::make_unique<JoinNode>(this, am, prev, &cond);
+    }
+    // Newest successors first (duplicate-token avoidance).
+    am->successors_.insert(am->successors_.begin(), node.get());
+    if (prev != nullptr) prev->set_child(node.get());
+    prev = node.get();
+    chain.push_back(node.get());
+    nodes_.push_back(std::move(node));
+  }
+  std::unique_ptr<ReteSink> sink;
+  if (sink_factory_ != nullptr) {
+    sink = sink_factory_(*rule);
+  } else {
+    sink = std::make_unique<PNode>(rule, cs_);
+  }
+  prev->set_sink(sink.get());
+  RuleNodes entry;
+  entry.chain = chain;
+  entry.sink = sink.get();
+  rule_nodes_.emplace(rule, std::move(entry));
+  sinks_.push_back(std::move(sink));
+
+  // Populate from existing WM: right-activating the first node cascades
+  // left-activations through the whole (already wired) chain.
+  BetaNode* first = chain.front();
+  std::vector<WmePtr> seed = first->amem()->items();
+  for (const WmePtr& w : seed) first->RightActivate(w, /*added=*/true);
+  return Status::Ok();
+}
+
+Status ReteMatcher::RemoveRule(const CompiledRule* rule) {
+  auto it = rule_nodes_.find(rule);
+  if (it == rule_nodes_.end()) {
+    return Status::NotFound("rule not loaded: " + rule->name);
+  }
+  RuleNodes entry = std::move(it->second);
+  rule_nodes_.erase(it);
+  // 1. Delete the chain's tokens. Every downstream token descends from a
+  //    first-node output, so deleting those roots cascades through the
+  //    whole chain (and notifies the sink for retracted instantiations).
+  BetaNode* first = entry.chain.front();
+  while (!first->outputs_.empty()) DeleteTokenTree(first->outputs_.back());
+  // 2. Unhook from the shared alpha memories.
+  for (BetaNode* node : entry.chain) {
+    auto& succs = node->amem_->successors_;
+    succs.erase(std::remove(succs.begin(), succs.end(), node), succs.end());
+  }
+  // 3. Destroy the sink (removes any remaining conflict-set entries, e.g.
+  //    inactive SOIs are dropped with it) and the nodes.
+  std::erase_if(sinks_, [&](const std::unique_ptr<ReteSink>& s) {
+    return s.get() == entry.sink;
+  });
+  for (BetaNode* node : entry.chain) {
+    std::erase_if(nodes_, [&](const std::unique_ptr<BetaNode>& n) {
+      return n.get() == node;
+    });
+  }
+  return Status::Ok();
+}
+
+void ReteMatcher::OnAdd(const WmePtr& wme) {
+  auto it = alphas_by_class_.find(wme->cls());
+  if (it == alphas_by_class_.end()) return;
+  for (const auto& am : it->second) {
+    if (!am->Accepts(*wme)) continue;
+    am->items_.push_back(wme);
+    wme_meta_[wme->time_tag()].amems.push_back(am.get());
+    // Immediate per-memory activation, successors newest-first: this is the
+    // ordering that makes one WME matching several CEs of a rule produce
+    // each combined token exactly once.
+    for (size_t i = 0; i < am->successors_.size(); ++i) {
+      am->successors_[i]->RightActivate(wme, /*added=*/true);
+    }
+  }
+}
+
+void ReteMatcher::OnRemove(const WmePtr& wme) {
+  auto it = wme_meta_.find(wme->time_tag());
+  if (it == wme_meta_.end()) return;
+  // 1. Remove from alpha memories so joins no longer see it.
+  for (AlphaMemory* am : it->second.amems) {
+    auto& items = am->items_;
+    items.erase(std::remove(items.begin(), items.end(), wme), items.end());
+  }
+  // 2. Unblock negative nodes (may propagate new tokens).
+  for (AlphaMemory* am : it->second.amems) {
+    for (size_t i = 0; i < am->successors_.size(); ++i) {
+      am->successors_[i]->RightActivate(wme, /*added=*/false);
+    }
+  }
+  // 3. Tree-delete every token anchored on this WME. Deletions edit the
+  //    live list in place (a token in the list can delete a descendant that
+  //    is also in the list), so loop until empty rather than iterating.
+  auto& tokens = it->second.tokens;
+  while (!tokens.empty()) DeleteTokenTree(tokens.back());
+  wme_meta_.erase(wme->time_tag());
+}
+
+void ReteMatcher::DumpNetwork(std::ostream& out,
+                              const SymbolTable& symbols) const {
+  out << "alpha network:\n";
+  for (const auto& [cls, memories] : alphas_by_class_) {
+    for (const auto& am : memories) {
+      out << "  (" << symbols.Name(cls) << ") tests="
+          << am->const_tests_.size() + am->member_tests_.size() +
+                 am->intra_tests_.size()
+          << " items=" << am->items_.size()
+          << " successors=" << am->successors_.size() << "\n";
+    }
+  }
+  out << "beta network:\n";
+  for (const auto& [rule, entry] : rule_nodes_) {
+    out << "  rule " << rule->name << ":";
+    for (BetaNode* node : entry.chain) {
+      bool negative = node->cond().negated;
+      out << " " << (negative ? "neg" : "join") << "("
+          << node->outputs_.size() << ")";
+    }
+    out << " -> " << (rule->has_set ? "S-node" : "P-node") << "\n";
+  }
+}
+
+size_t ReteMatcher::num_alpha_memories() const {
+  size_t n = 0;
+  for (const auto& [cls, memories] : alphas_by_class_) n += memories.size();
+  return n;
+}
+
+}  // namespace sorel

@@ -1,0 +1,215 @@
+#ifndef SOREL_RETE_NETWORK_H_
+#define SOREL_RETE_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "lang/compiled_rule.h"
+#include "rete/conflict_set.h"
+#include "rete/matcher.h"
+#include "rete/token.h"
+#include "wm/working_memory.h"
+
+namespace sorel {
+
+class ReteMatcher;
+
+/// Terminal consumer of a rule's tokens: a P-node for regular rules or an
+/// S-node (src/core) for set-oriented rules.
+class ReteSink {
+ public:
+  virtual ~ReteSink() = default;
+  /// `added` follows the sign of the token (+/- in the paper's Figure 3).
+  virtual void OnToken(Token* token, bool added) = 0;
+};
+
+/// An alpha memory: the WMEs of one class passing one set of intra-WME
+/// tests (constants, disjunctions, and same-WME variable consistency).
+/// Shared across rules/CEs with identical tests (the Rete "shared tests"
+/// property the paper preserves, §5).
+class AlphaMemory {
+ public:
+  explicit AlphaMemory(const CompiledCondition& cond);
+
+  /// True if `wme` (already of the right class) passes all tests.
+  bool Accepts(const Wme& wme) const;
+
+  /// True if this memory can be shared with `cond`'s alpha tests.
+  bool SameTests(const CompiledCondition& cond) const;
+
+  const std::vector<WmePtr>& items() const { return items_; }
+  SymbolId cls() const { return cls_; }
+
+ private:
+  friend class ReteMatcher;
+
+  SymbolId cls_;
+  std::vector<ConstantTest> const_tests_;
+  std::vector<MemberTest> member_tests_;
+  std::vector<IntraTest> intra_tests_;
+  std::vector<WmePtr> items_;
+  /// Right-activation targets, newest-first (Doorenbos's ordering, which
+  /// avoids duplicate tokens when one WME feeds several CEs of a rule).
+  std::vector<class BetaNode*> successors_;
+};
+
+/// A node of the beta network: a join node or a negative node. Each rule
+/// compiles to a linear chain of beta nodes ending in a sink.
+class BetaNode {
+ public:
+  BetaNode(ReteMatcher* net, AlphaMemory* amem, BetaNode* parent,
+           const CompiledCondition* cond)
+      : net_(net), amem_(amem), parent_(parent), cond_(cond) {}
+  virtual ~BetaNode() = default;
+
+  /// A new token arrived from the upstream node.
+  virtual void OnParentToken(Token* t) = 0;
+  /// `wme` was added to / removed from this node's alpha memory.
+  virtual void RightActivate(const WmePtr& wme, bool added) = 0;
+  /// Called by token deletion; removes `t` from this node's memory and
+  /// notifies the sink if `t` had reached it.
+  virtual void OnOwnedTokenDeleted(Token* t) = 0;
+  /// Invokes `fn` on every output token visible to the downstream node.
+  virtual void ForEachActiveOutput(
+      const std::function<void(Token*)>& fn) const = 0;
+
+  void set_child(BetaNode* child) { child_ = child; }
+  void set_sink(ReteSink* sink) { sink_ = sink; }
+  AlphaMemory* amem() const { return amem_; }
+  const CompiledCondition& cond() const { return *cond_; }
+
+ protected:
+  friend class ReteMatcher;  // token registration touches outputs_
+
+  /// Evaluates this node's join tests for `wme` against the token chain.
+  bool Matches(const Token* t, const Wme& wme) const;
+  /// Hands a token to the downstream node / sink.
+  void PropagateDown(Token* t);
+
+  ReteMatcher* net_;
+  AlphaMemory* amem_;
+  BetaNode* parent_;  // null for the first node (root token upstream)
+  const CompiledCondition* cond_;
+  BetaNode* child_ = nullptr;
+  ReteSink* sink_ = nullptr;
+  std::vector<Token*> outputs_;
+};
+
+/// Positive CE: joins upstream tokens with alpha memory WMEs.
+class JoinNode : public BetaNode {
+ public:
+  using BetaNode::BetaNode;
+  void OnParentToken(Token* t) override;
+  void RightActivate(const WmePtr& wme, bool added) override;
+  void OnOwnedTokenDeleted(Token* t) override;
+  void ForEachActiveOutput(
+      const std::function<void(Token*)>& fn) const override;
+};
+
+/// Negated CE: propagates upstream tokens that have *no* match in the alpha
+/// memory; maintains a blocker count per token.
+class NegativeNode : public BetaNode {
+ public:
+  using BetaNode::BetaNode;
+  void OnParentToken(Token* t) override;
+  void RightActivate(const WmePtr& wme, bool added) override;
+  void OnOwnedTokenDeleted(Token* t) override;
+  void ForEachActiveOutput(
+      const std::function<void(Token*)>& fn) const override;
+
+ private:
+  int CountBlockers(const Token* t) const;
+  void Propagate(Token* t);
+  void Retract(Token* t);
+};
+
+/// P-node: terminal for regular (non-set-oriented) rules; owns one
+/// conflict-set instantiation per complete token.
+class PNode : public ReteSink {
+ public:
+  PNode(const CompiledRule* rule, ConflictSet* cs) : rule_(rule), cs_(cs) {}
+  ~PNode() override;
+
+  void OnToken(Token* token, bool added) override;
+
+  size_t size() const { return insts_.size(); }
+
+ private:
+  class RegularInst;
+  const CompiledRule* rule_;
+  ConflictSet* cs_;
+  std::unordered_map<Token*, std::unique_ptr<InstantiationRef>> insts_;
+};
+
+/// Builds the terminal node for a rule. The engine supplies a factory that
+/// creates a PNode for regular rules and an S-node for set-oriented ones
+/// (keeping this library independent of src/core).
+using SinkFactory =
+    std::function<std::unique_ptr<ReteSink>(const CompiledRule&)>;
+
+/// The extended Rete network of §5: shared alpha memories, per-rule join
+/// chains, negative nodes, and pluggable terminals.
+class ReteMatcher : public Matcher {
+ public:
+  /// `sink_factory` may be null, in which case every rule gets a plain
+  /// PNode (set-oriented rules are then rejected by AddRule).
+  ReteMatcher(WorkingMemory* wm, ConflictSet* cs, SinkFactory sink_factory);
+  ~ReteMatcher() override;
+
+  ReteMatcher(const ReteMatcher&) = delete;
+  ReteMatcher& operator=(const ReteMatcher&) = delete;
+
+  Status AddRule(const CompiledRule* rule) override;
+  Status RemoveRule(const CompiledRule* rule) override;
+  ConflictSet& conflict_set() override { return *cs_; }
+
+  void OnAdd(const WmePtr& wme) override;
+  void OnRemove(const WmePtr& wme) override;
+
+  // --- token management (used by beta nodes) ---
+  Token* NewToken(BetaNode* owner, Token* parent, WmePtr wme);
+  void DeleteTokenTree(Token* t);
+  Token* root_token() { return &root_; }
+
+  // --- introspection for tests and benches ---
+  /// Prints the network topology: alpha memories (class, tests, items,
+  /// successors) and each rule's beta chain with memory sizes.
+  void DumpNetwork(std::ostream& out, const SymbolTable& symbols) const;
+  size_t num_alpha_memories() const;
+  size_t live_tokens() const { return live_tokens_; }
+  size_t num_beta_nodes() const { return nodes_.size(); }
+
+ private:
+  struct WmeMeta {
+    std::vector<AlphaMemory*> amems;
+    std::vector<Token*> tokens;  // tokens whose own wme is this WME
+  };
+
+  AlphaMemory* GetOrCreateAlpha(const CompiledCondition& cond);
+
+  /// Per-rule bookkeeping so RemoveRule can tear a chain down.
+  struct RuleNodes {
+    std::vector<BetaNode*> chain;
+    ReteSink* sink = nullptr;
+  };
+  std::unordered_map<const CompiledRule*, RuleNodes> rule_nodes_;
+
+  WorkingMemory* wm_;
+  ConflictSet* cs_;
+  SinkFactory sink_factory_;
+  std::unordered_map<SymbolId, std::vector<std::unique_ptr<AlphaMemory>>>
+      alphas_by_class_;
+  std::vector<std::unique_ptr<BetaNode>> nodes_;
+  std::vector<std::unique_ptr<ReteSink>> sinks_;
+  std::unordered_map<TimeTag, WmeMeta> wme_meta_;
+  Token root_;
+  size_t live_tokens_ = 0;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_RETE_NETWORK_H_

@@ -1,0 +1,34 @@
+#include "rete/token.h"
+
+namespace sorel {
+
+const Wme* WmeAt(const Token* t, int pos) {
+  // Count the wme-bearing depth of the chain, then walk to `pos`.
+  int depth = 0;
+  for (const Token* cur = t; cur != nullptr; cur = cur->parent) {
+    if (cur->wme != nullptr) ++depth;
+  }
+  if (pos < 0 || pos >= depth) return nullptr;
+  int remaining = depth - 1 - pos;  // wme-bearing ancestors to skip
+  for (const Token* cur = t; cur != nullptr; cur = cur->parent) {
+    if (cur->wme == nullptr) continue;
+    if (remaining == 0) return cur->wme.get();
+    --remaining;
+  }
+  return nullptr;
+}
+
+void TokenRow(const Token* t, Row* out) {
+  int depth = 0;
+  for (const Token* cur = t; cur != nullptr; cur = cur->parent) {
+    if (cur->wme != nullptr) ++depth;
+  }
+  out->assign(static_cast<size_t>(depth), nullptr);
+  int i = depth - 1;
+  for (const Token* cur = t; cur != nullptr; cur = cur->parent) {
+    if (cur->wme == nullptr) continue;
+    (*out)[static_cast<size_t>(i--)] = cur->wme;
+  }
+}
+
+}  // namespace sorel

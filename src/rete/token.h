@@ -1,0 +1,37 @@
+#ifndef SOREL_RETE_TOKEN_H_
+#define SOREL_RETE_TOKEN_H_
+
+#include <vector>
+
+#include "rete/instantiation.h"
+#include "wm/wme.h"
+
+namespace sorel {
+
+class BetaNode;
+
+/// A partial match: a path of WMEs through the beta network. Join-node
+/// tokens carry the WME matched at their level; negative-node tokens carry
+/// none (`wme == nullptr`). Tokens form a tree via parent/children links so
+/// that WME removal deletes whole subtrees (tree-based removal).
+struct Token {
+  Token* parent = nullptr;
+  WmePtr wme;  // null for the root and for negative-node tokens
+  BetaNode* owner = nullptr;
+  std::vector<Token*> children;
+  /// Negative-node tokens: number of WMEs currently matching the negated CE.
+  int blockers = 0;
+  /// Negative-node tokens: whether currently propagated downstream.
+  bool propagated = false;
+};
+
+/// WME matched at token position `pos` along the chain ending in `t`
+/// (positions count positive CEs, 0-based). Returns nullptr if out of range.
+const Wme* WmeAt(const Token* t, int pos);
+
+/// Fills `out` with the chain's WMEs indexed by token position.
+void TokenRow(const Token* t, Row* out);
+
+}  // namespace sorel
+
+#endif  // SOREL_RETE_TOKEN_H_

@@ -1,0 +1,241 @@
+#include "treat/treat.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "rete/instantiation.h"
+
+namespace sorel {
+
+namespace {
+
+struct TagVecHash {
+  size_t operator()(const std::vector<TimeTag>& tags) const {
+    size_t h = 0x9e3779b97f4a7c15ull;
+    for (TimeTag t : tags) {
+      h ^= std::hash<TimeTag>()(t) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+std::vector<TimeTag> RowSignature(const Row& row) {
+  std::vector<TimeTag> sig;
+  sig.reserve(row.size());
+  for (const WmePtr& w : row) sig.push_back(w->time_tag());
+  return sig;
+}
+
+}  // namespace
+
+/// A TREAT instantiation: one complete row, owned by the matcher.
+class TreatMatcher::TreatInst : public InstantiationRef {
+ public:
+  TreatInst(const CompiledRule* rule, Row row)
+      : rule_(rule), row_(std::move(row)) {}
+
+  const CompiledRule& rule() const override { return *rule_; }
+  void CollectRows(std::vector<Row>* out) const override {
+    out->push_back(row_);
+  }
+  std::vector<TimeTag> RecencyTags() const override {
+    std::vector<TimeTag> tags = RowSignature(row_);
+    std::sort(tags.rbegin(), tags.rend());
+    return tags;
+  }
+  TimeTag FirstCeTag() const override {
+    return row_.empty() ? 0 : row_.front()->time_tag();
+  }
+  const Row& row() const { return row_; }
+
+ private:
+  const CompiledRule* rule_;
+  Row row_;
+};
+
+struct TreatMatcher::RuleState {
+  const CompiledRule* rule = nullptr;
+  /// Alpha memory per CE (original index).
+  std::vector<std::vector<WmePtr>> alpha;
+  /// Current instantiations keyed by their time-tag signature.
+  std::unordered_map<std::vector<TimeTag>, std::unique_ptr<TreatInst>,
+                     TagVecHash>
+      insts;
+};
+
+TreatMatcher::TreatMatcher(WorkingMemory* wm, ConflictSet* cs)
+    : wm_(wm), cs_(cs) {
+  wm_->AddListener(this);
+}
+
+TreatMatcher::~TreatMatcher() {
+  wm_->RemoveListener(this);
+  for (const auto& rs : rules_) {
+    for (const auto& [sig, inst] : rs->insts) cs_->Remove(inst.get());
+  }
+}
+
+Status TreatMatcher::AddRule(const CompiledRule* rule) {
+  if (rule->has_set) {
+    return Status::Unimplemented(
+        "rule '" + rule->name +
+        "': TREAT is the tuple-oriented baseline and does not support "
+        "set-oriented constructs");
+  }
+  auto rs = std::make_unique<RuleState>();
+  rs->rule = rule;
+  rs->alpha.resize(rule->conditions.size());
+  for (const WmePtr& w : wm_->Snapshot()) {
+    for (size_t ce = 0; ce < rule->conditions.size(); ++ce) {
+      const CompiledCondition& cond = rule->conditions[ce];
+      if (w->cls() == cond.cls && PassesAlphaTests(cond, *w)) {
+        rs->alpha[ce].push_back(w);
+      }
+    }
+  }
+  SearchAll(rs.get());
+  rules_.push_back(std::move(rs));
+  return Status::Ok();
+}
+
+Status TreatMatcher::RemoveRule(const CompiledRule* rule) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if ((*it)->rule != rule) continue;
+    for (const auto& [sig, inst] : (*it)->insts) cs_->Remove(inst.get());
+    rules_.erase(it);
+    return Status::Ok();
+  }
+  return Status::NotFound("rule not loaded: " + rule->name);
+}
+
+void TreatMatcher::ExtendRow(RuleState* rs, size_t ce_index, Row* row,
+                             int seed_ce, const WmePtr& seed) {
+  const auto& conditions = rs->rule->conditions;
+  if (ce_index == conditions.size()) {
+    if (!BlockedByNegated(*rs, *row)) EmitInst(rs, *row);
+    return;
+  }
+  const CompiledCondition& cond = conditions[ce_index];
+  if (cond.negated) {
+    ExtendRow(rs, ce_index + 1, row, seed_ce, seed);
+    return;
+  }
+  if (static_cast<int>(ce_index) == seed_ce) {
+    if (PassesJoinTests(cond, *row, *seed)) {
+      (*row)[static_cast<size_t>(cond.token_pos)] = seed;
+      ExtendRow(rs, ce_index + 1, row, seed_ce, seed);
+      (*row)[static_cast<size_t>(cond.token_pos)] = nullptr;
+    }
+    return;
+  }
+  for (const WmePtr& w : rs->alpha[ce_index]) {
+    if (PassesJoinTests(cond, *row, *w)) {
+      (*row)[static_cast<size_t>(cond.token_pos)] = w;
+      ExtendRow(rs, ce_index + 1, row, seed_ce, seed);
+      (*row)[static_cast<size_t>(cond.token_pos)] = nullptr;
+    }
+  }
+}
+
+bool TreatMatcher::BlockedByNegated(const RuleState& rs,
+                                    const Row& row) const {
+  const auto& conditions = rs.rule->conditions;
+  for (size_t ce = 0; ce < conditions.size(); ++ce) {
+    const CompiledCondition& cond = conditions[ce];
+    if (!cond.negated) continue;
+    for (const WmePtr& w : rs.alpha[ce]) {
+      if (PassesJoinTests(cond, row, *w)) return true;
+    }
+  }
+  return false;
+}
+
+void TreatMatcher::EmitInst(RuleState* rs, const Row& row) {
+  std::vector<TimeTag> sig = RowSignature(row);
+  if (rs->insts.count(sig) != 0) return;
+  auto inst = std::make_unique<TreatInst>(rs->rule, row);
+  cs_->Add(inst.get());
+  rs->insts.emplace(std::move(sig), std::move(inst));
+}
+
+void TreatMatcher::SearchFromSeed(RuleState* rs, int seed_ce,
+                                  const WmePtr& seed) {
+  Row row(static_cast<size_t>(rs->rule->num_positive));
+  ExtendRow(rs, 0, &row, seed_ce, seed);
+}
+
+void TreatMatcher::SearchAll(RuleState* rs) {
+  Row row(static_cast<size_t>(rs->rule->num_positive));
+  ExtendRow(rs, 0, &row, /*seed_ce=*/-1, /*seed=*/nullptr);
+}
+
+void TreatMatcher::DropInstsContaining(RuleState* rs, const Wme& wme) {
+  for (auto it = rs->insts.begin(); it != rs->insts.end();) {
+    bool contains = false;
+    for (const WmePtr& w : it->second->row()) {
+      if (w->time_tag() == wme.time_tag()) {
+        contains = true;
+        break;
+      }
+    }
+    if (contains) {
+      cs_->Remove(it->second.get());
+      it = rs->insts.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TreatMatcher::OnAdd(const WmePtr& wme) {
+  for (const auto& rs : rules_) {
+    const auto& conditions = rs->rule->conditions;
+    std::vector<size_t> matched_pos, matched_neg;
+    for (size_t ce = 0; ce < conditions.size(); ++ce) {
+      const CompiledCondition& cond = conditions[ce];
+      if (wme->cls() != cond.cls || !PassesAlphaTests(cond, *wme)) continue;
+      rs->alpha[ce].push_back(wme);
+      (cond.negated ? matched_neg : matched_pos).push_back(ce);
+    }
+    // New blockers delete the instantiations they now block.
+    for (size_t ce : matched_neg) {
+      const CompiledCondition& cond = conditions[ce];
+      for (auto it = rs->insts.begin(); it != rs->insts.end();) {
+        if (PassesJoinTests(cond, it->second->row(), *wme)) {
+          cs_->Remove(it->second.get());
+          it = rs->insts.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Seeded search for new instantiations through each matched positive CE.
+    for (size_t ce : matched_pos) {
+      SearchFromSeed(rs.get(), static_cast<int>(ce), wme);
+    }
+  }
+}
+
+void TreatMatcher::OnRemove(const WmePtr& wme) {
+  for (const auto& rs : rules_) {
+    bool touched_pos = false, touched_neg = false;
+    for (size_t ce = 0; ce < rs->alpha.size(); ++ce) {
+      auto& items = rs->alpha[ce];
+      auto it = std::find(items.begin(), items.end(), wme);
+      if (it == items.end()) continue;
+      items.erase(it);
+      (rs->rule->conditions[ce].negated ? touched_neg : touched_pos) = true;
+    }
+    if (touched_pos) DropInstsContaining(rs.get(), *wme);
+    if (touched_neg) SearchAll(rs.get());  // unblocking re-search
+  }
+}
+
+size_t TreatMatcher::num_instantiations() const {
+  size_t n = 0;
+  for (const auto& rs : rules_) n += rs->insts.size();
+  return n;
+}
+
+}  // namespace sorel

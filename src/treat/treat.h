@@ -1,0 +1,61 @@
+#ifndef SOREL_TREAT_TREAT_H_
+#define SOREL_TREAT_TREAT_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "lang/compiled_rule.h"
+#include "rete/conflict_set.h"
+#include "rete/matcher.h"
+#include "wm/working_memory.h"
+
+namespace sorel {
+
+/// TREAT (Miranker 1986): the tuple-oriented baseline matcher the paper
+/// cites. Keeps only alpha memories (no beta memories); on each WM change it
+/// searches for new instantiations seeded at the changed WME, and deletes
+/// conflict-set instantiations that contain a removed WME. Negated CEs are
+/// handled by blocking (additions delete blocked instantiations; removals
+/// trigger a constrained re-search).
+///
+/// Set-oriented rules are rejected — that tuple orientation is precisely
+/// what the paper's S-node extension addresses.
+class TreatMatcher : public Matcher {
+ public:
+  TreatMatcher(WorkingMemory* wm, ConflictSet* cs);
+  ~TreatMatcher() override;
+
+  TreatMatcher(const TreatMatcher&) = delete;
+  TreatMatcher& operator=(const TreatMatcher&) = delete;
+
+  Status AddRule(const CompiledRule* rule) override;
+  Status RemoveRule(const CompiledRule* rule) override;
+  ConflictSet& conflict_set() override { return *cs_; }
+
+  void OnAdd(const WmePtr& wme) override;
+  void OnRemove(const WmePtr& wme) override;
+
+  size_t num_instantiations() const;
+
+ private:
+  class TreatInst;
+  struct RuleState;
+
+  void SearchFromSeed(RuleState* rs, int seed_ce, const WmePtr& seed);
+  void SearchAll(RuleState* rs);
+  void ExtendRow(RuleState* rs, size_t ce_index, Row* row, int seed_ce,
+                 const WmePtr& seed);
+  bool BlockedByNegated(const RuleState& rs, const Row& row) const;
+  void EmitInst(RuleState* rs, const Row& row);
+  void DropInstsContaining(RuleState* rs, const Wme& wme);
+
+  WorkingMemory* wm_;
+  ConflictSet* cs_;
+  std::vector<std::unique_ptr<RuleState>> rules_;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_TREAT_TREAT_H_

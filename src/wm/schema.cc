@@ -1,0 +1,38 @@
+#include "wm/schema.h"
+
+#include <string>
+#include <utility>
+
+namespace sorel {
+
+ClassSchema::ClassSchema(SymbolId cls, std::vector<SymbolId> attrs)
+    : cls_(cls), attrs_(std::move(attrs)) {
+  for (int i = 0; i < static_cast<int>(attrs_.size()); ++i) {
+    index_.emplace(attrs_[i], i);
+  }
+}
+
+int ClassSchema::FieldOf(SymbolId attr) const {
+  auto it = index_.find(attr);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Status SchemaRegistry::Declare(SymbolId cls, std::vector<SymbolId> attrs,
+                               const SymbolTable& symbols) {
+  auto it = schemas_.find(cls);
+  if (it != schemas_.end()) {
+    if (it->second.attrs() == attrs) return Status::Ok();
+    return Status::InvalidArgument(
+        "class '" + std::string(symbols.Name(cls)) +
+        "' re-declared with a different attribute list");
+  }
+  schemas_.emplace(cls, ClassSchema(cls, std::move(attrs)));
+  return Status::Ok();
+}
+
+const ClassSchema* SchemaRegistry::Find(SymbolId cls) const {
+  auto it = schemas_.find(cls);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sorel

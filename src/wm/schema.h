@@ -1,0 +1,52 @@
+#ifndef SOREL_WM_SCHEMA_H_
+#define SOREL_WM_SCHEMA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol_table.h"
+
+namespace sorel {
+
+/// Attribute layout of one WME class, declared with `(literalize ...)`.
+/// Maps attribute names to dense field indices, as OPS5 does.
+class ClassSchema {
+ public:
+  ClassSchema(SymbolId cls, std::vector<SymbolId> attrs);
+
+  SymbolId cls() const { return cls_; }
+  /// Declared attributes in declaration order.
+  const std::vector<SymbolId>& attrs() const { return attrs_; }
+  int num_fields() const { return static_cast<int>(attrs_.size()); }
+
+  /// Field index for `attr`, or -1 if not declared.
+  int FieldOf(SymbolId attr) const;
+
+ private:
+  SymbolId cls_;
+  std::vector<SymbolId> attrs_;
+  std::unordered_map<SymbolId, int> index_;
+};
+
+/// Registry of all `literalize` declarations known to an engine.
+class SchemaRegistry {
+ public:
+  /// Declares class `cls` with attributes `attrs`. Re-declaring an existing
+  /// class with a different attribute list is an error; an identical
+  /// re-declaration is a no-op.
+  Status Declare(SymbolId cls, std::vector<SymbolId> attrs,
+                 const SymbolTable& symbols);
+
+  /// Returns the schema for `cls`, or nullptr if undeclared.
+  const ClassSchema* Find(SymbolId cls) const;
+
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::unordered_map<SymbolId, ClassSchema> schemas_;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_WM_SCHEMA_H_

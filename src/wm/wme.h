@@ -1,0 +1,51 @@
+#ifndef SOREL_WM_WME_H_
+#define SOREL_WM_WME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/symbol_table.h"
+#include "base/value.h"
+#include "wm/schema.h"
+
+namespace sorel {
+
+/// Time tag type. Time tags are assigned in strictly increasing order and
+/// uniquely identify a WME for its whole lifetime (paper §3: "Each WME has a
+/// time tag that uniquely identifies it").
+using TimeTag = int64_t;
+
+/// A working memory element: an instance of a `literalize`d class with one
+/// `Value` per declared attribute. Immutable once created; "modify" is
+/// remove + make with a fresh time tag, as in OPS5.
+class Wme {
+ public:
+  Wme(SymbolId cls, std::vector<Value> fields, TimeTag time_tag)
+      : cls_(cls), fields_(std::move(fields)), time_tag_(time_tag) {}
+
+  SymbolId cls() const { return cls_; }
+  TimeTag time_tag() const { return time_tag_; }
+  const std::vector<Value>& fields() const { return fields_; }
+  /// Value of field `i`; `i` must be a valid field index of the class.
+  const Value& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+
+  /// "tag: (class ^attr value ...)" — only non-nil attributes are printed.
+  std::string ToString(const SymbolTable& symbols,
+                       const ClassSchema& schema) const;
+
+ private:
+  SymbolId cls_;
+  std::vector<Value> fields_;
+  TimeTag time_tag_;
+};
+
+/// Shared immutable handle. Tokens and instantiation snapshots keep WMEs
+/// alive after removal from working memory.
+using WmePtr = std::shared_ptr<const Wme>;
+
+}  // namespace sorel
+
+#endif  // SOREL_WM_WME_H_

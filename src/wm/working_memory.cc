@@ -1,0 +1,93 @@
+#include "wm/working_memory.h"
+
+#include <algorithm>
+#include <string>
+
+#include "wm/wme.h"
+
+namespace sorel {
+
+std::string Wme::ToString(const SymbolTable& symbols,
+                          const ClassSchema& schema) const {
+  std::string out = std::to_string(time_tag_) + ": (";
+  out += symbols.Name(cls_);
+  for (int i = 0; i < num_fields(); ++i) {
+    if (field(i).is_nil()) continue;
+    out += " ^";
+    out += symbols.Name(schema.attrs()[static_cast<size_t>(i)]);
+    out += " ";
+    out += field(i).ToString(symbols);
+  }
+  out += ")";
+  return out;
+}
+
+void WorkingMemory::RemoveListener(Listener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+Result<WmePtr> WorkingMemory::Make(
+    SymbolId cls, const std::vector<std::pair<SymbolId, Value>>& values) {
+  const ClassSchema* schema = schemas_->Find(cls);
+  if (schema == nullptr) {
+    return Status::InvalidArgument("make: class '" +
+                                   std::string(symbols_->Name(cls)) +
+                                   "' was never literalized");
+  }
+  std::vector<Value> fields(static_cast<size_t>(schema->num_fields()));
+  for (const auto& [attr, value] : values) {
+    int field = schema->FieldOf(attr);
+    if (field < 0) {
+      return Status::InvalidArgument(
+          "make: class '" + std::string(symbols_->Name(cls)) +
+          "' has no attribute '" + std::string(symbols_->Name(attr)) + "'");
+    }
+    fields[static_cast<size_t>(field)] = value;
+  }
+  return MakeFromFields(cls, std::move(fields));
+}
+
+Result<WmePtr> WorkingMemory::MakeFromFields(SymbolId cls,
+                                             std::vector<Value> fields) {
+  const ClassSchema* schema = schemas_->Find(cls);
+  if (schema == nullptr) {
+    return Status::InvalidArgument("make: class '" +
+                                   std::string(symbols_->Name(cls)) +
+                                   "' was never literalized");
+  }
+  if (static_cast<int>(fields.size()) != schema->num_fields()) {
+    return Status::InvalidArgument("make: wrong field count for class '" +
+                                   std::string(symbols_->Name(cls)) + "'");
+  }
+  auto wme = std::make_shared<const Wme>(cls, std::move(fields), next_tag_++);
+  live_.emplace(wme->time_tag(), wme);
+  for (Listener* l : listeners_) l->OnAdd(wme);
+  return WmePtr(wme);
+}
+
+Status WorkingMemory::Remove(TimeTag tag) {
+  auto it = live_.find(tag);
+  if (it == live_.end()) {
+    return Status::NotFound("remove: no live WME with time tag " +
+                            std::to_string(tag));
+  }
+  WmePtr wme = it->second;
+  live_.erase(it);
+  for (Listener* l : listeners_) l->OnRemove(wme);
+  return Status::Ok();
+}
+
+WmePtr WorkingMemory::Find(TimeTag tag) const {
+  auto it = live_.find(tag);
+  return it == live_.end() ? nullptr : it->second;
+}
+
+std::vector<WmePtr> WorkingMemory::Snapshot() const {
+  std::vector<WmePtr> out;
+  out.reserve(live_.size());
+  for (const auto& [tag, wme] : live_) out.push_back(wme);
+  return out;
+}
+
+}  // namespace sorel

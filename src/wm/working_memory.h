@@ -1,0 +1,74 @@
+#ifndef SOREL_WM_WORKING_MEMORY_H_
+#define SOREL_WM_WORKING_MEMORY_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol_table.h"
+#include "base/value.h"
+#include "wm/schema.h"
+#include "wm/wme.h"
+
+namespace sorel {
+
+/// The working memory: the set of live WMEs, indexed by time tag.
+///
+/// Matchers (Rete, TREAT, DIPS) subscribe as `Listener`s and receive every
+/// add/remove synchronously, which is what drives incremental matching.
+class WorkingMemory {
+ public:
+  /// Receives WM change notifications. Listeners must not mutate WM from
+  /// inside a callback (the engine serializes all mutations).
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void OnAdd(const WmePtr& wme) = 0;
+    virtual void OnRemove(const WmePtr& wme) = 0;
+  };
+
+  WorkingMemory(const SchemaRegistry* schemas, const SymbolTable* symbols)
+      : schemas_(schemas), symbols_(symbols) {}
+
+  WorkingMemory(const WorkingMemory&) = delete;
+  WorkingMemory& operator=(const WorkingMemory&) = delete;
+
+  void AddListener(Listener* listener) { listeners_.push_back(listener); }
+  void RemoveListener(Listener* listener);
+
+  /// Creates a WME of class `cls` with the given attribute values
+  /// (unmentioned attributes are nil). Errors on unknown class/attribute.
+  Result<WmePtr> Make(SymbolId cls,
+                      const std::vector<std::pair<SymbolId, Value>>& values);
+
+  /// Creates a WME with a full field vector (sized to the class schema).
+  Result<WmePtr> MakeFromFields(SymbolId cls, std::vector<Value> fields);
+
+  /// Removes the WME with `tag`. Errors if no such live WME.
+  Status Remove(TimeTag tag);
+
+  /// Live WME with `tag`, or nullptr.
+  WmePtr Find(TimeTag tag) const;
+
+  /// Live WMEs in time-tag order.
+  std::vector<WmePtr> Snapshot() const;
+
+  size_t size() const { return live_.size(); }
+  /// Next time tag that will be assigned (monotone counter, never reused).
+  TimeTag next_time_tag() const { return next_tag_; }
+
+  const SchemaRegistry& schemas() const { return *schemas_; }
+  const SymbolTable& symbols() const { return *symbols_; }
+
+ private:
+  const SchemaRegistry* schemas_;
+  const SymbolTable* symbols_;
+  std::map<TimeTag, WmePtr> live_;
+  std::vector<Listener*> listeners_;
+  TimeTag next_tag_ = 1;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_WM_WORKING_MEMORY_H_

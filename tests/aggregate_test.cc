@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+
+namespace sorel {
+namespace {
+
+TEST(AggStateTest, CountDistinctValues) {
+  AggState agg(AggOp::kCount);
+  agg.Insert(Value::Int(1));
+  agg.Insert(Value::Int(1));  // duplicate: counter 2, domain size 1
+  agg.Insert(Value::Int(2));
+  auto v = agg.Current();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(2));
+}
+
+TEST(AggStateTest, ValueLeavesDomainOnlyAtLastSupport) {
+  // The paper's (value, counter) pairs: removing one of two supporting
+  // occurrences must not change the aggregate.
+  AggState agg(AggOp::kCount);
+  agg.Insert(Value::Int(7));
+  agg.Insert(Value::Int(7));
+  agg.Remove(Value::Int(7));
+  EXPECT_EQ(*agg.Current(), Value::Int(1));
+  agg.Remove(Value::Int(7));
+  EXPECT_EQ(*agg.Current(), Value::Int(0));
+}
+
+TEST(AggStateTest, MinMaxTrackDomain) {
+  AggState lo(AggOp::kMin), hi(AggOp::kMax);
+  for (int v : {5, 3, 9}) {
+    lo.Insert(Value::Int(v));
+    hi.Insert(Value::Int(v));
+  }
+  EXPECT_EQ(*lo.Current(), Value::Int(3));
+  EXPECT_EQ(*hi.Current(), Value::Int(9));
+  lo.Remove(Value::Int(3));
+  hi.Remove(Value::Int(9));
+  EXPECT_EQ(*lo.Current(), Value::Int(5));
+  EXPECT_EQ(*hi.Current(), Value::Int(5));
+}
+
+TEST(AggStateTest, MinOfEmptyDomainIsError) {
+  AggState agg(AggOp::kMin);
+  EXPECT_FALSE(agg.Current().ok());
+  agg.Insert(Value::Int(1));
+  agg.Remove(Value::Int(1));
+  EXPECT_FALSE(agg.Current().ok());
+}
+
+TEST(AggStateTest, SumStaysIntegralForIntegers) {
+  AggState agg(AggOp::kSum);
+  agg.Insert(Value::Int(10));
+  agg.Insert(Value::Int(20));
+  auto v = agg.Current();
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_int());
+  EXPECT_EQ(*v, Value::Int(30));
+}
+
+TEST(AggStateTest, SumWidensWithFloats) {
+  AggState agg(AggOp::kSum);
+  agg.Insert(Value::Int(10));
+  agg.Insert(Value::Float(0.5));
+  auto v = agg.Current();
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_float());
+  EXPECT_DOUBLE_EQ(v->as_float(), 10.5);
+  agg.Remove(Value::Float(0.5));
+  EXPECT_TRUE(agg.Current()->is_int());
+}
+
+TEST(AggStateTest, SumOverDistinctDomain) {
+  // Domain semantics (§4.1): duplicated values contribute once.
+  AggState agg(AggOp::kSum);
+  agg.Insert(Value::Int(10));
+  agg.Insert(Value::Int(10));
+  EXPECT_EQ(*agg.Current(), Value::Int(10));
+}
+
+TEST(AggStateTest, SumOverSymbolsIsError) {
+  AggState agg(AggOp::kSum);
+  agg.Insert(Value::Symbol(5));
+  EXPECT_FALSE(agg.Current().ok());
+  agg.Remove(Value::Symbol(5));
+  agg.Insert(Value::Int(1));
+  EXPECT_TRUE(agg.Current().ok());
+}
+
+TEST(AggStateTest, AvgIsFloatOfDistinct) {
+  AggState agg(AggOp::kAvg);
+  agg.Insert(Value::Int(10));
+  agg.Insert(Value::Int(20));
+  agg.Insert(Value::Int(20));
+  auto v = agg.Current();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Float(15.0));
+}
+
+TEST(AggStateTest, AvgOfEmptyIsError) {
+  AggState agg(AggOp::kAvg);
+  EXPECT_FALSE(agg.Current().ok());
+}
+
+TEST(AggStateTest, ClearResets) {
+  AggState agg(AggOp::kSum);
+  agg.Insert(Value::Int(5));
+  agg.Clear();
+  EXPECT_EQ(*agg.Current(), Value::Int(0));
+  EXPECT_TRUE(agg.empty());
+}
+
+TEST(AggStateTest, MixedIntFloatEqualValuesMerge) {
+  // 5 and 5.0 are the same value under OPS5 equality; the domain must not
+  // double-count them.
+  AggState agg(AggOp::kCount);
+  agg.Insert(Value::Int(5));
+  agg.Insert(Value::Float(5.0));
+  EXPECT_EQ(*agg.Current(), Value::Int(1));
+  agg.Remove(Value::Int(5));
+  EXPECT_EQ(*agg.Current(), Value::Int(1));
+  agg.Remove(Value::Float(5.0));
+  EXPECT_EQ(*agg.Current(), Value::Int(0));
+}
+
+class AggSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggSweep, IncrementalMatchesRecompute) {
+  // Property: a shuffled insert/remove sequence leaves the same state as
+  // recomputing from the surviving multiset.
+  int seed = GetParam();
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1u;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (AggOp op : {AggOp::kCount, AggOp::kMin, AggOp::kMax, AggOp::kSum,
+                   AggOp::kAvg}) {
+    AggState incremental(op);
+    std::multiset<int64_t> live;
+    for (int step = 0; step < 200; ++step) {
+      int64_t v = static_cast<int64_t>(next() % 10);
+      bool remove = !live.empty() && (next() % 3 == 0);
+      if (remove) {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(next() % live.size()));
+        incremental.Remove(Value::Int(*it));
+        live.erase(it);
+      } else {
+        incremental.Insert(Value::Int(v));
+        live.insert(v);
+      }
+      AggState fresh(op);
+      for (int64_t x : live) fresh.Insert(Value::Int(x));
+      auto a = incremental.Current();
+      auto b = fresh.Current();
+      ASSERT_EQ(a.ok(), b.ok());
+      if (a.ok()) {
+        ASSERT_EQ(*a, *b) << "op=" << static_cast<int>(op);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace sorel

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "base/symbol_table.h"
+#include "base/value.h"
+
+namespace sorel {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto inner = []() -> Result<int> { return Status::RuntimeError("x"); };
+  auto outer = [&]() -> Result<int> {
+    SOREL_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_FALSE(outer().ok());
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable t;
+  SymbolId a = t.Intern("player");
+  SymbolId b = t.Intern("player");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.Name(a), "player");
+}
+
+TEST(SymbolTableTest, WellKnownSymbols) {
+  SymbolTable t;
+  EXPECT_EQ(t.Intern("nil"), SymbolTable::kNil);
+  EXPECT_EQ(t.Intern("true"), SymbolTable::kTrue);
+  EXPECT_EQ(t.Intern("false"), SymbolTable::kFalse);
+}
+
+TEST(SymbolTableTest, FindWithoutIntern) {
+  SymbolTable t;
+  EXPECT_EQ(t.Find("ghost"), kInvalidSymbol);
+  t.Intern("ghost");
+  EXPECT_NE(t.Find("ghost"), kInvalidSymbol);
+}
+
+TEST(SymbolTableTest, ManySymbolsStableViews) {
+  SymbolTable t;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(t.Intern("sym" + std::to_string(i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(t.Name(ids[static_cast<size_t>(i)]), "sym" + std::to_string(i));
+  }
+}
+
+TEST(ValueTest, NumericEqualityAcrossKinds) {
+  EXPECT_EQ(Value::Int(5), Value::Float(5.0));
+  EXPECT_NE(Value::Int(5), Value::Float(5.5));
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Float(5.0).Hash());
+}
+
+TEST(ValueTest, NilOnlyEqualsNil) {
+  EXPECT_EQ(Value::Nil(), Value::Nil());
+  EXPECT_NE(Value::Nil(), Value::Int(0));
+  EXPECT_NE(Value::Nil(), Value::Symbol(0));
+}
+
+TEST(ValueTest, SymbolsCompareById) {
+  EXPECT_EQ(Value::Symbol(3), Value::Symbol(3));
+  EXPECT_NE(Value::Symbol(3), Value::Symbol(4));
+  EXPECT_NE(Value::Symbol(3), Value::Int(3));
+}
+
+TEST(ValueTest, TotalOrderAcrossKinds) {
+  // nil < numbers < symbols
+  EXPECT_LT(Value::Compare(Value::Nil(), Value::Int(-100)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(100), Value::Symbol(0)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(1), Value::Float(1.5)), 0);
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Float(2.0)), 0);
+}
+
+TEST(ValueTest, ToString) {
+  SymbolTable t;
+  EXPECT_EQ(Value::Nil().ToString(t), "nil");
+  EXPECT_EQ(Value::Int(-7).ToString(t), "-7");
+  EXPECT_EQ(Value::Float(2.5).ToString(t), "2.5");
+  EXPECT_EQ(Value::Symbol(t.Intern("abc")).ToString(t), "abc");
+}
+
+TEST(ValueTest, TruthinessIsExactlyTrueSymbol) {
+  EXPECT_TRUE(Value::Bool(true).IsTruthy());
+  EXPECT_FALSE(Value::Bool(false).IsTruthy());
+  EXPECT_FALSE(Value::Int(1).IsTruthy());
+  EXPECT_FALSE(Value::Nil().IsTruthy());
+}
+
+TEST(ValueTest, NameLessSortsSymbolsLexicographically) {
+  SymbolTable t;
+  Value zebra = Value::Symbol(t.Intern("zebra"));  // interned first
+  Value apple = Value::Symbol(t.Intern("apple"));
+  ValueNameLess less(t);
+  EXPECT_TRUE(less(apple, zebra));
+  EXPECT_FALSE(less(zebra, apple));
+  // Id order would say otherwise:
+  EXPECT_LT(Value::Compare(zebra, apple), 0);
+}
+
+}  // namespace
+}  // namespace sorel

@@ -1,0 +1,120 @@
+// DIPS COND-table internals (§8.1/§8.2): schemas, variable columns,
+// predicate columns, and tag maintenance.
+
+#include <gtest/gtest.h>
+
+#include "dips/cond_table.h"
+#include "lang/compiler.h"
+#include "lang/parser.h"
+#include "wm/working_memory.h"
+
+namespace sorel {
+namespace dips {
+namespace {
+
+class CondTableTest : public ::testing::Test {
+ protected:
+  CondTableTest() : compiler_(&symbols_, &schemas_), wm_(&schemas_, &symbols_) {}
+
+  const CompiledRule* CompileOne(const std::string& src) {
+    auto program = Parse(
+        "(literalize emp name dept salary)(literalize dept name floor)" +
+        src);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    for (const LiteralizeAst& lit : program->literalizes) {
+      EXPECT_TRUE(compiler_.DeclareLiteralize(lit).ok());
+    }
+    auto rule = compiler_.Compile(std::move(program->rules[0]));
+    EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    rules_.push_back(std::move(*rule));
+    return rules_.back().get();
+  }
+
+  WmePtr MakeEmp(const char* name, const char* dept, int salary) {
+    auto r = wm_.Make(symbols_.Intern("emp"),
+                      {{symbols_.Intern("name"), Sym(name)},
+                       {symbols_.Intern("dept"), Sym(dept)},
+                       {symbols_.Intern("salary"), Value::Int(salary)}});
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  Value Sym(std::string_view s) { return Value::Symbol(symbols_.Intern(s)); }
+
+  SymbolTable symbols_;
+  SchemaRegistry schemas_;
+  RuleCompiler compiler_;
+  WorkingMemory wm_;
+  std::vector<CompiledRulePtr> rules_;
+};
+
+TEST_F(CondTableTest, PositiveCeSchemaHasTagAndVarColumns) {
+  const CompiledRule* rule = CompileOne(
+      "(p r (emp ^name <x> ^salary <s>) --> (write <x>))");
+  auto table = CondTable::Create(rule, 0);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->tag_column(), "t0");
+  EXPECT_GE(table->relation().schema().IndexOf("x"), 0);
+  EXPECT_GE(table->relation().schema().IndexOf("s"), 0);
+  // Variable columns are sorted for deterministic schemas.
+  EXPECT_EQ(table->var_columns().front().first, "s");
+}
+
+TEST_F(CondTableTest, InsertAndRemoveByTag) {
+  const CompiledRule* rule =
+      CompileOne("(p r (emp ^name <x>) --> (write <x>))");
+  auto table = CondTable::Create(rule, 0);
+  ASSERT_TRUE(table.ok());
+  WmePtr a = MakeEmp("ann", "eng", 100);
+  WmePtr b = MakeEmp("bob", "ops", 90);
+  ASSERT_TRUE(table->Accepts(*a));
+  ASSERT_TRUE(table->Insert(*a).ok());
+  ASSERT_TRUE(table->Insert(*b).ok());
+  EXPECT_EQ(table->relation().size(), 2u);
+  // Row carries the tag and the binding.
+  EXPECT_EQ(table->relation().At(0, 0), Value::Int(a->time_tag()));
+  int x_col = table->relation().schema().IndexOf("x");
+  EXPECT_EQ(table->relation().At(0, x_col), Sym("ann"));
+  table->RemoveTag(a->time_tag());
+  EXPECT_EQ(table->relation().size(), 1u);
+}
+
+TEST_F(CondTableTest, AlphaTestsFilterInserts) {
+  const CompiledRule* rule =
+      CompileOne("(p r (emp ^dept eng ^salary > 50) --> (write hit))");
+  auto table = CondTable::Create(rule, 0);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->Accepts(*MakeEmp("a", "eng", 100)));
+  EXPECT_FALSE(table->Accepts(*MakeEmp("b", "ops", 100)));
+  EXPECT_FALSE(table->Accepts(*MakeEmp("c", "eng", 10)));
+}
+
+TEST_F(CondTableTest, NonEqualityJoinGetsPredColumn) {
+  const CompiledRule* rule = CompileOne(
+      "(p r (emp ^name <x> ^salary <s>) (emp ^salary > <s>)"
+      " --> (write <x>))");
+  auto table = CondTable::Create(rule, 1);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->pred_columns().size(), 1u);
+  const CondTable::PredColumn& pc = table->pred_columns().front();
+  EXPECT_EQ(pc.ref_var, "s");
+  EXPECT_EQ(pc.pred, TestPred::kGt);
+  EXPECT_FALSE(pc.is_eq);
+  EXPECT_GE(table->relation().schema().IndexOf(pc.column), 0);
+}
+
+TEST_F(CondTableTest, NegatedCeColumnsComeFromJoinTests) {
+  const CompiledRule* rule = CompileOne(
+      "(p r (emp ^dept <d>) - (dept ^name <d> ^floor > 100)"
+      " --> (write <d>))");
+  auto table = CondTable::Create(rule, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->tag_column(), "tneg1");
+  ASSERT_EQ(table->pred_columns().size(), 1u);
+  EXPECT_TRUE(table->pred_columns().front().is_eq);
+  EXPECT_EQ(table->pred_columns().front().ref_var, "d");
+}
+
+}  // namespace
+}  // namespace dips
+}  // namespace sorel

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "rete/conflict_set.h"
+
+namespace sorel {
+namespace {
+
+/// A scriptable instantiation for conflict-set unit tests.
+class FakeInst : public InstantiationRef {
+ public:
+  FakeInst(const CompiledRule* rule, std::vector<TimeTag> tags)
+      : rule_(rule), tags_(std::move(tags)) {
+    std::sort(tags_.rbegin(), tags_.rend());
+  }
+
+  const CompiledRule& rule() const override { return *rule_; }
+  void CollectRows(std::vector<Row>* out) const override { out->emplace_back(); }
+  std::vector<TimeTag> RecencyTags() const override { return tags_; }
+  TimeTag FirstCeTag() const override { return first_ce_tag; }
+
+  TimeTag first_ce_tag = 0;
+
+ private:
+  const CompiledRule* rule_;
+  std::vector<TimeTag> tags_;
+};
+
+class ConflictSetTest : public ::testing::Test {
+ protected:
+  ConflictSetTest() {
+    plain_.specificity = 1;
+    specific_.specificity = 5;
+  }
+
+  CompiledRule plain_, specific_;
+  ConflictSet cs_;
+};
+
+TEST_F(ConflictSetTest, EmptySelectsNull) {
+  EXPECT_EQ(cs_.Select(Strategy::kLex), nullptr);
+  EXPECT_EQ(cs_.size(), 0u);
+}
+
+TEST_F(ConflictSetTest, LexPrefersHigherRecency) {
+  FakeInst old_inst(&plain_, {3, 1});
+  FakeInst new_inst(&plain_, {4, 2});
+  cs_.Add(&old_inst);
+  cs_.Add(&new_inst);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &new_inst);
+}
+
+TEST_F(ConflictSetTest, LexTieBrokenBySecondTag) {
+  FakeInst a(&plain_, {9, 1});
+  FakeInst b(&plain_, {9, 5});
+  cs_.Add(&a);
+  cs_.Add(&b);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &b);
+}
+
+TEST_F(ConflictSetTest, LongerTagListDominatesEqualPrefix) {
+  FakeInst shorter(&plain_, {9, 5});
+  FakeInst longer(&plain_, {9, 5, 2});
+  cs_.Add(&shorter);
+  cs_.Add(&longer);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &longer);
+}
+
+TEST_F(ConflictSetTest, SpecificityBreaksRecencyTies) {
+  FakeInst a(&plain_, {9, 5});
+  FakeInst b(&specific_, {9, 5});
+  cs_.Add(&a);
+  cs_.Add(&b);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &b);
+}
+
+TEST_F(ConflictSetTest, MeaComparesFirstCeTagFirst) {
+  FakeInst a(&plain_, {9, 1});
+  a.first_ce_tag = 1;
+  FakeInst b(&plain_, {5, 2});
+  b.first_ce_tag = 2;
+  cs_.Add(&a);
+  cs_.Add(&b);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &a);  // 9 > 5
+  EXPECT_EQ(cs_.Select(Strategy::kMea), &b);  // first CE 2 > 1
+}
+
+TEST_F(ConflictSetTest, MarkFiredRemoveDropsEntry) {
+  FakeInst a(&plain_, {1});
+  cs_.Add(&a);
+  cs_.MarkFired(&a, /*remove_entry=*/true);
+  EXPECT_EQ(cs_.size(), 0u);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), nullptr);
+}
+
+TEST_F(ConflictSetTest, MarkFiredKeepMakesIneligibleUntilTouch) {
+  FakeInst a(&plain_, {1});
+  cs_.Add(&a);
+  cs_.MarkFired(&a, /*remove_entry=*/false);
+  EXPECT_EQ(cs_.size(), 1u);
+  EXPECT_EQ(cs_.EligibleCount(), 0u);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), nullptr);
+  cs_.Touch(&a);  // the SOI changed: eligible again (§6)
+  EXPECT_EQ(cs_.EligibleCount(), 1u);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &a);
+}
+
+TEST_F(ConflictSetTest, AddIsIdempotentButReinstates) {
+  FakeInst a(&plain_, {1});
+  cs_.Add(&a);
+  cs_.MarkFired(&a, false);
+  cs_.Add(&a);
+  EXPECT_EQ(cs_.size(), 1u);
+  EXPECT_EQ(cs_.EligibleCount(), 1u);
+}
+
+TEST_F(ConflictSetTest, RemoveUnknownIsNoop) {
+  FakeInst a(&plain_, {1});
+  cs_.Remove(&a);
+  EXPECT_EQ(cs_.size(), 0u);
+}
+
+TEST_F(ConflictSetTest, EntriesInInsertionOrder) {
+  FakeInst a(&plain_, {1}), b(&plain_, {2}), c(&plain_, {3});
+  cs_.Add(&a);
+  cs_.Add(&b);
+  cs_.Add(&c);
+  auto entries = cs_.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], &a);
+  EXPECT_EQ(entries[2], &c);
+}
+
+TEST_F(ConflictSetTest, DeterministicTieBreakPrefersNewerEntry) {
+  FakeInst a(&plain_, {7}), b(&plain_, {7});
+  cs_.Add(&a);
+  cs_.Add(&b);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &b);
+}
+
+}  // namespace
+}  // namespace sorel

@@ -1,0 +1,277 @@
+// DIPS (§8) tests, including the exact Figure 6 reproduction.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dips/dips.h"
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+dips::DipsMatcher* DipsOf(Engine& engine) {
+  return static_cast<dips::DipsMatcher*>(&engine.matcher());
+}
+
+Engine MakeDipsEngine() {
+  EngineOptions options;
+  options.matcher = MatcherKind::kDips;
+  return Engine(options);
+}
+
+// ------------------------------------------------------------- Figure 6 ---
+// Rule:   (p rule-1 (E ^name <x> ^salary <s>) [W ^name <x> ^job clerk] ...)
+// WM:     1:(W Mike clerk) 2:(E Mike 10000) 3:(W Mike clerk) 4:(E Mike 5000)
+// Groups: E tag 2 with W tags {1,3};  E tag 4 with W tags {1,3}.
+class Figure6Test : public ::testing::Test {
+ protected:
+  Figure6Test() : engine_(MakeDipsEngine()) {
+    engine_.set_output(&out_);
+    MustLoad(engine_,
+             "(literalize E name salary)"
+             "(literalize W name job)"
+             "(p rule-1 (E ^name <x> ^salary <s>)"
+             "          [W ^name <x> ^job clerk] --> (write matched))");
+    MustMake(engine_, "W", {{"name", engine_.Sym("Mike")},
+                            {"job", engine_.Sym("clerk")}});     // tag 1
+    MustMake(engine_, "E", {{"name", engine_.Sym("Mike")},
+                            {"salary", Value::Int(10000)}});     // tag 2
+    MustMake(engine_, "W", {{"name", engine_.Sym("Mike")},
+                            {"job", engine_.Sym("clerk")}});     // tag 3
+    MustMake(engine_, "E", {{"name", engine_.Sym("Mike")},
+                            {"salary", Value::Int(5000)}});      // tag 4
+    rule_ = engine_.FindRule("rule-1");
+  }
+
+  std::ostringstream out_;
+  Engine engine_;
+  const CompiledRule* rule_ = nullptr;
+};
+
+TEST_F(Figure6Test, CondTablesHoldWmeTags) {
+  const dips::CondTable* cond_e = DipsOf(engine_)->cond_table(rule_, 0);
+  const dips::CondTable* cond_w = DipsOf(engine_)->cond_table(rule_, 1);
+  ASSERT_NE(cond_e, nullptr);
+  ASSERT_NE(cond_w, nullptr);
+  EXPECT_EQ(cond_e->relation().size(), 2u);  // E tags 2, 4
+  EXPECT_EQ(cond_w->relation().size(), 2u);  // W tags 1, 3
+  // COND-E schema: tag + the referenced attributes <x>, <s>.
+  EXPECT_EQ(cond_e->tag_column(), "t0");
+  EXPECT_GE(cond_e->relation().schema().IndexOf("x"), 0);
+  EXPECT_GE(cond_e->relation().schema().IndexOf("s"), 0);
+  EXPECT_EQ(cond_w->tag_column(), "t1");
+  EXPECT_GE(cond_w->relation().schema().IndexOf("x"), 0);
+}
+
+TEST_F(Figure6Test, QueryRetrievesTwoGroups) {
+  auto sois = DipsOf(engine_)->RetrieveSois(rule_);
+  ASSERT_TRUE(sois.ok()) << sois.status().ToString();
+  // Four joined tuples, grouped (sorted) by the E tag.
+  ASSERT_EQ(sois->size(), 4u);
+  EXPECT_EQ(sois->schema().columns(), (std::vector<std::string>{"t0", "t1"}));
+  // Group 1: (2,1) (2,3); Group 2: (4,1) (4,3) — exactly Figure 6.
+  EXPECT_EQ(sois->At(0, 0), Value::Int(2));
+  EXPECT_EQ(sois->At(1, 0), Value::Int(2));
+  EXPECT_EQ(sois->At(2, 0), Value::Int(4));
+  EXPECT_EQ(sois->At(3, 0), Value::Int(4));
+  std::vector<int64_t> w_tags = {sois->At(0, 1).as_int(),
+                                 sois->At(1, 1).as_int()};
+  std::sort(w_tags.begin(), w_tags.end());
+  EXPECT_EQ(w_tags, (std::vector<int64_t>{1, 3}));
+
+  auto summary = DipsOf(engine_)->SoiSummary(rule_);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary->size(), 2u);  // two SOIs
+  EXPECT_EQ(summary->At(0, 1), Value::Int(2));  // each with two rows
+  EXPECT_EQ(summary->At(1, 1), Value::Int(2));
+}
+
+TEST_F(Figure6Test, SoisEnterConflictSetAndFire) {
+  EXPECT_EQ(engine_.conflict_set().size(), 2u);
+  EXPECT_EQ(MustRun(engine_), 2);
+  EXPECT_EQ(DipsOf(engine_)->last_error().ToString(), "OK");
+}
+
+TEST_F(Figure6Test, RemovalShrinksGroups) {
+  ASSERT_TRUE(engine_.RemoveWme(3).ok());
+  auto summary = DipsOf(engine_)->SoiSummary(rule_);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary->size(), 2u);
+  EXPECT_EQ(summary->At(0, 1), Value::Int(1));
+  ASSERT_TRUE(engine_.RemoveWme(1).ok());
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);  // W side empty: no match
+}
+
+// ------------------------------------------------- DIPS as a full matcher ---
+
+TEST(DipsEngineTest, RunsRegularPrograms) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p compete (player ^name <n1> ^team A)"
+                       "           (player ^name <n2> ^team B) -->"
+                       " (write <n1> <n2> (crlf)))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(engine.conflict_set().size(), 6u);
+  EXPECT_EQ(MustRun(engine), 6);
+}
+
+TEST(DipsEngineTest, NegatedCeViaAntiJoin) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p lonely (player ^name <n>) - (player ^team B)"
+                       " --> (write <n>))");
+  MustMake(engine, "player", {{"name", engine.Sym("Ann")},
+                              {"team", engine.Sym("A")}});
+  EXPECT_EQ(engine.conflict_set().size(), 1u);
+  TimeTag blocker = MustMake(engine, "player", {{"name", engine.Sym("Bob")},
+                                                {"team", engine.Sym("B")}});
+  EXPECT_EQ(engine.conflict_set().size(), 0u);
+  ASSERT_TRUE(engine.RemoveWme(blocker).ok());
+  EXPECT_EQ(engine.conflict_set().size(), 1u);
+}
+
+TEST(DipsEngineTest, NegatedCeWithJoinVariable) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  // A player with no same-name player on team B.
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p unique (player ^name <n> ^team A)"
+                       " - (player ^name <n> ^team B) --> (write <n>))");
+  MakeFigure1Wm(engine);
+  // Jack(A) is blocked by Jack(B); Janice(A) is not.
+  EXPECT_EQ(MustRun(engine), 1);
+  EXPECT_EQ(out.str(), "Janice");
+}
+
+TEST(DipsEngineTest, SetOrientedRulesWork) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p GroupByTeam [player ^team <t> ^name <n>] -->"
+                       " (foreach <t> (write <t> (crlf))"
+                       "   (foreach <n> (write <n> (crlf)))))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(MustRun(engine, 1), 1);
+  // Same output as the Rete engine (figures_test Figure 4).
+  EXPECT_EQ(out.str(), "B\nSue\nJack\nA\nJanice\nJack\n");
+}
+
+TEST(DipsEngineTest, RemoveDupsOnDips) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p RemoveDups"
+                       " { [player ^name <n> ^team <t>] <P> }"
+                       " :scalar (<n> <t>)"
+                       " :test ((count <P>) > 1) -->"
+                       " (bind <First> true)"
+                       " (foreach <P> descending"
+                       "   (if (<First> == true) (bind <First> false)"
+                       "    else (remove <P>))))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(MustRun(engine), 1);
+  EXPECT_EQ(engine.wm().size(), 4u);
+  EXPECT_EQ(engine.wm().Find(3), nullptr);
+  EXPECT_NE(engine.wm().Find(5), nullptr);
+}
+
+TEST(DipsEngineTest, SwitchTeamsOnDips) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p SwitchTeams"
+                       " { [player ^team A] <ATeam> }"
+                       " { [player ^team B] <BTeam> }"
+                       " :test ((count <ATeam>) == (count <BTeam>)) -->"
+                       " (set-modify <ATeam> ^team B)"
+                       " (set-modify <BTeam> ^team A))");
+  MustMake(engine, "player",
+           {{"name", engine.Sym("a1")}, {"team", engine.Sym("A")}});
+  MustMake(engine, "player",
+           {{"name", engine.Sym("b1")}, {"team", engine.Sym("B")}});
+  EXPECT_EQ(MustRun(engine, 1), 1);
+  EXPECT_EQ(engine.wm().size(), 2u);
+  EXPECT_EQ(engine.conflict_set().EligibleCount(), 1u);  // ping-pong
+}
+
+TEST(DipsEngineTest, NonEqualityJoinPredicate) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine,
+           "(literalize emp name salary)"
+           "(p outearns (emp ^name <a> ^salary <s>)"
+           "            (emp ^name <b> ^salary > <s>) -->"
+           " (write <b> outearns <a> (crlf)))");
+  MustMake(engine, "emp", {{"name", engine.Sym("lo")},
+                           {"salary", Value::Int(100)}});
+  MustMake(engine, "emp", {{"name", engine.Sym("hi")},
+                           {"salary", Value::Int(200)}});
+  EXPECT_EQ(MustRun(engine), 1);
+  EXPECT_EQ(out.str(), "hi outearns lo\n");
+}
+
+TEST(DipsEngineTest, RetrieveSoisWithScalarKey) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p byteam [player ^team <t> ^name <n>]"
+                       " :scalar (<t>) --> (halt))");
+  MakeFigure1Wm(engine);
+  const CompiledRule* rule = engine.FindRule("byteam");
+  auto summary = DipsOf(engine)->SoiSummary(rule);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  // Two teams -> two groups, keyed by the <t> variable column.
+  ASSERT_EQ(summary->size(), 2u);
+  EXPECT_EQ(summary->schema().columns(),
+            (std::vector<std::string>{"t", "rows"}));
+  int64_t total = summary->At(0, 1).as_int() + summary->At(1, 1).as_int();
+  EXPECT_EQ(total, 5);
+  auto sois = DipsOf(engine)->RetrieveSois(rule);
+  ASSERT_TRUE(sois.ok());
+  EXPECT_EQ(sois->size(), 5u);
+}
+
+TEST(DipsEngineTest, MatchRelationWithNegatedCe) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p solo (player ^name <n> ^team A)"
+                       " - (player ^name <n> ^team B) --> (halt))");
+  MakeFigure1Wm(engine);
+  const CompiledRule* rule = engine.FindRule("solo");
+  auto match = DipsOf(engine)->MatchRelation(rule);
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+  // Janice(A) survives the anti-join; Jack(A) is blocked by Jack(B).
+  ASSERT_EQ(match->size(), 1u);
+  EXPECT_EQ(match->At(0, 0), Value::Int(2));
+}
+
+TEST(DipsEngineTest, ExcisedRuleQueriesFail) {
+  Engine engine = MakeDipsEngine();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p r (player) --> (halt))");
+  const CompiledRule* rule = engine.FindRule("r");
+  // Keep the compiled rule alive past excision via the matcher pointer.
+  auto* dips = DipsOf(engine);
+  CompiledRule snapshot;
+  snapshot.name = rule->name;
+  ASSERT_TRUE(engine.ExciseRule("r").ok());
+  EXPECT_FALSE(dips->MatchRelation(&snapshot).ok());
+}
+
+}  // namespace
+}  // namespace sorel

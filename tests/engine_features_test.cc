@@ -1,0 +1,138 @@
+// Engine facilities beyond the core cycle: startup forms, tracing,
+// LoadFile, and run statistics.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+TEST(StartupTest, MakesWmesAtLoadTime) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine,
+           "(literalize player name team)"
+           "(p greet (player ^name <n>) --> (write hi <n>))"
+           "(startup (make player ^name Jack ^team A)"
+           "         (make player ^name Sue ^team B))");
+  EXPECT_EQ(engine.wm().size(), 2u);
+  EXPECT_EQ(engine.conflict_set().size(), 2u);
+  EXPECT_EQ(MustRun(engine), 2);
+}
+
+TEST(StartupTest, WriteBindIfWork) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine,
+           "(startup (bind <x> (2 + 3))"
+           "         (if (<x> == 5) (write yes <x>) else (write no)))");
+  EXPECT_EQ(out.str(), "yes 5");
+}
+
+TEST(StartupTest, RejectsMatchDependentActions) {
+  Engine engine;
+  EXPECT_FALSE(engine.LoadString("(startup (remove 1))").ok());
+  EXPECT_FALSE(engine.LoadString("(startup (halt) (foreach <x>))").ok());
+  EXPECT_FALSE(engine.LoadString("(startup (write <unbound>))").ok());
+  EXPECT_FALSE(engine.LoadString("(startup (make ghost))").ok());
+}
+
+TEST(StartupTest, SymbolConstantsResolved) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine,
+           "(literalize m v)"
+           "(startup (make m ^v hello))");
+  auto snap = engine.wm().Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0]->field(0), engine.Sym("hello"));
+}
+
+TEST(TraceTest, FiringTraceNamesRuleAndTags) {
+  EngineOptions options;
+  options.trace_firings = true;
+  Engine engine(options);
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p r (player ^name <n>) --> (bind <x> 1))");
+  MustMake(engine, "player", {{"name", engine.Sym("a")}});
+  MustRun(engine);
+  EXPECT_NE(out.str().find("FIRE r 1 (1 row)"), std::string::npos);
+}
+
+TEST(TraceTest, WmTraceShowsAddsAndRemoves) {
+  EngineOptions options;
+  options.trace_wm = true;
+  Engine engine(options);
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema));
+  TimeTag tag = MustMake(engine, "player", {{"name", engine.Sym("a")}});
+  ASSERT_TRUE(engine.RemoveWme(tag).ok());
+  EXPECT_NE(out.str().find("==> 1: (player ^name a)"), std::string::npos);
+  EXPECT_NE(out.str().find("<== 1: (player ^name a)"), std::string::npos);
+}
+
+TEST(TraceTest, RuntimeToggle) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema));
+  engine.set_trace_wm(true);
+  MustMake(engine, "player", {});
+  engine.set_trace_wm(false);
+  MustMake(engine, "player", {});
+  std::string text = out.str();
+  EXPECT_NE(text.find("==> 1:"), std::string::npos);
+  EXPECT_EQ(text.find("==> 2:"), std::string::npos);
+}
+
+TEST(LoadFileTest, LoadsProgramsFromDisk) {
+  std::string path = ::testing::TempDir() + "/sorel_loadfile_test.ops";
+  {
+    std::ofstream f(path);
+    f << "(literalize item price)\n"
+         "; comment line\n"
+         "(p cheap (item ^price < 10) --> (write cheap))\n"
+         "(startup (make item ^price 5))\n";
+  }
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  ASSERT_TRUE(engine.LoadFile(path).ok());
+  EXPECT_EQ(MustRun(engine), 1);
+  EXPECT_EQ(out.str(), "cheap");
+  std::remove(path.c_str());
+}
+
+TEST(LoadFileTest, MissingFileErrors) {
+  Engine engine;
+  EXPECT_FALSE(engine.LoadFile("/nonexistent/nope.ops").ok());
+}
+
+TEST(RunStatsTest, PerRuleFiringCounts) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p a (player ^team A) --> (bind <x> 1))"
+                       "(p b (player ^team B) --> (bind <x> 1))");
+  MakeFigure1Wm(engine);
+  MustRun(engine);
+  const Engine::RunStats& stats = engine.run_stats();
+  EXPECT_EQ(stats.firings, 5u);
+  EXPECT_EQ(stats.firings_by_rule.at("a"), 2u);
+  EXPECT_EQ(stats.firings_by_rule.at("b"), 3u);
+}
+
+}  // namespace
+}  // namespace sorel

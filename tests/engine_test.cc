@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+#include "treat/treat.h"
+
+namespace sorel {
+namespace {
+
+TEST(EngineTest, MakeMatchFireWrite) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, "(literalize greeting text)"
+                   "(p hello (greeting ^text <t>) --> (write <t> (crlf)))");
+  MustMake(engine, "greeting", {{"text", engine.Sym("hi")}});
+  EXPECT_EQ(MustRun(engine), 1);
+  EXPECT_EQ(out.str(), "hi\n");
+}
+
+TEST(EngineTest, HaltStopsTheRun) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p stop (player) --> (halt) (write unreachable))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(MustRun(engine), 1);
+  EXPECT_TRUE(engine.halted());
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(EngineTest, MaxFiringsLimit) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p any (player ^name <n>) --> (write <n>))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(MustRun(engine, 2), 2);
+  EXPECT_FALSE(engine.halted());
+  EXPECT_EQ(MustRun(engine), 3);  // the rest
+}
+
+TEST(EngineTest, ModifyGivesFreshTimeTagAndRematches) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine,
+           "(literalize counter n)"
+           "(p bump { (counter ^n { <v> < 3 }) <c> } -->"
+           " (modify <c> ^n (<v> + 1)))");
+  MustMake(engine, "counter", {{"n", Value::Int(0)}});
+  EXPECT_EQ(MustRun(engine, 100), 3);  // 0->1->2->3, then no match
+  auto snap = engine.wm().Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0]->field(0), Value::Int(3));
+  EXPECT_EQ(snap[0]->time_tag(), 4);  // three modifies = three fresh tags
+}
+
+TEST(EngineTest, NegationBlocksAndUnblocks) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(literalize done)"
+                       "(p lonely (player ^name <n>) - (player ^team B)"
+                       " --> (write <n>))");
+  MustMake(engine, "player", {{"name", engine.Sym("Ann")},
+                              {"team", engine.Sym("A")}});
+  EXPECT_EQ(engine.conflict_set().size(), 1u);
+  TimeTag blocker = MustMake(engine, "player", {{"name", engine.Sym("Bob")},
+                                                {"team", engine.Sym("B")}});
+  EXPECT_EQ(engine.conflict_set().size(), 0u);
+  ASSERT_TRUE(engine.RemoveWme(blocker).ok());
+  EXPECT_EQ(engine.conflict_set().size(), 1u);
+}
+
+TEST(EngineTest, LexPrefersRecency) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p p1 (player ^name <n>) --> (write <n> (crlf)))");
+  MustMake(engine, "player", {{"name", engine.Sym("old")}});
+  MustMake(engine, "player", {{"name", engine.Sym("new")}});
+  MustRun(engine);
+  EXPECT_EQ(out.str(), "new\nold\n");
+}
+
+TEST(EngineTest, LexPrefersSpecificityOnEqualRecency) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p generic (player ^name <n>) --> (write g (crlf)))"
+                       "(p specific (player ^name <n> ^team A)"
+                       " --> (write s (crlf)))");
+  MustMake(engine, "player", {{"name", engine.Sym("x")},
+                              {"team", engine.Sym("A")}});
+  MustRun(engine);
+  EXPECT_EQ(out.str(), "s\ng\n");
+}
+
+TEST(EngineTest, MeaPrefersFirstCeRecency) {
+  // Under MEA the instantiation whose *first* CE matches the most recent
+  // WME wins, even if another instantiation has a more recent WME later.
+  std::string src = std::string(kPlayerSchema) +
+                    "(literalize goal name)"
+                    "(p r (goal ^name <g>) (player ^name <n>)"
+                    " --> (write <g> <n> (crlf)))";
+  for (Strategy strategy : {Strategy::kLex, Strategy::kMea}) {
+    EngineOptions options;
+    options.strategy = strategy;
+    Engine engine(options);
+    std::ostringstream out;
+    engine.set_output(&out);
+    MustLoad(engine, src);
+    MustMake(engine, "goal", {{"name", engine.Sym("g1")}});   // tag 1
+    MustMake(engine, "player", {{"name", engine.Sym("p1")}}); // tag 2
+    MustMake(engine, "goal", {{"name", engine.Sym("g2")}});   // tag 3
+    MustRun(engine, 1);
+    // LEX: both instantiations contain tag 3? No: (g1,p1)={1,2},
+    // (g2,p1)={3,2}. LEX picks {3,2}; MEA also picks first-CE recency g2.
+    EXPECT_EQ(out.str(), "g2 p1\n");
+    // Distinguishing case: add an old goal and a new player.
+    out.str("");
+  }
+}
+
+TEST(EngineTest, MeaVersusLexDiffer) {
+  std::string src = std::string(kPlayerSchema) +
+                    "(literalize goal name)"
+                    "(p r (goal ^name <g>) (player ^name <n>)"
+                    " --> (write <g> <n> (crlf)))";
+  // WM: goal g-old (1), goal g-new (2), player p-old (3), player p-new (4).
+  // Instantiations: (1,3) (1,4) (2,3) (2,4).
+  // LEX top: (2,4) {4,2}; then (1,4) {4,1}; MEA orders by goal tag first:
+  // (2,4) then (2,3).
+  for (bool mea : {false, true}) {
+    EngineOptions options;
+    options.strategy = mea ? Strategy::kMea : Strategy::kLex;
+    Engine engine(options);
+    std::ostringstream out;
+    engine.set_output(&out);
+    MustLoad(engine, src);
+    MustMake(engine, "goal", {{"name", engine.Sym("g-old")}});
+    MustMake(engine, "goal", {{"name", engine.Sym("g-new")}});
+    MustMake(engine, "player", {{"name", engine.Sym("p-old")}});
+    MustMake(engine, "player", {{"name", engine.Sym("p-new")}});
+    MustRun(engine, 2);
+    if (mea) {
+      EXPECT_EQ(out.str(), "g-new p-new\ng-new p-old\n");
+    } else {
+      EXPECT_EQ(out.str(), "g-new p-new\ng-old p-new\n");
+    }
+  }
+}
+
+TEST(EngineTest, DisjunctionMatches) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p ab (player ^team << A B >> ^name <n>)"
+                       " --> (write <n>))");
+  MustMake(engine, "player", {{"name", engine.Sym("a")},
+                              {"team", engine.Sym("A")}});
+  MustMake(engine, "player", {{"name", engine.Sym("c")},
+                              {"team", engine.Sym("C")}});
+  EXPECT_EQ(MustRun(engine), 1);
+}
+
+TEST(EngineTest, RelationalPredicates) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine,
+           "(literalize reading value limit)"
+           "(p over (reading ^value <v> ^limit <= <v>) --> (write over))");
+  MustMake(engine, "reading", {{"value", Value::Int(10)},
+                               {"limit", Value::Int(5)}});
+  MustMake(engine, "reading", {{"value", Value::Int(3)},
+                               {"limit", Value::Int(5)}});
+  EXPECT_EQ(MustRun(engine), 1);
+}
+
+TEST(EngineTest, RemoveOrdinal) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p purge (player ^team B) --> (remove 1))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(MustRun(engine), 3);
+  EXPECT_EQ(engine.wm().size(), 2u);  // only team A left
+}
+
+TEST(EngineTest, RhsAggregatesAndArithmetic) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine,
+           "(literalize item price)"
+           "(p report { [item ^price <p>] <I> } -->"
+           " (write n: (count <I>) sum: (sum <p>) min: (min <p>)"
+           "        max: (max <p>) avg: (avg <p>) (crlf)))");
+  MustMake(engine, "item", {{"price", Value::Int(10)}});
+  MustMake(engine, "item", {{"price", Value::Int(20)}});
+  MustMake(engine, "item", {{"price", Value::Int(30)}});
+  EXPECT_EQ(MustRun(engine, 1), 1);
+  EXPECT_EQ(out.str(), "n: 3 sum: 60 min: 10 max: 30 avg: 20\n");
+}
+
+TEST(EngineTest, SetRemoveClearsWholeSet) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p clear { [player ^team B] <B> } -->"
+                       " (set-remove <B>))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(MustRun(engine, 5), 1);
+  EXPECT_EQ(engine.wm().size(), 2u);
+}
+
+TEST(EngineTest, TreatMatcherRunsRegularPrograms) {
+  EngineOptions options;
+  options.matcher = MatcherKind::kTreat;
+  Engine engine(options);
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p compete (player ^name <n1> ^team A)"
+                       "           (player ^name <n2> ^team B) -->"
+                       " (write <n1> <n2> (crlf)))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(engine.conflict_set().size(), 6u);
+  EXPECT_EQ(MustRun(engine), 6);
+}
+
+TEST(EngineTest, TreatRejectsSetRules) {
+  EngineOptions options;
+  options.matcher = MatcherKind::kTreat;
+  Engine engine(options);
+  Status s = engine.LoadString(std::string(kPlayerSchema) +
+                               "(p r [player] --> (halt))");
+  EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
+}
+
+TEST(EngineTest, DuplicateRuleNameRejected) {
+  Engine engine;
+  MustLoad(engine, std::string(kPlayerSchema) + "(p r (player) --> (halt))");
+  EXPECT_FALSE(engine.LoadString("(p r (player) --> (halt))").ok());
+}
+
+TEST(EngineTest, RulesAddedAfterWmesMatchExistingWm) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema));
+  MakeFigure1Wm(engine);
+  MustLoad(engine, "(p late [player ^name <n>] --> (write (count <n>)))");
+  SNode* snode = engine.snode("late");
+  ASSERT_NE(snode, nullptr);
+  ASSERT_EQ(snode->num_sois(), 1u);
+  EXPECT_EQ(snode->sois()[0]->size(), 5u);
+  MustRun(engine, 1);
+  EXPECT_EQ(out.str(), "3");  // distinct names: Jack, Janice, Sue
+}
+
+}  // namespace
+}  // namespace sorel

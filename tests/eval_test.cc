@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "lang/eval.h"
+#include "lang/parser.h"
+
+namespace sorel {
+namespace {
+
+/// Fixed variable environment; aggregates resolve from a map keyed by
+/// "op:var".
+class FakeContext : public EvalContext {
+ public:
+  Result<Value> ResolveVar(const std::string& name) const override {
+    auto it = vars.find(name);
+    if (it == vars.end()) return Status::RuntimeError("unbound <" + name + ">");
+    return it->second;
+  }
+  Result<Value> EvalAggregate(const Expr& agg) const override {
+    std::string key = std::string(AggOpName(agg.agg_op)) + ":" + agg.var;
+    auto it = aggs.find(key);
+    if (it == aggs.end()) return Status::RuntimeError("no aggregate " + key);
+    return it->second;
+  }
+
+  std::unordered_map<std::string, Value> vars;
+  std::unordered_map<std::string, Value> aggs;
+};
+
+/// Parses `src` as a rule-RHS bind expression and evaluates it.
+Result<Value> EvalSource(const std::string& expr_src, const FakeContext& ctx,
+                         SymbolTable* symbols) {
+  auto program =
+      Parse("(literalize x)(p r (x) --> (bind <out> " + expr_src + "))");
+  if (!program.ok()) return program.status();
+  Expr* e = program->rules[0].actions[0]->expr.get();
+  // Intern symbol constants the way the compiler does.
+  struct Resolver {
+    SymbolTable* symbols;
+    void Fix(Expr* e) {
+      if (e == nullptr) return;
+      if (e->kind == Expr::Kind::kConst && !e->var.empty()) {
+        e->constant = e->var == "nil"
+                          ? Value::Nil()
+                          : Value::Symbol(symbols->Intern(e->var));
+      }
+      Fix(e->lhs.get());
+      Fix(e->rhs.get());
+    }
+  };
+  Resolver{symbols}.Fix(e);
+  return EvalExpr(*e, ctx);
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& src) {
+    auto r = EvalSource(src, ctx_, &symbols_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : Value::Nil();
+  }
+  Status EvalError(const std::string& src) {
+    auto r = EvalSource(src, ctx_, &symbols_);
+    EXPECT_FALSE(r.ok()) << "expected error for " << src;
+    return r.ok() ? Status::Ok() : r.status();
+  }
+
+  SymbolTable symbols_;
+  FakeContext ctx_;
+};
+
+TEST_F(EvalTest, Arithmetic) {
+  EXPECT_EQ(Eval("(1 + 2)"), Value::Int(3));
+  EXPECT_EQ(Eval("(7 - 2)"), Value::Int(5));
+  EXPECT_EQ(Eval("(3 * 4)"), Value::Int(12));
+  EXPECT_EQ(Eval("(7 / 2)"), Value::Int(3));       // integral division
+  EXPECT_EQ(Eval("(7.0 / 2)"), Value::Float(3.5));
+  EXPECT_EQ(Eval("(7 mod 4)"), Value::Int(3));
+  EXPECT_EQ(Eval("(1 + 2.5)"), Value::Float(3.5));
+}
+
+TEST_F(EvalTest, LeftAssociativeChain) {
+  EXPECT_EQ(Eval("(10 - 2 - 3)"), Value::Int(5));
+  EXPECT_EQ(Eval("(2 + 3 * 4)"), Value::Int(20));  // no precedence
+}
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(Eval("(1 < 2)").IsTruthy());
+  EXPECT_FALSE(Eval("(2 < 1)").IsTruthy());
+  EXPECT_TRUE(Eval("(2 <= 2)").IsTruthy());
+  EXPECT_TRUE(Eval("(3 > 2)").IsTruthy());
+  EXPECT_TRUE(Eval("(2 >= 2)").IsTruthy());
+  EXPECT_TRUE(Eval("(5 == 5.0)").IsTruthy());
+  EXPECT_TRUE(Eval("(red <> blue)").IsTruthy());
+  EXPECT_TRUE(Eval("(red == red)").IsTruthy());
+  // Relational on non-numbers is false, not an error (OPS5 match rules).
+  EXPECT_FALSE(Eval("(red < blue)").IsTruthy());
+}
+
+TEST_F(EvalTest, BooleansAndShortCircuit) {
+  EXPECT_TRUE(Eval("((1 < 2) and (3 < 4))").IsTruthy());
+  EXPECT_FALSE(Eval("((1 < 2) and (4 < 3))").IsTruthy());
+  EXPECT_TRUE(Eval("((1 > 2) or (3 < 4))").IsTruthy());
+  EXPECT_TRUE(Eval("(not (1 > 2))").IsTruthy());
+  // Short-circuit: the erroring right operand is never evaluated.
+  EXPECT_FALSE(Eval("((1 > 2) and (1 / 0))").IsTruthy());
+  EXPECT_TRUE(Eval("((1 < 2) or (1 / 0))").IsTruthy());
+}
+
+TEST_F(EvalTest, VariablesAndAggregates) {
+  ctx_.vars["x"] = Value::Int(42);
+  ctx_.aggs["count:S"] = Value::Int(7);
+  EXPECT_EQ(Eval("(<x> + 1)"), Value::Int(43));
+  EXPECT_EQ(Eval("((count <S>) * 2)"), Value::Int(14));
+}
+
+TEST_F(EvalTest, Errors) {
+  EXPECT_EQ(EvalError("(1 / 0)").code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(EvalError("(1 mod 0)").code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(EvalError("(1.5 mod 2)").code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(EvalError("(red + 1)").code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(EvalError("(<ghost> + 1)").code(), StatusCode::kRuntimeError);
+}
+
+TEST_F(EvalTest, NilAndConstants) {
+  EXPECT_EQ(Eval("nil"), Value::Nil());
+  EXPECT_TRUE(Eval("(nil == nil)").IsTruthy());
+  EXPECT_FALSE(Eval("(nil == 0)").IsTruthy());
+  EXPECT_EQ(Eval("42"), Value::Int(42));
+}
+
+}  // namespace
+}  // namespace sorel

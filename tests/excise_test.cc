@@ -1,0 +1,142 @@
+// Rule excision (OPS5 excise) across all three matchers, plus WM dumps and
+// network introspection.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+class ExciseTest : public ::testing::TestWithParam<MatcherKind> {
+ protected:
+  ExciseTest() : engine_(MakeOptions()) { engine_.set_output(&out_); }
+
+  EngineOptions MakeOptions() {
+    EngineOptions options;
+    options.matcher = GetParam();
+    return options;
+  }
+
+  std::ostringstream out_;
+  Engine engine_;
+};
+
+TEST_P(ExciseTest, RemovesInstantiationsAndStopsMatching) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p keep (player ^team A) --> (bind <x> 1))"
+                        "(p gone (player ^team B) --> (bind <x> 1))");
+  MakeFigure1Wm(engine_);
+  EXPECT_EQ(engine_.conflict_set().size(), 5u);
+  ASSERT_TRUE(engine_.ExciseRule("gone").ok());
+  EXPECT_EQ(engine_.conflict_set().size(), 2u);  // only `keep`
+  EXPECT_EQ(engine_.FindRule("gone"), nullptr);
+  // New WMEs no longer match the excised rule.
+  MustMake(engine_, "player", {{"team", engine_.Sym("B")}});
+  EXPECT_EQ(engine_.conflict_set().size(), 2u);
+  EXPECT_EQ(MustRun(engine_), 2);
+}
+
+TEST_P(ExciseTest, ExciseUnknownRuleFails) {
+  EXPECT_EQ(engine_.ExciseRule("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST_P(ExciseTest, RuleCanBeReloadedAfterExcise) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r (player) --> (bind <x> 1))");
+  MakeFigure1Wm(engine_);
+  ASSERT_TRUE(engine_.ExciseRule("r").ok());
+  MustLoad(engine_, "(p r (player ^team A) --> (bind <x> 1))");
+  EXPECT_EQ(engine_.conflict_set().size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, ExciseTest,
+                         ::testing::Values(MatcherKind::kRete,
+                                           MatcherKind::kTreat,
+                                           MatcherKind::kDips));
+
+TEST(ExciseReteTest, FreesTokensAndKeepsSharedAlphaAlive) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p r1 (player ^team A) (player ^team B) --> (halt))"
+                       "(p r2 (player ^team A) --> (halt))");
+  MakeFigure1Wm(engine);
+  size_t tokens_before = engine.rete_matcher()->live_tokens();
+  ASSERT_TRUE(engine.ExciseRule("r1").ok());
+  EXPECT_LT(engine.rete_matcher()->live_tokens(), tokens_before);
+  EXPECT_EQ(engine.conflict_set().size(), 2u);  // r2's two A players
+  // The shared alpha memory still feeds r2.
+  MustMake(engine, "player", {{"team", engine.Sym("A")}});
+  EXPECT_EQ(engine.conflict_set().size(), 3u);
+}
+
+TEST(ExciseReteTest, SetRuleExciseDropsSois) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p s [player ^name <n>] --> (bind <x> 1))");
+  MakeFigure1Wm(engine);
+  ASSERT_NE(engine.snode("s"), nullptr);
+  ASSERT_TRUE(engine.ExciseRule("s").ok());
+  EXPECT_EQ(engine.snode("s"), nullptr);
+  EXPECT_EQ(engine.conflict_set().size(), 0u);
+  EXPECT_EQ(engine.rete_matcher()->live_tokens(), 0u);
+}
+
+TEST(DumpWmTest, RoundTripsThroughStartup) {
+  Engine engine;
+  std::ostringstream devnull;
+  engine.set_output(&devnull);
+  MustLoad(engine, std::string(kPlayerSchema));
+  MustMake(engine, "player", {{"name", engine.Sym("Jack")},
+                              {"team", engine.Sym("A")}});
+  MustMake(engine, "player", {{"name", engine.Sym("two words")},
+                              {"team", engine.Sym("B")}});
+  MustMake(engine, "player", {});  // all-nil fields
+  std::ostringstream dump;
+  engine.DumpWm(dump);
+
+  Engine fresh;
+  fresh.set_output(&devnull);
+  MustLoad(fresh, std::string(kPlayerSchema));
+  ASSERT_TRUE(fresh.LoadString(dump.str()).ok()) << dump.str();
+  EXPECT_EQ(fresh.wm().size(), 3u);
+  // Contents identical (modulo time tags).
+  auto render = [](Engine& e) {
+    std::string out;
+    for (const WmePtr& w : e.wm().Snapshot()) {
+      const ClassSchema* s = e.schemas().Find(w->cls());
+      std::string line = w->ToString(e.symbols(), *s);
+      out += line.substr(line.find(' ')) + "\n";  // strip the tag
+    }
+    return out;
+  };
+  EXPECT_EQ(render(engine), render(fresh));
+}
+
+TEST(NetworkDumpTest, ShowsAlphaSharingAndChains) {
+  Engine engine;
+  std::ostringstream devnull;
+  engine.set_output(&devnull);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p r1 (player ^team A) (player ^team B) --> (halt))"
+                       "(p r2 [player ^team A] - (player ^team C)"
+                       " --> (bind <x> 1))");
+  MakeFigure1Wm(engine);
+  std::ostringstream dump;
+  engine.rete_matcher()->DumpNetwork(dump, engine.symbols());
+  std::string text = dump.str();
+  EXPECT_NE(text.find("alpha network:"), std::string::npos);
+  EXPECT_NE(text.find("rule r1:"), std::string::npos);
+  EXPECT_NE(text.find("-> S-node"), std::string::npos);
+  EXPECT_NE(text.find("-> P-node"), std::string::npos);
+  EXPECT_NE(text.find("neg("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sorel

@@ -1,0 +1,262 @@
+// End-to-end reproductions of the paper's Figures 1, 2, 4, and 5.
+// (Figure 3 is the S-node algorithm, exercised by snode_test.cc;
+//  Figure 6 is the DIPS mapping, exercised by dips_test.cc.)
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+// ------------------------------------------------------------- Figure 1 ---
+// The tuple-oriented `compete` rule produces six instantiations: the cross
+// product of the two A players and the three B players.
+TEST(Figure1, SixInstantiationsInConflictSet) {
+  std::ostringstream out;
+  Engine engine;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p compete (player ^name <n1> ^team A)"
+                       "           (player ^name <n2> ^team B) -->"
+                       " (write PlayerA: <n1> PlayerB: <n2> (crlf)))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(engine.conflict_set().size(), 6u);
+  EXPECT_EQ(MustRun(engine), 6);
+  // Each instantiation fires exactly once (refraction): 6 lines.
+  std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+  // Quiescent afterwards.
+  EXPECT_EQ(MustRun(engine), 0);
+}
+
+// ------------------------------------------------------------- Figure 2 ---
+// All-set LHS -> one SOI holding the entire 6-row relation.
+TEST(Figure2, AllSetCesGiveOneSoi) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p compete [player ^name <n1> ^team A]"
+                       "           [player ^name <n2> ^team B] -->"
+                       " (foreach <n1> (write <n1> (crlf))))");
+  MakeFigure1Wm(engine);
+  SNode* snode = engine.snode("compete");
+  ASSERT_NE(snode, nullptr);
+  EXPECT_EQ(snode->num_sois(), 1u);
+  EXPECT_EQ(snode->sois()[0]->size(), 6u);
+  EXPECT_EQ(engine.conflict_set().size(), 1u);
+  EXPECT_EQ(MustRun(engine, 1), 1);
+}
+
+// Mixed LHS: the regular CE partitions the relation -> three SOIs of two
+// rows each (one per B player).
+TEST(Figure2, MixedCesPartitionIntoThreeSois) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p compete [player ^name <n1> ^team A]"
+                       "           (player ^name <n2> ^team B) -->"
+                       " (write <n2> (crlf)))");
+  MakeFigure1Wm(engine);
+  SNode* snode = engine.snode("compete");
+  ASSERT_NE(snode, nullptr);
+  EXPECT_EQ(snode->num_sois(), 3u);
+  for (const Soi* soi : snode->sois()) {
+    EXPECT_EQ(soi->size(), 2u);
+    EXPECT_TRUE(soi->active());
+  }
+  EXPECT_EQ(engine.conflict_set().size(), 3u);
+  EXPECT_EQ(MustRun(engine), 3);
+}
+
+// The set-oriented instantiation is exactly the union of the regular
+// instantiations (Figure 2's invariant).
+TEST(Figure2, SoiRowsEqualRegularInstantiations) {
+  Engine set_engine, reg_engine;
+  std::ostringstream devnull;
+  set_engine.set_output(&devnull);
+  reg_engine.set_output(&devnull);
+  MustLoad(set_engine, std::string(kPlayerSchema) +
+                           "(p c [player ^name <n1> ^team A]"
+                           "     [player ^name <n2> ^team B] --> (halt))");
+  MustLoad(reg_engine, std::string(kPlayerSchema) +
+                           "(p c (player ^name <n1> ^team A)"
+                           "     (player ^name <n2> ^team B) --> (halt))");
+  MakeFigure1Wm(set_engine);
+  MakeFigure1Wm(reg_engine);
+  SNode* snode = set_engine.snode("c");
+  ASSERT_EQ(snode->num_sois(), 1u);
+  EXPECT_EQ(snode->sois()[0]->size(), reg_engine.conflict_set().size());
+}
+
+// ------------------------------------------------------------- Figure 4 ---
+// GroupByTeam: nested foreach over PV bindings, default (conflict-set)
+// order. The paper walks the iterations: first <t>=B with <n>=Sue then
+// <n>=Jack (Sue printed once for team B!), then <t>=A.
+TEST(Figure4, GroupByTeamIterationOrderAndDedup) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p GroupByTeam [player ^team <t> ^name <n>] -->"
+                       " (foreach <t> (write <t> (crlf))"
+                       "   (foreach <n> (write <n> (crlf)))))");
+  MakeFigure1Wm(engine);
+  SNode* snode = engine.snode("GroupByTeam");
+  ASSERT_NE(snode, nullptr);
+  ASSERT_EQ(snode->num_sois(), 1u);
+  EXPECT_EQ(snode->sois()[0]->size(), 5u);
+  EXPECT_EQ(MustRun(engine, 1), 1);
+  EXPECT_EQ(out.str(), "B\nSue\nJack\nA\nJanice\nJack\n");
+}
+
+// The current value of <t> constrains the domain of <n> in each iteration
+// (compositional selection).
+TEST(Figure4, OuterIterationConstrainsInnerDomain) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p r [player ^team <t> ^name <n>] -->"
+                       " (foreach <t> ascending"
+                       "   (write <t> has (count <n>) (crlf))))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(MustRun(engine, 1), 1);
+  // Team A has 2 distinct names, team B has 2 (Sue deduplicated).
+  EXPECT_EQ(out.str(), "A has 2\nB has 2\n");
+}
+
+// ------------------------------------------------------------- Figure 5 ---
+// SwitchTeams: modify a set of elements in a single firing, guarded by a
+// second-order test on the cardinalities.
+TEST(Figure5, SwitchTeamsModifiesWholeSets) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p SwitchTeams"
+                       " { [player ^team A] <ATeam> }"
+                       " { [player ^team B] <BTeam> }"
+                       " :test ((count <ATeam>) == (count <BTeam>)) -->"
+                       " (set-modify <ATeam> ^team B)"
+                       " (set-modify <BTeam> ^team A))");
+  TimeTag a1 = MustMake(engine, "player", {{"name", engine.Sym("Jack")},
+                                           {"team", engine.Sym("A")}});
+  TimeTag a2 = MustMake(engine, "player", {{"name", engine.Sym("Janice")},
+                                           {"team", engine.Sym("A")}});
+  MustMake(engine, "player",
+           {{"name", engine.Sym("Sue")}, {"team", engine.Sym("B")}});
+  MustMake(engine, "player",
+           {{"name", engine.Sym("Jack")}, {"team", engine.Sym("B")}});
+  (void)a1;
+  (void)a2;
+  EXPECT_EQ(MustRun(engine, 1), 1);
+  // Every player switched teams; WM still has 4 players.
+  EXPECT_EQ(engine.wm().size(), 4u);
+  SymbolId team = engine.symbols().Intern("team");
+  SymbolId name = engine.symbols().Intern("name");
+  int team_a = 0, team_b = 0;
+  bool jack_janice_now_b = true;
+  for (const WmePtr& w : engine.wm().Snapshot()) {
+    const ClassSchema* s = engine.schemas().Find(w->cls());
+    Value t = w->field(s->FieldOf(team));
+    Value n = w->field(s->FieldOf(name));
+    if (t == engine.Sym("A")) ++team_a;
+    if (t == engine.Sym("B")) ++team_b;
+    if ((n == engine.Sym("Janice")) && !(t == engine.Sym("B"))) {
+      jack_janice_now_b = false;
+    }
+  }
+  EXPECT_EQ(team_a, 2);
+  EXPECT_EQ(team_b, 2);
+  EXPECT_TRUE(jack_janice_now_b);
+  // The modified sets changed the SOI: eligible to fire again (ping-pong),
+  // per the paper's control semantics (§6).
+  EXPECT_EQ(engine.conflict_set().EligibleCount(), 1u);
+}
+
+TEST(Figure5, SwitchTeamsTestBlocksUnequalSets) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p SwitchTeams"
+                       " { [player ^team A] <ATeam> }"
+                       " { [player ^team B] <BTeam> }"
+                       " :test ((count <ATeam>) == (count <BTeam>)) -->"
+                       " (set-modify <ATeam> ^team B)"
+                       " (set-modify <BTeam> ^team A))");
+  MakeFigure1Wm(engine);  // 2 A players vs 3 B players
+  EXPECT_EQ(engine.conflict_set().EligibleCount(), 0u);
+  EXPECT_EQ(MustRun(engine), 0);
+}
+
+// GroupByA: each team-A player grouped with the team-B competitors.
+TEST(Figure5, GroupByAHierarchicalDecomposition) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p GroupByA [player ^name <n1> ^team A]"
+                       "            [player ^name <n2> ^team B] -->"
+                       " (foreach <n1> ascending (write <n1> :)"
+                       "   (foreach <n2> ascending (write <n2>))"
+                       "   (write (crlf))))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(MustRun(engine, 1), 1);
+  EXPECT_EQ(out.str(), "Jack : Jack Sue\nJanice : Jack Sue\n");
+}
+
+// RemoveDups: one instantiation per duplicated (name, team) pair; deletes
+// all but the most recent WME.
+TEST(Figure5, RemoveDupsKeepsMostRecent) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p RemoveDups"
+                       " { [player ^name <n> ^team <t>] <P> }"
+                       " :scalar (<n> <t>)"
+                       " :test ((count <P>) > 1) -->"
+                       " (bind <First> true)"
+                       " (foreach <P> descending"
+                       "   (if (<First> == true) (bind <First> false)"
+                       "    else (remove <P>))))");
+  MakeFigure1Wm(engine);  // tags 3 and 5 are duplicate (Sue, B)
+  // Exactly one SOI passes the :test.
+  EXPECT_EQ(engine.conflict_set().EligibleCount(), 1u);
+  EXPECT_EQ(MustRun(engine), 1);
+  EXPECT_EQ(engine.wm().size(), 4u);
+  EXPECT_EQ(engine.wm().Find(3), nullptr);   // older duplicate removed
+  EXPECT_NE(engine.wm().Find(5), nullptr);   // most recent kept
+  EXPECT_EQ(MustRun(engine), 0);             // quiescent: no more dups
+}
+
+// AlternativeRemoveDups matches all players and "can fire unnecessarily"
+// (the paper's point): it fires once to do the work and once more finding
+// nothing to remove.
+TEST(Figure5, AlternativeRemoveDupsFiresUnnecessarily) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p AltRemoveDups"
+                       " { [player ^name <n> ^team <t>] <P> } -->"
+                       " (foreach <n> (foreach <t>"
+                       "   (bind <First> true)"
+                       "   (foreach <P> descending"
+                       "     (if (<First> == true) (bind <First> false)"
+                       "      else (remove <P>))))))");
+  MakeFigure1Wm(engine);
+  int fired = MustRun(engine, 10);
+  EXPECT_EQ(engine.wm().size(), 4u);
+  EXPECT_EQ(engine.wm().Find(3), nullptr);
+  EXPECT_EQ(fired, 2);  // one useful firing + one no-op firing
+}
+
+}  // namespace
+}  // namespace sorel

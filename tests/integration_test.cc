@@ -1,0 +1,162 @@
+// Whole-program integration: the monkey-and-bananas planner (MEA-driven,
+// with a set-oriented cleanup rule) must solve from several initial
+// situations, on both the Rete and DIPS matchers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "examples/dinner_party_program.h"
+#include "examples/monkey_bananas_program.h"
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+Engine MakeMea(MatcherKind matcher = MatcherKind::kRete) {
+  EngineOptions options;
+  options.strategy = Strategy::kMea;
+  options.matcher = matcher;
+  return Engine(options);
+}
+
+TEST(MonkeyBananas, SolvesTheClassicSituation) {
+  Engine engine = MakeMea();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, sorel_examples::kMonkeyBananas);
+  MustLoad(engine, sorel_examples::kMonkeyBananasWm);
+  int fired = MustRun(engine, 200);
+  EXPECT_TRUE(engine.halted()) << out.str();
+  EXPECT_EQ(fired, 13);
+  // The narrative hits every planning stage, in order.
+  std::string text = out.str();
+  size_t walk = text.find("walks to 7-7");
+  size_t carry = text.find("carries the ladder to 9-9");
+  size_t climb = text.find("climbs onto the ladder");
+  size_t grab = text.find("grabs the bananas");
+  ASSERT_NE(walk, std::string::npos);
+  ASSERT_NE(carry, std::string::npos);
+  ASSERT_NE(climb, std::string::npos);
+  ASSERT_NE(grab, std::string::npos);
+  EXPECT_LT(walk, carry);
+  EXPECT_LT(carry, climb);
+  EXPECT_LT(climb, grab);
+  // The set-oriented cleanup swept the satisfied goals in one firing.
+  EXPECT_NE(text.find("cleanup: 3 satisfied goals removed"),
+            std::string::npos);
+}
+
+TEST(MonkeyBananas, LadderAlreadyInPlace) {
+  Engine engine = MakeMea();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, sorel_examples::kMonkeyBananas);
+  MustLoad(engine,
+           "(startup"
+           " (make monkey ^at |9-9| ^on floor ^holds nil)"
+           " (make thing ^name ladder ^at |9-9| ^on floor ^weight light)"
+           " (make thing ^name bananas ^at |9-9| ^on ceiling ^weight light)"
+           " (make goal ^status active ^type holds ^object bananas"
+           "       ^to eat))");
+  MustRun(engine, 200);
+  EXPECT_TRUE(engine.halted()) << out.str();
+  // No walking or carrying needed: straight to climb + grab.
+  EXPECT_EQ(out.str().find("carries"), std::string::npos);
+  EXPECT_NE(out.str().find("grabs the bananas"), std::string::npos);
+}
+
+TEST(MonkeyBananas, BananasOnTheFloor) {
+  Engine engine = MakeMea();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, sorel_examples::kMonkeyBananas);
+  MustLoad(engine,
+           "(startup"
+           " (make monkey ^at |1-1| ^on couch ^holds nil)"
+           " (make thing ^name couch ^at |1-1| ^on floor ^weight heavy)"
+           " (make thing ^name bananas ^at |6-6| ^on floor ^weight light)"
+           " (make goal ^status active ^type holds ^object bananas"
+           "       ^to eat))");
+  MustRun(engine, 200);
+  EXPECT_TRUE(engine.halted()) << out.str();
+  EXPECT_NE(out.str().find("picks up the bananas"), std::string::npos);
+}
+
+TEST(MonkeyBananas, SolvesOnDipsMatcherToo) {
+  Engine engine = MakeMea(MatcherKind::kDips);
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, sorel_examples::kMonkeyBananas);
+  MustLoad(engine, sorel_examples::kMonkeyBananasWm);
+  int fired = MustRun(engine, 200);
+  EXPECT_TRUE(engine.halted()) << out.str();
+  EXPECT_EQ(fired, 13);
+  EXPECT_NE(out.str().find("the monkey has the bananas!"),
+            std::string::npos);
+}
+
+TEST(MonkeyBananas, NoPlanWithoutALadder) {
+  Engine engine = MakeMea();
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, sorel_examples::kMonkeyBananas);
+  MustLoad(engine,
+           "(startup"
+           " (make monkey ^at |1-1| ^on floor ^holds nil)"
+           " (make thing ^name bananas ^at |9-9| ^on ceiling ^weight light)"
+           " (make goal ^status active ^type holds ^object bananas"
+           "       ^to eat))");
+  MustRun(engine, 200);
+  EXPECT_FALSE(engine.halted());  // quiesces without a solution
+  EXPECT_EQ(out.str().find("grabs the bananas"), std::string::npos);
+}
+
+class DinnerParty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DinnerParty, SeatsEveryoneAlternatingWithSharedHobbies) {
+  int guests = GetParam();
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, sorel_examples::kDinnerRules);
+  MustLoad(engine, sorel_examples::DinnerPartyWm(guests));
+  int fired = MustRun(engine, 10 * guests + 16);
+  EXPECT_EQ(fired, guests + 1);  // start + (n-1) extends + report
+  // Validate the seating: n seated WMEs, alternating sexes.
+  SymbolId seat = engine.symbols().Intern("seat");
+  SymbolId name = engine.symbols().Intern("name");
+  std::map<int64_t, std::string> order;
+  for (const WmePtr& w : engine.wm().Snapshot()) {
+    if (engine.symbols().Name(w->cls()) != "seated") continue;
+    const ClassSchema* s = engine.schemas().Find(w->cls());
+    order[w->field(s->FieldOf(seat)).as_int()] =
+        std::string(engine.symbols().Name(
+            w->field(s->FieldOf(name)).as_symbol()));
+  }
+  ASSERT_EQ(order.size(), static_cast<size_t>(guests));
+  // guestN is male iff N is even; seats must alternate.
+  int prev_parity = -1;
+  for (const auto& [s, n] : order) {
+    int idx = std::stoi(n.substr(5));
+    int parity = idx % 2;
+    if (prev_parity >= 0) EXPECT_NE(parity, prev_parity) << "seat " << s;
+    prev_parity = parity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DinnerParty, ::testing::Values(2, 8, 24));
+
+TEST(DinnerParty2, SameFiringCountOnDips) {
+  EngineOptions options;
+  options.matcher = MatcherKind::kDips;
+  Engine engine(options);
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, sorel_examples::kDinnerRules);
+  MustLoad(engine, sorel_examples::DinnerPartyWm(8));
+  EXPECT_EQ(MustRun(engine, 200), 9);
+}
+
+}  // namespace
+}  // namespace sorel

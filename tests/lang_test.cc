@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include "lang/compiler.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace sorel {
+namespace {
+
+// ----------------------------------------------------------------- lexer ---
+
+std::vector<Tok> MustLex(std::string_view src) {
+  auto r = Lex(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Tok>{};
+}
+
+TEST(LexerTest, Brackets) {
+  auto toks = MustLex("( ) [ ] { }");
+  ASSERT_EQ(toks.size(), 7u);  // incl. kEnd
+  EXPECT_EQ(toks[0].kind, TokKind::kLParen);
+  EXPECT_EQ(toks[1].kind, TokKind::kRParen);
+  EXPECT_EQ(toks[2].kind, TokKind::kLBracket);
+  EXPECT_EQ(toks[3].kind, TokKind::kRBracket);
+  EXPECT_EQ(toks[4].kind, TokKind::kLBrace);
+  EXPECT_EQ(toks[5].kind, TokKind::kRBrace);
+}
+
+TEST(LexerTest, VariablesAndPredicates) {
+  auto toks = MustLex("<x> < <= <> << >> > >= = ==");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, TokKind::kVariable);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].kind, TokKind::kLt);
+  EXPECT_EQ(toks[2].kind, TokKind::kLe);
+  EXPECT_EQ(toks[3].kind, TokKind::kNe);
+  EXPECT_EQ(toks[4].kind, TokKind::kDLAngle);
+  EXPECT_EQ(toks[5].kind, TokKind::kDRAngle);
+  EXPECT_EQ(toks[6].kind, TokKind::kGt);
+  EXPECT_EQ(toks[7].kind, TokKind::kGe);
+  EXPECT_EQ(toks[8].kind, TokKind::kEq);
+  EXPECT_EQ(toks[9].kind, TokKind::kEq);
+}
+
+TEST(LexerTest, NumbersAndSymbols) {
+  auto toks = MustLex("42 -7 3.5 -2.5e3 player -foo + -->");
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::kInt);
+  EXPECT_EQ(toks[1].int_value, -7);
+  EXPECT_EQ(toks[2].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 3.5);
+  EXPECT_EQ(toks[3].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, -2500.0);
+  EXPECT_EQ(toks[4].kind, TokKind::kSymbol);
+  EXPECT_EQ(toks[4].text, "player");
+  EXPECT_EQ(toks[5].kind, TokKind::kSymbol);
+  EXPECT_EQ(toks[5].text, "-foo");
+  EXPECT_EQ(toks[6].kind, TokKind::kSymbol);
+  EXPECT_EQ(toks[6].text, "+");
+  EXPECT_EQ(toks[7].kind, TokKind::kArrow);
+}
+
+TEST(LexerTest, AttributesCommentsQuotes) {
+  auto toks = MustLex("^name ; a comment\n |two words| \"quoted\"");
+  EXPECT_EQ(toks[0].kind, TokKind::kAttr);
+  EXPECT_EQ(toks[0].text, "name");
+  EXPECT_EQ(toks[1].kind, TokKind::kSymbol);
+  EXPECT_EQ(toks[1].text, "two words");
+  EXPECT_EQ(toks[2].kind, TokKind::kSymbol);
+  EXPECT_EQ(toks[2].text, "quoted");
+}
+
+TEST(LexerTest, UnterminatedVariableFails) {
+  EXPECT_FALSE(Lex("<abc").ok());
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto toks = MustLex("a\nb");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+}
+
+// ---------------------------------------------------------------- parser ---
+
+ProgramAst MustParse(std::string_view src) {
+  auto r = Parse(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : ProgramAst{};
+}
+
+TEST(ParserTest, Literalize) {
+  auto p = MustParse("(literalize player name team)");
+  ASSERT_EQ(p.literalizes.size(), 1u);
+  EXPECT_EQ(p.literalizes[0].cls, "player");
+  EXPECT_EQ(p.literalizes[0].attrs,
+            (std::vector<std::string>{"name", "team"}));
+}
+
+TEST(ParserTest, RegularRule) {
+  auto p = MustParse(
+      "(literalize player name team)"
+      "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B)"
+      " --> (write <n1> <n2> (crlf)))");
+  ASSERT_EQ(p.rules.size(), 1u);
+  const RuleAst& r = p.rules[0];
+  EXPECT_EQ(r.name, "compete");
+  ASSERT_EQ(r.conditions.size(), 2u);
+  EXPECT_FALSE(r.conditions[0].set_oriented);
+  EXPECT_EQ(r.conditions[0].cls, "player");
+  ASSERT_EQ(r.conditions[0].attrs.size(), 2u);
+  EXPECT_EQ(r.conditions[0].attrs[0].attr, "name");
+  ASSERT_EQ(r.actions.size(), 1u);
+  EXPECT_EQ(r.actions[0]->kind, Action::Kind::kWrite);
+  EXPECT_EQ(r.actions[0]->write_args.size(), 3u);
+  EXPECT_EQ(r.actions[0]->write_args[2]->kind, Expr::Kind::kCrlf);
+}
+
+TEST(ParserTest, SetOrientedCeAndElementVar) {
+  auto p = MustParse(
+      "(p r { [player ^team A] <ATeam> } :test ((count <ATeam>) > 1)"
+      " --> (set-remove <ATeam>))");
+  const RuleAst& r = p.rules[0];
+  ASSERT_EQ(r.conditions.size(), 1u);
+  EXPECT_TRUE(r.conditions[0].set_oriented);
+  EXPECT_EQ(r.conditions[0].elem_var, "ATeam");
+  ASSERT_NE(r.test, nullptr);
+  EXPECT_EQ(r.test->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(r.test->bin_op, BinOp::kGt);
+  EXPECT_EQ(r.test->lhs->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(r.test->lhs->agg_op, AggOp::kCount);
+  EXPECT_EQ(r.test->lhs->var, "ATeam");
+}
+
+TEST(ParserTest, ScalarClause) {
+  auto p = MustParse(
+      "(p r [player ^name <n> ^team <t>] :scalar (<n> <t>) --> (halt))");
+  EXPECT_EQ(p.rules[0].scalar_vars, (std::vector<std::string>{"n", "t"}));
+}
+
+TEST(ParserTest, NegatedCondition) {
+  auto p = MustParse("(p r (player ^name <n>) - (player ^team B) --> (halt))");
+  ASSERT_EQ(p.rules[0].conditions.size(), 2u);
+  EXPECT_TRUE(p.rules[0].conditions[1].negated);
+}
+
+TEST(ParserTest, DisjunctionAndConjunction) {
+  auto p = MustParse(
+      "(p r (player ^team << A B >> ^name { <> Jack <n> }) --> (halt))");
+  const auto& attrs = p.rules[0].conditions[0].attrs;
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].kind, AttrTest::Kind::kDisjunction);
+  EXPECT_EQ(attrs[0].disjunction_texts,
+            (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(attrs[1].kind, AttrTest::Kind::kAtoms);
+  ASSERT_EQ(attrs[1].atoms.size(), 2u);
+  EXPECT_EQ(attrs[1].atoms[0].first, TestPred::kNe);
+  EXPECT_EQ(attrs[1].atoms[1].first, TestPred::kEq);
+  EXPECT_EQ(attrs[1].atoms[1].second.var, "n");
+}
+
+TEST(ParserTest, ForeachWithOrderAndNesting) {
+  auto p = MustParse(
+      "(p r [player ^team <t> ^name <n>] --> "
+      "(foreach <t> (write <t>) (foreach <n> descending (write <n>))))");
+  const Action& outer = *p.rules[0].actions[0];
+  EXPECT_EQ(outer.kind, Action::Kind::kForeach);
+  EXPECT_EQ(outer.var, "t");
+  EXPECT_EQ(outer.order, Action::Order::kDefault);
+  ASSERT_EQ(outer.body.size(), 2u);
+  const Action& inner = *outer.body[1];
+  EXPECT_EQ(inner.kind, Action::Kind::kForeach);
+  EXPECT_EQ(inner.order, Action::Order::kDescending);
+}
+
+TEST(ParserTest, IfElse) {
+  auto p = MustParse(
+      "(p r { [player ^name <n>] <P> } --> "
+      "(bind <First> true)"
+      "(foreach <P> descending"
+      "  (if (<First> == true) (bind <First> false) else (remove <P>))))");
+  const Action& foreach_action = *p.rules[0].actions[1];
+  const Action& if_action = *foreach_action.body[0];
+  EXPECT_EQ(if_action.kind, Action::Kind::kIf);
+  ASSERT_EQ(if_action.body.size(), 1u);
+  EXPECT_EQ(if_action.body[0]->kind, Action::Kind::kBind);
+  ASSERT_EQ(if_action.else_body.size(), 1u);
+  EXPECT_EQ(if_action.else_body[0]->kind, Action::Kind::kRemove);
+}
+
+TEST(ParserTest, MultiTargetRemoveExpands) {
+  auto p = MustParse(
+      "(p r { (player) <a> } { (player) <b> } --> (remove <a> <b>))");
+  EXPECT_EQ(p.rules[0].actions.size(), 2u);
+}
+
+TEST(ParserTest, InfixChainIsLeftAssociative) {
+  auto p = MustParse("(p r (player) --> (bind <x> (1 + 2 * 3)))");
+  const Expr& e = *p.rules[0].actions[0]->expr;
+  // ((1 + 2) * 3): no precedence, left-assoc (like OPS5 compute).
+  EXPECT_EQ(e.bin_op, BinOp::kMul);
+  EXPECT_EQ(e.lhs->bin_op, BinOp::kAdd);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("(frobnicate)").ok());
+  EXPECT_FALSE(Parse("(p r (player ^name <n>)").ok());          // unclosed
+  EXPECT_FALSE(Parse("(p r (player) --> (explode))").ok());     // bad action
+  EXPECT_FALSE(Parse("(p r (player ^team << <v> >>) --> (halt))").ok());
+}
+
+// -------------------------------------------------------------- compiler ---
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  CompilerTest() : compiler_(&symbols_, &schemas_) {}
+
+  Result<CompiledRulePtr> CompileRule(std::string_view src) {
+    auto program = Parse(src);
+    if (!program.ok()) return program.status();
+    for (const LiteralizeAst& lit : program->literalizes) {
+      Status s = compiler_.DeclareLiteralize(lit);
+      if (!s.ok()) return s;
+    }
+    if (program->rules.empty()) {
+      return Status::InvalidArgument("no rule in source");
+    }
+    return compiler_.Compile(std::move(program->rules[0]));
+  }
+
+  static constexpr const char* kPrelude =
+      "(literalize player name team) ";
+
+  SymbolTable symbols_;
+  SchemaRegistry schemas_;
+  RuleCompiler compiler_;
+};
+
+TEST_F(CompilerTest, JoinTestDerivation) {
+  auto r = CompileRule(
+      std::string(kPrelude) +
+      "(p pair (player ^name <n> ^team A) (player ^name <n> ^team B)"
+      " --> (halt))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CompiledRule& rule = **r;
+  EXPECT_FALSE(rule.has_set);
+  EXPECT_EQ(rule.num_positive, 2);
+  ASSERT_EQ(rule.conditions.size(), 2u);
+  EXPECT_EQ(rule.conditions[0].const_tests.size(), 1u);  // team A
+  EXPECT_EQ(rule.conditions[0].join_tests.size(), 0u);
+  ASSERT_EQ(rule.conditions[1].join_tests.size(), 1u);
+  EXPECT_EQ(rule.conditions[1].join_tests[0].other_token_pos, 0);
+  const VarInfo* n = rule.FindVar("n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_FALSE(n->set_oriented);
+  EXPECT_EQ(n->occurrences.size(), 2u);
+}
+
+TEST_F(CompilerTest, IntraTestWithinOneCe) {
+  auto r = CompileRule(std::string(kPrelude) +
+                       "(p same (player ^name <x> ^team <x>) --> (halt))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->conditions[0].intra_tests.size(), 1u);
+}
+
+TEST_F(CompilerTest, SetClassification) {
+  auto r = CompileRule(
+      std::string(kPrelude) +
+      "(p g [player ^team <t> ^name <n>] :scalar (<t>)"
+      " --> (foreach <n> (write <n>)))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CompiledRule& rule = **r;
+  EXPECT_TRUE(rule.has_set);
+  EXPECT_FALSE(rule.FindVar("t")->set_oriented);  // :scalar
+  EXPECT_TRUE(rule.FindVar("n")->set_oriented);
+  EXPECT_EQ(rule.key_token_positions.size(), 0u);
+  ASSERT_EQ(rule.key_scalars.size(), 1u);
+  EXPECT_EQ(rule.key_scalars[0].first, 0);
+  EXPECT_EQ(rule.key_scalars[0].second, 1);  // team field
+}
+
+TEST_F(CompilerTest, MixedCePartitionKey) {
+  auto r = CompileRule(
+      std::string(kPrelude) +
+      "(p m [player ^name <n> ^team A] (player ^name <n2> ^team B)"
+      " --> (write <n2>))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CompiledRule& rule = **r;
+  // Variable occurring in a regular CE is scalar.
+  EXPECT_FALSE(rule.FindVar("n2")->set_oriented);
+  EXPECT_TRUE(rule.FindVar("n")->set_oriented);
+  EXPECT_EQ(rule.key_token_positions, (std::vector<int>{1}));
+}
+
+TEST_F(CompilerTest, VariableSharedBetweenSetAndRegularIsScalar) {
+  auto r = CompileRule(
+      std::string(kPrelude) +
+      "(p m [player ^name <n> ^team A] (player ^name <n> ^team B)"
+      " --> (write <n>))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE((*r)->FindVar("n")->set_oriented);
+}
+
+TEST_F(CompilerTest, TestAggregatesCompiled) {
+  auto r = CompileRule(
+      std::string(kPrelude) +
+      "(p s { [player ^team A] <A> } { [player ^team B] <B> }"
+      " :test ((count <A>) == (count <B>)) --> (halt))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CompiledRule& rule = **r;
+  ASSERT_EQ(rule.test_aggregates.size(), 2u);
+  EXPECT_TRUE(rule.test_aggregates[0].over_element);
+  EXPECT_EQ(rule.ast.test->lhs->agg_index, 0);
+  EXPECT_EQ(rule.ast.test->rhs->agg_index, 1);
+}
+
+TEST_F(CompilerTest, CompileErrors) {
+  // Rule without condition elements.
+  EXPECT_FALSE(CompileRule("(p r --> (halt))").ok());
+  // Unknown class.
+  EXPECT_FALSE(CompileRule("(p r (ghost) --> (halt))").ok());
+  // Unknown attribute.
+  EXPECT_FALSE(
+      CompileRule(std::string(kPrelude) + "(p r (player ^salary 3) --> (halt))")
+          .ok());
+  // Predicate before binding.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r (player ^name > <n>) --> (halt))")
+                   .ok());
+  // First CE negated.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r - (player) --> (halt))")
+                   .ok());
+  // Negated set CE.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r (player) - [player] --> (halt))")
+                   .ok());
+  // :test without set CEs.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r (player ^name <n>) :test ((<n> == 1))"
+                           " --> (halt))")
+                   .ok());
+  // Aggregate over scalar variable.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r (player ^name <n>) [player ^team <t>]"
+                           " :test ((count <n>) > 1) --> (halt))")
+                   .ok());
+  // min over element variable.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r { [player] <P> } :test ((min <P>) > 1)"
+                           " --> (halt))")
+                   .ok());
+  // Set variable read without foreach.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r [player ^name <n>] --> (write <n>))")
+                   .ok());
+  // remove of a set element var outside foreach.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r { [player] <P> } --> (remove <P>))")
+                   .ok());
+  // set-remove of a regular element var.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r { (player) <P> } --> (set-remove <P>))")
+                   .ok());
+  // bind shadowing an LHS variable.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r (player ^name <n>) --> (bind <n> 1))")
+                   .ok());
+  // foreach over a scalar.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r (player ^name <n>) --> "
+                           "(foreach <n> (write <n>)))")
+                   .ok());
+  // Unbound variable in RHS.
+  EXPECT_FALSE(CompileRule(std::string(kPrelude) +
+                           "(p r (player) --> (write <ghost>))")
+                   .ok());
+}
+
+TEST_F(CompilerTest, ForeachUnlocksSetVariables) {
+  auto r = CompileRule(
+      std::string(kPrelude) +
+      "(p g { [player ^team <t> ^name <n>] <P> } --> "
+      "(foreach <P> (write <n> <t>)))");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_F(CompilerTest, SpecificityCountsTests) {
+  auto r1 = CompileRule(std::string(kPrelude) + "(p a (player) --> (halt))");
+  auto r2 = CompileRule(std::string(kPrelude) +
+                        "(p b (player ^team A ^name <n>) (player ^name <n>)"
+                        " --> (halt))");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ((*r1)->specificity, 1);
+  EXPECT_EQ((*r2)->specificity, 4);  // 2 class + 1 const + 1 join
+}
+
+}  // namespace
+}  // namespace sorel

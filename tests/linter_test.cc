@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "lang/compiler.h"
+#include "lang/linter.h"
+#include "lang/parser.h"
+
+namespace sorel {
+namespace {
+
+class LinterTest : public ::testing::Test {
+ protected:
+  LinterTest() : compiler_(&symbols_, &schemas_) {}
+
+  std::vector<LintWarning> Lint(const std::string& rule_src) {
+    auto program = Parse(
+        "(literalize player name team score)(literalize flag kind)" +
+        rule_src);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    for (const LiteralizeAst& lit : program->literalizes) {
+      EXPECT_TRUE(compiler_.DeclareLiteralize(lit).ok());
+    }
+    auto rule = compiler_.Compile(std::move(program->rules[0]));
+    EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    rules_.push_back(std::move(*rule));
+    return LintRule(*rules_.back());
+  }
+
+  static bool Has(const std::vector<LintWarning>& warnings, LintCode code) {
+    for (const LintWarning& w : warnings) {
+      if (w.code == code) return true;
+    }
+    return false;
+  }
+
+  SymbolTable symbols_;
+  SchemaRegistry schemas_;
+  RuleCompiler compiler_;
+  std::vector<CompiledRulePtr> rules_;
+};
+
+TEST_F(LinterTest, CleanRuleHasNoWarnings) {
+  auto w = Lint(
+      "(p clean (player ^name <n> ^team A) (player ^name <n> ^team B)"
+      " --> (write <n>))");
+  EXPECT_TRUE(w.empty()) << w.front().ToString();
+}
+
+TEST_F(LinterTest, UnusedVariable) {
+  auto w = Lint("(p r (player ^name <n> ^team <t>) --> (write <n>))");
+  ASSERT_TRUE(Has(w, LintCode::kUnusedVariable));
+  EXPECT_NE(w.front().ToString().find("<t>"), std::string::npos);
+}
+
+TEST_F(LinterTest, JoinedVariableIsNotUnused) {
+  auto w = Lint(
+      "(p r (player ^team <t>) (player ^team <t>) --> (bind <x> 1))");
+  EXPECT_FALSE(Has(w, LintCode::kUnusedVariable));
+}
+
+TEST_F(LinterTest, ScalarClauseVariableIsNotUnused) {
+  auto w = Lint(
+      "(p r { [player ^team <t> ^name <n>] <P> } :scalar (<t>)"
+      " :test ((count <n>) > 1) --> (set-remove <P>))");
+  EXPECT_FALSE(Has(w, LintCode::kUnusedVariable));
+}
+
+TEST_F(LinterTest, CrossProduct) {
+  auto w = Lint("(p r (player ^team A) (flag) --> (bind <x> 1))");
+  EXPECT_TRUE(Has(w, LintCode::kCrossProduct));
+}
+
+TEST_F(LinterTest, JoinedCesAreNotCrossProduct) {
+  auto w = Lint(
+      "(p r (player ^name <n>) (player ^name <n> ^team B)"
+      " --> (bind <x> 1))");
+  EXPECT_FALSE(Has(w, LintCode::kCrossProduct));
+}
+
+TEST_F(LinterTest, PointlessSet) {
+  auto w = Lint("(p r [player ^name <n>] --> (write done))");
+  EXPECT_TRUE(Has(w, LintCode::kPointlessSet));
+  EXPECT_TRUE(Has(w, LintCode::kNoTestNoPartition));
+}
+
+TEST_F(LinterTest, ConsumedSetIsFine) {
+  auto w = Lint("(p r [player ^name <n>] --> (foreach <n> (write <n>)))");
+  EXPECT_FALSE(Has(w, LintCode::kPointlessSet));
+  EXPECT_FALSE(Has(w, LintCode::kNoTestNoPartition));
+}
+
+TEST_F(LinterTest, AggregateConsumesSet) {
+  auto w = Lint(
+      "(p r [player ^name <n>] :test ((count <n>) > 3) --> (halt))");
+  EXPECT_FALSE(Has(w, LintCode::kPointlessSet));
+}
+
+TEST_F(LinterTest, SelfTrigger) {
+  auto w = Lint(
+      "(p r (player ^team A) --> (make player ^team A))");
+  EXPECT_TRUE(Has(w, LintCode::kSelfTrigger));
+}
+
+TEST_F(LinterTest, MakingADifferentClassIsFine) {
+  auto w = Lint("(p r (player ^team A) --> (make flag ^kind done))");
+  EXPECT_FALSE(Has(w, LintCode::kSelfTrigger));
+}
+
+TEST_F(LinterTest, PaperRulesAreClean) {
+  // The paper's own Figure 5 rules should lint clean.
+  auto w = Lint(
+      "(p RemoveDups { [player ^name <n> ^team <t>] <P> }"
+      " :scalar (<n> <t>) :test ((count <P>) > 1) -->"
+      " (bind <first> true)"
+      " (foreach <P> descending"
+      "   (if (<first> == true) (bind <first> false) else (remove <P>))))");
+  EXPECT_TRUE(w.empty()) << w.front().ToString();
+}
+
+TEST_F(LinterTest, SwitchTeamsFlagsItsCrossProduct) {
+  // The literal SwitchTeams rule does build an A x B cross product — the
+  // honest caveat EXPERIMENTS.md documents; the linter calls it out.
+  auto w = Lint(
+      "(p SwitchTeams { [player ^team A] <A> } { [player ^team B] <B> }"
+      " :test ((count <A>) == (count <B>)) -->"
+      " (set-modify <A> ^team B) (set-modify <B> ^team A))");
+  EXPECT_TRUE(Has(w, LintCode::kCrossProduct));
+  EXPECT_FALSE(Has(w, LintCode::kPointlessSet));
+}
+
+}  // namespace
+}  // namespace sorel

@@ -1,0 +1,120 @@
+// Odds and ends: SortedEligible ordering, WM listener ordering, value
+// formatting, network dump after excise, and printer-compiler interplay.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+TEST(SortedEligibleTest, BestFirstAndSkipsFired) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p r (player ^name <n>) --> (bind <x> 1))");
+  MustMake(engine, "player", {{"name", engine.Sym("a")}});
+  MustMake(engine, "player", {{"name", engine.Sym("b")}});
+  MustMake(engine, "player", {{"name", engine.Sym("c")}});
+  auto eligible = engine.conflict_set().SortedEligible(Strategy::kLex);
+  ASSERT_EQ(eligible.size(), 3u);
+  EXPECT_EQ(eligible[0]->RecencyTags().front(), 3);
+  EXPECT_EQ(eligible[2]->RecencyTags().front(), 1);
+  engine.conflict_set().MarkFired(eligible[0], /*remove_entry=*/true);
+  EXPECT_EQ(engine.conflict_set().SortedEligible(Strategy::kLex).size(), 2u);
+}
+
+TEST(WmListenerTest, MatcherSeesChangesBeforeTracer) {
+  // Tracing output must reflect an already-updated conflict set: the
+  // matcher is registered first and listeners run in order.
+  EngineOptions options;
+  options.trace_wm = true;
+  Engine engine(options);
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p r (player) --> (bind <x> 1))");
+  MustMake(engine, "player", {});
+  EXPECT_EQ(engine.conflict_set().size(), 1u);
+  EXPECT_NE(out.str().find("==> 1: (player)"), std::string::npos);
+}
+
+TEST(ValueFormatTest, FloatRendering) {
+  SymbolTable t;
+  EXPECT_EQ(Value::Float(1.0).ToString(t), "1");
+  EXPECT_EQ(Value::Float(0.5).ToString(t), "0.5");
+  EXPECT_EQ(Value::Float(-2.25).ToString(t), "-2.25");
+  EXPECT_EQ(Value::Float(1e10).ToString(t), "1e+10");
+}
+
+TEST(ValueFormatTest, HashEqualityContract) {
+  // Spot-check: equal values hash equally across kinds.
+  for (int i = -100; i <= 100; i += 7) {
+    EXPECT_EQ(Value::Int(i), Value::Float(static_cast<double>(i)));
+    EXPECT_EQ(Value::Int(i).Hash(),
+              Value::Float(static_cast<double>(i)).Hash());
+  }
+}
+
+TEST(NetworkDumpTest, ReflectsExcision) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p gone (player ^team A) --> (halt))"
+                       "(p kept (player ^team B) --> (halt))");
+  ASSERT_TRUE(engine.ExciseRule("gone").ok());
+  std::ostringstream dump;
+  engine.rete_matcher()->DumpNetwork(dump, engine.symbols());
+  EXPECT_EQ(dump.str().find("rule gone"), std::string::npos);
+  EXPECT_NE(dump.str().find("rule kept"), std::string::npos);
+}
+
+TEST(DumpWmTest, EmptyWmIsValidStartup) {
+  Engine engine;
+  std::ostringstream dump;
+  engine.DumpWm(dump);
+  Engine fresh;
+  EXPECT_TRUE(fresh.LoadString(dump.str()).ok());
+  EXPECT_EQ(fresh.wm().size(), 0u);
+}
+
+TEST(RunParallelTest, InterleavesWithSequentialRun) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p tag { (player ^team A) <p> } -->"
+                       " (modify <p> ^team done))");
+  for (int i = 0; i < 4; ++i) {
+    MustMake(engine, "player", {{"team", engine.Sym("A")}});
+  }
+  EXPECT_EQ(MustRun(engine, 2), 2);        // two sequential firings
+  auto cycles = engine.RunParallel();      // the rest in one batch
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(*cycles, 1);
+  EXPECT_EQ(engine.parallel_stats().firings, 2u);
+}
+
+TEST(EngineApiTest, SymInternsConsistently) {
+  Engine engine;
+  EXPECT_EQ(engine.Sym("abc"), engine.Sym("abc"));
+  EXPECT_NE(engine.Sym("abc"), engine.Sym("abd"));
+  EXPECT_EQ(engine.Sym("nil"), Value::Symbol(SymbolTable::kNil));
+}
+
+TEST(EngineApiTest, FindRuleAndRulesAccessors) {
+  Engine engine;
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p one (player) --> (halt))"
+                       "(p two (player) --> (halt))");
+  EXPECT_EQ(engine.rules().size(), 2u);
+  EXPECT_NE(engine.FindRule("one"), nullptr);
+  EXPECT_EQ(engine.FindRule("three"), nullptr);
+}
+
+}  // namespace
+}  // namespace sorel

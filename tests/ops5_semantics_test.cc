@@ -1,0 +1,179 @@
+// OPS5 semantic conformance corpus: matching, conflict resolution, and
+// action semantics details that real OPS5 programs rely on.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+class Ops5Test : public ::testing::Test {
+ protected:
+  Ops5Test() { engine_.set_output(&out_); }
+
+  std::ostringstream out_;
+  Engine engine_;
+};
+
+TEST_F(Ops5Test, NilMatchesUnsetAttribute) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p unset (player ^team nil ^name <n>) --> "
+                        "(write <n>))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("loner")}});
+  MustMake(engine_, "player", {{"name", engine_.Sym("member")},
+                               {"team", engine_.Sym("A")}});
+  EXPECT_EQ(MustRun(engine_), 1);
+  EXPECT_EQ(out_.str(), "loner");
+}
+
+TEST_F(Ops5Test, IntFloatEqualityInMatch) {
+  MustLoad(engine_,
+           "(literalize m v)(p eq (m ^v 5) --> (write hit))");
+  MustMake(engine_, "m", {{"v", Value::Float(5.0)}});
+  EXPECT_EQ(MustRun(engine_), 1);
+}
+
+TEST_F(Ops5Test, RelationalPredicateIgnoresSymbols) {
+  MustLoad(engine_,
+           "(literalize m v)(p gt (m ^v > 3) --> (write hit))");
+  MustMake(engine_, "m", {{"v", engine_.Sym("seven")}});
+  MustMake(engine_, "m", {{"v", Value::Int(7)}});
+  EXPECT_EQ(MustRun(engine_), 1);  // only the number matches
+}
+
+TEST_F(Ops5Test, VariablePredicateAgainstEarlierBinding) {
+  MustLoad(engine_,
+           "(literalize m v)"
+           "(p pairs (m ^v <a>) (m ^v > <a>) --> (write <a> (crlf)))");
+  MustMake(engine_, "m", {{"v", Value::Int(1)}});
+  MustMake(engine_, "m", {{"v", Value::Int(2)}});
+  MustMake(engine_, "m", {{"v", Value::Int(3)}});
+  // Pairs with second > first: (1,2) (1,3) (2,3).
+  EXPECT_EQ(MustRun(engine_), 3);
+}
+
+TEST_F(Ops5Test, ConjunctionRangeTest) {
+  MustLoad(engine_,
+           "(literalize m v)"
+           "(p range (m ^v { > 2 < 8 <> 5 }) --> (write hit (crlf)))");
+  for (int v : {1, 3, 5, 7, 9}) {
+    MustMake(engine_, "m", {{"v", Value::Int(v)}});
+  }
+  EXPECT_EQ(MustRun(engine_), 2);  // 3 and 7
+}
+
+TEST_F(Ops5Test, RefractionIsPermanentForIdenticalInstantiations) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p once (player ^name <n>) --> (write fired))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("x")}});
+  EXPECT_EQ(MustRun(engine_), 1);
+  EXPECT_EQ(MustRun(engine_), 0);  // same instantiation never refires
+}
+
+TEST_F(Ops5Test, ModifyCreatesFreshInstantiation) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p watch (player ^name <n>) --> (write saw <n>))");
+  TimeTag tag = MustMake(engine_, "player", {{"name", engine_.Sym("x")}});
+  EXPECT_EQ(MustRun(engine_), 1);
+  auto modified = engine_.ModifyWme(tag, {{"name", engine_.Sym("y")}});
+  ASSERT_TRUE(modified.ok());
+  EXPECT_GT(*modified, tag);
+  EXPECT_EQ(MustRun(engine_), 1);  // the remade WME is a new match
+}
+
+TEST_F(Ops5Test, ModifyPreservesUnmentionedFields) {
+  MustLoad(engine_, std::string(kPlayerSchema));
+  TimeTag tag = MustMake(engine_, "player", {{"name", engine_.Sym("x")},
+                                             {"team", engine_.Sym("A")}});
+  auto modified = engine_.ModifyWme(tag, {{"team", engine_.Sym("B")}});
+  ASSERT_TRUE(modified.ok());
+  WmePtr wme = engine_.wm().Find(*modified);
+  ASSERT_NE(wme, nullptr);
+  EXPECT_EQ(wme->field(0), engine_.Sym("x"));  // name untouched
+  EXPECT_EQ(wme->field(1), engine_.Sym("B"));
+  EXPECT_FALSE(engine_.ModifyWme(tag, {}).ok());  // old tag is gone
+}
+
+TEST_F(Ops5Test, LexComparesSecondTagOnTie) {
+  // Instantiations sharing the most recent WME are ordered by the next
+  // most recent one.
+  MustLoad(engine_,
+           "(literalize a v)(literalize b v)"
+           "(p r (a ^v <x>) (b) --> (write <x> (crlf)))");
+  MustMake(engine_, "a", {{"v", Value::Int(1)}});  // tag 1
+  MustMake(engine_, "a", {{"v", Value::Int(2)}});  // tag 2
+  MustMake(engine_, "b", {});                      // tag 3 (shared)
+  MustRun(engine_);
+  EXPECT_EQ(out_.str(), "2\n1\n");
+}
+
+TEST_F(Ops5Test, SoiRepositionsOnNewHead) {
+  // Two SOIs; adding a member to the older one must move it to the top of
+  // the conflict set (the S-node's `time` mark).
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p g [player ^team <t> ^name <n>] :scalar (<t>)"
+                        " --> (write team <t> (crlf)))");
+  MustMake(engine_, "player", {{"team", engine_.Sym("A")},
+                               {"name", engine_.Sym("a1")}});
+  MustMake(engine_, "player", {{"team", engine_.Sym("B")},
+                               {"name", engine_.Sym("b1")}});
+  // B is more recent; but now team A gains the newest member.
+  MustMake(engine_, "player", {{"team", engine_.Sym("A")},
+                               {"name", engine_.Sym("a2")}});
+  MustRun(engine_, 1);
+  EXPECT_EQ(out_.str(), "team A\n");
+}
+
+TEST_F(Ops5Test, MultiFieldJoinConsistency) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p same (player ^name <n> ^team <t>)"
+                        "        (player ^name <t> ^team <n>) -->"
+                        " (write crossed (crlf)))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("x")},
+                               {"team", engine_.Sym("y")}});
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);
+  MustMake(engine_, "player", {{"name", engine_.Sym("y")},
+                               {"team", engine_.Sym("x")}});
+  EXPECT_EQ(engine_.conflict_set().size(), 2u);  // both orientations
+}
+
+TEST_F(Ops5Test, NegatedCeSeesRhsEffectsImmediately) {
+  // OPS5 actions take effect one at a time: the make in the RHS
+  // immediately blocks the rule's remaining instantiations.
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(literalize done)"
+                        "(p only-once (player) - (done) --> (make done))");
+  MakeFigure1Wm(engine_);
+  EXPECT_EQ(MustRun(engine_), 1);  // the first firing blocks the rest
+}
+
+TEST_F(Ops5Test, WriteNumbersAndNegatives) {
+  MustLoad(engine_,
+           "(literalize m)(p w (m) --> (write -3 2.25 0 (crlf)))");
+  MustMake(engine_, "m", {});
+  MustRun(engine_);
+  EXPECT_EQ(out_.str(), "-3 2.25 0\n");
+}
+
+TEST_F(Ops5Test, ComputeSynonym) {
+  MustLoad(engine_,
+           "(literalize m v)"
+           "(p c (m ^v <x>) --> (write (compute <x> * 2 + 1)))");
+  MustMake(engine_, "m", {{"v", Value::Int(5)}});
+  MustRun(engine_);
+  EXPECT_EQ(out_.str(), "11");  // left-assoc: (5*2)+1
+}
+
+TEST_F(Ops5Test, QuotedSymbolsMatchExactly) {
+  MustLoad(engine_,
+           "(literalize m v)"
+           "(p q (m ^v |hello world|) --> (write matched))");
+  MustMake(engine_, "m", {{"v", engine_.Sym("hello world")}});
+  EXPECT_EQ(MustRun(engine_), 1);
+}
+
+}  // namespace
+}  // namespace sorel

@@ -1,0 +1,158 @@
+// Parallel-firing cycles (§8.1 / §1): batch selection, the conservative
+// conflict test, and equivalence with sequential execution on confluent
+// programs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+TEST(ParallelTest, IndependentInstantiationsFireInOneCycle) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p drain { (player ^team A) <p> } -->"
+                       " (modify <p> ^team done))");
+  for (int i = 0; i < 16; ++i) {
+    MustMake(engine, "player", {{"team", engine.Sym("A")}});
+  }
+  auto cycles = engine.RunParallel();
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(*cycles, 1);
+  EXPECT_EQ(engine.parallel_stats().firings, 16u);
+  EXPECT_EQ(engine.parallel_stats().largest_batch, 16u);
+  EXPECT_EQ(engine.parallel_stats().conflicts, 0u);
+}
+
+TEST(ParallelTest, SharedSupportSerializes) {
+  // Every instantiation matches the same counter WME: the batch degrades
+  // to one firing per cycle — §8.1's "instantiations frequently conflict".
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine,
+           "(literalize job id)(literalize tally n)"
+           "(p count-job { (job ^id <i>) <j> } { (tally ^n <c>) <t> } -->"
+           " (remove <j>) (modify <t> ^n (<c> + 1)))");
+  MustMake(engine, "tally", {{"n", Value::Int(0)}});
+  for (int i = 0; i < 8; ++i) {
+    MustMake(engine, "job", {{"id", Value::Int(i)}});
+  }
+  auto cycles = engine.RunParallel();
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(*cycles, 8);  // fully serialized on the tally WME
+  EXPECT_GT(engine.parallel_stats().conflicts, 0u);
+  auto snap = engine.wm().Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0]->field(0), Value::Int(8));
+}
+
+TEST(ParallelTest, DuplicateRemovalConflictResolvedSafely) {
+  // The paper's example: "multiple instantiations of a single rule
+  // invalidate each other (e.g. try to remove the same WME)". With the
+  // conservative conflict test, only one of the pair fires per cycle and
+  // the other is retracted by the WM change.
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, "(literalize player name team id score)"
+                       "(p dedup (player ^id <i> ^name <n>)"
+                       "         { (player ^id { <> <i> } ^name <n>) <p2> }"
+                       " --> (remove <p2>))");
+  for (int i = 0; i < 4; ++i) {
+    MustMake(engine, "player", {{"id", Value::Int(i)},
+                                {"name", engine.Sym("same")}});
+  }
+  auto cycles = engine.RunParallel(100);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(engine.wm().size(), 1u);  // exactly one survivor
+}
+
+TEST(ParallelTest, SetOrientedRuleIsOneBatchOfOne) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p drain { [player ^team A] <A> } -->"
+                       " (set-modify <A> ^team done))");
+  for (int i = 0; i < 16; ++i) {
+    MustMake(engine, "player", {{"team", engine.Sym("A")}});
+  }
+  auto cycles = engine.RunParallel();
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(*cycles, 1);
+  EXPECT_EQ(engine.parallel_stats().firings, 1u);
+  EXPECT_EQ(engine.run_stats().actions, 16u);  // §1: big firings
+}
+
+TEST(ParallelTest, MatchesSequentialOutcomeOnConfluentProgram) {
+  const std::string program =
+      "(literalize player name team id score)"
+      "(p promote { (player ^team A ^score { <s> >= 5 }) <p> } -->"
+      " (modify <p> ^team B))"
+      "(p demote { (player ^team A ^score < 5) <p> } -->"
+      " (modify <p> ^team C))";
+  auto final_teams = [&](bool parallel) {
+    Engine engine;
+    std::ostringstream out;
+    engine.set_output(&out);
+    MustLoad(engine, program);
+    for (int i = 0; i < 20; ++i) {
+      MustMake(engine, "player", {{"team", engine.Sym("A")},
+                                  {"score", Value::Int(i % 10)},
+                                  {"id", Value::Int(i)}});
+    }
+    if (parallel) {
+      EXPECT_TRUE(engine.RunParallel().ok());
+    } else {
+      MustRun(engine);
+    }
+    std::multiset<std::string> teams;
+    SymbolId id = engine.symbols().Intern("id");
+    SymbolId team = engine.symbols().Intern("team");
+    for (const WmePtr& w : engine.wm().Snapshot()) {
+      const ClassSchema* s = engine.schemas().Find(w->cls());
+      teams.insert(w->field(s->FieldOf(id)).ToString(engine.symbols()) + ":" +
+                   w->field(s->FieldOf(team)).ToString(engine.symbols()));
+    }
+    return teams;
+  };
+  EXPECT_EQ(final_teams(false), final_teams(true));
+}
+
+TEST(ParallelTest, HaltStopsTheCycle) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p stop (player) --> (halt))");
+  MakeFigure1Wm(engine);
+  auto cycles = engine.RunParallel();
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_TRUE(engine.halted());
+  EXPECT_EQ(*cycles, 1);
+}
+
+TEST(ParallelTest, MaxCyclesRespected) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine,
+           "(literalize job id)(literalize tally n)"
+           "(p count-job { (job ^id <i>) <j> } { (tally ^n <c>) <t> } -->"
+           " (remove <j>) (modify <t> ^n (<c> + 1)))");
+  MustMake(engine, "tally", {{"n", Value::Int(0)}});
+  for (int i = 0; i < 8; ++i) MustMake(engine, "job", {{"id", Value::Int(i)}});
+  auto cycles = engine.RunParallel(3);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(*cycles, 3);
+  EXPECT_EQ(engine.wm().size(), 6u);  // 1 tally + 5 remaining jobs
+}
+
+}  // namespace
+}  // namespace sorel

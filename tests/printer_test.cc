@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "lang/compiler.h"
+#include "lang/printer.h"
+
+namespace sorel {
+namespace {
+
+// The printer's contract: Parse(Print(Parse(src))) == Parse(src)
+// structurally, and printing is a fixed point after one round.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+std::string PrintOf(const ProgramAst& program, const SymbolTable& symbols) {
+  return AstPrinter(&symbols).PrintProgram(program);
+}
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  SymbolTable symbols;
+  auto first = Parse(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = PrintOf(*first, symbols);
+  auto second = Parse(printed);
+  ASSERT_TRUE(second.ok()) << second.status().ToString() << "\n--- printed:\n"
+                           << printed;
+  std::string reprinted = PrintOf(*second, symbols);
+  EXPECT_EQ(printed, reprinted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTrip,
+    ::testing::Values(
+        "(literalize player name team score)",
+        "(p simple (player ^team A) --> (halt))",
+        "(p vars (player ^name <n> ^team <t>) (player ^name <n>)"
+        " --> (write <n> <t> (crlf)))",
+        "(p preds (player ^score > 5 ^team <> B ^name { <> Jack <n> })"
+        " --> (remove 1))",
+        "(p disj (player ^team << A B C >>) --> (halt))",
+        "(p negated (player ^name <n>) - (player ^team B ^name <n>)"
+        " --> (halt))",
+        "(p sets { [player ^name <n> ^team <t>] <P> } :scalar (<n> <t>)"
+        " :test ((count <P>) > 1) --> (set-remove <P>))",
+        "(p elems { (player ^name <n>) <p> } --> (modify <p> ^team B))",
+        "(p agg [player ^score <s>] :test (((sum <s>) > 10) and"
+        " ((avg <s>) < 100)) --> (write (min <s>) (max <s>)))",
+        "(p rhs (player ^score <s>) --> (bind <x> ((<s> + 1) * 2))"
+        " (make player ^score <x>) (if (<x> > 10) (halt) else"
+        " (write low (crlf))))",
+        "(p loops [player ^team <t> ^name <n>] -->"
+        " (foreach <t> ascending (write <t>)"
+        "   (foreach <n> descending (write <n>))))",
+        "(p notop [player ^score <s>] :test (not ((count <s>) == 0))"
+        " --> (halt))"));
+
+TEST(PrinterTest, PrintsStartupFreePrograms) {
+  SymbolTable symbols;
+  auto program = Parse(
+      "(literalize a x)(p r (a ^x 1) --> (halt))(p s (a ^x 2) --> (halt))");
+  ASSERT_TRUE(program.ok());
+  std::string out = PrintOf(*program, symbols);
+  EXPECT_NE(out.find("(p r"), std::string::npos);
+  EXPECT_NE(out.find("(p s"), std::string::npos);
+  EXPECT_NE(out.find("(literalize a x)"), std::string::npos);
+}
+
+TEST(PrinterTest, CompiledRuleAstStillPrints) {
+  // The compiler mutates Expr constants in place; printing must still work
+  // (the shell's `rules` command prints compiled rules).
+  SymbolTable symbols;
+  SchemaRegistry schemas;
+  RuleCompiler compiler(&symbols, &schemas);
+  auto program = Parse(
+      "(literalize item price)(p r { [item ^price <p>] <I> }"
+      " :test ((count <I>) > 1) --> (write total (sum <p>)))");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(compiler.DeclareLiteralize(program->literalizes[0]).ok());
+  auto rule = compiler.Compile(std::move(program->rules[0]));
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  std::string printed = AstPrinter(&symbols).PrintRule((*rule)->ast);
+  EXPECT_NE(printed.find(":test ((count <I>) > 1)"), std::string::npos);
+  EXPECT_NE(printed.find("(sum <p>)"), std::string::npos);
+  // And it reparses.
+  EXPECT_TRUE(Parse("(literalize item price)" + printed).ok());
+}
+
+}  // namespace
+}  // namespace sorel

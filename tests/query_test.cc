@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "rdb/query.h"
+
+namespace sorel {
+namespace rdb {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() {
+    eng_ = Value::Symbol(symbols_.Intern("eng"));
+    ops_ = Value::Symbol(symbols_.Intern("ops"));
+    employees_ = Relation{RelSchema({"id", "dept", "salary"})};
+    struct RowSpec {
+      int id;
+      Value dept;
+      int salary;
+    };
+    for (const auto& [id, dept, salary] :
+         {RowSpec{1, eng_, 100}, RowSpec{2, eng_, 150}, RowSpec{3, ops_, 90},
+          RowSpec{4, ops_, 90}, RowSpec{5, eng_, 120}}) {
+      EXPECT_TRUE(employees_
+                      .Insert({Value::Int(id), dept, Value::Int(salary)})
+                      .ok());
+    }
+    depts_ = Relation{RelSchema({"dept2", "floor"})};
+    EXPECT_TRUE(depts_.Insert({eng_, Value::Int(110)}).ok());
+    EXPECT_TRUE(depts_.Insert({ops_, Value::Int(80)}).ok());
+  }
+
+  SymbolTable symbols_;
+  Value eng_, ops_;
+  Relation employees_, depts_;
+};
+
+TEST_F(QueryTest, WhereProjectOrder) {
+  auto result = Query(employees_)
+                    .Where("salary", TestPred::kGe, Value::Int(100))
+                    .Project({"id"})
+                    .OrderBy({"id"})
+                    .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ(result->At(0, 0), Value::Int(1));
+  EXPECT_EQ(result->At(2, 0), Value::Int(5));
+}
+
+TEST_F(QueryTest, JoinWithResidual) {
+  // Employees earning above their department floor.
+  auto result =
+      Query(employees_)
+          .Join(depts_, {{"dept", "dept2"}},
+                [](const Tuple& l, const Tuple& r) {
+                  return EvalTestPred(TestPred::kGt, l[2], r[1]);
+                })
+          .Project({"id"})
+          .OrderBy({"id"})
+          .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // eng floor 110: ids 2, 5; ops floor 80: ids 3, 4.
+  EXPECT_EQ(result->size(), 4u);
+  EXPECT_EQ(result->At(0, 0), Value::Int(2));
+}
+
+TEST_F(QueryTest, GroupByPipeline) {
+  std::vector<AggColumn> aggs;
+  aggs.push_back({AggOp::kAvg, "salary", "mean", false});
+  aggs.push_back({AggOp::kCount, "", "n", true});
+  auto result = Query(employees_)
+                    .GroupBy({"dept"}, aggs)
+                    .OrderBy({"dept"})
+                    .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  // Interning order: eng first.
+  EXPECT_EQ(result->At(0, 0), eng_);
+  EXPECT_EQ(result->At(0, 1), Value::Float((100.0 + 150.0 + 120.0) / 3));
+  EXPECT_EQ(result->At(0, 2), Value::Int(3));
+  EXPECT_EQ(result->At(1, 2), Value::Int(2));
+}
+
+TEST_F(QueryTest, AntiJoinAndDistinct) {
+  Relation banned{RelSchema({"dept3"})};
+  ASSERT_TRUE(banned.Insert({eng_}).ok());
+  auto result = Query(employees_)
+                    .AntiJoin(banned, {{"dept", "dept3"}})
+                    .Project({"salary"})
+                    .Distinct()
+                    .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 1u);  // the two ops rows share salary 90
+  EXPECT_EQ(result->At(0, 0), Value::Int(90));
+}
+
+TEST_F(QueryTest, RenameAvoidsJoinCollision) {
+  auto result = Query(employees_)
+                    .Rename({{"dept", "d"}})
+                    .Join(depts_, {{"d", "dept2"}})
+                    .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 5u);
+  EXPECT_GE(result->schema().IndexOf("floor"), 0);
+}
+
+TEST_F(QueryTest, ErrorsAbortThePipeline) {
+  auto result = Query(employees_)
+                    .Where("ghost", TestPred::kEq, Value::Int(1))
+                    .Project({"id"})
+                    .Execute();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, SnapshotSemantics) {
+  // The query captured its input by value: mutating the source afterwards
+  // does not change the result.
+  Query q = Query(employees_);
+  ASSERT_TRUE(
+      employees_.Insert({Value::Int(9), eng_, Value::Int(999)}).ok());
+  auto result = std::move(q).Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST_F(QueryTest, CustomRowPredicate) {
+  auto result = Query(employees_)
+                    .Where([](const Tuple& row) {
+                      return row[2].as_int() % 20 == 10;  // 90, 150
+                    })
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // 150, 90, 90
+}
+
+}  // namespace
+}  // namespace rdb
+}  // namespace sorel

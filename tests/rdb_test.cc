@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "rdb/ops.h"
+#include "rdb/relation.h"
+
+namespace sorel {
+namespace rdb {
+namespace {
+
+class RdbTest : public ::testing::Test {
+ protected:
+  RdbTest() {
+    a_ = Value::Symbol(symbols_.Intern("a"));
+    b_ = Value::Symbol(symbols_.Intern("b"));
+    c_ = Value::Symbol(symbols_.Intern("c"));
+  }
+
+  Relation MakeRel(std::vector<std::string> cols, std::vector<Tuple> rows) {
+    Relation rel{RelSchema(std::move(cols))};
+    for (Tuple& row : rows) EXPECT_TRUE(rel.Insert(std::move(row)).ok());
+    return rel;
+  }
+
+  SymbolTable symbols_;
+  Value a_, b_, c_;
+};
+
+TEST_F(RdbTest, InsertArityChecked) {
+  Relation rel{RelSchema({"x", "y"})};
+  EXPECT_TRUE(rel.Insert({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(rel.Insert({Value::Int(1)}).ok());
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST_F(RdbTest, SchemaIndexOf) {
+  RelSchema s({"x", "y"});
+  EXPECT_EQ(s.IndexOf("x"), 0);
+  EXPECT_EQ(s.IndexOf("y"), 1);
+  EXPECT_EQ(s.IndexOf("z"), -1);
+}
+
+TEST_F(RdbTest, SelectWhere) {
+  Relation rel = MakeRel({"x", "v"}, {{a_, Value::Int(1)},
+                                      {b_, Value::Int(5)},
+                                      {c_, Value::Int(9)}});
+  auto out = SelectWhere(rel, "v", TestPred::kGt, Value::Int(3));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_FALSE(SelectWhere(rel, "ghost", TestPred::kEq, a_).ok());
+}
+
+TEST_F(RdbTest, ProjectReordersColumns) {
+  Relation rel = MakeRel({"x", "v"}, {{a_, Value::Int(1)}});
+  auto out = Project(rel, {"v", "x"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().columns(), (std::vector<std::string>{"v", "x"}));
+  EXPECT_EQ(out->At(0, 0), Value::Int(1));
+  EXPECT_EQ(out->At(0, 1), a_);
+}
+
+TEST_F(RdbTest, RenameColumns) {
+  Relation rel = MakeRel({"x"}, {{a_}});
+  auto out = Rename(rel, {{"x", "y"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().IndexOf("y"), 0);
+  EXPECT_FALSE(Rename(rel, {{"ghost", "y"}}).ok());
+}
+
+TEST_F(RdbTest, HashJoinEquiKeys) {
+  Relation left = MakeRel({"id", "x"}, {{Value::Int(1), a_},
+                                        {Value::Int(2), b_},
+                                        {Value::Int(3), c_}});
+  Relation right = MakeRel({"rid", "x2"}, {{Value::Int(10), a_},
+                                           {Value::Int(20), a_},
+                                           {Value::Int(30), b_}});
+  auto out = HashJoin(left, right, {{"x", "x2"}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // a matches twice, b once, c never.
+  EXPECT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->schema().columns(),
+            (std::vector<std::string>{"id", "x", "rid"}));
+}
+
+TEST_F(RdbTest, HashJoinEmptyKeysIsCrossProduct) {
+  Relation left = MakeRel({"x"}, {{a_}, {b_}});
+  Relation right = MakeRel({"y"}, {{Value::Int(1)}, {Value::Int(2)},
+                                   {Value::Int(3)}});
+  auto out = HashJoin(left, right, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 6u);
+}
+
+TEST_F(RdbTest, HashJoinResidualPredicate) {
+  Relation left = MakeRel({"x", "lo"}, {{a_, Value::Int(5)}});
+  Relation right = MakeRel({"x2", "v"}, {{a_, Value::Int(3)},
+                                         {a_, Value::Int(7)}});
+  auto out = HashJoin(left, right, {{"x", "x2"}},
+                      [](const Tuple& l, const Tuple& r) {
+                        return EvalTestPred(TestPred::kGt, r[1], l[1]);
+                      });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->At(0, 2), Value::Int(7));
+}
+
+TEST_F(RdbTest, HashJoinNameCollisionRejected) {
+  Relation left = MakeRel({"x", "v"}, {{a_, Value::Int(1)}});
+  Relation right = MakeRel({"x2", "v"}, {{a_, Value::Int(2)}});
+  EXPECT_FALSE(HashJoin(left, right, {{"x", "x2"}}).ok());
+}
+
+TEST_F(RdbTest, AntiJoin) {
+  Relation left = MakeRel({"x"}, {{a_}, {b_}, {c_}});
+  Relation right = MakeRel({"x2"}, {{b_}});
+  auto out = AntiJoin(left, right, {{"x", "x2"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST_F(RdbTest, AntiJoinEmptyKeysBlocksAllWhenRightNonEmpty) {
+  Relation left = MakeRel({"x"}, {{a_}, {b_}});
+  Relation right = MakeRel({"y"}, {{Value::Int(1)}});
+  auto out = AntiJoin(left, right, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+  Relation empty_right{RelSchema({"y"})};
+  auto out2 = AntiJoin(left, empty_right, {});
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(out2->size(), 2u);
+}
+
+TEST_F(RdbTest, DistinctKeepsFirstOccurrence) {
+  Relation rel = MakeRel({"x"}, {{a_}, {b_}, {a_}});
+  Relation out = Distinct(rel);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.At(0, 0), a_);
+}
+
+TEST_F(RdbTest, SortByColumns) {
+  Relation rel = MakeRel({"v"}, {{Value::Int(3)}, {Value::Int(1)},
+                                 {Value::Int(2)}});
+  auto out = Sort(rel, {"v"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->At(0, 0), Value::Int(1));
+  EXPECT_EQ(out->At(2, 0), Value::Int(3));
+}
+
+TEST_F(RdbTest, GroupByCountAndSum) {
+  Relation rel = MakeRel({"g", "v"}, {{a_, Value::Int(1)},
+                                      {a_, Value::Int(2)},
+                                      {a_, Value::Int(2)},  // dup value
+                                      {b_, Value::Int(5)}});
+  std::vector<AggColumn> aggs;
+  aggs.push_back({AggOp::kCount, "v", "n", false});
+  aggs.push_back({AggOp::kSum, "v", "s", false});
+  aggs.push_back({AggOp::kCount, "", "star", true});
+  auto out = GroupBy(rel, {"g"}, aggs);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 2u);
+  // Group a: 2 distinct values {1,2}, sum 3, 3 rows.
+  EXPECT_EQ(out->At(0, 0), a_);
+  EXPECT_EQ(out->At(0, 1), Value::Int(2));
+  EXPECT_EQ(out->At(0, 2), Value::Int(3));
+  EXPECT_EQ(out->At(0, 3), Value::Int(3));
+  // Group b.
+  EXPECT_EQ(out->At(1, 1), Value::Int(1));
+  EXPECT_EQ(out->At(1, 2), Value::Int(5));
+}
+
+TEST_F(RdbTest, GroupByMinMaxAvg) {
+  Relation rel = MakeRel({"g", "v"}, {{a_, Value::Int(10)},
+                                      {a_, Value::Int(30)}});
+  std::vector<AggColumn> aggs;
+  aggs.push_back({AggOp::kMin, "v", "lo", false});
+  aggs.push_back({AggOp::kMax, "v", "hi", false});
+  aggs.push_back({AggOp::kAvg, "v", "mean", false});
+  auto out = GroupBy(rel, {"g"}, aggs);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->At(0, 1), Value::Int(10));
+  EXPECT_EQ(out->At(0, 2), Value::Int(30));
+  EXPECT_EQ(out->At(0, 3), Value::Float(20.0));
+}
+
+TEST_F(RdbTest, GroupByNoKeysAggregatesWholeRelation) {
+  Relation rel = MakeRel({"v"}, {{Value::Int(1)}, {Value::Int(2)}});
+  std::vector<AggColumn> aggs;
+  aggs.push_back({AggOp::kSum, "v", "s", false});
+  auto out = GroupBy(rel, {}, aggs);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->At(0, 0), Value::Int(3));
+}
+
+TEST_F(RdbTest, UnionRequiresCompatibleSchemas) {
+  Relation x = MakeRel({"v"}, {{Value::Int(1)}});
+  Relation y = MakeRel({"v"}, {{Value::Int(2)}});
+  Relation z = MakeRel({"w"}, {{Value::Int(3)}});
+  auto out = Union(x, y);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_FALSE(Union(x, z).ok());
+}
+
+TEST_F(RdbTest, EraseByPredicate) {
+  Relation rel = MakeRel({"v"}, {{Value::Int(1)}, {Value::Int(2)},
+                                 {Value::Int(1)}});
+  size_t n = rel.Erase(
+      [](const Tuple& row) { return row[0] == Value::Int(1); });
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST_F(RdbTest, ToStringRendersHeaderAndRows) {
+  Relation rel = MakeRel({"x", "v"}, {{a_, Value::Int(1)}});
+  EXPECT_EQ(rel.ToString(symbols_), "x | v\na | 1\n");
+}
+
+}  // namespace
+}  // namespace rdb
+}  // namespace sorel

@@ -1,0 +1,141 @@
+// Rete network internals: alpha sharing, token lifecycle, tree deletion,
+// negative nodes, and the duplicate-token pitfall.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+class ReteTest : public ::testing::Test {
+ protected:
+  ReteTest() { engine_.set_output(&out_); }
+
+  std::ostringstream out_;
+  Engine engine_;
+};
+
+TEST_F(ReteTest, AlphaMemorySharedAcrossRules) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r1 (player ^team A) --> (halt))"
+                        "(p r2 (player ^team A) (player ^team B) --> (halt))"
+                        "(p r3 (player ^team B) --> (halt))");
+  // Distinct alpha tests: {team A}, {team B} -> exactly two memories even
+  // though four CEs reference them (the Rete sharing the paper keeps, §5).
+  EXPECT_EQ(engine_.rete_matcher()->num_alpha_memories(), 2u);
+  EXPECT_EQ(engine_.rete_matcher()->num_beta_nodes(), 4u);
+}
+
+TEST_F(ReteTest, TokensCountCrossProduct) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p c (player ^team A) (player ^team B) --> (halt))");
+  MakeFigure1Wm(engine_);
+  // Tokens: 2 at level 1 (A players) + 6 at level 2.
+  EXPECT_EQ(engine_.rete_matcher()->live_tokens(), 8u);
+}
+
+TEST_F(ReteTest, RemovalDeletesTokenSubtrees) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p c (player ^team A) (player ^team B) --> (halt))");
+  MakeFigure1Wm(engine_);
+  ASSERT_TRUE(engine_.RemoveWme(1).ok());  // one A player: kills 1 + 3 tokens
+  EXPECT_EQ(engine_.rete_matcher()->live_tokens(), 4u);
+  EXPECT_EQ(engine_.conflict_set().size(), 3u);
+  ASSERT_TRUE(engine_.RemoveWme(3).ok());
+  ASSERT_TRUE(engine_.RemoveWme(4).ok());
+  ASSERT_TRUE(engine_.RemoveWme(5).ok());
+  EXPECT_EQ(engine_.rete_matcher()->live_tokens(), 1u);  // just [Janice]
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);
+}
+
+TEST_F(ReteTest, EmptyWmLeavesNoTokens) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p c (player ^name <n>) (player ^name <n> ^team B)"
+                        " - (player ^team C) --> (halt))");
+  MakeFigure1Wm(engine_);
+  for (TimeTag t = 1; t <= 5; ++t) ASSERT_TRUE(engine_.RemoveWme(t).ok());
+  EXPECT_EQ(engine_.rete_matcher()->live_tokens(), 0u);
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);
+  EXPECT_EQ(engine_.wm().size(), 0u);
+}
+
+TEST_F(ReteTest, OneWmeMatchingTwoCesProducesEachTokenOnce) {
+  // The classic duplicate-token pitfall: both CEs share one alpha memory.
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p twin (player ^name <a>) (player ^name <b>)"
+                        " --> (halt))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("solo")}});
+  // One WME, two CEs: exactly one instantiation (solo, solo).
+  EXPECT_EQ(engine_.conflict_set().size(), 1u);
+  MustMake(engine_, "player", {{"name", engine_.Sym("duo")}});
+  // Two WMEs: 2x2 instantiations, each exactly once.
+  EXPECT_EQ(engine_.conflict_set().size(), 4u);
+}
+
+TEST_F(ReteTest, SelfJoinOnSameWme) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p same (player ^name <n>) (player ^name <n>)"
+                        " --> (halt))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("x")}});
+  MustMake(engine_, "player", {{"name", engine_.Sym("x")}});
+  MustMake(engine_, "player", {{"name", engine_.Sym("y")}});
+  // x-pairs: 2x2, y-pairs: 1 => 5 instantiations.
+  EXPECT_EQ(engine_.conflict_set().size(), 5u);
+}
+
+TEST_F(ReteTest, NegativeNodeBetweenJoins) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(literalize flag team)"
+                        "(p r (player ^name <n> ^team <t>)"
+                        "     - (flag ^team <t>)"
+                        "     (player ^name <n> ^team B)"
+                        " --> (write <n> <t> (crlf)))");
+  MakeFigure1Wm(engine_);
+  // Jack appears on A and B; Sue only B (twice); Janice only A.
+  // Pairs (first CE, third CE) with same name: Jack(A)-Jack(B),
+  // Jack(B)-Jack(B), Sue(3)-Sue(3/5), Sue(5)-Sue(3/5).
+  size_t base = engine_.conflict_set().size();
+  EXPECT_EQ(base, 6u);
+  TimeTag flag = MustMake(engine_, "flag", {{"team", engine_.Sym("A")}});
+  // Blocks only the first-CE-team-A instantiation (Jack A).
+  EXPECT_EQ(engine_.conflict_set().size(), 5u);
+  ASSERT_TRUE(engine_.RemoveWme(flag).ok());
+  EXPECT_EQ(engine_.conflict_set().size(), 6u);
+}
+
+TEST_F(ReteTest, NegatedCeWithLocalVariable) {
+  // A variable bound only inside the negated CE is existential.
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p no-b-players (player ^team A ^name <n>)"
+                        " - (player ^team B ^name <x>) --> (write <n>))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("Ann")},
+                               {"team", engine_.Sym("A")}});
+  EXPECT_EQ(engine_.conflict_set().size(), 1u);
+  MustMake(engine_, "player", {{"name", engine_.Sym("Bob")},
+                               {"team", engine_.Sym("B")}});
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);
+}
+
+TEST_F(ReteTest, WmesAddedBeforeRule) {
+  MustLoad(engine_, std::string(kPlayerSchema));
+  MakeFigure1Wm(engine_);
+  MustLoad(engine_, "(p c (player ^team A) (player ^team B) --> (halt))");
+  EXPECT_EQ(engine_.conflict_set().size(), 6u);
+  EXPECT_EQ(engine_.rete_matcher()->live_tokens(), 8u);
+}
+
+TEST_F(ReteTest, SecondRuleAddedWithLiveTokensSharesAlpha) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r1 (player ^team A) --> (halt))");
+  MakeFigure1Wm(engine_);
+  MustLoad(engine_, "(p r2 (player ^team A) - (player ^team C) --> (halt))");
+  EXPECT_EQ(engine_.conflict_set().size(), 4u);  // 2 for r1, 2 for r2
+  MustLoad(engine_, "(p r3 (player ^team A) (player ^team B) --> (halt))");
+  EXPECT_EQ(engine_.conflict_set().size(), 10u);
+}
+
+}  // namespace
+}  // namespace sorel

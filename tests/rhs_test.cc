@@ -1,0 +1,202 @@
+// RHS executor: foreach semantics (§6), set actions, bind/if, write, and
+// runtime edge cases.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+class RhsTest : public ::testing::Test {
+ protected:
+  RhsTest() { engine_.set_output(&out_); }
+
+  std::ostringstream out_;
+  Engine engine_;
+};
+
+TEST_F(RhsTest, ForeachDefaultOrderIsConflictSetOrder) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r [player ^name <n>] -->"
+                        " (foreach <n> (write <n>)))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("first")}});
+  MustMake(engine_, "player", {{"name", engine_.Sym("second")}});
+  MustMake(engine_, "player", {{"name", engine_.Sym("third")}});
+  MustRun(engine_, 1);
+  // Most recent first.
+  EXPECT_EQ(out_.str(), "third second first");
+}
+
+TEST_F(RhsTest, ForeachAscendingSortsByName) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r [player ^name <n>] -->"
+                        " (foreach <n> ascending (write <n>)))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("zebra")}});
+  MustMake(engine_, "player", {{"name", engine_.Sym("apple")}});
+  MustMake(engine_, "player", {{"name", engine_.Sym("mango")}});
+  MustRun(engine_, 1);
+  EXPECT_EQ(out_.str(), "apple mango zebra");
+}
+
+TEST_F(RhsTest, ForeachDescendingNumeric) {
+  MustLoad(engine_,
+           "(literalize item price)"
+           "(p r [item ^price <p>] -->"
+           " (foreach <p> descending (write <p>)))");
+  MustMake(engine_, "item", {{"price", Value::Int(10)}});
+  MustMake(engine_, "item", {{"price", Value::Int(30)}});
+  MustMake(engine_, "item", {{"price", Value::Int(20)}});
+  MustRun(engine_, 1);
+  EXPECT_EQ(out_.str(), "30 20 10");
+}
+
+TEST_F(RhsTest, ForeachOverElementVarBindsCeVariablesScalar) {
+  // §6.2: inside foreach over a CE element variable, all PVs of that CE
+  // are treated as regular PVs.
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r { [player ^name <n> ^team <t>] <P> } -->"
+                        " (foreach <P> ascending (write <n> <t> (crlf))))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("a")},
+                               {"team", engine_.Sym("X")}});
+  MustMake(engine_, "player", {{"name", engine_.Sym("b")},
+                               {"team", engine_.Sym("Y")}});
+  MustRun(engine_, 1);
+  EXPECT_EQ(out_.str(), "a X\nb Y\n");
+}
+
+TEST_F(RhsTest, ForeachElementDistinctWmesNotValues) {
+  // Two WMEs with identical values iterate twice over a CE variable
+  // (distinct time tags), but once over a value variable (§6.1 vs §6.2).
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p byelem { [player ^name <n>] <P> } -->"
+                        " (foreach <P> (write tick)))"
+                        "(p byvalue [player ^name <m>] -->"
+                        " (foreach <m> (write tock)))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("same")}});
+  MustMake(engine_, "player", {{"name", engine_.Sym("same")}});
+  MustRun(engine_);
+  std::string text = out_.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), 'i'), 2);  // two ticks
+  EXPECT_EQ(std::count(text.begin(), text.end(), 'o'), 1);  // one tock
+}
+
+TEST_F(RhsTest, NestedForeachComposesSelections) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r [player ^team <t> ^name <n>] -->"
+                        " (foreach <t> ascending"
+                        "   (foreach <n> ascending (write <t> <n> (crlf)))))");
+  MakeFigure1Wm(engine_);
+  MustRun(engine_, 1);
+  EXPECT_EQ(out_.str(), "A Jack\nA Janice\nB Jack\nB Sue\n");
+}
+
+TEST_F(RhsTest, BindPersistsAcrossForeachIterations) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r [player ^name <n>] -->"
+                        " (bind <i> 0)"
+                        " (foreach <n> (bind <i> (<i> + 1)))"
+                        " (write <i>))");
+  MakeFigure1Wm(engine_);
+  MustRun(engine_, 1);
+  EXPECT_EQ(out_.str(), "3");  // three distinct names
+}
+
+TEST_F(RhsTest, IfElseBranches) {
+  MustLoad(engine_,
+           "(literalize reading value)"
+           "(p r (reading ^value <v>) -->"
+           " (if (<v> > 10) (write high) else (write low)))");
+  MustMake(engine_, "reading", {{"value", Value::Int(5)}});
+  MustMake(engine_, "reading", {{"value", Value::Int(15)}});
+  MustRun(engine_);
+  EXPECT_EQ(out_.str(), "high low");  // recency order: 15 first
+}
+
+TEST_F(RhsTest, MakeWithComputedValues) {
+  MustLoad(engine_,
+           "(literalize src v)(literalize dst v doubled)"
+           "(p r (src ^v <v>) --> (make dst ^v <v> ^doubled (<v> * 2)))");
+  MustMake(engine_, "src", {{"v", Value::Int(21)}});
+  MustRun(engine_);
+  auto snap = engine_.wm().Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[1]->field(1), Value::Int(42));
+}
+
+TEST_F(RhsTest, SetModifyTouchesEachDistinctWmeOnce) {
+  MustLoad(engine_,
+           "(literalize item flag)(literalize go)"
+           "(p r (go) { [item] <I> } --> (remove 1)"
+           " (set-modify <I> ^flag done))");
+  for (int i = 0; i < 4; ++i) MustMake(engine_, "item", {});
+  MustMake(engine_, "go", {});
+  EXPECT_EQ(MustRun(engine_, 3), 1);
+  EXPECT_EQ(engine_.wm().size(), 4u);
+  for (const WmePtr& w : engine_.wm().Snapshot()) {
+    EXPECT_EQ(w->field(0), engine_.Sym("done"));
+  }
+}
+
+TEST_F(RhsTest, DeadTargetsAreSkippedNotFatal) {
+  // The same WME reachable through two groups: second remove is a no-op.
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r { [player ^name <n>] <P> } -->"
+                        " (foreach <P> (remove <P>))"
+                        " (foreach <P> (remove <P>)))");
+  MustMake(engine_, "player", {{"name", engine_.Sym("x")}});
+  EXPECT_EQ(MustRun(engine_, 2), 1);
+  EXPECT_EQ(engine_.wm().size(), 0u);
+  EXPECT_EQ(engine_.rhs_stats().skipped_dead_targets, 1u);
+}
+
+TEST_F(RhsTest, WriteFormatsValuesAndCrlf) {
+  MustLoad(engine_,
+           "(literalize m)"
+           "(p r (m) --> (write a 1 2.5 (crlf) b (crlf)))");
+  MustMake(engine_, "m", {});
+  MustRun(engine_);
+  EXPECT_EQ(out_.str(), "a 1 2.5\nb\n");
+}
+
+TEST_F(RhsTest, ActionsCountedPerFiring) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r { [player ^team B] <B> } --> (set-remove <B>))");
+  MakeFigure1Wm(engine_);
+  MustRun(engine_, 1);
+  // set-remove expands to one primitive action per distinct WME (3 B
+  // players) — the paper's "actions per firing" measure (§1).
+  EXPECT_EQ(engine_.run_stats().actions, 3u);
+  EXPECT_EQ(engine_.run_stats().firings, 1u);
+}
+
+TEST_F(RhsTest, ModifyInsideForeachOverElement) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r { [player ^team A ^name <n>] <P> } -->"
+                        " (foreach <P> (modify <P> ^team B)))");
+  MakeFigure1Wm(engine_);
+  EXPECT_EQ(MustRun(engine_, 1), 1);
+  SymbolId team = engine_.symbols().Intern("team");
+  int team_b = 0;
+  for (const WmePtr& w : engine_.wm().Snapshot()) {
+    const ClassSchema* s = engine_.schemas().Find(w->cls());
+    if (w->field(s->FieldOf(team)) == engine_.Sym("B")) ++team_b;
+  }
+  EXPECT_EQ(team_b, 5);
+}
+
+TEST_F(RhsTest, HaltInsideForeachStopsEverything) {
+  MustLoad(engine_, std::string(kPlayerSchema) +
+                        "(p r [player ^name <n>] -->"
+                        " (foreach <n> (write x) (halt) (write y))"
+                        " (write z))");
+  MakeFigure1Wm(engine_);
+  MustRun(engine_);
+  EXPECT_TRUE(engine_.halted());
+  EXPECT_EQ(out_.str(), "x");
+}
+
+}  // namespace
+}  // namespace sorel

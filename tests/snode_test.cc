@@ -1,0 +1,204 @@
+// Figure 3: the S-node algorithm's state machine, γ-memory, and ablations.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+// Single set-CE rule counting per-team players; test passes at >= 2.
+constexpr const char* kThresholdRule =
+    "(p pair { [player ^team <t> ^name <n>] <P> } :scalar (<t>)"
+    " :test ((count <P>) >= 2) --> (write fire))";
+
+class SNodeTest : public ::testing::Test {
+ protected:
+  SNodeTest() { engine_.set_output(&out_); }
+
+  void Load(const std::string& extra = kThresholdRule) {
+    MustLoad(engine_, std::string(kPlayerSchema) + extra);
+    snode_ = engine_.snode("pair");
+  }
+
+  TimeTag AddPlayer(std::string_view team, std::string_view name) {
+    return MustMake(engine_, "player",
+                    {{"team", engine_.Sym(std::string(team))},
+                     {"name", engine_.Sym(std::string(name))}});
+  }
+
+  std::ostringstream out_;
+  Engine engine_;
+  SNode* snode_ = nullptr;
+};
+
+TEST_F(SNodeTest, NewSoiFailingTestStaysInactive) {
+  Load();
+  AddPlayer("A", "p1");
+  ASSERT_EQ(snode_->num_sois(), 1u);
+  EXPECT_FALSE(snode_->sois()[0]->active());
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);
+  EXPECT_EQ(snode_->stats().sends_plus, 0u);
+}
+
+TEST_F(SNodeTest, ThresholdCrossingActivates) {
+  Load();
+  AddPlayer("A", "p1");
+  AddPlayer("A", "p2");
+  ASSERT_EQ(snode_->num_sois(), 1u);
+  EXPECT_TRUE(snode_->sois()[0]->active());
+  EXPECT_EQ(snode_->sois()[0]->size(), 2u);
+  EXPECT_EQ(engine_.conflict_set().size(), 1u);
+  EXPECT_EQ(snode_->stats().sends_plus, 1u);
+}
+
+TEST_F(SNodeTest, RemovalBelowThresholdDeactivates) {
+  Load();
+  AddPlayer("A", "p1");
+  TimeTag second = AddPlayer("A", "p2");
+  ASSERT_TRUE(engine_.RemoveWme(second).ok());
+  ASSERT_EQ(snode_->num_sois(), 1u);
+  EXPECT_FALSE(snode_->sois()[0]->active());
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);
+  EXPECT_EQ(snode_->stats().sends_minus, 1u);
+}
+
+TEST_F(SNodeTest, LastMemberRemovalDeletesSoi) {
+  Load();
+  TimeTag only = AddPlayer("A", "p1");
+  ASSERT_EQ(snode_->num_sois(), 1u);
+  ASSERT_TRUE(engine_.RemoveWme(only).ok());
+  EXPECT_EQ(snode_->num_sois(), 0u);
+  EXPECT_EQ(snode_->stats().sois_deleted, 1u);
+}
+
+TEST_F(SNodeTest, HeadInsertionSendsTimeToken) {
+  Load();
+  AddPlayer("A", "p1");
+  AddPlayer("A", "p2");  // activates
+  uint64_t time_before = snode_->stats().sends_time;
+  AddPlayer("A", "p3");  // newest: head insertion on an active SOI
+  EXPECT_EQ(snode_->stats().sends_time, time_before + 1);
+  EXPECT_EQ(engine_.conflict_set().size(), 1u);  // still one SOI
+}
+
+TEST_F(SNodeTest, HeadRemovalRepositions) {
+  Load();
+  AddPlayer("A", "p1");
+  AddPlayer("A", "p2");
+  TimeTag newest = AddPlayer("A", "p3");
+  uint64_t time_before = snode_->stats().sends_time;
+  ASSERT_TRUE(engine_.RemoveWme(newest).ok());  // head removal, still >= 2
+  EXPECT_EQ(snode_->stats().sends_time, time_before + 1);
+  EXPECT_TRUE(snode_->sois()[0]->active());
+}
+
+TEST_F(SNodeTest, ScalarClausePartitionsByValue) {
+  Load();
+  AddPlayer("A", "p1");
+  AddPlayer("B", "p2");
+  AddPlayer("B", "p3");
+  EXPECT_EQ(snode_->num_sois(), 2u);
+  EXPECT_EQ(engine_.conflict_set().size(), 1u);  // only team B passes
+}
+
+TEST_F(SNodeTest, FiredSoiBecomesEligibleAgainOnChange) {
+  Load();
+  AddPlayer("A", "p1");
+  AddPlayer("A", "p2");
+  EXPECT_EQ(MustRun(engine_), 1);
+  EXPECT_EQ(engine_.conflict_set().EligibleCount(), 0u);
+  AddPlayer("A", "p3");  // γ-memory change -> eligible again (§6)
+  EXPECT_EQ(engine_.conflict_set().EligibleCount(), 1u);
+  EXPECT_EQ(MustRun(engine_), 1);
+}
+
+TEST_F(SNodeTest, NonHeadChangeAlsoRestoresEligibility) {
+  Load();
+  AddPlayer("A", "p1");
+  TimeTag middle = AddPlayer("A", "p2");
+  AddPlayer("A", "p3");
+  EXPECT_EQ(MustRun(engine_), 1);
+  // Removing a non-head member is a same-time change; §6 still makes the
+  // SOI eligible (our documented completion of Figure 3).
+  ASSERT_TRUE(engine_.RemoveWme(middle).ok());
+  EXPECT_EQ(engine_.conflict_set().EligibleCount(), 1u);
+}
+
+TEST_F(SNodeTest, ReactivationAfterFailure) {
+  Load();
+  AddPlayer("A", "p1");
+  TimeTag second = AddPlayer("A", "p2");
+  ASSERT_TRUE(engine_.RemoveWme(second).ok());  // below threshold
+  EXPECT_FALSE(snode_->sois()[0]->active());
+  AddPlayer("A", "p4");  // back to 2
+  EXPECT_TRUE(snode_->sois()[0]->active());
+  EXPECT_EQ(engine_.conflict_set().size(), 1u);
+}
+
+TEST_F(SNodeTest, MembersOrderedByDescendingRecency) {
+  Load();
+  AddPlayer("A", "p1");
+  AddPlayer("A", "p2");
+  AddPlayer("A", "p3");
+  const Soi* soi = snode_->sois()[0];
+  ASSERT_EQ(soi->size(), 3u);
+  EXPECT_GT(soi->members()[0].rec[0], soi->members()[1].rec[0]);
+  EXPECT_GT(soi->members()[1].rec[0], soi->members()[2].rec[0]);
+}
+
+TEST_F(SNodeTest, TypeErrorInTestIsRecordedAndFails) {
+  Load("(p pair { [player ^name <n>] <P> } :test ((sum <n>) > 5)"
+       " --> (write fire))");
+  AddPlayer("A", "alice");  // sum over a symbol domain: runtime type error
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);
+  EXPECT_FALSE(snode_->last_error().ok());
+}
+
+TEST_F(SNodeTest, MinMaxSumAvgInTest) {
+  MustLoad(engine_,
+           "(literalize item price)"
+           "(p pair { [item ^price <p>] <I> }"
+           " :test (((min <p>) >= 10) and ((max <p>) <= 100)"
+           "        and ((sum <p>) > 50) and ((avg <p>) < 60))"
+           " --> (write ok))");
+  snode_ = engine_.snode("pair");
+  MustMake(engine_, "item", {{"price", Value::Int(10)}});
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);  // sum 10 fails
+  MustMake(engine_, "item", {{"price", Value::Int(50)}});
+  EXPECT_EQ(engine_.conflict_set().size(), 1u);  // sum 60, avg 30
+  MustMake(engine_, "item", {{"price", Value::Int(101)}});
+  EXPECT_EQ(engine_.conflict_set().size(), 0u);  // max fails
+}
+
+// Ablation options must not change behaviour, only cost (bench_fig3).
+class SNodeAblation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SNodeAblation, OptionsPreserveSemantics) {
+  EngineOptions options;
+  options.snode.recompute_aggregates = (GetParam() & 1) != 0;
+  options.snode.linear_scan_gamma = (GetParam() & 2) != 0;
+  Engine engine(options);
+  std::ostringstream out;
+  engine.set_output(&out);
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p RemoveDups"
+                       " { [player ^name <n> ^team <t>] <P> }"
+                       " :scalar (<n> <t>)"
+                       " :test ((count <P>) > 1) -->"
+                       " (bind <First> true)"
+                       " (foreach <P> descending"
+                       "   (if (<First> == true) (bind <First> false)"
+                       "    else (remove <P>))))");
+  MakeFigure1Wm(engine);
+  EXPECT_EQ(MustRun(engine), 1);
+  EXPECT_EQ(engine.wm().size(), 4u);
+  EXPECT_EQ(engine.wm().Find(3), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, SNodeAblation, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace sorel

@@ -1,0 +1,146 @@
+// γ-memory invariants under random WM churn, checked against oracles:
+//   1. An SOI's members are exactly the twin regular rule's instantiations
+//      that share its partition key (the Figure 2 aggregation law).
+//   2. Members stay ordered by descending recency ("ordered like the
+//      conflict set", Figure 3).
+//   3. Incremental aggregate values equal recomputation from the rows.
+//   4. The active flag equals the non-incremental :test oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/aggregate.h"
+#include "core/soi_key.h"
+#include "core/test_eval.h"
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(unsigned seed) : state_(seed * 2654435761u + 99u) {}
+  unsigned Next(unsigned bound) {
+    state_ = state_ * 1664525u + 1013904223u;
+    return (state_ >> 16) % bound;
+  }
+
+ private:
+  unsigned state_;
+};
+
+constexpr std::string_view kSchema = "(literalize player name team score)";
+
+// The set-oriented rule under test and its tuple-oriented twin: same LHS,
+// set brackets removed.
+constexpr const char* kSetRule =
+    "(p watch (player ^team <t> ^score <g>)"
+    " [player ^team <t> ^name <n> ^score <s>]"
+    " :test (((count <n>) >= 2) and ((sum <s>) > 5)) --> (halt))";
+constexpr const char* kTwinRule =
+    "(p watch (player ^team <t> ^score <g>)"
+    " (player ^team <t> ^name <n> ^score <s>) --> (halt))";
+
+class SoiInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoiInvariants, GammaMemoryMatchesOracles) {
+  std::ostringstream devnull;
+  Engine set_engine, twin_engine;
+  set_engine.set_output(&devnull);
+  twin_engine.set_output(&devnull);
+  MustLoad(set_engine, std::string(kSchema) + kSetRule);
+  MustLoad(twin_engine, std::string(kSchema) + kTwinRule);
+  const CompiledRule* rule = set_engine.FindRule("watch");
+  SNode* snode = set_engine.snode("watch");
+  ASSERT_NE(snode, nullptr);
+
+  Rng rng(static_cast<unsigned>(GetParam()));
+  std::vector<TimeTag> live;
+  for (int step = 0; step < 80; ++step) {
+    if (!live.empty() && rng.Next(3) == 0) {
+      size_t i = rng.Next(static_cast<unsigned>(live.size()));
+      ASSERT_TRUE(set_engine.RemoveWme(live[i]).ok());
+      ASSERT_TRUE(twin_engine.RemoveWme(live[i]).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      std::string name = "n" + std::to_string(rng.Next(3));
+      std::string team = "t" + std::to_string(rng.Next(2));
+      int64_t score = rng.Next(5);
+      for (Engine* e : {&set_engine, &twin_engine}) {
+        auto r = e->MakeWme("player", {{"name", e->Sym(name)},
+                                       {"team", e->Sym(team)},
+                                       {"score", Value::Int(score)}});
+        ASSERT_TRUE(r.ok());
+        if (e == &set_engine) live.push_back(*r);
+      }
+    }
+
+    // Oracle 1: group the twin's regular instantiations by partition key.
+    std::map<std::vector<TimeTag>, size_t> twin_groups;
+    for (InstantiationRef* inst : twin_engine.conflict_set().Entries()) {
+      std::vector<Row> rows;
+      inst->CollectRows(&rows);
+      SoiKey key = MakeSoiKey(*rule, rows.front());
+      std::vector<TimeTag> flat = key.tags;
+      for (const Value& v : key.vals) {
+        flat.push_back(static_cast<TimeTag>(v.Hash()));
+      }
+      ++twin_groups[flat];
+    }
+    std::map<std::vector<TimeTag>, size_t> soi_groups;
+    size_t total_members = 0;
+    for (const Soi* soi : snode->sois()) {
+      ASSERT_FALSE(soi->members().empty());
+      SoiKey key = MakeSoiKey(*rule, soi->members().front().row);
+      std::vector<TimeTag> flat = key.tags;
+      for (const Value& v : key.vals) {
+        flat.push_back(static_cast<TimeTag>(v.Hash()));
+      }
+      soi_groups[flat] += soi->size();
+      total_members += soi->size();
+
+      // Oracle 2: descending recency order.
+      for (size_t i = 1; i < soi->members().size(); ++i) {
+        EXPECT_LE(CompareRecencyTags(soi->members()[i].rec,
+                                     soi->members()[i - 1].rec),
+                  0)
+            << "step " << step;
+      }
+
+      // Oracles 3+4: aggregates and activation vs. recompute.
+      std::vector<Row> rows;
+      soi->CollectRows(&rows);
+      auto pass = EvalTestOverRows(*rule, rows);
+      ASSERT_TRUE(pass.ok()) << pass.status().ToString();
+      EXPECT_EQ(soi->active(), *pass) << "step " << step;
+      for (int a = 0; a < static_cast<int>(rule->test_aggregates.size());
+           ++a) {
+        auto incremental = soi->AggregateValue(a);
+        ASSERT_TRUE(incremental.ok());
+        // Recompute the same aggregate from scratch.
+        const AggregateSpec& spec =
+            rule->test_aggregates[static_cast<size_t>(a)];
+        AggState fresh(spec.op);
+        for (const Row& row : rows) {
+          const WmePtr& w = row[static_cast<size_t>(spec.token_pos)];
+          fresh.Insert(spec.over_element ? Value::Int(w->time_tag())
+                                         : w->field(spec.field));
+        }
+        auto recomputed = fresh.Current();
+        ASSERT_TRUE(recomputed.ok());
+        EXPECT_EQ(*incremental, *recomputed) << "step " << step;
+      }
+    }
+    EXPECT_EQ(soi_groups, twin_groups) << "step " << step;
+    EXPECT_EQ(total_members, twin_engine.conflict_set().size())
+        << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoiInvariants, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace sorel

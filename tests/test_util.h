@@ -1,0 +1,58 @@
+#ifndef SOREL_TESTS_TEST_UTIL_H_
+#define SOREL_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "engine/engine.h"
+
+namespace sorel {
+
+/// Loads source into `engine`, failing the test on error.
+inline void MustLoad(Engine& engine, std::string_view src) {
+  Status s = engine.LoadString(src);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+}
+
+/// Makes a WME, failing the test on error. Returns its time tag.
+inline TimeTag MustMake(
+    Engine& engine, std::string_view cls,
+    const std::vector<std::pair<std::string, Value>>& values) {
+  auto r = engine.MakeWme(cls, values);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : -1;
+}
+
+/// Runs to quiescence (or max), failing the test on error.
+inline int MustRun(Engine& engine, int max_firings = -1) {
+  auto r = engine.Run(max_firings);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : -1;
+}
+
+/// Builds the paper's Figure 1 working memory:
+///   1: (player ^team A ^name Jack)    2: (player ^team A ^name Janice)
+///   3: (player ^team B ^name Sue)     4: (player ^team B ^name Jack)
+///   5: (player ^team B ^name Sue)
+inline void MakeFigure1Wm(Engine& engine) {
+  MustMake(engine, "player", {{"team", engine.Sym("A")},
+                              {"name", engine.Sym("Jack")}});
+  MustMake(engine, "player", {{"team", engine.Sym("A")},
+                              {"name", engine.Sym("Janice")}});
+  MustMake(engine, "player", {{"team", engine.Sym("B")},
+                              {"name", engine.Sym("Sue")}});
+  MustMake(engine, "player", {{"team", engine.Sym("B")},
+                              {"name", engine.Sym("Jack")}});
+  MustMake(engine, "player", {{"team", engine.Sym("B")},
+                              {"name", engine.Sym("Sue")}});
+}
+
+inline constexpr std::string_view kPlayerSchema =
+    "(literalize player name team)";
+
+}  // namespace sorel
+
+#endif  // SOREL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "wm/schema.h"
+#include "wm/wme.h"
+#include "wm/working_memory.h"
+
+namespace sorel {
+namespace {
+
+class WmTest : public ::testing::Test {
+ protected:
+  WmTest() : wm_(&schemas_, &symbols_) {
+    player_ = symbols_.Intern("player");
+    name_ = symbols_.Intern("name");
+    team_ = symbols_.Intern("team");
+    EXPECT_TRUE(schemas_.Declare(player_, {name_, team_}, symbols_).ok());
+  }
+
+  Value Sym(std::string_view s) { return Value::Symbol(symbols_.Intern(s)); }
+
+  SymbolTable symbols_;
+  SchemaRegistry schemas_;
+  WorkingMemory wm_;
+  SymbolId player_, name_, team_;
+};
+
+TEST_F(WmTest, SchemaFieldLookup) {
+  const ClassSchema* s = schemas_.Find(player_);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->FieldOf(name_), 0);
+  EXPECT_EQ(s->FieldOf(team_), 1);
+  EXPECT_EQ(s->FieldOf(symbols_.Intern("ghost")), -1);
+}
+
+TEST_F(WmTest, RedeclareIdenticalOk) {
+  EXPECT_TRUE(schemas_.Declare(player_, {name_, team_}, symbols_).ok());
+}
+
+TEST_F(WmTest, RedeclareDifferentFails) {
+  EXPECT_FALSE(schemas_.Declare(player_, {team_}, symbols_).ok());
+}
+
+TEST_F(WmTest, MakeAssignsIncreasingTimeTags) {
+  auto a = wm_.Make(player_, {{name_, Sym("Jack")}});
+  auto b = wm_.Make(player_, {{name_, Sym("Sue")}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT((*a)->time_tag(), (*b)->time_tag());
+  EXPECT_EQ(wm_.size(), 2u);
+}
+
+TEST_F(WmTest, UnmentionedAttributesAreNil) {
+  auto a = wm_.Make(player_, {{name_, Sym("Jack")}});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->field(1), Value::Nil());
+}
+
+TEST_F(WmTest, MakeUnknownClassFails) {
+  auto r = wm_.Make(symbols_.Intern("ghost"), {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WmTest, MakeUnknownAttributeFails) {
+  auto r = wm_.Make(player_, {{symbols_.Intern("salary"), Value::Int(1)}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(WmTest, RemoveByTag) {
+  auto a = wm_.Make(player_, {{name_, Sym("Jack")}});
+  ASSERT_TRUE(a.ok());
+  TimeTag tag = (*a)->time_tag();
+  EXPECT_TRUE(wm_.Remove(tag).ok());
+  EXPECT_EQ(wm_.size(), 0u);
+  EXPECT_EQ(wm_.Find(tag), nullptr);
+  EXPECT_EQ(wm_.Remove(tag).code(), StatusCode::kNotFound);
+}
+
+TEST_F(WmTest, TimeTagsNeverReused) {
+  auto a = wm_.Make(player_, {});
+  TimeTag first = (*a)->time_tag();
+  ASSERT_TRUE(wm_.Remove(first).ok());
+  auto b = wm_.Make(player_, {});
+  EXPECT_GT((*b)->time_tag(), first);
+}
+
+class CountingListener : public WorkingMemory::Listener {
+ public:
+  void OnAdd(const WmePtr&) override { ++adds; }
+  void OnRemove(const WmePtr&) override { ++removes; }
+  int adds = 0, removes = 0;
+};
+
+TEST_F(WmTest, ListenersNotified) {
+  CountingListener l;
+  wm_.AddListener(&l);
+  auto a = wm_.Make(player_, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(wm_.Remove((*a)->time_tag()).ok());
+  EXPECT_EQ(l.adds, 1);
+  EXPECT_EQ(l.removes, 1);
+  wm_.RemoveListener(&l);
+  ASSERT_TRUE(wm_.Make(player_, {}).ok());
+  EXPECT_EQ(l.adds, 1);
+}
+
+TEST_F(WmTest, SnapshotInTagOrder) {
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(wm_.Make(player_, {}).ok());
+  auto snap = wm_.Snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1]->time_tag(), snap[i]->time_tag());
+  }
+}
+
+TEST_F(WmTest, WmeToString) {
+  auto a = wm_.Make(player_, {{name_, Sym("Jack")}, {team_, Sym("A")}});
+  const ClassSchema* s = schemas_.Find(player_);
+  EXPECT_EQ((*a)->ToString(symbols_, *s),
+            std::to_string((*a)->time_tag()) + ": (player ^name Jack ^team A)");
+}
+
+}  // namespace
+}  // namespace sorel
