@@ -109,6 +109,74 @@ BENCHMARK(BM_GammaLookup)
     ->Args({0, 512})
     ->Args({1, 512});
 
+// Hash-indexed join memories vs the seed's linear scans, as a function of
+// alpha-memory size. Distinct names: every indexed probe hits a one- or
+// two-element bucket while the linear join walks all `wmes` items.
+void BM_IndexedJoin(benchmark::State& state) {
+  bool linear = state.range(0) != 0;
+  int wmes = static_cast<int>(state.range(1));
+  EngineOptions options;
+  options.rete.use_indexed_joins = !linear;
+  Engine engine(options);
+  engine.set_output(DevNull());
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p pair (player ^name <n>) (player ^name <n> ^team <t>)"
+                       " --> (halt))");
+  FillPlayers(engine, wmes, /*teams=*/4, /*distinct_names=*/wmes);
+  // Steady state: one matching WME in, one out per iteration.
+  for (auto _ : state) {
+    TimeTag tag = MustMake(engine, "player",
+                           {{"name", engine.Sym("name0")},
+                            {"team", engine.Sym("team0")}});
+    Check(engine.RemoveWme(tag), "remove");
+  }
+  state.SetLabel(linear ? "ablation: linear join scan"
+                        : "hash-indexed joins");
+  state.counters["wmes"] = static_cast<double>(wmes);
+  state.counters["probes"] = static_cast<double>(
+      engine.rete_matcher()->stats().index_probes);
+}
+BENCHMARK(BM_IndexedJoin)
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Args({0, 8192})
+    ->Args({1, 8192});
+
+// Ordered conflict-set index vs the seed's full-scan Select, with many
+// standing instantiations: each cycle adds one instantiation and fires the
+// best, so linear selection is O(standing) per firing.
+void BM_ConflictSetSelect(benchmark::State& state) {
+  bool linear = state.range(0) != 0;
+  int standing = static_cast<int>(state.range(1));
+  EngineOptions options;
+  options.indexed_conflict_set = !linear;
+  Engine engine(options);
+  engine.set_output(DevNull());
+  MustLoad(engine, std::string(kPlayerSchema) +
+                       "(p note (player ^name <n>) --> (write <n>))");
+  FillPlayers(engine, standing, /*teams=*/4, /*distinct_names=*/standing);
+  for (auto _ : state) {
+    // The fresh WME's instantiation is the most recent: Select picks it,
+    // refraction drops it, and the `standing` older entries stay put.
+    TimeTag tag = MustMake(engine, "player",
+                           {{"name", engine.Sym("probe")}});
+    MustRun(engine, 1);
+    Check(engine.RemoveWme(tag), "remove");
+  }
+  state.SetLabel(linear ? "ablation: full-scan Select"
+                        : "ordered conflict-set index");
+  state.counters["standing"] = static_cast<double>(standing);
+}
+BENCHMARK(BM_ConflictSetSelect)
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Args({0, 8192})
+    ->Args({1, 8192});
+
 }  // namespace
 }  // namespace bench
 }  // namespace sorel

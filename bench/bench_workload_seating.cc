@@ -14,9 +14,12 @@ namespace sorel {
 namespace bench {
 namespace {
 
-int RunSeating(MatcherKind kind, int guests, bool set_oriented_done) {
+int RunSeating(MatcherKind kind, int guests, bool set_oriented_done,
+               bool indexed = true) {
   EngineOptions options;
   options.matcher = kind;
+  options.rete.use_indexed_joins = indexed;
+  options.indexed_conflict_set = indexed;
   Engine engine(options);
   engine.set_output(DevNull());
   std::string rules = sorel_examples::kDinnerRules;
@@ -72,6 +75,27 @@ void BM_SeatingDoneVariant(benchmark::State& state) {
                           : "lastseat-counter completion");
 }
 BENCHMARK(BM_SeatingDoneVariant)->Args({1, 64})->Args({0, 64});
+
+/// Ablation: hash-indexed join memories + ordered conflict set vs the
+/// seed's linear scans, on the Rete matcher (the seat-next joins key on
+/// `<k>`, `<prev>`, `<h>`, so most of the match work is index-eligible).
+void BM_SeatingIndexedAblation(benchmark::State& state) {
+  bool indexed = state.range(0) != 0;
+  int guests = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    int fired = RunSeating(MatcherKind::kRete, guests,
+                           /*set_oriented_done=*/true, indexed);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetLabel(indexed ? "indexed joins + ordered conflict set"
+                         : "linear scans (seed baseline)");
+  state.SetItemsProcessed(state.iterations() * guests);
+}
+BENCHMARK(BM_SeatingIndexedAblation)
+    ->Args({1, 64})
+    ->Args({0, 64})
+    ->Args({1, 128})
+    ->Args({0, 128});
 
 void PrintHeader() {
   std::printf("=== B2: Manners-style seating macro workload ===\n");

@@ -124,6 +124,13 @@ void CmdStats(Engine& engine) {
   for (const auto& [rule, count] : stats.firings_by_rule) {
     std::cout << "  " << rule << ": " << count << "\n";
   }
+  const Engine::MatchStats match = engine.match_stats();
+  std::cout << "match: " << match.rete.join_attempts << " join attempts, "
+            << match.rete.index_probes << " index probes, "
+            << match.rete.tokens_created << " tokens created, "
+            << match.rete.tokens_deleted << " deleted\n"
+            << "select: " << match.select.selects << " selects, "
+            << match.select.comparisons << " comparisons\n";
 }
 
 /// Dispatches one complete command line. Returns false to quit.

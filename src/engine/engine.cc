@@ -31,6 +31,7 @@ class Engine::WmTracer : public WorkingMemory::Listener {
 Engine::Engine(EngineOptions options)
     : options_(options),
       wm_(std::make_unique<WorkingMemory>(&schemas_, &symbols_)),
+      cs_(options_.indexed_conflict_set),
       compiler_(&symbols_, &schemas_),
       rhs_(wm_.get(), &symbols_, &std::cout) {
   rhs_.set_output(out_);
@@ -43,13 +44,16 @@ Engine::Engine(EngineOptions options)
       return snode;
     };
     auto rete = std::make_unique<ReteMatcher>(wm_.get(), &cs_,
-                                              std::move(factory));
+                                              std::move(factory),
+                                              options_.rete);
     rete_ = rete.get();
     matcher_ = std::move(rete);
   } else if (options_.matcher == MatcherKind::kTreat) {
     matcher_ = std::make_unique<TreatMatcher>(wm_.get(), &cs_);
   } else {
-    matcher_ = std::make_unique<dips::DipsMatcher>(wm_.get(), &cs_);
+    auto dips = std::make_unique<dips::DipsMatcher>(wm_.get(), &cs_);
+    dips_ = dips.get();
+    matcher_ = std::move(dips);
   }
   startup_context_.name = "startup";
   if (options_.trace_wm) {
@@ -218,10 +222,30 @@ const CompiledRule* Engine::FindRule(std::string_view name) const {
   return nullptr;
 }
 
+Status Engine::MatchError() const {
+  for (const auto& [name, snode] : snodes_) {
+    if (!snode->last_error().ok()) return snode->last_error();
+  }
+  if (dips_ != nullptr && !dips_->last_error().ok()) {
+    return dips_->last_error();
+  }
+  return Status::Ok();
+}
+
+Engine::MatchStats Engine::match_stats() const {
+  MatchStats stats;
+  if (rete_ != nullptr) stats.rete = rete_->stats();
+  stats.select = cs_.stats();
+  return stats;
+}
+
 Result<int> Engine::Run(int max_firings) {
   halted_ = false;
   int fired = 0;
   while (max_firings < 0 || fired < max_firings) {
+    // Surface errors the match network had to swallow inside WM-change
+    // callbacks (the affected instantiations are unreliable from here on).
+    SOREL_RETURN_IF_ERROR(MatchError());
     InstantiationRef* inst = cs_.Select(options_.strategy);
     if (inst == nullptr) break;
     const CompiledRule& rule = inst->rule();
@@ -249,6 +273,10 @@ Result<int> Engine::Run(int max_firings) {
       break;
     }
   }
+  run_stats_.match = match_stats();
+  // The final firing (or pre-Run WM changes, when nothing fired) may have
+  // corrupted a γ-memory too.
+  SOREL_RETURN_IF_ERROR(MatchError());
   return fired;
 }
 
@@ -256,6 +284,7 @@ Result<int> Engine::RunParallel(int max_cycles) {
   halted_ = false;
   int cycles = 0;
   while (max_cycles < 0 || cycles < max_cycles) {
+    SOREL_RETURN_IF_ERROR(MatchError());
     std::vector<InstantiationRef*> eligible =
         cs_.SortedEligible(options_.strategy);
     if (eligible.empty()) break;
@@ -304,6 +333,8 @@ Result<int> Engine::RunParallel(int max_cycles) {
                  static_cast<uint64_t>(batch.size()));
     if (halted_) break;
   }
+  run_stats_.match = match_stats();
+  SOREL_RETURN_IF_ERROR(MatchError());
   return cycles;
 }
 

@@ -23,6 +23,10 @@
 
 namespace sorel {
 
+namespace dips {
+class DipsMatcher;
+}  // namespace dips
+
 /// Which match algorithm drives the engine.
 enum class MatcherKind {
   kRete,   // the paper's extended Rete (S-node support)
@@ -39,6 +43,11 @@ struct EngineOptions {
   bool trace_firings = false;
   /// Print "==> (wme)" / "<== (wme)" lines on every WM change.
   bool trace_wm = false;
+  /// Match-network options (kRete only).
+  ReteOptions rete;
+  /// Serve conflict-set selection from the ordered index; off falls back
+  /// to the linear scan (ablation baseline).
+  bool indexed_conflict_set = true;
 };
 
 /// The sorel production-system engine: an OPS5 interpreter extended with
@@ -54,10 +63,19 @@ struct EngineOptions {
 ///   engine.Run();
 class Engine {
  public:
+  /// Hot-path counters for the matcher and the conflict set, assembled by
+  /// `match_stats()` (zeros for the sources a configuration lacks).
+  struct MatchStats {
+    ReteStats rete;
+    ConflictSet::Stats select;
+  };
+
   struct RunStats {
     uint64_t firings = 0;
     uint64_t actions = 0;
     std::map<std::string, uint64_t> firings_by_rule;
+    /// Snapshot of `match_stats()` taken when Run/RunParallel returns.
+    MatchStats match;
   };
 
   explicit Engine(EngineOptions options = {});
@@ -139,8 +157,16 @@ class Engine {
   void set_trace_wm(bool on);
   const RunStats& run_stats() const { return run_stats_; }
   const RhsExecutor::Stats& rhs_stats() const { return rhs_.stats(); }
+  /// Live matcher + conflict-set counters (see MatchStats).
+  MatchStats match_stats() const;
 
  private:
+  /// First error a match-network callback swallowed (S-node `:test`
+  /// evaluation, DIPS COND-table maintenance), or OK. Run checks this
+  /// every cycle so match-time failures surface instead of silently
+  /// freezing the affected instantiations.
+  Status MatchError() const;
+
   EngineOptions options_;
   SymbolTable symbols_;
   SchemaRegistry schemas_;
@@ -153,6 +179,7 @@ class Engine {
   std::vector<CompiledRulePtr> rules_;
   std::unique_ptr<Matcher> matcher_;
   ReteMatcher* rete_ = nullptr;  // borrowed view of matcher_ when Rete
+  dips::DipsMatcher* dips_ = nullptr;  // borrowed view when DIPS
   RuleCompiler compiler_;
   RhsExecutor rhs_;
   RunStats run_stats_;

@@ -54,6 +54,12 @@ struct CompiledCondition {
   std::vector<MemberTest> member_tests;
   std::vector<IntraTest> intra_tests;
   std::vector<JoinTest> join_tests;
+  /// `join_tests` split by predicate kind (filled after condition
+  /// compilation): the equality tests form the hash key of the matcher's
+  /// indexed join memories, the rest are evaluated as residual predicates
+  /// on each bucket candidate.
+  std::vector<JoinTest> eq_join_tests;
+  std::vector<JoinTest> residual_join_tests;
   /// Index among the rule's positive CEs (what tokens and instantiation rows
   /// are indexed by); -1 for negated CEs.
   int token_pos = -1;

@@ -24,6 +24,7 @@ class RuleAnalysis {
     rule_ = rule.get();
 
     SOREL_RETURN_IF_ERROR(CompileConditions());
+    SplitJoinTests();
     SOREL_RETURN_IF_ERROR(ApplyScalarClause());
     ClassifyVariables();
     BuildPartitionKey();
@@ -505,6 +506,24 @@ class RuleAnalysis {
       SOREL_RETURN_IF_ERROR(CompileExpr(expr.get(), /*in_test=*/false, scope));
     }
     return Status::Ok();
+  }
+
+  // ---------- join-key extraction ----------
+  /// Separates each CE's join tests into the equality tests (the hash key
+  /// of an indexed join memory) and the residual predicates. Equality on
+  /// `Value` is exactly `EvalTestPred(kEq)` (numeric cross-kind equality
+  /// included), so probing a hash bucket keyed on the equality fields is
+  /// semantics-preserving.
+  void SplitJoinTests() {
+    for (CompiledCondition& cc : rule_->conditions) {
+      for (const JoinTest& jt : cc.join_tests) {
+        if (jt.pred == TestPred::kEq) {
+          cc.eq_join_tests.push_back(jt);
+        } else {
+          cc.residual_join_tests.push_back(jt);
+        }
+      }
+    }
   }
 
   // ---------- LEX specificity ----------

@@ -4,26 +4,6 @@
 
 namespace sorel {
 
-void ConflictSet::Add(InstantiationRef* inst) {
-  auto [it, inserted] = entries_.try_emplace(inst);
-  if (inserted) {
-    it->second.seq = next_seq_++;
-  } else {
-    it->second.fired = false;
-  }
-}
-
-void ConflictSet::Remove(InstantiationRef* inst) { entries_.erase(inst); }
-
-void ConflictSet::MarkFired(InstantiationRef* inst, bool remove_entry) {
-  if (remove_entry) {
-    entries_.erase(inst);
-    return;
-  }
-  auto it = entries_.find(inst);
-  if (it != entries_.end()) it->second.fired = true;
-}
-
 int CompareRecencyTags(const std::vector<TimeTag>& a,
                        const std::vector<TimeTag>& b) {
   size_t n = std::min(a.size(), b.size());
@@ -34,29 +14,106 @@ int CompareRecencyTags(const std::vector<TimeTag>& a,
   return 0;
 }
 
-bool ConflictSet::Precedes(Strategy strategy, const InstantiationRef& a,
-                           uint64_t seq_a, const InstantiationRef& b,
-                           uint64_t seq_b) {
-  if (strategy == Strategy::kMea) {
-    TimeTag fa = a.FirstCeTag(), fb = b.FirstCeTag();
-    if (fa != fb) return fa > fb;
+bool ConflictSet::Cmp::operator()(const Ref& a, const Ref& b) const {
+  ++*comparisons;
+  if (mea && a.entry->first_ce != b.entry->first_ce) {
+    return a.entry->first_ce > b.entry->first_ce;
   }
-  int rec = CompareRecencyTags(a.RecencyTags(), b.RecencyTags());
+  int rec = CompareRecencyTags(a.entry->rec, b.entry->rec);
   if (rec != 0) return rec > 0;
-  int sa = a.rule().specificity, sb = b.rule().specificity;
-  if (sa != sb) return sa > sb;
-  return seq_a > seq_b;  // arbitrary but deterministic
+  if (a.entry->specificity != b.entry->specificity) {
+    return a.entry->specificity > b.entry->specificity;
+  }
+  return a.entry->seq > b.entry->seq;  // unique: total order
+}
+
+ConflictSet::ConflictSet(bool use_index)
+    : use_index_(use_index),
+      lex_(Cmp{/*mea=*/false, &stats_.comparisons}),
+      mea_(Cmp{/*mea=*/true, &stats_.comparisons}) {}
+
+void ConflictSet::CacheKeys(Entry* e, const InstantiationRef& inst) {
+  e->rec = inst.RecencyTags();
+  e->first_ce = inst.FirstCeTag();
+  e->specificity = inst.rule().specificity;
+}
+
+void ConflictSet::IndexEntry(InstantiationRef* inst, const Entry& e) {
+  if (!use_index_) return;
+  lex_.insert(Ref{inst, &e});
+  mea_.insert(Ref{inst, &e});
+}
+
+void ConflictSet::UnindexEntry(InstantiationRef* inst, const Entry& e) {
+  if (!use_index_) return;
+  lex_.erase(Ref{inst, &e});
+  mea_.erase(Ref{inst, &e});
+}
+
+void ConflictSet::Add(InstantiationRef* inst) {
+  auto [it, inserted] = entries_.try_emplace(inst);
+  Entry& e = it->second;
+  if (inserted) {
+    e.seq = next_seq_++;
+    CacheKeys(&e, *inst);
+    IndexEntry(inst, e);
+    return;
+  }
+  // Re-filed entry: its content (and thus sort keys) may have changed, so
+  // reposition it. Unindex under the *old* cached keys before touching them.
+  if (!e.fired) UnindexEntry(inst, e);
+  if (e.fired) {
+    // Re-activation of a fired SOI: it re-enters the conflict set *now*,
+    // so it tie-breaks by this moment, not by when it first appeared.
+    e.fired = false;
+    e.seq = next_seq_++;
+  }
+  CacheKeys(&e, *inst);
+  IndexEntry(inst, e);
+}
+
+void ConflictSet::Remove(InstantiationRef* inst) {
+  auto it = entries_.find(inst);
+  if (it == entries_.end()) return;
+  if (!it->second.fired) UnindexEntry(inst, it->second);
+  entries_.erase(it);
+}
+
+void ConflictSet::MarkFired(InstantiationRef* inst, bool remove_entry) {
+  auto it = entries_.find(inst);
+  if (it == entries_.end()) return;
+  if (!it->second.fired) UnindexEntry(inst, it->second);
+  if (remove_entry) {
+    entries_.erase(it);
+    return;
+  }
+  it->second.fired = true;
+}
+
+bool ConflictSet::Precedes(Strategy strategy, const Entry& a, const Entry& b) {
+  if (strategy == Strategy::kMea && a.first_ce != b.first_ce) {
+    return a.first_ce > b.first_ce;
+  }
+  int rec = CompareRecencyTags(a.rec, b.rec);
+  if (rec != 0) return rec > 0;
+  if (a.specificity != b.specificity) return a.specificity > b.specificity;
+  return a.seq > b.seq;  // arbitrary but deterministic
 }
 
 InstantiationRef* ConflictSet::Select(Strategy strategy) const {
+  ++stats_.selects;
+  if (use_index_) {
+    const Index& index = IndexFor(strategy);
+    return index.empty() ? nullptr : index.begin()->inst;
+  }
   InstantiationRef* best = nullptr;
-  uint64_t best_seq = 0;
+  const Entry* best_entry = nullptr;
   for (const auto& [inst, entry] : entries_) {
     if (entry.fired) continue;
-    if (best == nullptr ||
-        Precedes(strategy, *inst, entry.seq, *best, best_seq)) {
+    if (best != nullptr) ++stats_.comparisons;
+    if (best == nullptr || Precedes(strategy, entry, *best_entry)) {
       best = inst;
-      best_seq = entry.seq;
+      best_entry = &entry;
     }
   }
   return best;
@@ -64,22 +121,29 @@ InstantiationRef* ConflictSet::Select(Strategy strategy) const {
 
 std::vector<InstantiationRef*> ConflictSet::SortedEligible(
     Strategy strategy) const {
-  std::vector<std::pair<InstantiationRef*, uint64_t>> eligible;
+  std::vector<InstantiationRef*> out;
+  if (use_index_) {
+    const Index& index = IndexFor(strategy);
+    out.reserve(index.size());
+    for (const Ref& ref : index) out.push_back(ref.inst);
+    return out;
+  }
+  std::vector<std::pair<InstantiationRef*, const Entry*>> eligible;
   for (const auto& [inst, entry] : entries_) {
-    if (!entry.fired) eligible.emplace_back(inst, entry.seq);
+    if (!entry.fired) eligible.emplace_back(inst, &entry);
   }
   std::sort(eligible.begin(), eligible.end(),
-            [strategy](const auto& a, const auto& b) {
-              return Precedes(strategy, *a.first, a.second, *b.first,
-                              b.second);
+            [this, strategy](const auto& a, const auto& b) {
+              ++stats_.comparisons;
+              return Precedes(strategy, *a.second, *b.second);
             });
-  std::vector<InstantiationRef*> out;
   out.reserve(eligible.size());
-  for (const auto& [inst, seq] : eligible) out.push_back(inst);
+  for (const auto& [inst, entry] : eligible) out.push_back(inst);
   return out;
 }
 
 size_t ConflictSet::EligibleCount() const {
+  if (use_index_) return lex_.size();
   size_t n = 0;
   for (const auto& [inst, entry] : entries_) {
     if (!entry.fired) ++n;
@@ -98,6 +162,12 @@ std::vector<InstantiationRef*> ConflictSet::Entries() const {
   out.reserve(ordered.size());
   for (const auto& [seq, inst] : ordered) out.push_back(inst);
   return out;
+}
+
+void ConflictSet::Clear() {
+  entries_.clear();
+  lex_.clear();
+  mea_.clear();
 }
 
 }  // namespace sorel

@@ -2,6 +2,7 @@
 #define SOREL_RETE_CONFLICT_SET_H_
 
 #include <cstdint>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -19,9 +20,36 @@ enum class Strategy { kLex, kMea };
 /// Regular instantiations are removed when they fire (classic refraction —
 /// a time-tag-identical instantiation can never re-arise). SOIs stay with a
 /// `fired` flag that any subsequent γ-memory change clears via Add/Touch.
+///
+/// Selection is served from two ordered indexes (one per strategy) over the
+/// eligible entries, so `Select` is O(log n) instead of a full scan. Sort
+/// keys (recency tags, first-CE tag, specificity) are *cached* in the entry
+/// at Add/Touch time; this is sound because every γ-memory content change
+/// reaches the conflict set as an Add/Touch/Remove call, and it means index
+/// erasure always uses the keys the entry was filed under even if the live
+/// instantiation has since changed. Pass `use_index = false` to fall back
+/// to the linear scan (the ablation baseline for benchmarks).
 class ConflictSet {
  public:
-  /// Inserts `inst`, or reinstates it (clears the fired flag) if present.
+  /// Counters for the selection hot path. With the index on, `comparisons`
+  /// counts comparator calls paid at insert/erase time; with it off, the
+  /// per-Select scan comparisons. Either way it is the total ordering work.
+  struct Stats {
+    uint64_t selects = 0;
+    uint64_t comparisons = 0;
+  };
+
+  explicit ConflictSet(bool use_index = true);
+
+  // The ordered indexes hold pointers into entry storage and the
+  // comparators point back at stats_; copying would alias both.
+  ConflictSet(const ConflictSet&) = delete;
+  ConflictSet& operator=(const ConflictSet&) = delete;
+
+  /// Inserts `inst`, or reinstates it if present: the fired flag clears,
+  /// cached sort keys refresh, and — when the entry had fired — it gets a
+  /// fresh `seq`, so a re-activated SOI tie-breaks as the recent arrival it
+  /// is rather than keeping the rank of its first insertion.
   void Add(InstantiationRef* inst);
 
   /// Removes `inst` if present.
@@ -53,21 +81,60 @@ class ConflictSet {
   /// All entries in insertion order (stable; for tests and tracing).
   std::vector<InstantiationRef*> Entries() const;
 
-  void Clear() { entries_.clear(); }
+  void Clear();
+
+  bool use_index() const { return use_index_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
 
  private:
   struct Entry {
     bool fired = false;
     uint64_t seq = 0;
+    // Sort keys cached at (re-)insertion; the indexes are keyed on these,
+    // never on the live instantiation.
+    std::vector<TimeTag> rec;   // recency tags, descending
+    TimeTag first_ce = 0;       // MEA primary key
+    int specificity = 0;
   };
 
-  // Returns true if `a` should fire before `b`.
-  static bool Precedes(Strategy strategy, const InstantiationRef& a,
-                       uint64_t seq_a, const InstantiationRef& b,
-                       uint64_t seq_b);
+  /// What the ordered indexes store: the instantiation plus its cached
+  /// keys. Entry pointers are stable (unordered_map nodes don't move).
+  struct Ref {
+    InstantiationRef* inst;
+    const Entry* entry;
+  };
 
+  /// Best-first ordering over cached keys; `seq` (unique per entry) makes
+  /// it a strict total order, so std::set holds one element per entry.
+  struct Cmp {
+    bool mea;
+    uint64_t* comparisons;
+    bool operator()(const Ref& a, const Ref& b) const;
+  };
+
+  using Index = std::set<Ref, Cmp>;
+
+  // Returns true if `a` should fire before `b`.
+  static bool Precedes(Strategy strategy, const Entry& a, const Entry& b);
+
+  static void CacheKeys(Entry* e, const InstantiationRef& inst);
+  /// Files / unfiles an eligible entry in both ordered indexes. Unindex
+  /// must run *before* any cached-key mutation — erasure locates the
+  /// element by the keys it was inserted under.
+  void IndexEntry(InstantiationRef* inst, const Entry& e);
+  void UnindexEntry(InstantiationRef* inst, const Entry& e);
+
+  const Index& IndexFor(Strategy strategy) const {
+    return strategy == Strategy::kMea ? mea_ : lex_;
+  }
+
+  bool use_index_;
   std::unordered_map<InstantiationRef*, Entry> entries_;
   uint64_t next_seq_ = 0;
+  mutable Stats stats_;
+  Index lex_;
+  Index mea_;
 };
 
 }  // namespace sorel

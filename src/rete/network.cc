@@ -1,6 +1,7 @@
 #include "rete/network.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 #include "lang/ast.h"
@@ -85,7 +86,66 @@ bool AlphaMemory::SameTests(const CompiledCondition& cond) const {
          SameIntraTests(intra_tests_, cond.intra_tests);
 }
 
+JoinKey AlphaMemory::Index::KeyOf(const Wme& wme) const {
+  JoinKey key;
+  key.values.reserve(fields_.size());
+  for (int f : fields_) key.values.push_back(wme.field(f));
+  return key;
+}
+
+const std::vector<WmePtr>* AlphaMemory::Index::Find(const JoinKey& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+void AlphaMemory::Index::Insert(const WmePtr& wme) {
+  buckets_[KeyOf(*wme)].push_back(wme);
+}
+
+void AlphaMemory::Index::Remove(const WmePtr& wme) {
+  auto it = buckets_.find(KeyOf(*wme));
+  if (it == buckets_.end()) return;
+  auto& bucket = it->second;
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), wme), bucket.end());
+  if (bucket.empty()) buckets_.erase(it);
+}
+
+AlphaMemory::Index* AlphaMemory::GetOrCreateIndex(
+    const std::vector<int>& fields) {
+  for (const auto& idx : indexes_) {
+    if (idx->fields() == fields) return idx.get();
+  }
+  auto idx = std::make_unique<Index>(fields);
+  for (const WmePtr& w : items_) idx->Insert(w);
+  indexes_.push_back(std::move(idx));
+  return indexes_.back().get();
+}
+
+void AlphaMemory::AddItem(const WmePtr& wme) {
+  items_.push_back(wme);
+  for (const auto& idx : indexes_) idx->Insert(wme);
+}
+
+void AlphaMemory::RemoveItem(const WmePtr& wme) {
+  items_.erase(std::remove(items_.begin(), items_.end(), wme), items_.end());
+  for (const auto& idx : indexes_) idx->Remove(wme);
+}
+
 // ----------------------------------------------------------------- beta ---
+
+BetaNode::BetaNode(ReteMatcher* net, AlphaMemory* amem, BetaNode* parent,
+                   const CompiledCondition* cond)
+    : net_(net), amem_(amem), parent_(parent), cond_(cond) {
+  // A condition with equality join tests always references an earlier
+  // positive CE, so an indexed node necessarily has a parent.
+  if (net_->options().use_indexed_joins && !cond_->eq_join_tests.empty()) {
+    indexed_ = true;
+    std::vector<int> fields;
+    fields.reserve(cond_->eq_join_tests.size());
+    for (const JoinTest& jt : cond_->eq_join_tests) fields.push_back(jt.field);
+    aindex_ = amem_->GetOrCreateIndex(fields);
+  }
+}
 
 bool BetaNode::Matches(const Token* t, const Wme& wme) const {
   for (const JoinTest& jt : cond_->join_tests) {
@@ -99,6 +159,60 @@ bool BetaNode::Matches(const Token* t, const Wme& wme) const {
   return true;
 }
 
+bool BetaNode::MatchesResidual(const Token* t, const Wme& wme) const {
+  for (const JoinTest& jt : cond_->residual_join_tests) {
+    const Wme* other = WmeAt(t, jt.other_token_pos);
+    if (other == nullptr) return false;
+    if (!EvalTestPred(jt.pred, wme.field(jt.field),
+                      other->field(jt.other_field))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+JoinKey BetaNode::WmeKey(const Wme& wme) const {
+  JoinKey key;
+  key.values.reserve(cond_->eq_join_tests.size());
+  for (const JoinTest& jt : cond_->eq_join_tests) {
+    key.values.push_back(wme.field(jt.field));
+  }
+  return key;
+}
+
+bool BetaNode::TokenKey(const Token* t, JoinKey* out) const {
+  out->values.clear();
+  out->values.reserve(cond_->eq_join_tests.size());
+  for (const JoinTest& jt : cond_->eq_join_tests) {
+    const Wme* other = WmeAt(t, jt.other_token_pos);
+    if (other == nullptr) return false;
+    out->values.push_back(other->field(jt.other_field));
+  }
+  return true;
+}
+
+void BetaNode::OnTokenRegistered(Token* t) {
+  if (child_ != nullptr) child_->IndexLeftToken(t);
+}
+
+bool BetaNode::IsOutputActive(const Token*) const { return true; }
+
+void BetaNode::IndexLeftToken(Token* t) {
+  if (!indexed_) return;
+  JoinKey key;
+  if (TokenKey(t, &key)) left_index_.Insert(key, t);
+}
+
+void BetaNode::UnindexLeftToken(Token* t) {
+  if (!indexed_) return;
+  JoinKey key;
+  if (TokenKey(t, &key)) left_index_.Remove(key, t);
+}
+
+void BetaNode::UnindexFromChild(Token* t) {
+  if (child_ != nullptr) child_->UnindexLeftToken(t);
+}
+
 void BetaNode::PropagateDown(Token* t) {
   if (child_ != nullptr) child_->OnParentToken(t);
   if (sink_ != nullptr) sink_->OnToken(t, /*added=*/true);
@@ -107,11 +221,28 @@ void BetaNode::PropagateDown(Token* t) {
 // ----------------------------------------------------------------- join ---
 
 void JoinNode::OnParentToken(Token* t) {
+  if (indexed_) {
+    ++net_->stats_.index_probes;
+    JoinKey key;
+    if (!TokenKey(t, &key)) return;
+    const std::vector<WmePtr>* bucket = aindex_->Find(key);
+    if (bucket == nullptr) return;
+    for (size_t i = 0; i < bucket->size(); ++i) {
+      const WmePtr& w = (*bucket)[i];
+      ++net_->stats_.join_attempts;
+      if (MatchesResidual(t, *w)) {
+        Token* out = net_->NewToken(this, t, w);
+        PropagateDown(out);
+      }
+    }
+    return;
+  }
   const std::vector<WmePtr>& items = amem_->items();
   // Index loop: propagation never mutates this alpha memory, but stay
   // defensive about iterator invalidation conventions.
   for (size_t i = 0; i < items.size(); ++i) {
     const WmePtr& w = items[i];
+    ++net_->stats_.join_attempts;
     if (Matches(t, *w)) {
       Token* out = net_->NewToken(this, t, w);
       PropagateDown(out);
@@ -123,13 +254,30 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
   if (!added) return;  // removals are handled by token-tree deletion
   if (parent_ == nullptr) {
     Token* root = net_->root_token();
+    ++net_->stats_.join_attempts;
     if (Matches(root, *wme)) {
       Token* out = net_->NewToken(this, root, wme);
       PropagateDown(out);
     }
     return;
   }
+  if (indexed_) {
+    ++net_->stats_.index_probes;
+    const std::vector<Token*>* bucket = left_index_.Find(WmeKey(*wme));
+    if (bucket == nullptr) return;
+    for (size_t i = 0; i < bucket->size(); ++i) {
+      Token* t = (*bucket)[i];
+      if (!parent_->IsOutputActive(t)) continue;
+      ++net_->stats_.join_attempts;
+      if (MatchesResidual(t, *wme)) {
+        Token* out = net_->NewToken(this, t, wme);
+        PropagateDown(out);
+      }
+    }
+    return;
+  }
   parent_->ForEachActiveOutput([&](Token* t) {
+    ++net_->stats_.join_attempts;
     if (Matches(t, *wme)) {
       Token* out = net_->NewToken(this, t, wme);
       PropagateDown(out);
@@ -138,6 +286,7 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
 }
 
 void JoinNode::OnOwnedTokenDeleted(Token* t) {
+  UnindexFromChild(t);
   outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), t),
                  outputs_.end());
   if (sink_ != nullptr) sink_->OnToken(t, /*added=*/false);
@@ -152,7 +301,20 @@ void JoinNode::ForEachActiveOutput(
 
 int NegativeNode::CountBlockers(const Token* t) const {
   int n = 0;
+  if (indexed_) {
+    ++net_->stats_.index_probes;
+    JoinKey key;
+    if (!TokenKey(t, &key)) return 0;
+    const std::vector<WmePtr>* bucket = aindex_->Find(key);
+    if (bucket == nullptr) return 0;
+    for (const WmePtr& w : *bucket) {
+      ++net_->stats_.join_attempts;
+      if (MatchesResidual(t, *w)) ++n;
+    }
+    return n;
+  }
   for (const WmePtr& w : amem_->items()) {
+    ++net_->stats_.join_attempts;
     if (Matches(t, *w)) ++n;
   }
   return n;
@@ -164,17 +326,47 @@ void NegativeNode::OnParentToken(Token* up) {
   if (t->blockers == 0) Propagate(t);
 }
 
+void NegativeNode::OnTokenRegistered(Token* t) {
+  BetaNode::OnTokenRegistered(t);
+  if (!indexed_) return;
+  JoinKey key;
+  if (TokenKey(t, &key)) own_index_.Insert(key, t);
+}
+
 void NegativeNode::RightActivate(const WmePtr& wme, bool added) {
+  // A WME removal must never drive a blocker count below zero: the count
+  // was established by CountBlockers and every removal is paired with an
+  // addition seen by this node. Underflow would wrap the token into a
+  // permanently-blocked state, so clamp at zero (and trip in debug builds,
+  // where it signals index/memory desynchronization).
+  auto update = [&](Token* t) {
+    if (added) {
+      if (t->blockers++ == 0) Retract(t);
+    } else {
+      assert(t->blockers > 0 && "negative-node blocker count underflow");
+      if (t->blockers > 0 && --t->blockers == 0) Propagate(t);
+    }
+  };
+  if (indexed_) {
+    ++net_->stats_.index_probes;
+    // Retract/Propagate cascade strictly downstream, so this node's own
+    // outputs — and therefore this bucket — stay stable while iterating.
+    const std::vector<Token*>* bucket = own_index_.Find(WmeKey(*wme));
+    if (bucket == nullptr) return;
+    for (size_t i = 0; i < bucket->size(); ++i) {
+      Token* t = (*bucket)[i];
+      ++net_->stats_.join_attempts;
+      if (MatchesResidual(t, *wme)) update(t);
+    }
+    return;
+  }
   // Snapshot: Retract/Propagate can cascade but never changes outputs_ of
   // this node (children live downstream).
   for (size_t i = 0; i < outputs_.size(); ++i) {
     Token* t = outputs_[i];
+    ++net_->stats_.join_attempts;
     if (!Matches(t, *wme)) continue;
-    if (added) {
-      if (t->blockers++ == 0) Retract(t);
-    } else {
-      if (--t->blockers == 0) Propagate(t);
-    }
+    update(t);
   }
 }
 
@@ -191,6 +383,11 @@ void NegativeNode::Retract(Token* t) {
 }
 
 void NegativeNode::OnOwnedTokenDeleted(Token* t) {
+  if (indexed_) {
+    JoinKey key;
+    if (TokenKey(t, &key)) own_index_.Remove(key, t);
+  }
+  UnindexFromChild(t);
   outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), t),
                  outputs_.end());
   if (sink_ != nullptr && t->propagated) sink_->OnToken(t, /*added=*/false);
@@ -258,8 +455,11 @@ void PNode::OnToken(Token* token, bool added) {
 // -------------------------------------------------------------- matcher ---
 
 ReteMatcher::ReteMatcher(WorkingMemory* wm, ConflictSet* cs,
-                         SinkFactory sink_factory)
-    : wm_(wm), cs_(cs), sink_factory_(std::move(sink_factory)) {
+                         SinkFactory sink_factory, ReteOptions options)
+    : wm_(wm),
+      cs_(cs),
+      sink_factory_(std::move(sink_factory)),
+      options_(options) {
   wm_->AddListener(this);
 }
 
@@ -280,7 +480,9 @@ Token* ReteMatcher::NewToken(BetaNode* owner, Token* parent, WmePtr wme) {
   // Register in the owner's output memory.
   // (BetaNode::outputs_ is protected; ReteMatcher is a friend.)
   owner->outputs_.push_back(t);
+  owner->OnTokenRegistered(t);
   ++live_tokens_;
+  ++stats_.tokens_created;
   return t;
 }
 
@@ -302,6 +504,7 @@ void ReteMatcher::DeleteTokenTree(Token* t) {
   }
   delete t;
   --live_tokens_;
+  ++stats_.tokens_deleted;
 }
 
 AlphaMemory* ReteMatcher::GetOrCreateAlpha(const CompiledCondition& cond) {
@@ -313,7 +516,7 @@ AlphaMemory* ReteMatcher::GetOrCreateAlpha(const CompiledCondition& cond) {
   // Seed with the current working memory.
   for (const WmePtr& w : wm_->Snapshot()) {
     if (w->cls() == cond.cls && am->Accepts(*w)) {
-      am->items_.push_back(w);
+      am->AddItem(w);
       wme_meta_[w->time_tag()].amems.push_back(am.get());
     }
   }
@@ -401,7 +604,7 @@ void ReteMatcher::OnAdd(const WmePtr& wme) {
   if (it == alphas_by_class_.end()) return;
   for (const auto& am : it->second) {
     if (!am->Accepts(*wme)) continue;
-    am->items_.push_back(wme);
+    am->AddItem(wme);
     wme_meta_[wme->time_tag()].amems.push_back(am.get());
     // Immediate per-memory activation, successors newest-first: this is the
     // ordering that makes one WME matching several CEs of a rule produce
@@ -417,8 +620,7 @@ void ReteMatcher::OnRemove(const WmePtr& wme) {
   if (it == wme_meta_.end()) return;
   // 1. Remove from alpha memories so joins no longer see it.
   for (AlphaMemory* am : it->second.amems) {
-    auto& items = am->items_;
-    items.erase(std::remove(items.begin(), items.end(), wme), items.end());
+    am->RemoveItem(wme);
   }
   // 2. Unblock negative nodes (may propagate new tokens).
   for (AlphaMemory* am : it->second.amems) {
@@ -443,6 +645,7 @@ void ReteMatcher::DumpNetwork(std::ostream& out,
           << am->const_tests_.size() + am->member_tests_.size() +
                  am->intra_tests_.size()
           << " items=" << am->items_.size()
+          << " indexes=" << am->indexes_.size()
           << " successors=" << am->successors_.size() << "\n";
     }
   }
@@ -451,8 +654,9 @@ void ReteMatcher::DumpNetwork(std::ostream& out,
     out << "  rule " << rule->name << ":";
     for (BetaNode* node : entry.chain) {
       bool negative = node->cond().negated;
-      out << " " << (negative ? "neg" : "join") << "("
-          << node->outputs_.size() << ")";
+      out << " " << (negative ? "neg" : "join")
+          << (node->indexed() ? "*" : "") << "(" << node->outputs_.size()
+          << ")";
     }
     out << " -> " << (rule->has_set ? "S-node" : "P-node") << "\n";
   }

@@ -18,6 +18,27 @@ namespace sorel {
 
 class ReteMatcher;
 
+/// Construction-time options for the Rete matcher.
+struct ReteOptions {
+  /// Hash-index alpha memories and beta output memories on their equality
+  /// join tests (Doorenbos-style), so joins probe one bucket instead of
+  /// scanning the whole memory. Off restores the seed's linear scans —
+  /// kept as the ablation baseline for bench_fig3_snode and
+  /// bench_workload_seating.
+  bool use_indexed_joins = true;
+};
+
+/// Hot-path counters for the match network (see docs/INTERNALS.md,
+/// "Indexed memories & match statistics").
+struct ReteStats {
+  /// Candidate (token, WME) pairs whose join tests were evaluated.
+  uint64_t join_attempts = 0;
+  /// Hash-bucket lookups on the indexed paths.
+  uint64_t index_probes = 0;
+  uint64_t tokens_created = 0;
+  uint64_t tokens_deleted = 0;
+};
+
 /// Terminal consumer of a rule's tokens: a P-node for regular rules or an
 /// S-node (src/core) for set-oriented rules.
 class ReteSink {
@@ -33,6 +54,29 @@ class ReteSink {
 /// property the paper preserves, §5).
 class AlphaMemory {
  public:
+  /// Hash index over the memory's items keyed by a field-value tuple;
+  /// shared by every successor whose equality join tests name the same
+  /// WME-side fields. Buckets preserve item insertion order, matching a
+  /// linear scan of `items()`.
+  class Index {
+   public:
+    explicit Index(std::vector<int> fields) : fields_(std::move(fields)) {}
+
+    JoinKey KeyOf(const Wme& wme) const;
+    /// The bucket for `key`, or nullptr if empty.
+    const std::vector<WmePtr>* Find(const JoinKey& key) const;
+    const std::vector<int>& fields() const { return fields_; }
+
+   private:
+    friend class AlphaMemory;
+
+    void Insert(const WmePtr& wme);
+    void Remove(const WmePtr& wme);
+
+    std::vector<int> fields_;
+    std::unordered_map<JoinKey, std::vector<WmePtr>, JoinKeyHash> buckets_;
+  };
+
   explicit AlphaMemory(const CompiledCondition& cond);
 
   /// True if `wme` (already of the right class) passes all tests.
@@ -41,17 +85,27 @@ class AlphaMemory {
   /// True if this memory can be shared with `cond`'s alpha tests.
   bool SameTests(const CompiledCondition& cond) const;
 
+  /// The index keyed on `fields`, creating (and seeding from the current
+  /// items) if absent.
+  Index* GetOrCreateIndex(const std::vector<int>& fields);
+
   const std::vector<WmePtr>& items() const { return items_; }
   SymbolId cls() const { return cls_; }
+  size_t num_indexes() const { return indexes_.size(); }
 
  private:
   friend class ReteMatcher;
+
+  /// Appends / removes an item, keeping every index in sync.
+  void AddItem(const WmePtr& wme);
+  void RemoveItem(const WmePtr& wme);
 
   SymbolId cls_;
   std::vector<ConstantTest> const_tests_;
   std::vector<MemberTest> member_tests_;
   std::vector<IntraTest> intra_tests_;
   std::vector<WmePtr> items_;
+  std::vector<std::unique_ptr<Index>> indexes_;
   /// Right-activation targets, newest-first (Doorenbos's ordering, which
   /// avoids duplicate tokens when one WME feeds several CEs of a rule).
   std::vector<class BetaNode*> successors_;
@@ -62,8 +116,7 @@ class AlphaMemory {
 class BetaNode {
  public:
   BetaNode(ReteMatcher* net, AlphaMemory* amem, BetaNode* parent,
-           const CompiledCondition* cond)
-      : net_(net), amem_(amem), parent_(parent), cond_(cond) {}
+           const CompiledCondition* cond);
   virtual ~BetaNode() = default;
 
   /// A new token arrived from the upstream node.
@@ -73,20 +126,49 @@ class BetaNode {
   /// Called by token deletion; removes `t` from this node's memory and
   /// notifies the sink if `t` had reached it.
   virtual void OnOwnedTokenDeleted(Token* t) = 0;
+  /// Called by the matcher right after `t` entered this node's output
+  /// memory; maintains the node-specific token indexes.
+  virtual void OnTokenRegistered(Token* t);
   /// Invokes `fn` on every output token visible to the downstream node.
   virtual void ForEachActiveOutput(
       const std::function<void(Token*)>& fn) const = 0;
+  /// Whether `t` (one of this node's outputs) is visible downstream. Left
+  /// indexes hold *all* of a parent's outputs in creation order — the same
+  /// relative order a linear scan of the parent's memory sees — and filter
+  /// with this at probe time, so indexed and linear joins produce tokens
+  /// in the same sequence.
+  virtual bool IsOutputActive(const Token* t) const;
 
   void set_child(BetaNode* child) { child_ = child; }
   void set_sink(ReteSink* sink) { sink_ = sink; }
   AlphaMemory* amem() const { return amem_; }
   const CompiledCondition& cond() const { return *cond_; }
+  /// True when this node joins through hash indexes (equality tests exist
+  /// and the matcher runs with ReteOptions::use_indexed_joins).
+  bool indexed() const { return indexed_; }
 
  protected:
   friend class ReteMatcher;  // token registration touches outputs_
 
   /// Evaluates this node's join tests for `wme` against the token chain.
   bool Matches(const Token* t, const Wme& wme) const;
+  /// Evaluates only the non-equality join tests (the equality ones are
+  /// guaranteed by the index bucket).
+  bool MatchesResidual(const Token* t, const Wme& wme) const;
+  /// The WME-side key of this node's equality join tests.
+  JoinKey WmeKey(const Wme& wme) const;
+  /// The token-side key; false if a referenced WME is missing from the
+  /// chain (such a token can never satisfy the equality tests).
+  bool TokenKey(const Token* t, JoinKey* out) const;
+  /// Adds/removes an upstream token to this node's left index (called by
+  /// the parent when its active output set changes). No-ops when the node
+  /// is not indexed.
+  void IndexLeftToken(Token* t);
+  void UnindexLeftToken(Token* t);
+  /// Drops `t` from the child's left index; derived OnOwnedTokenDeleted
+  /// overrides call this (they cannot touch the child's protected members
+  /// directly) while the token chain is still intact.
+  void UnindexFromChild(Token* t);
   /// Hands a token to the downstream node / sink.
   void PropagateDown(Token* t);
 
@@ -97,6 +179,15 @@ class BetaNode {
   BetaNode* child_ = nullptr;
   ReteSink* sink_ = nullptr;
   std::vector<Token*> outputs_;
+
+  // --- indexed-join state (unused when !indexed_) ---
+  bool indexed_ = false;
+  /// This node's amem items bucketed by the equality WME-side fields.
+  AlphaMemory::Index* aindex_ = nullptr;
+  /// The parent's active outputs bucketed by this node's token-side
+  /// equality values (empty for the first node — the root token is the
+  /// only upstream).
+  TokenIndex left_index_;
 };
 
 /// Positive CE: joins upstream tokens with alpha memory WMEs.
@@ -118,13 +209,22 @@ class NegativeNode : public BetaNode {
   void OnParentToken(Token* t) override;
   void RightActivate(const WmePtr& wme, bool added) override;
   void OnOwnedTokenDeleted(Token* t) override;
+  void OnTokenRegistered(Token* t) override;
   void ForEachActiveOutput(
       const std::function<void(Token*)>& fn) const override;
+  bool IsOutputActive(const Token* t) const override {
+    return t->propagated;
+  }
 
  private:
   int CountBlockers(const Token* t) const;
   void Propagate(Token* t);
   void Retract(Token* t);
+
+  /// All of this node's own output tokens (propagated or not) bucketed by
+  /// the token-side equality values, so RightActivate touches only the
+  /// tokens whose blocker count the WME can change.
+  TokenIndex own_index_;
 };
 
 /// P-node: terminal for regular (non-set-oriented) rules; owns one
@@ -157,7 +257,8 @@ class ReteMatcher : public Matcher {
  public:
   /// `sink_factory` may be null, in which case every rule gets a plain
   /// PNode (set-oriented rules are then rejected by AddRule).
-  ReteMatcher(WorkingMemory* wm, ConflictSet* cs, SinkFactory sink_factory);
+  ReteMatcher(WorkingMemory* wm, ConflictSet* cs, SinkFactory sink_factory,
+              ReteOptions options = {});
   ~ReteMatcher() override;
 
   ReteMatcher(const ReteMatcher&) = delete;
@@ -183,7 +284,15 @@ class ReteMatcher : public Matcher {
   size_t live_tokens() const { return live_tokens_; }
   size_t num_beta_nodes() const { return nodes_.size(); }
 
+  const ReteOptions& options() const { return options_; }
+  const ReteStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
  private:
+  friend class BetaNode;  // nodes bump stats_ through net_
+  friend class JoinNode;
+  friend class NegativeNode;
+
   struct WmeMeta {
     std::vector<AlphaMemory*> amems;
     std::vector<Token*> tokens;  // tokens whose own wme is this WME
@@ -208,6 +317,8 @@ class ReteMatcher : public Matcher {
   std::unordered_map<TimeTag, WmeMeta> wme_meta_;
   Token root_;
   size_t live_tokens_ = 0;
+  ReteOptions options_;
+  ReteStats stats_;
 };
 
 }  // namespace sorel

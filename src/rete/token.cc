@@ -1,5 +1,7 @@
 #include "rete/token.h"
 
+#include <algorithm>
+
 namespace sorel {
 
 const Wme* WmeAt(const Token* t, int pos) {
@@ -29,6 +31,31 @@ void TokenRow(const Token* t, Row* out) {
     if (cur->wme == nullptr) continue;
     (*out)[static_cast<size_t>(i--)] = cur->wme;
   }
+}
+
+size_t JoinKeyHash::operator()(const JoinKey& key) const {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (const Value& v : key.values) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+void TokenIndex::Insert(const JoinKey& key, Token* t) {
+  buckets_[key].push_back(t);
+}
+
+void TokenIndex::Remove(const JoinKey& key, Token* t) {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  auto& bucket = it->second;
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), t), bucket.end());
+  if (bucket.empty()) buckets_.erase(it);
+}
+
+const std::vector<Token*>* TokenIndex::Find(const JoinKey& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? nullptr : &it->second;
 }
 
 }  // namespace sorel

@@ -1,8 +1,10 @@
 #ifndef SOREL_RETE_TOKEN_H_
 #define SOREL_RETE_TOKEN_H_
 
+#include <unordered_map>
 #include <vector>
 
+#include "base/value.h"
 #include "rete/instantiation.h"
 #include "wm/wme.h"
 
@@ -31,6 +33,43 @@ const Wme* WmeAt(const Token* t, int pos);
 
 /// Fills `out` with the chain's WMEs indexed by token position.
 void TokenRow(const Token* t, Row* out);
+
+/// Composite key of an indexed equality join: the values (in join-test
+/// order) both sides must agree on. Equality and hashing follow `Value`
+/// semantics — numerically equal int/float compare and hash alike — which
+/// is exactly `EvalTestPred(kEq)`, so a bucket probe sees the same matches
+/// a linear scan would.
+struct JoinKey {
+  std::vector<Value> values;
+
+  friend bool operator==(const JoinKey& a, const JoinKey& b) {
+    if (a.values.size() != b.values.size()) return false;
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      if (!(a.values[i] == b.values[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& key) const;
+};
+
+/// Hash index over tokens keyed by `JoinKey`. Buckets preserve insertion
+/// order (and removal keeps the remaining order), so iterating one bucket
+/// visits tokens in the same relative order a linear scan of the owning
+/// memory would — firing sequences stay identical to the unindexed path.
+class TokenIndex {
+ public:
+  void Insert(const JoinKey& key, Token* t);
+  void Remove(const JoinKey& key, Token* t);
+  /// The bucket for `key`, or nullptr if empty.
+  const std::vector<Token*>* Find(const JoinKey& key) const;
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<JoinKey, std::vector<Token*>, JoinKeyHash> buckets_;
+};
 
 }  // namespace sorel
 

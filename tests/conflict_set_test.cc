@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "rete/conflict_set.h"
 
 namespace sorel {
@@ -17,6 +21,12 @@ class FakeInst : public InstantiationRef {
   void CollectRows(std::vector<Row>* out) const override { out->emplace_back(); }
   std::vector<TimeTag> RecencyTags() const override { return tags_; }
   TimeTag FirstCeTag() const override { return first_ce_tag; }
+
+  /// Simulates a content change (an SOI gaining/losing members).
+  void set_tags(std::vector<TimeTag> tags) {
+    tags_ = std::move(tags);
+    std::sort(tags_.rbegin(), tags_.rend());
+  }
 
   TimeTag first_ce_tag = 0;
 
@@ -135,6 +145,134 @@ TEST_F(ConflictSetTest, DeterministicTieBreakPrefersNewerEntry) {
   cs_.Add(&a);
   cs_.Add(&b);
   EXPECT_EQ(cs_.Select(Strategy::kLex), &b);
+}
+
+TEST_F(ConflictSetTest, ReactivatedSoiGetsFreshSeq) {
+  // A fired SOI reinstated by a later change re-enters the conflict set as
+  // the *newer* arrival: it must win a dead-even tie against an entry that
+  // was added while it sat fired, not keep its original insertion rank.
+  FakeInst a(&plain_, {7}), b(&plain_, {7});
+  cs_.Add(&a);
+  cs_.MarkFired(&a, /*remove_entry=*/false);
+  cs_.Add(&b);
+  cs_.Touch(&a);  // γ-memory changed: a is eligible again
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &a);
+}
+
+TEST_F(ConflictSetTest, TouchOfEligibleEntryKeepsSeq) {
+  // Touching an entry that never fired refreshes its keys but not its
+  // tie-break rank; the later arrival still wins.
+  FakeInst a(&plain_, {7}), b(&plain_, {7});
+  cs_.Add(&a);
+  cs_.Add(&b);
+  cs_.Touch(&a);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &b);
+}
+
+TEST_F(ConflictSetTest, TouchRepositionsAfterContentChange) {
+  FakeInst a(&plain_, {1}), b(&plain_, {5});
+  cs_.Add(&a);
+  cs_.Add(&b);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &b);
+  a.set_tags({9});
+  cs_.Touch(&a);  // every content change reaches the set as Add/Touch
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &a);
+}
+
+TEST_F(ConflictSetTest, RemoveAfterUnreportedChangeIsSafe) {
+  // Removal must locate the entry under the keys it was *filed* under even
+  // if the live instantiation changed in between (the S-node removes SOIs
+  // after mutating them).
+  FakeInst a(&plain_, {1}), b(&plain_, {5});
+  cs_.Add(&a);
+  cs_.Add(&b);
+  a.set_tags({9});  // no Touch
+  cs_.Remove(&a);
+  EXPECT_EQ(cs_.size(), 1u);
+  EXPECT_EQ(cs_.Select(Strategy::kLex), &b);
+}
+
+TEST_F(ConflictSetTest, SelectCountsStats) {
+  FakeInst a(&plain_, {1});
+  cs_.Add(&a);
+  EXPECT_EQ(cs_.stats().selects, 0u);
+  cs_.Select(Strategy::kLex);
+  cs_.Select(Strategy::kMea);
+  EXPECT_EQ(cs_.stats().selects, 2u);
+  EXPECT_GT(cs_.stats().comparisons + 1, 0u);  // counter wired up
+  cs_.ResetStats();
+  EXPECT_EQ(cs_.stats().selects, 0u);
+}
+
+/// Drives an indexed and a linear conflict set through the same script and
+/// checks every observable agrees.
+TEST(ConflictSetEquivalenceTest, IndexedMatchesLinearScan) {
+  CompiledRule plain, specific;
+  plain.specificity = 1;
+  specific.specificity = 5;
+  ConflictSet indexed(/*use_index=*/true);
+  ConflictSet linear(/*use_index=*/false);
+  ASSERT_TRUE(indexed.use_index());
+  ASSERT_FALSE(linear.use_index());
+
+  std::vector<std::unique_ptr<FakeInst>> ia, la;
+  auto make = [&](const CompiledRule* rule, std::vector<TimeTag> tags,
+                  TimeTag first_ce) {
+    ia.push_back(std::make_unique<FakeInst>(rule, tags));
+    ia.back()->first_ce_tag = first_ce;
+    la.push_back(std::make_unique<FakeInst>(rule, std::move(tags)));
+    la.back()->first_ce_tag = first_ce;
+    indexed.Add(ia.back().get());
+    linear.Add(la.back().get());
+    return ia.size() - 1;
+  };
+  auto expect_agree = [&](const char* what) {
+    SCOPED_TRACE(what);
+    ASSERT_EQ(indexed.size(), linear.size());
+    ASSERT_EQ(indexed.EligibleCount(), linear.EligibleCount());
+    for (Strategy s : {Strategy::kLex, Strategy::kMea}) {
+      // Compare by script position: the two sets hold twin objects.
+      std::vector<InstantiationRef*> ie = indexed.SortedEligible(s);
+      std::vector<InstantiationRef*> le = linear.SortedEligible(s);
+      ASSERT_EQ(ie.size(), le.size());
+      for (size_t i = 0; i < ie.size(); ++i) {
+        size_t ipos = 0, lpos = 0;
+        while (ia[ipos].get() != ie[i]) ++ipos;
+        while (la[lpos].get() != le[i]) ++lpos;
+        EXPECT_EQ(ipos, lpos) << "rank " << i;
+      }
+      if (ie.empty()) {
+        EXPECT_EQ(indexed.Select(s), nullptr);
+        EXPECT_EQ(linear.Select(s), nullptr);
+      } else {
+        EXPECT_EQ(indexed.Select(s), ie.front());
+        EXPECT_EQ(linear.Select(s), le.front());
+      }
+    }
+  };
+
+  make(&plain, {3, 1}, 1);
+  make(&specific, {3, 1}, 3);
+  make(&plain, {7, 2}, 2);
+  make(&plain, {7, 2}, 7);
+  expect_agree("after adds");
+
+  size_t soi = make(&specific, {5}, 5);
+  indexed.MarkFired(ia[soi].get(), /*remove_entry=*/false);
+  linear.MarkFired(la[soi].get(), /*remove_entry=*/false);
+  expect_agree("after fired-keep");
+
+  ia[soi]->set_tags({8, 5});
+  la[soi]->set_tags({8, 5});
+  indexed.Touch(ia[soi].get());
+  linear.Touch(la[soi].get());
+  expect_agree("after reactivation with new content");
+
+  indexed.MarkFired(ia[0].get(), /*remove_entry=*/true);
+  linear.MarkFired(la[0].get(), /*remove_entry=*/true);
+  indexed.Remove(ia[2].get());
+  linear.Remove(la[2].get());
+  expect_agree("after removals");
 }
 
 }  // namespace

@@ -101,5 +101,55 @@ TEST(ErrorsTest, StatusToStringFormats) {
   EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
 }
 
+// Match-time errors happen inside WM-change callbacks, which have no Status
+// channel; the engine must surface the stashed error from Run instead of
+// silently freezing the affected instantiations.
+
+TEST(ErrorsTest, SNodeTestErrorSurfacesFromRun) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  ASSERT_TRUE(engine
+                  .LoadString(std::string(kPlayerSchema) +
+                              "(p pair { [player ^name <n>] <P> }"
+                              " :test ((sum <n>) > 5) --> (write fire))")
+                  .ok());
+  // sum over a symbol domain: runtime type error inside the S-node.
+  ASSERT_TRUE(engine.MakeWme("player", {{"name", engine.Sym("alice")}}).ok());
+  auto r = engine.Run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("sum"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ErrorsTest, DipsCondTableErrorSurfacesFromRun) {
+  EngineOptions options;
+  options.matcher = MatcherKind::kDips;
+  Engine engine(options);
+  std::ostringstream out;
+  engine.set_output(&out);
+  ASSERT_TRUE(engine
+                  .LoadString(std::string(kPlayerSchema) +
+                              "(p pair { [player ^name <n>] <P> }"
+                              " :test ((sum <n>) > 5) --> (write fire))")
+                  .ok());
+  ASSERT_TRUE(engine.MakeWme("player", {{"name", engine.Sym("alice")}}).ok());
+  auto r = engine.Run();
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(ErrorsTest, RunParallelSurfacesMatchErrors) {
+  Engine engine;
+  std::ostringstream out;
+  engine.set_output(&out);
+  ASSERT_TRUE(engine
+                  .LoadString(std::string(kPlayerSchema) +
+                              "(p pair { [player ^name <n>] <P> }"
+                              " :test ((sum <n>) > 5) --> (write fire))")
+                  .ok());
+  ASSERT_TRUE(engine.MakeWme("player", {{"name", engine.Sym("alice")}}).ok());
+  EXPECT_FALSE(engine.RunParallel().ok());
+}
+
 }  // namespace
 }  // namespace sorel

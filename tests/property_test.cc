@@ -236,6 +236,44 @@ TEST_P(MatcherEquivalence, RunsReachSameQuiescentWorkingMemory) {
   }
 }
 
+TEST_P(MatcherEquivalence, IndexedAndLinearMatchersFireIdentically) {
+  // The indexed join/select paths must be *sequence*-preserving, not just
+  // set-preserving: same conflict sets after every op and the same firing
+  // order (rule + recency tags) whenever the engine runs.
+  std::ostringstream indexed_trace, linear_trace;
+  EngineOptions indexed_opts, linear_opts;
+  indexed_opts.trace_firings = true;
+  linear_opts.trace_firings = true;
+  linear_opts.rete.use_indexed_joins = false;
+  linear_opts.indexed_conflict_set = false;
+  Engine indexed(indexed_opts), linear(linear_opts);
+  indexed.set_output(&indexed_trace);
+  linear.set_output(&linear_trace);
+  for (Engine* e : {&indexed, &linear}) {
+    MustLoad(*e, std::string(kSchema) + kRegularRules + kSetRules);
+  }
+  Rng rng(static_cast<unsigned>(GetParam()) + 4000u);
+  Driver driver({&indexed, &linear});
+  for (int step = 0; step < 60; ++step) {
+    driver.RandomOp(rng);
+    ASSERT_EQ(Fingerprint(indexed), Fingerprint(linear)) << "step " << step;
+    if (step % 5 == 4) {
+      int fired_indexed = MustRun(indexed, 3);
+      int fired_linear = MustRun(linear, 3);
+      ASSERT_EQ(fired_indexed, fired_linear) << "step " << step;
+      ASSERT_EQ(indexed_trace.str(), linear_trace.str()) << "step " << step;
+    }
+  }
+  driver.RemoveAll();
+  EXPECT_EQ(Fingerprint(indexed).size(), 0u);
+  EXPECT_EQ(Fingerprint(linear).size(), 0u);
+  EXPECT_EQ(indexed.rete_matcher()->live_tokens(), 0u);
+  EXPECT_EQ(linear.rete_matcher()->live_tokens(), 0u);
+  // The ablation really took: only the default engine probed indexes.
+  EXPECT_GT(indexed.rete_matcher()->stats().index_probes, 0u);
+  EXPECT_EQ(linear.rete_matcher()->stats().index_probes, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MatcherEquivalence, ::testing::Range(0, 10));
 
 }  // namespace
