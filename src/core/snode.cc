@@ -106,6 +106,7 @@ Soi* SNode::FindOrNull(const SoiKey& key) {
 }
 
 bool SNode::EvalTest(const Soi& soi) {
+  ++stats_.test_evals;
   if (rule_->ast.test == nullptr) return true;
   SoiTestContext ctx(soi);
   Result<Value> result = EvalExpr(*rule_->ast.test, ctx);
@@ -141,6 +142,7 @@ void SNode::OnToken(Token* token, bool added) {
     Soi::Member member{token, row, RowRecency(row)};
     if (soi == nullptr) {
       auto fresh = std::make_unique<Soi>(rule_);
+      fresh->key_ = key;
       for (const AggregateSpec& spec : rule_->test_aggregates) {
         fresh->aggs_.emplace_back(spec.op);
       }
@@ -176,6 +178,30 @@ void SNode::OnToken(Token* token, bool added) {
   }
   ++soi->mutation_;
 
+  if (in_batch_) {
+    // Batch mode: maintain membership and aggregates only; the test and
+    // the flow decision run once per touched SOI in OnBatchEnd. The
+    // aggregate update is unconditional (even when the SOI just emptied):
+    // the SOI object survives until flush and may be refilled by a later
+    // change in the same batch, so its AV entries must stay in sync.
+    if (!options_.recompute_aggregates) {
+      for (size_t i = 0; i < soi->aggs_.size(); ++i) {
+        Value v = AggInputValue(rule_->test_aggregates[i], row);
+        if (added) {
+          soi->aggs_[i].Insert(v);
+        } else {
+          soi->aggs_[i].Remove(v);
+        }
+      }
+    }
+    if (!soi->batch_touched_) {
+      soi->batch_touched_ = true;
+      touched_.push_back(soi);
+    }
+    if (chg != Chg::kSameTime) soi->batch_head_changed_ = true;
+    return;
+  }
+
   // --- Stage 2: update the aggregates and re-evaluate the test. ---
   if (chg != Chg::kDelete) {
     if (options_.recompute_aggregates) {
@@ -207,8 +233,9 @@ void SNode::OnToken(Token* token, bool added) {
         cs_->Remove(soi);
         ++stats_.sends_minus;
       }
-      // Re-derive the key (the insertion path moved `key` into the map).
-      SoiKey dead = MakeSoiKey(*rule_, row);
+      // (The stored key outlives the member rows; copy before erasing —
+      // the erase destroys the Soi that owns it.)
+      SoiKey dead = soi->key_;
       gamma_.erase(dead);
       ++stats_.sois_deleted;
       break;
@@ -245,6 +272,52 @@ void SNode::OnToken(Token* token, bool added) {
       }
       break;
   }
+}
+
+void SNode::OnBatchBegin() {
+  in_batch_ = true;
+  touched_.clear();
+}
+
+void SNode::OnBatchEnd() {
+  in_batch_ = false;
+  ++stats_.batch_flushes;
+  // Flush in first-touch order: the order per-WME delivery would have
+  // reached each SOI's first conflict-set decision.
+  for (Soi* soi : touched_) {
+    soi->batch_touched_ = false;
+    bool head_changed = soi->batch_head_changed_;
+    soi->batch_head_changed_ = false;
+    if (soi->members_.empty()) {
+      if (soi->active_) {
+        cs_->Remove(soi);
+        ++stats_.sends_minus;
+      }
+      SoiKey dead = soi->key_;
+      gamma_.erase(dead);
+      ++stats_.sois_deleted;
+      continue;
+    }
+    if (options_.recompute_aggregates) RebuildAggregates(soi);
+    if (EvalTest(*soi)) {
+      if (soi->active_) {
+        // Touch regardless of head movement: any membership change restores
+        // §6 eligibility. `time` sends are only counted when the head (and
+        // therefore the conflict-set position) actually moved.
+        cs_->Touch(soi);
+        if (head_changed) ++stats_.sends_time;
+      } else {
+        soi->active_ = true;
+        cs_->Add(soi);
+        ++stats_.sends_plus;
+      }
+    } else if (soi->active_) {
+      soi->active_ = false;
+      cs_->Remove(soi);
+      ++stats_.sends_minus;
+    }
+  }
+  touched_.clear();
 }
 
 std::vector<const Soi*> SNode::sois() const {

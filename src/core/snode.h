@@ -61,10 +61,17 @@ class Soi : public InstantiationRef {
   friend class SNode;
 
   const CompiledRule* rule_;
+  /// The γ-memory key this SOI is filed under (kept so deletion — possibly
+  /// at batch end, long after the last member row is gone — needs no
+  /// re-derivation).
+  SoiKey key_;
   std::vector<Member> members_;
   std::vector<AggState> aggs_;
   bool active_ = false;
   uint64_t mutation_ = 0;
+  // --- batch-mode bookkeeping (meaningful only between OnBatchBegin/End) ---
+  bool batch_touched_ = false;
+  bool batch_head_changed_ = false;
 };
 
 /// The paper's S-node (Figure 3): placed after the last test node of a
@@ -81,6 +88,12 @@ class SNode : public ReteSink {
     uint64_t sends_time = 0;
     uint64_t sois_created = 0;
     uint64_t sois_deleted = 0;
+    /// `:test` expression evaluations. Per-WME mode pays one per member
+    /// token; batch mode pays one per *touched SOI* per batch — the O(1)
+    /// evaluations-per-set-action the ISSUE acceptance criterion names.
+    uint64_t test_evals = 0;
+    /// OnBatchEnd flushes performed.
+    uint64_t batch_flushes = 0;
   };
 
   SNode(const CompiledRule* rule, ConflictSet* cs, SNodeOptions options = {});
@@ -90,6 +103,13 @@ class SNode : public ReteSink {
   SNode& operator=(const SNode&) = delete;
 
   void OnToken(Token* token, bool added) override;
+  /// Batch mode: between Begin and End, OnToken only maintains γ-memory
+  /// membership and (incremental) aggregates; `:test` evaluation and the
+  /// flow decision are deferred to End — one evaluation and at most one
+  /// conflict-set send per touched SOI, however many member tokens the
+  /// batch carried.
+  void OnBatchBegin() override;
+  void OnBatchEnd() override;
 
   /// Candidate SOIs currently in the γ-memory (active and inactive).
   size_t num_sois() const { return gamma_.size(); }
@@ -98,6 +118,7 @@ class SNode : public ReteSink {
   /// First `:test` evaluation error, if any (treated as test failure).
   const Status& last_error() const { return last_error_; }
   const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
 
  private:
   Soi* FindOrNull(const SoiKey& key);
@@ -111,6 +132,9 @@ class SNode : public ReteSink {
   std::unordered_map<SoiKey, std::unique_ptr<Soi>, SoiKeyHash> gamma_;
   Status last_error_;
   Stats stats_;
+  bool in_batch_ = false;
+  /// SOIs touched this batch, first-touch order (flush order).
+  std::vector<Soi*> touched_;
 };
 
 }  // namespace sorel

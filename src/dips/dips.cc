@@ -165,6 +165,31 @@ void DipsMatcher::OnRemove(const WmePtr& wme) {
   }
 }
 
+void DipsMatcher::OnBatch(const ChangeBatch& batch) {
+  ++stats_.batches;
+  std::vector<RuleState*> touched;
+  for (const auto& rs : rules_) {
+    bool changed = false;
+    for (const WmChange& c : batch.changes) {
+      for (CondTable& table : rs->tables) {
+        if (!table.Accepts(*c.wme)) continue;
+        if (c.added) {
+          Status s = table.Insert(*c.wme);
+          if (!s.ok() && last_error_.ok()) last_error_ = s;
+        } else {
+          table.RemoveTag(c.wme->time_tag());
+        }
+        changed = true;
+      }
+    }
+    if (changed) touched.push_back(rs.get());
+  }
+  for (RuleState* rs : touched) {
+    Status s = Refresh(rs);
+    if (!s.ok() && last_error_.ok()) last_error_ = s;
+  }
+}
+
 Result<rdb::Relation> DipsMatcher::ComputeMatch(const RuleState& rs) const {
   const CompiledRule& rule = *rs.rule;
   rdb::Relation acc = rs.tables[0].relation();
@@ -284,6 +309,7 @@ Result<Row> DipsMatcher::RowFromTuple(const RuleState& rs,
 }
 
 Status DipsMatcher::Refresh(RuleState* rs) {
+  ++stats_.refreshes;
   SOREL_ASSIGN_OR_RETURN(rdb::Relation match, ComputeMatch(*rs));
   if (rs->rule->has_set) return RefreshSet(rs, match);
   return RefreshRegular(rs, match);

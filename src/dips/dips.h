@@ -1,6 +1,7 @@
 #ifndef SOREL_DIPS_DIPS_H_
 #define SOREL_DIPS_DIPS_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,14 @@ namespace dips {
 /// this is the paper's §8.2 contribution.
 class DipsMatcher : public Matcher {
  public:
+  struct Stats {
+    /// Match-relation recomputations (the dominant per-change cost).
+    uint64_t refreshes = 0;
+    /// ChangeBatch deliveries handled natively (one Refresh per touched
+    /// rule per batch, however many changes the batch carried).
+    uint64_t batches = 0;
+  };
+
   DipsMatcher(WorkingMemory* wm, ConflictSet* cs);
   ~DipsMatcher() override;
 
@@ -43,6 +52,13 @@ class DipsMatcher : public Matcher {
 
   void OnAdd(const WmePtr& wme) override;
   void OnRemove(const WmePtr& wme) override;
+  /// Native batched propagation: applies every change to the COND tables
+  /// first, then recomputes each touched rule's match relation once —
+  /// DIPS's query-per-change becomes query-per-transaction (§8.1). Note
+  /// the coalescing is observable in one corner: an SOI whose membership
+  /// changes and reverts within the same transaction diffs as unchanged
+  /// and is not re-marked eligible.
+  void OnBatch(const ChangeBatch& batch) override;
 
   /// The rule's full match relation: tag columns `t<pos>` per positive CE
   /// plus one column per pattern variable.
@@ -60,6 +76,8 @@ class DipsMatcher : public Matcher {
 
   /// First internal error hit inside a WM-change callback, if any.
   const Status& last_error() const { return last_error_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
 
  private:
   class DipsInst;
@@ -96,6 +114,7 @@ class DipsMatcher : public Matcher {
   ConflictSet* cs_;
   std::vector<std::unique_ptr<RuleState>> rules_;
   Status last_error_;
+  Stats stats_;
 };
 
 }  // namespace dips

@@ -49,12 +49,15 @@ Engine::Engine(EngineOptions options)
     rete_ = rete.get();
     matcher_ = std::move(rete);
   } else if (options_.matcher == MatcherKind::kTreat) {
-    matcher_ = std::make_unique<TreatMatcher>(wm_.get(), &cs_);
+    auto treat = std::make_unique<TreatMatcher>(wm_.get(), &cs_);
+    treat_ = treat.get();
+    matcher_ = std::move(treat);
   } else {
     auto dips = std::make_unique<dips::DipsMatcher>(wm_.get(), &cs_);
     dips_ = dips.get();
     matcher_ = std::move(dips);
   }
+  rhs_.set_transactional(options_.batched_wm);
   startup_context_.name = "startup";
   if (options_.trace_wm) {
     tracer_ = std::make_unique<WmTracer>(this);
@@ -148,15 +151,28 @@ Result<TimeTag> Engine::ModifyWme(
     }
     fields[static_cast<size_t>(field)] = value;
   }
-  SOREL_RETURN_IF_ERROR(wm_->Remove(tag));
-  SOREL_ASSIGN_OR_RETURN(WmePtr wme,
-                         wm_->MakeFromFields(old->cls(), std::move(fields)));
-  return wme->time_tag();
+  // One transaction when batching: the matchers see the modify as a single
+  // delta-pair batch instead of a free-standing remove + add.
+  if (options_.batched_wm) wm_->Begin();
+  Result<WmePtr> wme = wm_->Replace(tag, std::move(fields));
+  if (options_.batched_wm) {
+    if (wme.ok()) {
+      SOREL_RETURN_IF_ERROR(wm_->Commit());
+    } else {
+      wm_->Rollback();
+    }
+  }
+  SOREL_RETURN_IF_ERROR(wme.status());
+  return (*wme)->time_tag();
 }
 
 namespace {
 
 // Quotes a symbol if it contains delimiter characters or looks numeric.
+// The lexer accepts both |...| and "..." quoted atoms (no escapes), so a
+// symbol containing '|' is emitted in double quotes and vice versa. A
+// symbol containing both delimiters is unrepresentable in the source
+// syntax and cannot round-trip.
 std::string QuoteAtom(std::string_view text) {
   bool needs_quote = text.empty();
   for (char c : text) {
@@ -171,7 +187,8 @@ std::string QuoteAtom(std::string_view text) {
     needs_quote = true;
   }
   if (!needs_quote) return std::string(text);
-  return "|" + std::string(text) + "|";
+  char delim = text.find('|') != std::string_view::npos ? '"' : '|';
+  return delim + std::string(text) + delim;
 }
 
 }  // namespace
@@ -236,7 +253,30 @@ Engine::MatchStats Engine::match_stats() const {
   MatchStats stats;
   if (rete_ != nullptr) stats.rete = rete_->stats();
   stats.select = cs_.stats();
+  for (const auto& [name, snode] : snodes_) {
+    const SNode::Stats& s = snode->stats();
+    stats.snode.tokens += s.tokens;
+    stats.snode.sends_plus += s.sends_plus;
+    stats.snode.sends_minus += s.sends_minus;
+    stats.snode.sends_time += s.sends_time;
+    stats.snode.sois_created += s.sois_created;
+    stats.snode.sois_deleted += s.sois_deleted;
+    stats.snode.test_evals += s.test_evals;
+    stats.snode.batch_flushes += s.batch_flushes;
+  }
+  if (treat_ != nullptr) stats.treat = treat_->stats();
+  if (dips_ != nullptr) stats.dips = dips_->stats();
+  stats.wm = wm_->stats();
   return stats;
+}
+
+void Engine::ResetMatchStats() {
+  if (rete_ != nullptr) rete_->ResetStats();
+  cs_.ResetStats();
+  for (const auto& [name, snode] : snodes_) snode->ResetStats();
+  if (treat_ != nullptr) treat_->ResetStats();
+  if (dips_ != nullptr) dips_->ResetStats();
+  wm_->ResetStats();
 }
 
 Result<int> Engine::Run(int max_firings) {
@@ -314,18 +354,26 @@ Result<int> Engine::RunParallel(int max_cycles) {
       cs_.MarkFired(inst, /*remove_entry=*/!inst->rule().has_set);
       batch.push_back({&inst->rule(), std::move(rows)});
     }
-    // Execute the batch. All members were snapshotted against the same WM
-    // state; disjoint support keeps their effects independent.
+    // Execute the batch inside one cycle-level transaction: all members
+    // were snapshotted against the same WM state, disjoint support keeps
+    // their effects independent, and the matchers see the cycle's combined
+    // effect as a single ChangeBatch at commit. An error aborts the whole
+    // cycle (§8.1's transaction semantics).
+    if (options_.batched_wm) wm_->Begin();
     for (Pending& pending : batch) {
-      SOREL_ASSIGN_OR_RETURN(RhsExecutor::FireResult result,
-                             rhs_.Fire(*pending.rule,
-                                       std::move(pending.rows)));
+      Result<RhsExecutor::FireResult> result =
+          rhs_.Fire(*pending.rule, std::move(pending.rows));
+      if (!result.ok()) {
+        if (options_.batched_wm) wm_->Rollback();
+        return result.status();
+      }
       ++run_stats_.firings;
       ++parallel_stats_.firings;
-      run_stats_.actions += result.actions;
+      run_stats_.actions += result->actions;
       ++run_stats_.firings_by_rule[pending.rule->name];
-      if (result.halted) halted_ = true;
+      if (result->halted) halted_ = true;
     }
+    if (options_.batched_wm) SOREL_RETURN_IF_ERROR(wm_->Commit());
     ++cycles;
     ++parallel_stats_.cycles;
     parallel_stats_.largest_batch =

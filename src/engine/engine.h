@@ -12,20 +12,18 @@
 #include "base/symbol_table.h"
 #include "base/value.h"
 #include "core/snode.h"
+#include "dips/dips.h"
 #include "engine/rhs.h"
 #include "lang/compiled_rule.h"
 #include "lang/compiler.h"
 #include "rete/conflict_set.h"
 #include "rete/matcher.h"
 #include "rete/network.h"
+#include "treat/treat.h"
 #include "wm/schema.h"
 #include "wm/working_memory.h"
 
 namespace sorel {
-
-namespace dips {
-class DipsMatcher;
-}  // namespace dips
 
 /// Which match algorithm drives the engine.
 enum class MatcherKind {
@@ -48,6 +46,14 @@ struct EngineOptions {
   /// Serve conflict-set selection from the ordered index; off falls back
   /// to the linear scan (ablation baseline).
   bool indexed_conflict_set = true;
+  /// Run each firing (and each WM-mutating RHS action) inside a WM
+  /// transaction: the firing's changes reach the matchers as one
+  /// ChangeBatch at commit, each matcher propagates them natively (the
+  /// S-node evaluates `:test` once per touched SOI, TREAT coalesces
+  /// unblocking re-searches, DIPS refreshes once per rule), and an error
+  /// mid-action rolls the whole firing back (§8.1). Off restores the
+  /// seed's per-WME propagation — the ablation baseline.
+  bool batched_wm = true;
 };
 
 /// The sorel production-system engine: an OPS5 interpreter extended with
@@ -68,6 +74,12 @@ class Engine {
   struct MatchStats {
     ReteStats rete;
     ConflictSet::Stats select;
+    /// Aggregated over every S-node (kRete with set-oriented rules).
+    SNode::Stats snode;
+    TreatMatcher::Stats treat;
+    dips::DipsMatcher::Stats dips;
+    /// Propagation-boundary counters (direct events vs. batches).
+    WorkingMemory::Stats wm;
   };
 
   struct RunStats {
@@ -159,6 +171,9 @@ class Engine {
   const RhsExecutor::Stats& rhs_stats() const { return rhs_.stats(); }
   /// Live matcher + conflict-set counters (see MatchStats).
   MatchStats match_stats() const;
+  /// Zeroes every MatchStats source (e.g. to isolate a measured phase from
+  /// its setup in benchmarks).
+  void ResetMatchStats();
 
  private:
   /// First error a match-network callback swallowed (S-node `:test`
@@ -179,6 +194,7 @@ class Engine {
   std::vector<CompiledRulePtr> rules_;
   std::unique_ptr<Matcher> matcher_;
   ReteMatcher* rete_ = nullptr;  // borrowed view of matcher_ when Rete
+  TreatMatcher* treat_ = nullptr;  // borrowed view when TREAT
   dips::DipsMatcher* dips_ = nullptr;  // borrowed view when DIPS
   RuleCompiler compiler_;
   RhsExecutor rhs_;

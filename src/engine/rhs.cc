@@ -132,11 +132,23 @@ class RhsExecutor::RhsEvalContext : public EvalContext {
   const ExecState* state_;
 };
 
+Status RhsExecutor::RunInTransaction(const std::function<Status()>& body) {
+  if (!transactional_) return body();
+  wm_->Begin();
+  Status s = body();
+  if (s.ok()) return wm_->Commit();
+  wm_->Rollback();
+  return s;
+}
+
 Result<RhsExecutor::FireResult> RhsExecutor::Fire(const CompiledRule& rule,
                                                   std::vector<Row> rows) {
   ExecState state(rule, std::move(rows));
   uint64_t actions_before = stats_.actions;
-  SOREL_RETURN_IF_ERROR(ExecuteList(rule.ast.actions, &state));
+  // The whole firing is one transaction: its changes reach the matchers as
+  // a single ChangeBatch, and an error anywhere undoes all of them.
+  SOREL_RETURN_IF_ERROR(
+      RunInTransaction([&] { return ExecuteList(rule.ast.actions, &state); }));
   ++stats_.firings;
   FireResult result;
   result.halted = state.halted;
@@ -148,7 +160,8 @@ Result<RhsExecutor::FireResult> RhsExecutor::ExecuteStandalone(
     const CompiledRule& context, const std::vector<ActionPtr>& actions) {
   ExecState state(context, {});
   uint64_t actions_before = stats_.actions;
-  SOREL_RETURN_IF_ERROR(ExecuteList(actions, &state));
+  SOREL_RETURN_IF_ERROR(
+      RunInTransaction([&] { return ExecuteList(actions, &state); }));
   FireResult result;
   result.halted = state.halted;
   result.actions = stats_.actions - actions_before;
@@ -166,16 +179,21 @@ Status RhsExecutor::ExecuteList(const std::vector<ActionPtr>& actions,
 
 Status RhsExecutor::Execute(const Action& action, ExecState* state) {
   switch (action.kind) {
+    // WM-mutating actions each get a nested sub-transaction: a multi-WME
+    // action (set-modify over N members, or a modify whose expression
+    // errors after the remove half) is all-or-nothing on its own.
     case Action::Kind::kMake:
       ++stats_.actions;
-      return DoMake(action, state);
+      return RunInTransaction([&] { return DoMake(action, state); });
     case Action::Kind::kModify:
     case Action::Kind::kRemove:
       ++stats_.actions;
-      return DoModifyOrRemove(action, state);
+      return RunInTransaction(
+          [&] { return DoModifyOrRemove(action, state); });
     case Action::Kind::kSetModify:
     case Action::Kind::kSetRemove:
-      return DoSetModifyOrRemove(action, state);
+      return RunInTransaction(
+          [&] { return DoSetModifyOrRemove(action, state); });
     case Action::Kind::kWrite:
       ++stats_.actions;
       return DoWrite(action, state);
@@ -248,11 +266,12 @@ Status RhsExecutor::ModifyWme(const Wme& old, const Action& action,
     }
     fields[static_cast<size_t>(field)] = v;
   }
-  SOREL_RETURN_IF_ERROR(wm_->Remove(old.time_tag()));
-  ++stats_.wmes_removed;
+  // Replace stages the remove/re-make as a linked delta pair (one modify,
+  // not two unrelated events, when inside a transaction).
   SOREL_ASSIGN_OR_RETURN(WmePtr wme,
-                         wm_->MakeFromFields(old.cls(), std::move(fields)));
+                         wm_->Replace(old.time_tag(), std::move(fields)));
   (void)wme;
+  ++stats_.wmes_removed;
   ++stats_.wmes_made;
   return Status::Ok();
 }

@@ -2,6 +2,7 @@
 #define SOREL_ENGINE_RHS_H_
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 
 #include "base/status.h"
@@ -19,8 +20,15 @@ namespace sorel {
 ///
 /// The rows are a snapshot taken at selection time, so actions that change
 /// the instantiation's own support (e.g. SwitchTeams' set-modify) are
-/// well-defined. WM mutations propagate through the matcher immediately,
-/// as in OPS5.
+/// well-defined.
+///
+/// In transactional mode (EngineOptions::batched_wm) each firing runs
+/// inside a WM transaction, with every WM-mutating action in a nested
+/// sub-transaction: an action that errors on its k-th member leaves no
+/// partial effect, the whole firing's changes reach the matchers as one
+/// ChangeBatch at commit, and an error rolls the entire firing back —
+/// §8.1's all-or-nothing transaction semantics. Non-transactional mode
+/// propagates each mutation immediately, as in OPS5.
 class RhsExecutor {
  public:
   struct FireResult {
@@ -50,6 +58,9 @@ class RhsExecutor {
                                        const std::vector<ActionPtr>& actions);
 
   void set_output(std::ostream* out) { out_ = out; }
+  /// Enables per-firing / per-action WM transactions (see class comment).
+  void set_transactional(bool on) { transactional_ = on; }
+  bool transactional() const { return transactional_; }
   const Stats& stats() const { return stats_; }
 
  private:
@@ -58,6 +69,9 @@ class RhsExecutor {
 
   Status ExecuteList(const std::vector<ActionPtr>& actions, ExecState* state);
   Status Execute(const Action& action, ExecState* state);
+  /// Runs `body` inside a (possibly nested) WM transaction when
+  /// transactional mode is on; rolls back on error.
+  Status RunInTransaction(const std::function<Status()>& body);
   Status DoMake(const Action& action, ExecState* state);
   Status DoModifyOrRemove(const Action& action, ExecState* state);
   Status DoSetModifyOrRemove(const Action& action, ExecState* state);
@@ -70,6 +84,7 @@ class RhsExecutor {
   WorkingMemory* wm_;
   SymbolTable* symbols_;
   std::ostream* out_;
+  bool transactional_ = false;
   Stats stats_;
   // Write-action spacing persists across firings: a space precedes each
   // value unless at the start of an output line (after crlf).

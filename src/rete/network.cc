@@ -599,7 +599,7 @@ Status ReteMatcher::RemoveRule(const CompiledRule* rule) {
   return Status::Ok();
 }
 
-void ReteMatcher::OnAdd(const WmePtr& wme) {
+void ReteMatcher::ApplyAdd(const WmePtr& wme) {
   auto it = alphas_by_class_.find(wme->cls());
   if (it == alphas_by_class_.end()) return;
   for (const auto& am : it->second) {
@@ -610,12 +610,13 @@ void ReteMatcher::OnAdd(const WmePtr& wme) {
     // ordering that makes one WME matching several CEs of a rule produce
     // each combined token exactly once.
     for (size_t i = 0; i < am->successors_.size(); ++i) {
+      ++stats_.right_activations;
       am->successors_[i]->RightActivate(wme, /*added=*/true);
     }
   }
 }
 
-void ReteMatcher::OnRemove(const WmePtr& wme) {
+void ReteMatcher::ApplyRemove(const WmePtr& wme) {
   auto it = wme_meta_.find(wme->time_tag());
   if (it == wme_meta_.end()) return;
   // 1. Remove from alpha memories so joins no longer see it.
@@ -625,6 +626,7 @@ void ReteMatcher::OnRemove(const WmePtr& wme) {
   // 2. Unblock negative nodes (may propagate new tokens).
   for (AlphaMemory* am : it->second.amems) {
     for (size_t i = 0; i < am->successors_.size(); ++i) {
+      ++stats_.right_activations;
       am->successors_[i]->RightActivate(wme, /*added=*/false);
     }
   }
@@ -634,6 +636,77 @@ void ReteMatcher::OnRemove(const WmePtr& wme) {
   auto& tokens = it->second.tokens;
   while (!tokens.empty()) DeleteTokenTree(tokens.back());
   wme_meta_.erase(wme->time_tag());
+}
+
+void ReteMatcher::OnAdd(const WmePtr& wme) { ApplyAdd(wme); }
+
+void ReteMatcher::OnRemove(const WmePtr& wme) { ApplyRemove(wme); }
+
+void ReteMatcher::ApplyRemoveRun(const std::vector<WmChange>& changes,
+                                 size_t begin, size_t end) {
+  if (end - begin == 1) {
+    ApplyRemove(changes[begin].wme);
+    return;
+  }
+  // A grouped run pulls every WME out of its alpha memories before any
+  // token deletion, so joins re-seeded later in the batch never see a
+  // half-removed set. Safe only when no touched alpha feeds a negative
+  // node: negative successors react to removals (blocker counts) and the
+  // per-WME interleaving of unblocking vs. token deletion is observable
+  // in the sink's Touch sequence.
+  for (size_t i = begin; i < end; ++i) {
+    auto it = wme_meta_.find(changes[i].wme->time_tag());
+    if (it == wme_meta_.end()) continue;
+    for (AlphaMemory* am : it->second.amems) {
+      for (BetaNode* succ : am->successors_) {
+        if (succ->cond().negated) {
+          // The scan mutates nothing, so the fallback is a clean per-WME
+          // replay of the whole run.
+          for (size_t j = begin; j < end; ++j) ApplyRemove(changes[j].wme);
+          return;
+        }
+      }
+    }
+  }
+  // Phase 1: all alpha exits.
+  for (size_t i = begin; i < end; ++i) {
+    const WmePtr& wme = changes[i].wme;
+    auto it = wme_meta_.find(wme->time_tag());
+    if (it == wme_meta_.end()) continue;
+    for (AlphaMemory* am : it->second.amems) am->RemoveItem(wme);
+  }
+  // Phase 2: per-WME token-tree deletion, batch order. (No negative
+  // successors anywhere in the run, and JoinNode::RightActivate ignores
+  // removals, so the skipped right-activations are provably no-ops.)
+  for (size_t i = begin; i < end; ++i) FinishRemove(changes[i].wme);
+  ++stats_.grouped_removals;
+}
+
+void ReteMatcher::FinishRemove(const WmePtr& wme) {
+  auto it = wme_meta_.find(wme->time_tag());
+  if (it == wme_meta_.end()) return;
+  auto& tokens = it->second.tokens;
+  while (!tokens.empty()) DeleteTokenTree(tokens.back());
+  wme_meta_.erase(wme->time_tag());
+}
+
+void ReteMatcher::OnBatch(const ChangeBatch& batch) {
+  ++stats_.batches;
+  for (const auto& s : sinks_) s->OnBatchBegin();
+  const std::vector<WmChange>& changes = batch.changes;
+  size_t i = 0;
+  while (i < changes.size()) {
+    if (changes[i].added) {
+      ApplyAdd(changes[i].wme);
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < changes.size() && !changes[j].added) ++j;
+    ApplyRemoveRun(changes, i, j);
+    i = j;
+  }
+  for (const auto& s : sinks_) s->OnBatchEnd();
 }
 
 void ReteMatcher::DumpNetwork(std::ostream& out,

@@ -37,6 +37,13 @@ struct ReteStats {
   uint64_t index_probes = 0;
   uint64_t tokens_created = 0;
   uint64_t tokens_deleted = 0;
+  /// Right-activation calls into beta nodes (one per alpha successor per
+  /// propagated change — the per-change propagation cost).
+  uint64_t right_activations = 0;
+  /// ChangeBatch deliveries handled natively (batched_wm on).
+  uint64_t batches = 0;
+  /// Removal runs whose alpha exits were grouped (no negative successors).
+  uint64_t grouped_removals = 0;
 };
 
 /// Terminal consumer of a rule's tokens: a P-node for regular rules or an
@@ -46,6 +53,12 @@ class ReteSink {
   virtual ~ReteSink() = default;
   /// `added` follows the sign of the token (+/- in the paper's Figure 3).
   virtual void OnToken(Token* token, bool added) = 0;
+  /// Bracket a ChangeBatch: between Begin and End the sink may defer its
+  /// conflict-set decisions (the S-node defers γ-memory sends and `:test`
+  /// evaluation to End — one re-eval per touched SOI instead of one per
+  /// member token). Defaults are no-ops (P-nodes stay eager).
+  virtual void OnBatchBegin() {}
+  virtual void OnBatchEnd() {}
 };
 
 /// An alpha memory: the WMEs of one class passing one set of intra-WME
@@ -270,6 +283,12 @@ class ReteMatcher : public Matcher {
 
   void OnAdd(const WmePtr& wme) override;
   void OnRemove(const WmePtr& wme) override;
+  /// Native batched propagation: brackets every sink with
+  /// OnBatchBegin/OnBatchEnd, replays the changes in staging order (the
+  /// ordering per-WME listeners would see), and groups consecutive removals'
+  /// alpha-memory exits when no negative node is watching (a negative
+  /// successor needs the per-WME unblocking order to stay bit-identical).
+  void OnBatch(const ChangeBatch& batch) override;
 
   // --- token management (used by beta nodes) ---
   Token* NewToken(BetaNode* owner, Token* parent, WmePtr wme);
@@ -299,6 +318,17 @@ class ReteMatcher : public Matcher {
   };
 
   AlphaMemory* GetOrCreateAlpha(const CompiledCondition& cond);
+
+  /// Shared bodies of OnAdd/OnRemove (also used by the batched path).
+  void ApplyAdd(const WmePtr& wme);
+  void ApplyRemove(const WmePtr& wme);
+  /// Processes `changes[begin, end)` — a run of consecutive removals — with
+  /// the alpha-memory exits hoisted ahead of token deletion. Falls back to
+  /// per-WME ApplyRemove when a touched alpha has a negative successor.
+  void ApplyRemoveRun(const std::vector<WmChange>& changes, size_t begin,
+                      size_t end);
+  /// Token-tree deletion half of a removal (after the alpha exits).
+  void FinishRemove(const WmePtr& wme);
 
   /// Per-rule bookkeeping so RemoveRule can tear a chain down.
   struct RuleNodes {

@@ -62,6 +62,8 @@ struct TreatMatcher::RuleState {
   std::unordered_map<std::vector<TimeTag>, std::unique_ptr<TreatInst>,
                      TagVecHash>
       insts;
+  /// A negated-CE removal occurred this batch; run one SearchAll at end.
+  bool needs_research = false;
 };
 
 TreatMatcher::TreatMatcher(WorkingMemory* wm, ConflictSet* cs)
@@ -161,11 +163,13 @@ void TreatMatcher::EmitInst(RuleState* rs, const Row& row) {
 
 void TreatMatcher::SearchFromSeed(RuleState* rs, int seed_ce,
                                   const WmePtr& seed) {
+  ++stats_.seeded_searches;
   Row row(static_cast<size_t>(rs->rule->num_positive));
   ExtendRow(rs, 0, &row, seed_ce, seed);
 }
 
 void TreatMatcher::SearchAll(RuleState* rs) {
+  ++stats_.full_searches;
   Row row(static_cast<size_t>(rs->rule->num_positive));
   ExtendRow(rs, 0, &row, /*seed_ce=*/-1, /*seed=*/nullptr);
 }
@@ -188,7 +192,7 @@ void TreatMatcher::DropInstsContaining(RuleState* rs, const Wme& wme) {
   }
 }
 
-void TreatMatcher::OnAdd(const WmePtr& wme) {
+void TreatMatcher::ApplyAdd(const WmePtr& wme) {
   for (const auto& rs : rules_) {
     const auto& conditions = rs->rule->conditions;
     std::vector<size_t> matched_pos, matched_neg;
@@ -217,7 +221,7 @@ void TreatMatcher::OnAdd(const WmePtr& wme) {
   }
 }
 
-void TreatMatcher::OnRemove(const WmePtr& wme) {
+void TreatMatcher::ApplyRemove(const WmePtr& wme, bool defer_unblock) {
   for (const auto& rs : rules_) {
     bool touched_pos = false, touched_neg = false;
     for (size_t ce = 0; ce < rs->alpha.size(); ++ce) {
@@ -228,7 +232,36 @@ void TreatMatcher::OnRemove(const WmePtr& wme) {
       (rs->rule->conditions[ce].negated ? touched_neg : touched_pos) = true;
     }
     if (touched_pos) DropInstsContaining(rs.get(), *wme);
-    if (touched_neg) SearchAll(rs.get());  // unblocking re-search
+    if (touched_neg) {
+      if (defer_unblock) {
+        if (rs->needs_research) ++stats_.coalesced_researches;
+        rs->needs_research = true;
+      } else {
+        SearchAll(rs.get());  // unblocking re-search
+      }
+    }
+  }
+}
+
+void TreatMatcher::OnAdd(const WmePtr& wme) { ApplyAdd(wme); }
+
+void TreatMatcher::OnRemove(const WmePtr& wme) {
+  ApplyRemove(wme, /*defer_unblock=*/false);
+}
+
+void TreatMatcher::OnBatch(const ChangeBatch& batch) {
+  ++stats_.batches;
+  for (const WmChange& c : batch.changes) {
+    if (c.added) {
+      ApplyAdd(c.wme);
+    } else {
+      ApplyRemove(c.wme, /*defer_unblock=*/true);
+    }
+  }
+  for (const auto& rs : rules_) {
+    if (!rs->needs_research) continue;
+    rs->needs_research = false;
+    SearchAll(rs.get());
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef SOREL_TREAT_TREAT_H_
 #define SOREL_TREAT_TREAT_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -24,6 +25,17 @@ namespace sorel {
 /// what the paper's S-node extension addresses.
 class TreatMatcher : public Matcher {
  public:
+  struct Stats {
+    uint64_t seeded_searches = 0;
+    uint64_t full_searches = 0;
+    /// ChangeBatch deliveries handled natively.
+    uint64_t batches = 0;
+    /// Unblocking re-searches coalesced by batching (per-WME delivery would
+    /// have run one SearchAll per negated-CE removal; the batch runs one
+    /// per touched rule).
+    uint64_t coalesced_researches = 0;
+  };
+
   TreatMatcher(WorkingMemory* wm, ConflictSet* cs);
   ~TreatMatcher() override;
 
@@ -36,13 +48,26 @@ class TreatMatcher : public Matcher {
 
   void OnAdd(const WmePtr& wme) override;
   void OnRemove(const WmePtr& wme) override;
+  /// Native batched propagation: replays the changes in staging order so
+  /// seeded searches see exactly the per-WME alpha states, but defers the
+  /// negated-CE unblocking re-search to one SearchAll per touched rule at
+  /// batch end (final instantiation set is order-insensitive: every row the
+  /// intermediate re-searches could emit is either found by the final one
+  /// or was deleted by a later change anyway).
+  void OnBatch(const ChangeBatch& batch) override;
 
   size_t num_instantiations() const;
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
 
  private:
   class TreatInst;
   struct RuleState;
 
+  void ApplyAdd(const WmePtr& wme);
+  /// `defer_unblock`: flag the rule for a batch-end SearchAll instead of
+  /// re-searching immediately on a negated-CE removal.
+  void ApplyRemove(const WmePtr& wme, bool defer_unblock);
   void SearchFromSeed(RuleState* rs, int seed_ce, const WmePtr& seed);
   void SearchAll(RuleState* rs);
   void ExtendRow(RuleState* rs, size_t ce_index, Row* row, int seed_ce,
@@ -54,6 +79,7 @@ class TreatMatcher : public Matcher {
   WorkingMemory* wm_;
   ConflictSet* cs_;
   std::vector<std::unique_ptr<RuleState>> rules_;
+  Stats stats_;
 };
 
 }  // namespace sorel

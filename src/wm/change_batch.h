@@ -1,0 +1,41 @@
+#ifndef SOREL_WM_CHANGE_BATCH_H_
+#define SOREL_WM_CHANGE_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "wm/wme.h"
+
+namespace sorel {
+
+/// One staged working-memory change inside a transaction.
+struct WmChange {
+  WmePtr wme;
+  bool added;  // false: removal
+  /// For the two halves of a modify (remove + re-make delta pair): the time
+  /// tag of the paired WME (the new one on the removal, the old one on the
+  /// addition). 0 for a plain make/remove.
+  TimeTag modify_pair = 0;
+};
+
+/// The unit delivered to `WorkingMemory::Listener::OnBatch`: every change a
+/// transaction committed, in staging order. Removals and additions may
+/// interleave (a `set-modify` stages remove/add pairs per member); matchers
+/// that reorder internally must preserve the observable match state the
+/// in-order replay would produce.
+struct ChangeBatch {
+  std::vector<WmChange> changes;
+
+  bool empty() const { return changes.empty(); }
+  size_t size() const { return changes.size(); }
+  size_t num_adds() const {
+    size_t n = 0;
+    for (const WmChange& c : changes) n += c.added ? 1 : 0;
+    return n;
+  }
+  size_t num_removes() const { return changes.size() - num_adds(); }
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_WM_CHANGE_BATCH_H_

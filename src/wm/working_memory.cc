@@ -62,7 +62,7 @@ Result<WmePtr> WorkingMemory::MakeFromFields(SymbolId cls,
   }
   auto wme = std::make_shared<const Wme>(cls, std::move(fields), next_tag_++);
   live_.emplace(wme->time_tag(), wme);
-  for (Listener* l : listeners_) l->OnAdd(wme);
+  NotifyAdd(wme, /*modify_pair=*/0);
   return WmePtr(wme);
 }
 
@@ -74,8 +74,120 @@ Status WorkingMemory::Remove(TimeTag tag) {
   }
   WmePtr wme = it->second;
   live_.erase(it);
-  for (Listener* l : listeners_) l->OnRemove(wme);
+  NotifyRemove(wme, /*modify_pair=*/0);
   return Status::Ok();
+}
+
+Result<WmePtr> WorkingMemory::Replace(TimeTag tag, std::vector<Value> fields) {
+  auto it = live_.find(tag);
+  if (it == live_.end()) {
+    return Status::NotFound("modify: no live WME with time tag " +
+                            std::to_string(tag));
+  }
+  WmePtr old = it->second;
+  const ClassSchema* schema = schemas_->Find(old->cls());
+  if (static_cast<int>(fields.size()) != schema->num_fields()) {
+    return Status::InvalidArgument("modify: wrong field count for class '" +
+                                   std::string(symbols_->Name(old->cls())) +
+                                   "'");
+  }
+  auto wme =
+      std::make_shared<const Wme>(old->cls(), std::move(fields), next_tag_++);
+  live_.erase(it);
+  NotifyRemove(old, /*modify_pair=*/wme->time_tag());
+  live_.emplace(wme->time_tag(), wme);
+  NotifyAdd(wme, /*modify_pair=*/tag);
+  return WmePtr(wme);
+}
+
+void WorkingMemory::NotifyAdd(const WmePtr& wme, TimeTag modify_pair) {
+  ++stats_.adds;
+  if (InTransaction()) {
+    staged_.push_back({wme, /*added=*/true, modify_pair});
+    return;
+  }
+  ++stats_.direct_events;
+  for (Listener* l : listeners_) l->OnAdd(wme);
+}
+
+void WorkingMemory::NotifyRemove(const WmePtr& wme, TimeTag modify_pair) {
+  ++stats_.removes;
+  if (InTransaction()) {
+    // Staged even when the add is in the same transaction: the staged
+    // sequence doubles as the undo log, and a rollback to a savepoint
+    // between the add and this remove must restore the WME. Never-
+    // observable pairs are netted out at top-level commit instead.
+    staged_.push_back({wme, /*added=*/false, modify_pair});
+    return;
+  }
+  ++stats_.direct_events;
+  for (Listener* l : listeners_) l->OnRemove(wme);
+}
+
+void WorkingMemory::Begin() { savepoints_.push_back({staged_.size(), next_tag_}); }
+
+Status WorkingMemory::Commit() {
+  if (savepoints_.empty()) {
+    return Status::InvalidArgument("commit: no open transaction");
+  }
+  savepoints_.pop_back();
+  if (!savepoints_.empty()) return Status::Ok();  // nested: defer delivery
+  if (staged_.empty()) return Status::Ok();
+  ChangeBatch batch;
+  batch.changes.reserve(staged_.size());
+  // A WME both made and removed inside the transaction was never
+  // observable: net the pair out of the delivered batch.
+  std::vector<TimeTag> netted;
+  for (WmChange& c : staged_) {
+    if (!c.added) {
+      bool cancelled = false;
+      for (size_t i = batch.changes.size(); i-- > 0;) {
+        WmChange& add = batch.changes[i];
+        if (add.added && add.wme->time_tag() == c.wme->time_tag()) {
+          netted.push_back(add.wme->time_tag());
+          batch.changes.erase(batch.changes.begin() +
+                              static_cast<ptrdiff_t>(i));
+          cancelled = true;
+          break;
+        }
+      }
+      if (cancelled) continue;
+    }
+    batch.changes.push_back(std::move(c));
+  }
+  staged_.clear();
+  if (batch.changes.empty()) return Status::Ok();
+  // A netted WME's modify partner survives as a plain add/remove.
+  for (WmChange& c : batch.changes) {
+    for (TimeTag dead : netted) {
+      if (c.modify_pair == dead) c.modify_pair = 0;
+    }
+  }
+  ++stats_.batches;
+  stats_.batched_changes += batch.changes.size();
+  for (Listener* l : listeners_) l->OnBatch(batch);
+  return Status::Ok();
+}
+
+void WorkingMemory::Rollback() {
+  if (savepoints_.empty()) return;
+  Savepoint sp = savepoints_.back();
+  savepoints_.pop_back();
+  ++stats_.rollbacks;
+  stats_.changes_rolled_back += staged_.size() - sp.mark;
+  // Undo newest-first so interleaved modify pairs restore cleanly.
+  while (staged_.size() > sp.mark) {
+    const WmChange& c = staged_.back();
+    if (c.added) {
+      live_.erase(c.wme->time_tag());
+    } else {
+      live_.emplace(c.wme->time_tag(), c.wme);
+    }
+    staged_.pop_back();
+  }
+  // Every tag handed out since Begin belonged to a now-undone add, so the
+  // counter can rewind: the aborted transaction leaves no trace at all.
+  next_tag_ = sp.next_tag;
 }
 
 WmePtr WorkingMemory::Find(TimeTag tag) const {

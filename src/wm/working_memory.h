@@ -1,6 +1,7 @@
 #ifndef SOREL_WM_WORKING_MEMORY_H_
 #define SOREL_WM_WORKING_MEMORY_H_
 
+#include <cstdint>
 #include <map>
 #include <utility>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "base/status.h"
 #include "base/symbol_table.h"
 #include "base/value.h"
+#include "wm/change_batch.h"
 #include "wm/schema.h"
 #include "wm/wme.h"
 
@@ -15,8 +17,14 @@ namespace sorel {
 
 /// The working memory: the set of live WMEs, indexed by time tag.
 ///
-/// Matchers (Rete, TREAT, DIPS) subscribe as `Listener`s and receive every
-/// add/remove synchronously, which is what drives incremental matching.
+/// Matchers (Rete, TREAT, DIPS) subscribe as `Listener`s. Outside a
+/// transaction every add/remove is delivered synchronously through
+/// `OnAdd`/`OnRemove`, which is what drives incremental matching. Inside a
+/// `Begin`/`Commit` transaction, changes apply to the live set immediately
+/// (reads see them) but listener delivery is deferred: the whole staged
+/// sequence arrives as one `OnBatch` at top-level commit, and `Rollback`
+/// undoes the staged changes without listeners ever observing them — the
+/// all-or-nothing semantics §8.1's DIPS transactions call for.
 class WorkingMemory {
  public:
   /// Receives WM change notifications. Listeners must not mutate WM from
@@ -26,6 +34,34 @@ class WorkingMemory {
     virtual ~Listener() = default;
     virtual void OnAdd(const WmePtr& wme) = 0;
     virtual void OnRemove(const WmePtr& wme) = 0;
+    /// A committed transaction's changes, in staging order. The default
+    /// adapter replays them through the per-WME callbacks, so listeners
+    /// that never heard of batches keep working; matchers override this
+    /// with a native batched path.
+    virtual void OnBatch(const ChangeBatch& batch) {
+      for (const WmChange& c : batch.changes) {
+        if (c.added) {
+          OnAdd(c.wme);
+        } else {
+          OnRemove(c.wme);
+        }
+      }
+    }
+  };
+
+  /// Counters for the propagation boundary (see Engine::match_stats()).
+  struct Stats {
+    uint64_t adds = 0;
+    uint64_t removes = 0;
+    /// Per-WME notifications delivered outside transactions (each one is a
+    /// full propagation wave through every listener).
+    uint64_t direct_events = 0;
+    /// OnBatch deliveries (one propagation wave per committed transaction).
+    uint64_t batches = 0;
+    /// Changes delivered inside those batches.
+    uint64_t batched_changes = 0;
+    uint64_t rollbacks = 0;
+    uint64_t changes_rolled_back = 0;
   };
 
   WorkingMemory(const SchemaRegistry* schemas, const SymbolTable* symbols)
@@ -48,6 +84,27 @@ class WorkingMemory {
   /// Removes the WME with `tag`. Errors if no such live WME.
   Status Remove(TimeTag tag);
 
+  /// OPS5 modify: removes `tag` and re-makes its class with `fields` under a
+  /// fresh time tag, staging the two halves as a linked delta pair when
+  /// inside a transaction. Returns the new WME.
+  Result<WmePtr> Replace(TimeTag tag, std::vector<Value> fields);
+
+  // --- transactions ---
+  /// Opens a (possibly nested) transaction. Changes staged inside are
+  /// visible to reads immediately but withheld from listeners until the
+  /// outermost Commit.
+  void Begin();
+  /// Closes the innermost transaction. At top level, delivers all staged
+  /// changes to every listener as one ChangeBatch. Errors if no transaction
+  /// is open.
+  Status Commit();
+  /// Aborts the innermost transaction: undoes its staged changes (live set
+  /// and time-tag counter restored) and discards them. Listeners never
+  /// observe them.
+  void Rollback();
+  bool InTransaction() const { return !savepoints_.empty(); }
+  size_t transaction_depth() const { return savepoints_.size(); }
+
   /// Live WME with `tag`, or nullptr.
   WmePtr Find(TimeTag tag) const;
 
@@ -60,13 +117,28 @@ class WorkingMemory {
 
   const SchemaRegistry& schemas() const { return *schemas_; }
   const SymbolTable& symbols() const { return *symbols_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
 
  private:
+  void NotifyAdd(const WmePtr& wme, TimeTag modify_pair);
+  void NotifyRemove(const WmePtr& wme, TimeTag modify_pair);
+
   const SchemaRegistry* schemas_;
   const SymbolTable* symbols_;
   std::map<TimeTag, WmePtr> live_;
   std::vector<Listener*> listeners_;
   TimeTag next_tag_ = 1;
+  /// Staged changes of the open transaction stack (all depths, in order);
+  /// doubles as the rollback undo log.
+  std::vector<WmChange> staged_;
+  struct Savepoint {
+    size_t mark;       // staged_ size at Begin
+    TimeTag next_tag;  // tag counter at Begin, restored on Rollback
+  };
+  /// One entry per open transaction.
+  std::vector<Savepoint> savepoints_;
+  Stats stats_;
 };
 
 }  // namespace sorel

@@ -1,0 +1,185 @@
+// Batched-propagation equivalence: with `batched_wm` on, every firing's
+// changes reach the matchers as one ChangeBatch (S-nodes evaluate `:test`
+// once per touched SOI, TREAT coalesces re-searches, DIPS refreshes once
+// per rule) — yet the observable behavior must be bit-identical to the
+// per-WME baseline: same firing sequence (rule + recency tags), same
+// conflict sets, same final working memory, same time-tag counter. Checked
+// for every matcher × strategy over random op sequences with WM-mutating
+// rules.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+/// Deterministic LCG so failures reproduce.
+class Rng {
+ public:
+  explicit Rng(unsigned seed) : state_(seed * 2654435761u + 12345u) {}
+  unsigned Next(unsigned bound) {
+    state_ = state_ * 1664525u + 1013904223u;
+    return (state_ >> 16) % bound;
+  }
+
+ private:
+  unsigned state_;
+};
+
+constexpr std::string_view kSchema = "(literalize player name team score)";
+
+// Tuple-oriented mutating rules: every matcher (TREAT included) runs these.
+// Each one drains its own trigger, so capped runs terminate.
+constexpr const char* kTupleRules =
+    "(p cap { (player ^score > 4) <p> } --> (modify <p> ^score 4))"
+    "(p purge-c (player ^team C ^name <n>) --> (remove 1))"
+    "(p lone-b { (player ^team B ^name <n>) <p> }"
+    " - (player ^team A ^name <n>) --> (modify <p> ^team A))";
+
+// Set-oriented mutating rules (Rete and DIPS only; TREAT rejects set CEs).
+// Scores are 0..5, so a passing SOI always has >= 2 members — its recency
+// tags can never tie with a single-CE instantiation's.
+constexpr const char* kSetRules =
+    "(p zero-team { [player ^team <t> ^score <s>] <P> } :scalar (<t>)"
+    " :test ((sum <s>) > 8) --> (set-modify <P> ^score 0))";
+
+/// Canonical conflict-set fingerprint (rule name + sorted row signatures).
+std::multiset<std::string> Fingerprint(Engine& engine) {
+  std::multiset<std::string> out;
+  for (InstantiationRef* inst : engine.conflict_set().Entries()) {
+    std::vector<Row> rows;
+    inst->CollectRows(&rows);
+    std::vector<std::string> row_sigs;
+    for (const Row& row : rows) {
+      std::string sig;
+      for (const WmePtr& w : row) {
+        sig += std::to_string(w->time_tag());
+        sig += ",";
+      }
+      row_sigs.push_back(std::move(sig));
+    }
+    std::sort(row_sigs.begin(), row_sigs.end());
+    std::string entry = inst->rule().name + "{";
+    for (const std::string& s : row_sigs) entry += s + ";";
+    entry += "}";
+    out.insert(std::move(entry));
+  }
+  return out;
+}
+
+std::string Dump(Engine& engine) {
+  std::ostringstream out;
+  engine.DumpWm(out);
+  return out.str();
+}
+
+/// Drives a batched and an unbatched engine through the same random add /
+/// remove / run schedule and asserts bit-identical behavior throughout.
+void CheckEquivalence(MatcherKind matcher, Strategy strategy, unsigned seed,
+                      bool with_set_rules) {
+  std::ostringstream batched_trace, unbatched_trace;
+  EngineOptions batched_opts, unbatched_opts;
+  batched_opts.matcher = unbatched_opts.matcher = matcher;
+  batched_opts.strategy = unbatched_opts.strategy = strategy;
+  batched_opts.trace_firings = unbatched_opts.trace_firings = true;
+  batched_opts.batched_wm = true;
+  unbatched_opts.batched_wm = false;
+  Engine batched(batched_opts), unbatched(unbatched_opts);
+  batched.set_output(&batched_trace);
+  unbatched.set_output(&unbatched_trace);
+  std::string program = std::string(kSchema) + kTupleRules;
+  if (with_set_rules) program += kSetRules;
+  MustLoad(batched, program);
+  MustLoad(unbatched, program);
+
+  Rng rng(seed);
+  static const char* kNames[] = {"ann", "bob", "cyd", "dee"};
+  static const char* kTeams[] = {"A", "B", "C"};
+  for (int step = 0; step < 36; ++step) {
+    // Rule firings mutate the WM, so removal targets come from the live
+    // snapshot, not a remembered tag list.
+    std::vector<WmePtr> snap = batched.wm().Snapshot();
+    if (!snap.empty() && rng.Next(4) == 0) {
+      TimeTag tag = snap[rng.Next(static_cast<unsigned>(snap.size()))]
+                        ->time_tag();
+      ASSERT_NE(unbatched.wm().Find(tag), nullptr) << "step " << step;
+      ASSERT_TRUE(batched.RemoveWme(tag).ok());
+      ASSERT_TRUE(unbatched.RemoveWme(tag).ok());
+    } else {
+      const char* name = kNames[rng.Next(4)];
+      const char* team = kTeams[rng.Next(3)];
+      auto score = static_cast<int64_t>(rng.Next(6));
+      for (Engine* e : {&batched, &unbatched}) {
+        auto r = e->MakeWme("player", {{"name", e->Sym(name)},
+                                       {"team", e->Sym(team)},
+                                       {"score", Value::Int(score)}});
+        ASSERT_TRUE(r.ok());
+      }
+    }
+    ASSERT_EQ(Fingerprint(batched), Fingerprint(unbatched))
+        << "step " << step;
+    if (step % 4 == 3) {
+      int fired_batched = MustRun(batched, 8);
+      int fired_unbatched = MustRun(unbatched, 8);
+      ASSERT_EQ(fired_batched, fired_unbatched) << "step " << step;
+      ASSERT_EQ(batched_trace.str(), unbatched_trace.str())
+          << "step " << step;
+      ASSERT_EQ(Fingerprint(batched), Fingerprint(unbatched))
+          << "step " << step;
+      // Identical firing sequence implies identical modifies, so the
+      // monotone tag counters must agree too.
+      ASSERT_EQ(batched.wm().next_time_tag(), unbatched.wm().next_time_tag())
+          << "step " << step;
+      ASSERT_EQ(Dump(batched), Dump(unbatched)) << "step " << step;
+    }
+  }
+  // The ablation really took: firings committed batches on one side only.
+  if (batched.run_stats().firings > 0) {
+    EXPECT_GT(batched.match_stats().wm.batches, 0u);
+  }
+  EXPECT_EQ(unbatched.match_stats().wm.batches, 0u);
+}
+
+class BatchedWmEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchedWmEquivalence, ReteLex) {
+  CheckEquivalence(MatcherKind::kRete, Strategy::kLex,
+                   static_cast<unsigned>(GetParam()), true);
+}
+
+TEST_P(BatchedWmEquivalence, ReteMea) {
+  CheckEquivalence(MatcherKind::kRete, Strategy::kMea,
+                   static_cast<unsigned>(GetParam()) + 100u, true);
+}
+
+TEST_P(BatchedWmEquivalence, TreatLex) {
+  CheckEquivalence(MatcherKind::kTreat, Strategy::kLex,
+                   static_cast<unsigned>(GetParam()) + 200u, false);
+}
+
+TEST_P(BatchedWmEquivalence, TreatMea) {
+  CheckEquivalence(MatcherKind::kTreat, Strategy::kMea,
+                   static_cast<unsigned>(GetParam()) + 300u, false);
+}
+
+TEST_P(BatchedWmEquivalence, DipsLex) {
+  CheckEquivalence(MatcherKind::kDips, Strategy::kLex,
+                   static_cast<unsigned>(GetParam()) + 400u, true);
+}
+
+TEST_P(BatchedWmEquivalence, DipsMea) {
+  CheckEquivalence(MatcherKind::kDips, Strategy::kMea,
+                   static_cast<unsigned>(GetParam()) + 500u, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedWmEquivalence, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sorel
