@@ -33,8 +33,11 @@ struct Measured {
   uint64_t largest_batch = 0;
 };
 
-Measured Drain(const char* rules, int n, bool with_tally) {
-  Engine engine;
+Measured Drain(const char* rules, int n, bool with_tally,
+               int match_threads = 0) {
+  EngineOptions options;
+  options.match_threads = match_threads;
+  Engine engine(options);
   engine.set_output(DevNull());
   MustLoad(engine, std::string(kPlayerSchema) + rules);
   if (with_tally) MustMake(engine, "tally", {{"n", Value::Int(0)}});
@@ -102,6 +105,25 @@ BENCHMARK(BM_ParallelDrain)
     ->Args({2, 128})
     ->Args({0, 512})
     ->Args({2, 512});
+
+/// The same drain under the multi-threaded match layer: firing batches
+/// commit as transactions, so each cycle's changes propagate through the
+/// worker pool (cycle results stay bit-identical by construction).
+void BM_ParallelDrainThreads(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Measured m = Drain(kTupleIndependent, 256, false, threads);
+    state.counters["cycles"] = m.cycles;
+    benchmark::DoNotOptimize(m.cycles);
+  }
+  state.SetLabel("match_threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ParallelDrainThreads)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 }  // namespace
 }  // namespace bench

@@ -1,0 +1,180 @@
+// Tentpole experiment: multi-threaded match propagation over ChangeBatches.
+// A wide multi-rule program (one join-heavy rule per team) is driven with
+// one large add transaction and one large remove transaction; with
+// `match_threads` = N each matcher fans the batch out per rule (Rete
+// replays beta chains, TREAT re-searches, DIPS refreshes) and the buffered
+// conflict-set sends merge deterministically. The rules' final CE never
+// matches, so conflict-set traffic is ~zero by construction and the
+// measured time is the parallelizable join work — the speedup ceiling the
+// deterministic merge leaves intact. Run with `--json` to also write
+// BENCH_parallel_match.json.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace sorel {
+namespace bench {
+namespace {
+
+constexpr int kRules = 32;
+constexpr int kPlayers = 4096;
+
+/// One rule per team. CE1 x CE2 is a non-equijoin (`<=`), so every team-k
+/// add scans team k's alpha memory — O(m^2) join attempts per team, all of
+/// it rule-private beta work. CE3 never matches: the chain does full join
+/// work but emits nothing, keeping the serialized merge phase empty.
+std::string HeavyProgram(int rules) {
+  std::string src = kPlayerSchema;
+  for (int k = 0; k < rules; ++k) {
+    const std::string t = "team" + std::to_string(k);
+    src += "(p heavy-" + std::to_string(k) + " (player ^team " + t +
+           " ^id <i> ^score <s>) (player ^team " + t +
+           " ^score <= <s>) (player ^id 999999) --> (write x))";
+  }
+  return src;
+}
+
+struct Measured {
+  double add_ms = 0;
+  double remove_ms = 0;
+  Engine::MatchStats stats;
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Adds `players` WMEs in one transaction, then removes half in another,
+/// timing each commit's match propagation.
+Measured RunOnce(MatcherKind kind, int threads, int rules, int players) {
+  EngineOptions options;
+  options.matcher = kind;
+  options.match_threads = threads;
+  Engine engine(options);
+  engine.set_output(DevNull());
+  MustLoad(engine, HeavyProgram(rules));
+  engine.ResetMatchStats();
+
+  Measured m;
+  std::vector<TimeTag> tags;
+  tags.reserve(players);
+  auto t0 = std::chrono::steady_clock::now();
+  engine.wm().Begin();
+  for (int i = 0; i < players; ++i) {
+    tags.push_back(MustMake(
+        engine, "player",
+        {{"team", engine.Sym("team" + std::to_string(i % rules))},
+         {"id", Value::Int(i)},
+         {"score", Value::Int(i % 17)}}));
+  }
+  Check(engine.wm().Commit(), "add commit");
+  m.add_ms = MsSince(t0);
+
+  auto t1 = std::chrono::steady_clock::now();
+  engine.wm().Begin();
+  for (size_t i = 0; i < tags.size(); i += 2) {
+    Check(engine.RemoveWme(tags[i]), "RemoveWme");
+  }
+  Check(engine.wm().Commit(), "remove commit");
+  m.remove_ms = MsSince(t1);
+
+  m.stats = engine.match_stats();
+  return m;
+}
+
+const char* KindName(MatcherKind kind) {
+  return kind == MatcherKind::kRete
+             ? "Rete"
+             : (kind == MatcherKind::kTreat ? "TREAT" : "DIPS");
+}
+
+void PrintTable(JsonReport* report) {
+  std::printf("=== tentpole: multi-threaded batch match propagation ===\n");
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("%d rules (one per team), %d players added in 1 transaction,\n"
+              "half removed in a second one; threads=0 is the sequential\n"
+              "ablation baseline; host has %u core(s) — speedup is capped\n"
+              "by that, not by the match layer\n\n", kRules, kPlayers, cores);
+  if (report != nullptr) {
+    report->Config("rules", kRules);
+    report->Config("players", kPlayers);
+    report->Config("host_cores", cores);
+  }
+  std::printf("%7s %8s | %10s %8s | %10s %8s | %9s %9s\n", "matcher",
+              "threads", "add ms", "speedup", "remove ms", "speedup",
+              "pool tasks", "depth");
+  for (MatcherKind kind :
+       {MatcherKind::kRete, MatcherKind::kTreat, MatcherKind::kDips}) {
+    double base_add = 0, base_remove = 0;
+    for (int threads : {0, 1, 2, 4, 8}) {
+      Measured m = RunOnce(kind, threads, kRules, kPlayers);
+      if (threads == 0) {
+        base_add = m.add_ms;
+        base_remove = m.remove_ms;
+      }
+      std::printf("%7s %8d | %10.2f %7.2fx | %10.2f %7.2fx | %9llu %9llu\n",
+                  KindName(kind), threads, m.add_ms, base_add / m.add_ms,
+                  m.remove_ms, base_remove / m.remove_ms,
+                  static_cast<unsigned long long>(m.stats.pool.tasks),
+                  static_cast<unsigned long long>(m.stats.pool.max_task_depth));
+      if (report != nullptr) {
+        report->BeginRow(std::string(KindName(kind)) +
+                         "/threads=" + std::to_string(threads));
+        report->Value("threads", threads);
+        report->Value("add_ms", m.add_ms);
+        report->Value("remove_ms", m.remove_ms);
+        report->Value("add_speedup", base_add / m.add_ms);
+        report->Value("remove_speedup", base_remove / m.remove_ms);
+        report->MatchStats(m.stats);
+      }
+    }
+  }
+  std::printf("\n(the per-rule beta/alpha work dominates and shards cleanly;\n"
+              " the serialized parts — WM staging, alpha inserts, the\n"
+              " conflict-set merge — stay on the coordinator)\n\n");
+}
+
+void BM_ParallelMatchBatch(benchmark::State& state) {
+  MatcherKind kind = static_cast<MatcherKind>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    Measured m = RunOnce(kind, threads, 16, 1024);
+    benchmark::DoNotOptimize(m.add_ms);
+  }
+  state.SetLabel(std::string(KindName(kind)) + " threads=" +
+                 std::to_string(threads));
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ParallelMatchBatch)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({0, 8})
+    ->Args({1, 0})
+    ->Args({1, 4})
+    ->Args({2, 0})
+    ->Args({2, 4});
+
+}  // namespace
+}  // namespace bench
+}  // namespace sorel
+
+int main(int argc, char** argv) {
+  bool json = sorel::bench::StripJsonFlag(&argc, argv);
+  sorel::bench::JsonReport report("parallel_match");
+  sorel::bench::PrintTable(json ? &report : nullptr);
+  if (json && !report.Write()) return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

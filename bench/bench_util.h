@@ -1,12 +1,16 @@
 #ifndef SOREL_BENCH_BENCH_UTIL_H_
 #define SOREL_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "engine/engine.h"
 
@@ -69,6 +73,117 @@ inline TimeTag FillPlayers(Engine& engine, int n, int teams,
 
 inline constexpr const char* kPlayerSchema =
     "(literalize player name team score id)";
+
+/// Strips `--json` from argv and reports whether it was present. Call
+/// before benchmark::Initialize, which rejects flags it doesn't know.
+inline bool StripJsonFlag(int* argc, char** argv) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      found = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return found;
+}
+
+/// Accumulates one bench run's numbers and writes `BENCH_<name>.json` in
+/// the working directory: a `config` object plus a `results` array of
+/// labeled rows (wall clocks, counters, match_stats snapshots) — the
+/// machine-readable companion to the printed tables, for tracking perf
+/// across commits.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Config(const std::string& key, double value) {
+    config_.emplace_back(key, value);
+  }
+  /// Starts a result row; subsequent Value/MatchStats calls land in it.
+  void BeginRow(std::string label) { rows_.push_back({std::move(label), {}}); }
+  void Value(const std::string& key, double value) {
+    rows_.back().fields.emplace_back(key, value);
+  }
+  /// Flattens a MatchStats snapshot into the current row.
+  void MatchStats(const Engine::MatchStats& s) {
+    Value("rete.join_attempts", static_cast<double>(s.rete.join_attempts));
+    Value("rete.index_probes", static_cast<double>(s.rete.index_probes));
+    Value("rete.tokens_created", static_cast<double>(s.rete.tokens_created));
+    Value("rete.tokens_deleted", static_cast<double>(s.rete.tokens_deleted));
+    Value("rete.right_activations",
+          static_cast<double>(s.rete.right_activations));
+    Value("rete.batches", static_cast<double>(s.rete.batches));
+    Value("rete.token_pool_hits",
+          static_cast<double>(s.rete.token_pool_hits));
+    Value("rete.parallel_batches",
+          static_cast<double>(s.rete.parallel_batches));
+    Value("rete.replay_tasks", static_cast<double>(s.rete.replay_tasks));
+    Value("select.selects", static_cast<double>(s.select.selects));
+    Value("select.comparisons", static_cast<double>(s.select.comparisons));
+    Value("snode.test_evals", static_cast<double>(s.snode.test_evals));
+    Value("treat.seeded_searches",
+          static_cast<double>(s.treat.seeded_searches));
+    Value("treat.full_searches", static_cast<double>(s.treat.full_searches));
+    Value("dips.refreshes", static_cast<double>(s.dips.refreshes));
+    Value("wm.adds", static_cast<double>(s.wm.adds));
+    Value("wm.removes", static_cast<double>(s.wm.removes));
+    Value("wm.batches", static_cast<double>(s.wm.batches));
+    Value("pool.threads", static_cast<double>(s.pool.threads));
+    Value("pool.tasks", static_cast<double>(s.pool.tasks));
+    Value("pool.batches", static_cast<double>(s.pool.batches));
+    Value("pool.max_task_depth",
+          static_cast<double>(s.pool.max_task_depth));
+  }
+
+  /// Writes BENCH_<name>.json. Returns false (with a stderr note) on I/O
+  /// failure; benches treat that as fatal.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"config\": {";
+    for (size_t i = 0; i < config_.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << config_[i].first
+          << "\": " << Number(config_[i].second);
+    }
+    out << "},\n  \"results\": [\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {\"label\": \"" << rows_[r].label << "\"";
+      for (const auto& [key, value] : rows_[r].fields) {
+        out << ", \"" << key << "\": " << Number(value);
+      }
+      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Number(double v) {
+    if (v == std::floor(v) && std::fabs(v) < 9e15) {
+      return std::to_string(static_cast<long long>(v));
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+  }
+
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string name_;
+  std::vector<std::pair<std::string, double>> config_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace sorel

@@ -15,11 +15,12 @@ namespace bench {
 namespace {
 
 int RunSeating(MatcherKind kind, int guests, bool set_oriented_done,
-               bool indexed = true) {
+               bool indexed = true, int match_threads = 0) {
   EngineOptions options;
   options.matcher = kind;
   options.rete.use_indexed_joins = indexed;
   options.indexed_conflict_set = indexed;
+  options.match_threads = match_threads;
   Engine engine(options);
   engine.set_output(DevNull());
   std::string rules = sorel_examples::kDinnerRules;
@@ -96,6 +97,28 @@ BENCHMARK(BM_SeatingIndexedAblation)
     ->Args({0, 64})
     ->Args({1, 128})
     ->Args({0, 128});
+
+/// Threads sweep on the macro workload. Seating fires one rule at a time
+/// with tiny per-firing batches, so this measures the parallel layer's
+/// overhead floor on latency-bound work rather than its speedup.
+void BM_SeatingThreads(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  int guests = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    int fired = RunSeating(MatcherKind::kRete, guests,
+                           /*set_oriented_done=*/true, /*indexed=*/true,
+                           threads);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetLabel("match_threads=" + std::to_string(threads));
+  state.SetItemsProcessed(state.iterations() * guests);
+}
+BENCHMARK(BM_SeatingThreads)
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Args({8, 64});
 
 void PrintHeader() {
   std::printf("=== B2: Manners-style seating macro workload ===\n");

@@ -1,0 +1,68 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sorel {
+
+ThreadPool::ThreadPool(int num_threads) {
+  stats_.threads = static_cast<uint64_t>(std::max(num_threads, 0));
+  threads_.reserve(static_cast<size_t>(std::max(num_threads, 0)));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::RunOne(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  task();
+  lock.lock();
+  if (--unfinished_ == 0) done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    RunOne(lock);
+  }
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.batches;
+  stats_.tasks += tasks.size();
+  for (std::function<void()>& t : tasks) queue_.push_back(std::move(t));
+  unfinished_ += tasks.size();
+  stats_.max_task_depth = std::max(stats_.max_task_depth,
+                                   static_cast<uint64_t>(queue_.size()));
+  work_cv_.notify_all();
+  // Help drain the queue, then wait for in-flight tasks to finish.
+  while (RunOne(lock)) {
+  }
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t threads = stats_.threads;
+  stats_ = {};
+  stats_.threads = threads;
+}
+
+}  // namespace sorel

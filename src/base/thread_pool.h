@@ -1,0 +1,74 @@
+#ifndef SOREL_BASE_THREAD_POOL_H_
+#define SOREL_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sorel {
+
+/// A fixed-size worker pool for fork/join match propagation. The intended
+/// use is a sequence of `RunAll` calls, each handing over one batch of
+/// independent tasks (e.g. one per-rule beta replay per touched rule) and
+/// blocking until the whole batch has drained. The calling thread helps
+/// execute queued tasks while it waits, so a pool of N workers gives N+1
+/// executing threads at peak and `RunAll` never deadlocks even under
+/// oversubscription.
+///
+/// Tasks must be independent: the pool provides no ordering guarantees
+/// between them beyond "all complete before RunAll returns". Determinism is
+/// the caller's job (sorel's matchers buffer conflict-set sends per task and
+/// merge them in rule-registration order afterwards).
+class ThreadPool {
+ public:
+  /// Counters surfaced through Engine::match_stats().
+  struct Stats {
+    /// Worker threads in the pool (constant; repeated here so one struct
+    /// describes the whole pool).
+    uint64_t threads = 0;
+    /// Tasks executed across all RunAll calls.
+    uint64_t tasks = 0;
+    /// RunAll invocations (one per parallelized batch).
+    uint64_t batches = 0;
+    /// Queue high-water mark: the most tasks ever waiting at once.
+    uint64_t max_task_depth = 0;
+  };
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs every task (workers plus the calling thread) and returns when all
+  /// have finished. Tasks must not call back into the pool.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats();
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs one queued task under `lock` held; returns false when the
+  /// queue is empty.
+  bool RunOne(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable done_cv_;   // RunAll: batch fully drained
+  std::deque<std::function<void()>> queue_;
+  size_t unfinished_ = 0;  // queued + currently executing tasks
+  bool stop_ = false;
+  Stats stats_;
+};
+
+}  // namespace sorel
+
+#endif  // SOREL_BASE_THREAD_POOL_H_

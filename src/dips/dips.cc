@@ -1,8 +1,10 @@
 #include "dips/dips.h"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
+#include "base/thread_pool.h"
 #include "core/test_eval.h"
 
 namespace sorel {
@@ -89,8 +91,8 @@ class DipsMatcher::DipsSoi : public InstantiationRef {
   bool active_ = false;
 };
 
-DipsMatcher::DipsMatcher(WorkingMemory* wm, ConflictSet* cs)
-    : wm_(wm), cs_(cs) {
+DipsMatcher::DipsMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool)
+    : wm_(wm), cs_(cs), pool_(pool) {
   wm_->AddListener(this);
 }
 
@@ -116,7 +118,7 @@ Status DipsMatcher::AddRule(const CompiledRule* rule) {
       if (table.Accepts(*w)) SOREL_RETURN_IF_ERROR(table.Insert(*w));
     }
   }
-  SOREL_RETURN_IF_ERROR(Refresh(rs.get()));
+  SOREL_RETURN_IF_ERROR(Refresh(rs.get(), &stats_));
   rules_.push_back(std::move(rs));
   return Status::Ok();
 }
@@ -144,7 +146,7 @@ void DipsMatcher::OnAdd(const WmePtr& wme) {
       changed = true;
     }
     if (changed) {
-      Status s = Refresh(rs.get());
+      Status s = Refresh(rs.get(), &stats_);
       if (!s.ok() && last_error_.ok()) last_error_ = s;
     }
   }
@@ -159,14 +161,58 @@ void DipsMatcher::OnRemove(const WmePtr& wme) {
       changed = true;
     }
     if (changed) {
-      Status s = Refresh(rs.get());
+      Status s = Refresh(rs.get(), &stats_);
       if (!s.ok() && last_error_.ok()) last_error_ = s;
     }
   }
 }
 
+Status DipsMatcher::ReplayRule(RuleState* rs, const ChangeBatch& batch,
+                               ConflictSet::Delta* delta, Stats* stats) {
+  ConflictSet::SetThreadDelta(cs_, delta);
+  bool changed = false;
+  Status result = Status::Ok();
+  for (const WmChange& c : batch.changes) {
+    for (CondTable& table : rs->tables) {
+      if (!table.Accepts(*c.wme)) continue;
+      if (c.added) {
+        Status s = table.Insert(*c.wme);
+        if (!s.ok() && result.ok()) result = s;
+      } else {
+        table.RemoveTag(c.wme->time_tag());
+      }
+      changed = true;
+    }
+  }
+  if (changed && result.ok()) result = Refresh(rs, stats);
+  ConflictSet::SetThreadDelta(cs_, nullptr);
+  return result;
+}
+
 void DipsMatcher::OnBatch(const ChangeBatch& batch) {
   ++stats_.batches;
+  if (pool_ != nullptr && rules_.size() > 1) {
+    // Rule states are disjoint and the sequential path refreshes touched
+    // rules in registration order, so one task per rule plus a rule-order
+    // delta merge reproduces the sequential conflict-set op stream.
+    std::vector<ConflictSet::Delta> deltas(rules_.size());
+    std::vector<Stats> stats(rules_.size());
+    std::vector<Status> errors(rules_.size(), Status::Ok());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(rules_.size());
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      tasks.push_back([this, &batch, &deltas, &stats, &errors, i] {
+        errors[i] = ReplayRule(rules_[i].get(), batch, &deltas[i], &stats[i]);
+      });
+    }
+    pool_->RunAll(std::move(tasks));
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      stats_.refreshes += stats[i].refreshes;
+      if (!errors[i].ok() && last_error_.ok()) last_error_ = errors[i];
+    }
+    cs_->ApplyDeltas(&deltas);
+    return;
+  }
   std::vector<RuleState*> touched;
   for (const auto& rs : rules_) {
     bool changed = false;
@@ -185,7 +231,7 @@ void DipsMatcher::OnBatch(const ChangeBatch& batch) {
     if (changed) touched.push_back(rs.get());
   }
   for (RuleState* rs : touched) {
-    Status s = Refresh(rs);
+    Status s = Refresh(rs, &stats_);
     if (!s.ok() && last_error_.ok()) last_error_ = s;
   }
 }
@@ -308,8 +354,8 @@ Result<Row> DipsMatcher::RowFromTuple(const RuleState& rs,
   return row;
 }
 
-Status DipsMatcher::Refresh(RuleState* rs) {
-  ++stats_.refreshes;
+Status DipsMatcher::Refresh(RuleState* rs, Stats* stats) {
+  ++stats->refreshes;
   SOREL_ASSIGN_OR_RETURN(rdb::Relation match, ComputeMatch(*rs));
   if (rs->rule->has_set) return RefreshSet(rs, match);
   return RefreshRegular(rs, match);
@@ -322,10 +368,13 @@ Status DipsMatcher::RefreshRegular(RuleState* rs,
     SOREL_ASSIGN_OR_RETURN(Row row, RowFromTuple(*rs, match, tuple));
     current.emplace(RowSignature(row), std::move(row));
   }
-  // Drop vanished instantiations.
+  // Drop vanished instantiations. Release keeps each alive until any
+  // buffered conflict-set ops have been applied (a reused address would
+  // alias in the entry map).
   for (auto it = rs->insts.begin(); it != rs->insts.end();) {
     if (current.count(it->first) == 0) {
       cs_->Remove(it->second.get());
+      cs_->Release(std::move(it->second));
       it = rs->insts.erase(it);
     } else {
       ++it;
@@ -355,10 +404,11 @@ Status DipsMatcher::RefreshSet(RuleState* rs, const rdb::Relation& match) {
       return CompareRecencyTags(RowRecency(a), RowRecency(b)) > 0;
     });
   }
-  // Drop vanished SOIs.
+  // Drop vanished SOIs (Release: see RefreshRegular).
   for (auto it = rs->sois.begin(); it != rs->sois.end();) {
     if (groups.count(it->first) == 0) {
       if (it->second->active_) cs_->Remove(it->second.get());
+      cs_->Release(std::move(it->second));
       it = rs->sois.erase(it);
     } else {
       ++it;

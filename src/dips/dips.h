@@ -16,6 +16,9 @@
 #include "wm/working_memory.h"
 
 namespace sorel {
+
+class ThreadPool;
+
 namespace dips {
 
 /// The DIPS matcher (§8): OPS5 matching implemented on the relational
@@ -40,7 +43,11 @@ class DipsMatcher : public Matcher {
     uint64_t batches = 0;
   };
 
-  DipsMatcher(WorkingMemory* wm, ConflictSet* cs);
+  /// `pool` (borrowed, may be null) enables parallel batch propagation:
+  /// DIPS is already rule-major (per-rule COND tables and one Refresh per
+  /// touched rule), so each rule's table updates + refresh run as one
+  /// worker task with conflict-set sends buffered and merged in rule order.
+  DipsMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool = nullptr);
   ~DipsMatcher() override;
 
   DipsMatcher(const DipsMatcher&) = delete;
@@ -102,16 +109,23 @@ class DipsMatcher : public Matcher {
   static std::vector<std::string> KeyColumns(const CompiledRule& rule);
 
   Result<rdb::Relation> ComputeMatch(const RuleState& rs) const;
-  /// Recomputes the match and diffs it into the conflict set.
-  Status Refresh(RuleState* rs);
+  /// Recomputes the match and diffs it into the conflict set. Counters go
+  /// through `stats` so concurrent per-rule refreshes accumulate privately.
+  Status Refresh(RuleState* rs, Stats* stats);
   Status RefreshRegular(RuleState* rs, const rdb::Relation& match);
   Status RefreshSet(RuleState* rs, const rdb::Relation& match);
+  /// One task of the parallel batch path: applies every change to one
+  /// rule's COND tables and refreshes it, buffering conflict-set ops into
+  /// `delta`.
+  Status ReplayRule(RuleState* rs, const ChangeBatch& batch,
+                    ConflictSet::Delta* delta, Stats* stats);
   /// Materializes one match tuple into an instantiation row.
   Result<Row> RowFromTuple(const RuleState& rs, const rdb::Relation& match,
                            const rdb::Tuple& tuple) const;
 
   WorkingMemory* wm_;
   ConflictSet* cs_;
+  ThreadPool* pool_;
   std::vector<std::unique_ptr<RuleState>> rules_;
   Status last_error_;
   Stats stats_;

@@ -35,6 +35,10 @@ Engine::Engine(EngineOptions options)
       compiler_(&symbols_, &schemas_),
       rhs_(wm_.get(), &symbols_, &std::cout) {
   rhs_.set_output(out_);
+  if (options_.match_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.match_threads);
+    options_.rete.pool = pool_.get();
+  }
   if (options_.matcher == MatcherKind::kRete) {
     SinkFactory factory = [this](const CompiledRule& rule)
         -> std::unique_ptr<ReteSink> {
@@ -49,11 +53,12 @@ Engine::Engine(EngineOptions options)
     rete_ = rete.get();
     matcher_ = std::move(rete);
   } else if (options_.matcher == MatcherKind::kTreat) {
-    auto treat = std::make_unique<TreatMatcher>(wm_.get(), &cs_);
+    auto treat = std::make_unique<TreatMatcher>(wm_.get(), &cs_, pool_.get());
     treat_ = treat.get();
     matcher_ = std::move(treat);
   } else {
-    auto dips = std::make_unique<dips::DipsMatcher>(wm_.get(), &cs_);
+    auto dips =
+        std::make_unique<dips::DipsMatcher>(wm_.get(), &cs_, pool_.get());
     dips_ = dips.get();
     matcher_ = std::move(dips);
   }
@@ -267,6 +272,7 @@ Engine::MatchStats Engine::match_stats() const {
   if (treat_ != nullptr) stats.treat = treat_->stats();
   if (dips_ != nullptr) stats.dips = dips_->stats();
   stats.wm = wm_->stats();
+  if (pool_ != nullptr) stats.pool = pool_->stats();
   return stats;
 }
 
@@ -277,6 +283,10 @@ void Engine::ResetMatchStats() {
   if (treat_ != nullptr) treat_->ResetStats();
   if (dips_ != nullptr) dips_->ResetStats();
   wm_->ResetStats();
+  if (pool_ != nullptr) pool_->ResetStats();
+  rhs_.ResetStats();
+  run_stats_ = {};
+  parallel_stats_ = {};
 }
 
 Result<int> Engine::Run(int max_firings) {

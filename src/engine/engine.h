@@ -10,6 +10,7 @@
 
 #include "base/status.h"
 #include "base/symbol_table.h"
+#include "base/thread_pool.h"
 #include "base/value.h"
 #include "core/snode.h"
 #include "dips/dips.h"
@@ -54,6 +55,14 @@ struct EngineOptions {
   /// mid-action rolls the whole firing back (§8.1). Off restores the
   /// seed's per-WME propagation — the ablation baseline.
   bool batched_wm = true;
+  /// Worker threads for batch match propagation. 0 (the ablation baseline)
+  /// keeps the single-threaded path; N > 0 spawns a pool of N workers and
+  /// every matcher fans each ChangeBatch out per rule (Rete replays
+  /// per-rule beta chains, TREAT re-searches per rule, DIPS refreshes per
+  /// rule), buffering conflict-set sends into per-rule deltas that merge
+  /// deterministically — firing traces, conflict-set order, and time-tag
+  /// counters are bit-identical to match_threads = 0.
+  int match_threads = 0;
 };
 
 /// The sorel production-system engine: an OPS5 interpreter extended with
@@ -80,6 +89,8 @@ class Engine {
     dips::DipsMatcher::Stats dips;
     /// Propagation-boundary counters (direct events vs. batches).
     WorkingMemory::Stats wm;
+    /// Worker-pool counters (zeros when match_threads == 0).
+    ThreadPool::Stats pool;
   };
 
   struct RunStats {
@@ -171,8 +182,10 @@ class Engine {
   const RhsExecutor::Stats& rhs_stats() const { return rhs_.stats(); }
   /// Live matcher + conflict-set counters (see MatchStats).
   MatchStats match_stats() const;
-  /// Zeroes every MatchStats source (e.g. to isolate a measured phase from
-  /// its setup in benchmarks).
+  /// Zeroes every counter a benchmark can read: all MatchStats sources
+  /// (matcher, conflict set, S-nodes, WM, worker pool) plus run_stats(),
+  /// rhs_stats(), and parallel_stats() — e.g. to isolate a measured phase
+  /// from its setup.
   void ResetMatchStats();
 
  private:
@@ -192,6 +205,9 @@ class Engine {
   // Rules are declared before the matcher: beta nodes and S-nodes hold
   // pointers into them, and the matcher's teardown still dereferences them.
   std::vector<CompiledRulePtr> rules_;
+  // The pool outlives the matcher (declared first): the matcher holds a
+  // borrowed ThreadPool* and may still reference it during teardown.
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Matcher> matcher_;
   ReteMatcher* rete_ = nullptr;  // borrowed view of matcher_ when Rete
   TreatMatcher* treat_ = nullptr;  // borrowed view when TREAT

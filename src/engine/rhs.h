@@ -62,6 +62,7 @@ class RhsExecutor {
   void set_transactional(bool on) { transactional_ = on; }
   bool transactional() const { return transactional_; }
   const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
 
  private:
   class ExecState;

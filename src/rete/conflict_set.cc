@@ -1,8 +1,19 @@
 #include "rete/conflict_set.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace sorel {
+
+namespace {
+
+// Which conflict set (if any) this thread is currently buffering for, and
+// where. One pair suffices: a thread drives at most one matcher task at a
+// time, and each task targets a single conflict set.
+thread_local const ConflictSet* tls_delta_owner = nullptr;
+thread_local ConflictSet::Delta* tls_delta = nullptr;
+
+}  // namespace
 
 int CompareRecencyTags(const std::vector<TimeTag>& a,
                        const std::vector<TimeTag>& b) {
@@ -32,10 +43,22 @@ ConflictSet::ConflictSet(bool use_index)
       lex_(Cmp{/*mea=*/false, &stats_.comparisons}),
       mea_(Cmp{/*mea=*/true, &stats_.comparisons}) {}
 
-void ConflictSet::CacheKeys(Entry* e, const InstantiationRef& inst) {
-  e->rec = inst.RecencyTags();
-  e->first_ce = inst.FirstCeTag();
-  e->specificity = inst.rule().specificity;
+ConflictSet::KeySnapshot ConflictSet::SnapshotKeys(
+    const InstantiationRef& inst) {
+  KeySnapshot keys;
+  keys.rec = inst.RecencyTags();
+  keys.first_ce = inst.FirstCeTag();
+  keys.specificity = inst.rule().specificity;
+  return keys;
+}
+
+ConflictSet::Delta* ConflictSet::ThreadDelta() const {
+  return tls_delta_owner == this ? tls_delta : nullptr;
+}
+
+void ConflictSet::SetThreadDelta(const ConflictSet* cs, Delta* delta) {
+  tls_delta_owner = delta == nullptr ? nullptr : cs;
+  tls_delta = delta;
 }
 
 void ConflictSet::IndexEntry(InstantiationRef* inst, const Entry& e) {
@@ -51,32 +74,96 @@ void ConflictSet::UnindexEntry(InstantiationRef* inst, const Entry& e) {
 }
 
 void ConflictSet::Add(InstantiationRef* inst) {
+  if (Delta* d = ThreadDelta()) {
+    d->ops_.push_back({d->stamp_, /*add=*/true, inst, SnapshotKeys(*inst)});
+    return;
+  }
+  AddWithKeys(inst, SnapshotKeys(*inst));
+}
+
+void ConflictSet::AddWithKeys(InstantiationRef* inst, KeySnapshot keys) {
   auto [it, inserted] = entries_.try_emplace(inst);
   Entry& e = it->second;
   if (inserted) {
     e.seq = next_seq_++;
-    CacheKeys(&e, *inst);
-    IndexEntry(inst, e);
-    return;
+  } else {
+    // Re-filed entry: its content (and thus sort keys) may have changed, so
+    // reposition it. Unindex under the *old* cached keys before touching
+    // them.
+    if (!e.fired) UnindexEntry(inst, e);
+    if (e.fired) {
+      // Re-activation of a fired SOI: it re-enters the conflict set *now*,
+      // so it tie-breaks by this moment, not by when it first appeared.
+      e.fired = false;
+      e.seq = next_seq_++;
+    }
   }
-  // Re-filed entry: its content (and thus sort keys) may have changed, so
-  // reposition it. Unindex under the *old* cached keys before touching them.
-  if (!e.fired) UnindexEntry(inst, e);
-  if (e.fired) {
-    // Re-activation of a fired SOI: it re-enters the conflict set *now*,
-    // so it tie-breaks by this moment, not by when it first appeared.
-    e.fired = false;
-    e.seq = next_seq_++;
-  }
-  CacheKeys(&e, *inst);
+  e.rec = std::move(keys.rec);
+  e.first_ce = keys.first_ce;
+  e.specificity = keys.specificity;
   IndexEntry(inst, e);
 }
 
 void ConflictSet::Remove(InstantiationRef* inst) {
+  if (Delta* d = ThreadDelta()) {
+    d->ops_.push_back({d->stamp_, /*add=*/false, inst, {}});
+    return;
+  }
+  RemoveNow(inst);
+}
+
+void ConflictSet::RemoveNow(InstantiationRef* inst) {
   auto it = entries_.find(inst);
   if (it == entries_.end()) return;
   if (!it->second.fired) UnindexEntry(inst, it->second);
   entries_.erase(it);
+}
+
+void ConflictSet::Release(std::unique_ptr<InstantiationRef> dead) {
+  if (Delta* d = ThreadDelta()) {
+    d->graveyard_.push_back(std::move(dead));
+    return;
+  }
+  // Destroyed here: no deferred op can still reference it.
+}
+
+void ConflictSet::ApplyDeltas(std::vector<Delta>* deltas) {
+  struct Flat {
+    Delta::Op* op;
+    uint32_t delta_pos;
+    uint32_t seq;
+  };
+  std::vector<Flat> flat;
+  size_t total = 0;
+  for (const Delta& d : *deltas) total += d.ops_.size();
+  flat.reserve(total);
+  for (size_t di = 0; di < deltas->size(); ++di) {
+    auto& ops = (*deltas)[di].ops_;
+    for (size_t oi = 0; oi < ops.size(); ++oi) {
+      flat.push_back({&ops[oi], static_cast<uint32_t>(di),
+                      static_cast<uint32_t>(oi)});
+    }
+  }
+  // (stamp, delta position, buffering order) is a strict total order, so
+  // plain sort is deterministic. The result is exactly the op sequence the
+  // sequential propagation would have issued.
+  std::sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
+    if (a.op->stamp < b.op->stamp) return true;
+    if (b.op->stamp < a.op->stamp) return false;
+    if (a.delta_pos != b.delta_pos) return a.delta_pos < b.delta_pos;
+    return a.seq < b.seq;
+  });
+  for (const Flat& f : flat) {
+    if (f.op->add) {
+      AddWithKeys(f.op->inst, std::move(f.op->keys));
+    } else {
+      RemoveNow(f.op->inst);
+    }
+  }
+  for (Delta& d : *deltas) {
+    d.ops_.clear();
+    d.graveyard_.clear();  // dead instantiations are safe to free now
+  }
 }
 
 void ConflictSet::MarkFired(InstantiationRef* inst, bool remove_entry) {

@@ -2,6 +2,7 @@
 #define SOREL_RETE_CONFLICT_SET_H_
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,87 @@ class ConflictSet {
   // comparators point back at stats_; copying would alias both.
   ConflictSet(const ConflictSet&) = delete;
   ConflictSet& operator=(const ConflictSet&) = delete;
+
+  // --- deferred operation support (parallel match propagation) ---
+  //
+  // Worker threads replaying per-rule match state must not mutate the
+  // shared conflict set. Instead each worker routes its Add/Touch/Remove
+  // calls into a private Delta (SetThreadDelta), and the coordinating
+  // thread applies all deltas afterwards in one deterministic merge — the
+  // exact op order the sequential propagation would have produced, so the
+  // `seq` tie-break counter advances identically.
+
+  /// Sort keys of an instantiation captured at buffering time. A deferred
+  /// op must not re-read the live instantiation at apply time: by then a
+  /// later op of the same rule may have changed or destroyed it. Snapshots
+  /// are taken at the op's logical position in the rule's own program
+  /// order, which is exactly what the sequential interleaving would have
+  /// read (instantiations are private to one rule, so no other rule's ops
+  /// can touch them in between).
+  struct KeySnapshot {
+    std::vector<TimeTag> rec;  // recency tags, descending
+    TimeTag first_ce = 0;
+    int specificity = 0;
+  };
+
+  /// Position of a deferred op in the sequential op order: which batch
+  /// change produced it, then the within-change step. Ties across deltas
+  /// break by delta position (= rule-registration order), then by
+  /// buffering order within one delta.
+  struct OpStamp {
+    uint32_t change = 0;  // batch change index; changes.size() for batch-end
+    uint32_t phase = 0;   // 0 = activation cascade, 1 = token-tree deletion
+    uint32_t amem = 0;    // alpha-memory ordinal within the change
+    uint32_t succ = 0;    // successor ordinal within the alpha memory
+
+    friend bool operator<(const OpStamp& a, const OpStamp& b) {
+      if (a.change != b.change) return a.change < b.change;
+      if (a.phase != b.phase) return a.phase < b.phase;
+      if (a.amem != b.amem) return a.amem < b.amem;
+      return a.succ < b.succ;
+    }
+  };
+
+  /// One worker's buffered op stream, plus a graveyard keeping erased
+  /// instantiations alive until the delta is applied (a same-batch
+  /// allocation reusing a dead instantiation's address would alias it in
+  /// the entries map).
+  class Delta {
+   public:
+    /// Sets the stamp attached to subsequently buffered ops.
+    void SetStamp(const OpStamp& stamp) { stamp_ = stamp; }
+    bool empty() const { return ops_.empty() && graveyard_.empty(); }
+    size_t num_ops() const { return ops_.size(); }
+
+   private:
+    friend class ConflictSet;
+
+    struct Op {
+      OpStamp stamp;
+      bool add;  // true: Add/Touch; false: Remove
+      InstantiationRef* inst;
+      KeySnapshot keys;  // adds only
+    };
+
+    OpStamp stamp_;
+    std::vector<Op> ops_;
+    std::vector<std::unique_ptr<InstantiationRef>> graveyard_;
+  };
+
+  /// Redirects this thread's Add/Touch/Remove/Release calls on `cs` into
+  /// `delta` (nullptr restores direct mutation). Thread-local: other
+  /// threads and other conflict sets are unaffected.
+  static void SetThreadDelta(const ConflictSet* cs, Delta* delta);
+
+  /// Applies every buffered op across `deltas` in the merged deterministic
+  /// order — (stamp, delta position, buffering order) — then destroys the
+  /// graveyards. Delta position must be rule-registration order for the
+  /// merge to reproduce the sequential op stream.
+  void ApplyDeltas(std::vector<Delta>* deltas);
+
+  /// Destroys a dead instantiation — immediately, or (when this thread is
+  /// currently buffering into a delta) after that delta is applied.
+  void Release(std::unique_ptr<InstantiationRef> dead);
 
   /// Inserts `inst`, or reinstates it if present: the fired flag clears,
   /// cached sort keys refresh, and — when the entry had fired — it gets a
@@ -118,7 +200,14 @@ class ConflictSet {
   // Returns true if `a` should fire before `b`.
   static bool Precedes(Strategy strategy, const Entry& a, const Entry& b);
 
-  static void CacheKeys(Entry* e, const InstantiationRef& inst);
+  static KeySnapshot SnapshotKeys(const InstantiationRef& inst);
+  /// Add with pre-computed sort keys (the deferred-apply path never reads
+  /// the live instantiation).
+  void AddWithKeys(InstantiationRef* inst, KeySnapshot keys);
+  /// The non-deferring body of Remove.
+  void RemoveNow(InstantiationRef* inst);
+  /// This thread's delta for `this`, or nullptr.
+  Delta* ThreadDelta() const;
   /// Files / unfiles an eligible entry in both ordered indexes. Unindex
   /// must run *before* any cached-key mutation — erasure locates the
   /// element by the keys it was inserted under.

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <utility>
 
+#include "base/thread_pool.h"
 #include "lang/ast.h"
 
 namespace sorel {
+
+thread_local ReteMatcher::ReplayCtx* ReteMatcher::tls_replay_ = nullptr;
 
 namespace {
 
@@ -222,14 +226,15 @@ void BetaNode::PropagateDown(Token* t) {
 
 void JoinNode::OnParentToken(Token* t) {
   if (indexed_) {
-    ++net_->stats_.index_probes;
+    ++net_->stats_sink().index_probes;
     JoinKey key;
     if (!TokenKey(t, &key)) return;
     const std::vector<WmePtr>* bucket = aindex_->Find(key);
     if (bucket == nullptr) return;
     for (size_t i = 0; i < bucket->size(); ++i) {
       const WmePtr& w = (*bucket)[i];
-      ++net_->stats_.join_attempts;
+      if (!net_->ReplayVisible(*w, amem_)) continue;
+      ++net_->stats_sink().join_attempts;
       if (MatchesResidual(t, *w)) {
         Token* out = net_->NewToken(this, t, w);
         PropagateDown(out);
@@ -242,7 +247,8 @@ void JoinNode::OnParentToken(Token* t) {
   // defensive about iterator invalidation conventions.
   for (size_t i = 0; i < items.size(); ++i) {
     const WmePtr& w = items[i];
-    ++net_->stats_.join_attempts;
+    if (!net_->ReplayVisible(*w, amem_)) continue;
+    ++net_->stats_sink().join_attempts;
     if (Matches(t, *w)) {
       Token* out = net_->NewToken(this, t, w);
       PropagateDown(out);
@@ -253,8 +259,8 @@ void JoinNode::OnParentToken(Token* t) {
 void JoinNode::RightActivate(const WmePtr& wme, bool added) {
   if (!added) return;  // removals are handled by token-tree deletion
   if (parent_ == nullptr) {
-    Token* root = net_->root_token();
-    ++net_->stats_.join_attempts;
+    Token* root = &shard_->root;
+    ++net_->stats_sink().join_attempts;
     if (Matches(root, *wme)) {
       Token* out = net_->NewToken(this, root, wme);
       PropagateDown(out);
@@ -262,13 +268,13 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
     return;
   }
   if (indexed_) {
-    ++net_->stats_.index_probes;
+    ++net_->stats_sink().index_probes;
     const std::vector<Token*>* bucket = left_index_.Find(WmeKey(*wme));
     if (bucket == nullptr) return;
     for (size_t i = 0; i < bucket->size(); ++i) {
       Token* t = (*bucket)[i];
       if (!parent_->IsOutputActive(t)) continue;
-      ++net_->stats_.join_attempts;
+      ++net_->stats_sink().join_attempts;
       if (MatchesResidual(t, *wme)) {
         Token* out = net_->NewToken(this, t, wme);
         PropagateDown(out);
@@ -277,7 +283,7 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
     return;
   }
   parent_->ForEachActiveOutput([&](Token* t) {
-    ++net_->stats_.join_attempts;
+    ++net_->stats_sink().join_attempts;
     if (Matches(t, *wme)) {
       Token* out = net_->NewToken(this, t, wme);
       PropagateDown(out);
@@ -302,19 +308,21 @@ void JoinNode::ForEachActiveOutput(
 int NegativeNode::CountBlockers(const Token* t) const {
   int n = 0;
   if (indexed_) {
-    ++net_->stats_.index_probes;
+    ++net_->stats_sink().index_probes;
     JoinKey key;
     if (!TokenKey(t, &key)) return 0;
     const std::vector<WmePtr>* bucket = aindex_->Find(key);
     if (bucket == nullptr) return 0;
     for (const WmePtr& w : *bucket) {
-      ++net_->stats_.join_attempts;
+      if (!net_->ReplayVisible(*w, amem_)) continue;
+      ++net_->stats_sink().join_attempts;
       if (MatchesResidual(t, *w)) ++n;
     }
     return n;
   }
   for (const WmePtr& w : amem_->items()) {
-    ++net_->stats_.join_attempts;
+    if (!net_->ReplayVisible(*w, amem_)) continue;
+    ++net_->stats_sink().join_attempts;
     if (Matches(t, *w)) ++n;
   }
   return n;
@@ -348,14 +356,14 @@ void NegativeNode::RightActivate(const WmePtr& wme, bool added) {
     }
   };
   if (indexed_) {
-    ++net_->stats_.index_probes;
+    ++net_->stats_sink().index_probes;
     // Retract/Propagate cascade strictly downstream, so this node's own
     // outputs — and therefore this bucket — stay stable while iterating.
     const std::vector<Token*>* bucket = own_index_.Find(WmeKey(*wme));
     if (bucket == nullptr) return;
     for (size_t i = 0; i < bucket->size(); ++i) {
       Token* t = (*bucket)[i];
-      ++net_->stats_.join_attempts;
+      ++net_->stats_sink().join_attempts;
       if (MatchesResidual(t, *wme)) update(t);
     }
     return;
@@ -364,7 +372,7 @@ void NegativeNode::RightActivate(const WmePtr& wme, bool added) {
   // this node (children live downstream).
   for (size_t i = 0; i < outputs_.size(); ++i) {
     Token* t = outputs_[i];
-    ++net_->stats_.join_attempts;
+    ++net_->stats_sink().join_attempts;
     if (!Matches(t, *wme)) continue;
     update(t);
   }
@@ -449,6 +457,10 @@ void PNode::OnToken(Token* token, bool added) {
   auto it = insts_.find(token);
   if (it == insts_.end()) return;
   cs_->Remove(it->second.get());
+  // Keep the instantiation alive until any buffered conflict-set ops have
+  // been applied: a freed address could be reused by a same-batch Add and
+  // alias it in the conflict set's entry map.
+  cs_->Release(std::move(it->second));
   insts_.erase(it);
 }
 
@@ -465,24 +477,44 @@ ReteMatcher::ReteMatcher(WorkingMemory* wm, ConflictSet* cs,
 
 ReteMatcher::~ReteMatcher() {
   wm_->RemoveListener(this);
-  while (!root_.children.empty()) DeleteTokenTree(root_.children.back());
+  for (RuleShard* shard : shards_) {
+    while (!shard->root.children.empty()) {
+      DeleteTokenTree(shard->root.children.back());
+    }
+  }
+  for (Token* t : free_tokens_) delete t;
 }
 
 Token* ReteMatcher::NewToken(BetaNode* owner, Token* parent, WmePtr wme) {
-  Token* t = new Token;
+  ReplayCtx* ctx = tls_replay_;
+  if (ctx != nullptr && ctx->net != this) ctx = nullptr;
+  std::vector<Token*>& pool = ctx != nullptr ? ctx->free_tokens : free_tokens_;
+  ReteStats& stats = ctx != nullptr ? ctx->stats : stats_;
+  Token* t;
+  if (!pool.empty()) {
+    t = pool.back();
+    pool.pop_back();
+    ++stats.token_pool_hits;
+  } else {
+    t = new Token;
+  }
   t->owner = owner;
   t->parent = parent;
   t->wme = std::move(wme);
   if (parent != nullptr) parent->children.push_back(t);
-  if (t->wme != nullptr) {
-    wme_meta_[t->wme->time_tag()].tokens.push_back(t);
+  if (t->wme != nullptr && owner->shard_ != nullptr) {
+    owner->shard_->tokens_by_wme[t->wme->time_tag()].push_back(t);
   }
   // Register in the owner's output memory.
   // (BetaNode::outputs_ is protected; ReteMatcher is a friend.)
   owner->outputs_.push_back(t);
   owner->OnTokenRegistered(t);
-  ++live_tokens_;
-  ++stats_.tokens_created;
+  if (ctx != nullptr) {
+    ++ctx->live_token_delta;
+  } else {
+    ++live_tokens_;
+  }
+  ++stats.tokens_created;
   return t;
 }
 
@@ -494,17 +526,35 @@ void ReteMatcher::DeleteTokenTree(Token* t) {
     siblings.erase(std::remove(siblings.begin(), siblings.end(), t),
                    siblings.end());
   }
-  if (t->wme != nullptr) {
-    auto it = wme_meta_.find(t->wme->time_tag());
-    if (it != wme_meta_.end()) {
-      auto& tokens = it->second.tokens;
+  if (t->wme != nullptr && t->owner->shard_ != nullptr) {
+    auto it = t->owner->shard_->tokens_by_wme.find(t->wme->time_tag());
+    if (it != t->owner->shard_->tokens_by_wme.end()) {
+      auto& tokens = it->second;
       tokens.erase(std::remove(tokens.begin(), tokens.end(), t),
                    tokens.end());
+      // The map entry itself is only erased by the removal driver
+      // (FinishRemove / the replay's deletion phase), which may be holding
+      // an iterator to it while this cascade runs.
     }
   }
-  delete t;
-  --live_tokens_;
-  ++stats_.tokens_deleted;
+  // Recycle through the free list. `children` is already empty (drained
+  // above) and keeps its capacity for the next incarnation.
+  t->wme.reset();
+  t->parent = nullptr;
+  t->owner = nullptr;
+  t->blockers = 0;
+  t->propagated = false;
+  ReplayCtx* ctx = tls_replay_;
+  if (ctx != nullptr && ctx->net != this) ctx = nullptr;
+  if (ctx != nullptr) {
+    ctx->free_tokens.push_back(t);
+    --ctx->live_token_delta;
+    ++ctx->stats.tokens_deleted;
+  } else {
+    free_tokens_.push_back(t);
+    --live_tokens_;
+    ++stats_.tokens_deleted;
+  }
 }
 
 AlphaMemory* ReteMatcher::GetOrCreateAlpha(const CompiledCondition& cond) {
@@ -517,11 +567,17 @@ AlphaMemory* ReteMatcher::GetOrCreateAlpha(const CompiledCondition& cond) {
   for (const WmePtr& w : wm_->Snapshot()) {
     if (w->cls() == cond.cls && am->Accepts(*w)) {
       am->AddItem(w);
-      wme_meta_[w->time_tag()].amems.push_back(am.get());
+      wme_amems_[w->time_tag()].push_back(am.get());
     }
   }
   memories.push_back(std::move(am));
   return memories.back().get();
+}
+
+void ReteMatcher::RenumberSuccessors(AlphaMemory* am) {
+  for (size_t i = 0; i < am->successors_.size(); ++i) {
+    am->successors_[i]->succ_ordinal_ = static_cast<int>(i);
+  }
 }
 
 Status ReteMatcher::AddRule(const CompiledRule* rule) {
@@ -530,6 +586,9 @@ Status ReteMatcher::AddRule(const CompiledRule* rule) {
         "rule '" + rule->name +
         "': this matcher was built without set-oriented (S-node) support");
   }
+  auto shard = std::make_unique<RuleShard>();
+  shard->rule = rule;
+  shard->ordinal = shards_.size();
   // Build the linear beta chain.
   std::vector<BetaNode*> chain;
   BetaNode* prev = nullptr;
@@ -541,8 +600,10 @@ Status ReteMatcher::AddRule(const CompiledRule* rule) {
     } else {
       node = std::make_unique<JoinNode>(this, am, prev, &cond);
     }
+    node->shard_ = shard.get();
     // Newest successors first (duplicate-token avoidance).
     am->successors_.insert(am->successors_.begin(), node.get());
+    RenumberSuccessors(am);
     if (prev != nullptr) prev->set_child(node.get());
     prev = node.get();
     chain.push_back(node.get());
@@ -555,10 +616,28 @@ Status ReteMatcher::AddRule(const CompiledRule* rule) {
     sink = std::make_unique<PNode>(rule, cs_);
   }
   prev->set_sink(sink.get());
-  RuleNodes entry;
-  entry.chain = chain;
-  entry.sink = sink.get();
-  rule_nodes_.emplace(rule, std::move(entry));
+  shard->chain = chain;
+  shard->sink = sink.get();
+  // Group this rule's nodes by alpha memory in successor order: within one
+  // memory a rule's later-chain nodes sit earlier (each insert above
+  // prepends), so walking the chain backwards yields successor order.
+  for (auto cit = chain.rbegin(); cit != chain.rend(); ++cit) {
+    BetaNode* node = *cit;
+    std::vector<BetaNode*>* group = nullptr;
+    for (auto& [mem, nodes] : shard->amem_nodes) {
+      if (mem == node->amem_) {
+        group = &nodes;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      shard->amem_nodes.emplace_back(node->amem_, std::vector<BetaNode*>());
+      group = &shard->amem_nodes.back().second;
+    }
+    group->push_back(node);
+  }
+  shards_.push_back(shard.get());
+  rule_shards_.emplace(rule, std::move(shard));
   sinks_.push_back(std::move(sink));
 
   // Populate from existing WM: right-activating the first node cascades
@@ -570,32 +649,36 @@ Status ReteMatcher::AddRule(const CompiledRule* rule) {
 }
 
 Status ReteMatcher::RemoveRule(const CompiledRule* rule) {
-  auto it = rule_nodes_.find(rule);
-  if (it == rule_nodes_.end()) {
+  auto it = rule_shards_.find(rule);
+  if (it == rule_shards_.end()) {
     return Status::NotFound("rule not loaded: " + rule->name);
   }
-  RuleNodes entry = std::move(it->second);
-  rule_nodes_.erase(it);
+  std::unique_ptr<RuleShard> shard = std::move(it->second);
+  rule_shards_.erase(it);
   // 1. Delete the chain's tokens. Every downstream token descends from a
   //    first-node output, so deleting those roots cascades through the
   //    whole chain (and notifies the sink for retracted instantiations).
-  BetaNode* first = entry.chain.front();
+  BetaNode* first = shard->chain.front();
   while (!first->outputs_.empty()) DeleteTokenTree(first->outputs_.back());
   // 2. Unhook from the shared alpha memories.
-  for (BetaNode* node : entry.chain) {
+  for (BetaNode* node : shard->chain) {
     auto& succs = node->amem_->successors_;
     succs.erase(std::remove(succs.begin(), succs.end(), node), succs.end());
+    RenumberSuccessors(node->amem_);
   }
   // 3. Destroy the sink (removes any remaining conflict-set entries, e.g.
   //    inactive SOIs are dropped with it) and the nodes.
   std::erase_if(sinks_, [&](const std::unique_ptr<ReteSink>& s) {
-    return s.get() == entry.sink;
+    return s.get() == shard->sink;
   });
-  for (BetaNode* node : entry.chain) {
+  for (BetaNode* node : shard->chain) {
     std::erase_if(nodes_, [&](const std::unique_ptr<BetaNode>& n) {
       return n.get() == node;
     });
   }
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard.get()),
+                shards_.end());
+  for (size_t i = 0; i < shards_.size(); ++i) shards_[i]->ordinal = i;
   return Status::Ok();
 }
 
@@ -605,7 +688,7 @@ void ReteMatcher::ApplyAdd(const WmePtr& wme) {
   for (const auto& am : it->second) {
     if (!am->Accepts(*wme)) continue;
     am->AddItem(wme);
-    wme_meta_[wme->time_tag()].amems.push_back(am.get());
+    wme_amems_[wme->time_tag()].push_back(am.get());
     // Immediate per-memory activation, successors newest-first: this is the
     // ordering that makes one WME matching several CEs of a rule produce
     // each combined token exactly once.
@@ -617,25 +700,22 @@ void ReteMatcher::ApplyAdd(const WmePtr& wme) {
 }
 
 void ReteMatcher::ApplyRemove(const WmePtr& wme) {
-  auto it = wme_meta_.find(wme->time_tag());
-  if (it == wme_meta_.end()) return;
+  auto it = wme_amems_.find(wme->time_tag());
+  if (it == wme_amems_.end()) return;
   // 1. Remove from alpha memories so joins no longer see it.
-  for (AlphaMemory* am : it->second.amems) {
+  for (AlphaMemory* am : it->second) {
     am->RemoveItem(wme);
   }
   // 2. Unblock negative nodes (may propagate new tokens).
-  for (AlphaMemory* am : it->second.amems) {
+  for (AlphaMemory* am : it->second) {
     for (size_t i = 0; i < am->successors_.size(); ++i) {
       ++stats_.right_activations;
       am->successors_[i]->RightActivate(wme, /*added=*/false);
     }
   }
-  // 3. Tree-delete every token anchored on this WME. Deletions edit the
-  //    live list in place (a token in the list can delete a descendant that
-  //    is also in the list), so loop until empty rather than iterating.
-  auto& tokens = it->second.tokens;
-  while (!tokens.empty()) DeleteTokenTree(tokens.back());
-  wme_meta_.erase(wme->time_tag());
+  // 3. Tree-delete every token anchored on this WME.
+  FinishRemove(wme);
+  wme_amems_.erase(wme->time_tag());
 }
 
 void ReteMatcher::OnAdd(const WmePtr& wme) { ApplyAdd(wme); }
@@ -655,9 +735,9 @@ void ReteMatcher::ApplyRemoveRun(const std::vector<WmChange>& changes,
   // per-WME interleaving of unblocking vs. token deletion is observable
   // in the sink's Touch sequence.
   for (size_t i = begin; i < end; ++i) {
-    auto it = wme_meta_.find(changes[i].wme->time_tag());
-    if (it == wme_meta_.end()) continue;
-    for (AlphaMemory* am : it->second.amems) {
+    auto it = wme_amems_.find(changes[i].wme->time_tag());
+    if (it == wme_amems_.end()) continue;
+    for (AlphaMemory* am : it->second) {
       for (BetaNode* succ : am->successors_) {
         if (succ->cond().negated) {
           // The scan mutates nothing, so the fallback is a clean per-WME
@@ -671,26 +751,43 @@ void ReteMatcher::ApplyRemoveRun(const std::vector<WmChange>& changes,
   // Phase 1: all alpha exits.
   for (size_t i = begin; i < end; ++i) {
     const WmePtr& wme = changes[i].wme;
-    auto it = wme_meta_.find(wme->time_tag());
-    if (it == wme_meta_.end()) continue;
-    for (AlphaMemory* am : it->second.amems) am->RemoveItem(wme);
+    auto it = wme_amems_.find(wme->time_tag());
+    if (it == wme_amems_.end()) continue;
+    for (AlphaMemory* am : it->second) am->RemoveItem(wme);
   }
   // Phase 2: per-WME token-tree deletion, batch order. (No negative
   // successors anywhere in the run, and JoinNode::RightActivate ignores
   // removals, so the skipped right-activations are provably no-ops.)
-  for (size_t i = begin; i < end; ++i) FinishRemove(changes[i].wme);
+  for (size_t i = begin; i < end; ++i) {
+    FinishRemove(changes[i].wme);
+    wme_amems_.erase(changes[i].wme->time_tag());
+  }
   ++stats_.grouped_removals;
 }
 
 void ReteMatcher::FinishRemove(const WmePtr& wme) {
-  auto it = wme_meta_.find(wme->time_tag());
-  if (it == wme_meta_.end()) return;
-  auto& tokens = it->second.tokens;
-  while (!tokens.empty()) DeleteTokenTree(tokens.back());
-  wme_meta_.erase(wme->time_tag());
+  TimeTag tag = wme->time_tag();
+  // Shard by shard in registration order — the same order the parallel
+  // merge applies per-rule deletion ops in.  Deletions edit the live list
+  // in place (a token in the list can delete a descendant that is also in
+  // the list), so loop until empty rather than iterating.
+  for (RuleShard* shard : shards_) {
+    auto it = shard->tokens_by_wme.find(tag);
+    if (it == shard->tokens_by_wme.end()) continue;
+    while (!it->second.empty()) DeleteTokenTree(it->second.back());
+    shard->tokens_by_wme.erase(it);
+  }
 }
 
 void ReteMatcher::OnBatch(const ChangeBatch& batch) {
+  if (options_.pool != nullptr) {
+    OnBatchParallel(batch);
+    return;
+  }
+  OnBatchSequential(batch);
+}
+
+void ReteMatcher::OnBatchSequential(const ChangeBatch& batch) {
   ++stats_.batches;
   for (const auto& s : sinks_) s->OnBatchBegin();
   const std::vector<WmChange>& changes = batch.changes;
@@ -709,6 +806,159 @@ void ReteMatcher::OnBatch(const ChangeBatch& batch) {
   for (const auto& s : sinks_) s->OnBatchEnd();
 }
 
+void ReteMatcher::OnBatchParallel(const ChangeBatch& batch) {
+  ++stats_.batches;
+  ++stats_.parallel_batches;
+  for (const auto& s : sinks_) s->OnBatchBegin();
+  const std::vector<WmChange>& changes = batch.changes;
+
+  // --- Phase A (coordinator): alpha entries + the replay plan. ---
+  //
+  // Adds go into their alpha memories right away (all replay tasks read the
+  // same physical memories); removals are only *marked* — they leave in
+  // phase C, after every task is done reading. ReplayVisible gives each
+  // task the exact per-change view the sequential interleaving had.
+  replay_removed_.clear();
+  std::vector<ChangeRec> plan;
+  plan.reserve(changes.size());
+  // Staged adds carry strictly increasing time tags, all larger than any
+  // pre-batch WME's, so "visible as of change e" is just a tag ceiling.
+  TimeTag ceiling = std::numeric_limits<TimeTag>::max();
+  for (const WmChange& c : changes) {
+    if (c.added) {
+      ceiling = c.wme->time_tag() - 1;
+      break;
+    }
+  }
+  std::vector<char> touched(shards_.size(), 0);
+  for (size_t e = 0; e < changes.size(); ++e) {
+    const WmChange& c = changes[e];
+    ChangeRec rec;
+    rec.prev_ceiling = ceiling;
+    if (c.added) {
+      auto it = alphas_by_class_.find(c.wme->cls());
+      if (it != alphas_by_class_.end()) {
+        for (const auto& am : it->second) {
+          if (!am->Accepts(*c.wme)) continue;
+          am->AddItem(c.wme);
+          wme_amems_[c.wme->time_tag()].push_back(am.get());
+          rec.amems.push_back(am.get());
+        }
+      }
+      ceiling = c.wme->time_tag();
+    } else {
+      auto it = wme_amems_.find(c.wme->time_tag());
+      if (it != wme_amems_.end()) rec.amems = it->second;
+      replay_removed_.emplace(c.wme.get(), e);
+      for (RuleShard* shard : shards_) {
+        if (shard->tokens_by_wme.count(c.wme->time_tag()) != 0) {
+          touched[shard->ordinal] = 1;
+        }
+      }
+    }
+    rec.ceiling = ceiling;
+    for (AlphaMemory* am : rec.amems) {
+      for (BetaNode* succ : am->successors_) {
+        touched[succ->shard_->ordinal] = 1;
+      }
+    }
+    plan.push_back(std::move(rec));
+  }
+
+  // --- Phase B: one replay task per touched rule shard. ---
+  std::vector<RuleShard*> targets;
+  for (RuleShard* s : shards_) {
+    if (touched[s->ordinal] != 0) targets.push_back(s);
+  }
+  if (!targets.empty()) {
+    std::vector<ConflictSet::Delta> deltas(targets.size());
+    std::vector<ReplayCtx> ctxs(targets.size());
+    stats_.replay_tasks += targets.size();
+    if (targets.size() == 1) {
+      // One touched rule: replay inline, dispatch would only add latency.
+      ReplayShard(targets[0], changes, plan, &deltas[0], &ctxs[0]);
+    } else {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(targets.size());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        tasks.push_back([this, &changes, &plan, &deltas, &ctxs, &targets, i] {
+          ReplayShard(targets[i], changes, plan, &deltas[i], &ctxs[i]);
+        });
+      }
+      options_.pool->RunAll(std::move(tasks));
+    }
+    // --- Phase C: deterministic merge, registration order. ---
+    for (ReplayCtx& ctx : ctxs) MergeCtx(&ctx);
+    cs_->ApplyDeltas(&deltas);
+  }
+  // Physical alpha exits for the batch's removals (the marks kept them in
+  // place during phase B).
+  for (size_t e = 0; e < changes.size(); ++e) {
+    if (changes[e].added) continue;
+    const WmePtr& wme = changes[e].wme;
+    for (AlphaMemory* am : plan[e].amems) am->RemoveItem(wme);
+    wme_amems_.erase(wme->time_tag());
+  }
+  replay_removed_.clear();
+  for (const auto& s : sinks_) s->OnBatchEnd();
+}
+
+void ReteMatcher::ReplayShard(RuleShard* shard,
+                              const std::vector<WmChange>& changes,
+                              const std::vector<ChangeRec>& plan,
+                              ConflictSet::Delta* delta, ReplayCtx* ctx) {
+  ctx->net = this;
+  ctx->shard = shard;
+  tls_replay_ = ctx;
+  ConflictSet::SetThreadDelta(cs_, delta);
+  for (size_t e = 0; e < changes.size(); ++e) {
+    const WmChange& c = changes[e];
+    const ChangeRec& rec = plan[e];
+    ctx->epoch = e;
+    ctx->prev_ceiling = rec.prev_ceiling;
+    ctx->add_ceiling = rec.ceiling;
+    ctx->cur_amems = &rec.amems;
+    for (size_t a = 0; a < rec.amems.size(); ++a) {
+      ctx->cur_amem_ord = a;
+      const std::vector<BetaNode*>* nodes = shard->SuccessorsOf(rec.amems[a]);
+      if (nodes == nullptr) continue;
+      for (BetaNode* node : *nodes) {
+        delta->SetStamp({static_cast<uint32_t>(e), 0, static_cast<uint32_t>(a),
+                         static_cast<uint32_t>(node->succ_ordinal_)});
+        ++ctx->stats.right_activations;
+        node->RightActivate(c.wme, c.added);
+      }
+    }
+    if (!c.added) {
+      // Token-tree deletion for this removal, after its unblock cascade —
+      // the same per-change interleaving as the sequential ApplyRemove.
+      delta->SetStamp({static_cast<uint32_t>(e), 1, 0, 0});
+      auto it = shard->tokens_by_wme.find(c.wme->time_tag());
+      if (it != shard->tokens_by_wme.end()) {
+        while (!it->second.empty()) DeleteTokenTree(it->second.back());
+        shard->tokens_by_wme.erase(it);
+      }
+    }
+  }
+  ConflictSet::SetThreadDelta(cs_, nullptr);
+  tls_replay_ = nullptr;
+}
+
+void ReteMatcher::MergeCtx(ReplayCtx* ctx) {
+  const ReteStats& s = ctx->stats;
+  stats_.join_attempts += s.join_attempts;
+  stats_.index_probes += s.index_probes;
+  stats_.tokens_created += s.tokens_created;
+  stats_.tokens_deleted += s.tokens_deleted;
+  stats_.right_activations += s.right_activations;
+  stats_.token_pool_hits += s.token_pool_hits;
+  live_tokens_ = static_cast<size_t>(static_cast<int64_t>(live_tokens_) +
+                                     ctx->live_token_delta);
+  free_tokens_.insert(free_tokens_.end(), ctx->free_tokens.begin(),
+                      ctx->free_tokens.end());
+  ctx->free_tokens.clear();
+}
+
 void ReteMatcher::DumpNetwork(std::ostream& out,
                               const SymbolTable& symbols) const {
   out << "alpha network:\n";
@@ -723,15 +973,15 @@ void ReteMatcher::DumpNetwork(std::ostream& out,
     }
   }
   out << "beta network:\n";
-  for (const auto& [rule, entry] : rule_nodes_) {
-    out << "  rule " << rule->name << ":";
-    for (BetaNode* node : entry.chain) {
+  for (const RuleShard* shard : shards_) {
+    out << "  rule " << shard->rule->name << ":";
+    for (BetaNode* node : shard->chain) {
       bool negative = node->cond().negated;
       out << " " << (negative ? "neg" : "join")
           << (node->indexed() ? "*" : "") << "(" << node->outputs_.size()
           << ")";
     }
-    out << " -> " << (rule->has_set ? "S-node" : "P-node") << "\n";
+    out << " -> " << (shard->rule->has_set ? "S-node" : "P-node") << "\n";
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef SOREL_RETE_NETWORK_H_
 #define SOREL_RETE_NETWORK_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <ostream>
@@ -17,6 +18,7 @@
 namespace sorel {
 
 class ReteMatcher;
+class ThreadPool;
 
 /// Construction-time options for the Rete matcher.
 struct ReteOptions {
@@ -26,6 +28,12 @@ struct ReteOptions {
   /// kept as the ablation baseline for bench_fig3_snode and
   /// bench_workload_seating.
   bool use_indexed_joins = true;
+  /// Worker pool for parallel ChangeBatch propagation (borrowed, may be
+  /// null). With a pool, OnBatch runs the shared alpha phase sequentially
+  /// and fans the per-rule beta replays out as pool tasks; conflict-set
+  /// sends are buffered per rule and merged deterministically, so the
+  /// observable behavior stays bit-identical to the sequential path.
+  ThreadPool* pool = nullptr;
 };
 
 /// Hot-path counters for the match network (see docs/INTERNALS.md,
@@ -42,8 +50,15 @@ struct ReteStats {
   uint64_t right_activations = 0;
   /// ChangeBatch deliveries handled natively (batched_wm on).
   uint64_t batches = 0;
-  /// Removal runs whose alpha exits were grouped (no negative successors).
+  /// Removal runs whose alpha exits were grouped (no negative successors;
+  /// sequential path only — the parallel replay subsumes the grouping).
   uint64_t grouped_removals = 0;
+  /// NewToken requests served from the token free list instead of the heap.
+  uint64_t token_pool_hits = 0;
+  /// Batches propagated through the worker pool.
+  uint64_t parallel_batches = 0;
+  /// Per-rule replay tasks dispatched across those batches.
+  uint64_t replay_tasks = 0;
 };
 
 /// Terminal consumer of a rule's tokens: a P-node for regular rules or an
@@ -59,6 +74,41 @@ class ReteSink {
   /// member token). Defaults are no-ops (P-nodes stay eager).
   virtual void OnBatchBegin() {}
   virtual void OnBatchEnd() {}
+};
+
+class AlphaMemory;
+class BetaNode;
+
+/// One rule's private slice of the match state: its beta chain, sink, and
+/// token anchoring. Everything a shard owns is touched by exactly one
+/// replay task during parallel propagation, so workers need no locks.
+struct RuleShard {
+  const CompiledRule* rule = nullptr;
+  std::vector<BetaNode*> chain;
+  ReteSink* sink = nullptr;
+  /// Position in rule-registration order (index into ReteMatcher::shards_);
+  /// the deterministic-merge tie-break across rules.
+  size_t ordinal = 0;
+  /// Tokens whose own WME is the keyed one, this rule's chain only — the
+  /// per-rule half of tree-based removal.
+  std::unordered_map<TimeTag, std::vector<Token*>> tokens_by_wme;
+  /// This rule's beta nodes grouped by alpha memory, each group in
+  /// successor (newest-first) order — the replay's right-activation
+  /// schedule. Relative order within one rule never changes (other rules
+  /// only prepend to the shared successor lists), so this is computed once
+  /// at AddRule.
+  std::vector<std::pair<AlphaMemory*, std::vector<BetaNode*>>> amem_nodes;
+  /// Dummy parent of this rule's level-1 tokens. Per-shard (not per
+  /// matcher) so concurrent replays never push into a shared `children`
+  /// vector.
+  Token root;
+
+  const std::vector<BetaNode*>* SuccessorsOf(const AlphaMemory* am) const {
+    for (const auto& [mem, nodes] : amem_nodes) {
+      if (mem == am) return &nodes;
+    }
+    return nullptr;
+  }
 };
 
 /// An alpha memory: the WMEs of one class passing one set of intra-WME
@@ -192,6 +242,11 @@ class BetaNode {
   BetaNode* child_ = nullptr;
   ReteSink* sink_ = nullptr;
   std::vector<Token*> outputs_;
+  /// The rule shard this node belongs to (set by AddRule).
+  RuleShard* shard_ = nullptr;
+  /// Current position in amem_->successors_ (maintained by the matcher on
+  /// rule add/remove); the within-alpha-memory merge tie-break.
+  int succ_ordinal_ = 0;
 
   // --- indexed-join state (unused when !indexed_) ---
   bool indexed_ = false;
@@ -266,6 +321,19 @@ using SinkFactory =
 
 /// The extended Rete network of §5: shared alpha memories, per-rule join
 /// chains, negative nodes, and pluggable terminals.
+///
+/// Threading model (ReteOptions::pool set): OnBatch splits into three
+/// phases. Phase A (coordinator) walks the batch once, inserting every add
+/// into its alpha memories and recording a per-change replay plan; removed
+/// WMEs stay physically present but are marked in `replay_removed_`. Phase
+/// B fans one task per touched rule shard out to the pool; each task
+/// replays the change sequence against its own beta chain, with all alpha
+/// reads filtered through `ReplayVisible` so every scan sees exactly the
+/// memory contents the sequential interleaving would have seen at that
+/// change. Conflict-set sends are buffered per shard with deterministic
+/// stamps. Phase C (coordinator) merges stats, applies the conflict-set
+/// deltas in the sequential order, performs the physical alpha exits, and
+/// runs the sinks' batch-end flushes — bit-identical to `pool == nullptr`.
 class ReteMatcher : public Matcher {
  public:
   /// `sink_factory` may be null, in which case every rule gets a plain
@@ -288,12 +356,13 @@ class ReteMatcher : public Matcher {
   /// ordering per-WME listeners would see), and groups consecutive removals'
   /// alpha-memory exits when no negative node is watching (a negative
   /// successor needs the per-WME unblocking order to stay bit-identical).
+  /// With a worker pool configured, the per-rule replays run concurrently
+  /// (see the class comment).
   void OnBatch(const ChangeBatch& batch) override;
 
   // --- token management (used by beta nodes) ---
   Token* NewToken(BetaNode* owner, Token* parent, WmePtr wme);
   void DeleteTokenTree(Token* t);
-  Token* root_token() { return &root_; }
 
   // --- introspection for tests and benches ---
   /// Prints the network topology: alpha memories (class, tests, items,
@@ -302,20 +371,81 @@ class ReteMatcher : public Matcher {
   size_t num_alpha_memories() const;
   size_t live_tokens() const { return live_tokens_; }
   size_t num_beta_nodes() const { return nodes_.size(); }
+  /// Recyclable tokens currently parked in the free list.
+  size_t free_tokens() const { return free_tokens_.size(); }
 
   const ReteOptions& options() const { return options_; }
   const ReteStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
 
  private:
-  friend class BetaNode;  // nodes bump stats_ through net_
+  friend class BetaNode;  // nodes bump stats through net_
   friend class JoinNode;
   friend class NegativeNode;
 
-  struct WmeMeta {
-    std::vector<AlphaMemory*> amems;
-    std::vector<Token*> tokens;  // tokens whose own wme is this WME
+  /// Per-task replay state, installed in `tls_replay_` while a shard task
+  /// runs. Everything a worker would otherwise write to shared matcher
+  /// state (counters, the token free list) accumulates here and is merged
+  /// by the coordinator after the join.
+  struct ReplayCtx {
+    ReteMatcher* net = nullptr;
+    RuleShard* shard = nullptr;
+    ReteStats stats;
+    int64_t live_token_delta = 0;
+    std::vector<Token*> free_tokens;
+    // Visibility state for the change currently being replayed.
+    size_t epoch = 0;
+    TimeTag prev_ceiling = 0;
+    TimeTag add_ceiling = 0;
+    const std::vector<AlphaMemory*>* cur_amems = nullptr;
+    size_t cur_amem_ord = 0;
   };
+
+  /// One batch change's replay plan (phase A output).
+  struct ChangeRec {
+    /// Alpha memories the change's WME entered (adds, in activation order)
+    /// or occupied (removals, in the order ApplyAdd filed them).
+    std::vector<AlphaMemory*> amems;
+    /// Highest time tag visible before / after this change's add (adds are
+    /// tag-monotone within a batch, so a ceiling encodes add visibility).
+    TimeTag prev_ceiling = 0;
+    TimeTag ceiling = 0;
+  };
+
+  /// The stats sink for the current thread: the replay-task accumulator
+  /// during phase B, the matcher's own counters otherwise.
+  ReteStats& stats_sink() {
+    ReplayCtx* ctx = tls_replay_;
+    return (ctx != nullptr && ctx->net == this) ? ctx->stats : stats_;
+  }
+
+  /// Whether `w` — found in `amem`'s physical storage — is visible to the
+  /// replay at its current change. Outside a replay everything physically
+  /// present is visible.
+  bool ReplayVisible(const Wme& w, const AlphaMemory* amem) const {
+    const ReplayCtx* ctx = tls_replay_;
+    if (ctx == nullptr || ctx->net != this) return true;
+    TimeTag tag = w.time_tag();
+    if (tag > ctx->add_ceiling) return false;  // added later in the batch
+    if (tag > ctx->prev_ceiling) {
+      // `w` is the WME of the change being replayed. Sequential ApplyAdd
+      // inserts it into one alpha memory at a time, activating that
+      // memory's successors before inserting into the next — so mid-change
+      // it is visible only in the memories already entered.
+      const std::vector<AlphaMemory*>& amems = *ctx->cur_amems;
+      for (size_t i = 0; i <= ctx->cur_amem_ord && i < amems.size(); ++i) {
+        if (amems[i] == amem) return true;
+      }
+      return false;
+    }
+    if (!replay_removed_.empty()) {
+      auto it = replay_removed_.find(&w);
+      if (it != replay_removed_.end() && it->second <= ctx->epoch) {
+        return false;  // removed at or before the current change
+      }
+    }
+    return true;
+  }
 
   AlphaMemory* GetOrCreateAlpha(const CompiledCondition& cond);
 
@@ -327,15 +457,24 @@ class ReteMatcher : public Matcher {
   /// per-WME ApplyRemove when a touched alpha has a negative successor.
   void ApplyRemoveRun(const std::vector<WmChange>& changes, size_t begin,
                       size_t end);
-  /// Token-tree deletion half of a removal (after the alpha exits).
+  /// Token-tree deletion half of a removal (after the alpha exits): deletes
+  /// the WME's anchored tokens shard by shard in registration order.
   void FinishRemove(const WmePtr& wme);
 
-  /// Per-rule bookkeeping so RemoveRule can tear a chain down.
-  struct RuleNodes {
-    std::vector<BetaNode*> chain;
-    ReteSink* sink = nullptr;
-  };
-  std::unordered_map<const CompiledRule*, RuleNodes> rule_nodes_;
+  /// The sequential OnBatch body.
+  void OnBatchSequential(const ChangeBatch& batch);
+  /// The three-phase parallel OnBatch body (requires options_.pool).
+  void OnBatchParallel(const ChangeBatch& batch);
+  /// Phase B task: replays the whole change sequence against one shard.
+  void ReplayShard(RuleShard* shard, const std::vector<WmChange>& changes,
+                   const std::vector<ChangeRec>& plan,
+                   ConflictSet::Delta* delta, ReplayCtx* ctx);
+  /// Folds a finished task's accumulators into the matcher state.
+  void MergeCtx(ReplayCtx* ctx);
+
+  /// Reassigns succ_ordinal_ for every successor of `am` (after an insert
+  /// or erase shifted positions).
+  static void RenumberSuccessors(AlphaMemory* am);
 
   WorkingMemory* wm_;
   ConflictSet* cs_;
@@ -344,11 +483,25 @@ class ReteMatcher : public Matcher {
       alphas_by_class_;
   std::vector<std::unique_ptr<BetaNode>> nodes_;
   std::vector<std::unique_ptr<ReteSink>> sinks_;
-  std::unordered_map<TimeTag, WmeMeta> wme_meta_;
-  Token root_;
+  /// Per-rule shards, by rule and in registration order.
+  std::unordered_map<const CompiledRule*, std::unique_ptr<RuleShard>>
+      rule_shards_;
+  std::vector<RuleShard*> shards_;
+  /// Alpha memories each live WME passed (the shared half of removal).
+  std::unordered_map<TimeTag, std::vector<AlphaMemory*>> wme_amems_;
+  /// WMEs removed by the in-flight batch (parallel path only): WME -> index
+  /// of its removal change. Physically still in the alpha memories until
+  /// phase C; ReplayVisible hides them from later epochs.
+  std::unordered_map<const Wme*, size_t> replay_removed_;
   size_t live_tokens_ = 0;
+  /// Recycled Token objects (satellite: token free list). Worker tasks use
+  /// their ReplayCtx-local lists during phase B; the coordinator merges
+  /// them back here.
+  std::vector<Token*> free_tokens_;
   ReteOptions options_;
   ReteStats stats_;
+  /// The replay context of the task running on this thread, if any.
+  static thread_local ReplayCtx* tls_replay_;
 };
 
 }  // namespace sorel

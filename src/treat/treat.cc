@@ -1,9 +1,11 @@
 #include "treat/treat.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 
+#include "base/thread_pool.h"
 #include "rete/instantiation.h"
 
 namespace sorel {
@@ -66,8 +68,9 @@ struct TreatMatcher::RuleState {
   bool needs_research = false;
 };
 
-TreatMatcher::TreatMatcher(WorkingMemory* wm, ConflictSet* cs)
-    : wm_(wm), cs_(cs) {
+TreatMatcher::TreatMatcher(WorkingMemory* wm, ConflictSet* cs,
+                           ThreadPool* pool)
+    : wm_(wm), cs_(cs), pool_(pool) {
   wm_->AddListener(this);
 }
 
@@ -96,7 +99,7 @@ Status TreatMatcher::AddRule(const CompiledRule* rule) {
       }
     }
   }
-  SearchAll(rs.get());
+  SearchAll(rs.get(), &stats_);
   rules_.push_back(std::move(rs));
   return Status::Ok();
 }
@@ -162,14 +165,14 @@ void TreatMatcher::EmitInst(RuleState* rs, const Row& row) {
 }
 
 void TreatMatcher::SearchFromSeed(RuleState* rs, int seed_ce,
-                                  const WmePtr& seed) {
-  ++stats_.seeded_searches;
+                                  const WmePtr& seed, Stats* stats) {
+  ++stats->seeded_searches;
   Row row(static_cast<size_t>(rs->rule->num_positive));
   ExtendRow(rs, 0, &row, seed_ce, seed);
 }
 
-void TreatMatcher::SearchAll(RuleState* rs) {
-  ++stats_.full_searches;
+void TreatMatcher::SearchAll(RuleState* rs, Stats* stats) {
+  ++stats->full_searches;
   Row row(static_cast<size_t>(rs->rule->num_positive));
   ExtendRow(rs, 0, &row, /*seed_ce=*/-1, /*seed=*/nullptr);
 }
@@ -185,6 +188,9 @@ void TreatMatcher::DropInstsContaining(RuleState* rs, const Wme& wme) {
     }
     if (contains) {
       cs_->Remove(it->second.get());
+      // Keep the instantiation alive until any buffered conflict-set ops
+      // have been applied (a reused address would alias in the entry map).
+      cs_->Release(std::move(it->second));
       it = rs->insts.erase(it);
     } else {
       ++it;
@@ -192,54 +198,63 @@ void TreatMatcher::DropInstsContaining(RuleState* rs, const Wme& wme) {
   }
 }
 
-void TreatMatcher::ApplyAdd(const WmePtr& wme) {
-  for (const auto& rs : rules_) {
-    const auto& conditions = rs->rule->conditions;
-    std::vector<size_t> matched_pos, matched_neg;
-    for (size_t ce = 0; ce < conditions.size(); ++ce) {
-      const CompiledCondition& cond = conditions[ce];
-      if (wme->cls() != cond.cls || !PassesAlphaTests(cond, *wme)) continue;
-      rs->alpha[ce].push_back(wme);
-      (cond.negated ? matched_neg : matched_pos).push_back(ce);
-    }
-    // New blockers delete the instantiations they now block.
-    for (size_t ce : matched_neg) {
-      const CompiledCondition& cond = conditions[ce];
-      for (auto it = rs->insts.begin(); it != rs->insts.end();) {
-        if (PassesJoinTests(cond, it->second->row(), *wme)) {
-          cs_->Remove(it->second.get());
-          it = rs->insts.erase(it);
-        } else {
-          ++it;
-        }
+void TreatMatcher::ApplyAddToRule(RuleState* rs, const WmePtr& wme,
+                                  Stats* stats) {
+  const auto& conditions = rs->rule->conditions;
+  std::vector<size_t> matched_pos, matched_neg;
+  for (size_t ce = 0; ce < conditions.size(); ++ce) {
+    const CompiledCondition& cond = conditions[ce];
+    if (wme->cls() != cond.cls || !PassesAlphaTests(cond, *wme)) continue;
+    rs->alpha[ce].push_back(wme);
+    (cond.negated ? matched_neg : matched_pos).push_back(ce);
+  }
+  // New blockers delete the instantiations they now block.
+  for (size_t ce : matched_neg) {
+    const CompiledCondition& cond = conditions[ce];
+    for (auto it = rs->insts.begin(); it != rs->insts.end();) {
+      if (PassesJoinTests(cond, it->second->row(), *wme)) {
+        cs_->Remove(it->second.get());
+        cs_->Release(std::move(it->second));
+        it = rs->insts.erase(it);
+      } else {
+        ++it;
       }
     }
-    // Seeded search for new instantiations through each matched positive CE.
-    for (size_t ce : matched_pos) {
-      SearchFromSeed(rs.get(), static_cast<int>(ce), wme);
+  }
+  // Seeded search for new instantiations through each matched positive CE.
+  for (size_t ce : matched_pos) {
+    SearchFromSeed(rs, static_cast<int>(ce), wme, stats);
+  }
+}
+
+void TreatMatcher::ApplyAdd(const WmePtr& wme) {
+  for (const auto& rs : rules_) ApplyAddToRule(rs.get(), wme, &stats_);
+}
+
+void TreatMatcher::ApplyRemoveFromRule(RuleState* rs, const WmePtr& wme,
+                                       bool defer_unblock, Stats* stats) {
+  bool touched_pos = false, touched_neg = false;
+  for (size_t ce = 0; ce < rs->alpha.size(); ++ce) {
+    auto& items = rs->alpha[ce];
+    auto it = std::find(items.begin(), items.end(), wme);
+    if (it == items.end()) continue;
+    items.erase(it);
+    (rs->rule->conditions[ce].negated ? touched_neg : touched_pos) = true;
+  }
+  if (touched_pos) DropInstsContaining(rs, *wme);
+  if (touched_neg) {
+    if (defer_unblock) {
+      if (rs->needs_research) ++stats->coalesced_researches;
+      rs->needs_research = true;
+    } else {
+      SearchAll(rs, stats);  // unblocking re-search
     }
   }
 }
 
 void TreatMatcher::ApplyRemove(const WmePtr& wme, bool defer_unblock) {
   for (const auto& rs : rules_) {
-    bool touched_pos = false, touched_neg = false;
-    for (size_t ce = 0; ce < rs->alpha.size(); ++ce) {
-      auto& items = rs->alpha[ce];
-      auto it = std::find(items.begin(), items.end(), wme);
-      if (it == items.end()) continue;
-      items.erase(it);
-      (rs->rule->conditions[ce].negated ? touched_neg : touched_pos) = true;
-    }
-    if (touched_pos) DropInstsContaining(rs.get(), *wme);
-    if (touched_neg) {
-      if (defer_unblock) {
-        if (rs->needs_research) ++stats_.coalesced_researches;
-        rs->needs_research = true;
-      } else {
-        SearchAll(rs.get());  // unblocking re-search
-      }
-    }
+    ApplyRemoveFromRule(rs.get(), wme, defer_unblock, &stats_);
   }
 }
 
@@ -249,8 +264,50 @@ void TreatMatcher::OnRemove(const WmePtr& wme) {
   ApplyRemove(wme, /*defer_unblock=*/false);
 }
 
+void TreatMatcher::ReplayRule(RuleState* rs, const ChangeBatch& batch,
+                              ConflictSet::Delta* delta, Stats* stats) {
+  ConflictSet::SetThreadDelta(cs_, delta);
+  for (size_t e = 0; e < batch.changes.size(); ++e) {
+    const WmChange& c = batch.changes[e];
+    delta->SetStamp({static_cast<uint32_t>(e), 0, 0, 0});
+    if (c.added) {
+      ApplyAddToRule(rs, c.wme, stats);
+    } else {
+      ApplyRemoveFromRule(rs, c.wme, /*defer_unblock=*/true, stats);
+    }
+  }
+  if (rs->needs_research) {
+    rs->needs_research = false;
+    delta->SetStamp({static_cast<uint32_t>(batch.changes.size()), 0, 0, 0});
+    SearchAll(rs, stats);
+  }
+  ConflictSet::SetThreadDelta(cs_, nullptr);
+}
+
 void TreatMatcher::OnBatch(const ChangeBatch& batch) {
   ++stats_.batches;
+  if (pool_ != nullptr && rules_.size() > 1) {
+    // Rule states are disjoint, so each rule replays the whole batch as one
+    // task. Stamping ops with the change index and merging deltas in rule
+    // order reproduces the sequential (change-major) op stream exactly.
+    std::vector<ConflictSet::Delta> deltas(rules_.size());
+    std::vector<Stats> stats(rules_.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(rules_.size());
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      tasks.push_back([this, &batch, &deltas, &stats, i] {
+        ReplayRule(rules_[i].get(), batch, &deltas[i], &stats[i]);
+      });
+    }
+    pool_->RunAll(std::move(tasks));
+    for (const Stats& s : stats) {
+      stats_.seeded_searches += s.seeded_searches;
+      stats_.full_searches += s.full_searches;
+      stats_.coalesced_researches += s.coalesced_researches;
+    }
+    cs_->ApplyDeltas(&deltas);
+    return;
+  }
   for (const WmChange& c : batch.changes) {
     if (c.added) {
       ApplyAdd(c.wme);
@@ -261,7 +318,7 @@ void TreatMatcher::OnBatch(const ChangeBatch& batch) {
   for (const auto& rs : rules_) {
     if (!rs->needs_research) continue;
     rs->needs_research = false;
-    SearchAll(rs.get());
+    SearchAll(rs.get(), &stats_);
   }
 }
 

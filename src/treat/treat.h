@@ -14,6 +14,8 @@
 
 namespace sorel {
 
+class ThreadPool;
+
 /// TREAT (Miranker 1986): the tuple-oriented baseline matcher the paper
 /// cites. Keeps only alpha memories (no beta memories); on each WM change it
 /// searches for new instantiations seeded at the changed WME, and deletes
@@ -36,7 +38,11 @@ class TreatMatcher : public Matcher {
     uint64_t coalesced_researches = 0;
   };
 
-  TreatMatcher(WorkingMemory* wm, ConflictSet* cs);
+  /// `pool` (borrowed, may be null) enables parallel batch propagation:
+  /// every rule's state (alpha memories, instantiations) is private to it,
+  /// so each touched rule replays the whole batch as one worker task, with
+  /// conflict-set sends buffered and merged in the sequential order.
+  TreatMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool = nullptr);
   ~TreatMatcher() override;
 
   TreatMatcher(const TreatMatcher&) = delete;
@@ -68,8 +74,18 @@ class TreatMatcher : public Matcher {
   /// `defer_unblock`: flag the rule for a batch-end SearchAll instead of
   /// re-searching immediately on a negated-CE removal.
   void ApplyRemove(const WmePtr& wme, bool defer_unblock);
-  void SearchFromSeed(RuleState* rs, int seed_ce, const WmePtr& seed);
-  void SearchAll(RuleState* rs);
+  /// Single-rule bodies of ApplyAdd/ApplyRemove. Counters go through
+  /// `stats` so concurrent per-rule replays can accumulate privately.
+  void ApplyAddToRule(RuleState* rs, const WmePtr& wme, Stats* stats);
+  void ApplyRemoveFromRule(RuleState* rs, const WmePtr& wme,
+                           bool defer_unblock, Stats* stats);
+  /// One task of the parallel batch path: replays every change against one
+  /// rule, buffering conflict-set ops into `delta` with per-change stamps.
+  void ReplayRule(RuleState* rs, const ChangeBatch& batch,
+                  ConflictSet::Delta* delta, Stats* stats);
+  void SearchFromSeed(RuleState* rs, int seed_ce, const WmePtr& seed,
+                      Stats* stats);
+  void SearchAll(RuleState* rs, Stats* stats);
   void ExtendRow(RuleState* rs, size_t ce_index, Row* row, int seed_ce,
                  const WmePtr& seed);
   bool BlockedByNegated(const RuleState& rs, const Row& row) const;
@@ -78,6 +94,7 @@ class TreatMatcher : public Matcher {
 
   WorkingMemory* wm_;
   ConflictSet* cs_;
+  ThreadPool* pool_;
   std::vector<std::unique_ptr<RuleState>> rules_;
   Stats stats_;
 };

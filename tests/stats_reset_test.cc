@@ -1,0 +1,138 @@
+// Regression test for Engine::ResetMatchStats: every counter a benchmark
+// can read — MatchStats sources, run_stats(), rhs_stats(),
+// parallel_stats(), and the worker-pool counters — must be zero after a
+// reset, so a measured phase is never polluted by its setup. A counter
+// added to any Stats struct but missed by ResetMatchStats shows up here as
+// a nonzero field after reset.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+constexpr const char* kProgram =
+    "(literalize player name team score)"
+    "(p cap { (player ^score > 4) <p> } --> (modify <p> ^score 4))"
+    "(p purge-c (player ^team C ^name <n>) --> (remove 1))"
+    "(p pair (player ^name <n> ^team A) (player ^name <n> ^team B)"
+    " --> (write pair))"
+    "(p zero-team { [player ^team <t> ^score <s>] <P> } :scalar (<t>)"
+    " :test ((sum <s>) > 8) --> (set-modify <P> ^score 0))";
+
+constexpr const char* kTreatProgram =
+    "(literalize player name team score)"
+    "(p cap { (player ^score > 4) <p> } --> (modify <p> ^score 4))"
+    "(p purge-c (player ^team C ^name <n>) --> (remove 1))"
+    "(p pair (player ^name <n> ^team A) (player ^name <n> ^team B)"
+    " --> (write pair))";
+
+/// Loads a workload that bumps counters in every stats source, then
+/// resets and checks all of them read zero.
+void CheckReset(MatcherKind matcher, int threads) {
+  SCOPED_TRACE("matcher=" + std::to_string(static_cast<int>(matcher)) +
+               " threads=" + std::to_string(threads));
+  EngineOptions opts;
+  opts.matcher = matcher;
+  opts.match_threads = threads;
+  Engine engine(opts);
+  std::ostringstream sink;
+  engine.set_output(&sink);
+  MustLoad(engine,
+           matcher == MatcherKind::kTreat ? kTreatProgram : kProgram);
+  static const char* kNames[] = {"ann", "bob", "cyd"};
+  static const char* kTeams[] = {"A", "B", "C"};
+  for (int i = 0; i < 12; ++i) {
+    MustMake(engine, "player", {{"name", engine.Sym(kNames[i % 3])},
+                                {"team", engine.Sym(kTeams[i % 3])},
+                                {"score", Value::Int(5)}});
+  }
+  MustRun(engine, 16);
+  ASSERT_GT(engine.run_stats().firings, 0u);
+
+  engine.ResetMatchStats();
+  Engine::MatchStats s = engine.match_stats();
+
+  // ReteStats.
+  EXPECT_EQ(s.rete.join_attempts, 0u);
+  EXPECT_EQ(s.rete.index_probes, 0u);
+  EXPECT_EQ(s.rete.tokens_created, 0u);
+  EXPECT_EQ(s.rete.tokens_deleted, 0u);
+  EXPECT_EQ(s.rete.right_activations, 0u);
+  EXPECT_EQ(s.rete.batches, 0u);
+  EXPECT_EQ(s.rete.grouped_removals, 0u);
+  EXPECT_EQ(s.rete.token_pool_hits, 0u);
+  EXPECT_EQ(s.rete.parallel_batches, 0u);
+  EXPECT_EQ(s.rete.replay_tasks, 0u);
+  // ConflictSet::Stats.
+  EXPECT_EQ(s.select.selects, 0u);
+  EXPECT_EQ(s.select.comparisons, 0u);
+  // SNode::Stats (aggregated).
+  EXPECT_EQ(s.snode.tokens, 0u);
+  EXPECT_EQ(s.snode.sends_plus, 0u);
+  EXPECT_EQ(s.snode.sends_minus, 0u);
+  EXPECT_EQ(s.snode.sends_time, 0u);
+  EXPECT_EQ(s.snode.sois_created, 0u);
+  EXPECT_EQ(s.snode.sois_deleted, 0u);
+  EXPECT_EQ(s.snode.test_evals, 0u);
+  EXPECT_EQ(s.snode.batch_flushes, 0u);
+  // TreatMatcher::Stats.
+  EXPECT_EQ(s.treat.seeded_searches, 0u);
+  EXPECT_EQ(s.treat.full_searches, 0u);
+  EXPECT_EQ(s.treat.batches, 0u);
+  EXPECT_EQ(s.treat.coalesced_researches, 0u);
+  // DipsMatcher::Stats.
+  EXPECT_EQ(s.dips.refreshes, 0u);
+  EXPECT_EQ(s.dips.batches, 0u);
+  // WorkingMemory::Stats.
+  EXPECT_EQ(s.wm.adds, 0u);
+  EXPECT_EQ(s.wm.removes, 0u);
+  EXPECT_EQ(s.wm.direct_events, 0u);
+  EXPECT_EQ(s.wm.batches, 0u);
+  EXPECT_EQ(s.wm.batched_changes, 0u);
+  EXPECT_EQ(s.wm.rollbacks, 0u);
+  EXPECT_EQ(s.wm.changes_rolled_back, 0u);
+  // ThreadPool::Stats: the measured-phase counters reset; `threads` is a
+  // property of the pool, not of the phase.
+  EXPECT_EQ(s.pool.tasks, 0u);
+  EXPECT_EQ(s.pool.batches, 0u);
+  EXPECT_EQ(s.pool.max_task_depth, 0u);
+  EXPECT_EQ(s.pool.threads, static_cast<uint64_t>(threads));
+  // RunStats.
+  EXPECT_EQ(engine.run_stats().firings, 0u);
+  EXPECT_EQ(engine.run_stats().actions, 0u);
+  EXPECT_TRUE(engine.run_stats().firings_by_rule.empty());
+  EXPECT_EQ(engine.run_stats().match.rete.join_attempts, 0u);
+  // RhsExecutor::Stats.
+  EXPECT_EQ(engine.rhs_stats().firings, 0u);
+  EXPECT_EQ(engine.rhs_stats().actions, 0u);
+  EXPECT_EQ(engine.rhs_stats().wmes_made, 0u);
+  EXPECT_EQ(engine.rhs_stats().wmes_removed, 0u);
+  EXPECT_EQ(engine.rhs_stats().skipped_dead_targets, 0u);
+  // ParallelStats.
+  EXPECT_EQ(engine.parallel_stats().cycles, 0u);
+  EXPECT_EQ(engine.parallel_stats().firings, 0u);
+  EXPECT_EQ(engine.parallel_stats().largest_batch, 0u);
+  EXPECT_EQ(engine.parallel_stats().conflicts, 0u);
+
+  // The engine still works after a reset and counts from zero.
+  MustMake(engine, "player", {{"name", engine.Sym("eve")},
+                              {"team", engine.Sym("C")},
+                              {"score", Value::Int(5)}});
+  MustRun(engine, 4);
+  EXPECT_GT(engine.run_stats().firings, 0u);
+}
+
+TEST(StatsResetTest, Rete) { CheckReset(MatcherKind::kRete, 0); }
+TEST(StatsResetTest, ReteThreaded) { CheckReset(MatcherKind::kRete, 2); }
+TEST(StatsResetTest, Treat) { CheckReset(MatcherKind::kTreat, 0); }
+TEST(StatsResetTest, TreatThreaded) { CheckReset(MatcherKind::kTreat, 2); }
+TEST(StatsResetTest, Dips) { CheckReset(MatcherKind::kDips, 0); }
+TEST(StatsResetTest, DipsThreaded) { CheckReset(MatcherKind::kDips, 2); }
+
+}  // namespace
+}  // namespace sorel

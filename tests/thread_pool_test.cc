@@ -1,0 +1,99 @@
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace sorel {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> runs(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&runs, i] { runs[i].fetch_add(1); });
+  }
+  pool.RunAll(std::move(tasks));
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(runs[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, RunAllIsABarrier) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1);
+      });
+    }
+    pool.RunAll(std::move(tasks));
+    // Every task of this round (and all earlier rounds) completed before
+    // RunAll returned.
+    EXPECT_EQ(done.load(), (round + 1) * 8);
+  }
+}
+
+TEST(ThreadPoolTest, CallerHelpsDrain) {
+  // A 0-worker pool still completes batches: the calling thread drains the
+  // queue itself.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  std::atomic<int> done{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) tasks.push_back([&done] { done.fetch_add(1); });
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, TasksSpreadAcrossThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&mu, &ids] {
+      // Stall long enough that one thread cannot drain the queue alone.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ThreadPoolTest, StatsCountBatchesAndTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.stats().threads, 3u);
+  EXPECT_EQ(pool.stats().batches, 0u);
+  pool.RunAll({[] {}, [] {}});
+  pool.RunAll({[] {}, [] {}, [] {}});
+  EXPECT_EQ(pool.stats().batches, 2u);
+  EXPECT_EQ(pool.stats().tasks, 5u);
+  EXPECT_GE(pool.stats().max_task_depth, 1u);
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats().batches, 0u);
+  EXPECT_EQ(pool.stats().tasks, 0u);
+  EXPECT_EQ(pool.stats().max_task_depth, 0u);
+  // The thread count is a property of the pool, not of the measured phase.
+  EXPECT_EQ(pool.stats().threads, 3u);
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.RunAll({});
+  EXPECT_EQ(pool.stats().tasks, 0u);
+}
+
+}  // namespace
+}  // namespace sorel
