@@ -30,8 +30,8 @@ constexpr int kPlayers = 4096;
 /// add scans team k's alpha memory — O(m^2) join attempts per team, all of
 /// it rule-private beta work. CE3 never matches: the chain does full join
 /// work but emits nothing, keeping the serialized merge phase empty.
-std::string HeavyProgram(int rules) {
-  std::string src = kPlayerSchema;
+std::string HeavyRules(int rules) {
+  std::string src;
   for (int k = 0; k < rules; ++k) {
     const std::string t = "team" + std::to_string(k);
     src += "(p heavy-" + std::to_string(k) + " (player ^team " + t +
@@ -39,6 +39,10 @@ std::string HeavyProgram(int rules) {
            " ^score <= <s>) (player ^id 999999) --> (write x))";
   }
   return src;
+}
+
+std::string HeavyProgram(int rules) {
+  return std::string(kPlayerSchema) + HeavyRules(rules);
 }
 
 struct Measured {
@@ -143,6 +147,122 @@ void PrintTable(JsonReport* report) {
               " conflict-set merge — stay on the coordinator)\n\n");
 }
 
+// --- intra-rule sweep -----------------------------------------------------
+//
+// Two wide rules on purpose: with fewer rules than threads, the per-rule
+// fan-out from the tentpole above cannot fill the pool, so any further
+// speedup must come from splitting a single rule's work. Rete slices its
+// batch replay scans; TREAT slices the add-rule full search. Both phases
+// are timed: `rule ms` loads the rules into an already-populated WM (the
+// TREAT split site), `add ms` commits a second player batch (the Rete
+// split site).
+
+constexpr int kIntraRules = 2;
+constexpr int kIntraPlayers = 2048;
+constexpr int kIntraSecondBatch = 1024;
+
+struct IntraMeasured {
+  double rule_ms = 0;
+  double add_ms = 0;
+  Engine::MatchStats stats;
+};
+
+IntraMeasured RunIntraOnce(MatcherKind kind, int threads, int split) {
+  EngineOptions options;
+  options.matcher = kind;
+  options.match_threads = threads;
+  options.intra_rule_split_min_tokens = split;
+  Engine engine(options);
+  engine.set_output(DevNull());
+  MustLoad(engine, kPlayerSchema);
+  engine.wm().Begin();
+  for (int i = 0; i < kIntraPlayers; ++i) {
+    MustMake(engine, "player",
+             {{"team", engine.Sym("team" + std::to_string(i % kIntraRules))},
+              {"id", Value::Int(i)},
+              {"score", Value::Int(i % 17)}});
+  }
+  Check(engine.wm().Commit(), "populate commit");
+  engine.ResetMatchStats();
+
+  IntraMeasured m;
+  auto t0 = std::chrono::steady_clock::now();
+  MustLoad(engine, HeavyRules(kIntraRules));
+  m.rule_ms = MsSince(t0);
+
+  auto t1 = std::chrono::steady_clock::now();
+  engine.wm().Begin();
+  for (int i = 0; i < kIntraSecondBatch; ++i) {
+    MustMake(engine, "player",
+             {{"team", engine.Sym("team" + std::to_string(i % kIntraRules))},
+              {"id", Value::Int(kIntraPlayers + i)},
+              {"score", Value::Int(i % 17)}});
+  }
+  Check(engine.wm().Commit(), "second add commit");
+  m.add_ms = MsSince(t1);
+
+  m.stats = engine.match_stats();
+  return m;
+}
+
+void PrintIntraTable(JsonReport* report) {
+  std::printf("=== intra-rule split sweep (threshold x threads) ===\n");
+  std::printf("%d rules only — too few to fill the pool rule-per-task; "
+              "%d players\npre-loaded, rules added on top (TREAT split "
+              "site), then %d more\nplayers in one batch (Rete split site); "
+              "threshold 0 disables splitting\n\n",
+              kIntraRules, kIntraPlayers, kIntraSecondBatch);
+  if (report != nullptr) {
+    report->Config("rules", kIntraRules);
+    report->Config("players", kIntraPlayers);
+    report->Config("second_batch", kIntraSecondBatch);
+    report->Config("host_cores", std::thread::hardware_concurrency());
+  }
+  std::printf("%7s %6s %8s | %9s %8s | %9s %8s | %7s %7s\n", "matcher",
+              "split", "threads", "rule ms", "speedup", "add ms", "speedup",
+              "splits", "slices");
+  for (MatcherKind kind : {MatcherKind::kRete, MatcherKind::kTreat}) {
+    double base_rule = 0, base_add = 0;
+    for (int split : {0, 1024, 256, 64}) {
+      for (int threads : {0, 2, 4, 8}) {
+        if (split == 0 && threads != 0) continue;  // one no-split baseline
+        IntraMeasured m = RunIntraOnce(kind, threads, split);
+        if (split == 0) {
+          base_rule = m.rule_ms;
+          base_add = m.add_ms;
+        }
+        uint64_t splits = kind == MatcherKind::kRete
+                              ? m.stats.rete.intra_splits
+                              : m.stats.treat.intra_splits;
+        uint64_t slices = kind == MatcherKind::kRete
+                              ? m.stats.rete.intra_slice_tasks
+                              : m.stats.treat.intra_slice_tasks;
+        std::printf(
+            "%7s %6d %8d | %9.2f %7.2fx | %9.2f %7.2fx | %7llu %7llu\n",
+            KindName(kind), split, threads, m.rule_ms, base_rule / m.rule_ms,
+            m.add_ms, base_add / m.add_ms,
+            static_cast<unsigned long long>(splits),
+            static_cast<unsigned long long>(slices));
+        if (report != nullptr) {
+          report->BeginRow(std::string(KindName(kind)) +
+                           "/split=" + std::to_string(split) +
+                           "/threads=" + std::to_string(threads));
+          report->Value("split_min_tokens", split);
+          report->Value("threads", threads);
+          report->Value("rule_ms", m.rule_ms);
+          report->Value("add_ms", m.add_ms);
+          report->Value("rule_speedup", base_rule / m.rule_ms);
+          report->Value("add_speedup", base_add / m.add_ms);
+          report->MatchStats(m.stats);
+        }
+      }
+    }
+  }
+  std::printf("\n(slice forks pay a per-batch fork/merge toll, so the win\n"
+              " depends on slice width: low thresholds over-shard small\n"
+              " alphas, high thresholds never engage)\n\n");
+}
+
 void BM_ParallelMatchBatch(benchmark::State& state) {
   MatcherKind kind = static_cast<MatcherKind>(state.range(0));
   int threads = static_cast<int>(state.range(1));
@@ -174,6 +294,9 @@ int main(int argc, char** argv) {
   sorel::bench::JsonReport report("parallel_match");
   sorel::bench::PrintTable(json ? &report : nullptr);
   if (json && !report.Write()) return 1;
+  sorel::bench::JsonReport intra_report("intra_rule");
+  sorel::bench::PrintIntraTable(json ? &intra_report : nullptr);
+  if (json && !intra_report.Write()) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -121,12 +121,18 @@ class JsonReport {
     Value("rete.parallel_batches",
           static_cast<double>(s.rete.parallel_batches));
     Value("rete.replay_tasks", static_cast<double>(s.rete.replay_tasks));
+    Value("rete.intra_splits", static_cast<double>(s.rete.intra_splits));
+    Value("rete.intra_slice_tasks",
+          static_cast<double>(s.rete.intra_slice_tasks));
     Value("select.selects", static_cast<double>(s.select.selects));
     Value("select.comparisons", static_cast<double>(s.select.comparisons));
     Value("snode.test_evals", static_cast<double>(s.snode.test_evals));
     Value("treat.seeded_searches",
           static_cast<double>(s.treat.seeded_searches));
     Value("treat.full_searches", static_cast<double>(s.treat.full_searches));
+    Value("treat.intra_splits", static_cast<double>(s.treat.intra_splits));
+    Value("treat.intra_slice_tasks",
+          static_cast<double>(s.treat.intra_slice_tasks));
     Value("dips.refreshes", static_cast<double>(s.dips.refreshes));
     Value("wm.adds", static_cast<double>(s.wm.adds));
     Value("wm.removes", static_cast<double>(s.wm.removes));
@@ -134,8 +140,29 @@ class JsonReport {
     Value("pool.threads", static_cast<double>(s.pool.threads));
     Value("pool.tasks", static_cast<double>(s.pool.tasks));
     Value("pool.batches", static_cast<double>(s.pool.batches));
+    Value("pool.nested_batches",
+          static_cast<double>(s.pool.nested_batches));
     Value("pool.max_task_depth",
           static_cast<double>(s.pool.max_task_depth));
+  }
+
+  /// Renders the report to `out` (exposed separately from Write so tests
+  /// can check the JSON without touching the filesystem).
+  void WriteTo(std::ostream& out) const {
+    out << "{\n  \"bench\": \"" << Escape(name_) << "\",\n  \"config\": {";
+    for (size_t i = 0; i < config_.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << Escape(config_[i].first)
+          << "\": " << Number(config_[i].second);
+    }
+    out << "},\n  \"results\": [\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {\"label\": \"" << Escape(rows_[r].label) << "\"";
+      for (const auto& [key, value] : rows_[r].fields) {
+        out << ", \"" << Escape(key) << "\": " << Number(value);
+      }
+      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
   }
 
   /// Writes BENCH_<name>.json. Returns false (with a stderr note) on I/O
@@ -143,20 +170,7 @@ class JsonReport {
   bool Write() const {
     std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path);
-    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"config\": {";
-    for (size_t i = 0; i < config_.size(); ++i) {
-      out << (i ? ", " : "") << "\"" << config_[i].first
-          << "\": " << Number(config_[i].second);
-    }
-    out << "},\n  \"results\": [\n";
-    for (size_t r = 0; r < rows_.size(); ++r) {
-      out << "    {\"label\": \"" << rows_[r].label << "\"";
-      for (const auto& [key, value] : rows_[r].fields) {
-        out << ", \"" << key << "\": " << Number(value);
-      }
-      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
+    WriteTo(out);
     out.flush();
     if (!out) {
       std::fprintf(stderr, "failed to write %s\n", path.c_str());
@@ -167,6 +181,41 @@ class JsonReport {
   }
 
  private:
+  /// JSON string escaping: backslash, quote, and control characters (bench
+  /// labels carry user-ish text like rule names and config strings).
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
   static std::string Number(double v) {
     if (v == std::floor(v) && std::fabs(v) < 9e15) {
       return std::to_string(static_cast<long long>(v));

@@ -5,6 +5,12 @@
 
 namespace sorel {
 
+namespace {
+/// Depth of RunAll frames on this thread — nonzero inside a pool task that
+/// is itself forking (used only for the nested_batches counter).
+thread_local int tls_runall_depth = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   stats_.threads = static_cast<uint64_t>(std::max(num_threads, 0));
   threads_.reserve(static_cast<size_t>(std::max(num_threads, 0)));
@@ -24,12 +30,14 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::RunOne(std::unique_lock<std::mutex>& lock) {
   if (queue_.empty()) return false;
-  std::function<void()> task = std::move(queue_.front());
+  QueuedTask task = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();
-  task();
+  ++tls_runall_depth;
+  task.fn();
+  --tls_runall_depth;
   lock.lock();
-  if (--unfinished_ == 0) done_cv_.notify_all();
+  if (--task.batch->remaining == 0) done_cv_.notify_all();
   return true;
 }
 
@@ -44,18 +52,32 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  Batch batch;
+  batch.remaining = tasks.size();
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.batches;
+  if (tls_runall_depth > 0) ++stats_.nested_batches;
   stats_.tasks += tasks.size();
-  for (std::function<void()>& t : tasks) queue_.push_back(std::move(t));
-  unfinished_ += tasks.size();
+  for (std::function<void()>& t : tasks) {
+    queue_.push_back({std::move(t), &batch});
+  }
   stats_.max_task_depth = std::max(stats_.max_task_depth,
                                    static_cast<uint64_t>(queue_.size()));
   work_cv_.notify_all();
-  // Help drain the queue, then wait for in-flight tasks to finish.
-  while (RunOne(lock)) {
+  // Wake sleeping RunAll waiters too: their predicate lets them help with
+  // newly queued work (a nested fork's slices would otherwise wait for the
+  // workers already blocked inside the tasks that forked them).
+  done_cv_.notify_all();
+  // Help drain the queue until this call's batch has finished. Helping may
+  // execute other batches' tasks too — that only speeds them up, and it is
+  // what makes nested RunAll (and the 0-worker pool) make progress.
+  while (batch.remaining > 0) {
+    if (!RunOne(lock)) {
+      done_cv_.wait(lock, [this, &batch] {
+        return batch.remaining == 0 || !queue_.empty();
+      });
+    }
   }
-  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
 void ThreadPool::ResetStats() {

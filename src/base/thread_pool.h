@@ -19,10 +19,18 @@ namespace sorel {
 /// executing threads at peak and `RunAll` never deadlocks even under
 /// oversubscription.
 ///
+/// `RunAll` is re-entrant: a task may itself call `RunAll` (intra-rule
+/// splitting forks slice sub-batches from inside a per-rule replay task).
+/// Each call tracks its own batch's completion, and a waiting caller helps
+/// drain whatever is queued — its own sub-batch or anyone else's tasks —
+/// so nesting cannot deadlock, even on a pool with zero workers (where the
+/// calling thread simply executes everything inline).
+///
 /// Tasks must be independent: the pool provides no ordering guarantees
 /// between them beyond "all complete before RunAll returns". Determinism is
 /// the caller's job (sorel's matchers buffer conflict-set sends per task and
-/// merge them in rule-registration order afterwards).
+/// merge them in rule-registration order afterwards; slice forks evaluate
+/// pure predicates and apply results in scan order on the forking thread).
 class ThreadPool {
  public:
   /// Counters surfaced through Engine::match_stats().
@@ -34,6 +42,9 @@ class ThreadPool {
     uint64_t tasks = 0;
     /// RunAll invocations (one per parallelized batch).
     uint64_t batches = 0;
+    /// RunAll invocations made from inside a pool task (intra-rule slice
+    /// forks and other nested fork/join work).
+    uint64_t nested_batches = 0;
     /// Queue high-water mark: the most tasks ever waiting at once.
     uint64_t max_task_depth = 0;
   };
@@ -47,24 +58,33 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
   /// Runs every task (workers plus the calling thread) and returns when all
-  /// have finished. Tasks must not call back into the pool.
+  /// of *this call's* tasks have finished. May be called from inside a task
+  /// (see the class comment); the nested call only waits for its own batch.
   void RunAll(std::vector<std::function<void()>> tasks);
 
   const Stats& stats() const { return stats_; }
   void ResetStats();
 
  private:
+  /// Completion state of one RunAll call, owned by its caller's frame.
+  struct Batch {
+    size_t remaining = 0;
+  };
+  struct QueuedTask {
+    std::function<void()> fn;
+    Batch* batch;
+  };
+
   void WorkerLoop();
   /// Pops and runs one queued task under `lock` held; returns false when the
-  /// queue is empty.
+  /// queue is empty. Signals `done_cv_` when the task's batch completes.
   bool RunOne(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers: queue non-empty or stopping
-  std::condition_variable done_cv_;   // RunAll: batch fully drained
-  std::deque<std::function<void()>> queue_;
-  size_t unfinished_ = 0;  // queued + currently executing tasks
+  std::condition_variable done_cv_;   // RunAll: some batch fully drained
+  std::deque<QueuedTask> queue_;
   bool stop_ = false;
   Stats stats_;
 };

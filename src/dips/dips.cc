@@ -169,7 +169,9 @@ void DipsMatcher::OnRemove(const WmePtr& wme) {
 
 Status DipsMatcher::ReplayRule(RuleState* rs, const ChangeBatch& batch,
                                ConflictSet::Delta* delta, Stats* stats) {
-  ConflictSet::SetThreadDelta(cs_, delta);
+  // Scoped: pool help-drain can nest another replay task inside this frame;
+  // its exit must restore this frame's redirection, not clear it.
+  ConflictSet::ScopedThreadDelta scoped_delta(cs_, delta);
   bool changed = false;
   Status result = Status::Ok();
   for (const WmChange& c : batch.changes) {
@@ -185,7 +187,6 @@ Status DipsMatcher::ReplayRule(RuleState* rs, const ChangeBatch& batch,
     }
   }
   if (changed && result.ok()) result = Refresh(rs, stats);
-  ConflictSet::SetThreadDelta(cs_, nullptr);
   return result;
 }
 

@@ -35,9 +35,17 @@ Engine::Engine(EngineOptions options)
       compiler_(&symbols_, &schemas_),
       rhs_(wm_.get(), &symbols_, &std::cout) {
   rhs_.set_output(out_);
-  if (options_.match_threads > 0) {
-    pool_ = std::make_unique<ThreadPool>(options_.match_threads);
-    options_.rete.pool = pool_.get();
+  if (options_.match_threads > 0 || options_.parallel_rhs) {
+    pool_ = std::make_unique<ThreadPool>(
+        options_.match_threads > 0 ? options_.match_threads : 2);
+  }
+  // The matchers see the pool only when match_threads asks for parallel
+  // propagation — a parallel_rhs-only pool must not flip them onto the
+  // parallel batch path.
+  ThreadPool* match_pool = options_.match_threads > 0 ? pool_.get() : nullptr;
+  if (match_pool != nullptr) {
+    options_.rete.pool = match_pool;
+    options_.rete.intra_split_min = options_.intra_rule_split_min_tokens;
   }
   if (options_.matcher == MatcherKind::kRete) {
     SinkFactory factory = [this](const CompiledRule& rule)
@@ -53,16 +61,19 @@ Engine::Engine(EngineOptions options)
     rete_ = rete.get();
     matcher_ = std::move(rete);
   } else if (options_.matcher == MatcherKind::kTreat) {
-    auto treat = std::make_unique<TreatMatcher>(wm_.get(), &cs_, pool_.get());
+    auto treat = std::make_unique<TreatMatcher>(
+        wm_.get(), &cs_, match_pool, options_.intra_rule_split_min_tokens);
     treat_ = treat.get();
     matcher_ = std::move(treat);
   } else {
     auto dips =
-        std::make_unique<dips::DipsMatcher>(wm_.get(), &cs_, pool_.get());
+        std::make_unique<dips::DipsMatcher>(wm_.get(), &cs_, match_pool);
     dips_ = dips.get();
     matcher_ = std::move(dips);
   }
   rhs_.set_transactional(options_.batched_wm);
+  rhs_.set_pool(pool_.get());
+  rhs_.set_parallel(options_.parallel_rhs);
   startup_context_.name = "startup";
   if (options_.trace_wm) {
     tracer_ = std::make_unique<WmTracer>(this);

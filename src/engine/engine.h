@@ -63,6 +63,18 @@ struct EngineOptions {
   /// deterministically — firing traces, conflict-set order, and time-tag
   /// counters are bit-identical to match_threads = 0.
   int match_threads = 0;
+  /// Intra-rule match parallelism (kRete / kTreat, with match_threads > 0):
+  /// when one rule's replay work scans at least this many candidate tokens
+  /// or alpha rows, the scan's pure join tests fork into slices on the
+  /// worker pool; token creation, propagation, and conflict-set sends stay
+  /// serial in scan order, so traces remain bit-identical. 0 disables.
+  int intra_rule_split_min_tokens = 0;
+  /// Evaluate the member expressions of one firing's set-modify (and of a
+  /// foreach whose body is only make/modify/remove) on the worker pool;
+  /// members commit serially in member order inside the action's
+  /// transaction, and an error rolls back exactly as sequentially (§8.1).
+  /// Implies a pool even when match_threads == 0.
+  bool parallel_rhs = false;
 };
 
 /// The sorel production-system engine: an OPS5 interpreter extended with

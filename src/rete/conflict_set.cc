@@ -61,6 +61,17 @@ void ConflictSet::SetThreadDelta(const ConflictSet* cs, Delta* delta) {
   tls_delta = delta;
 }
 
+ConflictSet::ScopedThreadDelta::ScopedThreadDelta(const ConflictSet* cs,
+                                                  Delta* delta)
+    : prev_owner_(tls_delta_owner), prev_delta_(tls_delta) {
+  SetThreadDelta(cs, delta);
+}
+
+ConflictSet::ScopedThreadDelta::~ScopedThreadDelta() {
+  tls_delta_owner = prev_owner_;
+  tls_delta = prev_delta_;
+}
+
 void ConflictSet::IndexEntry(InstantiationRef* inst, const Entry& e) {
   if (!use_index_) return;
   lex_.insert(Ref{inst, &e});

@@ -118,6 +118,25 @@ class ConflictSet {
   /// threads and other conflict sets are unaffected.
   static void SetThreadDelta(const ConflictSet* cs, Delta* delta);
 
+  /// RAII redirection that restores the previous redirection — possibly
+  /// another conflict set's — on destruction. Replay tasks use this instead
+  /// of a bare set/null pair: with nested fork/join, a thread waiting on a
+  /// slice sub-batch help-drains the pool queue and can execute another
+  /// replay task mid-frame, and a plain null-on-exit there would destroy
+  /// the outer frame's buffering.
+  class ScopedThreadDelta {
+   public:
+    ScopedThreadDelta(const ConflictSet* cs, Delta* delta);
+    ~ScopedThreadDelta();
+
+    ScopedThreadDelta(const ScopedThreadDelta&) = delete;
+    ScopedThreadDelta& operator=(const ScopedThreadDelta&) = delete;
+
+   private:
+    const ConflictSet* prev_owner_;
+    Delta* prev_delta_;
+  };
+
   /// Applies every buffered op across `deltas` in the merged deterministic
   /// order — (stamp, delta position, buffering order) — then destroys the
   /// graveyards. Delta position must be rule-registration order for the

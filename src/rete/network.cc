@@ -225,31 +225,51 @@ void BetaNode::PropagateDown(Token* t) {
 // ----------------------------------------------------------------- join ---
 
 void JoinNode::OnParentToken(Token* t) {
+  const std::vector<WmePtr>* candidates;
+  bool residual;
   if (indexed_) {
     ++net_->stats_sink().index_probes;
     JoinKey key;
     if (!TokenKey(t, &key)) return;
-    const std::vector<WmePtr>* bucket = aindex_->Find(key);
-    if (bucket == nullptr) return;
-    for (size_t i = 0; i < bucket->size(); ++i) {
-      const WmePtr& w = (*bucket)[i];
-      if (!net_->ReplayVisible(*w, amem_)) continue;
-      ++net_->stats_sink().join_attempts;
-      if (MatchesResidual(t, *w)) {
-        Token* out = net_->NewToken(this, t, w);
+    candidates = aindex_->Find(key);
+    if (candidates == nullptr) return;
+    residual = true;  // the bucket guarantees the equality tests
+  } else {
+    candidates = &amem_->items();
+    residual = false;
+  }
+  if (net_->ShouldSplit(candidates->size())) {
+    // Intra-rule split: fork the pure join tests into slices, then create
+    // and propagate the matches serially in scan order — bit-identical to
+    // the loop below. The slices capture this thread's replay context
+    // explicitly: a pool worker's own thread-locals are not the fork's.
+    const ReteMatcher::ReplayCtx* rctx = net_->CurrentReplayCtx();
+    std::vector<char> hits;
+    net_->ParallelEval(
+        candidates->size(),
+        [&](size_t i, ReteStats* stats) {
+          const WmePtr& w = (*candidates)[i];
+          if (!net_->ReplayVisibleIn(*w, amem_, rctx)) return false;
+          ++stats->join_attempts;
+          return residual ? MatchesResidual(t, *w) : Matches(t, *w);
+        },
+        &hits);
+    for (size_t i = 0; i < candidates->size(); ++i) {
+      if (hits[i] != 0) {
+        Token* out = net_->NewToken(this, t, (*candidates)[i]);
         PropagateDown(out);
       }
     }
     return;
   }
-  const std::vector<WmePtr>& items = amem_->items();
   // Index loop: propagation never mutates this alpha memory, but stay
   // defensive about iterator invalidation conventions.
-  for (size_t i = 0; i < items.size(); ++i) {
-    const WmePtr& w = items[i];
+  for (size_t i = 0; i < candidates->size(); ++i) {
+    const WmePtr& w = (*candidates)[i];
     if (!net_->ReplayVisible(*w, amem_)) continue;
     ++net_->stats_sink().join_attempts;
-    if (Matches(t, *w)) {
+    bool ok = residual ? MatchesResidual(t, *w) : Matches(t, *w);
+    if (ok) {
       Token* out = net_->NewToken(this, t, w);
       PropagateDown(out);
     }
@@ -267,28 +287,49 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
     }
     return;
   }
+  const std::vector<Token*>* candidates;
+  bool residual;
   if (indexed_) {
     ++net_->stats_sink().index_probes;
-    const std::vector<Token*>* bucket = left_index_.Find(WmeKey(*wme));
-    if (bucket == nullptr) return;
-    for (size_t i = 0; i < bucket->size(); ++i) {
-      Token* t = (*bucket)[i];
-      if (!parent_->IsOutputActive(t)) continue;
-      ++net_->stats_sink().join_attempts;
-      if (MatchesResidual(t, *wme)) {
-        Token* out = net_->NewToken(this, t, wme);
+    candidates = left_index_.Find(WmeKey(*wme));
+    if (candidates == nullptr) return;
+    residual = true;
+  } else {
+    candidates = &OutputsOf(parent_);
+    residual = false;
+  }
+  if (net_->ShouldSplit(candidates->size())) {
+    // Split scan (see OnParentToken): parallel pure tests, serial in-order
+    // apply. IsOutputActive replicates ForEachActiveOutput's filter on the
+    // linear path, so both paths see the same candidate sequence.
+    std::vector<char> hits;
+    net_->ParallelEval(
+        candidates->size(),
+        [&](size_t i, ReteStats* stats) {
+          Token* t = (*candidates)[i];
+          if (!parent_->IsOutputActive(t)) return false;
+          ++stats->join_attempts;
+          return residual ? MatchesResidual(t, *wme) : Matches(t, *wme);
+        },
+        &hits);
+    for (size_t i = 0; i < candidates->size(); ++i) {
+      if (hits[i] != 0) {
+        Token* out = net_->NewToken(this, (*candidates)[i], wme);
         PropagateDown(out);
       }
     }
     return;
   }
-  parent_->ForEachActiveOutput([&](Token* t) {
+  for (size_t i = 0; i < candidates->size(); ++i) {
+    Token* t = (*candidates)[i];
+    if (!parent_->IsOutputActive(t)) continue;
     ++net_->stats_sink().join_attempts;
-    if (Matches(t, *wme)) {
+    bool ok = residual ? MatchesResidual(t, *wme) : Matches(t, *wme);
+    if (ok) {
       Token* out = net_->NewToken(this, t, wme);
       PropagateDown(out);
     }
-  });
+  }
 }
 
 void JoinNode::OnOwnedTokenDeleted(Token* t) {
@@ -306,24 +347,41 @@ void JoinNode::ForEachActiveOutput(
 // ------------------------------------------------------------- negative ---
 
 int NegativeNode::CountBlockers(const Token* t) const {
-  int n = 0;
+  const std::vector<WmePtr>* candidates;
+  bool residual;
   if (indexed_) {
     ++net_->stats_sink().index_probes;
     JoinKey key;
     if (!TokenKey(t, &key)) return 0;
-    const std::vector<WmePtr>* bucket = aindex_->Find(key);
-    if (bucket == nullptr) return 0;
-    for (const WmePtr& w : *bucket) {
-      if (!net_->ReplayVisible(*w, amem_)) continue;
-      ++net_->stats_sink().join_attempts;
-      if (MatchesResidual(t, *w)) ++n;
-    }
-    return n;
+    candidates = aindex_->Find(key);
+    if (candidates == nullptr) return 0;
+    residual = true;
+  } else {
+    candidates = &amem_->items();
+    residual = false;
   }
-  for (const WmePtr& w : amem_->items()) {
+  if (net_->ShouldSplit(candidates->size())) {
+    // A blocker count is order-insensitive, so the split result is the hit
+    // total — no apply phase needed.
+    const ReteMatcher::ReplayCtx* rctx = net_->CurrentReplayCtx();
+    std::vector<char> hits;
+    net_->ParallelEval(
+        candidates->size(),
+        [&](size_t i, ReteStats* stats) {
+          const WmePtr& w = (*candidates)[i];
+          if (!net_->ReplayVisibleIn(*w, amem_, rctx)) return false;
+          ++stats->join_attempts;
+          return residual ? MatchesResidual(t, *w) : Matches(t, *w);
+        },
+        &hits);
+    return static_cast<int>(std::count(hits.begin(), hits.end(), 1));
+  }
+  int n = 0;
+  for (const WmePtr& w : *candidates) {
     if (!net_->ReplayVisible(*w, amem_)) continue;
     ++net_->stats_sink().join_attempts;
-    if (Matches(t, *w)) ++n;
+    bool ok = residual ? MatchesResidual(t, *w) : Matches(t, *w);
+    if (ok) ++n;
   }
   return n;
 }
@@ -355,25 +413,44 @@ void NegativeNode::RightActivate(const WmePtr& wme, bool added) {
       if (t->blockers > 0 && --t->blockers == 0) Propagate(t);
     }
   };
+  const std::vector<Token*>* candidates;
+  bool residual;
   if (indexed_) {
     ++net_->stats_sink().index_probes;
     // Retract/Propagate cascade strictly downstream, so this node's own
     // outputs — and therefore this bucket — stay stable while iterating.
-    const std::vector<Token*>* bucket = own_index_.Find(WmeKey(*wme));
-    if (bucket == nullptr) return;
-    for (size_t i = 0; i < bucket->size(); ++i) {
-      Token* t = (*bucket)[i];
-      ++net_->stats_sink().join_attempts;
-      if (MatchesResidual(t, *wme)) update(t);
+    candidates = own_index_.Find(WmeKey(*wme));
+    if (candidates == nullptr) return;
+    residual = true;
+  } else {
+    // Snapshot: Retract/Propagate can cascade but never changes outputs_ of
+    // this node (children live downstream).
+    candidates = &outputs_;
+    residual = false;
+  }
+  if (net_->ShouldSplit(candidates->size())) {
+    // Split scan: the join tests read only immutable WME fields and the
+    // tokens' (frozen) upstream chains — blocker counts mutate strictly in
+    // the serial apply loop below, so slice evaluation sees stable state.
+    std::vector<char> hits;
+    net_->ParallelEval(
+        candidates->size(),
+        [&](size_t i, ReteStats* stats) {
+          ++stats->join_attempts;
+          return residual ? MatchesResidual((*candidates)[i], *wme)
+                          : Matches((*candidates)[i], *wme);
+        },
+        &hits);
+    for (size_t i = 0; i < candidates->size(); ++i) {
+      if (hits[i] != 0) update((*candidates)[i]);
     }
     return;
   }
-  // Snapshot: Retract/Propagate can cascade but never changes outputs_ of
-  // this node (children live downstream).
-  for (size_t i = 0; i < outputs_.size(); ++i) {
-    Token* t = outputs_[i];
+  for (size_t i = 0; i < candidates->size(); ++i) {
+    Token* t = (*candidates)[i];
     ++net_->stats_sink().join_attempts;
-    if (!Matches(t, *wme)) continue;
+    bool ok = residual ? MatchesResidual(t, *wme) : Matches(t, *wme);
+    if (!ok) continue;
     update(t);
   }
 }
@@ -477,9 +554,14 @@ ReteMatcher::ReteMatcher(WorkingMemory* wm, ConflictSet* cs,
 
 ReteMatcher::~ReteMatcher() {
   wm_->RemoveListener(this);
+  // Bulk teardown, not DeleteTokenTree: the per-token unlinking it does
+  // (sibling vectors, tokens_by_wme, output memories) is linear per erase,
+  // which turns whole-network deletion quadratic on large beta memories.
+  // Every live token sits in exactly one chain node's outputs_, and all of
+  // the linked structures die with the matcher anyway.
   for (RuleShard* shard : shards_) {
-    while (!shard->root.children.empty()) {
-      DeleteTokenTree(shard->root.children.back());
+    for (BetaNode* node : shard->chain) {
+      for (Token* t : node->outputs_) delete t;
     }
   }
   for (Token* t : free_tokens_) delete t;
@@ -554,6 +636,46 @@ void ReteMatcher::DeleteTokenTree(Token* t) {
     free_tokens_.push_back(t);
     --live_tokens_;
     ++stats_.tokens_deleted;
+  }
+}
+
+void ReteMatcher::ParallelEval(
+    size_t n, const std::function<bool(size_t, ReteStats*)>& eval,
+    std::vector<char>* hits) {
+  hits->assign(n, 0);
+  // One slice per executing thread (workers + the forking caller), but
+  // never slices smaller than half the split threshold — tiny slices are
+  // pure dispatch overhead.
+  size_t max_slices = static_cast<size_t>(options_.pool->num_threads()) + 1;
+  size_t min_per_slice =
+      std::max<size_t>(1, static_cast<size_t>(options_.intra_split_min) / 2);
+  size_t slices = std::max<size_t>(
+      2, std::min(max_slices, (n + min_per_slice - 1) / min_per_slice));
+  size_t chunk = (n + slices - 1) / slices;
+  std::vector<ReteStats> slice_stats(slices);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(slices);
+  for (size_t s = 0; s < slices; ++s) {
+    size_t lo = s * chunk;
+    size_t hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    // Slices write disjoint hits[] ranges and their own stats accumulator;
+    // `eval` itself is pure, so no synchronization is needed beyond the
+    // RunAll join.
+    tasks.push_back([&eval, hits, &slice_stats, lo, hi, s] {
+      ReteStats* stats = &slice_stats[s];
+      for (size_t i = lo; i < hi; ++i) {
+        if (eval(i, stats)) (*hits)[i] = 1;
+      }
+    });
+  }
+  ReteStats& sink = stats_sink();
+  ++sink.intra_splits;
+  sink.intra_slice_tasks += tasks.size();
+  options_.pool->RunAll(std::move(tasks));
+  for (const ReteStats& s : slice_stats) {
+    sink.join_attempts += s.join_attempts;
+    sink.index_probes += s.index_probes;
   }
 }
 
@@ -909,8 +1031,13 @@ void ReteMatcher::ReplayShard(RuleShard* shard,
                               ConflictSet::Delta* delta, ReplayCtx* ctx) {
   ctx->net = this;
   ctx->shard = shard;
+  // Save/restore rather than set/null: while this task waits on a slice
+  // fork it help-drains the pool queue, and can run *another* replay task
+  // (this matcher's or another matcher's) whose exit must put back this
+  // frame's thread-locals, not clear them.
+  ReplayCtx* prev_replay = tls_replay_;
   tls_replay_ = ctx;
-  ConflictSet::SetThreadDelta(cs_, delta);
+  ConflictSet::ScopedThreadDelta scoped_delta(cs_, delta);
   for (size_t e = 0; e < changes.size(); ++e) {
     const WmChange& c = changes[e];
     const ChangeRec& rec = plan[e];
@@ -940,8 +1067,7 @@ void ReteMatcher::ReplayShard(RuleShard* shard,
       }
     }
   }
-  ConflictSet::SetThreadDelta(cs_, nullptr);
-  tls_replay_ = nullptr;
+  tls_replay_ = prev_replay;
 }
 
 void ReteMatcher::MergeCtx(ReplayCtx* ctx) {
@@ -952,6 +1078,8 @@ void ReteMatcher::MergeCtx(ReplayCtx* ctx) {
   stats_.tokens_deleted += s.tokens_deleted;
   stats_.right_activations += s.right_activations;
   stats_.token_pool_hits += s.token_pool_hits;
+  stats_.intra_splits += s.intra_splits;
+  stats_.intra_slice_tasks += s.intra_slice_tasks;
   live_tokens_ = static_cast<size_t>(static_cast<int64_t>(live_tokens_) +
                                      ctx->live_token_delta);
   free_tokens_.insert(free_tokens_.end(), ctx->free_tokens.begin(),

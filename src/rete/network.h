@@ -34,6 +34,17 @@ struct ReteOptions {
   /// sends are buffered per rule and merged deterministically, so the
   /// observable behavior stays bit-identical to the sequential path.
   ThreadPool* pool = nullptr;
+  /// Intra-rule parallelism threshold (0 disables). When a single join
+  /// scan — a right-activation probing one node's candidate tokens, a
+  /// left-activation probing an alpha memory, or a negative node's blocker
+  /// count — faces at least this many candidates, the pure join-test
+  /// evaluations fork into parallel slices on `pool`, and the matching
+  /// candidates are then applied (token creation, propagation, sink and
+  /// conflict-set sends) on the forking thread in exact scan order. Only
+  /// side-effect-free predicate evaluation leaves the owning thread, so
+  /// traces, conflict sets, and counters other than the split/slice stats
+  /// stay bit-identical to the unsplit path. Requires `pool`.
+  int intra_split_min = 0;
 };
 
 /// Hot-path counters for the match network (see docs/INTERNALS.md,
@@ -59,6 +70,11 @@ struct ReteStats {
   uint64_t parallel_batches = 0;
   /// Per-rule replay tasks dispatched across those batches.
   uint64_t replay_tasks = 0;
+  /// Join scans whose candidate set met ReteOptions::intra_split_min and
+  /// were evaluated as parallel slices (intra-rule parallelism).
+  uint64_t intra_splits = 0;
+  /// Slice tasks dispatched across those splits.
+  uint64_t intra_slice_tasks = 0;
 };
 
 /// Terminal consumer of a rule's tokens: a P-node for regular rules or an
@@ -234,6 +250,13 @@ class BetaNode {
   void UnindexFromChild(Token* t);
   /// Hands a token to the downstream node / sink.
   void PropagateDown(Token* t);
+
+  /// Grants derived nodes read access to another node's output memory (the
+  /// candidate list of an intra-rule slice scan); base-class access rules
+  /// would otherwise forbid `parent_->outputs_` from a derived class.
+  static const std::vector<Token*>& OutputsOf(const BetaNode* n) {
+    return n->outputs_;
+  }
 
   ReteMatcher* net_;
   AlphaMemory* amem_;
@@ -419,12 +442,28 @@ class ReteMatcher : public Matcher {
     return (ctx != nullptr && ctx->net == this) ? ctx->stats : stats_;
   }
 
+  /// The replay context installed on this thread for *this* matcher, or
+  /// nullptr (sequential paths). Slice-scan forks capture it explicitly:
+  /// a pool worker executing a slice task has its own thread-locals, not
+  /// the forking replay's.
+  ReplayCtx* CurrentReplayCtx() const {
+    ReplayCtx* ctx = tls_replay_;
+    return (ctx != nullptr && ctx->net == this) ? ctx : nullptr;
+  }
+
   /// Whether `w` — found in `amem`'s physical storage — is visible to the
   /// replay at its current change. Outside a replay everything physically
   /// present is visible.
   bool ReplayVisible(const Wme& w, const AlphaMemory* amem) const {
-    const ReplayCtx* ctx = tls_replay_;
-    if (ctx == nullptr || ctx->net != this) return true;
+    return ReplayVisibleIn(w, amem, CurrentReplayCtx());
+  }
+
+  /// ReplayVisible against an explicit replay context (nullptr = not in a
+  /// replay). Pure: reads only the context and `replay_removed_`, which is
+  /// frozen during phase B — safe from concurrent slice tasks.
+  bool ReplayVisibleIn(const Wme& w, const AlphaMemory* amem,
+                       const ReplayCtx* ctx) const {
+    if (ctx == nullptr) return true;
     TimeTag tag = w.time_tag();
     if (tag > ctx->add_ceiling) return false;  // added later in the batch
     if (tag > ctx->prev_ceiling) {
@@ -446,6 +485,24 @@ class ReteMatcher : public Matcher {
     }
     return true;
   }
+
+  /// True when a join scan over `candidates` qualifies for slice-parallel
+  /// evaluation (ReteOptions::intra_split_min reached and a pool exists).
+  bool ShouldSplit(size_t candidates) const {
+    return options_.intra_split_min > 0 && options_.pool != nullptr &&
+           candidates >= static_cast<size_t>(options_.intra_split_min);
+  }
+
+  /// Intra-rule slice fork/join: evaluates `eval(i, slice_stats)` for every
+  /// i in [0, n) across parallel slice tasks and records each outcome in
+  /// `(*hits)[i]`. `eval` must be pure with respect to matcher state — join
+  /// tests and visibility checks only; the caller then applies the hits
+  /// (token creation, propagation, conflict-set sends) serially in scan
+  /// order, which keeps observable behavior bit-identical to the unsplit
+  /// scan. Per-slice stats merge into the calling thread's stats sink.
+  void ParallelEval(size_t n,
+                    const std::function<bool(size_t, ReteStats*)>& eval,
+                    std::vector<char>* hits);
 
   AlphaMemory* GetOrCreateAlpha(const CompiledCondition& cond);
 

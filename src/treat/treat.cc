@@ -69,8 +69,8 @@ struct TreatMatcher::RuleState {
 };
 
 TreatMatcher::TreatMatcher(WorkingMemory* wm, ConflictSet* cs,
-                           ThreadPool* pool)
-    : wm_(wm), cs_(cs), pool_(pool) {
+                           ThreadPool* pool, int intra_split_min)
+    : wm_(wm), cs_(cs), pool_(pool), intra_split_min_(intra_split_min) {
   wm_->AddListener(this);
 }
 
@@ -115,29 +115,41 @@ Status TreatMatcher::RemoveRule(const CompiledRule* rule) {
 }
 
 void TreatMatcher::ExtendRow(RuleState* rs, size_t ce_index, Row* row,
-                             int seed_ce, const WmePtr& seed) {
+                             const SearchCtx& ctx) {
   const auto& conditions = rs->rule->conditions;
   if (ce_index == conditions.size()) {
-    if (!BlockedByNegated(*rs, *row)) EmitInst(rs, *row);
+    if (BlockedByNegated(*rs, *row)) return;
+    if (ctx.out != nullptr) {
+      ctx.out->push_back(*row);  // slice task: defer emission
+    } else {
+      EmitInst(rs, *row);
+    }
     return;
   }
   const CompiledCondition& cond = conditions[ce_index];
   if (cond.negated) {
-    ExtendRow(rs, ce_index + 1, row, seed_ce, seed);
+    ExtendRow(rs, ce_index + 1, row, ctx);
     return;
   }
-  if (static_cast<int>(ce_index) == seed_ce) {
-    if (PassesJoinTests(cond, *row, *seed)) {
-      (*row)[static_cast<size_t>(cond.token_pos)] = seed;
-      ExtendRow(rs, ce_index + 1, row, seed_ce, seed);
+  if (static_cast<int>(ce_index) == ctx.seed_ce) {
+    if (PassesJoinTests(cond, *row, *ctx.seed)) {
+      (*row)[static_cast<size_t>(cond.token_pos)] = ctx.seed;
+      ExtendRow(rs, ce_index + 1, row, ctx);
       (*row)[static_cast<size_t>(cond.token_pos)] = nullptr;
     }
     return;
   }
-  for (const WmePtr& w : rs->alpha[ce_index]) {
+  const auto& items = rs->alpha[ce_index];
+  size_t lo = 0, hi = items.size();
+  if (static_cast<int>(ce_index) == ctx.slice_ce) {
+    lo = ctx.slice_lo;
+    hi = ctx.slice_hi;
+  }
+  for (size_t i = lo; i < hi; ++i) {
+    const WmePtr& w = items[i];
     if (PassesJoinTests(cond, *row, *w)) {
       (*row)[static_cast<size_t>(cond.token_pos)] = w;
-      ExtendRow(rs, ce_index + 1, row, seed_ce, seed);
+      ExtendRow(rs, ce_index + 1, row, ctx);
       (*row)[static_cast<size_t>(cond.token_pos)] = nullptr;
     }
   }
@@ -167,14 +179,67 @@ void TreatMatcher::EmitInst(RuleState* rs, const Row& row) {
 void TreatMatcher::SearchFromSeed(RuleState* rs, int seed_ce,
                                   const WmePtr& seed, Stats* stats) {
   ++stats->seeded_searches;
+  SearchCtx ctx;
+  ctx.seed_ce = seed_ce;
+  ctx.seed = seed;
   Row row(static_cast<size_t>(rs->rule->num_positive));
-  ExtendRow(rs, 0, &row, seed_ce, seed);
+  ExtendRow(rs, 0, &row, ctx);
 }
 
 void TreatMatcher::SearchAll(RuleState* rs, Stats* stats) {
   ++stats->full_searches;
+  const auto& conditions = rs->rule->conditions;
+  int first_pos = -1;
+  for (size_t ce = 0; ce < conditions.size(); ++ce) {
+    if (!conditions[ce].negated) {
+      first_pos = static_cast<int>(ce);
+      break;
+    }
+  }
+  size_t n =
+      first_pos < 0 ? 0 : rs->alpha[static_cast<size_t>(first_pos)].size();
+  if (pool_ != nullptr && intra_split_min_ > 0 &&
+      n >= static_cast<size_t>(intra_split_min_)) {
+    // Intra-rule split: fork the first-CE scan into slices that run the
+    // pure join search into private row buffers (alpha memories and the
+    // rule are frozen for the duration — slices touch no shared state).
+    // Emission then runs serially in slice-concatenation order, which is
+    // the sequential scan order, so dedup decisions and conflict-set sends
+    // are bit-identical to the unsplit search.
+    size_t max_slices = static_cast<size_t>(pool_->num_threads()) + 1;
+    size_t min_per_slice =
+        std::max<size_t>(1, static_cast<size_t>(intra_split_min_) / 2);
+    size_t slices = std::max<size_t>(
+        2, std::min(max_slices, (n + min_per_slice - 1) / min_per_slice));
+    size_t chunk = (n + slices - 1) / slices;
+    std::vector<std::vector<Row>> slice_rows(slices);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(slices);
+    for (size_t s = 0; s < slices; ++s) {
+      size_t lo = s * chunk;
+      size_t hi = std::min(n, lo + chunk);
+      if (lo >= hi) break;
+      tasks.push_back([this, rs, first_pos, lo, hi, &slice_rows, s] {
+        SearchCtx ctx;
+        ctx.slice_ce = first_pos;
+        ctx.slice_lo = lo;
+        ctx.slice_hi = hi;
+        ctx.out = &slice_rows[s];
+        Row row(static_cast<size_t>(rs->rule->num_positive));
+        ExtendRow(rs, 0, &row, ctx);
+      });
+    }
+    ++stats->intra_splits;
+    stats->intra_slice_tasks += tasks.size();
+    pool_->RunAll(std::move(tasks));
+    for (std::vector<Row>& rows : slice_rows) {
+      for (const Row& r : rows) EmitInst(rs, r);
+    }
+    return;
+  }
+  SearchCtx ctx;
   Row row(static_cast<size_t>(rs->rule->num_positive));
-  ExtendRow(rs, 0, &row, /*seed_ce=*/-1, /*seed=*/nullptr);
+  ExtendRow(rs, 0, &row, ctx);
 }
 
 void TreatMatcher::DropInstsContaining(RuleState* rs, const Wme& wme) {
@@ -266,7 +331,10 @@ void TreatMatcher::OnRemove(const WmePtr& wme) {
 
 void TreatMatcher::ReplayRule(RuleState* rs, const ChangeBatch& batch,
                               ConflictSet::Delta* delta, Stats* stats) {
-  ConflictSet::SetThreadDelta(cs_, delta);
+  // Scoped: while this task waits on a slice fork it help-drains the pool
+  // queue and can execute another replay task, whose exit must restore this
+  // frame's redirection rather than clear it.
+  ConflictSet::ScopedThreadDelta scoped_delta(cs_, delta);
   for (size_t e = 0; e < batch.changes.size(); ++e) {
     const WmChange& c = batch.changes[e];
     delta->SetStamp({static_cast<uint32_t>(e), 0, 0, 0});
@@ -281,7 +349,6 @@ void TreatMatcher::ReplayRule(RuleState* rs, const ChangeBatch& batch,
     delta->SetStamp({static_cast<uint32_t>(batch.changes.size()), 0, 0, 0});
     SearchAll(rs, stats);
   }
-  ConflictSet::SetThreadDelta(cs_, nullptr);
 }
 
 void TreatMatcher::OnBatch(const ChangeBatch& batch) {
@@ -304,6 +371,8 @@ void TreatMatcher::OnBatch(const ChangeBatch& batch) {
       stats_.seeded_searches += s.seeded_searches;
       stats_.full_searches += s.full_searches;
       stats_.coalesced_researches += s.coalesced_researches;
+      stats_.intra_splits += s.intra_splits;
+      stats_.intra_slice_tasks += s.intra_slice_tasks;
     }
     cs_->ApplyDeltas(&deltas);
     return;

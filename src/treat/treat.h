@@ -36,13 +36,24 @@ class TreatMatcher : public Matcher {
     /// have run one SearchAll per negated-CE removal; the batch runs one
     /// per touched rule).
     uint64_t coalesced_researches = 0;
+    /// Full searches whose first-CE scan was forked into parallel slices
+    /// (intra-rule parallelism), and the slice tasks dispatched.
+    uint64_t intra_splits = 0;
+    uint64_t intra_slice_tasks = 0;
   };
 
   /// `pool` (borrowed, may be null) enables parallel batch propagation:
   /// every rule's state (alpha memories, instantiations) is private to it,
   /// so each touched rule replays the whole batch as one worker task, with
   /// conflict-set sends buffered and merged in the sequential order.
-  TreatMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool = nullptr);
+  /// `intra_split_min` (0 disables) additionally forks a full search's
+  /// first-CE scan into parallel slices when that alpha memory holds at
+  /// least this many WMEs: slices run the pure join search into private row
+  /// buffers, and emission (dedup + conflict-set sends) happens serially in
+  /// slice-concatenation order — the sequential scan order — so observable
+  /// behavior is unchanged.
+  TreatMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool = nullptr,
+               int intra_split_min = 0);
   ~TreatMatcher() override;
 
   TreatMatcher(const TreatMatcher&) = delete;
@@ -70,6 +81,18 @@ class TreatMatcher : public Matcher {
   class TreatInst;
   struct RuleState;
 
+  /// Parameters of one recursive search: the optional seed constraint, the
+  /// optional first-CE slice restriction, and the optional row buffer that
+  /// defers emission (slice tasks buffer; the coordinator emits).
+  struct SearchCtx {
+    int seed_ce = -1;
+    WmePtr seed;
+    int slice_ce = -1;
+    size_t slice_lo = 0;
+    size_t slice_hi = 0;
+    std::vector<Row>* out = nullptr;
+  };
+
   void ApplyAdd(const WmePtr& wme);
   /// `defer_unblock`: flag the rule for a batch-end SearchAll instead of
   /// re-searching immediately on a negated-CE removal.
@@ -86,8 +109,8 @@ class TreatMatcher : public Matcher {
   void SearchFromSeed(RuleState* rs, int seed_ce, const WmePtr& seed,
                       Stats* stats);
   void SearchAll(RuleState* rs, Stats* stats);
-  void ExtendRow(RuleState* rs, size_t ce_index, Row* row, int seed_ce,
-                 const WmePtr& seed);
+  void ExtendRow(RuleState* rs, size_t ce_index, Row* row,
+                 const SearchCtx& ctx);
   bool BlockedByNegated(const RuleState& rs, const Row& row) const;
   void EmitInst(RuleState* rs, const Row& row);
   void DropInstsContaining(RuleState* rs, const Wme& wme);
@@ -95,6 +118,7 @@ class TreatMatcher : public Matcher {
   WorkingMemory* wm_;
   ConflictSet* cs_;
   ThreadPool* pool_;
+  int intra_split_min_;
   std::vector<std::unique_ptr<RuleState>> rules_;
   Stats stats_;
 };

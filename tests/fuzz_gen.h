@@ -1,0 +1,332 @@
+#ifndef SOREL_TESTS_FUZZ_GEN_H_
+#define SOREL_TESTS_FUZZ_GEN_H_
+
+// Seeded random program + schedule generator for the differential fuzz
+// harness (differential_fuzz_test.cc). Programs are built from a fixed
+// schema (`item ^id ^cat ^val`) by composing well-formed fragments —
+// variables are always bound before reuse, negations only constrain, set
+// rules follow the grammar the compiler accepts — so every generated
+// program loads, and every difference between two engine configurations is
+// a real divergence, not a parse artifact. The same seed always yields the
+// same program and schedule.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sorel {
+namespace fuzz {
+
+/// Deterministic LCG so failures reproduce from the seed alone.
+class FuzzRng {
+ public:
+  explicit FuzzRng(unsigned seed) : state_(seed * 2654435761u + 97u) {}
+  unsigned Next(unsigned bound) {
+    state_ = state_ * 1664525u + 1013904223u;
+    return (state_ >> 16) % bound;
+  }
+  bool Chance(unsigned percent) { return Next(100) < percent; }
+
+ private:
+  unsigned state_;
+};
+
+/// One step of a working-memory schedule.
+struct FuzzOp {
+  enum class Kind { kMake, kRemove, kRun };
+  Kind kind = Kind::kMake;
+  int id = 0;       // kMake
+  int cat = 0;      // kMake: index into kCats
+  int64_t val = 0;  // kMake
+  unsigned pick = 0;  // kRemove: index into the live snapshot (mod size)
+  int cap = 0;        // kRun: max_firings
+};
+
+inline constexpr const char* kCats[] = {"A", "B", "C"};
+// `spawn` is a make-only sink class: no rule conditions mention it, so
+// RHS makes inside foreach bodies can't feed back into their own set CE
+// and blow the working memory up geometrically.
+inline constexpr const char* kFuzzSchema =
+    "(literalize item id cat val)\n(literalize spawn src v)";
+
+/// A generated program: the schema plus independent rules (independence is
+/// what lets the shrinker drop rules one at a time).
+struct FuzzProgram {
+  std::vector<std::string> rules;
+  bool has_set = false;
+
+  std::string Source() const {
+    std::string out = kFuzzSchema;
+    for (const std::string& r : rules) {
+      out += "\n";
+      out += r;
+    }
+    return out;
+  }
+};
+
+namespace internal {
+
+inline std::string Num(int64_t v) { return std::to_string(v); }
+
+/// A positive condition element over `item`, with variable pools threaded
+/// through so later CEs join on earlier bindings.
+inline std::string GenPositiveCe(FuzzRng& rng, int rule, int* next_var,
+                                 std::vector<std::string>* cat_vars,
+                                 std::vector<std::string>* val_vars) {
+  auto fresh = [&](const char* stem) {
+    return "<" + std::string(stem) + Num(rule) + "x" + Num((*next_var)++) +
+           ">";
+  };
+  std::string ce = "(item";
+  // Every CE must end up selective (a constant, a comparison, or a join on
+  // an existing variable): a rule of bare `(item)` CEs cross-products the
+  // whole WM per CE, which is cubic token blowup, not useful coverage.
+  bool selective = false;
+  switch (rng.Next(4)) {
+    case 0:
+      break;
+    case 1:
+      ce += " ^cat " + std::string(kCats[rng.Next(3)]);
+      selective = true;
+      break;
+    case 2:
+      if (!cat_vars->empty() && rng.Chance(50)) {
+        ce += " ^cat " +
+              (*cat_vars)[rng.Next(static_cast<unsigned>(cat_vars->size()))];
+        selective = true;  // join on an earlier binding
+      } else {
+        std::string v = fresh("c");
+        cat_vars->push_back(v);
+        ce += " ^cat " + v;
+      }
+      break;
+    case 3:
+      if (!cat_vars->empty()) {
+        ce += " ^cat <> " +
+              (*cat_vars)[rng.Next(static_cast<unsigned>(cat_vars->size()))];
+        selective = true;
+      }
+      break;
+  }
+  switch (rng.Next(4)) {
+    case 0:
+      break;
+    case 1:
+      ce += " ^val > " + Num(rng.Next(8));
+      selective = true;
+      break;
+    case 2:
+      ce += " ^val < " + Num(2 + rng.Next(8));
+      selective = true;
+      break;
+    case 3:
+      if (!val_vars->empty() && rng.Chance(40)) {
+        ce += " ^val " +
+              (*val_vars)[rng.Next(static_cast<unsigned>(val_vars->size()))];
+        selective = true;
+      } else {
+        std::string v = fresh("v");
+        val_vars->push_back(v);
+        ce += " ^val " + v;
+      }
+      break;
+  }
+  if (rng.Chance(25)) ce += " ^id " + fresh("i");
+  if (!selective) ce += " ^cat " + std::string(kCats[rng.Next(3)]);
+  ce += ")";
+  return ce;
+}
+
+/// Tuple-oriented rule: plain CEs with joins, an optional negation, and a
+/// mutating RHS over the first CE's element variable. Every matcher
+/// (TREAT included) accepts these.
+inline std::string GenTupleRule(FuzzRng& rng, int index) {
+  int next_var = 0;
+  std::vector<std::string> cat_vars, val_vars;
+  std::string elem = "<e" + Num(index) + ">";
+  std::string lhs;
+  unsigned nconds = 1 + rng.Next(3);
+  for (unsigned c = 0; c < nconds; ++c) {
+    std::string ce =
+        GenPositiveCe(rng, index, &next_var, &cat_vars, &val_vars);
+    if (c == 0) ce = "{ " + ce + " " + elem + " }";
+    lhs += " " + ce;
+  }
+  if (rng.Chance(35)) {
+    std::string neg = " - (item ^cat ";
+    if (!cat_vars.empty() && rng.Chance(50)) {
+      neg += cat_vars[rng.Next(static_cast<unsigned>(cat_vars.size()))];
+    } else {
+      neg += kCats[rng.Next(3)];
+    }
+    if (rng.Chance(50)) neg += " ^val > " + Num(rng.Next(9));
+    neg += ")";
+    lhs += neg;
+  }
+  std::string rhs;
+  unsigned nacts = 1 + rng.Next(2);
+  for (unsigned a = 0; a < nacts; ++a) {
+    switch (rng.Next(6)) {
+      case 0:
+        rhs += " (modify " + elem + " ^val " + Num(rng.Next(5)) + ")";
+        break;
+      case 1:
+        rhs += " (modify " + elem + " ^cat " +
+               std::string(kCats[rng.Next(3)]) + ")";
+        break;
+      case 2:
+        rhs += " (remove " + elem + ")";
+        break;
+      case 3:
+        rhs += " (remove 1)";
+        break;
+      case 4:
+        rhs += " (make item ^id " + Num(rng.Next(9)) + " ^cat " +
+               std::string(kCats[rng.Next(3)]) + " ^val " +
+               Num(rng.Next(4)) + ")";
+        break;
+      case 5:
+        rhs += " (write fired-r" + Num(index) + " (crlf))";
+        break;
+    }
+  }
+  return "(p r" + Num(index) + lhs + " -->" + rhs + ")";
+}
+
+/// Set-oriented rule: a set CE with PVs, an optional :scalar partition, an
+/// aggregate :test, and a set-modify / set-remove / foreach RHS (TREAT
+/// rejects these by design).
+inline std::string GenSetRule(FuzzRng& rng, int index) {
+  std::string n = Num(index);
+  std::string P = "<P" + n + ">", t = "<t" + n + ">", s = "<s" + n + ">";
+  bool with_cat = rng.Chance(60);
+  std::string lhs = " { [item";
+  if (with_cat) lhs += " ^cat " + t;
+  lhs += " ^val " + s;
+  if (rng.Chance(25)) lhs += " ^id <i" + n + ">";
+  lhs += "] " + P + " }";
+  bool scalar_cat = with_cat && rng.Chance(50);
+  if (scalar_cat) lhs += " :scalar (" + t + ")";
+  switch (rng.Next(5)) {
+    case 0:
+      lhs += " :test ((sum " + s + ") > " + Num(4 + rng.Next(10)) + ")";
+      break;
+    case 1:
+      lhs += " :test ((count " + P + ") >= " + Num(2 + rng.Next(3)) + ")";
+      break;
+    case 2:
+      lhs += " :test ((max " + s + ") > " + Num(3 + rng.Next(5)) + ")";
+      break;
+    case 3:
+      lhs += " :test ((min " + s + ") < " + Num(1 + rng.Next(4)) + ")";
+      break;
+    case 4:
+      lhs += " :test ((avg " + s + ") >= " + Num(2 + rng.Next(4)) + ")";
+      break;
+  }
+  std::string rhs;
+  const char* order =
+      rng.Chance(50) ? (rng.Chance(50) ? " ascending" : " descending") : "";
+  switch (rng.Next(6)) {
+    case 0:
+      rhs = " (set-modify " + P + " ^val " + Num(rng.Next(3)) + ")";
+      break;
+    case 1:
+      rhs = " (set-modify " + P + " ^cat " +
+            std::string(kCats[rng.Next(3)]) + " ^val 0)";
+      break;
+    case 2:
+      rhs = " (set-remove " + P + ")";
+      break;
+    case 3:
+      // Parallel-eligible foreach body (modify, and sometimes a make).
+      rhs = " (foreach " + P + order + " (modify " + P + " ^val (" + s +
+            " + 1))";
+      if (rng.Chance(30)) {
+        rhs += " (make spawn ^src " + s + " ^v " + Num(rng.Next(3)) + ")";
+      }
+      rhs += ")";
+      break;
+    case 4:
+      rhs = " (foreach " + P + order + " (remove " + P + "))";
+      break;
+    case 5:
+      // Write keeps the foreach on the sequential path — the output
+      // interleaving itself is part of the differential check.
+      rhs = " (foreach " + P + order + " (write " + s + " (crlf)))";
+      break;
+  }
+  return "(p s" + n + lhs + " -->" + rhs + ")";
+}
+
+}  // namespace internal
+
+/// Generates a program of 2-4 independent rules. With `allow_set`, roughly
+/// half the rules are set-oriented (and at least one is).
+inline FuzzProgram GenProgram(FuzzRng& rng, bool allow_set) {
+  FuzzProgram p;
+  unsigned nrules = 2 + rng.Next(3);
+  for (unsigned r = 0; r < nrules; ++r) {
+    bool make_set =
+        allow_set && (rng.Chance(40) || (r + 1 == nrules && !p.has_set));
+    if (make_set) {
+      p.rules.push_back(internal::GenSetRule(rng, static_cast<int>(r)));
+      p.has_set = true;
+    } else {
+      p.rules.push_back(internal::GenTupleRule(rng, static_cast<int>(r)));
+    }
+  }
+  return p;
+}
+
+/// Generates a WM schedule of `steps` ops: mostly makes, some removes, and
+/// (when `with_runs`) capped recognize-act runs.
+inline std::vector<FuzzOp> GenSchedule(FuzzRng& rng, int steps,
+                                       bool with_runs) {
+  std::vector<FuzzOp> ops;
+  ops.reserve(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    FuzzOp op;
+    unsigned r = rng.Next(6);
+    if (r == 0 && with_runs) {
+      op.kind = FuzzOp::Kind::kRun;
+      op.cap = 4 + static_cast<int>(rng.Next(5));
+    } else if (r == 1) {
+      op.kind = FuzzOp::Kind::kRemove;
+      op.pick = rng.Next(1024);
+    } else {
+      op.kind = FuzzOp::Kind::kMake;
+      op.id = static_cast<int>(rng.Next(6));
+      op.cat = static_cast<int>(rng.Next(3));
+      op.val = static_cast<int64_t>(rng.Next(10));
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// Renders a schedule as one line per op — the repro format.
+inline std::string ScheduleToString(const std::vector<FuzzOp>& ops) {
+  std::string out;
+  for (const FuzzOp& op : ops) {
+    switch (op.kind) {
+      case FuzzOp::Kind::kMake:
+        out += "make id=" + internal::Num(op.id) + " cat=" +
+               kCats[op.cat] + " val=" + internal::Num(op.val) + "\n";
+        break;
+      case FuzzOp::Kind::kRemove:
+        out += "remove pick=" + internal::Num(op.pick) + "\n";
+        break;
+      case FuzzOp::Kind::kRun:
+        out += "run cap=" + internal::Num(op.cap) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace sorel
+
+#endif  // SOREL_TESTS_FUZZ_GEN_H_

@@ -86,13 +86,26 @@ std::string Dump(Engine& engine) {
   return out.str();
 }
 
-/// Drives a single-threaded and an N-threaded engine through the same
-/// random add / remove / run schedule and asserts bit-identical observable
-/// behavior throughout.
-void CheckEquivalence(MatcherKind matcher, Strategy strategy, int threads,
-                      bool batched, unsigned seed, bool with_set_rules) {
+/// One parallel configuration to pit against the sequential baseline.
+struct ParConfig {
+  int threads = 0;
+  bool batched = true;
+  int intra_split = 0;    // EngineOptions::intra_rule_split_min_tokens
+  bool parallel_rhs = false;
+};
+
+/// Drives a single-threaded and a parallel-configured engine through the
+/// same random add / remove / run schedule and asserts bit-identical
+/// observable behavior throughout.
+void CheckEquivalence(MatcherKind matcher, Strategy strategy,
+                      const ParConfig& config, unsigned seed,
+                      bool with_set_rules) {
+  int threads = config.threads;
+  bool batched = config.batched;
   SCOPED_TRACE("threads=" + std::to_string(threads) +
                " batched=" + std::to_string(batched) +
+               " intra_split=" + std::to_string(config.intra_split) +
+               " parallel_rhs=" + std::to_string(config.parallel_rhs) +
                " seed=" + std::to_string(seed));
   std::ostringstream seq_trace, par_trace;
   EngineOptions seq_opts, par_opts;
@@ -102,6 +115,8 @@ void CheckEquivalence(MatcherKind matcher, Strategy strategy, int threads,
   seq_opts.batched_wm = par_opts.batched_wm = batched;
   seq_opts.match_threads = 0;
   par_opts.match_threads = threads;
+  par_opts.intra_rule_split_min_tokens = config.intra_split;
+  par_opts.parallel_rhs = config.parallel_rhs;
   Engine seq(seq_opts), par(par_opts);
   seq.set_output(&seq_trace);
   par.set_output(&par_trace);
@@ -160,10 +175,23 @@ void CheckAllConfigs(MatcherKind matcher, Strategy strategy, unsigned seed,
                      bool with_set_rules) {
   for (int threads : {1, 2, 4}) {
     for (bool batched : {true, false}) {
-      CheckEquivalence(matcher, strategy, threads, batched, seed,
+      CheckEquivalence(matcher, strategy, {threads, batched}, seed,
                        with_set_rules);
       if (::testing::Test::HasFatalFailure()) return;
     }
+  }
+  // Intra-rule slicing and parallel RHS, separately and together, and a
+  // parallel-RHS-only pool (no match threads).
+  ParConfig extra[] = {
+      {4, true, 1, false},
+      {2, false, 2, false},
+      {2, true, 0, true},
+      {0, true, 0, true},
+      {4, true, 1, true},
+  };
+  for (const ParConfig& config : extra) {
+    CheckEquivalence(matcher, strategy, config, seed, with_set_rules);
+    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 
@@ -227,6 +255,62 @@ TEST(ParallelMatchEngaged, PoolRunsTasks) {
     EXPECT_GT(stats.pool.batches, 0u)
         << "matcher " << static_cast<int>(matcher);
   }
+}
+
+// The intra-rule split path actually engages: with a tiny threshold, Rete
+// and TREAT must report forked slice scans.
+TEST(ParallelMatchEngaged, IntraRuleSplitRunsSlices) {
+  for (MatcherKind matcher : {MatcherKind::kRete, MatcherKind::kTreat}) {
+    EngineOptions opts;
+    opts.matcher = matcher;
+    opts.match_threads = 2;
+    opts.intra_rule_split_min_tokens = 2;
+    Engine engine(opts);
+    std::ostringstream sink;
+    engine.set_output(&sink);
+    MustLoad(engine, std::string(kSchema));
+    for (int i = 0; i < 16; ++i) {
+      MustMake(engine, "player",
+               {{"name", engine.Sym(i % 2 == 0 ? "ann" : "bob")},
+                {"team", engine.Sym(i % 3 == 0 ? "B" : "C")},
+                {"score", Value::Int(i % 6)}});
+    }
+    // Rules load after the WM is populated so the add-rule search (TREAT's
+    // SearchAll, Rete's replay) scans alphas above the split threshold.
+    MustLoad(engine, kTupleRules);
+    MustRun(engine, 24);
+    Engine::MatchStats stats = engine.match_stats();
+    uint64_t splits = matcher == MatcherKind::kRete ? stats.rete.intra_splits
+                                                    : stats.treat.intra_splits;
+    uint64_t slice_tasks = matcher == MatcherKind::kRete
+                               ? stats.rete.intra_slice_tasks
+                               : stats.treat.intra_slice_tasks;
+    EXPECT_GT(splits, 0u) << "matcher " << static_cast<int>(matcher);
+    EXPECT_GT(slice_tasks, splits) << "matcher " << static_cast<int>(matcher);
+  }
+}
+
+// Parallel RHS engages without match threads: the engine must still build
+// a pool and fork set-action member evaluations onto it.
+TEST(ParallelMatchEngaged, ParallelRhsForksWithoutMatchThreads) {
+  EngineOptions opts;
+  opts.parallel_rhs = true;
+  Engine engine(opts);
+  std::ostringstream sink;
+  engine.set_output(&sink);
+  MustLoad(engine, std::string(kSchema) + kSetRules);
+  // Scores must be distinct: the set aggregate runs over distinct projected
+  // values, so four copies of 5 sum to 5 and the :test never passes.
+  for (int i = 0; i < 4; ++i) {
+    MustMake(engine, "player", {{"name", engine.Sym("ann")},
+                                {"team", engine.Sym("A")},
+                                {"score", Value::Int(i + 1)}});
+  }
+  MustRun(engine, 8);
+  EXPECT_GT(engine.rhs_stats().parallel_forks, 0u);
+  EXPECT_GT(engine.rhs_stats().parallel_member_tasks, 0u);
+  EXPECT_GT(engine.match_stats().pool.threads, 0u);
+  EXPECT_GT(engine.match_stats().pool.tasks, 0u);
 }
 
 }  // namespace

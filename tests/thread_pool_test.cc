@@ -95,5 +95,110 @@ TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
   EXPECT_EQ(pool.stats().tasks, 0u);
 }
 
+// --- soak / stress (run under TSan via the `concurrency` ctest label) ----
+
+TEST(ThreadPoolSoakTest, ManySmallBatchesBackToBack) {
+  // Thousands of tiny batches stress the wake/sleep edges: a worker parked
+  // between batches must see the next batch's enqueue, and the caller must
+  // never return early.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  constexpr int kBatches = 4000;
+  for (int b = 0; b < kBatches; ++b) {
+    int size = 1 + b % 3;
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < size; ++i) {
+      tasks.push_back([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.RunAll(std::move(tasks));
+    ASSERT_EQ(done.load(), (b / 3) * 6 + (b % 3 == 0 ? 1 : b % 3 == 1 ? 3 : 6))
+        << "batch " << b;
+  }
+  EXPECT_EQ(pool.stats().batches, static_cast<uint64_t>(kBatches));
+}
+
+TEST(ThreadPoolSoakTest, NestedRunAllFromWorkerTasks) {
+  // Tasks fork sub-batches from inside the pool (the intra-rule split does
+  // exactly this during a replay task). The inner RunAll must complete via
+  // help-draining even with every worker occupied by an outer task, and
+  // the nested_batches stat must see each inner batch.
+  ThreadPool pool(2);
+  std::atomic<int> inner_done{0};
+  std::vector<std::function<void()>> outer;
+  constexpr int kOuter = 8;
+  constexpr int kInnerPer = 6;
+  for (int i = 0; i < kOuter; ++i) {
+    outer.push_back([&pool, &inner_done] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < kInnerPer; ++j) {
+        inner.push_back([&inner_done] { inner_done.fetch_add(1); });
+      }
+      pool.RunAll(std::move(inner));
+    });
+  }
+  pool.RunAll(std::move(outer));
+  EXPECT_EQ(inner_done.load(), kOuter * kInnerPer);
+  EXPECT_EQ(pool.stats().batches, static_cast<uint64_t>(1 + kOuter));
+  EXPECT_EQ(pool.stats().nested_batches, static_cast<uint64_t>(kOuter));
+  EXPECT_GE(pool.stats().max_task_depth, 2u);
+}
+
+TEST(ThreadPoolSoakTest, DeeplyNestedForksOnZeroWorkerPool) {
+  // A 0-worker pool degenerates to recursive help-draining on the caller's
+  // stack; three levels of forking must still run every leaf exactly once.
+  ThreadPool pool(0);
+  std::atomic<int> leaves{0};
+  std::vector<std::function<void()>> top;
+  for (int i = 0; i < 3; ++i) {
+    top.push_back([&pool, &leaves] {
+      std::vector<std::function<void()>> mid;
+      for (int j = 0; j < 3; ++j) {
+        mid.push_back([&pool, &leaves] {
+          std::vector<std::function<void()>> leaf;
+          for (int k = 0; k < 3; ++k) {
+            leaf.push_back([&leaves] { leaves.fetch_add(1); });
+          }
+          pool.RunAll(std::move(leaf));
+        });
+      }
+      pool.RunAll(std::move(mid));
+    });
+  }
+  pool.RunAll(std::move(top));
+  EXPECT_EQ(leaves.load(), 27);
+  EXPECT_EQ(pool.stats().nested_batches, 12u);  // 3 mid + 9 leaf batches
+  EXPECT_GE(pool.stats().max_task_depth, 3u);
+}
+
+TEST(ThreadPoolSoakTest, ConcurrentCallersShareThePool) {
+  // Several external threads issue batches into one pool concurrently;
+  // each caller's RunAll must act as a barrier for its own batch only.
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 200;
+  std::atomic<int> done{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &done] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::atomic<int> mine{0};
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 4; ++i) {
+          tasks.push_back([&mine, &done] {
+            mine.fetch_add(1);
+            done.fetch_add(1);
+          });
+        }
+        pool.RunAll(std::move(tasks));
+        ASSERT_EQ(mine.load(), 4);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(done.load(), kCallers * kRounds * 4);
+  EXPECT_EQ(pool.stats().tasks,
+            static_cast<uint64_t>(kCallers * kRounds * 4));
+}
+
 }  // namespace
 }  // namespace sorel

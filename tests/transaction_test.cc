@@ -206,6 +206,113 @@ TEST(RhsRollbackTest, SetRemoveFollowedByErrorRollsBack) {
   EXPECT_EQ(snode->num_sois(), 1u);
 }
 
+// --- parallel RHS: bit-identical behavior, error paths included ----------
+
+/// Everything observable from one capped run of `rule` over items with the
+/// given scores, under sequential or parallel RHS execution.
+struct RhsOutcome {
+  std::string status;  // "" = Run succeeded
+  std::string before, after;  // WmFingerprint around the run
+  uint64_t rollbacks = 0;
+  uint64_t skipped_dead = 0;
+  uint64_t parallel_forks = 0;
+  uint64_t parallel_member_tasks = 0;
+};
+
+RhsOutcome RunRhs(const std::string& rule, const std::vector<int64_t>& scores,
+                  bool parallel) {
+  EngineOptions opts;
+  opts.parallel_rhs = parallel;
+  Engine engine(opts);
+  std::ostringstream devnull;
+  engine.set_output(&devnull);
+  MustLoad(engine, std::string(kItemSchema) + rule);
+  int64_t id = 1;
+  for (int64_t s : scores) {
+    MustMake(engine, "item",
+             {{"id", Value::Int(id++)}, {"score", Value::Int(s)}});
+  }
+  RhsOutcome o;
+  o.before = WmFingerprint(engine);
+  auto r = engine.Run(10);
+  o.status = r.ok() ? "" : r.status().ToString();
+  o.after = WmFingerprint(engine);
+  o.rollbacks = engine.wm().stats().rollbacks;
+  o.skipped_dead = engine.rhs_stats().skipped_dead_targets;
+  o.parallel_forks = engine.rhs_stats().parallel_forks;
+  o.parallel_member_tasks = engine.rhs_stats().parallel_member_tasks;
+  return o;
+}
+
+TEST(ParallelRhsTest, ForeachKthMemberErrorMatchesSequential) {
+  // Member 2 (score 0) makes `(10 / <s>)` divide by zero after member 1
+  // was already modified: the whole firing must roll back, with the same
+  // Status text, in both execution modes.
+  const std::string rule =
+      "(p bump { [item ^score <s>] <P> } :test ((count <P>) >= 3) -->"
+      " (foreach <P> ascending (modify <P> ^score (10 / <s>))))";
+  RhsOutcome seq = RunRhs(rule, {5, 0, 2}, false);
+  RhsOutcome par = RunRhs(rule, {5, 0, 2}, true);
+  ASSERT_NE(seq.status, "");
+  EXPECT_NE(seq.status.find("zero"), std::string::npos) << seq.status;
+  EXPECT_EQ(par.status, seq.status);
+  EXPECT_EQ(seq.after, seq.before);
+  EXPECT_EQ(par.after, par.before);
+  EXPECT_GT(seq.rollbacks, 0u);
+  EXPECT_GT(par.rollbacks, 0u);
+  EXPECT_EQ(seq.parallel_forks, 0u);
+  EXPECT_GT(par.parallel_forks, 0u);
+}
+
+TEST(ParallelRhsTest, SetModifyMemberErrorMatchesSequential) {
+  // The set-modify expression errors identically for every member; the
+  // sequential path surfaces it on member 1 inside the action's single
+  // transaction — the parallel path must return the same Status and leave
+  // the same (untouched) WM.
+  const std::string rule =
+      "(p zero { [item ^score <s>] <P> } :test ((sum <s>) > 0) -->"
+      " (set-modify <P> ^score ((sum <s>) / 0)))";
+  RhsOutcome seq = RunRhs(rule, {5, 6}, false);
+  RhsOutcome par = RunRhs(rule, {5, 6}, true);
+  ASSERT_NE(seq.status, "");
+  EXPECT_NE(seq.status.find("zero"), std::string::npos) << seq.status;
+  EXPECT_EQ(par.status, seq.status);
+  EXPECT_EQ(seq.after, seq.before);
+  EXPECT_EQ(par.after, par.before);
+  EXPECT_GT(par.parallel_forks, 0u);
+}
+
+TEST(ParallelRhsTest, DeadTargetSkipOrderMatchesSequential) {
+  // Each member's body removes the member and then modifies it: the modify
+  // must hit the dead-target skip (not an error), exactly as sequentially —
+  // the parallel path checks liveness at apply time, after the removal.
+  const std::string rule =
+      "(p drain { [item ^score <s>] <P> } :test ((count <P>) >= 3) -->"
+      " (foreach <P> ascending (remove <P>) (modify <P> ^score 9)))";
+  RhsOutcome seq = RunRhs(rule, {1, 2, 3}, false);
+  RhsOutcome par = RunRhs(rule, {1, 2, 3}, true);
+  EXPECT_EQ(seq.status, "");
+  EXPECT_EQ(par.status, "");
+  EXPECT_EQ(par.after, seq.after);
+  EXPECT_EQ(seq.skipped_dead, 3u);
+  EXPECT_EQ(par.skipped_dead, 3u);
+  EXPECT_GT(par.parallel_forks, 0u);
+  EXPECT_EQ(par.parallel_member_tasks, 3u);
+}
+
+TEST(ParallelRhsTest, SuccessfulParallelRunIsBitIdentical) {
+  const std::string rule =
+      "(p bump { [item ^score <s>] <P> } :test ((count <P>) >= 3) -->"
+      " (foreach <P> descending (modify <P> ^score (<s> + 1))))";
+  RhsOutcome seq = RunRhs(rule, {1, 2, 3}, false);
+  RhsOutcome par = RunRhs(rule, {1, 2, 3}, true);
+  EXPECT_EQ(par.status, seq.status);
+  EXPECT_EQ(par.after, seq.after);
+  EXPECT_EQ(seq.parallel_forks, 0u);
+  EXPECT_GT(par.parallel_forks, 0u);
+  EXPECT_EQ(par.parallel_member_tasks % 3, 0u);
+}
+
 TEST(RhsRollbackTest, SuccessfulFiringStillCommitsAsOneBatch) {
   Engine engine;
   std::ostringstream devnull;
