@@ -4,9 +4,17 @@
 //   - incremental aggregate maintenance vs full recompute per token,
 //   - hashed SOI lookup vs Figure 3's literal candidate scan.
 
+// `--json` switches to a fast smoke mode: each ablation pair runs once at
+// a small size with manual wall-clock timing (no google-benchmark rerun
+// machinery) and the numbers land in BENCH_fig3_snode.json via JsonReport
+// — the output CI validates against the JSON schema checker.
+
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <string>
 
 #include "bench/bench_util.h"
 
@@ -177,11 +185,114 @@ BENCHMARK(BM_ConflictSetSelect)
     ->Args({0, 8192})
     ->Args({1, 8192});
 
+// Times `iters` repetitions of `op` and records one labeled row with the
+// engine's counter snapshot.
+void TimedRow(JsonReport* report, const std::string& label, Engine& engine,
+              int iters, const std::function<void()>& op) {
+  engine.ResetMatchStats();
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) op();
+  double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  report->BeginRow(label);
+  report->Value("iters", iters);
+  report->Value("ns_per_op", ns / iters);
+  report->MatchStats(engine.match_stats());
+}
+
+int RunJsonSmoke() {
+  constexpr int kIters = 200;
+  JsonReport report("fig3_snode");
+  report.Config("iters", kIters);
+  report.Config("smoke", 1);
+
+  for (bool recompute : {false, true}) {
+    EngineOptions options;
+    options.snode.recompute_aggregates = recompute;
+    Engine engine(options);
+    engine.set_output(DevNull());
+    MustLoad(engine, std::string(kPlayerSchema) +
+                         "(p sums { [player ^score <s>] <P> }"
+                         " :test ((sum <s>) > 1000000) --> (halt))");
+    for (int i = 0; i < 256; ++i) {
+      MustMake(engine, "player", {{"score", Value::Int(i % 97)}});
+    }
+    TimedRow(&report,
+             recompute ? "aggregate/recompute" : "aggregate/incremental",
+             engine, kIters, [&engine] {
+               TimeTag tag =
+                   MustMake(engine, "player", {{"score", Value::Int(7)}});
+               Check(engine.RemoveWme(tag), "remove");
+             });
+  }
+
+  for (bool linear : {false, true}) {
+    EngineOptions options;
+    options.snode.linear_scan_gamma = linear;
+    Engine engine(options);
+    engine.set_output(DevNull());
+    MustLoad(engine, std::string(kPlayerSchema) +
+                         "(p bygroup [player ^team <t> ^name <n>]"
+                         " :scalar (<t>) --> (halt))");
+    FillPlayers(engine, 64 * 4, 64, 16);
+    TimedRow(&report, linear ? "gamma/linear-scan" : "gamma/hashed", engine,
+             kIters, [&engine] {
+               TimeTag tag = MustMake(engine, "player",
+                                      {{"team", engine.Sym("team0")},
+                                       {"name", engine.Sym("probe")}});
+               Check(engine.RemoveWme(tag), "remove");
+             });
+  }
+
+  for (bool linear : {false, true}) {
+    EngineOptions options;
+    options.rete.use_indexed_joins = !linear;
+    Engine engine(options);
+    engine.set_output(DevNull());
+    MustLoad(engine,
+             std::string(kPlayerSchema) +
+                 "(p pair (player ^name <n>) (player ^name <n> ^team <t>)"
+                 " --> (halt))");
+    FillPlayers(engine, 256, /*teams=*/4, /*distinct_names=*/256);
+    TimedRow(&report, linear ? "join/linear" : "join/indexed", engine,
+             kIters, [&engine] {
+               TimeTag tag = MustMake(engine, "player",
+                                      {{"name", engine.Sym("name0")},
+                                       {"team", engine.Sym("team0")}});
+               Check(engine.RemoveWme(tag), "remove");
+             });
+  }
+
+  for (bool linear : {false, true}) {
+    EngineOptions options;
+    options.indexed_conflict_set = !linear;
+    Engine engine(options);
+    engine.set_output(DevNull());
+    MustLoad(engine, std::string(kPlayerSchema) +
+                         "(p note (player ^name <n>) --> (write <n>))");
+    FillPlayers(engine, 256, /*teams=*/4, /*distinct_names=*/256);
+    TimedRow(&report, linear ? "select/full-scan" : "select/indexed", engine,
+             kIters, [&engine] {
+               TimeTag tag =
+                   MustMake(engine, "player", {{"name", engine.Sym("probe")}});
+               MustRun(engine, 1);
+               Check(engine.RemoveWme(tag), "remove");
+             });
+  }
+
+  return report.Write() ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace sorel
 
 int main(int argc, char** argv) {
+  if (sorel::bench::StripJsonFlag(&argc, argv)) {
+    return sorel::bench::RunJsonSmoke();
+  }
   sorel::bench::PrintFigure3();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/json.h"
 
 namespace sorel {
 namespace bench {
@@ -181,49 +182,11 @@ class JsonReport {
   }
 
  private:
-  /// JSON string escaping: backslash, quote, and control characters (bench
-  /// labels carry user-ish text like rule names and config strings).
-  static std::string Escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      switch (c) {
-        case '\\':
-          out += "\\\\";
-          break;
-        case '"':
-          out += "\\\"";
-          break;
-        case '\n':
-          out += "\\n";
-          break;
-        case '\t':
-          out += "\\t";
-          break;
-        case '\r':
-          out += "\\r";
-          break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out;
-  }
-
-  static std::string Number(double v) {
-    if (v == std::floor(v) && std::fabs(v) < 9e15) {
-      return std::to_string(static_cast<long long>(v));
-    }
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    return buf;
-  }
+  // Rendering delegates to the shared obs JSON helpers, so bench reports
+  // and trace exporters agree on one escaping/number format (and the
+  // reports parse back with obs::ParseJson / ValidateBenchReport).
+  static std::string Escape(const std::string& s) { return obs::JsonEscape(s); }
+  static std::string Number(double v) { return obs::JsonNumber(v); }
 
   struct Row {
     std::string label;

@@ -83,10 +83,31 @@ Result<Value> Soi::AggregateValue(int index) const {
 
 // ---------------------------------------------------------------- SNode ---
 
-SNode::SNode(const CompiledRule* rule, ConflictSet* cs, SNodeOptions options)
-    : rule_(rule), cs_(cs), options_(options) {}
+SNode::SNode(const CompiledRule* rule, ConflictSet* cs, SNodeOptions options,
+             obs::MetricRegistry* metrics)
+    : rule_(rule), cs_(cs), options_(options), metrics_(metrics) {
+  if (metrics_ == nullptr) return;
+  metrics_->RegisterCounter(this, "snode.tokens",
+                            [this] { return stats_.tokens; });
+  metrics_->RegisterCounter(this, "snode.sends_plus",
+                            [this] { return stats_.sends_plus; });
+  metrics_->RegisterCounter(this, "snode.sends_minus",
+                            [this] { return stats_.sends_minus; });
+  metrics_->RegisterCounter(this, "snode.sends_time",
+                            [this] { return stats_.sends_time; });
+  metrics_->RegisterCounter(this, "snode.sois_created",
+                            [this] { return stats_.sois_created; });
+  metrics_->RegisterCounter(this, "snode.sois_deleted",
+                            [this] { return stats_.sois_deleted; });
+  metrics_->RegisterCounter(this, "snode.test_evals",
+                            [this] { return stats_.test_evals; });
+  metrics_->RegisterCounter(this, "snode.batch_flushes",
+                            [this] { return stats_.batch_flushes; });
+  metrics_->RegisterReset(this, [this] { ResetStats(); });
+}
 
 SNode::~SNode() {
+  if (metrics_ != nullptr) metrics_->Unregister(this);
   for (auto& [key, soi] : gamma_) {
     if (soi->active_) cs_->Remove(soi.get());
   }

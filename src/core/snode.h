@@ -96,7 +96,12 @@ class SNode : public ReteSink {
     uint64_t batch_flushes = 0;
   };
 
-  SNode(const CompiledRule* rule, ConflictSet* cs, SNodeOptions options = {});
+  /// `metrics` (borrowed, may be null) registers this S-node's snode.*
+  /// counters as registry views; every S-node registers under the same
+  /// names and the registry sums them, which is exactly the aggregation
+  /// Engine::match_stats() reports.
+  SNode(const CompiledRule* rule, ConflictSet* cs, SNodeOptions options = {},
+        obs::MetricRegistry* metrics = nullptr);
   ~SNode() override;
 
   SNode(const SNode&) = delete;
@@ -129,6 +134,7 @@ class SNode : public ReteSink {
   const CompiledRule* rule_;
   ConflictSet* cs_;
   SNodeOptions options_;
+  obs::MetricRegistry* metrics_ = nullptr;  // borrowed; may be null
   std::unordered_map<SoiKey, std::unique_ptr<Soi>, SoiKeyHash> gamma_;
   Status last_error_;
   Stats stats_;

@@ -91,12 +91,24 @@ class DipsMatcher::DipsSoi : public InstantiationRef {
   bool active_ = false;
 };
 
-DipsMatcher::DipsMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool)
-    : wm_(wm), cs_(cs), pool_(pool) {
+DipsMatcher::DipsMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool,
+                         obs::MetricRegistry* metrics, obs::Tracer* tracer)
+    : wm_(wm), cs_(cs), pool_(pool), metrics_(metrics), tracer_(tracer) {
   wm_->AddListener(this);
+  if (metrics_ != nullptr) {
+    metrics_->RegisterCounter(this, "dips.refreshes",
+                              [this] { return stats_.refreshes; });
+    metrics_->RegisterCounter(this, "dips.batches",
+                              [this] { return stats_.batches; });
+    metrics_->RegisterReset(this, [this] { ResetStats(); });
+    if (metrics_->timing_enabled()) {
+      match_timer_ = metrics_->GetOrCreateTimer("phase.match");
+    }
+  }
 }
 
 DipsMatcher::~DipsMatcher() {
+  if (metrics_ != nullptr) metrics_->Unregister(this);
   wm_->RemoveListener(this);
   for (const auto& rs : rules_) {
     for (const auto& [sig, inst] : rs->insts) cs_->Remove(inst.get());
@@ -137,6 +149,7 @@ Status DipsMatcher::RemoveRule(const CompiledRule* rule) {
 }
 
 void DipsMatcher::OnAdd(const WmePtr& wme) {
+  obs::ScopedTimer timer(match_timer_);
   for (const auto& rs : rules_) {
     bool changed = false;
     for (CondTable& table : rs->tables) {
@@ -153,6 +166,7 @@ void DipsMatcher::OnAdd(const WmePtr& wme) {
 }
 
 void DipsMatcher::OnRemove(const WmePtr& wme) {
+  obs::ScopedTimer timer(match_timer_);
   for (const auto& rs : rules_) {
     bool changed = false;
     for (CondTable& table : rs->tables) {
@@ -191,7 +205,15 @@ Status DipsMatcher::ReplayRule(RuleState* rs, const ChangeBatch& batch,
 }
 
 void DipsMatcher::OnBatch(const ChangeBatch& batch) {
+  obs::ScopedTimer timer(match_timer_);
   ++stats_.batches;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    for (const auto& rs : rules_) {
+      tracer_->Emit(obs::TraceEvent("rule_replay")
+                        .Str("rule", rs->rule->name)
+                        .Num("changes", batch.changes.size()));
+    }
+  }
   if (pool_ != nullptr && rules_.size() > 1) {
     // Rule states are disjoint and the sequential path refreshes touched
     // rules in registration order, so one task per rule plus a rule-order

@@ -10,6 +10,8 @@
 #include "core/soi_key.h"
 #include "dips/cond_table.h"
 #include "lang/compiled_rule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdb/ops.h"
 #include "rete/conflict_set.h"
 #include "rete/matcher.h"
@@ -47,7 +49,12 @@ class DipsMatcher : public Matcher {
   /// DIPS is already rule-major (per-rule COND tables and one Refresh per
   /// touched rule), so each rule's table updates + refresh run as one
   /// worker task with conflict-set sends buffered and merged in rule order.
-  DipsMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool = nullptr);
+  /// `metrics` / `tracer` (borrowed, may be null) hook the matcher into the
+  /// observability layer: dips.* counters register as registry views and
+  /// batch replays emit per-rule rule_replay events.
+  DipsMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool = nullptr,
+              obs::MetricRegistry* metrics = nullptr,
+              obs::Tracer* tracer = nullptr);
   ~DipsMatcher() override;
 
   DipsMatcher(const DipsMatcher&) = delete;
@@ -126,6 +133,9 @@ class DipsMatcher : public Matcher {
   WorkingMemory* wm_;
   ConflictSet* cs_;
   ThreadPool* pool_;
+  obs::MetricRegistry* metrics_ = nullptr;  // borrowed; may be null
+  obs::Tracer* tracer_ = nullptr;           // borrowed; may be null
+  obs::Timer* match_timer_ = nullptr;       // non-null when timing enabled
   std::vector<std::unique_ptr<RuleState>> rules_;
   Status last_error_;
   Stats stats_;

@@ -1,6 +1,8 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <unordered_set>
 #include <sstream>
@@ -30,10 +32,19 @@ class Engine::WmTracer : public WorkingMemory::Listener {
 
 Engine::Engine(EngineOptions options)
     : options_(options),
-      wm_(std::make_unique<WorkingMemory>(&schemas_, &symbols_)),
-      cs_(options_.indexed_conflict_set),
+      wm_(std::make_unique<WorkingMemory>(&schemas_, &symbols_, &metrics_,
+                                          &trace_)),
+      cs_(options_.indexed_conflict_set, &metrics_),
       compiler_(&symbols_, &schemas_),
-      rhs_(wm_.get(), &symbols_, &std::cout) {
+      rhs_(wm_.get(), &symbols_, &std::cout, &metrics_, &trace_) {
+  // Before any matcher is built: they consult timing_enabled() at
+  // construction to decide whether to install hot-path scope timers.
+  metrics_.set_timing_enabled(options_.enable_timers);
+  trace_.set_sink(options_.trace_sink);
+  if (options_.enable_timers) {
+    select_timer_ = metrics_.GetOrCreateTimer("phase.select");
+    act_timer_ = metrics_.GetOrCreateTimer("phase.act");
+  }
   rhs_.set_output(out_);
   if (options_.match_threads > 0 || options_.parallel_rhs) {
     pool_ = std::make_unique<ThreadPool>(
@@ -47,11 +58,14 @@ Engine::Engine(EngineOptions options)
     options_.rete.pool = match_pool;
     options_.rete.intra_split_min = options_.intra_rule_split_min_tokens;
   }
+  options_.rete.metrics = &metrics_;
+  options_.rete.tracer = &trace_;
   if (options_.matcher == MatcherKind::kRete) {
     SinkFactory factory = [this](const CompiledRule& rule)
         -> std::unique_ptr<ReteSink> {
       if (!rule.has_set) return std::make_unique<PNode>(&rule, &cs_);
-      auto snode = std::make_unique<SNode>(&rule, &cs_, options_.snode);
+      auto snode = std::make_unique<SNode>(&rule, &cs_, options_.snode,
+                                           &metrics_);
       snodes_[rule.name] = snode.get();
       return snode;
     };
@@ -62,15 +76,48 @@ Engine::Engine(EngineOptions options)
     matcher_ = std::move(rete);
   } else if (options_.matcher == MatcherKind::kTreat) {
     auto treat = std::make_unique<TreatMatcher>(
-        wm_.get(), &cs_, match_pool, options_.intra_rule_split_min_tokens);
+        wm_.get(), &cs_, match_pool, options_.intra_rule_split_min_tokens,
+        &metrics_, &trace_);
     treat_ = treat.get();
     matcher_ = std::move(treat);
   } else {
-    auto dips =
-        std::make_unique<dips::DipsMatcher>(wm_.get(), &cs_, match_pool);
+    auto dips = std::make_unique<dips::DipsMatcher>(
+        wm_.get(), &cs_, match_pool, &metrics_, &trace_);
     dips_ = dips.get();
     matcher_ = std::move(dips);
   }
+  // The pool lives in sorel_base (below the obs layer), so the engine
+  // registers its counters; run/parallel stats are the engine's own.
+  if (pool_ != nullptr) {
+    ThreadPool* pool = pool_.get();
+    metrics_.RegisterCounter(this, "pool.threads",
+                             [pool] { return pool->stats().threads; });
+    metrics_.RegisterCounter(this, "pool.tasks",
+                             [pool] { return pool->stats().tasks; });
+    metrics_.RegisterCounter(this, "pool.batches",
+                             [pool] { return pool->stats().batches; });
+    metrics_.RegisterCounter(this, "pool.nested_batches",
+                             [pool] { return pool->stats().nested_batches; });
+    metrics_.RegisterCounter(this, "pool.max_task_depth",
+                             [pool] { return pool->stats().max_task_depth; });
+  }
+  metrics_.RegisterCounter(this, "run.firings",
+                           [this] { return run_stats_.firings; });
+  metrics_.RegisterCounter(this, "run.actions",
+                           [this] { return run_stats_.actions; });
+  metrics_.RegisterCounter(this, "parallel.cycles",
+                           [this] { return parallel_stats_.cycles; });
+  metrics_.RegisterCounter(this, "parallel.firings",
+                           [this] { return parallel_stats_.firings; });
+  metrics_.RegisterCounter(this, "parallel.largest_batch",
+                           [this] { return parallel_stats_.largest_batch; });
+  metrics_.RegisterCounter(this, "parallel.conflicts",
+                           [this] { return parallel_stats_.conflicts; });
+  metrics_.RegisterReset(this, [this] {
+    if (pool_ != nullptr) pool_->ResetStats();
+    run_stats_ = {};
+    parallel_stats_ = {};
+  });
   rhs_.set_transactional(options_.batched_wm);
   rhs_.set_pool(pool_.get());
   rhs_.set_parallel(options_.parallel_rhs);
@@ -82,6 +129,7 @@ Engine::Engine(EngineOptions options)
 }
 
 Engine::~Engine() {
+  metrics_.Unregister(this);
   if (tracer_ != nullptr) wm_->RemoveListener(tracer_.get());
 }
 
@@ -266,38 +314,107 @@ Status Engine::MatchError() const {
 }
 
 Engine::MatchStats Engine::match_stats() const {
+  // A registry snapshot: each field reads the sum of the views registered
+  // under its metric name (names a configuration lacks read as zero), so
+  // the values are bit-identical to polling the components directly.
+  std::map<std::string, uint64_t> c = metrics_.SnapshotCounters();
+  auto get = [&c](const char* name) -> uint64_t {
+    auto it = c.find(name);
+    return it == c.end() ? 0 : it->second;
+  };
   MatchStats stats;
-  if (rete_ != nullptr) stats.rete = rete_->stats();
-  stats.select = cs_.stats();
-  for (const auto& [name, snode] : snodes_) {
-    const SNode::Stats& s = snode->stats();
-    stats.snode.tokens += s.tokens;
-    stats.snode.sends_plus += s.sends_plus;
-    stats.snode.sends_minus += s.sends_minus;
-    stats.snode.sends_time += s.sends_time;
-    stats.snode.sois_created += s.sois_created;
-    stats.snode.sois_deleted += s.sois_deleted;
-    stats.snode.test_evals += s.test_evals;
-    stats.snode.batch_flushes += s.batch_flushes;
-  }
-  if (treat_ != nullptr) stats.treat = treat_->stats();
-  if (dips_ != nullptr) stats.dips = dips_->stats();
-  stats.wm = wm_->stats();
-  if (pool_ != nullptr) stats.pool = pool_->stats();
+  stats.rete.join_attempts = get("rete.join_attempts");
+  stats.rete.index_probes = get("rete.index_probes");
+  stats.rete.tokens_created = get("rete.tokens_created");
+  stats.rete.tokens_deleted = get("rete.tokens_deleted");
+  stats.rete.right_activations = get("rete.right_activations");
+  stats.rete.batches = get("rete.batches");
+  stats.rete.grouped_removals = get("rete.grouped_removals");
+  stats.rete.token_pool_hits = get("rete.token_pool_hits");
+  stats.rete.parallel_batches = get("rete.parallel_batches");
+  stats.rete.replay_tasks = get("rete.replay_tasks");
+  stats.rete.intra_splits = get("rete.intra_splits");
+  stats.rete.intra_slice_tasks = get("rete.intra_slice_tasks");
+  stats.select.selects = get("select.selects");
+  stats.select.comparisons = get("select.comparisons");
+  stats.snode.tokens = get("snode.tokens");
+  stats.snode.sends_plus = get("snode.sends_plus");
+  stats.snode.sends_minus = get("snode.sends_minus");
+  stats.snode.sends_time = get("snode.sends_time");
+  stats.snode.sois_created = get("snode.sois_created");
+  stats.snode.sois_deleted = get("snode.sois_deleted");
+  stats.snode.test_evals = get("snode.test_evals");
+  stats.snode.batch_flushes = get("snode.batch_flushes");
+  stats.treat.seeded_searches = get("treat.seeded_searches");
+  stats.treat.full_searches = get("treat.full_searches");
+  stats.treat.batches = get("treat.batches");
+  stats.treat.coalesced_researches = get("treat.coalesced_researches");
+  stats.treat.intra_splits = get("treat.intra_splits");
+  stats.treat.intra_slice_tasks = get("treat.intra_slice_tasks");
+  stats.dips.refreshes = get("dips.refreshes");
+  stats.dips.batches = get("dips.batches");
+  stats.wm.adds = get("wm.adds");
+  stats.wm.removes = get("wm.removes");
+  stats.wm.direct_events = get("wm.direct_events");
+  stats.wm.batches = get("wm.batches");
+  stats.wm.batched_changes = get("wm.batched_changes");
+  stats.wm.rollbacks = get("wm.rollbacks");
+  stats.wm.changes_rolled_back = get("wm.changes_rolled_back");
+  stats.pool.threads = get("pool.threads");
+  stats.pool.tasks = get("pool.tasks");
+  stats.pool.batches = get("pool.batches");
+  stats.pool.nested_batches = get("pool.nested_batches");
+  stats.pool.max_task_depth = get("pool.max_task_depth");
   return stats;
 }
 
-void Engine::ResetMatchStats() {
-  if (rete_ != nullptr) rete_->ResetStats();
-  cs_.ResetStats();
-  for (const auto& [name, snode] : snodes_) snode->ResetStats();
-  if (treat_ != nullptr) treat_->ResetStats();
-  if (dips_ != nullptr) dips_->ResetStats();
-  wm_->ResetStats();
-  if (pool_ != nullptr) pool_->ResetStats();
-  rhs_.ResetStats();
-  run_stats_ = {};
-  parallel_stats_ = {};
+void Engine::ResetMatchStats() { metrics_.ResetAll(); }
+
+namespace {
+
+void ProfileSection(std::ostream& out, const char* title,
+                    const std::vector<std::pair<std::string,
+                                                obs::TimerSnapshot>>& rows) {
+  if (rows.empty()) return;
+  out << title << "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-28s %10s %12s %10s %10s\n", "name",
+                "count", "total_ms", "mean_us", "~p99_us");
+  out << line;
+  for (const auto& [name, snap] : rows) {
+    std::snprintf(line, sizeof(line),
+                  "  %-28s %10llu %12.3f %10.2f %10.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(snap.count), snap.TotalMs(),
+                  snap.MeanUs(), snap.ApproxP99Us());
+    out << line;
+  }
+}
+
+}  // namespace
+
+void Engine::Profile(std::ostream& out) const {
+  std::map<std::string, obs::TimerSnapshot> timers = metrics_.SnapshotTimers();
+  out << "--- profile ---\n";
+  if (!options_.enable_timers) {
+    out << "(timers disabled; construct with EngineOptions::enable_timers)\n";
+    return;
+  }
+  // Phase rows first (match / select / act), then per-rule firing time.
+  std::vector<std::pair<std::string, obs::TimerSnapshot>> phases;
+  std::vector<std::pair<std::string, obs::TimerSnapshot>> rules;
+  for (const auto& [name, snap] : timers) {
+    if (name.rfind("phase.", 0) == 0) {
+      phases.emplace_back(name, snap);
+    } else if (name.rfind("rule.", 0) == 0 && snap.count > 0) {
+      rules.emplace_back(name, snap);
+    }
+  }
+  // Largest total first: the rule the run actually spent its time in.
+  std::sort(rules.begin(), rules.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  ProfileSection(out, "phases", phases);
+  ProfileSection(out, "rules (by total act time)", rules);
 }
 
 Result<int> Engine::Run(int max_firings) {
@@ -307,13 +424,30 @@ Result<int> Engine::Run(int max_firings) {
     // Surface errors the match network had to swallow inside WM-change
     // callbacks (the affected instantiations are unreliable from here on).
     SOREL_RETURN_IF_ERROR(MatchError());
-    InstantiationRef* inst = cs_.Select(options_.strategy);
+    InstantiationRef* inst;
+    {
+      obs::ScopedTimer select_scope(select_timer_);
+      inst = cs_.Select(options_.strategy);
+    }
     if (inst == nullptr) break;
     const CompiledRule& rule = inst->rule();
     // Snapshot before firing: RHS actions may retract (or even delete) the
     // instantiation itself.
     std::vector<Row> rows;
     inst->CollectRows(&rows);
+    if (trace_.enabled()) {
+      trace_.Emit(obs::TraceEvent("cycle_begin")
+                      .Num("cycle", static_cast<uint64_t>(fired)));
+      std::string tags;
+      for (TimeTag t : inst->RecencyTags()) {
+        if (!tags.empty()) tags += ' ';
+        tags += std::to_string(t);
+      }
+      trace_.Emit(obs::TraceEvent("select")
+                      .Str("rule", rule.name)
+                      .Num("rows", rows.size())
+                      .Str("tags", std::move(tags)));
+    }
     if (options_.trace_firings) {
       *out_ << "FIRE " << rule.name;
       for (TimeTag t : inst->RecencyTags()) *out_ << " " << t;
@@ -323,12 +457,31 @@ Result<int> Engine::Run(int max_firings) {
     // Regular instantiations obey classic refraction (drop the entry); SOIs
     // stay, ineligible until the γ-memory changes again (§6).
     cs_.MarkFired(inst, /*remove_entry=*/!rule.has_set);
+    if (trace_.enabled()) {
+      trace_.Emit(obs::TraceEvent("fire")
+                      .Str("rule", rule.name)
+                      .Num("rows", rows.size()));
+    }
+    std::chrono::steady_clock::time_point act_start;
+    if (act_timer_ != nullptr) act_start = std::chrono::steady_clock::now();
     SOREL_ASSIGN_OR_RETURN(RhsExecutor::FireResult result,
                            rhs_.Fire(rule, std::move(rows)));
+    if (act_timer_ != nullptr) {
+      auto ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - act_start)
+              .count());
+      act_timer_->Record(ns);
+      metrics_.GetOrCreateTimer("rule." + rule.name)->Record(ns);
+    }
     ++fired;
     ++run_stats_.firings;
     run_stats_.actions += result.actions;
     ++run_stats_.firings_by_rule[rule.name];
+    if (trace_.enabled()) {
+      trace_.Emit(obs::TraceEvent("cycle_end")
+                      .Num("cycle", static_cast<uint64_t>(fired - 1)));
+    }
     if (result.halted) {
       halted_ = true;
       break;
@@ -346,9 +499,17 @@ Result<int> Engine::RunParallel(int max_cycles) {
   int cycles = 0;
   while (max_cycles < 0 || cycles < max_cycles) {
     SOREL_RETURN_IF_ERROR(MatchError());
-    std::vector<InstantiationRef*> eligible =
-        cs_.SortedEligible(options_.strategy);
+    std::vector<InstantiationRef*> eligible;
+    {
+      obs::ScopedTimer select_scope(select_timer_);
+      eligible = cs_.SortedEligible(options_.strategy);
+    }
     if (eligible.empty()) break;
+    if (trace_.enabled()) {
+      trace_.Emit(obs::TraceEvent("cycle_begin")
+                      .Num("cycle", static_cast<uint64_t>(cycles))
+                      .Num("eligible", eligible.size()));
+    }
     // Greedy batch: support sets must be pairwise disjoint.
     struct Pending {
       const CompiledRule* rule;
@@ -382,8 +543,24 @@ Result<int> Engine::RunParallel(int max_cycles) {
     // cycle (§8.1's transaction semantics).
     if (options_.batched_wm) wm_->Begin();
     for (Pending& pending : batch) {
+      size_t num_rows = pending.rows.size();
+      if (trace_.enabled()) {
+        trace_.Emit(obs::TraceEvent("fire")
+                        .Str("rule", pending.rule->name)
+                        .Num("rows", num_rows));
+      }
+      std::chrono::steady_clock::time_point act_start;
+      if (act_timer_ != nullptr) act_start = std::chrono::steady_clock::now();
       Result<RhsExecutor::FireResult> result =
           rhs_.Fire(*pending.rule, std::move(pending.rows));
+      if (act_timer_ != nullptr) {
+        auto ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - act_start)
+                .count());
+        act_timer_->Record(ns);
+        metrics_.GetOrCreateTimer("rule." + pending.rule->name)->Record(ns);
+      }
       if (!result.ok()) {
         if (options_.batched_wm) wm_->Rollback();
         return result.status();
@@ -395,6 +572,11 @@ Result<int> Engine::RunParallel(int max_cycles) {
       if (result->halted) halted_ = true;
     }
     if (options_.batched_wm) SOREL_RETURN_IF_ERROR(wm_->Commit());
+    if (trace_.enabled()) {
+      trace_.Emit(obs::TraceEvent("cycle_end")
+                      .Num("cycle", static_cast<uint64_t>(cycles))
+                      .Num("batch", batch.size()));
+    }
     ++cycles;
     ++parallel_stats_.cycles;
     parallel_stats_.largest_batch =

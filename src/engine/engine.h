@@ -17,6 +17,8 @@
 #include "engine/rhs.h"
 #include "lang/compiled_rule.h"
 #include "lang/compiler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rete/conflict_set.h"
 #include "rete/matcher.h"
 #include "rete/network.h"
@@ -75,6 +77,16 @@ struct EngineOptions {
   /// transaction, and an error rolls back exactly as sequentially (§8.1).
   /// Implies a pool even when match_threads == 0.
   bool parallel_rhs = false;
+  /// Install phase timers (match/select/act) and per-rule firing timers in
+  /// the metric registry; `Profile()` renders them. Off (the default) costs
+  /// nothing on the hot paths: components only install a ScopedTimer when
+  /// this was set at construction, and a null timer is a no-op.
+  bool enable_timers = false;
+  /// Structured trace sink (borrowed; may be null). When set, the engine
+  /// and its components emit the TraceEvent stream documented in
+  /// obs/trace.h (cycle/select/fire/rhs_apply plus WM batch_commit/rollback
+  /// and per-rule rule_replay). Swappable later via set_trace_sink().
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// The sorel production-system engine: an OPS5 interpreter extended with
@@ -192,13 +204,31 @@ class Engine {
   void set_trace_wm(bool on);
   const RunStats& run_stats() const { return run_stats_; }
   const RhsExecutor::Stats& rhs_stats() const { return rhs_.stats(); }
-  /// Live matcher + conflict-set counters (see MatchStats).
+  /// Live matcher + conflict-set counters (see MatchStats), assembled from
+  /// a registry snapshot: every field is the sum of the registry views
+  /// registered under its metric name (so per-S-node counters aggregate),
+  /// and sources a configuration lacks read as zero.
   MatchStats match_stats() const;
-  /// Zeroes every counter a benchmark can read: all MatchStats sources
-  /// (matcher, conflict set, S-nodes, WM, worker pool) plus run_stats(),
-  /// rhs_stats(), and parallel_stats() — e.g. to isolate a measured phase
-  /// from its setup.
+  /// Zeroes every counter a benchmark can read by fanning out to every
+  /// reset hook in the metric registry (matcher, conflict set, S-nodes,
+  /// WM, worker pool, RHS, run/parallel stats) and clearing all timers.
+  /// Components register their own hooks, so no hand-kept field list can
+  /// drift out of sync.
   void ResetMatchStats();
+
+  // --- observability ---
+  /// The engine-wide metric registry: every component's counters are
+  /// registered here as named views (see obs/metrics.h); benchmarks and
+  /// tests can snapshot or extend it.
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+  /// Swaps the structured trace sink at run time (null disables).
+  void set_trace_sink(obs::TraceSink* sink) { trace_.set_sink(sink); }
+  /// Writes a wall-time breakdown of the run: per-phase (match / select /
+  /// act) and per-rule firing timers, with sample counts, totals, means,
+  /// and a coarse p99. Requires EngineOptions::enable_timers; otherwise
+  /// prints a pointer to that flag.
+  void Profile(std::ostream& out) const;
 
  private:
   /// First error a match-network callback swallowed (S-node `:test`
@@ -210,6 +240,11 @@ class Engine {
   EngineOptions options_;
   SymbolTable symbols_;
   SchemaRegistry schemas_;
+  // The registry and tracer are declared before every component that
+  // registers with them (and destroyed after — components Unregister in
+  // their destructors).
+  obs::MetricRegistry metrics_;
+  obs::Tracer trace_;
   std::unique_ptr<WorkingMemory> wm_;
   ConflictSet cs_;
   std::ostream* out_ = &std::cout;
@@ -228,6 +263,9 @@ class Engine {
   RhsExecutor rhs_;
   RunStats run_stats_;
   ParallelStats parallel_stats_;
+  // Cached registry timers; non-null only with options.enable_timers.
+  obs::Timer* select_timer_ = nullptr;
+  obs::Timer* act_timer_ = nullptr;
   bool halted_ = false;
   /// Empty rule context for startup-action execution.
   CompiledRule startup_context_;

@@ -179,8 +179,36 @@ Status RhsExecutor::RunInTransaction(const std::function<Status()>& body) {
   return s;
 }
 
+RhsExecutor::RhsExecutor(WorkingMemory* wm, SymbolTable* symbols,
+                         std::ostream* out, obs::MetricRegistry* metrics,
+                         obs::Tracer* tracer)
+    : wm_(wm), symbols_(symbols), out_(out), metrics_(metrics),
+      tracer_(tracer) {
+  if (metrics_ == nullptr) return;
+  metrics_->RegisterCounter(this, "rhs.firings",
+                            [this] { return stats_.firings; });
+  metrics_->RegisterCounter(this, "rhs.actions",
+                            [this] { return stats_.actions; });
+  metrics_->RegisterCounter(this, "rhs.wmes_made",
+                            [this] { return stats_.wmes_made; });
+  metrics_->RegisterCounter(this, "rhs.wmes_removed",
+                            [this] { return stats_.wmes_removed; });
+  metrics_->RegisterCounter(this, "rhs.skipped_dead_targets",
+                            [this] { return stats_.skipped_dead_targets; });
+  metrics_->RegisterCounter(this, "rhs.parallel_forks",
+                            [this] { return stats_.parallel_forks; });
+  metrics_->RegisterCounter(this, "rhs.parallel_member_tasks",
+                            [this] { return stats_.parallel_member_tasks; });
+  metrics_->RegisterReset(this, [this] { ResetStats(); });
+}
+
+RhsExecutor::~RhsExecutor() {
+  if (metrics_ != nullptr) metrics_->Unregister(this);
+}
+
 Result<RhsExecutor::FireResult> RhsExecutor::Fire(const CompiledRule& rule,
                                                   std::vector<Row> rows) {
+  size_t num_rows = rows.size();
   ExecState state(rule, std::move(rows));
   uint64_t actions_before = stats_.actions;
   // The whole firing is one transaction: its changes reach the matchers as
@@ -191,6 +219,12 @@ Result<RhsExecutor::FireResult> RhsExecutor::Fire(const CompiledRule& rule,
   FireResult result;
   result.halted = state.halted;
   result.actions = stats_.actions - actions_before;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Emit(obs::TraceEvent("rhs_apply")
+                      .Str("rule", rule.name)
+                      .Num("rows", num_rows)
+                      .Num("actions", result.actions));
+  }
   return result;
 }
 

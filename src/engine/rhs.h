@@ -9,6 +9,8 @@
 #include "base/status.h"
 #include "base/symbol_table.h"
 #include "lang/compiled_rule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rete/instantiation.h"
 #include "wm/working_memory.h"
 
@@ -51,8 +53,16 @@ class RhsExecutor {
     uint64_t parallel_member_tasks = 0;
   };
 
-  RhsExecutor(WorkingMemory* wm, SymbolTable* symbols, std::ostream* out)
-      : wm_(wm), symbols_(symbols), out_(out) {}
+  /// `metrics` / `tracer` (borrowed, may be null) hook the executor into
+  /// the observability layer: rhs.* counters register as registry views and
+  /// each successful firing emits an rhs_apply event.
+  RhsExecutor(WorkingMemory* wm, SymbolTable* symbols, std::ostream* out,
+              obs::MetricRegistry* metrics = nullptr,
+              obs::Tracer* tracer = nullptr);
+  ~RhsExecutor();
+
+  RhsExecutor(const RhsExecutor&) = delete;
+  RhsExecutor& operator=(const RhsExecutor&) = delete;
 
   /// Runs `rule`'s actions over the snapshot `rows` (ordered as in the
   /// conflict set: most recent first).
@@ -140,6 +150,8 @@ class RhsExecutor {
   bool transactional_ = false;
   ThreadPool* pool_ = nullptr;  // borrowed; may be null
   bool parallel_ = false;
+  obs::MetricRegistry* metrics_ = nullptr;  // borrowed; may be null
+  obs::Tracer* tracer_ = nullptr;           // borrowed; may be null
   Stats stats_;
   // Write-action spacing persists across firings: a space precedes each
   // value unless at the start of an output line (after crlf).

@@ -1,0 +1,319 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sorel {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 9e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    SOREL_RETURN_IF_ERROR(ParseValue(&v, /*depth=*/0));
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Status::Ok();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Status::Ok();
+    }
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      out->kind = JsonValue::Kind::kNull;
+      return Status::Ok();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Eat('}')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      std::string key;
+      SOREL_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      if (!Eat(':')) return Error("expected ':'");
+      JsonValue value;
+      SOREL_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat('}')) return Status::Ok();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Eat(']')) return Status::Ok();
+    while (true) {
+      JsonValue value;
+      SOREL_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->items.push_back(std::move(value));
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat(']')) return Status::Ok();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Eat('"')) return Error("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += e;
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            unsigned digit;
+            if (h >= '0' && h <= '9') {
+              digit = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              digit = static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              digit = static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              return Error("bad \\u escape");
+            }
+            code = code * 16 + digit;
+          }
+          // Our emitters only \u-escape control characters; anything outside
+          // ASCII decodes to '?' rather than growing a UTF-8 encoder here.
+          *out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Eat('-')) {
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end == num.c_str() || *end != '\0') return Error("bad number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Status ValidateBenchReport(const JsonValue& doc) {
+  if (!doc.is_object()) return Status::InvalidArgument("report: not an object");
+  const JsonValue* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string.empty()) {
+    return Status::InvalidArgument("report: missing \"bench\" name string");
+  }
+  const JsonValue* config = doc.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    return Status::InvalidArgument("report: missing \"config\" object");
+  }
+  for (const auto& [key, value] : config->members) {
+    if (!value.is_number()) {
+      return Status::InvalidArgument("report: config key \"" + key +
+                                     "\" is not a number");
+    }
+  }
+  const JsonValue* results = doc.Find("results");
+  if (results == nullptr || !results->is_array()) {
+    return Status::InvalidArgument("report: missing \"results\" array");
+  }
+  for (size_t i = 0; i < results->items.size(); ++i) {
+    const JsonValue& row = results->items[i];
+    if (!row.is_object()) {
+      return Status::InvalidArgument("report: result row " +
+                                     std::to_string(i) + " is not an object");
+    }
+    const JsonValue* label = row.Find("label");
+    if (label == nullptr || !label->is_string()) {
+      return Status::InvalidArgument("report: result row " +
+                                     std::to_string(i) + " has no label");
+    }
+    for (const auto& [key, value] : row.members) {
+      if (key == "label") continue;
+      if (!value.is_number()) {
+        return Status::InvalidArgument("report: result field \"" + key +
+                                       "\" is not a number");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateTraceLine(const JsonValue& doc) {
+  if (!doc.is_object()) return Status::InvalidArgument("trace: not an object");
+  const JsonValue* ev = doc.Find("ev");
+  if (ev == nullptr || !ev->is_string() || ev->string.empty()) {
+    return Status::InvalidArgument("trace: missing \"ev\" type string");
+  }
+  const JsonValue* seq = doc.Find("seq");
+  if (seq == nullptr || !seq->is_number()) {
+    return Status::InvalidArgument("trace: missing numeric \"seq\"");
+  }
+  for (const auto& [key, value] : doc.members) {
+    if (!value.is_number() && !value.is_string()) {
+      return Status::InvalidArgument("trace: field \"" + key +
+                                     "\" is neither number nor string");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace sorel

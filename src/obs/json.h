@@ -1,0 +1,58 @@
+#ifndef SOREL_OBS_JSON_H_
+#define SOREL_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sorel {
+namespace obs {
+
+/// JSON string escaping: backslash, quote, and control characters (bench
+/// labels and trace fields carry user-ish text like rule names).
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double the way our reports do: integral values print without a
+/// fraction, everything else as %.6g.
+std::string JsonNumber(double v);
+
+/// A parsed JSON document — just enough structure for the schema checkers
+/// below and for tests that want to inspect bench/trace output. Object
+/// members keep source order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  /// Object member by key, or nullptr.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Strict-enough recursive-descent parser for the JSON this repo emits
+/// (JsonReport files, TraceSink lines). Errors carry a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Schema check for a `bench_util.h` JsonReport document: a "bench" string,
+/// a "config" object of numbers, and a "results" array of rows that each
+/// carry a "label" string plus numeric fields.
+Status ValidateBenchReport(const JsonValue& doc);
+
+/// Schema check for one TraceSink JSON line: an "ev" string, a numeric
+/// "seq", and string-or-number fields otherwise.
+Status ValidateTraceLine(const JsonValue& doc);
+
+}  // namespace obs
+}  // namespace sorel
+
+#endif  // SOREL_OBS_JSON_H_

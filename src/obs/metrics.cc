@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace sorel {
+namespace obs {
+
+double TimerSnapshot::ApproxP99Us() const {
+  if (count == 0) return 0.0;
+  uint64_t target = count - count / 100;  // ceil(0.99 * count)
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= target) {
+      return static_cast<double>(uint64_t{1} << b) / 1e3;
+    }
+  }
+  return static_cast<double>(uint64_t{1} << (kBuckets - 1)) / 1e3;
+}
+
+namespace {
+
+int BucketOf(uint64_t ns) {
+  int b = 64 - std::countl_zero(ns);
+  return b >= TimerSnapshot::kBuckets ? TimerSnapshot::kBuckets - 1 : b;
+}
+
+size_t ShardOf() {
+  // Hash of the thread id, stable per thread — workers land on distinct
+  // shards with high probability, and collisions only cost an atomic RMW.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+Timer::Timer() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.total_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Timer::Record(uint64_t ns) {
+  Shard& s = shards_[ShardOf() % kShards];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  s.buckets[BucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+TimerSnapshot Timer::Snapshot() const {
+  TimerSnapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.total_ns += s.total_ns.load(std::memory_order_relaxed);
+    for (int b = 0; b < TimerSnapshot::kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Timer::Reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.total_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+void MetricRegistry::RegisterCounter(const void* owner, std::string name,
+                                     CounterGetter getter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back({owner, std::move(name), std::move(getter)});
+}
+
+void MetricRegistry::RegisterGauge(const void* owner, std::string name,
+                                   GaugeGetter getter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.push_back({owner, std::move(name), std::move(getter)});
+}
+
+void MetricRegistry::RegisterReset(const void* owner,
+                                   std::function<void()> reset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  resets_.push_back({owner, std::move(reset)});
+}
+
+void MetricRegistry::Unregister(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(counters_, [owner](const Counter& c) {
+    return c.owner == owner;
+  });
+  std::erase_if(gauges_, [owner](const Gauge& g) { return g.owner == owner; });
+  std::erase_if(resets_, [owner](const ResetHook& r) {
+    return r.owner == owner;
+  });
+}
+
+std::map<std::string, uint64_t> MetricRegistry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const Counter& c : counters_) out[c.name] += c.getter();
+  return out;
+}
+
+std::map<std::string, double> MetricRegistry::SnapshotGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const Gauge& g : gauges_) out[g.name] += g.getter();
+  return out;
+}
+
+Timer* MetricRegistry::GetOrCreateTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Timer>& slot = timers_[name];
+  if (slot == nullptr) slot = std::make_unique<Timer>();
+  return slot.get();
+}
+
+std::map<std::string, TimerSnapshot> MetricRegistry::SnapshotTimers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, TimerSnapshot> out;
+  for (const auto& [name, timer] : timers_) out[name] = timer->Snapshot();
+  return out;
+}
+
+void MetricRegistry::ResetAll() {
+  // Copy the hooks out so a hook that (indirectly) touches the registry
+  // never deadlocks on mu_.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hooks.reserve(resets_.size());
+    for (const ResetHook& r : resets_) hooks.push_back(r.fn);
+    for (const auto& [name, timer] : timers_) timer->Reset();
+  }
+  for (const auto& hook : hooks) hook();
+}
+
+std::vector<std::string> MetricRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const Counter& c : counters_) names.push_back(c.name);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace obs
+}  // namespace sorel

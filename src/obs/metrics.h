@@ -1,0 +1,168 @@
+#ifndef SOREL_OBS_METRICS_H_
+#define SOREL_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sorel {
+namespace obs {
+
+/// Folded view of one phase timer: sample count, total wall time, and a
+/// log2(ns) histogram for tail estimates.
+struct TimerSnapshot {
+  /// Bucket b counts samples with 2^(b-1) <= ns < 2^b (bucket 0: 0-1 ns).
+  static constexpr int kBuckets = 40;
+
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t buckets[kBuckets] = {};
+
+  double TotalMs() const { return static_cast<double>(total_ns) / 1e6; }
+  double MeanUs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) / 1e3 /
+                            static_cast<double>(count);
+  }
+  /// Upper bound (us) of the histogram bucket containing the 99th
+  /// percentile sample — a coarse tail estimate, exact to a factor of 2.
+  double ApproxP99Us() const;
+};
+
+/// A phase timer samples can be recorded into from any thread: writes land
+/// in per-worker shards (relaxed atomics, cache-line separated) that are
+/// folded on read, so the hot path never contends on a lock.
+class Timer {
+ public:
+  Timer();
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void Record(uint64_t ns);
+  TimerSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  static constexpr int kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count;
+    std::atomic<uint64_t> total_ns;
+    std::atomic<uint64_t> buckets[TimerSnapshot::kBuckets];
+  };
+  Shard shards_[kShards];
+};
+
+/// Times a scope into `timer`; a null timer makes it a no-op, which is how
+/// the disabled configuration stays off the clock entirely.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer) : timer_(timer) {
+    if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (timer_ == nullptr) return;
+    timer_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The engine-wide metric registry. Components do NOT move their hot-path
+/// counters here — they keep their plain `Stats` structs (cheap single-
+/// threaded increments, per-task shard copies merged by the coordinator)
+/// and register *views*: a named getter per counter plus one reset hook.
+/// The registry folds those views on read (duplicate names sum, which is
+/// how per-S-node counters aggregate) and fans `ResetAll` out to every
+/// hook, so no hand-kept field list can drift out of sync again.
+///
+/// Registration and snapshots happen on the coordinating thread; only
+/// Timer::Record is called from workers (and is lock-free).
+class MetricRegistry {
+ public:
+  using CounterGetter = std::function<uint64_t()>;
+  using GaugeGetter = std::function<double()>;
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Registers a named counter view. `owner` keys later Unregister calls
+  /// (components pass `this` and unregister in their destructor). The same
+  /// name may be registered by several owners; snapshots sum them.
+  void RegisterCounter(const void* owner, std::string name,
+                       CounterGetter getter);
+
+  /// Registers a point-in-time gauge (live sizes, occupancy). Gauges are
+  /// snapshots of live state, so ResetAll leaves them alone.
+  void RegisterGauge(const void* owner, std::string name, GaugeGetter getter);
+
+  /// Registers a hook ResetAll runs (a component's ResetStats).
+  void RegisterReset(const void* owner, std::function<void()> reset);
+
+  /// Drops every registration made under `owner`.
+  void Unregister(const void* owner);
+
+  /// Folded counter values by name, duplicate registrations summed.
+  std::map<std::string, uint64_t> SnapshotCounters() const;
+  std::map<std::string, double> SnapshotGauges() const;
+
+  /// The named timer, created on first use. The pointer stays valid for
+  /// the registry's lifetime (ResetAll clears samples, never timers).
+  Timer* GetOrCreateTimer(const std::string& name);
+  std::map<std::string, TimerSnapshot> SnapshotTimers() const;
+
+  /// Master switch consulted by components before installing scope timers
+  /// on their hot paths; off costs one branch per would-be sample.
+  void set_timing_enabled(bool on) { timing_enabled_ = on; }
+  bool timing_enabled() const { return timing_enabled_; }
+
+  /// Runs every reset hook and zeroes every timer's samples.
+  void ResetAll();
+
+  /// Registered counter names (sorted, deduplicated) — lets tests sweep
+  /// coverage without a hand-kept list.
+  std::vector<std::string> CounterNames() const;
+
+ private:
+  struct Counter {
+    const void* owner;
+    std::string name;
+    CounterGetter getter;
+  };
+  struct Gauge {
+    const void* owner;
+    std::string name;
+    GaugeGetter getter;
+  };
+  struct ResetHook {
+    const void* owner;
+    std::function<void()> fn;
+  };
+
+  mutable std::mutex mu_;
+  bool timing_enabled_ = false;
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<ResetHook> resets_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+}  // namespace obs
+}  // namespace sorel
+
+#endif  // SOREL_OBS_METRICS_H_

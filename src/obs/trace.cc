@@ -1,0 +1,36 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace sorel {
+namespace obs {
+
+void JsonLinesTraceSink::Write(const TraceEvent& event) {
+  *out_ << "{\"ev\":\"" << JsonEscape(event.type()) << "\",\"seq\":"
+        << event.seq();
+  for (const TraceEvent::Field& f : event.fields()) {
+    *out_ << ",\"" << JsonEscape(f.key) << "\":";
+    if (f.is_num) {
+      *out_ << f.num;
+    } else {
+      *out_ << "\"" << JsonEscape(f.str) << "\"";
+    }
+  }
+  *out_ << "}\n";
+}
+
+void TextTraceSink::Write(const TraceEvent& event) {
+  *out_ << "[" << event.seq() << "] " << event.type();
+  for (const TraceEvent::Field& f : event.fields()) {
+    *out_ << " " << f.key << "=";
+    if (f.is_num) {
+      *out_ << f.num;
+    } else {
+      *out_ << f.str;
+    }
+  }
+  *out_ << "\n";
+}
+
+}  // namespace obs
+}  // namespace sorel

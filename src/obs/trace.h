@@ -1,0 +1,110 @@
+#ifndef SOREL_OBS_TRACE_H_
+#define SOREL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sorel {
+namespace obs {
+
+/// One structured event in the engine's trace stream: a type tag, a global
+/// sequence number (stamped by the Tracer), and typed key/value fields.
+/// Event types emitted by the engine:
+///
+///   cycle_begin   {cycle}                      recognize-act cycle starts
+///   select        {rule, rows, tags}           conflict-set selection
+///   fire          {rule, rows}                 instantiation chosen to fire
+///   rhs_apply     {rule, rows, actions}        RHS finished applying
+///   cycle_end     {cycle}                      cycle done (also RunParallel,
+///                                              with {eligible, batch})
+///   batch_commit  {changes}                    top-level WM commit delivered
+///   rollback      {changes}                    WM transaction rolled back
+///   rule_replay   {rule}                       per-rule match replay of one
+///                                              batch (granularity depends on
+///                                              matcher and parallel config)
+class TraceEvent {
+ public:
+  struct Field {
+    const char* key;
+    bool is_num;
+    std::string str;  // !is_num
+    uint64_t num;     // is_num
+  };
+
+  explicit TraceEvent(const char* type) : type_(type) {}
+
+  TraceEvent&& Str(const char* key, std::string value) && {
+    fields_.push_back({key, false, std::move(value), 0});
+    return std::move(*this);
+  }
+  TraceEvent&& Num(const char* key, uint64_t value) && {
+    fields_.push_back({key, true, {}, value});
+    return std::move(*this);
+  }
+
+  const char* type() const { return type_; }
+  uint64_t seq() const { return seq_; }
+  void set_seq(uint64_t seq) { seq_ = seq; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+ private:
+  const char* type_;
+  uint64_t seq_ = 0;
+  std::vector<Field> fields_;
+};
+
+/// Consumer of the event stream. Write is only ever called from the
+/// coordinating thread (workers never emit), so sinks need no locking.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Write(const TraceEvent& event) = 0;
+};
+
+/// One JSON object per line: {"ev":"fire","seq":7,"rule":"r1","rows":2}.
+/// The machine-readable exporter — fuzz repros and CI artifacts parse it
+/// back with obs::ParseJson and check it with ValidateTraceLine.
+class JsonLinesTraceSink : public TraceSink {
+ public:
+  explicit JsonLinesTraceSink(std::ostream* out) : out_(out) {}
+  void Write(const TraceEvent& event) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Aligned human-readable lines: "[7] fire rule=r1 rows=2".
+class TextTraceSink : public TraceSink {
+ public:
+  explicit TextTraceSink(std::ostream* out) : out_(out) {}
+  void Write(const TraceEvent& event) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// The emission point components hold: a borrowed sink (swappable at run
+/// time) plus the stream's sequence counter. `enabled()` is the one-branch
+/// guard hot paths pay when tracing is off — build the event only after it.
+class Tracer {
+ public:
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  bool enabled() const { return sink_ != nullptr; }
+
+  void Emit(TraceEvent event) {
+    if (sink_ == nullptr) return;
+    event.set_seq(++seq_);
+    sink_->Write(event);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace obs
+}  // namespace sorel
+
+#endif  // SOREL_OBS_TRACE_H_

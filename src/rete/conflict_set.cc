@@ -38,10 +38,25 @@ bool ConflictSet::Cmp::operator()(const Ref& a, const Ref& b) const {
   return a.entry->seq > b.entry->seq;  // unique: total order
 }
 
-ConflictSet::ConflictSet(bool use_index)
+ConflictSet::ConflictSet(bool use_index, obs::MetricRegistry* metrics)
     : use_index_(use_index),
+      metrics_(metrics),
       lex_(Cmp{/*mea=*/false, &stats_.comparisons}),
-      mea_(Cmp{/*mea=*/true, &stats_.comparisons}) {}
+      mea_(Cmp{/*mea=*/true, &stats_.comparisons}) {
+  if (metrics_ == nullptr) return;
+  metrics_->RegisterCounter(this, "select.selects",
+                            [this] { return stats_.selects; });
+  metrics_->RegisterCounter(this, "select.comparisons",
+                            [this] { return stats_.comparisons; });
+  metrics_->RegisterGauge(this, "select.entries", [this] {
+    return static_cast<double>(entries_.size());
+  });
+  metrics_->RegisterReset(this, [this] { ResetStats(); });
+}
+
+ConflictSet::~ConflictSet() {
+  if (metrics_ != nullptr) metrics_->Unregister(this);
+}
 
 ConflictSet::KeySnapshot ConflictSet::SnapshotKeys(
     const InstantiationRef& inst) {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rete/instantiation.h"
 
 namespace sorel {
@@ -40,7 +41,11 @@ class ConflictSet {
     uint64_t comparisons = 0;
   };
 
-  explicit ConflictSet(bool use_index = true);
+  /// `metrics` (borrowed, may be null) registers the select.* counters as
+  /// registry views.
+  explicit ConflictSet(bool use_index = true,
+                       obs::MetricRegistry* metrics = nullptr);
+  ~ConflictSet();
 
   // The ordered indexes hold pointers into entry storage and the
   // comparators point back at stats_; copying would alias both.
@@ -238,6 +243,7 @@ class ConflictSet {
   }
 
   bool use_index_;
+  obs::MetricRegistry* metrics_ = nullptr;  // borrowed; may be null
   std::unordered_map<InstantiationRef*, Entry> entries_;
   uint64_t next_seq_ = 0;
   mutable Stats stats_;

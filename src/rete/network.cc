@@ -550,9 +550,43 @@ ReteMatcher::ReteMatcher(WorkingMemory* wm, ConflictSet* cs,
       sink_factory_(std::move(sink_factory)),
       options_(options) {
   wm_->AddListener(this);
+  if (obs::MetricRegistry* m = options_.metrics; m != nullptr) {
+    m->RegisterCounter(this, "rete.join_attempts",
+                       [this] { return stats_.join_attempts; });
+    m->RegisterCounter(this, "rete.index_probes",
+                       [this] { return stats_.index_probes; });
+    m->RegisterCounter(this, "rete.tokens_created",
+                       [this] { return stats_.tokens_created; });
+    m->RegisterCounter(this, "rete.tokens_deleted",
+                       [this] { return stats_.tokens_deleted; });
+    m->RegisterCounter(this, "rete.right_activations",
+                       [this] { return stats_.right_activations; });
+    m->RegisterCounter(this, "rete.batches",
+                       [this] { return stats_.batches; });
+    m->RegisterCounter(this, "rete.grouped_removals",
+                       [this] { return stats_.grouped_removals; });
+    m->RegisterCounter(this, "rete.token_pool_hits",
+                       [this] { return stats_.token_pool_hits; });
+    m->RegisterCounter(this, "rete.parallel_batches",
+                       [this] { return stats_.parallel_batches; });
+    m->RegisterCounter(this, "rete.replay_tasks",
+                       [this] { return stats_.replay_tasks; });
+    m->RegisterCounter(this, "rete.intra_splits",
+                       [this] { return stats_.intra_splits; });
+    m->RegisterCounter(this, "rete.intra_slice_tasks",
+                       [this] { return stats_.intra_slice_tasks; });
+    m->RegisterGauge(this, "rete.live_tokens", [this] {
+      return static_cast<double>(live_tokens_);
+    });
+    m->RegisterReset(this, [this] { ResetStats(); });
+    if (m->timing_enabled()) {
+      match_timer_ = m->GetOrCreateTimer("phase.match");
+    }
+  }
 }
 
 ReteMatcher::~ReteMatcher() {
+  if (options_.metrics != nullptr) options_.metrics->Unregister(this);
   wm_->RemoveListener(this);
   // Bulk teardown, not DeleteTokenTree: the per-token unlinking it does
   // (sibling vectors, tokens_by_wme, output memories) is linear per erase,
@@ -840,9 +874,15 @@ void ReteMatcher::ApplyRemove(const WmePtr& wme) {
   wme_amems_.erase(wme->time_tag());
 }
 
-void ReteMatcher::OnAdd(const WmePtr& wme) { ApplyAdd(wme); }
+void ReteMatcher::OnAdd(const WmePtr& wme) {
+  obs::ScopedTimer timer(match_timer_);
+  ApplyAdd(wme);
+}
 
-void ReteMatcher::OnRemove(const WmePtr& wme) { ApplyRemove(wme); }
+void ReteMatcher::OnRemove(const WmePtr& wme) {
+  obs::ScopedTimer timer(match_timer_);
+  ApplyRemove(wme);
+}
 
 void ReteMatcher::ApplyRemoveRun(const std::vector<WmChange>& changes,
                                  size_t begin, size_t end) {
@@ -902,6 +942,7 @@ void ReteMatcher::FinishRemove(const WmePtr& wme) {
 }
 
 void ReteMatcher::OnBatch(const ChangeBatch& batch) {
+  obs::ScopedTimer timer(match_timer_);
   if (options_.pool != nullptr) {
     OnBatchParallel(batch);
     return;
@@ -991,6 +1032,13 @@ void ReteMatcher::OnBatchParallel(const ChangeBatch& batch) {
   std::vector<RuleShard*> targets;
   for (RuleShard* s : shards_) {
     if (touched[s->ordinal] != 0) targets.push_back(s);
+  }
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    for (RuleShard* s : targets) {
+      options_.tracer->Emit(obs::TraceEvent("rule_replay")
+                                .Str("rule", s->rule->name)
+                                .Num("changes", changes.size()));
+    }
   }
   if (!targets.empty()) {
     std::vector<ConflictSet::Delta> deltas(targets.size());

@@ -10,6 +10,8 @@
 
 #include "base/status.h"
 #include "lang/compiled_rule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rete/conflict_set.h"
 #include "rete/matcher.h"
 #include "rete/token.h"
@@ -45,6 +47,11 @@ struct ReteOptions {
   /// traces, conflict sets, and counters other than the split/slice stats
   /// stay bit-identical to the unsplit path. Requires `pool`.
   int intra_split_min = 0;
+  /// Observability hooks (borrowed, may be null): the registry gets the
+  /// rete.* counters as views (plus the matcher's reset hook); the tracer
+  /// receives rule_replay events on the parallel batch path.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Hot-path counters for the match network (see docs/INTERNALS.md,
@@ -557,6 +564,9 @@ class ReteMatcher : public Matcher {
   std::vector<Token*> free_tokens_;
   ReteOptions options_;
   ReteStats stats_;
+  /// "phase.match" scope timer, non-null only when the registry has timing
+  /// enabled (EngineOptions::enable_timers).
+  obs::Timer* match_timer_ = nullptr;
   /// The replay context of the task running on this thread, if any.
   static thread_local ReplayCtx* tls_replay_;
 };

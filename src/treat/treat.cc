@@ -69,12 +69,33 @@ struct TreatMatcher::RuleState {
 };
 
 TreatMatcher::TreatMatcher(WorkingMemory* wm, ConflictSet* cs,
-                           ThreadPool* pool, int intra_split_min)
-    : wm_(wm), cs_(cs), pool_(pool), intra_split_min_(intra_split_min) {
+                           ThreadPool* pool, int intra_split_min,
+                           obs::MetricRegistry* metrics, obs::Tracer* tracer)
+    : wm_(wm), cs_(cs), pool_(pool), intra_split_min_(intra_split_min),
+      metrics_(metrics), tracer_(tracer) {
   wm_->AddListener(this);
+  if (metrics_ != nullptr) {
+    metrics_->RegisterCounter(this, "treat.seeded_searches",
+                              [this] { return stats_.seeded_searches; });
+    metrics_->RegisterCounter(this, "treat.full_searches",
+                              [this] { return stats_.full_searches; });
+    metrics_->RegisterCounter(this, "treat.batches",
+                              [this] { return stats_.batches; });
+    metrics_->RegisterCounter(this, "treat.coalesced_researches",
+                              [this] { return stats_.coalesced_researches; });
+    metrics_->RegisterCounter(this, "treat.intra_splits",
+                              [this] { return stats_.intra_splits; });
+    metrics_->RegisterCounter(this, "treat.intra_slice_tasks",
+                              [this] { return stats_.intra_slice_tasks; });
+    metrics_->RegisterReset(this, [this] { ResetStats(); });
+    if (metrics_->timing_enabled()) {
+      match_timer_ = metrics_->GetOrCreateTimer("phase.match");
+    }
+  }
 }
 
 TreatMatcher::~TreatMatcher() {
+  if (metrics_ != nullptr) metrics_->Unregister(this);
   wm_->RemoveListener(this);
   for (const auto& rs : rules_) {
     for (const auto& [sig, inst] : rs->insts) cs_->Remove(inst.get());
@@ -323,9 +344,13 @@ void TreatMatcher::ApplyRemove(const WmePtr& wme, bool defer_unblock) {
   }
 }
 
-void TreatMatcher::OnAdd(const WmePtr& wme) { ApplyAdd(wme); }
+void TreatMatcher::OnAdd(const WmePtr& wme) {
+  obs::ScopedTimer timer(match_timer_);
+  ApplyAdd(wme);
+}
 
 void TreatMatcher::OnRemove(const WmePtr& wme) {
+  obs::ScopedTimer timer(match_timer_);
   ApplyRemove(wme, /*defer_unblock=*/false);
 }
 
@@ -352,8 +377,16 @@ void TreatMatcher::ReplayRule(RuleState* rs, const ChangeBatch& batch,
 }
 
 void TreatMatcher::OnBatch(const ChangeBatch& batch) {
+  obs::ScopedTimer timer(match_timer_);
   ++stats_.batches;
   if (pool_ != nullptr && rules_.size() > 1) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      for (const auto& rs : rules_) {
+        tracer_->Emit(obs::TraceEvent("rule_replay")
+                          .Str("rule", rs->rule->name)
+                          .Num("changes", batch.changes.size()));
+      }
+    }
     // Rule states are disjoint, so each rule replays the whole batch as one
     // task. Stamping ops with the change index and merging deltas in rule
     // order reproduces the sequential (change-major) op stream exactly.

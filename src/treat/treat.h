@@ -8,6 +8,8 @@
 
 #include "base/status.h"
 #include "lang/compiled_rule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rete/conflict_set.h"
 #include "rete/matcher.h"
 #include "wm/working_memory.h"
@@ -52,8 +54,13 @@ class TreatMatcher : public Matcher {
   /// buffers, and emission (dedup + conflict-set sends) happens serially in
   /// slice-concatenation order — the sequential scan order — so observable
   /// behavior is unchanged.
+  /// `metrics` / `tracer` (borrowed, may be null) hook the matcher into
+  /// the observability layer: treat.* counters register as registry views
+  /// and the parallel batch path emits per-rule rule_replay events.
   TreatMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool = nullptr,
-               int intra_split_min = 0);
+               int intra_split_min = 0,
+               obs::MetricRegistry* metrics = nullptr,
+               obs::Tracer* tracer = nullptr);
   ~TreatMatcher() override;
 
   TreatMatcher(const TreatMatcher&) = delete;
@@ -119,6 +126,9 @@ class TreatMatcher : public Matcher {
   ConflictSet* cs_;
   ThreadPool* pool_;
   int intra_split_min_;
+  obs::MetricRegistry* metrics_ = nullptr;  // borrowed; may be null
+  obs::Tracer* tracer_ = nullptr;           // borrowed; may be null
+  obs::Timer* match_timer_ = nullptr;       // non-null when timing enabled
   std::vector<std::unique_ptr<RuleState>> rules_;
   Stats stats_;
 };

@@ -22,6 +22,34 @@ std::string Wme::ToString(const SymbolTable& symbols,
   return out;
 }
 
+WorkingMemory::WorkingMemory(const SchemaRegistry* schemas,
+                             const SymbolTable* symbols,
+                             obs::MetricRegistry* metrics, obs::Tracer* tracer)
+    : schemas_(schemas), symbols_(symbols), metrics_(metrics),
+      tracer_(tracer) {
+  if (metrics_ == nullptr) return;
+  metrics_->RegisterCounter(this, "wm.adds", [this] { return stats_.adds; });
+  metrics_->RegisterCounter(this, "wm.removes",
+                            [this] { return stats_.removes; });
+  metrics_->RegisterCounter(this, "wm.direct_events",
+                            [this] { return stats_.direct_events; });
+  metrics_->RegisterCounter(this, "wm.batches",
+                            [this] { return stats_.batches; });
+  metrics_->RegisterCounter(this, "wm.batched_changes",
+                            [this] { return stats_.batched_changes; });
+  metrics_->RegisterCounter(this, "wm.rollbacks",
+                            [this] { return stats_.rollbacks; });
+  metrics_->RegisterCounter(this, "wm.changes_rolled_back",
+                            [this] { return stats_.changes_rolled_back; });
+  metrics_->RegisterGauge(this, "wm.size",
+                          [this] { return static_cast<double>(live_.size()); });
+  metrics_->RegisterReset(this, [this] { ResetStats(); });
+}
+
+WorkingMemory::~WorkingMemory() {
+  if (metrics_ != nullptr) metrics_->Unregister(this);
+}
+
 void WorkingMemory::RemoveListener(Listener* listener) {
   listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
                    listeners_.end());
@@ -165,6 +193,10 @@ Status WorkingMemory::Commit() {
   }
   ++stats_.batches;
   stats_.batched_changes += batch.changes.size();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Emit(obs::TraceEvent("batch_commit")
+                      .Num("changes", batch.changes.size()));
+  }
   for (Listener* l : listeners_) l->OnBatch(batch);
   return Status::Ok();
 }
@@ -175,6 +207,10 @@ void WorkingMemory::Rollback() {
   savepoints_.pop_back();
   ++stats_.rollbacks;
   stats_.changes_rolled_back += staged_.size() - sp.mark;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Emit(
+        obs::TraceEvent("rollback").Num("changes", staged_.size() - sp.mark));
+  }
   // Undo newest-first so interleaved modify pairs restore cleanly.
   while (staged_.size() > sp.mark) {
     const WmChange& c = staged_.back();

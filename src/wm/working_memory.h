@@ -9,6 +9,8 @@
 #include "base/status.h"
 #include "base/symbol_table.h"
 #include "base/value.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wm/change_batch.h"
 #include "wm/schema.h"
 #include "wm/wme.h"
@@ -64,8 +66,13 @@ class WorkingMemory {
     uint64_t changes_rolled_back = 0;
   };
 
-  WorkingMemory(const SchemaRegistry* schemas, const SymbolTable* symbols)
-      : schemas_(schemas), symbols_(symbols) {}
+  /// `metrics` / `tracer` (borrowed, may be null) hook this WM into the
+  /// observability layer: the wm.* counters register as registry views and
+  /// top-level commits / rollbacks emit batch_commit / rollback events.
+  WorkingMemory(const SchemaRegistry* schemas, const SymbolTable* symbols,
+                obs::MetricRegistry* metrics = nullptr,
+                obs::Tracer* tracer = nullptr);
+  ~WorkingMemory();
 
   WorkingMemory(const WorkingMemory&) = delete;
   WorkingMemory& operator=(const WorkingMemory&) = delete;
@@ -126,6 +133,8 @@ class WorkingMemory {
 
   const SchemaRegistry* schemas_;
   const SymbolTable* symbols_;
+  obs::MetricRegistry* metrics_ = nullptr;  // borrowed; may be null
+  obs::Tracer* tracer_ = nullptr;           // borrowed; may be null
   std::map<TimeTag, WmePtr> live_;
   std::vector<Listener*> listeners_;
   TimeTag next_tag_ = 1;

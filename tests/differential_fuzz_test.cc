@@ -14,17 +14,27 @@
 //      (Firing schedules are not compared across matchers: conflict-
 //      resolution tie-breaks depend on matcher-specific arrival order.)
 //
+// Every run also captures the structured TraceSink event stream (JSON
+// lines: cycle/select/fire/rhs_apply plus WM batch_commit/rollback), and
+// within-matcher pairs must agree on it too — the firing-trace comparison
+// the ROADMAP asked for, run under both LEX and MEA. Per-rule rule_replay
+// events and sequence numbers are normalized away first: replay
+// granularity legitimately depends on the parallel configuration.
+//
 // On a mismatch the harness greedily shrinks the schedule and the rule
 // list, then prints a self-contained repro (program source, schedule,
-// the two configurations, and the first divergence).
+// the two configurations, the first divergence, and the tail of both
+// event streams in the TraceSink JSONL format).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tests/fuzz_gen.h"
 #include "tests/test_util.h"
 
@@ -42,6 +52,7 @@ struct FuzzConfig {
   bool batched = true;
   int intra_split = 0;
   bool parallel_rhs = false;
+  bool indexed_cs = true;
 
   std::string ToString() const {
     std::string m = matcher == MatcherKind::kRete    ? "rete"
@@ -51,7 +62,8 @@ struct FuzzConfig {
            " threads=" + std::to_string(threads) +
            " batched=" + std::to_string(batched) +
            " intra_split=" + std::to_string(intra_split) +
-           " parallel_rhs=" + std::to_string(parallel_rhs);
+           " parallel_rhs=" + std::to_string(parallel_rhs) +
+           " indexed_cs=" + std::to_string(indexed_cs);
   }
 };
 
@@ -59,11 +71,50 @@ struct FuzzConfig {
 struct FuzzResult {
   std::string load_error;  // empty = loaded fine
   std::string trace;       // firing trace + RHS write output
+  std::string events;      // structured TraceSink stream (JSON lines)
   std::vector<std::string> fingerprints;  // conflict set after each op
   std::string dump;        // final WM
   uint64_t next_tag = 0;
   std::string run_error;   // first Run error (empty = none)
 };
+
+/// Canonicalizes an event stream for comparison: drops per-rule
+/// rule_replay events (their granularity depends on matcher and parallel
+/// config) and the seq field (replay events consume sequence numbers).
+std::string NormalizeEvents(const std::string& events) {
+  std::istringstream in(events);
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.find("\"ev\":\"rule_replay\"") != std::string::npos) continue;
+    size_t pos = line.find(",\"seq\":");
+    if (pos != std::string::npos) {
+      size_t end = pos + 7;
+      while (end < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[end])) != 0) {
+        ++end;
+      }
+      line.erase(pos, end - pos);
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// The last `n` lines of an event stream, for repro dumps.
+std::string EventTail(const std::string& events, size_t n) {
+  std::vector<std::string> lines;
+  std::istringstream in(events);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::string out;
+  for (size_t i = lines.size() > n ? lines.size() - n : 0; i < lines.size();
+       ++i) {
+    out += lines[i];
+    out += '\n';
+  }
+  return out;
+}
 
 /// Canonical conflict-set fingerprint: sorted "rule{sorted row tags}"
 /// entries, comparable across matchers.
@@ -108,6 +159,10 @@ FuzzResult RunSchedule(const FuzzProgram& program,
   opts.match_threads = config.threads;
   opts.intra_rule_split_min_tokens = config.intra_split;
   opts.parallel_rhs = config.parallel_rhs;
+  opts.indexed_conflict_set = config.indexed_cs;
+  std::ostringstream events;
+  obs::JsonLinesTraceSink sink(&events);
+  opts.trace_sink = &sink;
   Engine engine(opts);
   std::ostringstream out;
   engine.set_output(&out);
@@ -150,6 +205,7 @@ FuzzResult RunSchedule(const FuzzProgram& program,
     result.fingerprints.push_back(Fingerprint(engine));
   }
   result.trace = out.str();
+  result.events = events.str();
   std::ostringstream dump;
   engine.DumpWm(dump);
   result.dump = dump.str();
@@ -169,6 +225,14 @@ std::string Diff(const FuzzResult& a, const FuzzResult& b, bool match_only) {
   }
   if (!match_only && a.trace != b.trace) {
     return "trace:\n--- A ---\n" + a.trace + "--- B ---\n" + b.trace;
+  }
+  if (!match_only) {
+    std::string ea = NormalizeEvents(a.events);
+    std::string eb = NormalizeEvents(b.events);
+    if (ea != eb) {
+      return "events (normalized, last 20):\n--- A ---\n" +
+             EventTail(ea, 20) + "--- B ---\n" + EventTail(eb, 20);
+    }
   }
   size_t steps = std::min(a.fingerprints.size(), b.fingerprints.size());
   for (size_t i = 0; i < steps; ++i) {
@@ -224,37 +288,73 @@ std::string ShrinkAndFormat(FuzzProgram program, std::vector<FuzzOp> schedule,
   return out;
 }
 
-/// One seed of the within-matcher sweep: the threads=0 baseline (per
-/// batched mode) against every parallel configuration.
+/// One seed of the within-matcher sweep, run under BOTH strategies: LEX
+/// and MEA each produce their own firing trace and structured event
+/// stream, and every parallel configuration must reproduce its strategy's
+/// streams exactly (the ROADMAP's LEX-vs-MEA firing-trace comparison).
 void CheckConfigSweep(MatcherKind matcher, unsigned seed) {
   FuzzRng rng(seed);
   bool allow_set = matcher != MatcherKind::kTreat;
   FuzzProgram program = fuzz::GenProgram(rng, allow_set);
   std::vector<FuzzOp> schedule = fuzz::GenSchedule(rng, 28, true);
-  Strategy strategy = (seed % 2 == 0) ? Strategy::kLex : Strategy::kMea;
 
-  {
-    // Generated programs must always load — a load failure here is a
-    // generator bug, not a divergence.
-    FuzzConfig probe{matcher, strategy};
-    FuzzResult r = RunSchedule(program, schedule, probe);
-    ASSERT_EQ(r.load_error, "") << "seed " << seed << "\n"
-                                << program.Source();
+  for (Strategy strategy : {Strategy::kLex, Strategy::kMea}) {
+    for (bool batched : {true, false}) {
+      FuzzConfig base{matcher, strategy, 0, batched, 0, false};
+      FuzzResult base_result = RunSchedule(program, schedule, base);
+      // Generated programs must always load — a load failure here is a
+      // generator bug, not a divergence.
+      ASSERT_EQ(base_result.load_error, "")
+          << "seed " << seed << "\n" << program.Source();
+      FuzzConfig variants[] = {
+          {matcher, strategy, 4, batched, 0, false},
+          {matcher, strategy, 4, batched, 2, false},
+          {matcher, strategy, 4, batched, 2, true},
+          {matcher, strategy, 0, batched, 0, true},
+          {matcher, strategy, 0, batched, 0, false, /*indexed_cs=*/false},
+      };
+      for (const FuzzConfig& variant : variants) {
+        std::string mismatch =
+            Diff(base_result, RunSchedule(program, schedule, variant), false);
+        if (!mismatch.empty()) {
+          FAIL() << ShrinkAndFormat(program, schedule, base, variant, false,
+                                    seed);
+        }
+      }
+    }
   }
+}
 
-  for (bool batched : {true, false}) {
-    FuzzConfig base{matcher, strategy, 0, batched, 0, false};
-    FuzzConfig variants[] = {
-        {matcher, strategy, 4, batched, 0, false},
-        {matcher, strategy, 4, batched, 2, false},
-        {matcher, strategy, 4, batched, 2, true},
-        {matcher, strategy, 0, batched, 0, true},
-    };
-    for (const FuzzConfig& variant : variants) {
-      std::string mismatch = Check(program, schedule, base, variant, false);
-      if (!mismatch.empty()) {
-        FAIL() << ShrinkAndFormat(program, schedule, base, variant, false,
-                                  seed);
+/// One seed of the remove-heavy negation sweep (ROADMAP open item):
+/// high-negation-density programs (GenTupleRule neg_chance=70, so most
+/// rules carry one negated CE and many carry two) against schedules where
+/// half the steps retract — the workload that exercises negated-CE
+/// blocking/unblocking, token deletion, and SOI emptying under every
+/// parallel configuration.
+void CheckRemoveHeavy(MatcherKind matcher, unsigned seed) {
+  FuzzRng rng(seed);
+  bool allow_set = matcher != MatcherKind::kTreat;
+  FuzzProgram program = fuzz::GenProgram(rng, allow_set, /*neg_chance=*/70);
+  std::vector<FuzzOp> schedule =
+      fuzz::GenSchedule(rng, 32, true, /*remove_pct=*/50);
+
+  for (Strategy strategy : {Strategy::kLex, Strategy::kMea}) {
+    for (bool batched : {true, false}) {
+      FuzzConfig base{matcher, strategy, 0, batched, 0, false};
+      FuzzResult base_result = RunSchedule(program, schedule, base);
+      ASSERT_EQ(base_result.load_error, "")
+          << "seed " << seed << "\n" << program.Source();
+      FuzzConfig variants[] = {
+          {matcher, strategy, 4, batched, 0, false},
+          {matcher, strategy, 4, batched, 2, true},
+      };
+      for (const FuzzConfig& variant : variants) {
+        std::string mismatch =
+            Diff(base_result, RunSchedule(program, schedule, variant), false);
+        if (!mismatch.empty()) {
+          FAIL() << ShrinkAndFormat(program, schedule, base, variant, false,
+                                    seed);
+        }
       }
     }
   }
@@ -318,9 +418,49 @@ TEST_P(DifferentialFuzz, CrossMatcherMatchOnly) {
   }
 }
 
-// 7 shards × 10 seeds × (3 matchers + cross-matcher) = 280 generated
-// programs per full run.
+TEST_P(DifferentialFuzz, RemoveHeavyNegationRete) {
+  for (unsigned s = 0; s < 5; ++s) {
+    CheckRemoveHeavy(MatcherKind::kRete,
+                     4000 + static_cast<unsigned>(GetParam()) * 10 + s);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(DifferentialFuzz, RemoveHeavyNegationTreat) {
+  for (unsigned s = 0; s < 5; ++s) {
+    CheckRemoveHeavy(MatcherKind::kTreat,
+                     5000 + static_cast<unsigned>(GetParam()) * 10 + s);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// 7 shards × (10 seeds × (3 matchers + cross-matcher) + 2×5 remove-heavy
+// seeds) = 350 generated programs per full run.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 7));
+
+// Pinned remove-heavy regression seed: a deterministic anchor for the
+// negation/removal interaction. The generator must keep producing a
+// negation-bearing program and a retraction-heavy schedule for this seed
+// (guarding the generator against silent distribution drift), and the
+// full sweep must stay clean on it.
+TEST(DifferentialFuzzRegression, RemoveHeavySeed4242) {
+  FuzzRng rng(4242);
+  FuzzProgram program = fuzz::GenProgram(rng, true, /*neg_chance=*/70);
+  std::vector<FuzzOp> schedule =
+      fuzz::GenSchedule(rng, 32, true, /*remove_pct=*/50);
+  bool has_negation = false;
+  for (const std::string& rule : program.rules) {
+    if (rule.find(" - (item") != std::string::npos) has_negation = true;
+  }
+  EXPECT_TRUE(has_negation) << program.Source();
+  int removes = 0;
+  for (const FuzzOp& op : schedule) {
+    if (op.kind == FuzzOp::Kind::kRemove) ++removes;
+  }
+  EXPECT_GE(removes, 8) << fuzz::ScheduleToString(schedule);
+  CheckRemoveHeavy(MatcherKind::kRete, 4242);
+  CheckRemoveHeavy(MatcherKind::kDips, 4242);
+}
 
 // The shrinker itself: a deliberately diverging "pair" (an engine with one
 // rule vs the same engine with an extra firing rule) must shrink to a

@@ -138,10 +138,14 @@ inline std::string GenPositiveCe(FuzzRng& rng, int rule, int* next_var,
   return ce;
 }
 
-/// Tuple-oriented rule: plain CEs with joins, an optional negation, and a
-/// mutating RHS over the first CE's element variable. Every matcher
-/// (TREAT included) accepts these.
-inline std::string GenTupleRule(FuzzRng& rng, int index) {
+/// Tuple-oriented rule: plain CEs with joins, negations, and a mutating
+/// RHS over the first CE's element variable. Every matcher (TREAT
+/// included) accepts these. `neg_chance` is the percent chance of a first
+/// negated CE (a second follows at half that chance) — raise it to stress
+/// the negation paths, whose blocking/unblocking logic is where removal
+/// ordering bugs live.
+inline std::string GenTupleRule(FuzzRng& rng, int index,
+                                unsigned neg_chance = 35) {
   int next_var = 0;
   std::vector<std::string> cat_vars, val_vars;
   std::string elem = "<e" + Num(index) + ">";
@@ -153,7 +157,8 @@ inline std::string GenTupleRule(FuzzRng& rng, int index) {
     if (c == 0) ce = "{ " + ce + " " + elem + " }";
     lhs += " " + ce;
   }
-  if (rng.Chance(35)) {
+  unsigned chance = neg_chance;
+  while (chance > 0 && rng.Chance(chance)) {
     std::string neg = " - (item ^cat ";
     if (!cat_vars.empty() && rng.Chance(50)) {
       neg += cat_vars[rng.Next(static_cast<unsigned>(cat_vars.size()))];
@@ -163,6 +168,7 @@ inline std::string GenTupleRule(FuzzRng& rng, int index) {
     if (rng.Chance(50)) neg += " ^val > " + Num(rng.Next(9));
     neg += ")";
     lhs += neg;
+    chance /= 2;
   }
   std::string rhs;
   unsigned nacts = 1 + rng.Next(2);
@@ -263,8 +269,10 @@ inline std::string GenSetRule(FuzzRng& rng, int index) {
 }  // namespace internal
 
 /// Generates a program of 2-4 independent rules. With `allow_set`, roughly
-/// half the rules are set-oriented (and at least one is).
-inline FuzzProgram GenProgram(FuzzRng& rng, bool allow_set) {
+/// half the rules are set-oriented (and at least one is). `neg_chance`
+/// passes through to GenTupleRule (default keeps historical seeds stable).
+inline FuzzProgram GenProgram(FuzzRng& rng, bool allow_set,
+                              unsigned neg_chance = 35) {
   FuzzProgram p;
   unsigned nrules = 2 + rng.Next(3);
   for (unsigned r = 0; r < nrules; ++r) {
@@ -274,25 +282,30 @@ inline FuzzProgram GenProgram(FuzzRng& rng, bool allow_set) {
       p.rules.push_back(internal::GenSetRule(rng, static_cast<int>(r)));
       p.has_set = true;
     } else {
-      p.rules.push_back(internal::GenTupleRule(rng, static_cast<int>(r)));
+      p.rules.push_back(
+          internal::GenTupleRule(rng, static_cast<int>(r), neg_chance));
     }
   }
   return p;
 }
 
-/// Generates a WM schedule of `steps` ops: mostly makes, some removes, and
-/// (when `with_runs`) capped recognize-act runs.
+/// Generates a WM schedule of `steps` ops: makes, removes, and (when
+/// `with_runs`) capped recognize-act runs. `remove_pct` is the percent of
+/// steps that retract (default ~17%, the historical 1-in-6); remove-heavy
+/// schedules (40-60%) drain the WM repeatedly, which is what exercises
+/// negated-CE unblocking, token deletion, and SOI emptying.
 inline std::vector<FuzzOp> GenSchedule(FuzzRng& rng, int steps,
-                                       bool with_runs) {
+                                       bool with_runs,
+                                       unsigned remove_pct = 17) {
   std::vector<FuzzOp> ops;
   ops.reserve(static_cast<size_t>(steps));
   for (int i = 0; i < steps; ++i) {
     FuzzOp op;
-    unsigned r = rng.Next(6);
-    if (r == 0 && with_runs) {
+    unsigned r = rng.Next(100);
+    if (with_runs && r < 17) {
       op.kind = FuzzOp::Kind::kRun;
       op.cap = 4 + static_cast<int>(rng.Next(5));
-    } else if (r == 1) {
+    } else if (r >= 17 && r < 17 + remove_pct) {
       op.kind = FuzzOp::Kind::kRemove;
       op.pick = rng.Next(1024);
     } else {

@@ -1,0 +1,109 @@
+// The bench-report JSON schema checker. Two modes:
+//
+//  - Self-contained: build a JsonReport in memory (and run the real
+//    bench_fig3_snode smoke config shape), parse it back with
+//    obs::ParseJson, and require ValidateBenchReport to accept it — plus a
+//    battery of malformed documents it must reject.
+//  - CI: when SOREL_CHECK_JSON names a file (the BENCH_*.json a `--json`
+//    bench run just wrote), parse and validate that file. CI runs the
+//    bench, then this test, so a drifting emitter or schema fails the
+//    build.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "obs/json.h"
+
+namespace sorel {
+namespace {
+
+Status ValidateText(const std::string& text) {
+  Result<obs::JsonValue> doc = obs::ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  return obs::ValidateBenchReport(*doc);
+}
+
+TEST(JsonSchema, AcceptsGeneratedReport) {
+  bench::JsonReport report("schema_demo");
+  report.Config("iters", 100);
+  report.Config("smoke", 1);
+  report.BeginRow("join/indexed");
+  report.Value("ns_per_op", 123.456);
+  report.Value("rete.join_attempts", 7);
+  report.BeginRow("label with \"quotes\" and \\slashes\\");
+  report.Value("x", -2.5e-3);
+  std::ostringstream out;
+  report.WriteTo(out);
+  Status s = ValidateText(out.str());
+  EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << out.str();
+}
+
+TEST(JsonSchema, AcceptsEmptyResults) {
+  bench::JsonReport report("empty");
+  std::ostringstream out;
+  report.WriteTo(out);
+  EXPECT_TRUE(ValidateText(out.str()).ok());
+}
+
+TEST(JsonSchema, RejectsMalformedDocuments) {
+  // Not JSON at all.
+  EXPECT_FALSE(ValidateText("not json").ok());
+  // Not an object.
+  EXPECT_FALSE(ValidateText("[1, 2]").ok());
+  // Missing "bench".
+  EXPECT_FALSE(ValidateText(R"({"config": {}, "results": []})").ok());
+  // "bench" is not a string.
+  EXPECT_FALSE(
+      ValidateText(R"({"bench": 3, "config": {}, "results": []})").ok());
+  // Missing "results".
+  EXPECT_FALSE(ValidateText(R"({"bench": "b", "config": {}})").ok());
+  // "config" value is not a number.
+  EXPECT_FALSE(ValidateText(
+                   R"({"bench": "b", "config": {"n": "4"}, "results": []})")
+                   .ok());
+  // A row without a label.
+  EXPECT_FALSE(
+      ValidateText(
+          R"({"bench": "b", "config": {}, "results": [{"x": 1}]})")
+          .ok());
+  // A row field that is neither the label string nor a number.
+  EXPECT_FALSE(
+      ValidateText(
+          R"({"bench": "b", "config": {}, "results": )"
+          R"([{"label": "r", "x": [1]}]})")
+          .ok());
+}
+
+// CI mode: validate the file a `--json` bench run wrote. Skipped unless
+// SOREL_CHECK_JSON is set, so local ctest runs don't depend on bench
+// artifacts being present.
+TEST(JsonSchema, ValidatesBenchArtifact) {
+  const char* path = std::getenv("SOREL_CHECK_JSON");
+  if (path == nullptr || *path == '\0') {
+    GTEST_SKIP() << "SOREL_CHECK_JSON not set";
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<obs::JsonValue> doc = obs::ParseJson(text.str());
+  ASSERT_TRUE(doc.ok()) << path << ": " << doc.status().ToString();
+  Status s = obs::ValidateBenchReport(*doc);
+  EXPECT_TRUE(s.ok()) << path << ": " << s.ToString();
+  // The artifact must carry at least one timed row with real fields.
+  const obs::JsonValue* results = doc->Find("results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_FALSE(results->items.empty()) << path << " has no result rows";
+  for (const obs::JsonValue& row : results->items) {
+    EXPECT_NE(row.Find("ns_per_op"), nullptr)
+        << path << ": row missing ns_per_op";
+  }
+}
+
+}  // namespace
+}  // namespace sorel

@@ -1,15 +1,22 @@
 // Regression test for Engine::ResetMatchStats: every counter a benchmark
 // can read — MatchStats sources, run_stats(), rhs_stats(),
 // parallel_stats(), and the worker-pool counters — must be zero after a
-// reset, so a measured phase is never polluted by its setup. A counter
-// added to any Stats struct but missed by ResetMatchStats shows up here as
-// a nonzero field after reset.
+// reset, so a measured phase is never polluted by its setup.
+//
+// The core check is a registry sweep, not a hand-kept field list: the
+// engine's MetricRegistry enumerates every registered counter by name, so
+// a counter added to any component is covered the moment its constructor
+// registers it — including counters this file has never heard of (a
+// test-registered canary proves that). The explicit MatchStats field
+// checks below it pin the view-struct plumbing on top.
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "tests/test_util.h"
 
 namespace sorel {
@@ -54,7 +61,40 @@ void CheckReset(MatcherKind matcher, int threads) {
   MustRun(engine, 16);
   ASSERT_GT(engine.run_stats().firings, 0u);
 
+  // Canary: a counter registered from outside the engine (the way a future
+  // component would) must be swept by the same reset. If the registry ever
+  // went back to a hand-kept reset list, this is the counter the list
+  // would not know about.
+  uint64_t canary = 7;
+  int canary_owner = 0;
+  engine.metrics().RegisterCounter(&canary_owner, "test.canary",
+                                   [&canary] { return canary; });
+  engine.metrics().RegisterReset(&canary_owner, [&canary] { canary = 0; });
+
+  // Before the reset, the workload must have left tracks: at least one
+  // registered counter nonzero (proves the sweep below isn't vacuous).
+  std::map<std::string, uint64_t> before = engine.metrics().SnapshotCounters();
+  uint64_t total_before = 0;
+  for (const auto& [name, value] : before) total_before += value;
+  ASSERT_GT(total_before, 0u);
+
   engine.ResetMatchStats();
+
+  // The registry sweep: every counter any component registered — whatever
+  // its name — reads zero after the reset, except pool.threads, which is a
+  // property of the pool rather than of the measured phase.
+  std::map<std::string, uint64_t> after = engine.metrics().SnapshotCounters();
+  for (const std::string& name : engine.metrics().CounterNames()) {
+    if (name == "pool.threads") {
+      EXPECT_EQ(after[name], static_cast<uint64_t>(threads)) << name;
+    } else {
+      EXPECT_EQ(after[name], 0u) << "counter '" << name
+                                 << "' survived ResetMatchStats";
+    }
+  }
+  EXPECT_EQ(canary, 0u) << "registry reset missed the canary hook";
+  engine.metrics().Unregister(&canary_owner);
+
   Engine::MatchStats s = engine.match_stats();
 
   // ReteStats.
