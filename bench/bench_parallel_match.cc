@@ -1,6 +1,7 @@
 // Tentpole experiment: multi-threaded match propagation over ChangeBatches.
 // A wide multi-rule program (one join-heavy rule per team) is driven with
-// one large add transaction and one large remove transaction; with
+// one large add transaction, one large remove transaction, and a smaller
+// re-add transaction (which must recycle the removed tokens); with
 // `match_threads` = N each matcher fans the batch out per rule (Rete
 // replays beta chains, TREAT re-searches, DIPS refreshes) and the buffered
 // conflict-set sends merge deterministically. The rules' final CE never
@@ -48,6 +49,7 @@ std::string HeavyProgram(int rules) {
 struct Measured {
   double add_ms = 0;
   double remove_ms = 0;
+  double readd_ms = 0;
   Engine::MatchStats stats;
 };
 
@@ -57,8 +59,11 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Adds `players` WMEs in one transaction, then removes half in another,
-/// timing each commit's match propagation.
+/// Adds `players` WMEs in one transaction, removes half in another, then
+/// adds a quarter more in a third, timing each commit's match propagation.
+/// The re-add lands on the token storage the removals just vacated, so for
+/// Rete it must be served from the arena free lists — the run aborts if
+/// the recycling counter stayed at zero.
 Measured RunOnce(MatcherKind kind, int threads, int rules, int players) {
   EngineOptions options;
   options.matcher = kind;
@@ -91,7 +96,25 @@ Measured RunOnce(MatcherKind kind, int threads, int rules, int players) {
   Check(engine.wm().Commit(), "remove commit");
   m.remove_ms = MsSince(t1);
 
+  auto t2 = std::chrono::steady_clock::now();
+  engine.wm().Begin();
+  for (int i = 0; i < players / 4; ++i) {
+    MustMake(engine, "player",
+             {{"team", engine.Sym("team" + std::to_string(i % rules))},
+              {"id", Value::Int(players + i)},
+              {"score", Value::Int(i % 17)}});
+  }
+  Check(engine.wm().Commit(), "re-add commit");
+  m.readd_ms = MsSince(t2);
+
   m.stats = engine.match_stats();
+  if (kind == MatcherKind::kRete && m.stats.rete.token_pool_hits == 0) {
+    std::fprintf(stderr,
+                 "bench_parallel_match: rete.token_pool_hits == 0 after the "
+                 "re-add phase — removal stopped recycling tokens into the "
+                 "arena free lists\n");
+    std::abort();
+  }
   return m;
 }
 
@@ -113,9 +136,9 @@ void PrintTable(JsonReport* report) {
     report->Config("players", kPlayers);
     report->Config("host_cores", cores);
   }
-  std::printf("%7s %8s | %10s %8s | %10s %8s | %9s %9s\n", "matcher",
+  std::printf("%7s %8s | %10s %8s | %10s %8s | %9s | %9s %9s\n", "matcher",
               "threads", "add ms", "speedup", "remove ms", "speedup",
-              "pool tasks", "depth");
+              "readd ms", "pool tasks", "depth");
   for (MatcherKind kind :
        {MatcherKind::kRete, MatcherKind::kTreat, MatcherKind::kDips}) {
     double base_add = 0, base_remove = 0;
@@ -125,17 +148,19 @@ void PrintTable(JsonReport* report) {
         base_add = m.add_ms;
         base_remove = m.remove_ms;
       }
-      std::printf("%7s %8d | %10.2f %7.2fx | %10.2f %7.2fx | %9llu %9llu\n",
-                  KindName(kind), threads, m.add_ms, base_add / m.add_ms,
-                  m.remove_ms, base_remove / m.remove_ms,
-                  static_cast<unsigned long long>(m.stats.pool.tasks),
-                  static_cast<unsigned long long>(m.stats.pool.max_task_depth));
+      std::printf(
+          "%7s %8d | %10.2f %7.2fx | %10.2f %7.2fx | %9.2f | %9llu %9llu\n",
+          KindName(kind), threads, m.add_ms, base_add / m.add_ms, m.remove_ms,
+          base_remove / m.remove_ms, m.readd_ms,
+          static_cast<unsigned long long>(m.stats.pool.tasks),
+          static_cast<unsigned long long>(m.stats.pool.max_task_depth));
       if (report != nullptr) {
         report->BeginRow(std::string(KindName(kind)) +
                          "/threads=" + std::to_string(threads));
         report->Value("threads", threads);
         report->Value("add_ms", m.add_ms);
         report->Value("remove_ms", m.remove_ms);
+        report->Value("readd_ms", m.readd_ms);
         report->Value("add_speedup", base_add / m.add_ms);
         report->Value("remove_speedup", base_remove / m.remove_ms);
         report->MatchStats(m.stats);

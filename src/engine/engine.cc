@@ -33,7 +33,7 @@ class Engine::WmTracer : public WorkingMemory::Listener {
 Engine::Engine(EngineOptions options)
     : options_(options),
       wm_(std::make_unique<WorkingMemory>(&schemas_, &symbols_, &metrics_,
-                                          &trace_)),
+                                          &trace_, options.wme_arena)),
       cs_(options_.indexed_conflict_set, &metrics_),
       compiler_(&symbols_, &schemas_),
       rhs_(wm_.get(), &symbols_, &std::cout, &metrics_, &trace_) {
@@ -335,6 +335,8 @@ Engine::MatchStats Engine::match_stats() const {
   stats.rete.replay_tasks = get("rete.replay_tasks");
   stats.rete.intra_splits = get("rete.intra_splits");
   stats.rete.intra_slice_tasks = get("rete.intra_slice_tasks");
+  stats.rete.bulk_deletes = get("rete.bulk_deletes");
+  stats.rete.arena_slabs = get("rete.arena_slabs");
   stats.select.selects = get("select.selects");
   stats.select.comparisons = get("select.comparisons");
   stats.snode.tokens = get("snode.tokens");
@@ -349,6 +351,7 @@ Engine::MatchStats Engine::match_stats() const {
   stats.treat.full_searches = get("treat.full_searches");
   stats.treat.batches = get("treat.batches");
   stats.treat.coalesced_researches = get("treat.coalesced_researches");
+  stats.treat.grouped_removals = get("treat.grouped_removals");
   stats.treat.intra_splits = get("treat.intra_splits");
   stats.treat.intra_slice_tasks = get("treat.intra_slice_tasks");
   stats.dips.refreshes = get("dips.refreshes");
@@ -360,6 +363,8 @@ Engine::MatchStats Engine::match_stats() const {
   stats.wm.batched_changes = get("wm.batched_changes");
   stats.wm.rollbacks = get("wm.rollbacks");
   stats.wm.changes_rolled_back = get("wm.changes_rolled_back");
+  stats.wm.wme_pool_hits = get("wm.wme_pool_hits");
+  stats.wm.wme_slabs = get("wm.wme_slabs");
   stats.pool.threads = get("pool.threads");
   stats.pool.tasks = get("pool.tasks");
   stats.pool.batches = get("pool.batches");

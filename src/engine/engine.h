@@ -57,6 +57,12 @@ struct EngineOptions {
   /// mid-action rolls the whole firing back (§8.1). Off restores the
   /// seed's per-WME propagation — the ablation baseline.
   bool batched_wm = true;
+  /// Allocate WMEs from a per-WM slab pool (`std::allocate_shared` with a
+  /// block-recycling allocator), so WME payloads and their shared_ptr
+  /// control blocks sit in contiguous, recycled storage — removal-heavy
+  /// churn stops round-tripping through the general-purpose heap. Off
+  /// (ablation baseline) falls back to make_shared.
+  bool wme_arena = true;
   /// Worker threads for batch match propagation. 0 (the ablation baseline)
   /// keeps the single-threaded path; N > 0 spawns a pool of N workers and
   /// every matcher fans each ChangeBatch out per rule (Rete replays

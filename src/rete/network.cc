@@ -114,6 +114,28 @@ void AlphaMemory::Index::Remove(const WmePtr& wme) {
   if (bucket.empty()) buckets_.erase(it);
 }
 
+void AlphaMemory::Index::RemoveBatch(
+    const std::vector<WmePtr>& wmes,
+    const std::unordered_set<const Wme*>& victims) {
+  if (wmes.size() == 1) {
+    Remove(wmes.front());
+    return;
+  }
+  // Group the victims' keys so each touched bucket is compacted once even
+  // when many victims share it.
+  std::unordered_set<JoinKey, JoinKeyHash> keys;
+  keys.reserve(wmes.size());
+  for (const WmePtr& w : wmes) keys.insert(KeyOf(*w));
+  for (const JoinKey& key : keys) {
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) continue;
+    std::erase_if(it->second, [&](const WmePtr& w) {
+      return victims.count(w.get()) != 0;
+    });
+    if (it->second.empty()) buckets_.erase(it);
+  }
+}
+
 AlphaMemory::Index* AlphaMemory::GetOrCreateIndex(
     const std::vector<int>& fields) {
   for (const auto& idx : indexes_) {
@@ -130,9 +152,24 @@ void AlphaMemory::AddItem(const WmePtr& wme) {
   for (const auto& idx : indexes_) idx->Insert(wme);
 }
 
-void AlphaMemory::RemoveItem(const WmePtr& wme) {
+bool AlphaMemory::RemoveItem(const WmePtr& wme) {
+  size_t before = items_.size();
   items_.erase(std::remove(items_.begin(), items_.end(), wme), items_.end());
   for (const auto& idx : indexes_) idx->Remove(wme);
+  return items_.size() != before;
+}
+
+size_t AlphaMemory::RemoveItems(const std::vector<WmePtr>& wmes) {
+  if (wmes.size() == 1) return RemoveItem(wmes.front()) ? 1 : 0;
+  std::unordered_set<const Wme*> victims;
+  victims.reserve(wmes.size());
+  for (const WmePtr& w : wmes) victims.insert(w.get());
+  size_t before = items_.size();
+  std::erase_if(items_, [&](const WmePtr& w) {
+    return victims.count(w.get()) != 0;
+  });
+  for (const auto& idx : indexes_) idx->RemoveBatch(wmes, victims);
+  return before - items_.size();
 }
 
 // ----------------------------------------------------------------- beta ---
@@ -200,6 +237,12 @@ void BetaNode::OnTokenRegistered(Token* t) {
 }
 
 bool BetaNode::IsOutputActive(const Token*) const { return true; }
+
+void BetaNode::OnOwnedTokenDeleted(Token* t) {
+  DetachToken(t);
+  outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), t),
+                 outputs_.end());
+}
 
 void BetaNode::IndexLeftToken(Token* t) {
   if (!indexed_) return;
@@ -300,8 +343,8 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
   }
   if (net_->ShouldSplit(candidates->size())) {
     // Split scan (see OnParentToken): parallel pure tests, serial in-order
-    // apply. IsOutputActive replicates ForEachActiveOutput's filter on the
-    // linear path, so both paths see the same candidate sequence.
+    // apply. IsOutputActive applies the same visibility filter the linear
+    // path uses, so both paths see the same candidate sequence.
     std::vector<char> hits;
     net_->ParallelEval(
         candidates->size(),
@@ -332,16 +375,9 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
   }
 }
 
-void JoinNode::OnOwnedTokenDeleted(Token* t) {
+void JoinNode::DetachToken(Token* t) {
   UnindexFromChild(t);
-  outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), t),
-                 outputs_.end());
   if (sink_ != nullptr) sink_->OnToken(t, /*added=*/false);
-}
-
-void JoinNode::ForEachActiveOutput(
-    const std::function<void(Token*)>& fn) const {
-  for (size_t i = 0; i < outputs_.size(); ++i) fn(outputs_[i]);
 }
 
 // ------------------------------------------------------------- negative ---
@@ -409,6 +445,11 @@ void NegativeNode::RightActivate(const WmePtr& wme, bool added) {
     if (added) {
       if (t->blockers++ == 0) Retract(t);
     } else {
+      // A token born during this very removal's unblock cascade counted
+      // its blockers after the WME had already left the alpha memories, so
+      // the count never included it — decrementing would double-apply the
+      // removal and could propagate a token other WMEs still block.
+      if (t->born_of_removal == wme->time_tag()) return;
       assert(t->blockers > 0 && "negative-node blocker count underflow");
       if (t->blockers > 0 && --t->blockers == 0) Propagate(t);
     }
@@ -467,22 +508,13 @@ void NegativeNode::Retract(Token* t) {
   t->propagated = false;
 }
 
-void NegativeNode::OnOwnedTokenDeleted(Token* t) {
+void NegativeNode::DetachToken(Token* t) {
   if (indexed_) {
     JoinKey key;
     if (TokenKey(t, &key)) own_index_.Remove(key, t);
   }
   UnindexFromChild(t);
-  outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), t),
-                 outputs_.end());
   if (sink_ != nullptr && t->propagated) sink_->OnToken(t, /*added=*/false);
-}
-
-void NegativeNode::ForEachActiveOutput(
-    const std::function<void(Token*)>& fn) const {
-  for (size_t i = 0; i < outputs_.size(); ++i) {
-    if (outputs_[i]->propagated) fn(outputs_[i]);
-  }
 }
 
 // ---------------------------------------------------------------- pnode ---
@@ -575,6 +607,10 @@ ReteMatcher::ReteMatcher(WorkingMemory* wm, ConflictSet* cs,
                        [this] { return stats_.intra_splits; });
     m->RegisterCounter(this, "rete.intra_slice_tasks",
                        [this] { return stats_.intra_slice_tasks; });
+    m->RegisterCounter(this, "rete.bulk_deletes",
+                       [this] { return stats_.bulk_deletes; });
+    m->RegisterCounter(this, "rete.arena_slabs",
+                       [this] { return stats_.arena_slabs; });
     m->RegisterGauge(this, "rete.live_tokens", [this] {
       return static_cast<double>(live_tokens_);
     });
@@ -588,43 +624,38 @@ ReteMatcher::ReteMatcher(WorkingMemory* wm, ConflictSet* cs,
 ReteMatcher::~ReteMatcher() {
   if (options_.metrics != nullptr) options_.metrics->Unregister(this);
   wm_->RemoveListener(this);
-  // Bulk teardown, not DeleteTokenTree: the per-token unlinking it does
-  // (sibling vectors, tokens_by_wme, output memories) is linear per erase,
-  // which turns whole-network deletion quadratic on large beta memories.
-  // Every live token sits in exactly one chain node's outputs_, and all of
-  // the linked structures die with the matcher anyway.
-  for (RuleShard* shard : shards_) {
-    for (BetaNode* node : shard->chain) {
-      for (Token* t : node->outputs_) delete t;
-    }
-  }
-  for (Token* t : free_tokens_) delete t;
+  // Token teardown is structural: every token — live or recycled — sits in
+  // its shard's arena, and the arenas die with rule_shards_. (The PR 4
+  // bulk-delete walk over outputs_ is no longer needed.)
+}
+
+size_t ReteMatcher::free_tokens() const {
+  size_t n = 0;
+  for (const RuleShard* shard : shards_) n += shard->arena.free_size();
+  return n;
 }
 
 Token* ReteMatcher::NewToken(BetaNode* owner, Token* parent, WmePtr wme) {
-  ReplayCtx* ctx = tls_replay_;
-  if (ctx != nullptr && ctx->net != this) ctx = nullptr;
-  std::vector<Token*>& pool = ctx != nullptr ? ctx->free_tokens : free_tokens_;
-  ReteStats& stats = ctx != nullptr ? ctx->stats : stats_;
-  Token* t;
-  if (!pool.empty()) {
-    t = pool.back();
-    pool.pop_back();
-    ++stats.token_pool_hits;
-  } else {
-    t = new Token;
-  }
+  RuleShard* shard = owner->shard_;
+  ReteStats& stats = stats_sink();
+  bool pool_hit = false;
+  bool new_slab = false;
+  Token* t = shard->arena.Alloc(&pool_hit, &new_slab);
+  if (pool_hit) ++stats.token_pool_hits;
+  if (new_slab) ++stats.arena_slabs;
   t->owner = owner;
   t->parent = parent;
   t->wme = std::move(wme);
   if (parent != nullptr) parent->children.push_back(t);
-  if (t->wme != nullptr && owner->shard_ != nullptr) {
-    owner->shard_->tokens_by_wme[t->wme->time_tag()].push_back(t);
+  if (t->wme != nullptr) {
+    shard->tokens_by_wme[t->wme->time_tag()].tokens.push_back(t);
   }
   // Register in the owner's output memory.
   // (BetaNode::outputs_ is protected; ReteMatcher is a friend.)
   owner->outputs_.push_back(t);
   owner->OnTokenRegistered(t);
+  ReplayCtx* ctx = CurrentReplayCtx();
+  t->born_of_removal = (ctx != nullptr) ? ctx->removing_tag : removing_tag_;
   if (ctx != nullptr) {
     ++ctx->live_token_delta;
   } else {
@@ -634,6 +665,24 @@ Token* ReteMatcher::NewToken(BetaNode* owner, Token* parent, WmePtr wme) {
   return t;
 }
 
+namespace {
+
+/// Resets a detached token's fields for its next incarnation. `children`
+/// keeps its capacity; the caller guarantees it holds no live entries.
+void ResetToken(Token* t) {
+  t->wme.reset();
+  t->parent = nullptr;
+  t->owner = nullptr;
+  t->children.clear();
+  t->blockers = 0;
+  t->born_of_removal = 0;
+  t->propagated = false;
+  t->dead = false;
+  t->children_dirty = false;
+}
+
+}  // namespace
+
 void ReteMatcher::DeleteTokenTree(Token* t) {
   while (!t->children.empty()) DeleteTokenTree(t->children.back());
   t->owner->OnOwnedTokenDeleted(t);
@@ -642,35 +691,131 @@ void ReteMatcher::DeleteTokenTree(Token* t) {
     siblings.erase(std::remove(siblings.begin(), siblings.end(), t),
                    siblings.end());
   }
-  if (t->wme != nullptr && t->owner->shard_ != nullptr) {
-    auto it = t->owner->shard_->tokens_by_wme.find(t->wme->time_tag());
-    if (it != t->owner->shard_->tokens_by_wme.end()) {
-      auto& tokens = it->second;
+  RuleShard* shard = t->owner->shard_;
+  if (t->wme != nullptr) {
+    auto it = shard->tokens_by_wme.find(t->wme->time_tag());
+    if (it != shard->tokens_by_wme.end()) {
+      auto& tokens = it->second.tokens;
       tokens.erase(std::remove(tokens.begin(), tokens.end(), t),
                    tokens.end());
-      // The map entry itself is only erased by the removal driver
-      // (FinishRemove / the replay's deletion phase), which may be holding
-      // an iterator to it while this cascade runs.
+      // Eager entry erasure: an anchor entry exists iff it holds tokens,
+      // so removal drivers re-find instead of holding iterators across a
+      // cascade (see FinishRemove).
+      if (tokens.empty()) shard->tokens_by_wme.erase(it);
     }
   }
-  // Recycle through the free list. `children` is already empty (drained
-  // above) and keeps its capacity for the next incarnation.
-  t->wme.reset();
-  t->parent = nullptr;
-  t->owner = nullptr;
-  t->blockers = 0;
-  t->propagated = false;
-  ReplayCtx* ctx = tls_replay_;
-  if (ctx != nullptr && ctx->net != this) ctx = nullptr;
+  ResetToken(t);
+  shard->arena.Recycle(t);
+  ReplayCtx* ctx = CurrentReplayCtx();
   if (ctx != nullptr) {
-    ctx->free_tokens.push_back(t);
     --ctx->live_token_delta;
     ++ctx->stats.tokens_deleted;
   } else {
-    free_tokens_.push_back(t);
     --live_tokens_;
     ++stats_.tokens_deleted;
   }
+}
+
+void ReteMatcher::BulkDeleteTree(Token* t, DeletionScratch* s) {
+  // Children back-to-front, skipping ones an earlier tree already took —
+  // the exact order DeleteTokenTree's while(!empty()) back() pops them in
+  // (deletion only removes entries, never reorders, and nothing can be
+  // appended mid-teardown).
+  for (size_t i = t->children.size(); i-- > 0;) {
+    Token* c = t->children[i];
+    if (!c->dead) BulkDeleteTree(c, s);
+  }
+  BetaNode* owner = t->owner;
+  owner->DetachToken(t);
+  t->dead = true;
+  if (!owner->compact_pending_) {
+    owner->compact_pending_ = true;
+    s->dirty_nodes.push_back(owner);
+  }
+  if (t->parent != nullptr && !t->parent->children_dirty) {
+    t->parent->children_dirty = true;
+    s->dirty_parents.push_back(t->parent);
+  }
+  if (t->wme != nullptr) {
+    RuleShard* shard = owner->shard_;
+    auto it = shard->tokens_by_wme.find(t->wme->time_tag());
+    if (it != shard->tokens_by_wme.end() && !it->second.dirty) {
+      it->second.dirty = true;
+      s->dirty_anchors.emplace_back(shard, t->wme->time_tag());
+    }
+  }
+  s->dead.push_back(t);
+  ReplayCtx* ctx = CurrentReplayCtx();
+  if (ctx != nullptr) {
+    --ctx->live_token_delta;
+    ++ctx->stats.tokens_deleted;
+  } else {
+    --live_tokens_;
+    ++stats_.tokens_deleted;
+  }
+}
+
+void ReteMatcher::BulkDeleteAnchored(RuleShard* shard, TimeTag tag,
+                                     DeletionScratch* s) {
+  auto it = shard->tokens_by_wme.find(tag);
+  if (it == shard->tokens_by_wme.end()) return;
+  // Highest-index-first over the anchored roots, skipping tokens an
+  // earlier tree's cascade already killed — the same root sequence the
+  // per-token driver's while(!empty()) back() loop processes. The vector
+  // itself stays untouched until the entry is dropped whole below.
+  auto& anchored = it->second.tokens;
+  for (size_t i = anchored.size(); i-- > 0;) {
+    if (!anchored[i]->dead) BulkDeleteTree(anchored[i], s);
+  }
+  shard->tokens_by_wme.erase(it);
+}
+
+void ReteMatcher::FlushDeletions(DeletionScratch* s) {
+  if (s->dead.empty()) return;
+  for (BetaNode* node : s->dirty_nodes) {
+    std::erase_if(node->outputs_, [](const Token* t) { return t->dead; });
+    node->compact_pending_ = false;
+  }
+  s->dirty_nodes.clear();
+  for (Token* parent : s->dirty_parents) {
+    parent->children_dirty = false;
+    // A parent that died itself gets its children vector cleared wholesale
+    // at recycle time below.
+    if (!parent->dead) {
+      std::erase_if(parent->children, [](const Token* t) { return t->dead; });
+    }
+  }
+  s->dirty_parents.clear();
+  for (const auto& [shard, tag] : s->dirty_anchors) {
+    auto it = shard->tokens_by_wme.find(tag);
+    if (it == shard->tokens_by_wme.end()) continue;  // drained wholesale
+    it->second.dirty = false;
+    std::erase_if(it->second.tokens,
+                  [](const Token* t) { return t->dead; });
+    if (it->second.tokens.empty()) shard->tokens_by_wme.erase(it);
+  }
+  s->dirty_anchors.clear();
+  for (Token* t : s->dead) {
+    TokenArena& arena = t->owner->shard_->arena;
+    ResetToken(t);
+    arena.Recycle(t);
+  }
+  s->dead.clear();
+  ++stats_sink().bulk_deletes;
+}
+
+void ReteMatcher::CheckAnchorInvariants() const {
+#ifndef NDEBUG
+  for (const RuleShard* shard : shards_) {
+    for (const auto& [tag, anchor] : shard->tokens_by_wme) {
+      assert(!anchor.tokens.empty() && "stale empty tokens_by_wme entry");
+      assert(!anchor.dirty && "anchor left dirty after a batch");
+      for (const Token* t : anchor.tokens) {
+        assert(!t->dead && "dead token anchored after a batch");
+      }
+    }
+  }
+#endif
 }
 
 void ReteMatcher::ParallelEval(
@@ -745,6 +890,8 @@ Status ReteMatcher::AddRule(const CompiledRule* rule) {
   auto shard = std::make_unique<RuleShard>();
   shard->rule = rule;
   shard->ordinal = shards_.size();
+  shard->arena.set_slab_size(
+      options_.token_slab < 0 ? 0 : static_cast<size_t>(options_.token_slab));
   // Build the linear beta chain.
   std::vector<BetaNode*> chain;
   BetaNode* prev = nullptr;
@@ -752,6 +899,7 @@ Status ReteMatcher::AddRule(const CompiledRule* rule) {
     AlphaMemory* am = GetOrCreateAlpha(cond);
     std::unique_ptr<BetaNode> node;
     if (cond.negated) {
+      shard->has_negative = true;
       node = std::make_unique<NegativeNode>(this, am, prev, &cond);
     } else {
       node = std::make_unique<JoinNode>(this, am, prev, &cond);
@@ -858,11 +1006,19 @@ void ReteMatcher::ApplyAdd(const WmePtr& wme) {
 void ReteMatcher::ApplyRemove(const WmePtr& wme) {
   auto it = wme_amems_.find(wme->time_tag());
   if (it == wme_amems_.end()) return;
-  // 1. Remove from alpha memories so joins no longer see it.
+  // 1. Remove from alpha memories so joins no longer see it. wme_amems_ is
+  // the single source of truth for which memories hold the WME, so each
+  // exit must find its item (exactly-once-per-batch discipline; the
+  // grouped and per-WME paths never overlap on a WME).
   for (AlphaMemory* am : it->second) {
-    am->RemoveItem(wme);
+    bool removed = am->RemoveItem(wme);
+    assert(removed && "WME missing from an alpha memory it was filed under");
+    (void)removed;
   }
-  // 2. Unblock negative nodes (may propagate new tokens).
+  // 2. Unblock negative nodes (may propagate new tokens — those are
+  // stamped with this removal's tag so its remaining right-activations
+  // skip them; see Token::born_of_removal).
+  removing_tag_ = wme->time_tag();
   for (AlphaMemory* am : it->second) {
     for (size_t i = 0; i < am->successors_.size(); ++i) {
       ++stats_.right_activations;
@@ -871,6 +1027,7 @@ void ReteMatcher::ApplyRemove(const WmePtr& wme) {
   }
   // 3. Tree-delete every token anchored on this WME.
   FinishRemove(wme);
+  removing_tag_ = 0;
   wme_amems_.erase(wme->time_tag());
 }
 
@@ -910,34 +1067,78 @@ void ReteMatcher::ApplyRemoveRun(const std::vector<WmChange>& changes,
       }
     }
   }
-  // Phase 1: all alpha exits.
+  // Phase 1: all alpha exits, grouped per memory — one compaction pass per
+  // touched memory for the whole run instead of one scan per (WME, memory)
+  // pair.
+  AlphaExitBatch exits;
   for (size_t i = begin; i < end; ++i) {
     const WmePtr& wme = changes[i].wme;
     auto it = wme_amems_.find(wme->time_tag());
     if (it == wme_amems_.end()) continue;
-    for (AlphaMemory* am : it->second) am->RemoveItem(wme);
+    for (AlphaMemory* am : it->second) exits.Add(am, wme);
   }
+  exits.Commit();
   // Phase 2: per-WME token-tree deletion, batch order. (No negative
   // successors anywhere in the run, and JoinNode::RightActivate ignores
   // removals, so the skipped right-activations are provably no-ops.)
-  for (size_t i = begin; i < end; ++i) {
-    FinishRemove(changes[i].wme);
-    wme_amems_.erase(changes[i].wme->time_tag());
+  if (options_.bulk_removal) {
+    // Defer the container compaction across the whole run: nothing between
+    // these deletions scans an output memory (no right-activations happen
+    // in this phase, and the tree walks themselves skip dead tokens), so
+    // one flush at the end suffices.
+    for (size_t i = begin; i < end; ++i) {
+      TimeTag tag = changes[i].wme->time_tag();
+      for (RuleShard* shard : shards_) BulkDeleteAnchored(shard, tag, &scratch_);
+      wme_amems_.erase(tag);
+    }
+    FlushDeletions(&scratch_);
+  } else {
+    for (size_t i = begin; i < end; ++i) {
+      FinishRemove(changes[i].wme);
+      wme_amems_.erase(changes[i].wme->time_tag());
+    }
   }
   ++stats_.grouped_removals;
+}
+
+void ReteMatcher::AlphaExitBatch::Add(AlphaMemory* am, const WmePtr& wme) {
+  auto [it, fresh] = exits_.try_emplace(am);
+  if (fresh) order_.push_back(am);
+  it->second.push_back(wme);
+}
+
+void ReteMatcher::AlphaExitBatch::Commit() {
+  for (AlphaMemory* am : order_) {
+    const std::vector<WmePtr>& wmes = exits_[am];
+    size_t removed = am->RemoveItems(wmes);
+    assert(removed == wmes.size() &&
+           "a WME must leave each alpha memory exactly once per batch");
+    (void)removed;
+  }
+  exits_.clear();
+  order_.clear();
 }
 
 void ReteMatcher::FinishRemove(const WmePtr& wme) {
   TimeTag tag = wme->time_tag();
   // Shard by shard in registration order — the same order the parallel
-  // merge applies per-rule deletion ops in.  Deletions edit the live list
-  // in place (a token in the list can delete a descendant that is also in
-  // the list), so loop until empty rather than iterating.
+  // merge applies per-rule deletion ops in.
+  if (options_.bulk_removal) {
+    for (RuleShard* shard : shards_) BulkDeleteAnchored(shard, tag, &scratch_);
+    // Flush before returning: on the per-WME path (negative successors
+    // present) the next WME's unblock cascade scans output memories.
+    FlushDeletions(&scratch_);
+    return;
+  }
+  // Per-token path: deletions edit the anchored list in place (a token in
+  // the list can delete a descendant that is also in the list) and erase
+  // the entry when it drains, so re-find instead of holding an iterator.
   for (RuleShard* shard : shards_) {
-    auto it = shard->tokens_by_wme.find(tag);
-    if (it == shard->tokens_by_wme.end()) continue;
-    while (!it->second.empty()) DeleteTokenTree(it->second.back());
-    shard->tokens_by_wme.erase(it);
+    while (true) {
+      auto it = shard->tokens_by_wme.find(tag);
+      if (it == shard->tokens_by_wme.end()) break;
+      DeleteTokenTree(it->second.tokens.back());
+    }
   }
 }
 
@@ -967,6 +1168,9 @@ void ReteMatcher::OnBatchSequential(const ChangeBatch& batch) {
     i = j;
   }
   for (const auto& s : sinks_) s->OnBatchEnd();
+#ifndef NDEBUG
+  CheckAnchorInvariants();
+#endif
 }
 
 void ReteMatcher::OnBatchParallel(const ChangeBatch& batch) {
@@ -1062,15 +1266,20 @@ void ReteMatcher::OnBatchParallel(const ChangeBatch& batch) {
     cs_->ApplyDeltas(&deltas);
   }
   // Physical alpha exits for the batch's removals (the marks kept them in
-  // place during phase B).
+  // place during phase B), grouped per memory so each is compacted once.
+  AlphaExitBatch exits;
   for (size_t e = 0; e < changes.size(); ++e) {
     if (changes[e].added) continue;
     const WmePtr& wme = changes[e].wme;
-    for (AlphaMemory* am : plan[e].amems) am->RemoveItem(wme);
+    for (AlphaMemory* am : plan[e].amems) exits.Add(am, wme);
     wme_amems_.erase(wme->time_tag());
   }
+  exits.Commit();
   replay_removed_.clear();
   for (const auto& s : sinks_) s->OnBatchEnd();
+#ifndef NDEBUG
+  CheckAnchorInvariants();
+#endif
 }
 
 void ReteMatcher::ReplayShard(RuleShard* shard,
@@ -1086,12 +1295,21 @@ void ReteMatcher::ReplayShard(RuleShard* shard,
   ReplayCtx* prev_replay = tls_replay_;
   tls_replay_ = ctx;
   ConflictSet::ScopedThreadDelta scoped_delta(cs_, delta);
+  // Bulk removal defers container compaction across consecutive removal
+  // changes — but only while no scan can observe a dead token: an add's
+  // right-activations probe output memories, and a negative node's unblock
+  // cascade does too, so those flush first. Shards with a negative node
+  // flush per change (the per-WME interleaving FinishRemove preserves).
+  DeletionScratch scratch;
+  const bool defer = options_.bulk_removal && !shard->has_negative;
   for (size_t e = 0; e < changes.size(); ++e) {
     const WmChange& c = changes[e];
     const ChangeRec& rec = plan[e];
+    if (c.added && !scratch.empty()) FlushDeletions(&scratch);
     ctx->epoch = e;
     ctx->prev_ceiling = rec.prev_ceiling;
     ctx->add_ceiling = rec.ceiling;
+    ctx->removing_tag = c.added ? 0 : c.wme->time_tag();
     ctx->cur_amems = &rec.amems;
     for (size_t a = 0; a < rec.amems.size(); ++a) {
       ctx->cur_amem_ord = a;
@@ -1108,13 +1326,22 @@ void ReteMatcher::ReplayShard(RuleShard* shard,
       // Token-tree deletion for this removal, after its unblock cascade —
       // the same per-change interleaving as the sequential ApplyRemove.
       delta->SetStamp({static_cast<uint32_t>(e), 1, 0, 0});
-      auto it = shard->tokens_by_wme.find(c.wme->time_tag());
-      if (it != shard->tokens_by_wme.end()) {
-        while (!it->second.empty()) DeleteTokenTree(it->second.back());
-        shard->tokens_by_wme.erase(it);
+      if (options_.bulk_removal) {
+        BulkDeleteAnchored(shard, c.wme->time_tag(), &scratch);
+        if (!defer) FlushDeletions(&scratch);
+      } else {
+        // Per-token path; entries erase themselves when drained, so
+        // re-find instead of holding an iterator (see FinishRemove).
+        TimeTag tag = c.wme->time_tag();
+        while (true) {
+          auto it = shard->tokens_by_wme.find(tag);
+          if (it == shard->tokens_by_wme.end()) break;
+          DeleteTokenTree(it->second.tokens.back());
+        }
       }
     }
   }
+  if (!scratch.empty()) FlushDeletions(&scratch);
   tls_replay_ = prev_replay;
 }
 
@@ -1128,11 +1355,10 @@ void ReteMatcher::MergeCtx(ReplayCtx* ctx) {
   stats_.token_pool_hits += s.token_pool_hits;
   stats_.intra_splits += s.intra_splits;
   stats_.intra_slice_tasks += s.intra_slice_tasks;
+  stats_.bulk_deletes += s.bulk_deletes;
+  stats_.arena_slabs += s.arena_slabs;
   live_tokens_ = static_cast<size_t>(static_cast<int64_t>(live_tokens_) +
                                      ctx->live_token_delta);
-  free_tokens_.insert(free_tokens_.end(), ctx->free_tokens.begin(),
-                      ctx->free_tokens.end());
-  ctx->free_tokens.clear();
 }
 
 void ReteMatcher::DumpNetwork(std::ostream& out,

@@ -6,6 +6,8 @@
 #include <memory>
 #include <ostream>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
@@ -52,6 +54,17 @@ struct ReteOptions {
   /// receives rule_replay events on the parallel batch path.
   obs::MetricRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Tear down removal batches with bulk tree deletion: tokens are sink-
+  /// detached and dead-marked during the tree walk, then every touched
+  /// memory, sibling list, and anchor vector is compacted in one stable
+  /// pass per flush (see docs/INTERNALS.md, "Removal path & memory
+  /// layout"). Off restores the per-token erase(remove(...)) cascades —
+  /// the ablation baseline the removal property test cross-checks.
+  bool bulk_removal = true;
+  /// Tokens per slab in the per-shard token arenas; 0 allocates tokens
+  /// individually on the heap (ablation baseline) while keeping the
+  /// per-shard free lists.
+  int token_slab = static_cast<int>(TokenArena::kDefaultSlabSize);
 };
 
 /// Hot-path counters for the match network (see docs/INTERNALS.md,
@@ -82,6 +95,12 @@ struct ReteStats {
   uint64_t intra_splits = 0;
   /// Slice tasks dispatched across those splits.
   uint64_t intra_slice_tasks = 0;
+  /// Deferred-compaction flushes on the bulk removal path (one per removal
+  /// run / per-WME removal / shard-replay flush point; 0 with
+  /// ReteOptions::bulk_removal off).
+  uint64_t bulk_deletes = 0;
+  /// Fresh token slabs allocated across the per-shard arenas.
+  uint64_t arena_slabs = 0;
 };
 
 /// Terminal consumer of a rule's tokens: a P-node for regular rules or an
@@ -112,9 +131,25 @@ struct RuleShard {
   /// Position in rule-registration order (index into ReteMatcher::shards_);
   /// the deterministic-merge tie-break across rules.
   size_t ordinal = 0;
+  /// One tokens_by_wme entry: the tokens anchored on a WME plus the bulk-
+  /// removal dirty flag (dead entries pending compaction). An entry exists
+  /// iff it holds tokens — eager erasure, checked by
+  /// ReteMatcher::CheckAnchorInvariants in debug builds.
+  struct AnchorList {
+    std::vector<Token*> tokens;
+    bool dirty = false;
+  };
   /// Tokens whose own WME is the keyed one, this rule's chain only — the
   /// per-rule half of tree-based removal.
-  std::unordered_map<TimeTag, std::vector<Token*>> tokens_by_wme;
+  std::unordered_map<TimeTag, AnchorList> tokens_by_wme;
+  /// Slab storage and free list for every token of this rule's chain.
+  /// Shard-owned so replay tasks recycle without locks and in the same
+  /// order as the sequential path.
+  TokenArena arena;
+  /// Whether the chain contains a negative node (set by AddRule); removal
+  /// replays must flush deletions per WME in that case to preserve the
+  /// per-WME unblocking interleaving.
+  bool has_negative = false;
   /// This rule's beta nodes grouped by alpha memory, each group in
   /// successor (newest-first) order — the replay's right-activation
   /// schedule. Relative order within one rule never changes (other rules
@@ -158,6 +193,10 @@ class AlphaMemory {
 
     void Insert(const WmePtr& wme);
     void Remove(const WmePtr& wme);
+    /// Removes every WME in `wmes` (also given as a pointer set in
+    /// `victims`), compacting each touched bucket once.
+    void RemoveBatch(const std::vector<WmePtr>& wmes,
+                     const std::unordered_set<const Wme*>& victims);
 
     std::vector<int> fields_;
     std::unordered_map<JoinKey, std::vector<WmePtr>, JoinKeyHash> buckets_;
@@ -182,9 +221,15 @@ class AlphaMemory {
  private:
   friend class ReteMatcher;
 
-  /// Appends / removes an item, keeping every index in sync.
+  /// Appends an item, keeping every index in sync.
   void AddItem(const WmePtr& wme);
-  void RemoveItem(const WmePtr& wme);
+  /// Removes an item (stable order), returning whether it was present —
+  /// callers assert presence, the exactly-once-per-batch discipline.
+  bool RemoveItem(const WmePtr& wme);
+  /// Removes every WME in `wmes` in one stable compaction pass over the
+  /// items and each touched index bucket, returning how many were found:
+  /// O(items + victims) instead of RemoveItem's O(items) per victim.
+  size_t RemoveItems(const std::vector<WmePtr>& wmes);
 
   SymbolId cls_;
   std::vector<ConstantTest> const_tests_;
@@ -209,15 +254,17 @@ class BetaNode {
   virtual void OnParentToken(Token* t) = 0;
   /// `wme` was added to / removed from this node's alpha memory.
   virtual void RightActivate(const WmePtr& wme, bool added) = 0;
-  /// Called by token deletion; removes `t` from this node's memory and
-  /// notifies the sink if `t` had reached it.
-  virtual void OnOwnedTokenDeleted(Token* t) = 0;
+  /// Called by per-token deletion; detaches `t` and compacts it out of the
+  /// output memory immediately.
+  void OnOwnedTokenDeleted(Token* t);
+  /// The detach half of token deletion: unindexes `t`, updates node-local
+  /// state, and notifies the sink if `t` had reached it — without touching
+  /// `outputs_`, whose compaction the bulk removal path defers to one
+  /// stable pass per flush (ReteMatcher::FlushDeletions).
+  virtual void DetachToken(Token* t) = 0;
   /// Called by the matcher right after `t` entered this node's output
   /// memory; maintains the node-specific token indexes.
   virtual void OnTokenRegistered(Token* t);
-  /// Invokes `fn` on every output token visible to the downstream node.
-  virtual void ForEachActiveOutput(
-      const std::function<void(Token*)>& fn) const = 0;
   /// Whether `t` (one of this node's outputs) is visible downstream. Left
   /// indexes hold *all* of a parent's outputs in creation order — the same
   /// relative order a linear scan of the parent's memory sees — and filter
@@ -251,9 +298,9 @@ class BetaNode {
   /// is not indexed.
   void IndexLeftToken(Token* t);
   void UnindexLeftToken(Token* t);
-  /// Drops `t` from the child's left index; derived OnOwnedTokenDeleted
-  /// overrides call this (they cannot touch the child's protected members
-  /// directly) while the token chain is still intact.
+  /// Drops `t` from the child's left index; DetachToken overrides call
+  /// this (they cannot touch the child's protected members directly) while
+  /// the token chain is still intact.
   void UnindexFromChild(Token* t);
   /// Hands a token to the downstream node / sink.
   void PropagateDown(Token* t);
@@ -277,6 +324,9 @@ class BetaNode {
   /// Current position in amem_->successors_ (maintained by the matcher on
   /// rule add/remove); the within-alpha-memory merge tie-break.
   int succ_ordinal_ = 0;
+  /// Bulk removal: `outputs_` holds dead tokens pending compaction (the
+  /// node is already queued in the current DeletionScratch).
+  bool compact_pending_ = false;
 
   // --- indexed-join state (unused when !indexed_) ---
   bool indexed_ = false;
@@ -294,9 +344,7 @@ class JoinNode : public BetaNode {
   using BetaNode::BetaNode;
   void OnParentToken(Token* t) override;
   void RightActivate(const WmePtr& wme, bool added) override;
-  void OnOwnedTokenDeleted(Token* t) override;
-  void ForEachActiveOutput(
-      const std::function<void(Token*)>& fn) const override;
+  void DetachToken(Token* t) override;
 };
 
 /// Negated CE: propagates upstream tokens that have *no* match in the alpha
@@ -306,10 +354,8 @@ class NegativeNode : public BetaNode {
   using BetaNode::BetaNode;
   void OnParentToken(Token* t) override;
   void RightActivate(const WmePtr& wme, bool added) override;
-  void OnOwnedTokenDeleted(Token* t) override;
+  void DetachToken(Token* t) override;
   void OnTokenRegistered(Token* t) override;
-  void ForEachActiveOutput(
-      const std::function<void(Token*)>& fn) const override;
   bool IsOutputActive(const Token* t) const override {
     return t->propagated;
   }
@@ -401,8 +447,8 @@ class ReteMatcher : public Matcher {
   size_t num_alpha_memories() const;
   size_t live_tokens() const { return live_tokens_; }
   size_t num_beta_nodes() const { return nodes_.size(); }
-  /// Recyclable tokens currently parked in the free list.
-  size_t free_tokens() const { return free_tokens_.size(); }
+  /// Recyclable tokens currently parked across the per-shard arenas.
+  size_t free_tokens() const;
 
   const ReteOptions& options() const { return options_; }
   const ReteStats& stats() const { return stats_; }
@@ -415,20 +461,23 @@ class ReteMatcher : public Matcher {
 
   /// Per-task replay state, installed in `tls_replay_` while a shard task
   /// runs. Everything a worker would otherwise write to shared matcher
-  /// state (counters, the token free list) accumulates here and is merged
-  /// by the coordinator after the join.
+  /// state (counters, live-token accounting) accumulates here and is
+  /// merged by the coordinator after the join; token recycling goes
+  /// straight to the shard's own arena, which no other task touches.
   struct ReplayCtx {
     ReteMatcher* net = nullptr;
     RuleShard* shard = nullptr;
     ReteStats stats;
     int64_t live_token_delta = 0;
-    std::vector<Token*> free_tokens;
     // Visibility state for the change currently being replayed.
     size_t epoch = 0;
     TimeTag prev_ceiling = 0;
     TimeTag add_ceiling = 0;
     const std::vector<AlphaMemory*>* cur_amems = nullptr;
     size_t cur_amem_ord = 0;
+    /// Time tag of the removal change being replayed (0 for adds) — the
+    /// replay-task counterpart of ReteMatcher::removing_tag_.
+    TimeTag removing_tag = 0;
   };
 
   /// One batch change's replay plan (phase A output).
@@ -440,6 +489,37 @@ class ReteMatcher : public Matcher {
     /// tag-monotone within a batch, so a ceiling encodes add visibility).
     TimeTag prev_ceiling = 0;
     TimeTag ceiling = 0;
+  };
+
+  /// One in-progress bulk deletion (ReteOptions::bulk_removal): the dead
+  /// tokens awaiting recycle plus every container that needs exactly one
+  /// stable compaction pass. Sequential paths reuse the matcher's
+  /// `scratch_`; each replay task keeps its own (it only ever names
+  /// per-shard state, so no synchronization).
+  struct DeletionScratch {
+    std::vector<Token*> dead;
+    /// Nodes whose outputs_ hold dead entries (compact_pending_ set).
+    std::vector<BetaNode*> dirty_nodes;
+    /// Live parents whose children vector holds dead entries.
+    std::vector<Token*> dirty_parents;
+    /// tokens_by_wme entries holding dead entries (AnchorList::dirty set).
+    std::vector<std::pair<RuleShard*, TimeTag>> dirty_anchors;
+    bool empty() const { return dead.empty(); }
+  };
+
+  /// One removal batch's grouped alpha exits: victims collected per
+  /// memory, then each memory compacted once by Commit(). Commit asserts
+  /// every victim was present — ApplyRemove and the grouped run previously
+  /// both exited overlapping ranges, masked only because linear RemoveItem
+  /// of an absent item was a silent no-op.
+  class AlphaExitBatch {
+   public:
+    void Add(AlphaMemory* am, const WmePtr& wme);
+    void Commit();
+
+   private:
+    std::unordered_map<AlphaMemory*, std::vector<WmePtr>> exits_;
+    std::vector<AlphaMemory*> order_;  // first-touch order, deterministic
   };
 
   /// The stats sink for the current thread: the replay-task accumulator
@@ -525,6 +605,24 @@ class ReteMatcher : public Matcher {
   /// the WME's anchored tokens shard by shard in registration order.
   void FinishRemove(const WmePtr& wme);
 
+  // --- bulk tree deletion (ReteOptions::bulk_removal) ---
+  /// Recursively detaches `t`'s subtree: sinks are notified in the exact
+  /// per-token deletion order, tokens are dead-marked, and every touched
+  /// container is queued in `s` for one deferred compaction pass.
+  void BulkDeleteTree(Token* t, DeletionScratch* s);
+  /// BulkDeleteTree over every tree anchored on `tag` in `shard`, erasing
+  /// the anchor entry.
+  void BulkDeleteAnchored(RuleShard* shard, TimeTag tag, DeletionScratch* s);
+  /// Compacts every queued container (stable order) and recycles the dead
+  /// tokens into their shards' arenas. Scans must never observe a dead
+  /// token: callers flush before any join scan can reach a queued
+  /// container (per WME when negative nodes watch the memories, per
+  /// removal run / before the next add otherwise).
+  void FlushDeletions(DeletionScratch* s);
+  /// Debug invariant sweep: no anchor entry is empty, dirty, or holding a
+  /// dead token once a batch completes. No-op in release builds.
+  void CheckAnchorInvariants() const;
+
   /// The sequential OnBatch body.
   void OnBatchSequential(const ChangeBatch& batch);
   /// The three-phase parallel OnBatch body (requires options_.pool).
@@ -558,10 +656,14 @@ class ReteMatcher : public Matcher {
   /// phase C; ReplayVisible hides them from later epochs.
   std::unordered_map<const Wme*, size_t> replay_removed_;
   size_t live_tokens_ = 0;
-  /// Recycled Token objects (satellite: token free list). Worker tasks use
-  /// their ReplayCtx-local lists during phase B; the coordinator merges
-  /// them back here.
-  std::vector<Token*> free_tokens_;
+  /// Bulk-deletion scratch of the sequential paths (reused across flushes
+  /// to keep its vectors' capacity warm).
+  DeletionScratch scratch_;
+  /// Time tag of the removal the sequential path is currently applying
+  /// (ApplyRemove steps 2–3), stamped onto tokens its unblock cascade
+  /// creates (Token::born_of_removal); 0 outside a removal. Replay tasks
+  /// carry their own copy in ReplayCtx::removing_tag.
+  TimeTag removing_tag_ = 0;
   ReteOptions options_;
   ReteStats stats_;
   /// "phase.match" scope timer, non-null only when the registry has timing

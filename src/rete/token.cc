@@ -33,6 +33,39 @@ void TokenRow(const Token* t, Row* out) {
   }
 }
 
+TokenArena::~TokenArena() {
+  // Slab tokens are destroyed by the unique_ptr<Token[]> deleters (running
+  // ~Token releases any WmePtr a live token still holds); heap-mode tokens
+  // are tracked in heap_ exactly once each, live or recycled.
+  for (Token* t : heap_) delete t;
+}
+
+void TokenArena::set_slab_size(size_t n) {
+  if (slabs_.empty() && heap_.empty()) slab_size_ = n;
+}
+
+Token* TokenArena::Alloc(bool* pool_hit, bool* new_slab) {
+  *new_slab = false;
+  if (!free_.empty()) {
+    Token* t = free_.back();
+    free_.pop_back();
+    *pool_hit = true;
+    return t;
+  }
+  *pool_hit = false;
+  if (slab_size_ == 0) {
+    Token* t = new Token;
+    heap_.push_back(t);
+    return t;
+  }
+  if (slabs_.empty() || used_in_last_ == slab_size_) {
+    slabs_.push_back(std::make_unique<Token[]>(slab_size_));
+    used_in_last_ = 0;
+    *new_slab = true;
+  }
+  return &slabs_.back()[used_in_last_++];
+}
+
 size_t JoinKeyHash::operator()(const JoinKey& key) const {
   size_t h = 0x9e3779b97f4a7c15ull;
   for (const Value& v : key.values) {

@@ -1,6 +1,8 @@
 #ifndef SOREL_RETE_TOKEN_H_
 #define SOREL_RETE_TOKEN_H_
 
+#include <cstddef>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -23,8 +25,63 @@ struct Token {
   std::vector<Token*> children;
   /// Negative-node tokens: number of WMEs currently matching the negated CE.
   int blockers = 0;
+  /// Time tag of the removal whose unblock cascade created this token, or 0.
+  /// Such a token counted its blockers *after* that WME left the alpha
+  /// memories, so the WME's own still-pending right-activations must skip
+  /// it — decrementing a count that never included the WME would double-apply
+  /// the removal (NegativeNode::RightActivate).
+  TimeTag born_of_removal = 0;
   /// Negative-node tokens: whether currently propagated downstream.
   bool propagated = false;
+  /// Bulk removal: set between the detach/notify step and the deferred
+  /// container compaction (ReteMatcher::FlushDeletions); never set outside
+  /// an in-progress removal batch.
+  bool dead = false;
+  /// Bulk removal: `children` holds dead entries pending compaction.
+  bool children_dirty = false;
+};
+
+/// Slab allocator and free list for tokens. Each rule shard owns one arena:
+/// tokens never migrate across shards and a shard is replayed by exactly
+/// one task, so arenas need no locks — and recycling happens in the same
+/// per-shard order under sequential and parallel propagation, which keeps
+/// the `rete.token_pool_hits` counter bit-identical across thread counts.
+/// Slabs are never returned individually: destroying the arena frees every
+/// token it ever produced in one sweep (the structural form of the
+/// `~ReteMatcher` bulk teardown).
+class TokenArena {
+ public:
+  static constexpr size_t kDefaultSlabSize = 256;
+
+  TokenArena() = default;
+  ~TokenArena();
+  TokenArena(const TokenArena&) = delete;
+  TokenArena& operator=(const TokenArena&) = delete;
+
+  /// Tokens per slab; 0 allocates each token individually on the heap (the
+  /// ablation baseline) while keeping the free list and whole-arena
+  /// teardown. Must be called before the first Alloc; later calls are
+  /// ignored.
+  void set_slab_size(size_t n);
+
+  /// Returns a default-initialized token. `*pool_hit` reports a free-list
+  /// reuse, `*new_slab` that a fresh slab had to be allocated.
+  Token* Alloc(bool* pool_hit, bool* new_slab);
+
+  /// Returns a token to the free list. The caller must have reset its
+  /// fields (in particular released `wme`); the memory stays owned by the
+  /// arena either way.
+  void Recycle(Token* t) { free_.push_back(t); }
+
+  size_t free_size() const { return free_.size(); }
+  size_t num_slabs() const { return slabs_.size(); }
+
+ private:
+  size_t slab_size_ = kDefaultSlabSize;
+  std::vector<std::unique_ptr<Token[]>> slabs_;
+  size_t used_in_last_ = 0;  // tokens handed out of slabs_.back()
+  std::vector<Token*> heap_;  // slab_size_ == 0: every token ever allocated
+  std::vector<Token*> free_;
 };
 
 /// WME matched at token position `pos` along the chain ending in `t`

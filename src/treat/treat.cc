@@ -83,6 +83,8 @@ TreatMatcher::TreatMatcher(WorkingMemory* wm, ConflictSet* cs,
                               [this] { return stats_.batches; });
     metrics_->RegisterCounter(this, "treat.coalesced_researches",
                               [this] { return stats_.coalesced_researches; });
+    metrics_->RegisterCounter(this, "treat.grouped_removals",
+                              [this] { return stats_.grouped_removals; });
     metrics_->RegisterCounter(this, "treat.intra_splits",
                               [this] { return stats_.intra_splits; });
     metrics_->RegisterCounter(this, "treat.intra_slice_tasks",
@@ -344,6 +346,67 @@ void TreatMatcher::ApplyRemove(const WmePtr& wme, bool defer_unblock) {
   }
 }
 
+void TreatMatcher::DropInstsContainingAny(
+    RuleState* rs, const std::unordered_set<TimeTag>& victims) {
+  for (auto it = rs->insts.begin(); it != rs->insts.end();) {
+    bool contains = false;
+    for (const WmePtr& w : it->second->row()) {
+      if (victims.count(w->time_tag()) != 0) {
+        contains = true;
+        break;
+      }
+    }
+    if (contains) {
+      cs_->Remove(it->second.get());
+      cs_->Release(std::move(it->second));
+      it = rs->insts.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TreatMatcher::ApplyRemoveRun(const std::vector<WmChange>& changes,
+                                  size_t begin, size_t end) {
+  if (end - begin == 1) {
+    ApplyRemove(changes[begin].wme, /*defer_unblock=*/true);
+    return;
+  }
+  ++stats_.grouped_removals;
+  std::unordered_set<TimeTag> victims;
+  for (size_t i = begin; i < end; ++i) {
+    victims.insert(changes[i].wme->time_tag());
+  }
+  for (const auto& rs : rules_) {
+    // One stable compaction per alpha memory; the survivors keep exactly
+    // the order per-WME find+erase would have left. Removals in a run
+    // cannot re-enable each other, so dropping/unblocking once at run
+    // granularity reaches the same final state.
+    bool touched_pos = false;
+    std::unordered_set<TimeTag> neg_touched;
+    for (size_t ce = 0; ce < rs->alpha.size(); ++ce) {
+      const bool negated = rs->rule->conditions[ce].negated;
+      auto& items = rs->alpha[ce];
+      const size_t before = items.size();
+      std::erase_if(items, [&](const WmePtr& w) {
+        if (victims.count(w->time_tag()) == 0) return false;
+        if (negated) neg_touched.insert(w->time_tag());
+        return true;
+      });
+      if (!negated && items.size() != before) touched_pos = true;
+    }
+    if (touched_pos) DropInstsContainingAny(rs.get(), victims);
+    if (!neg_touched.empty()) {
+      // Per-WME accounting: every negated-CE-touching victim past the
+      // first (or all of them, if a re-search was already pending) would
+      // have found needs_research set.
+      stats_.coalesced_researches +=
+          neg_touched.size() - (rs->needs_research ? 0 : 1);
+      rs->needs_research = true;
+    }
+  }
+}
+
 void TreatMatcher::OnAdd(const WmePtr& wme) {
   obs::ScopedTimer timer(match_timer_);
   ApplyAdd(wme);
@@ -404,18 +467,26 @@ void TreatMatcher::OnBatch(const ChangeBatch& batch) {
       stats_.seeded_searches += s.seeded_searches;
       stats_.full_searches += s.full_searches;
       stats_.coalesced_researches += s.coalesced_researches;
+      stats_.grouped_removals += s.grouped_removals;
       stats_.intra_splits += s.intra_splits;
       stats_.intra_slice_tasks += s.intra_slice_tasks;
     }
     cs_->ApplyDeltas(&deltas);
     return;
   }
-  for (const WmChange& c : batch.changes) {
-    if (c.added) {
-      ApplyAdd(c.wme);
-    } else {
-      ApplyRemove(c.wme, /*defer_unblock=*/true);
+  // Consecutive removals apply as one grouped run (mirrors the Rete
+  // matcher's removal run-grouping): same final state, far fewer passes.
+  const std::vector<WmChange>& changes = batch.changes;
+  for (size_t i = 0; i < changes.size();) {
+    if (changes[i].added) {
+      ApplyAdd(changes[i].wme);
+      ++i;
+      continue;
     }
+    size_t j = i + 1;
+    while (j < changes.size() && !changes[j].added) ++j;
+    ApplyRemoveRun(changes, i, j);
+    i = j;
   }
   for (const auto& rs : rules_) {
     if (!rs->needs_research) continue;

@@ -38,6 +38,11 @@ class TreatMatcher : public Matcher {
     /// have run one SearchAll per negated-CE removal; the batch runs one
     /// per touched rule).
     uint64_t coalesced_researches = 0;
+    /// Multi-removal runs in a batch handled as one grouped pass (one alpha
+    /// compaction + one instantiation sweep per rule instead of one of each
+    /// per removed WME). Sequential batch path only; the parallel replay
+    /// path already amortizes per-rule.
+    uint64_t grouped_removals = 0;
     /// Full searches whose first-CE scan was forked into parallel slices
     /// (intra-rule parallelism), and the slice tasks dispatched.
     uint64_t intra_splits = 0;
@@ -104,6 +109,13 @@ class TreatMatcher : public Matcher {
   /// `defer_unblock`: flag the rule for a batch-end SearchAll instead of
   /// re-searching immediately on a negated-CE removal.
   void ApplyRemove(const WmePtr& wme, bool defer_unblock);
+  /// Grouped form of ApplyRemove for a run of consecutive removals
+  /// `[begin, end)` in a batch: one stable alpha compaction and one
+  /// instantiation sweep per rule for the whole run. Final rule state,
+  /// surviving alpha order, and the coalesced_researches count are
+  /// identical to removing the WMEs one at a time with defer_unblock.
+  void ApplyRemoveRun(const std::vector<WmChange>& changes, size_t begin,
+                      size_t end);
   /// Single-rule bodies of ApplyAdd/ApplyRemove. Counters go through
   /// `stats` so concurrent per-rule replays can accumulate privately.
   void ApplyAddToRule(RuleState* rs, const WmePtr& wme, Stats* stats);
@@ -121,6 +133,8 @@ class TreatMatcher : public Matcher {
   bool BlockedByNegated(const RuleState& rs, const Row& row) const;
   void EmitInst(RuleState* rs, const Row& row);
   void DropInstsContaining(RuleState* rs, const Wme& wme);
+  void DropInstsContainingAny(RuleState* rs,
+                              const std::unordered_set<TimeTag>& victims);
 
   WorkingMemory* wm_;
   ConflictSet* cs_;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "wm/wme.h"
+#include "wm/wme_arena.h"
 
 namespace sorel {
 
@@ -24,10 +25,19 @@ std::string Wme::ToString(const SymbolTable& symbols,
 
 WorkingMemory::WorkingMemory(const SchemaRegistry* schemas,
                              const SymbolTable* symbols,
-                             obs::MetricRegistry* metrics, obs::Tracer* tracer)
+                             obs::MetricRegistry* metrics, obs::Tracer* tracer,
+                             bool slab_wmes)
     : schemas_(schemas), symbols_(symbols), metrics_(metrics),
       tracer_(tracer) {
+  if (slab_wmes) wme_pool_ = std::make_shared<WmeBlockPool>();
   if (metrics_ == nullptr) return;
+  if (wme_pool_ != nullptr) {
+    metrics_->RegisterCounter(this, "wm.wme_pool_hits", [this] {
+      return wme_pool_->stats().pool_hits;
+    });
+    metrics_->RegisterCounter(
+        this, "wm.wme_slabs", [this] { return wme_pool_->stats().slabs; });
+  }
   metrics_->RegisterCounter(this, "wm.adds", [this] { return stats_.adds; });
   metrics_->RegisterCounter(this, "wm.removes",
                             [this] { return stats_.removes; });
@@ -43,7 +53,23 @@ WorkingMemory::WorkingMemory(const SchemaRegistry* schemas,
                             [this] { return stats_.changes_rolled_back; });
   metrics_->RegisterGauge(this, "wm.size",
                           [this] { return static_cast<double>(live_.size()); });
-  metrics_->RegisterReset(this, [this] { ResetStats(); });
+  metrics_->RegisterReset(this, [this] {
+    ResetStats();
+    if (wme_pool_ != nullptr) wme_pool_->ResetStats();
+  });
+}
+
+WmePtr WorkingMemory::AllocateWme(SymbolId cls, std::vector<Value> fields,
+                                  TimeTag tag) {
+  if (wme_pool_ != nullptr) {
+    // allocate_shared puts the Wme and its control block in one pool
+    // block; the stored allocator copy keeps the pool alive until the
+    // block frees itself back (possibly from a match worker thread — the
+    // pool's free list is lock-free for exactly that push).
+    return std::allocate_shared<Wme>(WmeSlabAllocator<Wme>(wme_pool_), cls,
+                                     std::move(fields), tag);
+  }
+  return std::make_shared<const Wme>(cls, std::move(fields), tag);
 }
 
 WorkingMemory::~WorkingMemory() {
@@ -88,10 +114,10 @@ Result<WmePtr> WorkingMemory::MakeFromFields(SymbolId cls,
     return Status::InvalidArgument("make: wrong field count for class '" +
                                    std::string(symbols_->Name(cls)) + "'");
   }
-  auto wme = std::make_shared<const Wme>(cls, std::move(fields), next_tag_++);
+  WmePtr wme = AllocateWme(cls, std::move(fields), next_tag_++);
   live_.emplace(wme->time_tag(), wme);
   NotifyAdd(wme, /*modify_pair=*/0);
-  return WmePtr(wme);
+  return wme;
 }
 
 Status WorkingMemory::Remove(TimeTag tag) {
@@ -119,13 +145,12 @@ Result<WmePtr> WorkingMemory::Replace(TimeTag tag, std::vector<Value> fields) {
                                    std::string(symbols_->Name(old->cls())) +
                                    "'");
   }
-  auto wme =
-      std::make_shared<const Wme>(old->cls(), std::move(fields), next_tag_++);
+  WmePtr wme = AllocateWme(old->cls(), std::move(fields), next_tag_++);
   live_.erase(it);
   NotifyRemove(old, /*modify_pair=*/wme->time_tag());
   live_.emplace(wme->time_tag(), wme);
   NotifyAdd(wme, /*modify_pair=*/tag);
-  return WmePtr(wme);
+  return wme;
 }
 
 void WorkingMemory::NotifyAdd(const WmePtr& wme, TimeTag modify_pair) {

@@ -64,14 +64,21 @@ class WorkingMemory {
     uint64_t batched_changes = 0;
     uint64_t rollbacks = 0;
     uint64_t changes_rolled_back = 0;
+    /// Slab-pool recycling (EngineOptions::wme_arena). Only populated in
+    /// Engine::match_stats() snapshots — the live numbers belong to the
+    /// pool, not this struct — and zero when the pool is disabled.
+    uint64_t wme_pool_hits = 0;
+    uint64_t wme_slabs = 0;
   };
 
   /// `metrics` / `tracer` (borrowed, may be null) hook this WM into the
   /// observability layer: the wm.* counters register as registry views and
   /// top-level commits / rollbacks emit batch_commit / rollback events.
+  /// `slab_wmes` allocates WMEs from a block-recycling slab pool
+  /// (EngineOptions::wme_arena; off falls back to make_shared).
   WorkingMemory(const SchemaRegistry* schemas, const SymbolTable* symbols,
                 obs::MetricRegistry* metrics = nullptr,
-                obs::Tracer* tracer = nullptr);
+                obs::Tracer* tracer = nullptr, bool slab_wmes = true);
   ~WorkingMemory();
 
   WorkingMemory(const WorkingMemory&) = delete;
@@ -130,6 +137,9 @@ class WorkingMemory {
  private:
   void NotifyAdd(const WmePtr& wme, TimeTag modify_pair);
   void NotifyRemove(const WmePtr& wme, TimeTag modify_pair);
+  /// WME construction: through the slab pool when enabled, make_shared
+  /// otherwise.
+  WmePtr AllocateWme(SymbolId cls, std::vector<Value> fields, TimeTag tag);
 
   const SchemaRegistry* schemas_;
   const SymbolTable* symbols_;
@@ -148,6 +158,10 @@ class WorkingMemory {
   /// One entry per open transaction.
   std::vector<Savepoint> savepoints_;
   Stats stats_;
+  /// Slab pool for WME blocks (null when slab allocation is disabled).
+  /// shared_ptr: every WME's control block co-owns the pool, so WMEs that
+  /// outlive this WorkingMemory still free into live storage.
+  std::shared_ptr<class WmeBlockPool> wme_pool_;
 };
 
 }  // namespace sorel

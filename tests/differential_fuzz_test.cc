@@ -53,6 +53,7 @@ struct FuzzConfig {
   int intra_split = 0;
   bool parallel_rhs = false;
   bool indexed_cs = true;
+  bool bulk_removal = true;  // Rete: per-batch bulk token-tree deletion
 
   std::string ToString() const {
     std::string m = matcher == MatcherKind::kRete    ? "rete"
@@ -63,7 +64,8 @@ struct FuzzConfig {
            " batched=" + std::to_string(batched) +
            " intra_split=" + std::to_string(intra_split) +
            " parallel_rhs=" + std::to_string(parallel_rhs) +
-           " indexed_cs=" + std::to_string(indexed_cs);
+           " indexed_cs=" + std::to_string(indexed_cs) +
+           " bulk_removal=" + std::to_string(bulk_removal);
   }
 };
 
@@ -160,6 +162,7 @@ FuzzResult RunSchedule(const FuzzProgram& program,
   opts.intra_rule_split_min_tokens = config.intra_split;
   opts.parallel_rhs = config.parallel_rhs;
   opts.indexed_conflict_set = config.indexed_cs;
+  opts.rete.bulk_removal = config.bulk_removal;
   std::ostringstream events;
   obs::JsonLinesTraceSink sink(&events);
   opts.trace_sink = &sink;
@@ -344,10 +347,18 @@ void CheckRemoveHeavy(MatcherKind matcher, unsigned seed) {
       FuzzResult base_result = RunSchedule(program, schedule, base);
       ASSERT_EQ(base_result.load_error, "")
           << "seed " << seed << "\n" << program.Source();
-      FuzzConfig variants[] = {
+      std::vector<FuzzConfig> variants = {
           {matcher, strategy, 4, batched, 0, false},
           {matcher, strategy, 4, batched, 2, true},
       };
+      if (matcher == MatcherKind::kRete) {
+        // The per-token deletion ablation must be observationally
+        // identical to the default bulk tree-deletion path.
+        variants.push_back({matcher, strategy, 0, batched, 0, false,
+                            /*indexed_cs=*/true, /*bulk_removal=*/false});
+        variants.push_back({matcher, strategy, 4, batched, 0, false,
+                            /*indexed_cs=*/true, /*bulk_removal=*/false});
+      }
       for (const FuzzConfig& variant : variants) {
         std::string mismatch =
             Diff(base_result, RunSchedule(program, schedule, variant), false);
