@@ -64,10 +64,12 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 /// The re-add lands on the token storage the removals just vacated, so for
 /// Rete it must be served from the arena free lists — the run aborts if
 /// the recycling counter stayed at zero.
-Measured RunOnce(MatcherKind kind, int threads, int rules, int players) {
+Measured RunOnce(MatcherKind kind, int threads, int rules, int players,
+                 bool soa = true) {
   EngineOptions options;
   options.matcher = kind;
   options.match_threads = threads;
+  options.rete.soa_memories = soa;
   Engine engine(options);
   engine.set_output(DevNull());
   MustLoad(engine, HeavyProgram(rules));
@@ -139,6 +141,9 @@ void PrintTable(JsonReport* report) {
   std::printf("%7s %8s | %10s %8s | %10s %8s | %9s | %9s %9s\n", "matcher",
               "threads", "add ms", "speedup", "remove ms", "speedup",
               "readd ms", "pool tasks", "depth");
+  // Discarded warmup (see bench_removal): keep one-time process costs off
+  // the first measured row.
+  RunOnce(MatcherKind::kRete, 0, kRules, kPlayers);
   for (MatcherKind kind :
        {MatcherKind::kRete, MatcherKind::kTreat, MatcherKind::kDips}) {
     double base_add = 0, base_remove = 0;
@@ -163,6 +168,28 @@ void PrintTable(JsonReport* report) {
         report->Value("readd_ms", m.readd_ms);
         report->Value("add_speedup", base_add / m.add_ms);
         report->Value("remove_speedup", base_remove / m.remove_ms);
+        report->MatchStats(m.stats);
+      }
+    }
+    if (kind == MatcherKind::kDips) continue;
+    // Tuple-layout (AoS) ablation rows for the matchers that carry the
+    // columnar match-state flag; the default rows above are soa=on.
+    for (int threads : {0, 4}) {
+      Measured m = RunOnce(kind, threads, kRules, kPlayers, /*soa=*/false);
+      std::printf(
+          "%7s %8d | %10.2f %7s  | %10.2f %7s  | %9.2f | %9llu %9llu"
+          "  (soa=off)\n",
+          KindName(kind), threads, m.add_ms, "", m.remove_ms, "", m.readd_ms,
+          static_cast<unsigned long long>(m.stats.pool.tasks),
+          static_cast<unsigned long long>(m.stats.pool.max_task_depth));
+      if (report != nullptr) {
+        report->BeginRow(std::string(KindName(kind)) +
+                         "/threads=" + std::to_string(threads) + "/soa=off");
+        report->Value("threads", threads);
+        report->Value("soa_memories", 0);
+        report->Value("add_ms", m.add_ms);
+        report->Value("remove_ms", m.remove_ms);
+        report->Value("readd_ms", m.readd_ms);
         report->MatchStats(m.stats);
       }
     }

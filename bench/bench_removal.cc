@@ -2,11 +2,12 @@
 // One join-heavy rule per team is driven through three phases — a bulk add
 // transaction, a bulk remove transaction retracting half the WMEs, and a
 // churn loop of remove+re-add transactions that hammers the token arena
-// free lists. The sweep ablates the two removal-path options
+// free lists. The sweep ablates the removal-path options
 // (`rete.bulk_removal`: per-batch bulk token-tree deletion vs per-token
 // tree walks; `rete.token_slab`: slab-backed token arenas vs tracked heap
-// allocation) at sequential and parallel thread counts. Run with `--json`
-// to also write BENCH_removal.json.
+// allocation; `rete.soa_memories`: columnar vs tuple-oriented match-state
+// layout) at sequential and parallel thread counts. Run with `--json` to
+// also write BENCH_removal.json.
 
 #include <benchmark/benchmark.h>
 
@@ -54,12 +55,13 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-Measured RunOnce(bool bulk, int slab, int threads) {
+Measured RunOnce(bool bulk, int slab, int threads, bool soa = true) {
   EngineOptions options;
   options.matcher = MatcherKind::kRete;
   options.match_threads = threads;
   options.rete.bulk_removal = bulk;
   options.rete.token_slab = slab;
+  options.rete.soa_memories = soa;
   Engine engine(options);
   engine.set_output(DevNull());
   MustLoad(engine, RemovalProgram(kRules));
@@ -140,42 +142,50 @@ void PrintTable(JsonReport* report) {
     report->Config("churn_size", kChurnSize);
     report->Config("host_cores", std::thread::hardware_concurrency());
   }
-  std::printf("%5s %5s %8s | %8s %9s %8s | %9s %7s %7s\n", "bulk", "slab",
-              "threads", "add ms", "remove ms", "churn ms", "pool hits",
-              "bulkdel", "slabs");
+  std::printf("%5s %5s %8s %4s | %8s %9s %8s | %9s %7s %7s\n", "bulk",
+              "slab", "threads", "soa", "add ms", "remove ms", "churn ms",
+              "pool hits", "bulkdel", "slabs");
+  // Discarded warmup: the process's first run pays one-time costs (page
+  // faults, lazy allocator growth) that would otherwise land entirely on
+  // the first table row and skew its ablation comparison.
+  RunOnce(true, 256, 0);
   for (bool bulk : {true, false}) {
     for (int slab : {256, 0}) {
       for (int threads : {0, 4}) {
-        Measured m = RunOnce(bulk, slab, threads);
-        std::printf(
-            "%5s %5d %8d | %8.2f %9.2f %8.2f | %9llu %7llu %7llu\n",
-            bulk ? "on" : "off", slab, threads, m.add_ms, m.remove_ms,
-            m.churn_ms,
-            static_cast<unsigned long long>(m.stats.rete.token_pool_hits),
-            static_cast<unsigned long long>(m.stats.rete.bulk_deletes),
-            static_cast<unsigned long long>(m.stats.rete.arena_slabs));
-        if (report != nullptr) {
-          report->BeginRow(std::string("bulk=") + (bulk ? "on" : "off") +
-                           "/slab=" + std::to_string(slab) +
-                           "/threads=" + std::to_string(threads));
-          report->Value("bulk_removal", bulk ? 1 : 0);
-          report->Value("token_slab", slab);
-          report->Value("threads", threads);
-          report->Value("add_ms", m.add_ms);
-          report->Value("remove_ms", m.remove_ms);
-          report->Value("churn_ms", m.churn_ms);
-          report->MatchStats(m.stats);
-          // Not part of the MatchStats flatten (their values are
-          // configuration-shaped, not workload-shaped), but this bench is
-          // precisely about them.
-          report->Value("rete.bulk_deletes",
-                        static_cast<double>(m.stats.rete.bulk_deletes));
-          report->Value("rete.arena_slabs",
-                        static_cast<double>(m.stats.rete.arena_slabs));
-          report->Value("wm.wme_pool_hits",
-                        static_cast<double>(m.stats.wm.wme_pool_hits));
-          report->Value("wm.wme_slabs",
-                        static_cast<double>(m.stats.wm.wme_slabs));
+        for (bool soa : {true, false}) {
+          Measured m = RunOnce(bulk, slab, threads, soa);
+          std::printf(
+              "%5s %5d %8d %4s | %8.2f %9.2f %8.2f | %9llu %7llu %7llu\n",
+              bulk ? "on" : "off", slab, threads, soa ? "on" : "off",
+              m.add_ms, m.remove_ms, m.churn_ms,
+              static_cast<unsigned long long>(m.stats.rete.token_pool_hits),
+              static_cast<unsigned long long>(m.stats.rete.bulk_deletes),
+              static_cast<unsigned long long>(m.stats.rete.arena_slabs));
+          if (report != nullptr) {
+            report->BeginRow(std::string("bulk=") + (bulk ? "on" : "off") +
+                             "/slab=" + std::to_string(slab) +
+                             "/threads=" + std::to_string(threads) +
+                             "/soa=" + (soa ? "on" : "off"));
+            report->Value("bulk_removal", bulk ? 1 : 0);
+            report->Value("token_slab", slab);
+            report->Value("threads", threads);
+            report->Value("soa_memories", soa ? 1 : 0);
+            report->Value("add_ms", m.add_ms);
+            report->Value("remove_ms", m.remove_ms);
+            report->Value("churn_ms", m.churn_ms);
+            report->MatchStats(m.stats);
+            // Not part of the MatchStats flatten (their values are
+            // configuration-shaped, not workload-shaped), but this bench is
+            // precisely about them.
+            report->Value("rete.bulk_deletes",
+                          static_cast<double>(m.stats.rete.bulk_deletes));
+            report->Value("rete.arena_slabs",
+                          static_cast<double>(m.stats.rete.arena_slabs));
+            report->Value("wm.wme_pool_hits",
+                          static_cast<double>(m.stats.wm.wme_pool_hits));
+            report->Value("wm.wme_slabs",
+                          static_cast<double>(m.stats.wm.wme_slabs));
+          }
         }
       }
     }

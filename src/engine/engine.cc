@@ -77,7 +77,7 @@ Engine::Engine(EngineOptions options)
   } else if (options_.matcher == MatcherKind::kTreat) {
     auto treat = std::make_unique<TreatMatcher>(
         wm_.get(), &cs_, match_pool, options_.intra_rule_split_min_tokens,
-        &metrics_, &trace_);
+        &metrics_, &trace_, options_.rete.soa_memories);
     treat_ = treat.get();
     matcher_ = std::move(treat);
   } else {
@@ -400,6 +400,21 @@ void ProfileSection(std::ostream& out, const char* title,
 void Engine::Profile(std::ostream& out) const {
   std::map<std::string, obs::TimerSnapshot> timers = metrics_.SnapshotTimers();
   out << "--- profile ---\n";
+  // Arena / memory-layout gauges are cheap point-in-time reads, so they
+  // print even when timing is disabled.
+  std::map<std::string, double> gauges = metrics_.SnapshotGauges();
+  bool any_bytes = false;
+  for (const auto& [name, value] : gauges) {
+    if (name.size() < 6 || name.rfind("_bytes") != name.size() - 6) continue;
+    if (!any_bytes) {
+      out << "memory\n";
+      any_bytes = true;
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-28s %12.1f KiB\n", name.c_str(),
+                  value / 1024.0);
+    out << line;
+  }
   if (!options_.enable_timers) {
     out << "(timers disabled; construct with EngineOptions::enable_timers)\n";
     return;

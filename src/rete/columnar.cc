@@ -1,0 +1,34 @@
+#include "rete/columnar.h"
+
+#include <utility>
+
+namespace sorel {
+
+void AlphaColumns::Compact(std::vector<uint32_t>* remap) {
+  size_t n = tags_.size();
+  remap->assign(n, kNoRow);
+  uint32_t out = 0;
+  for (uint32_t row = 0; row < n; ++row) {
+    if (alive_[row] == 0) continue;
+    (*remap)[row] = out;
+    if (out != row) {
+      tags_[out] = tags_[row];
+      wmes_[out] = std::move(wmes_[row]);
+      alive_[out] = 1;
+    }
+    ++out;
+  }
+  tags_.resize(out);
+  wmes_.resize(out);
+  alive_.resize(out);
+  for (auto& [tag, row] : row_of_) row = (*remap)[row];
+  // Cap peak RSS once a memory has drained far below its high-water mark;
+  // small or mostly-full columns keep their capacity for reuse.
+  if (tags_.capacity() >= 1024 && tags_.size() * 4 <= tags_.capacity()) {
+    tags_.shrink_to_fit();
+    wmes_.shrink_to_fit();
+    alive_.shrink_to_fit();
+  }
+}
+
+}  // namespace sorel

@@ -56,8 +56,9 @@ bool SameIntraTests(const std::vector<IntraTest>& a,
 
 // ---------------------------------------------------------------- alpha ---
 
-AlphaMemory::AlphaMemory(const CompiledCondition& cond)
+AlphaMemory::AlphaMemory(const CompiledCondition& cond, bool soa)
     : cls_(cond.cls),
+      soa_(soa),
       const_tests_(cond.const_tests),
       member_tests_(cond.member_tests),
       intra_tests_(cond.intra_tests) {}
@@ -136,23 +137,114 @@ void AlphaMemory::Index::RemoveBatch(
   }
 }
 
+const std::vector<uint32_t>* AlphaMemory::Index::FindRows(
+    const JoinKey& key) const {
+  auto it = row_buckets_.find(key);
+  return it == row_buckets_.end() ? nullptr : &it->second;
+}
+
+void AlphaMemory::Index::InsertRow(const Wme* wme, uint32_t row, bool live) {
+  // Rows arrive in append order, so the key columns stay row-aligned with
+  // the owning memory's columns by construction.
+  assert(key_cols_.empty() || key_cols_[0].size() == row);
+  if (!live) {
+    // Nil padding for a tombstoned row (late index creation only); the
+    // buckets never reference it and compaction drops it.
+    for (auto& col : key_cols_) col.emplace_back();
+    return;
+  }
+  JoinKey key;
+  key.values.reserve(fields_.size());
+  for (size_t f = 0; f < fields_.size(); ++f) {
+    Value v = wme->field(fields_[f]);
+    key_cols_[f].push_back(v);
+    key.values.push_back(std::move(v));
+  }
+  row_buckets_[key].push_back(row);
+}
+
+void AlphaMemory::Index::Rekey(const std::vector<uint32_t>& remap,
+                               size_t new_rows) {
+  // Compact the key columns in place — a contiguous Value scan, no WME
+  // dereferences — then rebuild the buckets by ascending new row id, which
+  // is insertion order (compaction is stable).
+  for (auto& col : key_cols_) {
+    for (uint32_t old_row = 0; old_row < remap.size(); ++old_row) {
+      uint32_t new_row = remap[old_row];
+      if (new_row == AlphaColumns::kNoRow) continue;
+      if (new_row != old_row) col[new_row] = std::move(col[old_row]);
+    }
+    col.resize(new_rows);
+    if (col.capacity() >= 1024 && col.size() * 4 <= col.capacity()) {
+      col.shrink_to_fit();
+    }
+  }
+  row_buckets_.clear();
+  JoinKey key;
+  for (uint32_t row = 0; row < new_rows; ++row) {
+    key.values.clear();
+    for (const auto& col : key_cols_) key.values.push_back(col[row]);
+    row_buckets_[key].push_back(row);
+  }
+}
+
 AlphaMemory::Index* AlphaMemory::GetOrCreateIndex(
     const std::vector<int>& fields) {
   for (const auto& idx : indexes_) {
     if (idx->fields() == fields) return idx.get();
   }
-  auto idx = std::make_unique<Index>(fields);
-  for (const WmePtr& w : items_) idx->Insert(w);
+  auto idx = std::make_unique<Index>(fields, soa_);
+  if (soa_) {
+    for (uint32_t row = 0; row < cols_.rows(); ++row) {
+      idx->InsertRow(cols_.Ptr(row).get(), row, cols_.IsLive(row));
+    }
+  } else {
+    for (const WmePtr& w : items_) idx->Insert(w);
+  }
   indexes_.push_back(std::move(idx));
   return indexes_.back().get();
 }
 
+AlphaSpan AlphaMemory::Probe(const Index* index, const JoinKey& key) const {
+  if (soa_) {
+    const std::vector<uint32_t>* rows = index->FindRows(key);
+    return rows == nullptr ? AlphaSpan() : AlphaSpan(&cols_, rows);
+  }
+  const std::vector<WmePtr>* bucket = index->Find(key);
+  return bucket == nullptr ? AlphaSpan() : AlphaSpan(bucket);
+}
+
+void AlphaMemory::SnapshotItems(std::vector<WmePtr>* out) const {
+  out->clear();
+  if (!soa_) {
+    *out = items_;
+    return;
+  }
+  out->reserve(cols_.live());
+  for (uint32_t row = 0; row < cols_.rows(); ++row) {
+    if (cols_.IsLive(row)) out->push_back(cols_.Ptr(row));
+  }
+}
+
 void AlphaMemory::AddItem(const WmePtr& wme) {
+  if (soa_) {
+    uint32_t row = cols_.Append(wme);
+    for (const auto& idx : indexes_) idx->InsertRow(wme.get(), row, true);
+    return;
+  }
   items_.push_back(wme);
   for (const auto& idx : indexes_) idx->Insert(wme);
 }
 
 bool AlphaMemory::RemoveItem(const WmePtr& wme) {
+  if (soa_) {
+    // Tombstone only; buckets keep the dead row until the next compaction
+    // (probe loops filter with IsLive). The WME reference drops here — the
+    // same moment the AoS erase below releases it.
+    bool found = cols_.Kill(wme->time_tag()) != AlphaColumns::kNoRow;
+    if (found) MaybeCompact();
+    return found;
+  }
   size_t before = items_.size();
   items_.erase(std::remove(items_.begin(), items_.end(), wme), items_.end());
   for (const auto& idx : indexes_) idx->Remove(wme);
@@ -160,6 +252,14 @@ bool AlphaMemory::RemoveItem(const WmePtr& wme) {
 }
 
 size_t AlphaMemory::RemoveItems(const std::vector<WmePtr>& wmes) {
+  if (soa_) {
+    size_t found = 0;
+    for (const WmePtr& w : wmes) {
+      if (cols_.Kill(w->time_tag()) != AlphaColumns::kNoRow) ++found;
+    }
+    if (found != 0) MaybeCompact();
+    return found;
+  }
   if (wmes.size() == 1) return RemoveItem(wmes.front()) ? 1 : 0;
   std::unordered_set<const Wme*> victims;
   victims.reserve(wmes.size());
@@ -170,6 +270,32 @@ size_t AlphaMemory::RemoveItems(const std::vector<WmePtr>& wmes) {
   });
   for (const auto& idx : indexes_) idx->RemoveBatch(wmes, victims);
   return before - items_.size();
+}
+
+void AlphaMemory::MaybeCompact() {
+  if (!cols_.NeedsCompaction()) return;
+  cols_.Compact(&remap_scratch_);
+  for (const auto& idx : indexes_) {
+    idx->Rekey(remap_scratch_, cols_.rows());
+  }
+}
+
+size_t AlphaMemory::MemoryBytes() const {
+  size_t bytes = items_.capacity() * sizeof(WmePtr) + cols_.MemoryBytes();
+  for (const auto& idx : indexes_) {
+    for (const auto& [key, bucket] : idx->buckets_) {
+      bytes += key.values.size() * sizeof(Value) +
+               bucket.capacity() * sizeof(WmePtr);
+    }
+    for (const auto& [key, bucket] : idx->row_buckets_) {
+      bytes += key.values.size() * sizeof(Value) +
+               bucket.capacity() * sizeof(uint32_t);
+    }
+    for (const auto& col : idx->key_cols_) {
+      bytes += col.capacity() * sizeof(Value);
+    }
+  }
+  return bytes;
 }
 
 // ----------------------------------------------------------------- beta ---
@@ -240,20 +366,20 @@ bool BetaNode::IsOutputActive(const Token*) const { return true; }
 
 void BetaNode::OnOwnedTokenDeleted(Token* t) {
   DetachToken(t);
-  outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), t),
+  outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), t->self),
                  outputs_.end());
 }
 
 void BetaNode::IndexLeftToken(Token* t) {
   if (!indexed_) return;
   JoinKey key;
-  if (TokenKey(t, &key)) left_index_.Insert(key, t);
+  if (TokenKey(t, &key)) left_index_.Insert(key, t->self);
 }
 
 void BetaNode::UnindexLeftToken(Token* t) {
   if (!indexed_) return;
   JoinKey key;
-  if (TokenKey(t, &key)) left_index_.Remove(key, t);
+  if (TokenKey(t, &key)) left_index_.Remove(key, t->self);
 }
 
 void BetaNode::UnindexFromChild(Token* t) {
@@ -268,49 +394,67 @@ void BetaNode::PropagateDown(Token* t) {
 // ----------------------------------------------------------------- join ---
 
 void JoinNode::OnParentToken(Token* t) {
-  const std::vector<WmePtr>* candidates;
+  AlphaSpan span;
   bool residual;
   if (indexed_) {
     ++net_->stats_sink().index_probes;
     JoinKey key;
     if (!TokenKey(t, &key)) return;
-    candidates = aindex_->Find(key);
-    if (candidates == nullptr) return;
+    span = amem_->Probe(aindex_, key);
+    if (span.empty()) return;
     residual = true;  // the bucket guarantees the equality tests
   } else {
-    candidates = &amem_->items();
+    span = amem_->Items();
     residual = false;
   }
-  if (net_->ShouldSplit(candidates->size())) {
-    // Intra-rule split: fork the pure join tests into slices, then create
-    // and propagate the matches serially in scan order — bit-identical to
-    // the loop below. The slices capture this thread's replay context
-    // explicitly: a pool worker's own thread-locals are not the fork's.
-    const ReteMatcher::ReplayCtx* rctx = net_->CurrentReplayCtx();
-    std::vector<char> hits;
-    net_->ParallelEval(
-        candidates->size(),
-        [&](size_t i, ReteStats* stats) {
-          const WmePtr& w = (*candidates)[i];
-          if (!net_->ReplayVisibleIn(*w, amem_, rctx)) return false;
-          ++stats->join_attempts;
-          return residual ? MatchesResidual(t, *w) : Matches(t, *w);
-        },
-        &hits);
-    for (size_t i = 0; i < candidates->size(); ++i) {
-      if (hits[i] != 0) {
-        Token* out = net_->NewToken(this, t, (*candidates)[i]);
-        PropagateDown(out);
+  const ReteMatcher::ReplayCtx* rctx = net_->CurrentReplayCtx();
+  std::vector<uint32_t> sel;
+  if (net_->ShouldSplit(span.size())) {
+    // A columnar span counts tombstoned rows; gather the live ones first so
+    // the split decision (and ParallelEval's slice layout, hence the
+    // intra_splits / intra_slice_tasks counters) sees the same candidate
+    // count the AoS layout's physically-compacted vector has.
+    AlphaSpan live = span.GatherLive(&sel);
+    if (net_->ShouldSplit(live.size())) {
+      // Intra-rule split: fork the pure join tests into slices, then
+      // create and propagate the matches serially in scan order —
+      // bit-identical to the loop below. The slices capture this thread's
+      // replay context explicitly: a pool worker's own thread-locals are
+      // not the fork's.
+      std::vector<char> hits;
+      net_->ParallelEval(
+          live.size(),
+          [&](size_t i, ReteStats* stats) {
+            if (rctx != nullptr &&
+                !net_->ReplayVisibleTag(live.Tag(i), amem_, rctx)) {
+              return false;
+            }
+            ++stats->join_attempts;
+            return residual ? MatchesResidual(t, *live.Ptr(i))
+                            : Matches(t, *live.Ptr(i));
+          },
+          &hits);
+      for (size_t i = 0; i < live.size(); ++i) {
+        if (hits[i] != 0) {
+          Token* out = net_->NewToken(this, t, live.Ptr(i));
+          PropagateDown(out);
+        }
       }
+      return;
     }
-    return;
+    span = live;  // already gathered; fall through to the serial loop
   }
-  // Index loop: propagation never mutates this alpha memory, but stay
-  // defensive about iterator invalidation conventions.
-  for (size_t i = 0; i < candidates->size(); ++i) {
-    const WmePtr& w = (*candidates)[i];
-    if (!net_->ReplayVisible(*w, amem_)) continue;
+  // Serial loop: propagation never mutates this alpha memory, but stay
+  // defensive about iterator invalidation conventions. Dead rows are
+  // skipped before any counter bump — equivalent to their physical absence
+  // under the AoS layout.
+  for (size_t i = 0; i < span.size(); ++i) {
+    if (!span.Live(i)) continue;
+    if (rctx != nullptr && !net_->ReplayVisibleTag(span.Tag(i), amem_, rctx)) {
+      continue;
+    }
     ++net_->stats_sink().join_attempts;
+    const WmePtr& w = span.Ptr(i);
     bool ok = residual ? MatchesResidual(t, *w) : Matches(t, *w);
     if (ok) {
       Token* out = net_->NewToken(this, t, w);
@@ -330,7 +474,7 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
     }
     return;
   }
-  const std::vector<Token*>* candidates;
+  const std::vector<TokenId>* candidates;
   bool residual;
   if (indexed_) {
     ++net_->stats_sink().index_probes;
@@ -338,7 +482,7 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
     if (candidates == nullptr) return;
     residual = true;
   } else {
-    candidates = &OutputsOf(parent_);
+    candidates = &ParentOutputs();
     residual = false;
   }
   if (net_->ShouldSplit(candidates->size())) {
@@ -349,7 +493,7 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
     net_->ParallelEval(
         candidates->size(),
         [&](size_t i, ReteStats* stats) {
-          Token* t = (*candidates)[i];
+          Token* t = TokenAt((*candidates)[i]);
           if (!parent_->IsOutputActive(t)) return false;
           ++stats->join_attempts;
           return residual ? MatchesResidual(t, *wme) : Matches(t, *wme);
@@ -357,14 +501,14 @@ void JoinNode::RightActivate(const WmePtr& wme, bool added) {
         &hits);
     for (size_t i = 0; i < candidates->size(); ++i) {
       if (hits[i] != 0) {
-        Token* out = net_->NewToken(this, (*candidates)[i], wme);
+        Token* out = net_->NewToken(this, TokenAt((*candidates)[i]), wme);
         PropagateDown(out);
       }
     }
     return;
   }
   for (size_t i = 0; i < candidates->size(); ++i) {
-    Token* t = (*candidates)[i];
+    Token* t = TokenAt((*candidates)[i]);
     if (!parent_->IsOutputActive(t)) continue;
     ++net_->stats_sink().join_attempts;
     bool ok = residual ? MatchesResidual(t, *wme) : Matches(t, *wme);
@@ -383,40 +527,54 @@ void JoinNode::DetachToken(Token* t) {
 // ------------------------------------------------------------- negative ---
 
 int NegativeNode::CountBlockers(const Token* t) const {
-  const std::vector<WmePtr>* candidates;
+  AlphaSpan span;
   bool residual;
   if (indexed_) {
     ++net_->stats_sink().index_probes;
     JoinKey key;
     if (!TokenKey(t, &key)) return 0;
-    candidates = aindex_->Find(key);
-    if (candidates == nullptr) return 0;
+    span = amem_->Probe(aindex_, key);
+    if (span.empty()) return 0;
     residual = true;
   } else {
-    candidates = &amem_->items();
+    span = amem_->Items();
     residual = false;
   }
-  if (net_->ShouldSplit(candidates->size())) {
-    // A blocker count is order-insensitive, so the split result is the hit
-    // total — no apply phase needed.
-    const ReteMatcher::ReplayCtx* rctx = net_->CurrentReplayCtx();
-    std::vector<char> hits;
-    net_->ParallelEval(
-        candidates->size(),
-        [&](size_t i, ReteStats* stats) {
-          const WmePtr& w = (*candidates)[i];
-          if (!net_->ReplayVisibleIn(*w, amem_, rctx)) return false;
-          ++stats->join_attempts;
-          return residual ? MatchesResidual(t, *w) : Matches(t, *w);
-        },
-        &hits);
-    return static_cast<int>(std::count(hits.begin(), hits.end(), 1));
+  const ReteMatcher::ReplayCtx* rctx = net_->CurrentReplayCtx();
+  std::vector<uint32_t> sel;
+  if (net_->ShouldSplit(span.size())) {
+    // Gather live rows first so the split decision matches the AoS
+    // layout's physical count (see JoinNode::OnParentToken).
+    AlphaSpan live = span.GatherLive(&sel);
+    if (net_->ShouldSplit(live.size())) {
+      // A blocker count is order-insensitive, so the split result is the
+      // hit total — no apply phase needed.
+      std::vector<char> hits;
+      net_->ParallelEval(
+          live.size(),
+          [&](size_t i, ReteStats* stats) {
+            if (rctx != nullptr &&
+                !net_->ReplayVisibleTag(live.Tag(i), amem_, rctx)) {
+              return false;
+            }
+            ++stats->join_attempts;
+            return residual ? MatchesResidual(t, *live.Ptr(i))
+                            : Matches(t, *live.Ptr(i));
+          },
+          &hits);
+      return static_cast<int>(std::count(hits.begin(), hits.end(), 1));
+    }
+    span = live;
   }
   int n = 0;
-  for (const WmePtr& w : *candidates) {
-    if (!net_->ReplayVisible(*w, amem_)) continue;
+  for (size_t i = 0; i < span.size(); ++i) {
+    if (!span.Live(i)) continue;
+    if (rctx != nullptr && !net_->ReplayVisibleTag(span.Tag(i), amem_, rctx)) {
+      continue;
+    }
     ++net_->stats_sink().join_attempts;
-    bool ok = residual ? MatchesResidual(t, *w) : Matches(t, *w);
+    bool ok = residual ? MatchesResidual(t, *span.Ptr(i))
+                       : Matches(t, *span.Ptr(i));
     if (ok) ++n;
   }
   return n;
@@ -432,7 +590,7 @@ void NegativeNode::OnTokenRegistered(Token* t) {
   BetaNode::OnTokenRegistered(t);
   if (!indexed_) return;
   JoinKey key;
-  if (TokenKey(t, &key)) own_index_.Insert(key, t);
+  if (TokenKey(t, &key)) own_index_.Insert(key, t->self);
 }
 
 void NegativeNode::RightActivate(const WmePtr& wme, bool added) {
@@ -454,7 +612,7 @@ void NegativeNode::RightActivate(const WmePtr& wme, bool added) {
       if (t->blockers > 0 && --t->blockers == 0) Propagate(t);
     }
   };
-  const std::vector<Token*>* candidates;
+  const std::vector<TokenId>* candidates;
   bool residual;
   if (indexed_) {
     ++net_->stats_sink().index_probes;
@@ -478,17 +636,17 @@ void NegativeNode::RightActivate(const WmePtr& wme, bool added) {
         candidates->size(),
         [&](size_t i, ReteStats* stats) {
           ++stats->join_attempts;
-          return residual ? MatchesResidual((*candidates)[i], *wme)
-                          : Matches((*candidates)[i], *wme);
+          Token* t = TokenAt((*candidates)[i]);
+          return residual ? MatchesResidual(t, *wme) : Matches(t, *wme);
         },
         &hits);
     for (size_t i = 0; i < candidates->size(); ++i) {
-      if (hits[i] != 0) update((*candidates)[i]);
+      if (hits[i] != 0) update(TokenAt((*candidates)[i]));
     }
     return;
   }
   for (size_t i = 0; i < candidates->size(); ++i) {
-    Token* t = (*candidates)[i];
+    Token* t = TokenAt((*candidates)[i]);
     ++net_->stats_sink().join_attempts;
     bool ok = residual ? MatchesResidual(t, *wme) : Matches(t, *wme);
     if (!ok) continue;
@@ -503,7 +661,9 @@ void NegativeNode::Propagate(Token* t) {
 }
 
 void NegativeNode::Retract(Token* t) {
-  while (!t->children.empty()) net_->DeleteTokenTree(t->children.back());
+  while (!t->children.empty()) {
+    net_->DeleteTokenTree(TokenAt(t->children.back()));
+  }
   if (sink_ != nullptr && t->propagated) sink_->OnToken(t, /*added=*/false);
   t->propagated = false;
 }
@@ -511,7 +671,7 @@ void NegativeNode::Retract(Token* t) {
 void NegativeNode::DetachToken(Token* t) {
   if (indexed_) {
     JoinKey key;
-    if (TokenKey(t, &key)) own_index_.Remove(key, t);
+    if (TokenKey(t, &key)) own_index_.Remove(key, t->self);
   }
   UnindexFromChild(t);
   if (sink_ != nullptr && t->propagated) sink_->OnToken(t, /*added=*/false);
@@ -614,6 +774,18 @@ ReteMatcher::ReteMatcher(WorkingMemory* wm, ConflictSet* cs,
     m->RegisterGauge(this, "rete.live_tokens", [this] {
       return static_cast<double>(live_tokens_);
     });
+    m->RegisterGauge(this, "rete.token_arena_bytes", [this] {
+      size_t bytes = 0;
+      for (const RuleShard* s : shards_) bytes += s->arena.MemoryBytes();
+      return static_cast<double>(bytes);
+    });
+    m->RegisterGauge(this, "rete.alpha_bytes", [this] {
+      size_t bytes = 0;
+      for (const auto& [cls, mems] : alphas_by_class_) {
+        for (const auto& am : mems) bytes += am->MemoryBytes();
+      }
+      return static_cast<double>(bytes);
+    });
     m->RegisterReset(this, [this] { ResetStats(); });
     if (m->timing_enabled()) {
       match_timer_ = m->GetOrCreateTimer("phase.match");
@@ -646,13 +818,13 @@ Token* ReteMatcher::NewToken(BetaNode* owner, Token* parent, WmePtr wme) {
   t->owner = owner;
   t->parent = parent;
   t->wme = std::move(wme);
-  if (parent != nullptr) parent->children.push_back(t);
+  if (parent != nullptr) parent->children.push_back(t->self);
   if (t->wme != nullptr) {
-    shard->tokens_by_wme[t->wme->time_tag()].tokens.push_back(t);
+    shard->tokens_by_wme[t->wme->time_tag()].tokens.push_back(t->self);
   }
   // Register in the owner's output memory.
   // (BetaNode::outputs_ is protected; ReteMatcher is a friend.)
-  owner->outputs_.push_back(t);
+  owner->outputs_.push_back(t->self);
   owner->OnTokenRegistered(t);
   ReplayCtx* ctx = CurrentReplayCtx();
   t->born_of_removal = (ctx != nullptr) ? ctx->removing_tag : removing_tag_;
@@ -668,7 +840,8 @@ Token* ReteMatcher::NewToken(BetaNode* owner, Token* parent, WmePtr wme) {
 namespace {
 
 /// Resets a detached token's fields for its next incarnation. `children`
-/// keeps its capacity; the caller guarantees it holds no live entries.
+/// keeps its capacity (the caller guarantees it holds no live entries) and
+/// `self` keeps its arena id — it names the slot, not the incarnation.
 void ResetToken(Token* t) {
   t->wme.reset();
   t->parent = nullptr;
@@ -684,19 +857,21 @@ void ResetToken(Token* t) {
 }  // namespace
 
 void ReteMatcher::DeleteTokenTree(Token* t) {
-  while (!t->children.empty()) DeleteTokenTree(t->children.back());
+  RuleShard* shard = t->owner->shard_;
+  while (!t->children.empty()) {
+    DeleteTokenTree(shard->arena.At(t->children.back()));
+  }
   t->owner->OnOwnedTokenDeleted(t);
   if (t->parent != nullptr) {
     auto& siblings = t->parent->children;
-    siblings.erase(std::remove(siblings.begin(), siblings.end(), t),
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), t->self),
                    siblings.end());
   }
-  RuleShard* shard = t->owner->shard_;
   if (t->wme != nullptr) {
     auto it = shard->tokens_by_wme.find(t->wme->time_tag());
     if (it != shard->tokens_by_wme.end()) {
       auto& tokens = it->second.tokens;
-      tokens.erase(std::remove(tokens.begin(), tokens.end(), t),
+      tokens.erase(std::remove(tokens.begin(), tokens.end(), t->self),
                    tokens.end());
       // Eager entry erasure: an anchor entry exists iff it holds tokens,
       // so removal drivers re-find instead of holding iterators across a
@@ -717,15 +892,16 @@ void ReteMatcher::DeleteTokenTree(Token* t) {
 }
 
 void ReteMatcher::BulkDeleteTree(Token* t, DeletionScratch* s) {
+  BetaNode* owner = t->owner;
+  RuleShard* shard = owner->shard_;
   // Children back-to-front, skipping ones an earlier tree already took —
   // the exact order DeleteTokenTree's while(!empty()) back() pops them in
   // (deletion only removes entries, never reorders, and nothing can be
   // appended mid-teardown).
   for (size_t i = t->children.size(); i-- > 0;) {
-    Token* c = t->children[i];
+    Token* c = shard->arena.At(t->children[i]);
     if (!c->dead) BulkDeleteTree(c, s);
   }
-  BetaNode* owner = t->owner;
   owner->DetachToken(t);
   t->dead = true;
   if (!owner->compact_pending_) {
@@ -734,10 +910,11 @@ void ReteMatcher::BulkDeleteTree(Token* t, DeletionScratch* s) {
   }
   if (t->parent != nullptr && !t->parent->children_dirty) {
     t->parent->children_dirty = true;
-    s->dirty_parents.push_back(t->parent);
+    // The parent may be the arena-less shard root; pair it with the arena
+    // its (dead) child ids resolve against.
+    s->dirty_parents.emplace_back(&shard->arena, t->parent);
   }
   if (t->wme != nullptr) {
-    RuleShard* shard = owner->shard_;
     auto it = shard->tokens_by_wme.find(t->wme->time_tag());
     if (it != shard->tokens_by_wme.end() && !it->second.dirty) {
       it->second.dirty = true;
@@ -765,7 +942,8 @@ void ReteMatcher::BulkDeleteAnchored(RuleShard* shard, TimeTag tag,
   // itself stays untouched until the entry is dropped whole below.
   auto& anchored = it->second.tokens;
   for (size_t i = anchored.size(); i-- > 0;) {
-    if (!anchored[i]->dead) BulkDeleteTree(anchored[i], s);
+    Token* t = shard->arena.At(anchored[i]);
+    if (!t->dead) BulkDeleteTree(t, s);
   }
   shard->tokens_by_wme.erase(it);
 }
@@ -773,16 +951,20 @@ void ReteMatcher::BulkDeleteAnchored(RuleShard* shard, TimeTag tag,
 void ReteMatcher::FlushDeletions(DeletionScratch* s) {
   if (s->dead.empty()) return;
   for (BetaNode* node : s->dirty_nodes) {
-    std::erase_if(node->outputs_, [](const Token* t) { return t->dead; });
+    const TokenArena& arena = node->shard_->arena;
+    std::erase_if(node->outputs_,
+                  [&arena](TokenId id) { return arena.At(id)->dead; });
     node->compact_pending_ = false;
   }
   s->dirty_nodes.clear();
-  for (Token* parent : s->dirty_parents) {
+  for (const auto& [arena, parent] : s->dirty_parents) {
     parent->children_dirty = false;
     // A parent that died itself gets its children vector cleared wholesale
     // at recycle time below.
     if (!parent->dead) {
-      std::erase_if(parent->children, [](const Token* t) { return t->dead; });
+      const TokenArena* a = arena;
+      std::erase_if(parent->children,
+                    [a](TokenId id) { return a->At(id)->dead; });
     }
   }
   s->dirty_parents.clear();
@@ -790,8 +972,9 @@ void ReteMatcher::FlushDeletions(DeletionScratch* s) {
     auto it = shard->tokens_by_wme.find(tag);
     if (it == shard->tokens_by_wme.end()) continue;  // drained wholesale
     it->second.dirty = false;
+    const TokenArena& arena = shard->arena;
     std::erase_if(it->second.tokens,
-                  [](const Token* t) { return t->dead; });
+                  [&arena](TokenId id) { return arena.At(id)->dead; });
     if (it->second.tokens.empty()) shard->tokens_by_wme.erase(it);
   }
   s->dirty_anchors.clear();
@@ -810,8 +993,9 @@ void ReteMatcher::CheckAnchorInvariants() const {
     for (const auto& [tag, anchor] : shard->tokens_by_wme) {
       assert(!anchor.tokens.empty() && "stale empty tokens_by_wme entry");
       assert(!anchor.dirty && "anchor left dirty after a batch");
-      for (const Token* t : anchor.tokens) {
-        assert(!t->dead && "dead token anchored after a batch");
+      for (TokenId id : anchor.tokens) {
+        assert(!shard->arena.At(id)->dead &&
+               "dead token anchored after a batch");
       }
     }
   }
@@ -863,7 +1047,7 @@ AlphaMemory* ReteMatcher::GetOrCreateAlpha(const CompiledCondition& cond) {
   for (const auto& am : memories) {
     if (am->SameTests(cond)) return am.get();
   }
-  auto am = std::make_unique<AlphaMemory>(cond);
+  auto am = std::make_unique<AlphaMemory>(cond, options_.soa_memories);
   // Seed with the current working memory.
   for (const WmePtr& w : wm_->Snapshot()) {
     if (w->cls() == cond.cls && am->Accepts(*w)) {
@@ -947,7 +1131,8 @@ Status ReteMatcher::AddRule(const CompiledRule* rule) {
   // Populate from existing WM: right-activating the first node cascades
   // left-activations through the whole (already wired) chain.
   BetaNode* first = chain.front();
-  std::vector<WmePtr> seed = first->amem()->items();
+  std::vector<WmePtr> seed;
+  first->amem()->SnapshotItems(&seed);
   for (const WmePtr& w : seed) first->RightActivate(w, /*added=*/true);
   return Status::Ok();
 }
@@ -963,7 +1148,9 @@ Status ReteMatcher::RemoveRule(const CompiledRule* rule) {
   //    first-node output, so deleting those roots cascades through the
   //    whole chain (and notifies the sink for retracted instantiations).
   BetaNode* first = shard->chain.front();
-  while (!first->outputs_.empty()) DeleteTokenTree(first->outputs_.back());
+  while (!first->outputs_.empty()) {
+    DeleteTokenTree(shard->arena.At(first->outputs_.back()));
+  }
   // 2. Unhook from the shared alpha memories.
   for (BetaNode* node : shard->chain) {
     auto& succs = node->amem_->successors_;
@@ -1137,7 +1324,7 @@ void ReteMatcher::FinishRemove(const WmePtr& wme) {
     while (true) {
       auto it = shard->tokens_by_wme.find(tag);
       if (it == shard->tokens_by_wme.end()) break;
-      DeleteTokenTree(it->second.tokens.back());
+      DeleteTokenTree(shard->arena.At(it->second.tokens.back()));
     }
   }
 }
@@ -1183,7 +1370,7 @@ void ReteMatcher::OnBatchParallel(const ChangeBatch& batch) {
   //
   // Adds go into their alpha memories right away (all replay tasks read the
   // same physical memories); removals are only *marked* — they leave in
-  // phase C, after every task is done reading. ReplayVisible gives each
+  // phase C, after every task is done reading. ReplayVisibleTag gives each
   // task the exact per-change view the sequential interleaving had.
   replay_removed_.clear();
   std::vector<ChangeRec> plan;
@@ -1216,7 +1403,7 @@ void ReteMatcher::OnBatchParallel(const ChangeBatch& batch) {
     } else {
       auto it = wme_amems_.find(c.wme->time_tag());
       if (it != wme_amems_.end()) rec.amems = it->second;
-      replay_removed_.emplace(c.wme.get(), e);
+      replay_removed_.emplace(c.wme->time_tag(), e);
       for (RuleShard* shard : shards_) {
         if (shard->tokens_by_wme.count(c.wme->time_tag()) != 0) {
           touched[shard->ordinal] = 1;
@@ -1336,7 +1523,7 @@ void ReteMatcher::ReplayShard(RuleShard* shard,
         while (true) {
           auto it = shard->tokens_by_wme.find(tag);
           if (it == shard->tokens_by_wme.end()) break;
-          DeleteTokenTree(it->second.tokens.back());
+          DeleteTokenTree(shard->arena.At(it->second.tokens.back()));
         }
       }
     }
@@ -1369,7 +1556,7 @@ void ReteMatcher::DumpNetwork(std::ostream& out,
       out << "  (" << symbols.Name(cls) << ") tests="
           << am->const_tests_.size() + am->member_tests_.size() +
                  am->intra_tests_.size()
-          << " items=" << am->items_.size()
+          << " items=" << am->num_items()
           << " indexes=" << am->indexes_.size()
           << " successors=" << am->successors_.size() << "\n";
     }

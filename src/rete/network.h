@@ -14,6 +14,7 @@
 #include "lang/compiled_rule.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rete/columnar.h"
 #include "rete/conflict_set.h"
 #include "rete/matcher.h"
 #include "rete/token.h"
@@ -65,6 +66,14 @@ struct ReteOptions {
   /// individually on the heap (ablation baseline) while keeping the
   /// per-shard free lists.
   int token_slab = static_cast<int>(TokenArena::kDefaultSlabSize);
+  /// Columnar (struct-of-arrays) alpha memories: items live in parallel
+  /// tag/WME/liveness columns (AlphaColumns) with hash indexes mapping join
+  /// keys to row-id lists, so join probes scan contiguous arrays and
+  /// removal tombstones compact in one stable pass. Off restores the
+  /// array-of-WmePtr layout — the ablation baseline; both layouts produce
+  /// bit-identical traces, conflict sets, and counters (pinned by
+  /// removal_property_test and the differential fuzzer).
+  bool soa_memories = true;
 };
 
 /// Hot-path counters for the match network (see docs/INTERNALS.md,
@@ -136,7 +145,7 @@ struct RuleShard {
   /// iff it holds tokens — eager erasure, checked by
   /// ReteMatcher::CheckAnchorInvariants in debug builds.
   struct AnchorList {
-    std::vector<Token*> tokens;
+    std::vector<TokenId> tokens;  // ids into this shard's arena
     bool dirty = false;
   };
   /// Tokens whose own WME is the keyed one, this rule's chain only — the
@@ -173,24 +182,40 @@ struct RuleShard {
 /// tests (constants, disjunctions, and same-WME variable consistency).
 /// Shared across rules/CEs with identical tests (the Rete "shared tests"
 /// property the paper preserves, §5).
+///
+/// Two storage layouts (ReteOptions::soa_memories):
+///  - AoS (off): `items_`, a vector<WmePtr> erased in place on removal;
+///    index buckets own vector<WmePtr> copies.
+///  - SoA (on): `cols_`, parallel tag/WME/liveness columns with tombstoned
+///    removal and threshold-triggered stable compaction; index buckets map
+///    join keys to row-id lists over those columns, and each index keeps
+///    the join-key values it extracted per row as contiguous `Value`
+///    columns so compaction rebuilds buckets without dereferencing WMEs.
+/// Scans go through `Items()`/`Probe()`, which return layout-neutral
+/// AlphaSpans; live rows keep insertion order in both layouts, so every
+/// observable (traces, conflict sets, counters) is bit-identical.
 class AlphaMemory {
  public:
   /// Hash index over the memory's items keyed by a field-value tuple;
   /// shared by every successor whose equality join tests name the same
   /// WME-side fields. Buckets preserve item insertion order, matching a
-  /// linear scan of `items()`.
+  /// linear scan of the memory.
   class Index {
    public:
-    explicit Index(std::vector<int> fields) : fields_(std::move(fields)) {}
+    Index(std::vector<int> fields, bool soa)
+        : fields_(std::move(fields)), soa_(soa) {
+      if (soa_) key_cols_.resize(fields_.size());
+    }
 
     JoinKey KeyOf(const Wme& wme) const;
-    /// The bucket for `key`, or nullptr if empty.
-    const std::vector<WmePtr>* Find(const JoinKey& key) const;
     const std::vector<int>& fields() const { return fields_; }
 
    private:
     friend class AlphaMemory;
 
+    // --- AoS mode ---
+    /// The bucket for `key`, or nullptr if empty.
+    const std::vector<WmePtr>* Find(const JoinKey& key) const;
     void Insert(const WmePtr& wme);
     void Remove(const WmePtr& wme);
     /// Removes every WME in `wmes` (also given as a pointer set in
@@ -198,11 +223,32 @@ class AlphaMemory {
     void RemoveBatch(const std::vector<WmePtr>& wmes,
                      const std::unordered_set<const Wme*>& victims);
 
+    // --- SoA mode ---
+    /// The row-id bucket for `key`, or nullptr; may contain dead rows
+    /// (callers filter with AlphaColumns::IsLive).
+    const std::vector<uint32_t>* FindRows(const JoinKey& key) const;
+    /// Registers row `row` (just appended to the columns): extracts the
+    /// key fields into the per-field value columns and buckets the row id.
+    /// `live` is false only when seeding a late-created index over a
+    /// tombstoned row — the key columns get nil padding and no bucket
+    /// entry.
+    void InsertRow(const Wme* wme, uint32_t row, bool live);
+    /// Follows an AlphaColumns::Compact: compacts the key-value columns by
+    /// `remap` (a contiguous scan — no WME derefs) and rebuilds the row
+    /// buckets, preserving ascending-row (= insertion) order per bucket.
+    void Rekey(const std::vector<uint32_t>& remap, size_t new_rows);
+
     std::vector<int> fields_;
+    bool soa_ = false;
     std::unordered_map<JoinKey, std::vector<WmePtr>, JoinKeyHash> buckets_;
+    std::unordered_map<JoinKey, std::vector<uint32_t>, JoinKeyHash>
+        row_buckets_;
+    /// One pre-extracted `Value` column per indexed field, row-aligned
+    /// with the owning memory's columns (nil for dead rows).
+    std::vector<std::vector<Value>> key_cols_;
   };
 
-  explicit AlphaMemory(const CompiledCondition& cond);
+  AlphaMemory(const CompiledCondition& cond, bool soa);
 
   /// True if `wme` (already of the right class) passes all tests.
   bool Accepts(const Wme& wme) const;
@@ -214,28 +260,52 @@ class AlphaMemory {
   /// items) if absent.
   Index* GetOrCreateIndex(const std::vector<int>& fields);
 
-  const std::vector<WmePtr>& items() const { return items_; }
+  /// Layout-neutral view of every item (SoA spans include tombstoned rows;
+  /// scan loops filter with AlphaSpan::Live).
+  AlphaSpan Items() const {
+    return soa_ ? AlphaSpan(&cols_, nullptr) : AlphaSpan(&items_);
+  }
+  /// Layout-neutral view of `index`'s bucket for `key` (empty span if the
+  /// bucket does not exist).
+  AlphaSpan Probe(const Index* index, const JoinKey& key) const;
+  /// Live item count (identical across layouts).
+  size_t num_items() const { return soa_ ? cols_.live() : items_.size(); }
+  /// Copies the live items, in insertion order, into `out`.
+  void SnapshotItems(std::vector<WmePtr>* out) const;
+
   SymbolId cls() const { return cls_; }
   size_t num_indexes() const { return indexes_.size(); }
+  bool columnar() const { return soa_; }
+  /// Bytes held by the item storage and indexes (the `rete.alpha_bytes`
+  /// gauge; AoS counts items_ + bucket copies, SoA the columns + row
+  /// buckets + key columns).
+  size_t MemoryBytes() const;
 
  private:
   friend class ReteMatcher;
 
   /// Appends an item, keeping every index in sync.
   void AddItem(const WmePtr& wme);
-  /// Removes an item (stable order), returning whether it was present —
-  /// callers assert presence, the exactly-once-per-batch discipline.
+  /// Removes an item (stable order in AoS, tombstone in SoA), returning
+  /// whether it was present — callers assert presence, the
+  /// exactly-once-per-batch discipline.
   bool RemoveItem(const WmePtr& wme);
-  /// Removes every WME in `wmes` in one stable compaction pass over the
-  /// items and each touched index bucket, returning how many were found:
-  /// O(items + victims) instead of RemoveItem's O(items) per victim.
+  /// Removes every WME in `wmes` in one pass (AoS: one stable compaction
+  /// of the items and each touched bucket; SoA: tombstones), returning how
+  /// many were found.
   size_t RemoveItems(const std::vector<WmePtr>& wmes);
+  /// SoA: runs a compaction pass (columns + every index) once enough
+  /// tombstones accumulate. Callers must not hold row ids across it.
+  void MaybeCompact();
 
   SymbolId cls_;
+  bool soa_ = false;
   std::vector<ConstantTest> const_tests_;
   std::vector<MemberTest> member_tests_;
   std::vector<IntraTest> intra_tests_;
-  std::vector<WmePtr> items_;
+  std::vector<WmePtr> items_;  // AoS layout
+  AlphaColumns cols_;          // SoA layout
+  std::vector<uint32_t> remap_scratch_;
   std::vector<std::unique_ptr<Index>> indexes_;
   /// Right-activation targets, newest-first (Doorenbos's ordering, which
   /// avoids duplicate tokens when one WME feeds several CEs of a rule).
@@ -305,12 +375,17 @@ class BetaNode {
   /// Hands a token to the downstream node / sink.
   void PropagateDown(Token* t);
 
-  /// Grants derived nodes read access to another node's output memory (the
-  /// candidate list of an intra-rule slice scan); base-class access rules
-  /// would otherwise forbid `parent_->outputs_` from a derived class.
-  static const std::vector<Token*>& OutputsOf(const BetaNode* n) {
-    return n->outputs_;
+  /// The parent's output memory — the candidate list of an unindexed
+  /// left-side scan. Defined here (not in the derived nodes) so it is the
+  /// base class accessing its own protected member on another instance,
+  /// which C++ permits where `parent_->outputs_` from a derived class
+  /// would not be.
+  const std::vector<TokenId>& ParentOutputs() const {
+    return parent_->outputs_;
   }
+
+  /// Resolves an output/child/anchor id against this node's shard arena.
+  Token* TokenAt(TokenId id) const { return shard_->arena.At(id); }
 
   ReteMatcher* net_;
   AlphaMemory* amem_;
@@ -318,7 +393,9 @@ class BetaNode {
   const CompiledCondition* cond_;
   BetaNode* child_ = nullptr;
   ReteSink* sink_ = nullptr;
-  std::vector<Token*> outputs_;
+  /// This node's token memory as 32-bit ids into the shard arena (half the
+  /// entry size of Token*; FlushDeletions compacts a vector of ints).
+  std::vector<TokenId> outputs_;
   /// The rule shard this node belongs to (set by AddRule).
   RuleShard* shard_ = nullptr;
   /// Current position in amem_->successors_ (maintained by the matcher on
@@ -404,7 +481,7 @@ using SinkFactory =
 /// WMEs stay physically present but are marked in `replay_removed_`. Phase
 /// B fans one task per touched rule shard out to the pool; each task
 /// replays the change sequence against its own beta chain, with all alpha
-/// reads filtered through `ReplayVisible` so every scan sees exactly the
+/// reads filtered through `ReplayVisibleTag` so every scan sees exactly the
 /// memory contents the sequential interleaving would have seen at that
 /// change. Conflict-set sends are buffered per shard with deterministic
 /// stamps. Phase C (coordinator) merges stats, applies the conflict-set
@@ -500,8 +577,10 @@ class ReteMatcher : public Matcher {
     std::vector<Token*> dead;
     /// Nodes whose outputs_ hold dead entries (compact_pending_ set).
     std::vector<BetaNode*> dirty_nodes;
-    /// Live parents whose children vector holds dead entries.
-    std::vector<Token*> dirty_parents;
+    /// Live parents whose children vector holds dead entries, paired with
+    /// the arena those child ids resolve against (the dead children's
+    /// shard; the parent itself may be the arena-less shard root).
+    std::vector<std::pair<TokenArena*, Token*>> dirty_parents;
     /// tokens_by_wme entries holding dead entries (AnchorList::dirty set).
     std::vector<std::pair<RuleShard*, TimeTag>> dirty_anchors;
     bool empty() const { return dead.empty(); }
@@ -538,26 +617,23 @@ class ReteMatcher : public Matcher {
     return (ctx != nullptr && ctx->net == this) ? ctx : nullptr;
   }
 
-  /// Whether `w` — found in `amem`'s physical storage — is visible to the
-  /// replay at its current change. Outside a replay everything physically
-  /// present is visible.
-  bool ReplayVisible(const Wme& w, const AlphaMemory* amem) const {
-    return ReplayVisibleIn(w, amem, CurrentReplayCtx());
-  }
-
-  /// ReplayVisible against an explicit replay context (nullptr = not in a
-  /// replay). Pure: reads only the context and `replay_removed_`, which is
-  /// frozen during phase B — safe from concurrent slice tasks.
-  bool ReplayVisibleIn(const Wme& w, const AlphaMemory* amem,
-                       const ReplayCtx* ctx) const {
-    if (ctx == nullptr) return true;
-    TimeTag tag = w.time_tag();
+  /// Whether the item with time tag `tag` — found in `amem`'s physical
+  /// storage — is visible to the replay `ctx` at its current change.
+  /// Callers outside a replay (ctx == nullptr) skip the call entirely:
+  /// everything physically live is visible. Pure: reads only the context
+  /// and `replay_removed_`, which is frozen during phase B — safe from
+  /// concurrent slice tasks. Keyed by tag (unique per WME) so columnar
+  /// scans check visibility from the contiguous tag column without
+  /// touching the WME.
+  bool ReplayVisibleTag(TimeTag tag, const AlphaMemory* amem,
+                        const ReplayCtx* ctx) const {
     if (tag > ctx->add_ceiling) return false;  // added later in the batch
     if (tag > ctx->prev_ceiling) {
-      // `w` is the WME of the change being replayed. Sequential ApplyAdd
-      // inserts it into one alpha memory at a time, activating that
-      // memory's successors before inserting into the next — so mid-change
-      // it is visible only in the memories already entered.
+      // The tag belongs to the WME of the change being replayed.
+      // Sequential ApplyAdd inserts it into one alpha memory at a time,
+      // activating that memory's successors before inserting into the
+      // next — so mid-change it is visible only in the memories already
+      // entered.
       const std::vector<AlphaMemory*>& amems = *ctx->cur_amems;
       for (size_t i = 0; i <= ctx->cur_amem_ord && i < amems.size(); ++i) {
         if (amems[i] == amem) return true;
@@ -565,7 +641,7 @@ class ReteMatcher : public Matcher {
       return false;
     }
     if (!replay_removed_.empty()) {
-      auto it = replay_removed_.find(&w);
+      auto it = replay_removed_.find(tag);
       if (it != replay_removed_.end() && it->second <= ctx->epoch) {
         return false;  // removed at or before the current change
       }
@@ -651,10 +727,10 @@ class ReteMatcher : public Matcher {
   std::vector<RuleShard*> shards_;
   /// Alpha memories each live WME passed (the shared half of removal).
   std::unordered_map<TimeTag, std::vector<AlphaMemory*>> wme_amems_;
-  /// WMEs removed by the in-flight batch (parallel path only): WME -> index
-  /// of its removal change. Physically still in the alpha memories until
-  /// phase C; ReplayVisible hides them from later epochs.
-  std::unordered_map<const Wme*, size_t> replay_removed_;
+  /// WMEs removed by the in-flight batch (parallel path only): time tag ->
+  /// index of its removal change. Physically still in the alpha memories
+  /// until phase C; ReplayVisibleTag hides them from later epochs.
+  std::unordered_map<TimeTag, size_t> replay_removed_;
   size_t live_tokens_ = 0;
   /// Bulk-deletion scratch of the sequential paths (reused across flushes
   /// to keep its vectors' capacity warm).

@@ -55,6 +55,7 @@ Token* TokenArena::Alloc(bool* pool_hit, bool* new_slab) {
   *pool_hit = false;
   if (slab_size_ == 0) {
     Token* t = new Token;
+    t->self = static_cast<TokenId>(heap_.size());
     heap_.push_back(t);
     return t;
   }
@@ -63,7 +64,11 @@ Token* TokenArena::Alloc(bool* pool_hit, bool* new_slab) {
     used_in_last_ = 0;
     *new_slab = true;
   }
-  return &slabs_.back()[used_in_last_++];
+  Token* t = &slabs_.back()[used_in_last_];
+  t->self = static_cast<TokenId>((slabs_.size() - 1) * slab_size_ +
+                                 used_in_last_);
+  ++used_in_last_;
+  return t;
 }
 
 size_t JoinKeyHash::operator()(const JoinKey& key) const {
@@ -74,11 +79,11 @@ size_t JoinKeyHash::operator()(const JoinKey& key) const {
   return h;
 }
 
-void TokenIndex::Insert(const JoinKey& key, Token* t) {
+void TokenIndex::Insert(const JoinKey& key, TokenId t) {
   buckets_[key].push_back(t);
 }
 
-void TokenIndex::Remove(const JoinKey& key, Token* t) {
+void TokenIndex::Remove(const JoinKey& key, TokenId t) {
   auto it = buckets_.find(key);
   if (it == buckets_.end()) return;
   auto& bucket = it->second;
@@ -86,7 +91,7 @@ void TokenIndex::Remove(const JoinKey& key, Token* t) {
   if (bucket.empty()) buckets_.erase(it);
 }
 
-const std::vector<Token*>* TokenIndex::Find(const JoinKey& key) const {
+const std::vector<TokenId>* TokenIndex::Find(const JoinKey& key) const {
   auto it = buckets_.find(key);
   return it == buckets_.end() ? nullptr : &it->second;
 }

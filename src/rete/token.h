@@ -2,6 +2,7 @@
 #define SOREL_RETE_TOKEN_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +15,14 @@ namespace sorel {
 
 class BetaNode;
 
+/// Index of a token within its shard's TokenArena. Output/child/anchor
+/// containers store these 32-bit ids instead of `Token*` — half the entry
+/// size, and compaction of those containers moves ints, not pointers. The
+/// id is stable for the token's whole arena lifetime (free-list recycling
+/// hands the same id back out).
+using TokenId = uint32_t;
+inline constexpr TokenId kNilToken = 0xffffffffu;
+
 /// A partial match: a path of WMEs through the beta network. Join-node
 /// tokens carry the WME matched at their level; negative-node tokens carry
 /// none (`wme == nullptr`). Tokens form a tree via parent/children links so
@@ -22,7 +31,11 @@ struct Token {
   Token* parent = nullptr;
   WmePtr wme;  // null for the root and for negative-node tokens
   BetaNode* owner = nullptr;
-  std::vector<Token*> children;
+  /// This token's arena index, assigned once when the arena carves the
+  /// token and preserved across free-list recycling. kNilToken only for
+  /// tokens that live outside an arena (shard roots).
+  TokenId self = kNilToken;
+  std::vector<TokenId> children;
   /// Negative-node tokens: number of WMEs currently matching the negated CE.
   int blockers = 0;
   /// Time tag of the removal whose unblock cascade created this token, or 0.
@@ -70,11 +83,31 @@ class TokenArena {
 
   /// Returns a token to the free list. The caller must have reset its
   /// fields (in particular released `wme`); the memory stays owned by the
-  /// arena either way.
+  /// arena either way. `self` survives recycling.
   void Recycle(Token* t) { free_.push_back(t); }
+
+  /// Resolves an arena index back to its token. O(1): slab mode divides by
+  /// the slab size, heap mode indexes the tracking vector.
+  Token* At(TokenId id) const {
+    if (slab_size_ == 0) return heap_[id];
+    return slabs_[id / slab_size_].get() + (id % slab_size_);
+  }
 
   size_t free_size() const { return free_.size(); }
   size_t num_slabs() const { return slabs_.size(); }
+
+  /// Bytes held by slabs / heap tokens / the free list — the
+  /// `rete.token_arena_bytes` gauge. Slab mode counts whole slabs
+  /// (allocated capacity, not just carved tokens).
+  size_t MemoryBytes() const {
+    size_t bytes = free_.capacity() * sizeof(Token*);
+    if (slab_size_ == 0) {
+      bytes += heap_.size() * sizeof(Token) + heap_.capacity() * sizeof(Token*);
+    } else {
+      bytes += slabs_.size() * slab_size_ * sizeof(Token);
+    }
+    return bytes;
+  }
 
  private:
   size_t slab_size_ = kDefaultSlabSize;
@@ -112,20 +145,21 @@ struct JoinKeyHash {
   size_t operator()(const JoinKey& key) const;
 };
 
-/// Hash index over tokens keyed by `JoinKey`. Buckets preserve insertion
-/// order (and removal keeps the remaining order), so iterating one bucket
-/// visits tokens in the same relative order a linear scan of the owning
-/// memory would — firing sequences stay identical to the unindexed path.
+/// Hash index over tokens keyed by `JoinKey`; buckets hold arena ids.
+/// Buckets preserve insertion order (and removal keeps the remaining
+/// order), so iterating one bucket visits tokens in the same relative
+/// order a linear scan of the owning memory would — firing sequences stay
+/// identical to the unindexed path.
 class TokenIndex {
  public:
-  void Insert(const JoinKey& key, Token* t);
-  void Remove(const JoinKey& key, Token* t);
+  void Insert(const JoinKey& key, TokenId t);
+  void Remove(const JoinKey& key, TokenId t);
   /// The bucket for `key`, or nullptr if empty.
-  const std::vector<Token*>* Find(const JoinKey& key) const;
+  const std::vector<TokenId>* Find(const JoinKey& key) const;
   size_t num_buckets() const { return buckets_.size(); }
 
  private:
-  std::unordered_map<JoinKey, std::vector<Token*>, JoinKeyHash> buckets_;
+  std::unordered_map<JoinKey, std::vector<TokenId>, JoinKeyHash> buckets_;
 };
 
 }  // namespace sorel

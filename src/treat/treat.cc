@@ -1,6 +1,7 @@
 #include "treat/treat.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <unordered_map>
 #include <utility>
@@ -56,10 +57,97 @@ class TreatMatcher::TreatInst : public InstantiationRef {
   Row row_;
 };
 
+/// One per-rule, per-CE alpha memory. In columnar (`soa`) mode the WME
+/// column carries a parallel time-tag column, so the removal passes scan
+/// contiguous integers instead of dereferencing a WME per item; erasures
+/// compact eagerly (no tombstones), keeping sizes, iteration order, and
+/// first-CE slice bounds byte-identical to the plain vector layout. The
+/// tuple-mode (AoS) layout is the ablation baseline.
+class TreatMatcher::TreatAlpha {
+ public:
+  explicit TreatAlpha(bool soa) : soa_(soa) {}
+
+  size_t size() const { return wmes_.size(); }
+  const WmePtr& operator[](size_t i) const { return wmes_[i]; }
+  std::vector<WmePtr>::const_iterator begin() const { return wmes_.begin(); }
+  std::vector<WmePtr>::const_iterator end() const { return wmes_.end(); }
+
+  void Append(const WmePtr& w) {
+    if (soa_) tags_.push_back(w->time_tag());
+    wmes_.push_back(w);
+  }
+
+  /// Erases the item holding `w`; returns false if absent. Columnar mode
+  /// finds it by scanning the tag column (tags are unique per WME, so this
+  /// matches the pointer-equality find of the tuple layout).
+  bool Remove(const Wme& w) {
+    size_t i;
+    if (soa_) {
+      const TimeTag tag = w.time_tag();
+      for (i = 0; i < tags_.size(); ++i) {
+        if (tags_[i] == tag) break;
+      }
+      if (i == tags_.size()) return false;
+      tags_.erase(tags_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      for (i = 0; i < wmes_.size(); ++i) {
+        if (wmes_[i].get() == &w) break;
+      }
+      if (i == wmes_.size()) return false;
+    }
+    wmes_.erase(wmes_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+
+  /// Erases every item whose tag is in `victims` in one stable two-pointer
+  /// pass, invoking `hit(tag)` per erased item in position order. Returns
+  /// the number erased.
+  template <typename Fn>
+  size_t RemoveTags(const std::unordered_set<TimeTag>& victims, Fn&& hit) {
+    const size_t n = wmes_.size();
+    size_t out = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const TimeTag tag = soa_ ? tags_[i] : wmes_[i]->time_tag();
+      if (victims.count(tag) != 0) {
+        hit(tag);
+        continue;
+      }
+      if (out != i) {
+        if (soa_) tags_[out] = tags_[i];
+        wmes_[out] = std::move(wmes_[i]);
+      }
+      ++out;
+    }
+    if (soa_) tags_.resize(out);
+    wmes_.resize(out);
+    ShrinkIfSlack();
+    return n - out;
+  }
+
+  size_t MemoryBytes() const {
+    return wmes_.capacity() * sizeof(WmePtr) +
+           tags_.capacity() * sizeof(TimeTag);
+  }
+
+ private:
+  /// Caps peak RSS after a bulk erase drained a memory far below its
+  /// high-water mark; small or mostly-full memories keep their capacity.
+  void ShrinkIfSlack() {
+    if (wmes_.capacity() > 64 && wmes_.size() * 4 < wmes_.capacity()) {
+      wmes_.shrink_to_fit();
+      tags_.shrink_to_fit();
+    }
+  }
+
+  bool soa_;
+  std::vector<WmePtr> wmes_;
+  std::vector<TimeTag> tags_;  // parallel to wmes_; empty in tuple mode
+};
+
 struct TreatMatcher::RuleState {
   const CompiledRule* rule = nullptr;
   /// Alpha memory per CE (original index).
-  std::vector<std::vector<WmePtr>> alpha;
+  std::vector<TreatAlpha> alpha;
   /// Current instantiations keyed by their time-tag signature.
   std::unordered_map<std::vector<TimeTag>, std::unique_ptr<TreatInst>,
                      TagVecHash>
@@ -70,11 +158,15 @@ struct TreatMatcher::RuleState {
 
 TreatMatcher::TreatMatcher(WorkingMemory* wm, ConflictSet* cs,
                            ThreadPool* pool, int intra_split_min,
-                           obs::MetricRegistry* metrics, obs::Tracer* tracer)
+                           obs::MetricRegistry* metrics, obs::Tracer* tracer,
+                           bool soa_memories)
     : wm_(wm), cs_(cs), pool_(pool), intra_split_min_(intra_split_min),
-      metrics_(metrics), tracer_(tracer) {
+      soa_memories_(soa_memories), metrics_(metrics), tracer_(tracer) {
   wm_->AddListener(this);
   if (metrics_ != nullptr) {
+    metrics_->RegisterGauge(this, "treat.alpha_bytes", [this] {
+      return static_cast<double>(AlphaMemoryBytes());
+    });
     metrics_->RegisterCounter(this, "treat.seeded_searches",
                               [this] { return stats_.seeded_searches; });
     metrics_->RegisterCounter(this, "treat.full_searches",
@@ -113,12 +205,12 @@ Status TreatMatcher::AddRule(const CompiledRule* rule) {
   }
   auto rs = std::make_unique<RuleState>();
   rs->rule = rule;
-  rs->alpha.resize(rule->conditions.size());
+  rs->alpha.assign(rule->conditions.size(), TreatAlpha(soa_memories_));
   for (const WmePtr& w : wm_->Snapshot()) {
     for (size_t ce = 0; ce < rule->conditions.size(); ++ce) {
       const CompiledCondition& cond = rule->conditions[ce];
       if (w->cls() == cond.cls && PassesAlphaTests(cond, *w)) {
-        rs->alpha[ce].push_back(w);
+        rs->alpha[ce].Append(w);
       }
     }
   }
@@ -293,7 +385,7 @@ void TreatMatcher::ApplyAddToRule(RuleState* rs, const WmePtr& wme,
   for (size_t ce = 0; ce < conditions.size(); ++ce) {
     const CompiledCondition& cond = conditions[ce];
     if (wme->cls() != cond.cls || !PassesAlphaTests(cond, *wme)) continue;
-    rs->alpha[ce].push_back(wme);
+    rs->alpha[ce].Append(wme);
     (cond.negated ? matched_neg : matched_pos).push_back(ce);
   }
   // New blockers delete the instantiations they now block.
@@ -323,10 +415,7 @@ void TreatMatcher::ApplyRemoveFromRule(RuleState* rs, const WmePtr& wme,
                                        bool defer_unblock, Stats* stats) {
   bool touched_pos = false, touched_neg = false;
   for (size_t ce = 0; ce < rs->alpha.size(); ++ce) {
-    auto& items = rs->alpha[ce];
-    auto it = std::find(items.begin(), items.end(), wme);
-    if (it == items.end()) continue;
-    items.erase(it);
+    if (!rs->alpha[ce].Remove(*wme)) continue;
     (rs->rule->conditions[ce].negated ? touched_neg : touched_pos) = true;
   }
   if (touched_pos) DropInstsContaining(rs, *wme);
@@ -386,14 +475,10 @@ void TreatMatcher::ApplyRemoveRun(const std::vector<WmChange>& changes,
     std::unordered_set<TimeTag> neg_touched;
     for (size_t ce = 0; ce < rs->alpha.size(); ++ce) {
       const bool negated = rs->rule->conditions[ce].negated;
-      auto& items = rs->alpha[ce];
-      const size_t before = items.size();
-      std::erase_if(items, [&](const WmePtr& w) {
-        if (victims.count(w->time_tag()) == 0) return false;
-        if (negated) neg_touched.insert(w->time_tag());
-        return true;
+      const size_t erased = rs->alpha[ce].RemoveTags(victims, [&](TimeTag t) {
+        if (negated) neg_touched.insert(t);
       });
-      if (!negated && items.size() != before) touched_pos = true;
+      if (!negated && erased != 0) touched_pos = true;
     }
     if (touched_pos) DropInstsContainingAny(rs.get(), victims);
     if (!neg_touched.empty()) {
@@ -493,6 +578,14 @@ void TreatMatcher::OnBatch(const ChangeBatch& batch) {
     rs->needs_research = false;
     SearchAll(rs.get(), &stats_);
   }
+}
+
+size_t TreatMatcher::AlphaMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& rs : rules_) {
+    for (const TreatAlpha& a : rs->alpha) bytes += a.MemoryBytes();
+  }
+  return bytes;
 }
 
 size_t TreatMatcher::num_instantiations() const {

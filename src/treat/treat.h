@@ -62,10 +62,13 @@ class TreatMatcher : public Matcher {
   /// `metrics` / `tracer` (borrowed, may be null) hook the matcher into
   /// the observability layer: treat.* counters register as registry views
   /// and the parallel batch path emits per-rule rule_replay events.
+  /// `soa_memories` selects the columnar alpha layout (a parallel time-tag
+  /// column beside the WME column, so removal passes scan contiguous tags);
+  /// off keeps the plain WME-pointer vectors as the ablation baseline.
   TreatMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool = nullptr,
                int intra_split_min = 0,
                obs::MetricRegistry* metrics = nullptr,
-               obs::Tracer* tracer = nullptr);
+               obs::Tracer* tracer = nullptr, bool soa_memories = true);
   ~TreatMatcher() override;
 
   TreatMatcher(const TreatMatcher&) = delete;
@@ -91,6 +94,7 @@ class TreatMatcher : public Matcher {
 
  private:
   class TreatInst;
+  class TreatAlpha;
   struct RuleState;
 
   /// Parameters of one recursive search: the optional seed constraint, the
@@ -136,10 +140,13 @@ class TreatMatcher : public Matcher {
   void DropInstsContainingAny(RuleState* rs,
                               const std::unordered_set<TimeTag>& victims);
 
+  size_t AlphaMemoryBytes() const;
+
   WorkingMemory* wm_;
   ConflictSet* cs_;
   ThreadPool* pool_;
   int intra_split_min_;
+  bool soa_memories_;
   obs::MetricRegistry* metrics_ = nullptr;  // borrowed; may be null
   obs::Tracer* tracer_ = nullptr;           // borrowed; may be null
   obs::Timer* match_timer_ = nullptr;       // non-null when timing enabled

@@ -83,6 +83,12 @@ class WmeBlockPool {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
 
+  /// Bytes held by the carved slabs (free-listed blocks included — they
+  /// belong to a slab). Read from the allocating thread.
+  size_t bytes_held() const {
+    return slabs_.size() * block_size_ * blocks_per_slab_;
+  }
+
  private:
   struct FreeNode {
     FreeNode* next;

@@ -37,6 +37,9 @@ WorkingMemory::WorkingMemory(const SchemaRegistry* schemas,
     });
     metrics_->RegisterCounter(
         this, "wm.wme_slabs", [this] { return wme_pool_->stats().slabs; });
+    metrics_->RegisterGauge(this, "wm.arena_bytes", [this] {
+      return static_cast<double>(wme_pool_->bytes_held());
+    });
   }
   metrics_->RegisterCounter(this, "wm.adds", [this] { return stats_.adds; });
   metrics_->RegisterCounter(this, "wm.removes",

@@ -54,6 +54,7 @@ struct FuzzConfig {
   bool parallel_rhs = false;
   bool indexed_cs = true;
   bool bulk_removal = true;  // Rete: per-batch bulk token-tree deletion
+  bool soa_memories = true;  // Rete/TREAT: columnar match-state layout
 
   std::string ToString() const {
     std::string m = matcher == MatcherKind::kRete    ? "rete"
@@ -65,7 +66,8 @@ struct FuzzConfig {
            " intra_split=" + std::to_string(intra_split) +
            " parallel_rhs=" + std::to_string(parallel_rhs) +
            " indexed_cs=" + std::to_string(indexed_cs) +
-           " bulk_removal=" + std::to_string(bulk_removal);
+           " bulk_removal=" + std::to_string(bulk_removal) +
+           " soa_memories=" + std::to_string(soa_memories);
   }
 };
 
@@ -163,6 +165,7 @@ FuzzResult RunSchedule(const FuzzProgram& program,
   opts.parallel_rhs = config.parallel_rhs;
   opts.indexed_conflict_set = config.indexed_cs;
   opts.rete.bulk_removal = config.bulk_removal;
+  opts.rete.soa_memories = config.soa_memories;
   std::ostringstream events;
   obs::JsonLinesTraceSink sink(&events);
   opts.trace_sink = &sink;
@@ -359,6 +362,14 @@ void CheckRemoveHeavy(MatcherKind matcher, unsigned seed) {
         variants.push_back({matcher, strategy, 4, batched, 0, false,
                             /*indexed_cs=*/true, /*bulk_removal=*/false});
       }
+      // The tuple-layout (AoS) match-state ablation must be bit-identical
+      // to the default columnar layout, serial and parallel.
+      variants.push_back({matcher, strategy, 0, batched, 0, false,
+                          /*indexed_cs=*/true, /*bulk_removal=*/true,
+                          /*soa_memories=*/false});
+      variants.push_back({matcher, strategy, 4, batched, 0, false,
+                          /*indexed_cs=*/true, /*bulk_removal=*/true,
+                          /*soa_memories=*/false});
       for (const FuzzConfig& variant : variants) {
         std::string mismatch =
             Diff(base_result, RunSchedule(program, schedule, variant), false);

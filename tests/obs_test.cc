@@ -233,6 +233,28 @@ TEST(EngineObs, ProfileReportsPhaseAndRuleTimers) {
   EXPECT_NE(profile.str().find("phase.act"), std::string::npos);
   EXPECT_NE(profile.str().find("rule.cap"), std::string::npos);
   EXPECT_NE(profile.str().find("rule.zero-team"), std::string::npos);
+  // The arena/memory gauges print as a "memory" section.
+  EXPECT_NE(profile.str().find("memory"), std::string::npos);
+  EXPECT_NE(profile.str().find("rete.token_arena_bytes"), std::string::npos);
+  EXPECT_NE(profile.str().find("rete.alpha_bytes"), std::string::npos);
+  EXPECT_NE(profile.str().find("wm.arena_bytes"), std::string::npos);
+}
+
+TEST(EngineObs, MemoryGaugesTrackArenas) {
+  Engine engine;
+  std::ostringstream sink;
+  engine.set_output(&sink);
+  LoadSeatingWorkload(engine);
+  std::map<std::string, double> gauges = engine.metrics().SnapshotGauges();
+  // WMEs were allocated from the slab pool and the Rete matcher built
+  // alpha columns and token arenas for the seating rules.
+  EXPECT_GT(gauges["wm.arena_bytes"], 0.0);
+  EXPECT_GT(gauges["rete.alpha_bytes"], 0.0);
+  EXPECT_GT(gauges["rete.token_arena_bytes"], 0.0);
+  // Even with timers off, Profile surfaces the memory section.
+  std::ostringstream profile;
+  engine.Profile(profile);
+  EXPECT_NE(profile.str().find("wm.arena_bytes"), std::string::npos);
 }
 
 TEST(EngineObs, ProfileWithoutTimersPointsAtTheFlag) {

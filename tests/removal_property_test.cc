@@ -38,12 +38,14 @@ struct RemovalConfig {
   int slab = 256;
   int threads = 0;
   bool wme_arena = true;
+  bool soa = true;
 
   std::string ToString() const {
     return std::string("bulk=") + std::to_string(bulk) +
            " slab=" + std::to_string(slab) +
            " threads=" + std::to_string(threads) +
-           " wme_arena=" + std::to_string(wme_arena);
+           " wme_arena=" + std::to_string(wme_arena) +
+           " soa=" + std::to_string(soa);
   }
 };
 
@@ -97,6 +99,7 @@ RunResult RunSchedule(const FuzzProgram& program,
   opts.match_threads = config.threads;
   opts.rete.bulk_removal = config.bulk;
   opts.rete.token_slab = config.slab;
+  opts.rete.soa_memories = config.soa;
   opts.wme_arena = config.wme_arena;
   Engine engine(opts);
   std::ostringstream out;
@@ -194,6 +197,8 @@ void CheckSeed(unsigned seed, unsigned remove_pct) {
       {true, 256, /*threads=*/4, true},       // parallel replay, bulk
       {false, 256, /*threads=*/4, true},      // parallel replay, per-token
       {true, 256, 0, /*wme_arena=*/false},    // make_shared WMEs
+      {true, 256, 0, true, /*soa=*/false},    // AoS alpha/beta memories
+      {true, 256, 4, true, /*soa=*/false},    // AoS + parallel replay
   };
   for (const RemovalConfig& variant : variants) {
     std::string mismatch =
@@ -298,17 +303,21 @@ TEST(RemovalRegression, CascadeBornTokenKeepsItsBlockers) {
     MatcherKind matcher;
     bool bulk;
     int threads;
+    bool soa = true;
   };
   const Config configs[] = {
       {MatcherKind::kRete, true, 0},
       {MatcherKind::kRete, false, 0},
       {MatcherKind::kRete, true, 4},
+      {MatcherKind::kRete, true, 0, /*soa=*/false},
       {MatcherKind::kTreat, true, 0},
+      {MatcherKind::kTreat, true, 0, /*soa=*/false},
   };
   for (const Config& config : configs) {
     EngineOptions opts;
     opts.matcher = config.matcher;
     opts.rete.bulk_removal = config.bulk;
+    opts.rete.soa_memories = config.soa;
     opts.match_threads = config.threads;
     Engine engine(opts);
     std::ostringstream out;
@@ -327,7 +336,8 @@ TEST(RemovalRegression, CascadeBornTokenKeepsItsBlockers) {
     std::string label = "matcher " +
                         std::to_string(static_cast<int>(config.matcher)) +
                         " bulk " + std::to_string(config.bulk) + " threads " +
-                        std::to_string(config.threads);
+                        std::to_string(config.threads) + " soa " +
+                        std::to_string(config.soa);
     EXPECT_EQ(engine.conflict_set().Entries().size(), 0u) << label;
     EXPECT_TRUE(engine.RemoveWme(w).ok());
     EXPECT_EQ(engine.conflict_set().Entries().size(), 0u) << label;

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Compare a bench --json report against a committed baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--time-ratio R]
+
+Two checks, both hard failures (exit 1):
+
+1. Counter drift: every non-timing field must be exactly equal between the
+   baseline and the current run, on the labels both reports contain. The
+   match counters (join attempts, tokens created/deleted, pool hits, ...)
+   are deterministic for a fixed workload and configuration, so any drift
+   means the match layer's observable behavior changed — which is either a
+   bug or a change that must refresh the committed seed JSON in the same
+   commit.
+
+2. Phase-time regression: within the *current* run, each `*_ms` phase is
+   summed over every `soa=on` row and over the matching `soa=off` ablation
+   twins; the `soa=on` total must not exceed the given ratio (default 1.25)
+   times the `soa=off` total. Aggregating over the whole sweep keeps the
+   gate meaningful on noisy CI runners — single-row ratios flap with
+   scheduler jitter — while still catching the columnar layout falling off
+   a cliff relative to the tuple layout.
+
+Timing fields (`*_ms`, `*speedup*`) and scheduling-shaped high-water marks
+(`pool.max_task_depth`, `pool.nested_batches`) are excluded from the
+equality check; `host_cores` lives in the config block, which is not
+compared.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields whose values depend on wall-clock or scheduler behavior.
+SKIP_SUFFIXES = ("_ms",)
+SKIP_SUBSTRINGS = ("speedup",)
+SKIP_FIELDS = {"label", "pool.max_task_depth", "pool.nested_batches"}
+
+
+def is_timing_field(name):
+    if name in SKIP_FIELDS:
+        return True
+    if any(name.endswith(s) for s in SKIP_SUFFIXES):
+        return True
+    return any(s in name for s in SKIP_SUBSTRINGS)
+
+
+def rows_by_label(report):
+    return {row["label"]: row for row in report.get("results", [])}
+
+
+def check_counter_drift(baseline, current):
+    base_rows = rows_by_label(baseline)
+    cur_rows = rows_by_label(current)
+    shared = sorted(set(base_rows) & set(cur_rows))
+    if not shared:
+        print("bench_compare: no shared labels between baseline and "
+              "current report — nothing to compare", file=sys.stderr)
+        return ["no shared labels"]
+    failures = []
+    for label in shared:
+        b, c = base_rows[label], cur_rows[label]
+        for field in sorted(set(b) & set(c)):
+            if is_timing_field(field):
+                continue
+            if b[field] != c[field]:
+                failures.append(
+                    f"[{label}] {field}: baseline={b[field]} "
+                    f"current={c[field]}")
+    return failures
+
+
+def check_soa_regression(current, ratio):
+    cur_rows = rows_by_label(current)
+    on_totals, off_totals = {}, {}
+    pairs = 0
+    for label, on_row in sorted(cur_rows.items()):
+        # Rows come in twin pairs: ".../soa=on" vs ".../soa=off", or a
+        # default row (soa on) with an explicit "/soa=off" twin.
+        if label.endswith("/soa=off"):
+            continue
+        if "/soa=on" in label:
+            off_label = label.replace("/soa=on", "/soa=off")
+        else:
+            off_label = label + "/soa=off"
+        off_row = cur_rows.get(off_label)
+        if off_row is None:
+            continue
+        pairs += 1
+        for field in sorted(set(on_row) & set(off_row)):
+            if not field.endswith("_ms"):
+                continue
+            on_totals[field] = on_totals.get(field, 0.0) + on_row[field]
+            off_totals[field] = off_totals.get(field, 0.0) + off_row[field]
+    failures = []
+    for field in sorted(on_totals):
+        on_ms, off_ms = on_totals[field], off_totals[field]
+        # Sub-millisecond totals are all noise.
+        if off_ms < 1.0:
+            continue
+        if on_ms > off_ms * ratio:
+            failures.append(
+                f"{field} over {pairs} row pairs: soa=on {on_ms:.2f}ms > "
+                f"{ratio:.2f}x soa=off {off_ms:.2f}ms")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--time-ratio", type=float, default=1.25,
+                        help="max allowed soa=on / soa=off time ratio")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    if baseline.get("bench") != current.get("bench"):
+        print(f"bench_compare: comparing different benches: "
+              f"{baseline.get('bench')} vs {current.get('bench')}",
+              file=sys.stderr)
+        return 1
+
+    drift = check_counter_drift(baseline, current)
+    slow = check_soa_regression(current, args.time_ratio)
+
+    for line in drift:
+        print(f"COUNTER DRIFT: {line}", file=sys.stderr)
+    for line in slow:
+        print(f"TIME REGRESSION: {line}", file=sys.stderr)
+    if drift or slow:
+        print(f"bench_compare: FAILED ({len(drift)} drifted counters, "
+              f"{len(slow)} slow phases)", file=sys.stderr)
+        return 1
+    n = len(set(rows_by_label(baseline)) & set(rows_by_label(current)))
+    print(f"bench_compare: OK ({n} shared rows, counters identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
