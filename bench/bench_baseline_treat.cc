@@ -32,6 +32,8 @@ const char* KindName(MatcherKind kind) {
       return "TREAT";
     case MatcherKind::kDips:
       return "DIPS";
+    case MatcherKind::kPlan:
+      return "plan";
   }
   return "?";
 }

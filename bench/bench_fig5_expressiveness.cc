@@ -3,7 +3,8 @@
 // tuple-oriented OPS5 formulations they replace (pairwise deduplication and
 // a phase/marking-scheme team switch). Reported shape: set-oriented firings
 // stay O(1) while tuple-oriented firings grow with the data, at comparable
-// or better wall time.
+// or better wall time. Run with `--json` to also write
+// BENCH_fig5_expressiveness.json.
 
 #include <benchmark/benchmark.h>
 
@@ -103,8 +104,22 @@ Outcome RunSwitch(const char* rules, int per_team) {
   return out;
 }
 
-void PrintFigure5Tables() {
+void Report(JsonReport* report, const char* table, const char* variant,
+            int size, const Outcome& out) {
+  if (report == nullptr) return;
+  report->BeginRow(std::string(table) + "/" + variant + "/n=" +
+                   std::to_string(size));
+  report->Value("size", size);
+  report->Value("firings", out.firings);
+  report->Value("actions", static_cast<double>(out.actions));
+  report->Value("run_ms", out.millis);
+}
+
+void PrintFigure5Tables(JsonReport* report) {
   std::printf("=== Figure 5 / §7: set-oriented vs tuple-oriented ===\n");
+  // Discarded warmup (see bench_removal): keep one-time process costs off
+  // the first measured row.
+  RunDedup(kSetRemoveDups, 24);
   std::printf("-- RemoveDups (duplicate elimination, §7.2) --\n");
   std::printf("%8s %10s | %12s %12s %10s | %12s %12s %10s\n", "players",
               "dups", "set-firings", "set-actions", "set-ms",
@@ -117,6 +132,8 @@ void PrintFigure5Tables() {
                 static_cast<unsigned long long>(set.actions), set.millis,
                 tuple.firings, static_cast<unsigned long long>(tuple.actions),
                 tuple.millis);
+    Report(report, "RemoveDups", "set", players, set);
+    Report(report, "RemoveDups", "tuple", players, tuple);
   }
   std::printf("(shape: 4 set-oriented firings (one per group) vs "
               "#removed-WMEs tuple firings)\n\n");
@@ -132,6 +149,8 @@ void PrintFigure5Tables() {
                 set.firings, static_cast<unsigned long long>(set.actions),
                 set.millis, tuple.firings,
                 static_cast<unsigned long long>(tuple.actions), tuple.millis);
+    Report(report, "SwitchTeams", "set", per_team, set);
+    Report(report, "SwitchTeams", "tuple", per_team, tuple);
   }
   std::printf("(shape: 1 set-oriented firing vs ~3n marking-scheme "
               "firings; note the two-set-CE rule materializes an n^2-row "
@@ -175,7 +194,10 @@ BENCHMARK(BM_RemoveDups)->Args({1, 96})->Args({0, 96})->Args({1, 384})
 }  // namespace sorel
 
 int main(int argc, char** argv) {
-  sorel::bench::PrintFigure5Tables();
+  bool json = sorel::bench::StripJsonFlag(&argc, argv);
+  sorel::bench::JsonReport report("fig5_expressiveness");
+  sorel::bench::PrintFigure5Tables(json ? &report : nullptr);
+  if (json && !report.Write()) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,245 @@
+// Tentpole experiment: cost-guided join ordering vs. the textual CE order.
+//
+// The workload is adversarial for textual-order matching: a bridge rule
+//
+//   (p bridge (lhs ^key <kl>) (rhs ^key <kr>)
+//             (link ^lkey <kl> ^rkey <kr>) --> ...)
+//
+// whose first two CEs share no variable. In textual order every matcher
+// pays the lhs x rhs cross product before the link CE filters it down to
+// |link| matches — Rete materializes it as beta tokens, TREAT and the
+// plan matcher walk it on every seeded search. The optimizer sees the
+// same rule as an equality-join graph and never places the two
+// unconnected CEs adjacently: it routes through link ([lhs, link, rhs]
+// or [link, lhs, rhs] depending on live cardinalities), which keeps
+// every path linear. The plan matcher executes the optimized order as
+// hash-join/scan pipelines with no beta memories at all; Rete and TREAT
+// consume it as a load-time CE pre-reordering pass
+// (EngineOptions::join_order = optimized).
+//
+// All links plus a small sample of each entity class are committed
+// before the rules load, so the pre-reordering pass estimates
+// cardinalities from live alpha memories (the same signal the plan
+// matcher keeps re-reading as WM drifts). The measured phase adds the
+// remaining entities, then retracts half the lhs WMEs. Run with
+// `--json` to also write BENCH_join_order.json.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace sorel {
+namespace bench {
+namespace {
+
+constexpr int kEntities = 512;   // lhs and rhs WMEs each
+constexpr int kLinks = 128;      // link WMEs (the filtering relation)
+constexpr int kSamplePct = 12;   // % of entities committed before rule load
+
+constexpr const char* kSchema =
+    "(literalize lhs key pad)"
+    "(literalize rhs key pad)"
+    "(literalize link lkey rkey)";
+
+constexpr const char* kRule =
+    "(p bridge (lhs ^key <kl>) (rhs ^key <kr>)"
+    " (link ^lkey <kl> ^rkey <kr>) --> (write x))";
+
+struct Measured {
+  double add_ms = 0;
+  double remove_ms = 0;
+  size_t matches = 0;
+  Engine::MatchStats stats;
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+TimeTag AddEntity(Engine& engine, const char* cls, int key) {
+  return MustMake(engine, cls,
+                  {{"key", Value::Int(key)}, {"pad", Value::Int(0)}});
+}
+
+Measured RunOnce(MatcherKind kind, JoinOrder order) {
+  EngineOptions options;
+  options.matcher = kind;
+  options.join_order = order;
+  Engine engine(options);
+  engine.set_output(DevNull());
+
+  // Pre-load phase: every link plus a sample of each entity class, so the
+  // load-time pre-reordering pass (Rete/TREAT) and the plan matcher's
+  // initial plans both see representative cardinalities.
+  const int sample_entities = kEntities * kSamplePct / 100;
+  MustLoad(engine, kSchema);
+  engine.wm().Begin();
+  for (int i = 0; i < kLinks; ++i) {
+    // Each link pairs one lhs key with one rhs key (7 and 13 are coprime
+    // to kEntities, so the keys are distinct), hence the joined result is
+    // exactly kLinks rows no matter the order.
+    MustMake(engine, "link",
+             {{"lkey", Value::Int((i * 7) % kEntities)},
+              {"rkey", Value::Int((i * 13) % kEntities)}});
+  }
+  for (int i = 0; i < sample_entities; ++i) {
+    AddEntity(engine, "lhs", i);
+    AddEntity(engine, "rhs", i);
+  }
+  Check(engine.wm().Commit(), "pre-load commit");
+  MustLoad(engine, kRule);
+  engine.ResetMatchStats();
+
+  Measured m;
+  std::vector<TimeTag> lhs_tags;
+  auto t0 = std::chrono::steady_clock::now();
+  engine.wm().Begin();
+  for (int i = sample_entities; i < kEntities; ++i) {
+    lhs_tags.push_back(AddEntity(engine, "lhs", i));
+    AddEntity(engine, "rhs", i);
+  }
+  Check(engine.wm().Commit(), "add commit");
+  m.add_ms = MsSince(t0);
+  m.matches = engine.conflict_set().size();
+
+  auto t1 = std::chrono::steady_clock::now();
+  engine.wm().Begin();
+  for (size_t i = 0; i < lhs_tags.size(); i += 2) {
+    Check(engine.RemoveWme(lhs_tags[i]), "RemoveWme");
+  }
+  Check(engine.wm().Commit(), "remove commit");
+  m.remove_ms = MsSince(t1);
+
+  m.stats = engine.match_stats();
+  return m;
+}
+
+const char* KindName(MatcherKind kind) {
+  switch (kind) {
+    case MatcherKind::kRete:
+      return "Rete";
+    case MatcherKind::kTreat:
+      return "TREAT";
+    case MatcherKind::kDips:
+      return "DIPS";
+    case MatcherKind::kPlan:
+      return "plan";
+  }
+  return "?";
+}
+
+void PrintTable(JsonReport* report) {
+  std::printf("=== tentpole: cost-guided join ordering ===\n");
+  std::printf(
+      "bridge rule whose first two CEs are unconnected: textual order\n"
+      "pays a %d x %d cross product (Rete materializes it as beta\n"
+      "tokens), the optimized order routes through the %d links and\n"
+      "stays linear; %d%% of each entity class is committed before rule\n"
+      "load so reordering sees live cardinalities\n\n",
+      kEntities, kEntities, kLinks, kSamplePct);
+  if (report != nullptr) {
+    report->Config("entities", kEntities);
+    report->Config("links", kLinks);
+    report->Config("sample_pct", kSamplePct);
+  }
+  std::printf("%7s %10s | %10s %8s | %10s | %14s %9s\n", "matcher", "order",
+              "add ms", "speedup", "remove ms", "join attempts", "reorders");
+  // Discarded warmup (see bench_removal): keep one-time process costs off
+  // the first measured row.
+  RunOnce(MatcherKind::kPlan, JoinOrder::kOptimized);
+  double rete_textual_add = 0, plan_optimized_add = 0;
+  size_t expected_matches = 0;
+  for (MatcherKind kind :
+       {MatcherKind::kRete, MatcherKind::kTreat, MatcherKind::kPlan}) {
+    for (JoinOrder order : {JoinOrder::kTextual, JoinOrder::kOptimized}) {
+      Measured m = RunOnce(kind, order);
+      const char* order_name =
+          order == JoinOrder::kTextual ? "textual" : "optimized";
+      if (kind == MatcherKind::kRete && order == JoinOrder::kTextual) {
+        rete_textual_add = m.add_ms;
+        expected_matches = m.matches;
+      }
+      if (kind == MatcherKind::kPlan && order == JoinOrder::kOptimized) {
+        plan_optimized_add = m.add_ms;
+      }
+      if (m.matches != expected_matches) {
+        std::fprintf(stderr,
+                     "bench_join_order: %s/%s found %zu matches, textual "
+                     "Rete found %zu — join ordering changed the result\n",
+                     KindName(kind), order_name, m.matches, expected_matches);
+        std::abort();
+      }
+      uint64_t attempts = kind == MatcherKind::kPlan
+                              ? m.stats.plan.join_attempts
+                              : m.stats.rete.join_attempts;
+      std::printf("%7s %10s | %10.2f %7.2fx | %10.2f | %14llu %9llu\n",
+                  KindName(kind), order_name, m.add_ms,
+                  rete_textual_add / m.add_ms, m.remove_ms,
+                  static_cast<unsigned long long>(attempts),
+                  static_cast<unsigned long long>(m.stats.plan.reorders));
+      if (report != nullptr) {
+        report->BeginRow(std::string(KindName(kind)) + "/order=" +
+                         order_name);
+        report->Value("add_ms", m.add_ms);
+        report->Value("remove_ms", m.remove_ms);
+        report->Value("add_speedup_vs_textual_rete",
+                      rete_textual_add / m.add_ms);
+        report->Value("matches", static_cast<double>(m.matches));
+        report->MatchStats(m.stats);
+      }
+    }
+  }
+  std::printf(
+      "\n(textual Rete pays the cross product in beta tokens and pays it\n"
+      " again tearing them down on removal; the optimized plan matcher\n"
+      " pays one join pipeline per change, linear in the alpha sizes)\n\n");
+  // Regression tripwire, set well below the paper-grade ratio measured on
+  // an idle host (>=10x) so CI noise and sanitizer builds do not flake it.
+  if (plan_optimized_add * 3 > rete_textual_add) {
+    std::fprintf(stderr,
+                 "bench_join_order: optimized plan matcher is no longer "
+                 ">=3x faster than textual Rete on the cross-product "
+                 "workload (%.2f ms vs %.2f ms)\n",
+                 plan_optimized_add, rete_textual_add);
+    std::abort();
+  }
+}
+
+void BM_JoinOrderAdds(benchmark::State& state) {
+  MatcherKind kind = static_cast<MatcherKind>(state.range(0));
+  JoinOrder order = static_cast<JoinOrder>(state.range(1));
+  for (auto _ : state) {
+    Measured m = RunOnce(kind, order);
+    benchmark::DoNotOptimize(m.add_ms);
+  }
+  state.SetLabel(std::string(KindName(kind)) + " order=" +
+                 (order == JoinOrder::kTextual ? "textual" : "optimized"));
+  state.SetItemsProcessed(state.iterations() * (2 * kEntities + kLinks));
+}
+BENCHMARK(BM_JoinOrderAdds)
+    ->Args({0, 0})   // Rete textual
+    ->Args({0, 1})   // Rete optimized
+    ->Args({3, 0})   // plan textual
+    ->Args({3, 1});  // plan optimized
+
+}  // namespace
+}  // namespace bench
+}  // namespace sorel
+
+int main(int argc, char** argv) {
+  bool json = sorel::bench::StripJsonFlag(&argc, argv);
+  sorel::bench::JsonReport report("join_order");
+  sorel::bench::PrintTable(json ? &report : nullptr);
+  if (json && !report.Write()) return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

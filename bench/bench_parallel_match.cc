@@ -121,9 +121,17 @@ Measured RunOnce(MatcherKind kind, int threads, int rules, int players,
 }
 
 const char* KindName(MatcherKind kind) {
-  return kind == MatcherKind::kRete
-             ? "Rete"
-             : (kind == MatcherKind::kTreat ? "TREAT" : "DIPS");
+  switch (kind) {
+    case MatcherKind::kRete:
+      return "Rete";
+    case MatcherKind::kTreat:
+      return "TREAT";
+    case MatcherKind::kDips:
+      return "DIPS";
+    case MatcherKind::kPlan:
+      return "plan";
+  }
+  return "?";
 }
 
 void PrintTable(JsonReport* report) {
@@ -144,8 +152,8 @@ void PrintTable(JsonReport* report) {
   // Discarded warmup (see bench_removal): keep one-time process costs off
   // the first measured row.
   RunOnce(MatcherKind::kRete, 0, kRules, kPlayers);
-  for (MatcherKind kind :
-       {MatcherKind::kRete, MatcherKind::kTreat, MatcherKind::kDips}) {
+  for (MatcherKind kind : {MatcherKind::kRete, MatcherKind::kTreat,
+                           MatcherKind::kDips, MatcherKind::kPlan}) {
     double base_add = 0, base_remove = 0;
     for (int threads : {0, 1, 2, 4, 8}) {
       Measured m = RunOnce(kind, threads, kRules, kPlayers);
@@ -171,7 +179,7 @@ void PrintTable(JsonReport* report) {
         report->MatchStats(m.stats);
       }
     }
-    if (kind == MatcherKind::kDips) continue;
+    if (kind != MatcherKind::kRete && kind != MatcherKind::kTreat) continue;
     // Tuple-layout (AoS) ablation rows for the matchers that carry the
     // columnar match-state flag; the default rows above are soa=on.
     for (int threads : {0, 4}) {
@@ -335,7 +343,9 @@ BENCHMARK(BM_ParallelMatchBatch)
     ->Args({1, 0})
     ->Args({1, 4})
     ->Args({2, 0})
-    ->Args({2, 4});
+    ->Args({2, 4})
+    ->Args({3, 0})
+    ->Args({3, 4});
 
 }  // namespace
 }  // namespace bench

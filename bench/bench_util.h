@@ -135,6 +135,14 @@ class JsonReport {
     Value("treat.intra_slice_tasks",
           static_cast<double>(s.treat.intra_slice_tasks));
     Value("dips.refreshes", static_cast<double>(s.dips.refreshes));
+    Value("plan.join_attempts", static_cast<double>(s.plan.join_attempts));
+    Value("plan.reorders", static_cast<double>(s.plan.reorders));
+    Value("plan.est_cardinality_error",
+          static_cast<double>(s.plan.est_cardinality_error));
+    Value("plan.index_builds", static_cast<double>(s.plan.index_builds));
+    Value("plan.seeded_searches",
+          static_cast<double>(s.plan.seeded_searches));
+    Value("plan.full_searches", static_cast<double>(s.plan.full_searches));
     Value("wm.adds", static_cast<double>(s.wm.adds));
     Value("wm.removes", static_cast<double>(s.wm.removes));
     Value("wm.batches", static_cast<double>(s.wm.batches));

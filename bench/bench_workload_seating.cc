@@ -48,15 +48,20 @@ int RunSeating(MatcherKind kind, int guests, bool set_oriented_done,
 void BM_SeatingWorkload(benchmark::State& state) {
   MatcherKind kind = static_cast<MatcherKind>(state.range(0));
   int guests = static_cast<int>(state.range(1));
-  bool set_done = kind != MatcherKind::kTreat;  // TREAT rejects set rules
+  // TREAT and the plan matcher reject set-oriented rules.
+  bool set_done =
+      kind != MatcherKind::kTreat && kind != MatcherKind::kPlan;
   for (auto _ : state) {
     int fired = RunSeating(kind, guests, set_done);
     state.counters["firings"] = fired;
     benchmark::DoNotOptimize(fired);
   }
-  const char* name = kind == MatcherKind::kRete
-                         ? "Rete"
-                         : (kind == MatcherKind::kTreat ? "TREAT" : "DIPS");
+  const char* name =
+      kind == MatcherKind::kRete
+          ? "Rete"
+          : (kind == MatcherKind::kTreat
+                 ? "TREAT"
+                 : (kind == MatcherKind::kPlan ? "plan" : "DIPS"));
   state.SetLabel(std::string(name) +
                  (set_done ? " (set-oriented done)" : " (tuple done)"));
   state.SetItemsProcessed(state.iterations() * guests);
@@ -65,8 +70,10 @@ BENCHMARK(BM_SeatingWorkload)
     ->Args({0, 16})
     ->Args({1, 16})
     ->Args({2, 16})
+    ->Args({3, 16})
     ->Args({0, 64})
     ->Args({1, 64})
+    ->Args({3, 64})
     ->Args({0, 128});
 
 void BM_SeatingDoneVariant(benchmark::State& state) {

@@ -80,6 +80,12 @@ Engine::Engine(EngineOptions options)
         &metrics_, &trace_, options_.rete.soa_memories);
     treat_ = treat.get();
     matcher_ = std::move(treat);
+  } else if (options_.matcher == MatcherKind::kPlan) {
+    auto plan = std::make_unique<PlanMatcher>(wm_.get(), &cs_,
+                                              options_.join_order, match_pool,
+                                              &metrics_, &trace_);
+    plan_ = plan.get();
+    matcher_ = std::move(plan);
   } else {
     auto dips = std::make_unique<dips::DipsMatcher>(
         wm_.get(), &cs_, match_pool, &metrics_, &trace_);
@@ -161,6 +167,19 @@ Status Engine::LoadString(std::string_view source) {
     }
     SOREL_ASSIGN_OR_RETURN(CompiledRulePtr rule,
                            compiler_.Compile(std::move(rule_ast)));
+    // Load-time CE pre-reordering: Rete and TREAT execute the textual CE
+    // chain, so the optimized order is applied by rewriting the rule once
+    // before network construction. The plan matcher re-derives its order
+    // at run time and leaves the rule untouched; DIPS refreshes whole
+    // relations and is order-insensitive. Set-oriented rules keep their
+    // chain (the S-node's element CE anchors it).
+    if (options_.join_order == JoinOrder::kOptimized && !rule->has_set &&
+        (options_.matcher == MatcherKind::kRete ||
+         options_.matcher == MatcherKind::kTreat)) {
+      JoinOrderResult r =
+          OptimizeJoinOrder(*rule, EstimateCards(*rule, wm_->Snapshot()));
+      if (r.reordered) ReorderRuleInPlace(rule.get(), r.order);
+    }
     SOREL_RETURN_IF_ERROR(matcher_->AddRule(rule.get()));
     rules_.push_back(std::move(rule));
   }
@@ -356,6 +375,13 @@ Engine::MatchStats Engine::match_stats() const {
   stats.treat.intra_slice_tasks = get("treat.intra_slice_tasks");
   stats.dips.refreshes = get("dips.refreshes");
   stats.dips.batches = get("dips.batches");
+  stats.plan.join_attempts = get("plan.join_attempts");
+  stats.plan.reorders = get("plan.reorders");
+  stats.plan.est_cardinality_error = get("plan.est_cardinality_error");
+  stats.plan.index_builds = get("plan.index_builds");
+  stats.plan.seeded_searches = get("plan.seeded_searches");
+  stats.plan.full_searches = get("plan.full_searches");
+  stats.plan.batches = get("plan.batches");
   stats.wm.adds = get("wm.adds");
   stats.wm.removes = get("wm.removes");
   stats.wm.direct_events = get("wm.direct_events");

@@ -17,8 +17,10 @@
 #include "engine/rhs.h"
 #include "lang/compiled_rule.h"
 #include "lang/compiler.h"
+#include "lang/join_order.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/plan_matcher.h"
 #include "rete/conflict_set.h"
 #include "rete/matcher.h"
 #include "rete/network.h"
@@ -33,6 +35,7 @@ enum class MatcherKind {
   kRete,   // the paper's extended Rete (S-node support)
   kTreat,  // tuple-oriented TREAT baseline (no set-oriented rules)
   kDips,   // relational (COND-table) matching per §8, set-oriented included
+  kPlan,   // plan/iterator matcher: cost-ordered join pipelines, no betas
 };
 
 /// Construction-time options.
@@ -46,6 +49,14 @@ struct EngineOptions {
   bool trace_wm = false;
   /// Match-network options (kRete only).
   ReteOptions rete;
+  /// Join-order policy. kTextual keeps the program's CE order (the OPS5
+  /// baseline). kOptimized picks a cost-guided order from live alpha
+  /// cardinalities: the plan matcher executes it directly (and re-derives
+  /// it when cardinalities drift), while kRete/kTreat apply it once per
+  /// rule at load time as a CE pre-reordering pass (tuple-oriented rules
+  /// only; with MEA the reordered first CE becomes the recency anchor).
+  /// Either way, matching stays semantically exact — order moves work.
+  JoinOrder join_order = JoinOrder::kTextual;
   /// Serve conflict-set selection from the ordered index; off falls back
   /// to the linear scan (ablation baseline).
   bool indexed_conflict_set = true;
@@ -117,6 +128,7 @@ class Engine {
     SNode::Stats snode;
     TreatMatcher::Stats treat;
     dips::DipsMatcher::Stats dips;
+    PlanMatcher::Stats plan;
     /// Propagation-boundary counters (direct events vs. batches).
     WorkingMemory::Stats wm;
     /// Worker-pool counters (zeros when match_threads == 0).
@@ -265,6 +277,7 @@ class Engine {
   ReteMatcher* rete_ = nullptr;  // borrowed view of matcher_ when Rete
   TreatMatcher* treat_ = nullptr;  // borrowed view when TREAT
   dips::DipsMatcher* dips_ = nullptr;  // borrowed view when DIPS
+  PlanMatcher* plan_ = nullptr;  // borrowed view when plan
   RuleCompiler compiler_;
   RhsExecutor rhs_;
   RunStats run_stats_;

@@ -1,0 +1,268 @@
+#include "lang/join_order.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace sorel {
+
+namespace {
+
+/// token_pos -> condition index, for resolving JoinTest::other_token_pos.
+std::vector<int> CondOfTokenPos(const CompiledRule& rule) {
+  std::vector<int> cond_of(static_cast<size_t>(rule.num_positive), -1);
+  for (size_t ce = 0; ce < rule.conditions.size(); ++ce) {
+    int pos = rule.conditions[ce].token_pos;
+    if (pos >= 0) cond_of[static_cast<size_t>(pos)] = static_cast<int>(ce);
+  }
+  return cond_of;
+}
+
+}  // namespace
+
+CardVec EstimateCards(const CompiledRule& rule,
+                      const std::vector<WmePtr>& wms) {
+  CardVec cards(rule.conditions.size(), 0.0);
+  for (size_t ce = 0; ce < rule.conditions.size(); ++ce) {
+    const CompiledCondition& cond = rule.conditions[ce];
+    double n = 0;
+    for (const WmePtr& w : wms) {
+      if (w->cls() == cond.cls && PassesAlphaTests(cond, *w)) n += 1;
+    }
+    if (wms.empty()) {
+      // Static fallback: every alpha test is assumed to halve the class
+      // population. Only the relative order matters.
+      double tests = static_cast<double>(cond.const_tests.size() +
+                                         cond.member_tests.size() +
+                                         cond.intra_tests.size());
+      n = 1024.0 / (1.0 + tests);
+    }
+    cards[ce] = n;
+  }
+  return cards;
+}
+
+std::vector<JoinEdge> BuildJoinGraph(const CompiledRule& rule) {
+  std::vector<int> cond_of = CondOfTokenPos(rule);
+  std::vector<JoinEdge> edges;
+  for (size_t ce = 0; ce < rule.conditions.size(); ++ce) {
+    for (const JoinTest& jt : rule.conditions[ce].join_tests) {
+      JoinEdge e;
+      e.a = static_cast<int>(ce);
+      e.a_field = jt.field;
+      e.pred = jt.pred;
+      e.b = cond_of[static_cast<size_t>(jt.other_token_pos)];
+      e.b_field = jt.other_field;
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+TestPred MirrorPred(TestPred pred) {
+  switch (pred) {
+    case TestPred::kLt: return TestPred::kGt;
+    case TestPred::kGt: return TestPred::kLt;
+    case TestPred::kLe: return TestPred::kGe;
+    case TestPred::kGe: return TestPred::kLe;
+    case TestPred::kEq:
+    case TestPred::kNe: return pred;
+  }
+  return pred;
+}
+
+JoinOrderResult OptimizeJoinOrder(const CompiledRule& rule,
+                                  const CardVec& cards, int seed_ce) {
+  const size_t n = rule.conditions.size();
+  std::vector<JoinEdge> edges = BuildJoinGraph(rule);
+  JoinOrderResult r;
+  r.order.reserve(n);
+  r.est.reserve(n);
+
+  std::vector<char> placed(n, 0);
+  std::vector<char> bound(n, 0);  // positive CEs joined so far
+
+  // Eq-connectivity between a candidate and the bound set.
+  auto eq_connected = [&](int ce) {
+    for (const JoinEdge& e : edges) {
+      if (e.pred != TestPred::kEq) continue;
+      if (e.a == ce && bound[static_cast<size_t>(e.b)]) return true;
+      if (e.b == ce && bound[static_cast<size_t>(e.a)]) return true;
+    }
+    return false;
+  };
+
+  // Negated CEs attach at the earliest step where every positive CE they
+  // reference is bound (they only filter, so earlier is strictly better).
+  auto place_ready_negated = [&](double cur_est) {
+    for (size_t ce = 0; ce < n; ++ce) {
+      if (placed[ce] || !rule.conditions[ce].negated) continue;
+      bool ready = true;
+      for (const JoinEdge& e : edges) {
+        if (e.a == static_cast<int>(ce) &&
+            !bound[static_cast<size_t>(e.b)]) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      placed[ce] = 1;
+      r.order.push_back(static_cast<int>(ce));
+      r.est.push_back(cur_est);
+    }
+  };
+
+  double cur_est = 1.0;
+  bool first = true;
+  for (;;) {
+    int best = -1;
+    double best_est = std::numeric_limits<double>::infinity();
+    bool best_connected = false;
+    for (size_t ce = 0; ce < n; ++ce) {
+      if (placed[ce] || rule.conditions[ce].negated) continue;
+      bool connected;
+      double est;
+      if (first) {
+        connected = true;  // no bound set yet; compare raw cardinalities
+        est = (seed_ce >= 0)
+                  ? (static_cast<int>(ce) == seed_ce ? 0.0 : cards[ce])
+                  : cards[ce];
+      } else if (eq_connected(static_cast<int>(ce))) {
+        connected = true;
+        est = std::max(cur_est, cards[ce]);
+      } else {
+        connected = false;
+        est = cur_est * std::max(cards[ce], 1.0);
+      }
+      // Prefer any eq-connected candidate over any cross product; within
+      // a class, smallest estimate wins and ties keep textual order (the
+      // scan runs in ascending ce).
+      if (connected && !best_connected) {
+        best = static_cast<int>(ce);
+        best_est = est;
+        best_connected = true;
+      } else if (connected == best_connected && est < best_est) {
+        best = static_cast<int>(ce);
+        best_est = est;
+      }
+    }
+    if (best < 0) break;
+    placed[static_cast<size_t>(best)] = 1;
+    bound[static_cast<size_t>(best)] = 1;
+    if (first && best == seed_ce) {
+      cur_est = 1.0;  // a seeded search pins exactly one row
+    } else {
+      cur_est = first ? std::max(cards[static_cast<size_t>(best)], 1.0)
+                      : std::max(best_est, 1.0);
+    }
+    first = false;
+    r.order.push_back(best);
+    r.est.push_back(cur_est);
+    place_ready_negated(cur_est);
+  }
+  // Defensive: a negated CE referencing nothing bound (can't happen — join
+  // tests always target positive positions) would be appended here.
+  place_ready_negated(cur_est);
+
+  for (size_t i = 0; i < r.order.size(); ++i) {
+    if (r.order[i] != static_cast<int>(i)) {
+      r.reordered = true;
+      break;
+    }
+  }
+  return r;
+}
+
+void ReorderRuleInPlace(CompiledRule* rule, const std::vector<int>& order) {
+  const size_t n = rule->conditions.size();
+  if (order.size() != n) return;
+
+  // Old token position -> new token position (new chain order).
+  std::vector<int> new_pos_of(static_cast<size_t>(rule->num_positive), -1);
+  {
+    int next = 0;
+    for (int ce : order) {
+      int old = rule->conditions[static_cast<size_t>(ce)].token_pos;
+      if (old >= 0) new_pos_of[static_cast<size_t>(old)] = next++;
+    }
+  }
+  // Old condition index -> new condition index.
+  std::vector<int> new_ce_of(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    new_ce_of[static_cast<size_t>(order[p])] = static_cast<int>(p);
+  }
+
+  // Pool every join test as a symmetric edge (in old indices), then permute.
+  std::vector<JoinEdge> edges = BuildJoinGraph(*rule);
+
+  std::vector<CompiledCondition> conds;
+  conds.reserve(n);
+  for (int ce : order) {
+    conds.push_back(std::move(rule->conditions[static_cast<size_t>(ce)]));
+  }
+  rule->conditions = std::move(conds);
+  {
+    int next = 0;
+    for (size_t p = 0; p < n; ++p) {
+      CompiledCondition& cc = rule->conditions[p];
+      cc.ce_index = static_cast<int>(p);
+      cc.token_pos = cc.negated ? -1 : next++;
+      cc.join_tests.clear();
+      cc.eq_join_tests.clear();
+      cc.residual_join_tests.clear();
+    }
+  }
+
+  // Re-home each edge onto the condition now appearing later in the chain,
+  // referencing the earlier one's (renumbered) token position. A negated CE
+  // always owns its edges — the optimizer places it after every positive CE
+  // it references.
+  for (const JoinEdge& e : edges) {
+    int na = new_ce_of[static_cast<size_t>(e.a)];
+    int nb = new_ce_of[static_cast<size_t>(e.b)];
+    JoinTest jt;
+    CompiledCondition* owner;
+    if (rule->conditions[static_cast<size_t>(na)].negated || na > nb) {
+      owner = &rule->conditions[static_cast<size_t>(na)];
+      jt.field = e.a_field;
+      jt.pred = e.pred;
+      jt.other_token_pos =
+          rule->conditions[static_cast<size_t>(nb)].token_pos;
+      jt.other_field = e.b_field;
+    } else {
+      owner = &rule->conditions[static_cast<size_t>(nb)];
+      jt.field = e.b_field;
+      jt.pred = MirrorPred(e.pred);
+      jt.other_token_pos =
+          rule->conditions[static_cast<size_t>(na)].token_pos;
+      jt.other_field = e.a_field;
+    }
+    owner->join_tests.push_back(jt);
+    (jt.pred == TestPred::kEq ? owner->eq_join_tests
+                              : owner->residual_join_tests)
+        .push_back(jt);
+  }
+
+  // Variable occurrence maps and element positions follow the renumbering.
+  for (auto& [name, var] : rule->vars) {
+    for (auto& occ : var.occurrences) {
+      occ.first = new_pos_of[static_cast<size_t>(occ.first)];
+    }
+    if (var.elem_token_pos >= 0) {
+      var.elem_token_pos = new_pos_of[static_cast<size_t>(var.elem_token_pos)];
+    }
+  }
+  // Set-oriented key fields exist only on has_set rules, which callers
+  // never reorder; remap anyway so the invariant is local.
+  for (int& pos : rule->key_token_positions) {
+    pos = new_pos_of[static_cast<size_t>(pos)];
+  }
+  for (auto& [pos, field] : rule->key_scalars) {
+    pos = new_pos_of[static_cast<size_t>(pos)];
+  }
+  for (AggregateSpec& agg : rule->test_aggregates) {
+    agg.token_pos = new_pos_of[static_cast<size_t>(agg.token_pos)];
+  }
+}
+
+}  // namespace sorel

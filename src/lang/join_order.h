@@ -1,0 +1,92 @@
+#ifndef SOREL_LANG_JOIN_ORDER_H_
+#define SOREL_LANG_JOIN_ORDER_H_
+
+#include <vector>
+
+#include "lang/compiled_rule.h"
+#include "wm/wme.h"
+
+namespace sorel {
+
+/// Which condition-element order the match layer executes (see
+/// docs/INTERNALS.md, "Join ordering & the plan matcher").
+enum class JoinOrder {
+  /// The program's textual CE order — OPS5's (and the paper's §5 network's)
+  /// implicit join plan.
+  kTextual,
+  /// Greedy smallest-intermediate-first order over the CE join graph,
+  /// constrained to follow equality-join connectivity. The plan matcher
+  /// executes it directly; Rete/TREAT consume it as a CE pre-reordering
+  /// pass at rule load (ReorderRuleInPlace).
+  kOptimized,
+};
+
+/// Per-condition cardinality estimates, indexed like
+/// CompiledRule::conditions. Estimates are row counts (>= 0); the optimizer
+/// only compares them, so any consistent unit works.
+using CardVec = std::vector<double>;
+
+/// Counts, per CE, how many of `wms` pass the alpha tests — the exact
+/// per-CE cardinality for the current working memory. When WM is empty
+/// every estimate falls back to a static test-count heuristic (more
+/// alpha tests => assumed more selective), so rule-load-time ordering is
+/// still meaningful before any data arrives.
+CardVec EstimateCards(const CompiledRule& rule,
+                      const std::vector<WmePtr>& wms);
+
+/// One edge of the CE join graph: an equality (or residual) join test
+/// linking two conditions, expressed symmetrically. `a` is the condition
+/// the test was compiled onto (the later textual CE), `b` the referenced
+/// one; `a_field pred b_field`.
+struct JoinEdge {
+  int a = 0;
+  int a_field = 0;
+  TestPred pred = TestPred::kEq;
+  int b = 0;
+  int b_field = 0;
+};
+
+/// Flattens every join test of `rule` into condition-index pairs
+/// (`other_token_pos` resolved back to the owning condition).
+std::vector<JoinEdge> BuildJoinGraph(const CompiledRule& rule);
+
+/// The `pred` for evaluating a JoinEdge with the roles of `a` and `b`
+/// swapped (kLt <-> kGt, kLe <-> kGe; kEq/kNe are symmetric).
+TestPred MirrorPred(TestPred pred);
+
+struct JoinOrderResult {
+  /// Every condition index, in execution order. Positive CEs follow the
+  /// greedy plan; each negated CE is placed at the earliest step where all
+  /// the positive CEs it references are bound.
+  std::vector<int> order;
+  /// Estimated intermediate row count after each step of `order` (negated
+  /// steps repeat the previous estimate — they only filter).
+  std::vector<double> est;
+  /// True if `order` differs from the textual order.
+  bool reordered = false;
+};
+
+/// Greedy smallest-intermediate-first ordering over the CE join graph:
+/// start from the smallest-cardinality positive CE, then repeatedly take
+/// the equality-connected candidate with the smallest estimated
+/// intermediate (eq join of r and s rows estimates max(r, s); an
+/// unconnected CE estimates the full cross product r * s and is only
+/// chosen when no connected candidate exists). Ties fall back to textual
+/// order, so equal estimates leave the program order untouched.
+/// `seed_ce` >= 0 forces that positive CE first (the plan matcher's
+/// seeded searches start from the changed WME, whose selectivity is 1).
+JoinOrderResult OptimizeJoinOrder(const CompiledRule& rule,
+                                  const CardVec& cards, int seed_ce = -1);
+
+/// Permutes `rule`'s conditions into `order` in place, renumbering token
+/// positions to the new chain order and re-homing every join test onto the
+/// condition that now appears later (mirroring the predicate when the
+/// original owner moved ahead of the CE it referenced). Variable
+/// occurrence maps and element positions follow the renumbering, so the
+/// RHS and conflict-set keys see a consistent rule. Must not be applied
+/// to set-oriented rules (callers skip `has_set`).
+void ReorderRuleInPlace(CompiledRule* rule, const std::vector<int>& order);
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_JOIN_ORDER_H_

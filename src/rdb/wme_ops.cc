@@ -1,0 +1,25 @@
+#include "rdb/wme_ops.h"
+
+namespace sorel {
+namespace rdb {
+
+void WmeHashIndex::Build(const AlphaSpan& span,
+                         const std::vector<int>& fields) {
+  fields_ = fields;
+  buckets_.clear();
+  const size_t n = span.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!span.Live(i)) continue;
+    buckets_[KeyOf(*span.Ptr(i))].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+JoinKey WmeHashIndex::KeyOf(const Wme& wme) const {
+  JoinKey key;
+  key.values.reserve(fields_.size());
+  for (int f : fields_) key.values.push_back(wme.field(f));
+  return key;
+}
+
+}  // namespace rdb
+}  // namespace sorel

@@ -1,0 +1,71 @@
+#ifndef SOREL_RDB_WME_OPS_H_
+#define SOREL_RDB_WME_OPS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.h"
+#include "rete/columnar.h"
+#include "rete/token.h"
+#include "wm/wme.h"
+
+namespace sorel {
+namespace rdb {
+
+/// Iterator-style operators over alpha-memory scan views (`AlphaSpan`),
+/// the physical substrate of the plan matcher's join pipeline. Unlike the
+/// Relation-based operators in ops.h these never materialize `Value`
+/// tuples: they stream over the columnar alpha storage and hand back span
+/// positions, so a join step costs one pass over the build side plus one
+/// probe per row — no beta memories, linear space.
+
+/// σ over a scan view: appends to `out` the positions of `span` whose
+/// live WME satisfies `pred`. Returns the number selected.
+template <typename Pred>
+size_t SelectPositions(const AlphaSpan& span, Pred&& pred,
+                       std::vector<uint32_t>* out) {
+  size_t hits = 0;
+  const size_t n = span.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!span.Live(i)) continue;
+    if (!pred(*span.Ptr(i))) continue;
+    out->push_back(static_cast<uint32_t>(i));
+    ++hits;
+  }
+  return hits;
+}
+
+/// Build side of a hash join over an alpha scan view: buckets the live
+/// positions of one `AlphaSpan` by the values of `fields` (JoinKey /
+/// `Value` equality — numerically equal int/float hash alike, matching
+/// EvalTestPred(kEq)). Built once per join step and discarded with the
+/// search, so worst-case space stays linear in the alpha memories.
+class WmeHashIndex {
+ public:
+  WmeHashIndex() = default;
+
+  /// Rebuilds the index over `span` keyed on `fields`. Dead rows are
+  /// skipped; bucket entries keep scan (insertion) order.
+  void Build(const AlphaSpan& span, const std::vector<int>& fields);
+
+  /// The positions whose key equals `key`, or nullptr if none.
+  const std::vector<uint32_t>* Find(const JoinKey& key) const {
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+  /// Extracts this index's key from an arbitrary WME (the probe side).
+  JoinKey KeyOf(const Wme& wme) const;
+
+  size_t num_keys() const { return buckets_.size(); }
+
+ private:
+  std::vector<int> fields_;
+  std::unordered_map<JoinKey, std::vector<uint32_t>, JoinKeyHash> buckets_;
+};
+
+}  // namespace rdb
+}  // namespace sorel
+
+#endif  // SOREL_RDB_WME_OPS_H_

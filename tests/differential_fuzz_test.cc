@@ -55,10 +55,12 @@ struct FuzzConfig {
   bool indexed_cs = true;
   bool bulk_removal = true;  // Rete: per-batch bulk token-tree deletion
   bool soa_memories = true;  // Rete/TREAT: columnar match-state layout
+  JoinOrder join_order = JoinOrder::kTextual;
 
   std::string ToString() const {
     std::string m = matcher == MatcherKind::kRete    ? "rete"
                     : matcher == MatcherKind::kTreat ? "treat"
+                    : matcher == MatcherKind::kPlan  ? "plan"
                                                      : "dips";
     return m + (strategy == Strategy::kLex ? "/lex" : "/mea") +
            " threads=" + std::to_string(threads) +
@@ -67,7 +69,9 @@ struct FuzzConfig {
            " parallel_rhs=" + std::to_string(parallel_rhs) +
            " indexed_cs=" + std::to_string(indexed_cs) +
            " bulk_removal=" + std::to_string(bulk_removal) +
-           " soa_memories=" + std::to_string(soa_memories);
+           " soa_memories=" + std::to_string(soa_memories) +
+           " join_order=" +
+           (join_order == JoinOrder::kTextual ? "textual" : "optimized");
   }
 };
 
@@ -77,6 +81,8 @@ struct FuzzResult {
   std::string trace;       // firing trace + RHS write output
   std::string events;      // structured TraceSink stream (JSON lines)
   std::vector<std::string> fingerprints;  // conflict set after each op
+  /// Same, with tags sorted within each row (CE-reordering-insensitive).
+  std::vector<std::string> fingerprints_rowset;
   std::string dump;        // final WM
   uint64_t next_tag = 0;
   std::string run_error;   // first Run error (empty = none)
@@ -121,17 +127,23 @@ std::string EventTail(const std::string& events, size_t n) {
 }
 
 /// Canonical conflict-set fingerprint: sorted "rule{sorted row tags}"
-/// entries, comparable across matchers.
-std::string Fingerprint(Engine& engine) {
+/// entries, comparable across matchers. With `row_multiset`, tags are
+/// sorted within each row too — the form comparable across *CE
+/// reorderings* (the load-time pre-reordering pass permutes token
+/// positions, so raw row order legitimately differs).
+std::string Fingerprint(Engine& engine, bool row_multiset) {
   std::vector<std::string> entries;
   for (InstantiationRef* inst : engine.conflict_set().Entries()) {
     std::vector<Row> rows;
     inst->CollectRows(&rows);
     std::vector<std::string> row_sigs;
     for (const Row& row : rows) {
+      std::vector<TimeTag> tags;
+      for (const WmePtr& w : row) tags.push_back(w->time_tag());
+      if (row_multiset) std::sort(tags.begin(), tags.end());
       std::string sig;
-      for (const WmePtr& w : row) {
-        sig += std::to_string(w->time_tag());
+      for (TimeTag t : tags) {
+        sig += std::to_string(t);
         sig += ",";
       }
       row_sigs.push_back(std::move(sig));
@@ -166,6 +178,7 @@ FuzzResult RunSchedule(const FuzzProgram& program,
   opts.indexed_conflict_set = config.indexed_cs;
   opts.rete.bulk_removal = config.bulk_removal;
   opts.rete.soa_memories = config.soa_memories;
+  opts.join_order = config.join_order;
   std::ostringstream events;
   obs::JsonLinesTraceSink sink(&events);
   opts.trace_sink = &sink;
@@ -208,7 +221,8 @@ FuzzResult RunSchedule(const FuzzProgram& program,
         break;
       }
     }
-    result.fingerprints.push_back(Fingerprint(engine));
+    result.fingerprints.push_back(Fingerprint(engine, false));
+    result.fingerprints_rowset.push_back(Fingerprint(engine, true));
   }
   result.trace = out.str();
   result.events = events.str();
@@ -219,9 +233,16 @@ FuzzResult RunSchedule(const FuzzProgram& program,
   return result;
 }
 
-/// First divergence between two results, or "" if identical. `match_only`
-/// skips the trace/tag comparison (cross-matcher checks).
-std::string Diff(const FuzzResult& a, const FuzzResult& b, bool match_only) {
+/// Comparison strictness. kFull: everything (within-config and
+/// plan-vs-Rete bit-identity). kMatchOnly: canonical conflict sets + WM
+/// (cross-matcher — tie-breaks depend on arrival order). kMatchRowset:
+/// kMatchOnly with row-multiset fingerprints (CE-reordered Rete/TREAT —
+/// token positions are permuted by the rewrite).
+enum class Cmp { kFull, kMatchOnly, kMatchRowset };
+
+/// First divergence between two results, or "" if identical.
+std::string Diff(const FuzzResult& a, const FuzzResult& b, Cmp cmp) {
+  const bool match_only = cmp != Cmp::kFull;
   if (a.load_error != b.load_error) {
     return "load: [" + a.load_error + "] vs [" + b.load_error + "]";
   }
@@ -240,11 +261,15 @@ std::string Diff(const FuzzResult& a, const FuzzResult& b, bool match_only) {
              EventTail(ea, 20) + "--- B ---\n" + EventTail(eb, 20);
     }
   }
-  size_t steps = std::min(a.fingerprints.size(), b.fingerprints.size());
+  const std::vector<std::string>& fa =
+      cmp == Cmp::kMatchRowset ? a.fingerprints_rowset : a.fingerprints;
+  const std::vector<std::string>& fb =
+      cmp == Cmp::kMatchRowset ? b.fingerprints_rowset : b.fingerprints;
+  size_t steps = std::min(fa.size(), fb.size());
   for (size_t i = 0; i < steps; ++i) {
-    if (a.fingerprints[i] != b.fingerprints[i]) {
+    if (fa[i] != fb[i]) {
       return "conflict set after op " + std::to_string(i) + ":\nA: " +
-             a.fingerprints[i] + "\nB: " + b.fingerprints[i];
+             fa[i] + "\nB: " + fb[i];
     }
   }
   if (a.dump != b.dump) {
@@ -259,20 +284,20 @@ std::string Diff(const FuzzResult& a, const FuzzResult& b, bool match_only) {
 
 std::string Check(const FuzzProgram& program,
                   const std::vector<FuzzOp>& schedule, const FuzzConfig& a,
-                  const FuzzConfig& b, bool match_only) {
+                  const FuzzConfig& b, Cmp cmp) {
   return Diff(RunSchedule(program, schedule, a),
-              RunSchedule(program, schedule, b), match_only);
+              RunSchedule(program, schedule, b), cmp);
 }
 
 /// Greedy shrink: drop schedule ops (end first), then whole rules, as long
 /// as some divergence survives. Returns the self-contained repro text.
 std::string ShrinkAndFormat(FuzzProgram program, std::vector<FuzzOp> schedule,
                             const FuzzConfig& a, const FuzzConfig& b,
-                            bool match_only, unsigned seed) {
+                            Cmp cmp, unsigned seed) {
   for (size_t i = schedule.size(); i-- > 0;) {
     std::vector<FuzzOp> trial = schedule;
     trial.erase(trial.begin() + static_cast<long>(i));
-    if (!Check(program, trial, a, b, match_only).empty()) {
+    if (!Check(program, trial, a, b, cmp).empty()) {
       schedule = std::move(trial);
     }
   }
@@ -280,12 +305,12 @@ std::string ShrinkAndFormat(FuzzProgram program, std::vector<FuzzOp> schedule,
     if (program.rules.size() == 1) break;
     FuzzProgram trial = program;
     trial.rules.erase(trial.rules.begin() + static_cast<long>(r));
-    if (!Check(program, schedule, a, b, match_only).empty() &&
-        !Check(trial, schedule, a, b, match_only).empty()) {
+    if (!Check(program, schedule, a, b, cmp).empty() &&
+        !Check(trial, schedule, a, b, cmp).empty()) {
       program = std::move(trial);
     }
   }
-  std::string mismatch = Check(program, schedule, a, b, match_only);
+  std::string mismatch = Check(program, schedule, a, b, cmp);
   std::string out = "=== FUZZ REPRO (seed " + std::to_string(seed) +
                     ") ===\nprogram:\n" + program.Source() +
                     "\nschedule:\n" + fuzz::ScheduleToString(schedule) +
@@ -300,7 +325,8 @@ std::string ShrinkAndFormat(FuzzProgram program, std::vector<FuzzOp> schedule,
 /// streams exactly (the ROADMAP's LEX-vs-MEA firing-trace comparison).
 void CheckConfigSweep(MatcherKind matcher, unsigned seed) {
   FuzzRng rng(seed);
-  bool allow_set = matcher != MatcherKind::kTreat;
+  bool allow_set =
+      matcher != MatcherKind::kTreat && matcher != MatcherKind::kPlan;
   FuzzProgram program = fuzz::GenProgram(rng, allow_set);
   std::vector<FuzzOp> schedule = fuzz::GenSchedule(rng, 28, true);
 
@@ -312,18 +338,30 @@ void CheckConfigSweep(MatcherKind matcher, unsigned seed) {
       // generator bug, not a divergence.
       ASSERT_EQ(base_result.load_error, "")
           << "seed " << seed << "\n" << program.Source();
-      FuzzConfig variants[] = {
+      std::vector<FuzzConfig> variants = {
           {matcher, strategy, 4, batched, 0, false},
           {matcher, strategy, 4, batched, 2, false},
           {matcher, strategy, 4, batched, 2, true},
           {matcher, strategy, 0, batched, 0, true},
           {matcher, strategy, 0, batched, 0, false, /*indexed_cs=*/false},
       };
+      if (matcher == MatcherKind::kPlan) {
+        // The cost-chosen execution order must be unobservable: emission
+        // is canonicalized, so optimized plans (serial and parallel) stay
+        // bit-identical to the textual-order baseline.
+        variants.push_back({matcher, strategy, 0, batched, 0, false,
+                            /*indexed_cs=*/true, /*bulk_removal=*/true,
+                            /*soa_memories=*/true, JoinOrder::kOptimized});
+        variants.push_back({matcher, strategy, 4, batched, 0, false,
+                            /*indexed_cs=*/true, /*bulk_removal=*/true,
+                            /*soa_memories=*/true, JoinOrder::kOptimized});
+      }
       for (const FuzzConfig& variant : variants) {
         std::string mismatch =
-            Diff(base_result, RunSchedule(program, schedule, variant), false);
+            Diff(base_result, RunSchedule(program, schedule, variant),
+                 Cmp::kFull);
         if (!mismatch.empty()) {
-          FAIL() << ShrinkAndFormat(program, schedule, base, variant, false,
+          FAIL() << ShrinkAndFormat(program, schedule, base, variant, Cmp::kFull,
                                     seed);
         }
       }
@@ -339,7 +377,8 @@ void CheckConfigSweep(MatcherKind matcher, unsigned seed) {
 /// parallel configuration.
 void CheckRemoveHeavy(MatcherKind matcher, unsigned seed) {
   FuzzRng rng(seed);
-  bool allow_set = matcher != MatcherKind::kTreat;
+  bool allow_set =
+      matcher != MatcherKind::kTreat && matcher != MatcherKind::kPlan;
   FuzzProgram program = fuzz::GenProgram(rng, allow_set, /*neg_chance=*/70);
   std::vector<FuzzOp> schedule =
       fuzz::GenSchedule(rng, 32, true, /*remove_pct=*/50);
@@ -370,11 +409,22 @@ void CheckRemoveHeavy(MatcherKind matcher, unsigned seed) {
       variants.push_back({matcher, strategy, 4, batched, 0, false,
                           /*indexed_cs=*/true, /*bulk_removal=*/true,
                           /*soa_memories=*/false});
+      if (matcher == MatcherKind::kPlan) {
+        // Optimized join order under retraction-heavy load: the unblock
+        // re-searches and instantiation drops must stay bit-identical.
+        variants.push_back({matcher, strategy, 0, batched, 0, false,
+                            /*indexed_cs=*/true, /*bulk_removal=*/true,
+                            /*soa_memories=*/true, JoinOrder::kOptimized});
+        variants.push_back({matcher, strategy, 4, batched, 0, false,
+                            /*indexed_cs=*/true, /*bulk_removal=*/true,
+                            /*soa_memories=*/true, JoinOrder::kOptimized});
+      }
       for (const FuzzConfig& variant : variants) {
         std::string mismatch =
-            Diff(base_result, RunSchedule(program, schedule, variant), false);
+            Diff(base_result, RunSchedule(program, schedule, variant),
+                 Cmp::kFull);
         if (!mismatch.empty()) {
-          FAIL() << ShrinkAndFormat(program, schedule, base, variant, false,
+          FAIL() << ShrinkAndFormat(program, schedule, base, variant, Cmp::kFull,
                                     seed);
         }
       }
@@ -383,7 +433,9 @@ void CheckRemoveHeavy(MatcherKind matcher, unsigned seed) {
 }
 
 /// One seed of the cross-matcher check: match-only schedules, canonical
-/// fingerprints + WM state.
+/// fingerprints + WM state. The join_order=optimized columns also pull in
+/// the load-time CE pre-reordering pass (Rete/TREAT execute a rewritten
+/// rule, which must still match the same instantiations).
 void CheckCrossMatcher(unsigned seed) {
   FuzzRng rng(seed);
   FuzzProgram tuple_program = fuzz::GenProgram(rng, false);
@@ -392,18 +444,72 @@ void CheckCrossMatcher(unsigned seed) {
   FuzzConfig rete{MatcherKind::kRete, strategy};
   FuzzConfig treat{MatcherKind::kTreat, strategy, 4};
   FuzzConfig dips{MatcherKind::kDips, strategy, 4};
-  for (const FuzzConfig& other : {treat, dips}) {
-    std::string mismatch = Check(tuple_program, schedule, rete, other, true);
+  FuzzConfig plan{MatcherKind::kPlan, strategy, 4};
+  FuzzConfig rete_opt{MatcherKind::kRete, strategy, 0, true, 0, false,
+                      true, true, true, JoinOrder::kOptimized};
+  FuzzConfig treat_opt{MatcherKind::kTreat, strategy, 4, true, 0, false,
+                       true, true, true, JoinOrder::kOptimized};
+  FuzzConfig plan_opt{MatcherKind::kPlan, strategy, 0, true, 0, false,
+                      true, true, true, JoinOrder::kOptimized};
+  // The reordered Rete/TREAT columns execute a rewritten rule whose token
+  // positions are permuted, so their rows compare as multisets; the plan
+  // matcher never rewrites the rule and keeps the strict row comparison.
+  const std::pair<FuzzConfig, Cmp> columns[] = {
+      {treat, Cmp::kMatchOnly},    {dips, Cmp::kMatchOnly},
+      {plan, Cmp::kMatchOnly},     {rete_opt, Cmp::kMatchRowset},
+      {treat_opt, Cmp::kMatchRowset}, {plan_opt, Cmp::kMatchOnly},
+  };
+  for (const auto& [other, cmp] : columns) {
+    std::string mismatch = Check(tuple_program, schedule, rete, other, cmp);
     if (!mismatch.empty()) {
-      FAIL() << ShrinkAndFormat(tuple_program, schedule, rete, other, true,
+      FAIL() << ShrinkAndFormat(tuple_program, schedule, rete, other, cmp,
                                 seed);
     }
   }
   // Set-oriented programs: Rete's S-nodes vs DIPS' COND tables.
   FuzzProgram set_program = fuzz::GenProgram(rng, true);
-  std::string mismatch = Check(set_program, schedule, rete, dips, true);
+  std::string mismatch = Check(set_program, schedule, rete, dips, Cmp::kMatchOnly);
   if (!mismatch.empty()) {
-    FAIL() << ShrinkAndFormat(set_program, schedule, rete, dips, true, seed);
+    FAIL() << ShrinkAndFormat(set_program, schedule, rete, dips, Cmp::kMatchOnly,
+                              seed);
+  }
+}
+
+/// The plan matcher's bit-identity contract against *sequential Rete*:
+/// full-trace comparison (firing trace, normalized event stream, per-op
+/// conflict sets, final WM, time-tag counter) on firing schedules, for
+/// both join orders and both plan parallel modes. This is stronger than
+/// the cross-matcher fingerprint check — conflict-resolution tie-breaks
+/// (arrival order) must also coincide.
+void CheckPlanVsRete(unsigned seed, int neg_chance, int remove_pct) {
+  FuzzRng rng(seed);
+  FuzzProgram program = fuzz::GenProgram(rng, false, neg_chance);
+  std::vector<FuzzOp> schedule =
+      fuzz::GenSchedule(rng, 28, true, remove_pct);
+  for (Strategy strategy : {Strategy::kLex, Strategy::kMea}) {
+    for (bool batched : {true, false}) {
+      FuzzConfig rete{MatcherKind::kRete, strategy, 0, batched, 0, false};
+      FuzzResult rete_result = RunSchedule(program, schedule, rete);
+      ASSERT_EQ(rete_result.load_error, "")
+          << "seed " << seed << "\n" << program.Source();
+      FuzzConfig plans[] = {
+          {MatcherKind::kPlan, strategy, 0, batched, 0, false},
+          {MatcherKind::kPlan, strategy, 4, batched, 0, false},
+          {MatcherKind::kPlan, strategy, 0, batched, 0, false, true, true,
+           true, JoinOrder::kOptimized},
+          {MatcherKind::kPlan, strategy, 4, batched, 0, false, true, true,
+           true, JoinOrder::kOptimized},
+      };
+      for (const FuzzConfig& plan : plans) {
+        std::string mismatch =
+            Diff(rete_result, RunSchedule(program, schedule, plan),
+                 Cmp::kFull);
+        if (!mismatch.empty()) {
+          FAIL() << ShrinkAndFormat(program, schedule, rete, plan, Cmp::kFull,
+                                    seed);
+        }
+      }
+    }
   }
 }
 
@@ -456,6 +562,38 @@ TEST_P(DifferentialFuzz, RemoveHeavyNegationTreat) {
   }
 }
 
+TEST_P(DifferentialFuzz, PlanConfigSweep) {
+  for (unsigned s = 0; s < 10; ++s) {
+    CheckConfigSweep(MatcherKind::kPlan,
+                     6000 + static_cast<unsigned>(GetParam()) * 10 + s);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(DifferentialFuzz, RemoveHeavyNegationPlan) {
+  for (unsigned s = 0; s < 5; ++s) {
+    CheckRemoveHeavy(MatcherKind::kPlan,
+                     7000 + static_cast<unsigned>(GetParam()) * 10 + s);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(DifferentialFuzz, PlanVsReteFullTrace) {
+  for (unsigned s = 0; s < 5; ++s) {
+    CheckPlanVsRete(8000 + static_cast<unsigned>(GetParam()) * 10 + s,
+                    /*neg_chance=*/30, /*remove_pct=*/20);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(DifferentialFuzz, PlanVsReteRemoveHeavy) {
+  for (unsigned s = 0; s < 5; ++s) {
+    CheckPlanVsRete(9000 + static_cast<unsigned>(GetParam()) * 10 + s,
+                    /*neg_chance=*/70, /*remove_pct=*/50);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
 // 7 shards × (10 seeds × (3 matchers + cross-matcher) + 2×5 remove-heavy
 // seeds) = 350 generated programs per full run.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 7));
@@ -500,7 +638,7 @@ TEST(FuzzShrinker, ReducesScheduleAndKeepsDivergence) {
   FuzzConfig a{MatcherKind::kRete, Strategy::kLex};
   FuzzConfig b{MatcherKind::kRete, Strategy::kLex, 4, true, 2, true};
   // Identical configs modulo parallelism: no divergence, nothing to shrink.
-  EXPECT_EQ(Check(program, schedule, a, b, false), "");
+  EXPECT_EQ(Check(program, schedule, a, b, Cmp::kFull), "");
 }
 
 }  // namespace

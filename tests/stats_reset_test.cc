@@ -46,11 +46,15 @@ void CheckReset(MatcherKind matcher, int threads) {
   EngineOptions opts;
   opts.matcher = matcher;
   opts.match_threads = threads;
+  // Give the plan matcher a cost-relevant order so its optimizer counters
+  // (est_cardinality_error and friends) actually move before the reset.
+  if (matcher == MatcherKind::kPlan) opts.join_order = JoinOrder::kOptimized;
   Engine engine(opts);
   std::ostringstream sink;
   engine.set_output(&sink);
-  MustLoad(engine,
-           matcher == MatcherKind::kTreat ? kTreatProgram : kProgram);
+  const bool tuple_only =
+      matcher == MatcherKind::kTreat || matcher == MatcherKind::kPlan;
+  MustLoad(engine, tuple_only ? kTreatProgram : kProgram);
   static const char* kNames[] = {"ann", "bob", "cyd"};
   static const char* kTeams[] = {"A", "B", "C"};
   for (int i = 0; i < 12; ++i) {
@@ -128,6 +132,14 @@ void CheckReset(MatcherKind matcher, int threads) {
   // DipsMatcher::Stats.
   EXPECT_EQ(s.dips.refreshes, 0u);
   EXPECT_EQ(s.dips.batches, 0u);
+  // PlanMatcher::Stats.
+  EXPECT_EQ(s.plan.join_attempts, 0u);
+  EXPECT_EQ(s.plan.reorders, 0u);
+  EXPECT_EQ(s.plan.est_cardinality_error, 0u);
+  EXPECT_EQ(s.plan.index_builds, 0u);
+  EXPECT_EQ(s.plan.seeded_searches, 0u);
+  EXPECT_EQ(s.plan.full_searches, 0u);
+  EXPECT_EQ(s.plan.batches, 0u);
   // WorkingMemory::Stats.
   EXPECT_EQ(s.wm.adds, 0u);
   EXPECT_EQ(s.wm.removes, 0u);
@@ -173,6 +185,8 @@ TEST(StatsResetTest, Treat) { CheckReset(MatcherKind::kTreat, 0); }
 TEST(StatsResetTest, TreatThreaded) { CheckReset(MatcherKind::kTreat, 2); }
 TEST(StatsResetTest, Dips) { CheckReset(MatcherKind::kDips, 0); }
 TEST(StatsResetTest, DipsThreaded) { CheckReset(MatcherKind::kDips, 2); }
+TEST(StatsResetTest, Plan) { CheckReset(MatcherKind::kPlan, 0); }
+TEST(StatsResetTest, PlanThreaded) { CheckReset(MatcherKind::kPlan, 2); }
 
 }  // namespace
 }  // namespace sorel
