@@ -1,0 +1,162 @@
+// Server WAL benchmark: what durability costs. Three measurements —
+// raw CRC-framed appends across the fsync batching sweep (the group-commit
+// knob), journaled session mutations vs the bare engine (per-command WAL
+// overhead), and recovery replay throughput (records/sec through the
+// normal batch path at Session::Open). Diagnostic only: not part of the
+// bench_compare CI gates.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "server/session.h"
+#include "server/wal.h"
+
+namespace sorel {
+namespace server {
+namespace {
+
+constexpr const char* kRules = R"(
+(literalize item id cat val)
+(p promote { (item ^cat A ^val <v>) <i> } -->
+  (modify <i> ^cat B ^val (compute <v> * 2)))
+)";
+
+std::string TempPath(const char* stem) {
+  std::string path = "/tmp/sorel_bench_wal_XXXXXX";
+  int fd = ::mkstemp(path.data());
+  if (fd >= 0) ::close(fd);
+  return path + "." + stem;
+}
+
+void BM_WalAppend(benchmark::State& state) {
+  const int fsync_every = static_cast<int>(state.range(0));
+  // A typical journaled batch payload is ~100 bytes of JSON.
+  const std::string payload(96, 'x');
+  std::string path = TempPath("append");
+  uint64_t records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove(path.c_str());
+    WalWriter writer;
+    if (!writer.Open(path, fsync_every).ok()) state.SkipWithError("open");
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) {
+      benchmark::DoNotOptimize(writer.Append(payload));
+    }
+    if (!writer.Sync().ok()) state.SkipWithError("sync");
+    records += 256;
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<int64_t>(records));
+  state.SetLabel("fsync_every=" + std::to_string(fsync_every));
+}
+BENCHMARK(BM_WalAppend)->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+/// Makes through a journaled session (WAL on) vs the bare engine; the gap
+/// is the per-command durability cost at the given fsync batching.
+void BM_JournaledMake(benchmark::State& state) {
+  const int fsync_every = static_cast<int>(state.range(0));
+  const bool journaled = fsync_every > 0;
+  std::string dir = "/tmp/sorel_bench_wal_session_XXXXXX";
+  if (::mkdtemp(dir.data()) == nullptr) {
+    state.SkipWithError("mkdtemp");
+    return;
+  }
+  uint64_t made = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove((dir + "/s.wal").c_str());
+    Engine bare;
+    std::unique_ptr<Session> session;
+    if (journaled) {
+      SessionOptions options;
+      options.fsync_every = fsync_every;
+      auto opened = Session::Open("s", kRules, dir, options);
+      if (!opened.ok()) {
+        state.SkipWithError("open");
+        break;
+      }
+      session = std::move(*opened);
+    } else if (!bare.LoadString(kRules).ok()) {
+      state.SkipWithError("load");
+      break;
+    }
+    SymbolTable& symbols =
+        journaled ? session->engine().symbols() : bare.symbols();
+    Value cat = Value::Symbol(symbols.Intern("C"));
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) {
+      std::vector<std::pair<std::string, Value>> attrs = {
+          {"id", Value::Int(i)}, {"cat", cat}, {"val", Value::Int(i % 7)}};
+      if (journaled) {
+        benchmark::DoNotOptimize(session->Make("item", attrs));
+      } else {
+        benchmark::DoNotOptimize(bare.MakeWme("item", attrs));
+      }
+    }
+    made += 256;
+  }
+  std::string cleanup = "rm -rf '" + dir + "'";
+  (void)std::system(cleanup.c_str());
+  state.SetItemsProcessed(static_cast<int64_t>(made));
+  state.SetLabel(journaled ? "wal fsync_every=" + std::to_string(fsync_every)
+                           : "bare engine");
+}
+// 0 = no WAL (bare engine baseline), then the batching sweep.
+BENCHMARK(BM_JournaledMake)->Arg(0)->Arg(1)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// Recovery replay: Open a session whose WAL holds `range(0)` records.
+void BM_Recovery(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  std::string dir = "/tmp/sorel_bench_wal_recover_XXXXXX";
+  if (::mkdtemp(dir.data()) == nullptr) {
+    state.SkipWithError("mkdtemp");
+    return;
+  }
+  {
+    SessionOptions options;
+    options.fsync_every = 64;
+    auto session = Session::Open("s", kRules, dir, options);
+    if (!session.ok()) {
+      state.SkipWithError("open");
+      return;
+    }
+    SymbolTable& symbols = (*session)->engine().symbols();
+    Value cat = Value::Symbol(symbols.Intern("C"));
+    for (int i = 0; i < records; ++i) {
+      (void)(*session)->Make("item", {{"id", Value::Int(i)},
+                                      {"cat", cat},
+                                      {"val", Value::Int(i % 7)}});
+    }
+  }
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    SessionOptions options;
+    auto session = Session::Open("s", kRules, dir, options);
+    if (!session.ok()) {
+      state.SkipWithError("recover");
+      break;
+    }
+    replayed += (*session)->recovery().replayed_records;
+  }
+  std::string cleanup = "rm -rf '" + dir + "'";
+  (void)std::system(cleanup.c_str());
+  state.SetItemsProcessed(static_cast<int64_t>(replayed));
+}
+BENCHMARK(BM_Recovery)->Arg(256)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace server
+}  // namespace sorel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// sorel_serve: the sorel rule service. Hosts N independent engine
+// sessions over a line-oriented JSON protocol (see
+// src/server/engine_server.h), journaling every working-memory commit to
+// a per-session WAL so a killed server recovers its sessions bit-identically
+// on restart.
+//
+//   # stdio transport (one request line in, one response line out):
+//   $ ./build/examples/sorel_serve rules.ops --data-dir /tmp/sorel
+//   {"cmd":"open","session":"s1"}
+//   {"ok":true,"session":"s1","recovered":false,...}
+//
+//   # unix-socket transport, for sorel_shell --connect:
+//   $ ./build/examples/sorel_serve rules.ops --socket /tmp/sorel.sock
+//
+// Options:
+//   --data-dir DIR      WAL + snapshot directory (default ".")
+//   --socket PATH       serve a unix domain socket instead of stdio
+//   --fsync-every N     default WAL fsync batching for new sessions
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "server/engine_server.h"
+
+namespace {
+
+using sorel::server::EngineServer;
+
+int ServeStdio(EngineServer& server) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::cout << server.HandleLine(line) << "\n" << std::flush;
+    if (server.shutdown_requested()) break;
+  }
+  return 0;
+}
+
+/// Reads newline-terminated requests from one connection and answers each
+/// with one response line. Returns false when the server should exit.
+bool ServeConnection(EngineServer& server, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      std::string response = server.HandleLine(line) + "\n";
+      size_t sent = 0;
+      while (sent < response.size()) {
+        ssize_t n = ::write(fd, response.data() + sent,
+                            response.size() - sent);
+        if (n <= 0) return true;  // client went away; keep serving others
+        sent += static_cast<size_t>(n);
+      }
+      if (server.shutdown_requested()) return false;
+    }
+    ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got <= 0) return true;
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+int ServeSocket(EngineServer& server, const std::string& path) {
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "socket path too long: " << path << "\n";
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listener, 4) != 0) {
+    std::cerr << "bind/listen " << path << ": " << std::strerror(errno)
+              << "\n";
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "sorel_serve: listening on " << path << "\n";
+  // Sequential accept loop: the engine core is single-threaded by design
+  // (sessions isolate state, not threads), so clients take turns.
+  for (;;) {
+    int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool keep_serving = ServeConnection(server, fd);
+    ::close(fd);
+    if (!keep_serving) break;
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path;
+  std::string socket_path;
+  sorel::server::EngineServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs " << what << "\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--data-dir") {
+      options.data_dir = next("a directory");
+    } else if (arg == "--socket") {
+      socket_path = next("a path");
+    } else if (arg == "--fsync-every") {
+      options.fsync_every = std::atoi(next("a count"));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return 1;
+    } else {
+      rules_path = arg;
+    }
+  }
+  if (rules_path.empty()) {
+    std::cerr << "usage: sorel_serve <rules.ops> [--data-dir DIR] "
+                 "[--socket PATH] [--fsync-every N]\n";
+    return 1;
+  }
+  std::ifstream in(rules_path);
+  if (!in.is_open()) {
+    std::cerr << "cannot open " << rules_path << "\n";
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  auto server = EngineServer::Create(source.str(), options);
+  if (!server.ok()) {
+    std::cerr << server.status().ToString() << "\n";
+    return 1;
+  }
+  if (socket_path.empty()) return ServeStdio(**server);
+  return ServeSocket(**server, socket_path);
+}

@@ -10,9 +10,20 @@
 //
 // Also works in batch mode:  sorel_shell < script.txt
 // and can pre-load programs: sorel_shell program.ops
+//
+// Client mode: with --connect PATH the shell talks to a running
+// sorel_serve unix socket instead of an in-process engine. The same
+// commands work (make/remove/run/wm/cs/...), translated to the JSON
+// protocol; responses print as raw JSON lines. `open <name> [matcher]`
+// opens/recovers a server session, `json {...}` sends a raw request.
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,6 +33,7 @@
 #include "engine/engine.h"
 #include "lang/linter.h"
 #include "lang/printer.h"
+#include "obs/json.h"
 
 namespace {
 
@@ -219,14 +231,258 @@ bool Dispatch(Engine& engine, const std::string& line) {
   return true;
 }
 
+// --- client mode (--connect): drive a sorel_serve socket ---
+
+void PrintClientHelp() {
+  std::cout <<
+      "client commands (responses are raw protocol JSON):\n"
+      "  open <name> [rete|treat|dips|plan]   open/recover a session\n"
+      "  use <name>          switch the current session\n"
+      "  close               close the current session\n"
+      "  make <cls> ^a v ..  add a WME\n"
+      "  remove <tag>        remove a WME\n"
+      "  modify <tag> ^a v   modify a WME\n"
+      "  run [n]             fire rules\n"
+      "  begin/commit/rollback   client transaction\n"
+      "  wm / cs / metrics / trace / wal / dump   inspect\n"
+      "  snapshot            checkpoint + truncate the WAL\n"
+      "  sessions / rules / ping / shutdown\n"
+      "  json {...}          send a raw request line\n"
+      "  help / quit\n";
+}
+
+/// Renders one `^attr value` token as a protocol value: exact integers as
+/// {"i":"..."} (64-bit safe), other numbers as JSON numbers, everything
+/// else as a string (the server interns it as a symbol).
+std::string ClientValue(const std::string& token) {
+  if (!token.empty()) {
+    char* end = nullptr;
+    errno = 0;
+    (void)std::strtoll(token.c_str(), &end, 10);
+    if (errno == 0 && end != token.c_str() && *end == '\0') {
+      return "{\"i\":\"" + token + "\"}";
+    }
+    std::strtod(token.c_str(), &end);
+    if (end != token.c_str() && *end == '\0') return token;
+  }
+  return "\"" + sorel::obs::JsonEscape(token) + "\"";
+}
+
+/// Parses `^attr value ^attr value ...` into a JSON attrs object.
+bool ClientAttrs(std::istream& in, std::string* out) {
+  *out = "{";
+  std::string attr;
+  bool first = true;
+  while (in >> attr) {
+    if (attr.empty() || attr[0] != '^') return false;
+    std::string value;
+    if (!(in >> value)) return false;
+    if (!first) *out += ",";
+    *out += "\"" + sorel::obs::JsonEscape(attr.substr(1)) +
+            "\":" + ClientValue(value);
+    first = false;
+  }
+  *out += "}";
+  return true;
+}
+
+class Client {
+ public:
+  explicit Client(int fd) : fd_(fd) {}
+  ~Client() { ::close(fd_); }
+
+  /// Sends one request line and prints the one response line. Returns
+  /// false when the connection is gone.
+  bool Call(const std::string& request) {
+    std::string line = request + "\n";
+    size_t sent = 0;
+    while (sent < line.size()) {
+      ssize_t n = ::write(fd_, line.data() + sent, line.size() - sent);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(got));
+    }
+    std::cout << buffer_.substr(0, newline) << "\n";
+    buffer_.erase(0, newline + 1);
+    return true;
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Translates one shell command into a protocol request, or returns ""
+/// (handled locally / unknown). `quit` sets *done.
+std::string ClientRequest(const std::string& line, std::string* session,
+                          bool* done) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) return "";
+  auto with_session = [session](std::string body) {
+    return "{\"cmd\":\"" + body + "\",\"session\":\"" +
+           sorel::obs::JsonEscape(*session) + "\"";
+  };
+  if (cmd == "quit" || cmd == "exit") {
+    *done = true;
+    return "";
+  }
+  if (cmd == "help") {
+    PrintClientHelp();
+    return "";
+  }
+  if (cmd == "json") {
+    std::string rest;
+    std::getline(in, rest);
+    return rest;
+  }
+  if (cmd == "ping" || cmd == "rules" || cmd == "sessions" ||
+      cmd == "shutdown") {
+    if (cmd == "shutdown") *done = true;
+    return "{\"cmd\":\"" + cmd + "\"}";
+  }
+  if (cmd == "open") {
+    std::string name, matcher;
+    in >> name >> matcher;
+    if (name.empty()) {
+      std::cout << "open needs a session name\n";
+      return "";
+    }
+    *session = name;
+    std::string req = with_session("open");
+    if (!matcher.empty()) req += ",\"matcher\":\"" + matcher + "\"";
+    return req + "}";
+  }
+  if (cmd == "use") {
+    std::string name;
+    in >> name;
+    if (name.empty()) {
+      std::cout << "use needs a session name\n";
+    } else {
+      *session = name;
+      std::cout << "session " << name << "\n";
+    }
+    return "";
+  }
+  if (session->empty()) {
+    std::cout << "no session (use: open <name>)\n";
+    return "";
+  }
+  if (cmd == "make") {
+    std::string cls, attrs;
+    in >> cls;
+    if (cls.empty() || !ClientAttrs(in, &attrs)) {
+      std::cout << "usage: make <cls> ^attr value ...\n";
+      return "";
+    }
+    return with_session("make") + ",\"cls\":\"" +
+           sorel::obs::JsonEscape(cls) + "\",\"attrs\":" + attrs + "}";
+  }
+  if (cmd == "remove" || cmd == "modify") {
+    std::string tag;
+    in >> tag;
+    if (tag.empty()) {
+      std::cout << "usage: " << cmd << " <tag> ...\n";
+      return "";
+    }
+    std::string req = with_session(cmd) + ",\"tag\":\"" + tag + "\"";
+    if (cmd == "modify") {
+      std::string attrs;
+      if (!ClientAttrs(in, &attrs)) {
+        std::cout << "usage: modify <tag> ^attr value ...\n";
+        return "";
+      }
+      req += ",\"attrs\":" + attrs;
+    }
+    return req + "}";
+  }
+  if (cmd == "run") {
+    int max = -1;
+    in >> max;
+    std::string req = with_session("run");
+    if (in) req += ",\"max\":" + std::to_string(max);
+    return req + "}";
+  }
+  if (cmd == "wm" || cmd == "cs" || cmd == "metrics" || cmd == "trace" ||
+      cmd == "wal" || cmd == "dump" || cmd == "snapshot" || cmd == "begin" ||
+      cmd == "commit" || cmd == "rollback" || cmd == "close") {
+    return with_session(cmd) + "}";
+  }
+  std::cout << "unknown client command '" << cmd << "' (try: help)\n";
+  return "";
+}
+
+int RunClient(const std::string& socket_path, std::string session) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "socket path too long: " << socket_path << "\n";
+    return 1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::cerr << "connect " << socket_path << ": " << std::strerror(errno)
+              << "\n";
+    ::close(fd);
+    return 1;
+  }
+  Client client(fd);
+  bool interactive = isatty(STDIN_FILENO) != 0;
+  if (interactive) {
+    std::cout << "sorel shell — connected to " << socket_path
+              << " (type 'help')\n";
+  }
+  std::string line;
+  bool done = false;
+  while (!done) {
+    if (interactive) std::cout << "sorel> ";
+    if (!std::getline(std::cin, line)) break;
+    std::string request = ClientRequest(line, &session, &done);
+    if (request.empty()) continue;
+    if (!client.Call(request)) {
+      std::cerr << "connection closed by server\n";
+      return done ? 0 : 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Engine engine;
+  std::string connect_path;
+  std::string session;
+  std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
-    sorel::Status status = engine.LoadFile(argv[i]);
+    std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_path = argv[++i];
+    } else if (arg == "--session" && i + 1 < argc) {
+      session = argv[++i];
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (!connect_path.empty()) return RunClient(connect_path, session);
+
+  Engine engine;
+  for (const std::string& file : files) {
+    sorel::Status status = engine.LoadFile(file);
     if (!status.ok()) {
-      std::cerr << argv[i] << ": " << status.ToString() << "\n";
+      std::cerr << file << ": " << status.ToString() << "\n";
       return 1;
     }
   }

@@ -264,6 +264,20 @@ size_t ConflictSet::EligibleCount() const {
   return n;
 }
 
+std::vector<ConflictSet::EntryState> ConflictSet::EntriesWithState() const {
+  std::vector<std::pair<uint64_t, EntryState>> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& [inst, entry] : entries_) {
+    ordered.emplace_back(entry.seq, EntryState{inst, entry.fired});
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<EntryState> out;
+  out.reserve(ordered.size());
+  for (const auto& [seq, state] : ordered) out.push_back(state);
+  return out;
+}
+
 std::vector<InstantiationRef*> ConflictSet::Entries() const {
   std::vector<std::pair<uint64_t, InstantiationRef*>> ordered;
   ordered.reserve(entries_.size());

@@ -187,6 +187,17 @@ class ConflictSet {
   /// All entries in insertion order (stable; for tests and tracing).
   std::vector<InstantiationRef*> Entries() const;
 
+  /// An entry plus its refraction state, for snapshot/restore (src/server):
+  /// a fired-but-retained SOI must come back ineligible, and a regular
+  /// entry that refraction removed must not resurface after a rebuild.
+  struct EntryState {
+    InstantiationRef* inst;
+    bool fired;
+  };
+
+  /// All entries with their fired flags, in insertion order.
+  std::vector<EntryState> EntriesWithState() const;
+
   void Clear();
 
   bool use_index() const { return use_index_; }

@@ -1,0 +1,449 @@
+#include "server/engine_server.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+#include "server/codec.h"
+
+namespace sorel {
+namespace server {
+
+namespace {
+
+std::string ErrorLine(const Status& status) {
+  return "{\"ok\":false,\"code\":\"" +
+         std::string(StatusCodeName(status.code())) + "\",\"error\":\"" +
+         obs::JsonEscape(status.message()) + "\"}";
+}
+
+std::string Quoted(std::string_view s) {
+  return "\"" + obs::JsonEscape(s) + "\"";
+}
+
+/// Session names become file names, so restrict them hard: no separators,
+/// no dot-leading hidden/relative names.
+Status CheckSessionName(const std::string& name) {
+  if (name.empty() || name.size() > 64 || name[0] == '.') {
+    return Status::InvalidArgument("open: bad session name '" + name + "'");
+  }
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      return Status::InvalidArgument("open: bad session name '" + name +
+                                     "' (allowed: [A-Za-z0-9._-])");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ArgString(const obs::JsonValue& req,
+                              std::string_view key) {
+  const obs::JsonValue* v = req.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("missing string argument '" +
+                                   std::string(key) + "'");
+  }
+  return v->string;
+}
+
+/// A protocol time tag: a decimal string (exact) or a JSON number.
+Result<TimeTag> ArgTag(const obs::JsonValue& req, std::string_view key) {
+  const obs::JsonValue* v = req.Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument("missing argument '" + std::string(key) +
+                                   "'");
+  }
+  if (v->is_number()) return static_cast<TimeTag>(v->number);
+  if (v->is_string()) return DecodeTag(*v);
+  return Status::InvalidArgument("argument '" + std::string(key) +
+                                 "' is not a tag");
+}
+
+/// Protocol value coercion: null -> nil, booleans -> the true/false
+/// symbols, integral numbers -> Int, other numbers -> Float, strings ->
+/// symbols. The {"i"|"f"|"s": "..."} object forms from codec.h are also
+/// accepted for exact 64-bit ints and bit-exact floats.
+Result<Value> CoerceValue(const obs::JsonValue& j, SymbolTable* symbols) {
+  switch (j.kind) {
+    case obs::JsonValue::Kind::kNull:
+      return Value::Nil();
+    case obs::JsonValue::Kind::kBool:
+      return Value::Bool(j.boolean);
+    case obs::JsonValue::Kind::kNumber:
+      if (std::nearbyint(j.number) == j.number &&
+          j.number >= -9007199254740992.0 && j.number <= 9007199254740992.0) {
+        return Value::Int(static_cast<int64_t>(j.number));
+      }
+      return Value::Float(j.number);
+    case obs::JsonValue::Kind::kString:
+      return Value::Symbol(symbols->Intern(j.string));
+    case obs::JsonValue::Kind::kObject:
+      return DecodeValue(j, symbols);
+    case obs::JsonValue::Kind::kArray:
+      break;
+  }
+  return Status::InvalidArgument("cannot coerce value to an attribute");
+}
+
+Result<std::vector<std::pair<std::string, Value>>> ArgAttrs(
+    const obs::JsonValue& req, SymbolTable* symbols) {
+  const obs::JsonValue* attrs = req.Find("attrs");
+  if (attrs == nullptr || !attrs->is_object()) {
+    return Status::InvalidArgument("missing object argument 'attrs'");
+  }
+  std::vector<std::pair<std::string, Value>> out;
+  out.reserve(attrs->members.size());
+  for (const auto& [name, j] : attrs->members) {
+    SOREL_ASSIGN_OR_RETURN(Value v, CoerceValue(j, symbols));
+    out.emplace_back(name, v);
+  }
+  return out;
+}
+
+Result<MatcherKind> ParseMatcher(const std::string& name) {
+  if (name == "rete") return MatcherKind::kRete;
+  if (name == "treat") return MatcherKind::kTreat;
+  if (name == "dips") return MatcherKind::kDips;
+  if (name == "plan") return MatcherKind::kPlan;
+  return Status::InvalidArgument("open: unknown matcher '" + name + "'");
+}
+
+Result<Strategy> ParseStrategy(const std::string& name) {
+  if (name == "lex") return Strategy::kLex;
+  if (name == "mea") return Strategy::kMea;
+  return Status::InvalidArgument("open: unknown strategy '" + name + "'");
+}
+
+/// Splits drained JSON-lines trace text into a JSON array of the raw
+/// objects (they are valid JSON already; no re-encoding).
+std::string TraceLinesToArray(const std::string& text) {
+  std::string out = "[";
+  size_t start = 0;
+  bool first = true;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) {
+      if (!first) out += ",";
+      out.append(text, start, end - start);
+      first = false;
+    }
+    start = end + 1;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+EngineServer::EngineServer(std::string rules_source,
+                           EngineServerOptions options)
+    : rules_source_(std::move(rules_source)), options_(std::move(options)) {}
+
+Result<std::unique_ptr<EngineServer>> EngineServer::Create(
+    std::string rules_source, EngineServerOptions options) {
+  if (options.data_dir.empty()) options.data_dir = ".";
+  if (::mkdir(options.data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::RuntimeError("server: cannot create data dir '" +
+                                options.data_dir +
+                                "': " + std::strerror(errno));
+  }
+  std::unique_ptr<EngineServer> server(
+      new EngineServer(std::move(rules_source), std::move(options)));
+  // Compile once up front: a broken rule base should fail server start,
+  // not every later `open`.
+  Engine scratch;
+  SOREL_RETURN_IF_ERROR(scratch.LoadString(server->rules_source_));
+  for (const CompiledRulePtr& rule : scratch.rules()) {
+    server->rule_names_.push_back(rule->name);
+  }
+  return server;
+}
+
+Session* EngineServer::FindSession(const std::string& name) {
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::string EngineServer::HandleLine(std::string_view line) {
+  Result<obs::JsonValue> parsed = obs::ParseJson(line);
+  if (!parsed.ok()) {
+    // A request that is not JSON at all is a protocol parse error, distinct
+    // from a well-formed request with bad arguments.
+    return ErrorLine(Status::ParseError(parsed.status().message()));
+  }
+  const obs::JsonValue& req = *parsed;
+  if (!req.is_object()) {
+    return ErrorLine(Status::InvalidArgument("request is not a JSON object"));
+  }
+  Result<std::string> cmd = ArgString(req, "cmd");
+  if (!cmd.ok()) return ErrorLine(cmd.status());
+
+  if (*cmd == "ping") return "{\"ok\":true,\"pong\":true}";
+
+  if (*cmd == "rules") {
+    std::string out = "{\"ok\":true,\"rules\":[";
+    for (size_t i = 0; i < rule_names_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += Quoted(rule_names_[i]);
+    }
+    return out + "]}";
+  }
+
+  if (*cmd == "sessions") {
+    std::string out = "{\"ok\":true,\"sessions\":[";
+    bool first = true;
+    for (const auto& [name, session] : sessions_) {
+      if (!first) out += ",";
+      out += Quoted(name);
+      first = false;
+    }
+    return out + "]}";
+  }
+
+  if (*cmd == "shutdown") {
+    for (auto& [name, session] : sessions_) {
+      Status synced = session->SyncWal();
+      if (!synced.ok()) return ErrorLine(synced);
+    }
+    sessions_.clear();
+    shutdown_ = true;
+    return "{\"ok\":true,\"bye\":true}";
+  }
+
+  if (*cmd == "open") {
+    Result<std::string> name = ArgString(req, "session");
+    if (!name.ok()) return ErrorLine(name.status());
+    Status valid = CheckSessionName(*name);
+    if (!valid.ok()) return ErrorLine(valid);
+    if (sessions_.count(*name) != 0) {
+      return ErrorLine(Status::InvalidArgument("open: session '" + *name +
+                                               "' is already open"));
+    }
+    SessionOptions sopts;
+    sopts.fsync_every = options_.fsync_every;
+    if (const obs::JsonValue* m = req.Find("matcher")) {
+      if (!m->is_string()) {
+        return ErrorLine(Status::InvalidArgument("open: 'matcher' must be "
+                                                 "a string"));
+      }
+      Result<MatcherKind> kind = ParseMatcher(m->string);
+      if (!kind.ok()) return ErrorLine(kind.status());
+      sopts.matcher = *kind;
+    }
+    if (const obs::JsonValue* s = req.Find("strategy")) {
+      if (!s->is_string()) {
+        return ErrorLine(Status::InvalidArgument("open: 'strategy' must be "
+                                                 "a string"));
+      }
+      Result<Strategy> strat = ParseStrategy(s->string);
+      if (!strat.ok()) return ErrorLine(strat.status());
+      sopts.strategy = *strat;
+    }
+    if (const obs::JsonValue* t = req.Find("threads")) {
+      if (!t->is_number()) {
+        return ErrorLine(Status::InvalidArgument("open: 'threads' must be "
+                                                 "a number"));
+      }
+      sopts.match_threads = static_cast<int>(t->number);
+    }
+    if (const obs::JsonValue* f = req.Find("fsync_every")) {
+      if (!f->is_number()) {
+        return ErrorLine(Status::InvalidArgument("open: 'fsync_every' must "
+                                                 "be a number"));
+      }
+      sopts.fsync_every = static_cast<int>(f->number);
+    }
+    if (const obs::JsonValue* t = req.Find("trace")) {
+      sopts.capture_trace = t->kind == obs::JsonValue::Kind::kBool &&
+                            t->boolean;
+    }
+    Result<std::unique_ptr<Session>> session =
+        Session::Open(*name, rules_source_, options_.data_dir, sopts);
+    if (!session.ok()) return ErrorLine(session.status());
+    const RecoveryInfo& rec = (*session)->recovery();
+    std::string out = "{\"ok\":true,\"session\":" + Quoted(*name);
+    bool recovered = rec.had_snapshot || rec.replayed_records > 0;
+    out += recovered ? ",\"recovered\":true" : ",\"recovered\":false";
+    out += rec.had_snapshot ? ",\"snapshot\":true" : ",\"snapshot\":false";
+    out += ",\"replayed\":" + std::to_string(rec.replayed_records);
+    out += ",\"torn_bytes\":" + std::to_string(rec.torn_bytes);
+    out += rec.crc_mismatch ? ",\"crc_mismatch\":true"
+                            : ",\"crc_mismatch\":false";
+    out += "}";
+    sessions_[*name] = std::move(*session);
+    return out;
+  }
+
+  // Everything below addresses an existing session.
+  Result<std::string> name = ArgString(req, "session");
+  if (!name.ok()) return ErrorLine(name.status());
+  Session* session = FindSession(*name);
+  if (session == nullptr) {
+    return ErrorLine(
+        Status::NotFound("unknown session '" + *name + "'"));
+  }
+
+  if (*cmd == "close") {
+    Status synced = session->SyncWal();
+    if (!synced.ok()) return ErrorLine(synced);
+    sessions_.erase(*name);
+    return "{\"ok\":true,\"closed\":" + Quoted(*name) + "}";
+  }
+
+  Engine& engine = session->engine();
+
+  if (*cmd == "make") {
+    Result<std::string> cls = ArgString(req, "cls");
+    if (!cls.ok()) return ErrorLine(cls.status());
+    auto attrs = ArgAttrs(req, &engine.symbols());
+    if (!attrs.ok()) return ErrorLine(attrs.status());
+    Result<TimeTag> tag = session->Make(*cls, *attrs);
+    if (!tag.ok()) return ErrorLine(tag.status());
+    return "{\"ok\":true,\"tag\":" + EncodeTag(*tag) +
+           ",\"out\":" + Quoted(session->DrainOutput()) + "}";
+  }
+
+  if (*cmd == "remove") {
+    Result<TimeTag> tag = ArgTag(req, "tag");
+    if (!tag.ok()) return ErrorLine(tag.status());
+    Status removed = session->Remove(*tag);
+    if (!removed.ok()) return ErrorLine(removed);
+    return "{\"ok\":true,\"out\":" + Quoted(session->DrainOutput()) + "}";
+  }
+
+  if (*cmd == "modify") {
+    Result<TimeTag> tag = ArgTag(req, "tag");
+    if (!tag.ok()) return ErrorLine(tag.status());
+    auto attrs = ArgAttrs(req, &engine.symbols());
+    if (!attrs.ok()) return ErrorLine(attrs.status());
+    Result<TimeTag> fresh = session->Modify(*tag, *attrs);
+    if (!fresh.ok()) return ErrorLine(fresh.status());
+    return "{\"ok\":true,\"tag\":" + EncodeTag(*fresh) +
+           ",\"out\":" + Quoted(session->DrainOutput()) + "}";
+  }
+
+  if (*cmd == "run") {
+    int max = -1;
+    if (const obs::JsonValue* m = req.Find("max")) {
+      if (!m->is_number()) {
+        return ErrorLine(Status::InvalidArgument("run: 'max' must be a "
+                                                 "number"));
+      }
+      max = static_cast<int>(m->number);
+    }
+    Result<int> fired = session->Run(max);
+    if (!fired.ok()) return ErrorLine(fired.status());
+    std::string out = "{\"ok\":true,\"fired\":" + std::to_string(*fired);
+    out += engine.halted() ? ",\"halted\":true" : ",\"halted\":false";
+    return out + ",\"out\":" + Quoted(session->DrainOutput()) + "}";
+  }
+
+  if (*cmd == "begin") {
+    Status began = session->Begin();
+    if (!began.ok()) return ErrorLine(began);
+    return "{\"ok\":true,\"depth\":" +
+           std::to_string(engine.wm().transaction_depth()) + "}";
+  }
+
+  if (*cmd == "commit") {
+    Status committed = session->Commit();
+    if (!committed.ok()) return ErrorLine(committed);
+    return "{\"ok\":true,\"depth\":" +
+           std::to_string(engine.wm().transaction_depth()) +
+           ",\"out\":" + Quoted(session->DrainOutput()) + "}";
+  }
+
+  if (*cmd == "rollback") {
+    Status rolled = session->Rollback();
+    if (!rolled.ok()) return ErrorLine(rolled);
+    return "{\"ok\":true,\"depth\":" +
+           std::to_string(engine.wm().transaction_depth()) + "}";
+  }
+
+  if (*cmd == "wm") {
+    std::vector<WmePtr> wmes = engine.wm().Snapshot();
+    std::string out = "{\"ok\":true,\"size\":" + std::to_string(wmes.size());
+    out += ",\"next_tag\":" + EncodeTag(engine.wm().next_time_tag());
+    out += ",\"wmes\":[";
+    for (size_t i = 0; i < wmes.size(); ++i) {
+      if (i != 0) out += ",";
+      out += EncodeSnapshotWme(*wmes[i], engine.symbols());
+    }
+    return out + "]}";
+  }
+
+  if (*cmd == "cs") {
+    std::string out = "{\"ok\":true,\"entries\":[";
+    bool first = true;
+    for (const ConflictSet::EntryState& state :
+         engine.conflict_set().EntriesWithState()) {
+      CsEntrySnapshot entry;
+      entry.rule = state.inst->rule().name;
+      std::vector<Row> rows;
+      state.inst->CollectRows(&rows);
+      for (const Row& row : rows) {
+        std::vector<TimeTag> tags;
+        for (const WmePtr& wme : row) {
+          tags.push_back(wme == nullptr ? 0 : wme->time_tag());
+        }
+        entry.rows.push_back(std::move(tags));
+      }
+      entry.fired = state.fired;
+      if (!first) out += ",";
+      out += EncodeSnapshotCsEntry(entry);
+      first = false;
+    }
+    return out + "]}";
+  }
+
+  if (*cmd == "metrics") {
+    std::string out = "{\"ok\":true,\"counters\":{";
+    bool first = true;
+    for (const auto& [counter, value] : engine.metrics().SnapshotCounters()) {
+      if (!first) out += ",";
+      out += Quoted(counter) + ":\"" + std::to_string(value) + "\"";
+      first = false;
+    }
+    return out + "}}";
+  }
+
+  if (*cmd == "trace") {
+    return "{\"ok\":true,\"trace\":" +
+           TraceLinesToArray(session->DrainTrace()) + "}";
+  }
+
+  if (*cmd == "wal") {
+    const WalWriter::Stats& stats = session->wal_stats();
+    return "{\"ok\":true,\"records\":" + std::to_string(stats.records) +
+           ",\"bytes\":" + std::to_string(stats.bytes) +
+           ",\"fsyncs\":" + std::to_string(stats.fsyncs) +
+           ",\"next_lsn\":\"" + std::to_string(session->next_lsn()) + "\"}";
+  }
+
+  if (*cmd == "snapshot") {
+    Status took = session->TakeSnapshot();
+    if (!took.ok()) return ErrorLine(took);
+    return "{\"ok\":true,\"snapshot_lsn\":\"" +
+           std::to_string(session->next_lsn() - 1) + "\"}";
+  }
+
+  if (*cmd == "dump") {
+    std::ostringstream dump;
+    engine.DumpWm(dump);
+    return "{\"ok\":true,\"dump\":" + Quoted(dump.str()) + "}";
+  }
+
+  return ErrorLine(
+      Status::InvalidArgument("unknown command '" + *cmd + "'"));
+}
+
+}  // namespace server
+}  // namespace sorel

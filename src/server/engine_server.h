@@ -1,0 +1,72 @@
+#ifndef SOREL_SERVER_ENGINE_SERVER_H_
+#define SOREL_SERVER_ENGINE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "server/session.h"
+
+namespace sorel {
+namespace server {
+
+struct EngineServerOptions {
+  /// Directory holding per-session WAL and snapshot files (created if
+  /// missing).
+  std::string data_dir = ".";
+  /// Default WAL fsync batching for sessions that don't override it.
+  int fsync_every = 1;
+};
+
+/// A multi-session rule service: N independent sessions — each its own
+/// working memory, conflict set, and WAL — instantiated from one shared
+/// rule source, driven over a line-oriented JSON protocol. One request
+/// line in, exactly one response line out:
+///
+///   {"cmd":"open","session":"s1","matcher":"rete"}
+///   {"ok":true,"session":"s1","recovered":false,...}
+///
+/// Commands: ping, rules, sessions, open, close, make, remove, modify,
+/// run, begin, commit, rollback, wm, cs, metrics, trace, wal, snapshot,
+/// dump, shutdown. Errors come back as
+/// {"ok":false,"code":"<StatusCodeName>","error":"..."} and never kill the
+/// server. The core is transport-agnostic — `HandleLine` maps one request
+/// to one response, and sorel_serve wires it to stdio or a unix socket.
+class EngineServer {
+ public:
+  /// Validates `rules_source` by compiling it once; the source is then
+  /// loaded into every session that opens.
+  static Result<std::unique_ptr<EngineServer>> Create(
+      std::string rules_source, EngineServerOptions options = {});
+
+  /// Handles one protocol line, returning one JSON response line (no
+  /// trailing newline). Never throws, never returns malformed JSON.
+  std::string HandleLine(std::string_view line);
+
+  /// True after a `shutdown` command: the transport loop should drain and
+  /// exit. Sessions are synced and closed by then.
+  bool shutdown_requested() const { return shutdown_; }
+
+  /// The session named `name`, or nullptr (tests reach in for state
+  /// comparisons the protocol doesn't expose verbatim).
+  Session* FindSession(const std::string& name);
+
+  const std::vector<std::string>& rule_names() const { return rule_names_; }
+
+ private:
+  EngineServer(std::string rules_source, EngineServerOptions options);
+
+  std::string rules_source_;
+  EngineServerOptions options_;
+  std::vector<std::string> rule_names_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+  bool shutdown_ = false;
+};
+
+}  // namespace server
+}  // namespace sorel
+
+#endif  // SOREL_SERVER_ENGINE_SERVER_H_

@@ -1,0 +1,96 @@
+#ifndef SOREL_SERVER_WAL_H_
+#define SOREL_SERVER_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sorel {
+namespace server {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data` —
+/// the per-record checksum the WAL frames carry.
+uint32_t Crc32(std::string_view data);
+
+/// One recovered WAL record: its payload plus the file offset of the byte
+/// after its frame (the truncation point a snapshot or a test can cut at).
+struct WalRecord {
+  std::string payload;
+  uint64_t end_offset = 0;
+};
+
+/// What a full read of a WAL file found. A torn or corrupt tail is not an
+/// error: it is the expected shape of a crash mid-append, so the reader
+/// reports it and the caller recovers from the last intact record.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Bytes of a torn final frame (short header, short payload, or CRC
+  /// mismatch) that were dropped. 0 when the file ends cleanly.
+  uint64_t torn_bytes = 0;
+  /// True when the dropped tail failed its CRC check (as opposed to being
+  /// merely short) — the torn-final-record case the recovery tests pin.
+  bool crc_mismatch = false;
+};
+
+/// Append-only writer of CRC-framed records:
+///
+///   [u32le payload_len][u32le crc32(payload)][payload bytes]
+///
+/// Appends buffer in stdio and reach the disk with fsync; `fsync_every`
+/// batches the fsyncs (1 = sync every record, N = sync every N records —
+/// the group-commit knob). `Sync` forces the batch out (snapshot and
+/// shutdown call it).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending (created if missing).
+  Status Open(const std::string& path, int fsync_every = 1);
+
+  /// Frames and appends one record; fsyncs when the batch is due.
+  Status Append(std::string_view payload);
+
+  /// Flushes and fsyncs any pending appends.
+  Status Sync();
+
+  /// Truncates the file to zero length (WAL reset after a snapshot). The
+  /// writer stays open and subsequent appends start a fresh file.
+  Status Truncate();
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  struct Stats {
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    uint64_t fsyncs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  int fsync_every_ = 1;
+  int pending_ = 0;  // records appended since the last fsync
+  Stats stats_;
+};
+
+/// Reads every intact record of the WAL at `path`. A missing file reads as
+/// empty. The first damaged frame (short header, short payload, or CRC
+/// mismatch) ends the read: length-prefixed framing cannot resync past it,
+/// so everything from that point on is reported as the torn tail. An I/O
+/// failure opening or reading the file is a hard error.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+}  // namespace server
+}  // namespace sorel
+
+#endif  // SOREL_SERVER_WAL_H_

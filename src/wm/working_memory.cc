@@ -254,6 +254,58 @@ void WorkingMemory::Rollback() {
   next_tag_ = sp.next_tag;
 }
 
+Status WorkingMemory::ApplyReplay(const std::vector<ReplayChange>& changes,
+                                  TimeTag next_tag_after, bool transactional) {
+  if (transactional && InTransaction()) {
+    return Status::InvalidArgument(
+        "replay: transactional replay inside an open transaction");
+  }
+  if (transactional) Begin();
+  auto fail = [this, transactional](Status status) {
+    if (transactional) Rollback();
+    return status;
+  };
+  for (const ReplayChange& c : changes) {
+    if (c.added) {
+      const ClassSchema* schema = schemas_->Find(c.cls);
+      if (schema == nullptr) {
+        return fail(Status::InvalidArgument(
+            "replay: class '" + std::string(symbols_->Name(c.cls)) +
+            "' was never literalized"));
+      }
+      if (static_cast<int>(c.fields.size()) != schema->num_fields()) {
+        return fail(Status::InvalidArgument(
+            "replay: wrong field count for class '" +
+            std::string(symbols_->Name(c.cls)) + "'"));
+      }
+      if (live_.count(c.tag) != 0) {
+        return fail(Status::InvalidArgument(
+            "replay: time tag " + std::to_string(c.tag) +
+            " is already live"));
+      }
+      // Route through the counter so the allocation and stats paths are
+      // the live Make path exactly; the recorded tag overrides whatever
+      // the counter would have said (netting gaps, see header comment).
+      next_tag_ = c.tag;
+      WmePtr wme = AllocateWme(c.cls, c.fields, next_tag_++);
+      live_.emplace(wme->time_tag(), wme);
+      NotifyAdd(wme, c.modify_pair);
+    } else {
+      auto it = live_.find(c.tag);
+      if (it == live_.end()) {
+        return fail(Status::NotFound(
+            "replay: no live WME with time tag " + std::to_string(c.tag)));
+      }
+      WmePtr wme = it->second;
+      live_.erase(it);
+      NotifyRemove(wme, c.modify_pair);
+    }
+  }
+  next_tag_ = next_tag_after;
+  if (transactional) return Commit();
+  return Status::Ok();
+}
+
 WmePtr WorkingMemory::Find(TimeTag tag) const {
   auto it = live_.find(tag);
   return it == live_.end() ? nullptr : it->second;

@@ -17,6 +17,18 @@
 
 namespace sorel {
 
+/// One change of a recovered ChangeBatch, as read back from a server WAL
+/// record (src/server/wal.h). Unlike a live `WmChange` it carries the
+/// original time tag explicitly: commit-time netting can leave gaps in a
+/// batch's tag sequence, so replay must not let the counter re-derive them.
+struct ReplayChange {
+  bool added = true;
+  TimeTag tag = 0;
+  SymbolId cls = kInvalidSymbol;     // adds only
+  std::vector<Value> fields;         // adds only
+  TimeTag modify_pair = 0;
+};
+
 /// The working memory: the set of live WMEs, indexed by time tag.
 ///
 /// Matchers (Rete, TREAT, DIPS) subscribe as `Listener`s. Outside a
@@ -118,6 +130,22 @@ class WorkingMemory {
   void Rollback();
   bool InTransaction() const { return !savepoints_.empty(); }
   size_t transaction_depth() const { return savepoints_.size(); }
+
+  // --- WAL recovery (src/server) ---
+  /// Re-applies a recovered change sequence exactly as recorded: adds
+  /// re-make their WMEs under the original time tags, removes retract by
+  /// tag, and every change keeps its recorded modify pairing. With
+  /// `transactional`, the whole sequence is wrapped in Begin/Commit and
+  /// reaches listeners as one ChangeBatch — the normal batch path — and
+  /// otherwise each change is delivered as a direct per-WME event, exactly
+  /// as the live run delivered it. `next_tag_after` restores the tag
+  /// counter to its recorded post-commit value (netting can make it run
+  /// ahead of the last add in the batch). Errors if `transactional` is
+  /// requested inside an open transaction, on a tag collision with a live
+  /// WME, or on a schema mismatch; a failed transactional replay rolls
+  /// back.
+  Status ApplyReplay(const std::vector<ReplayChange>& changes,
+                     TimeTag next_tag_after, bool transactional);
 
   /// Live WME with `tag`, or nullptr.
   WmePtr Find(TimeTag tag) const;

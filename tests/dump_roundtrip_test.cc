@@ -88,6 +88,40 @@ TEST(DumpRoundTripTest, PipeSymbolUsesDoubleQuoteDelimiter) {
   ExpectRoundTrip(engine);
 }
 
+TEST(DumpRoundTripTest, WhitespaceAndControlSymbolsRoundTrip) {
+  // Quoted atoms may span lines: the lexer consumes raw bytes up to the
+  // closing delimiter (no escapes), so symbols containing newlines,
+  // carriage returns, and tabs round-trip through the dump unchanged.
+  Engine engine;
+  MustLoad(engine, kSchema);
+  MustMake(engine, "thing", {{"name", engine.Sym("line\nbreak")}});
+  MustMake(engine, "thing", {{"name", engine.Sym("carriage\rreturn")}});
+  MustMake(engine, "thing", {{"name", engine.Sym("tab\tstop")}});
+  MustMake(engine, "thing", {{"name", engine.Sym(" padded ")}});
+  std::string dump = Dump(engine);
+  EXPECT_NE(dump.find("|line\nbreak|"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("| padded |"), std::string::npos) << dump;
+  ExpectRoundTrip(engine);
+}
+
+TEST(DumpRoundTripTest, BothDelimitersIsUnrepresentable) {
+  // A symbol containing both `|` and `"` cannot be written in the source
+  // syntax at all (quoted atoms have no escapes; the dump picks whichever
+  // delimiter the text lacks). Pin that this case fails *loudly* on
+  // reload instead of silently rebuilding a wrong-looking WM. Such
+  // symbols do survive the server's WAL/snapshot codec, which JSON-escapes
+  // them (see server_wal_test.cc) — only the OPS5 source form is lossy.
+  Engine engine;
+  MustLoad(engine, kSchema);
+  MustMake(engine, "thing", {{"name", engine.Sym("both|\"inside")}});
+  std::string dump = Dump(engine);
+  Engine second;
+  MustLoad(second, kSchema);
+  Status loaded = second.LoadString(dump);
+  EXPECT_TRUE(!loaded.ok() || Dump(second) != dump)
+      << "a both-delimiter symbol unexpectedly round-tripped: " << dump;
+}
+
 TEST(DumpRoundTripTest, SurvivesARunThatMutatesWm) {
   // Dump after actual rule activity (modifies assign fresh time tags), to
   // check the dump is a snapshot of live WMEs, not of history.

@@ -1,0 +1,132 @@
+#ifndef SOREL_TESTS_SERVER_TEST_UTIL_H_
+#define SOREL_TESTS_SERVER_TEST_UTIL_H_
+
+// Shared helpers for the server test suites: scratch data directories and
+// full-state fingerprints (working memory, tag counter, conflict set with
+// refraction flags, metric counters) that recovered sessions are compared
+// against.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "server/codec.h"
+#include "server/session.h"
+
+namespace sorel {
+namespace server {
+
+/// A per-test scratch directory for WAL + snapshot files.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/sorel_server_test_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) std::abort();
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf '" + path_ + "'";
+    (void)std::system(cmd.c_str());
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Everything a recovered session must reproduce, captured as comparable
+/// values. `cs` keys are sorted: recovery preserves entry identity and
+/// refraction, not insertion order.
+struct Fingerprint {
+  std::string dump;
+  TimeTag next_tag = 0;
+  std::vector<std::string> cs;
+  std::map<std::string, uint64_t> counters;
+
+  bool operator==(const Fingerprint& other) const {
+    return dump == other.dump && next_tag == other.next_tag &&
+           cs == other.cs && counters == other.counters;
+  }
+  bool operator!=(const Fingerprint& other) const {
+    return !(*this == other);
+  }
+};
+
+inline Fingerprint Capture(Session& session) {
+  Fingerprint fp;
+  std::ostringstream dump;
+  session.engine().DumpWm(dump);
+  fp.dump = dump.str();
+  fp.next_tag = session.engine().wm().next_time_tag();
+  for (const ConflictSet::EntryState& state :
+       session.engine().conflict_set().EntriesWithState()) {
+    CsEntrySnapshot entry;
+    entry.rule = state.inst->rule().name;
+    std::vector<Row> rows;
+    state.inst->CollectRows(&rows);
+    for (const Row& row : rows) {
+      std::vector<TimeTag> tags;
+      for (const WmePtr& wme : row) {
+        tags.push_back(wme == nullptr ? 0 : wme->time_tag());
+      }
+      entry.rows.push_back(std::move(tags));
+    }
+    fp.cs.push_back(entry.Key() + (state.fired ? "|fired" : "|eligible"));
+  }
+  std::sort(fp.cs.begin(), fp.cs.end());
+  fp.counters = session.engine().metrics().SnapshotCounters();
+  return fp;
+}
+
+/// Renders where two fingerprints differ (for test failure messages).
+inline std::string DiffFingerprints(const Fingerprint& want,
+                                    const Fingerprint& got) {
+  std::ostringstream out;
+  if (want.dump != got.dump) {
+    out << "wm dump:\n--- want ---\n" << want.dump << "--- got ---\n"
+        << got.dump;
+  }
+  if (want.next_tag != got.next_tag) {
+    out << "next_tag: want " << want.next_tag << " got " << got.next_tag
+        << "\n";
+  }
+  if (want.cs != got.cs) {
+    out << "conflict set: want {";
+    for (const std::string& k : want.cs) out << k << " ";
+    out << "} got {";
+    for (const std::string& k : got.cs) out << k << " ";
+    out << "}\n";
+  }
+  if (want.counters != got.counters) {
+    for (const auto& [name, value] : want.counters) {
+      auto it = got.counters.find(name);
+      if (it == got.counters.end()) {
+        out << "counter " << name << ": want " << value << " got <absent>\n";
+      } else if (it->second != value) {
+        out << "counter " << name << ": want " << value << " got "
+            << it->second << "\n";
+      }
+    }
+    for (const auto& [name, value] : got.counters) {
+      if (want.counters.find(name) == want.counters.end()) {
+        out << "counter " << name << ": want <absent> got " << value << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace server
+}  // namespace sorel
+
+#endif  // SOREL_TESTS_SERVER_TEST_UTIL_H_
