@@ -16,16 +16,21 @@
 //   --data-dir DIR      WAL + snapshot directory (default ".")
 //   --socket PATH       serve a unix domain socket instead of stdio
 //   --fsync-every N     default WAL fsync batching for new sessions
+//   --max-sessions N    evict LRU idle sessions past N resident (0 = off)
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "server/engine_server.h"
 
@@ -44,8 +49,9 @@ int ServeStdio(EngineServer& server) {
 }
 
 /// Reads newline-terminated requests from one connection and answers each
-/// with one response line. Returns false when the server should exit.
-bool ServeConnection(EngineServer& server, int fd) {
+/// with one response line. Returns when the client disconnects or a
+/// `shutdown` command lands on this connection.
+void ServeConnection(EngineServer& server, int fd) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -59,13 +65,13 @@ bool ServeConnection(EngineServer& server, int fd) {
       while (sent < response.size()) {
         ssize_t n = ::write(fd, response.data() + sent,
                             response.size() - sent);
-        if (n <= 0) return true;  // client went away; keep serving others
+        if (n <= 0) return;  // client went away; keep serving others
         sent += static_cast<size_t>(n);
       }
-      if (server.shutdown_requested()) return false;
+      if (server.shutdown_requested()) return;
     }
     ssize_t got = ::read(fd, chunk, sizeof(chunk));
-    if (got <= 0) return true;
+    if (got <= 0) return;
     buffer.append(chunk, static_cast<size_t>(got));
   }
 }
@@ -86,26 +92,46 @@ int ServeSocket(EngineServer& server, const std::string& path) {
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
-      ::listen(listener, 4) != 0) {
+      ::listen(listener, 16) != 0) {
     std::cerr << "bind/listen " << path << ": " << std::strerror(errno)
               << "\n";
     ::close(listener);
     return 1;
   }
   std::cerr << "sorel_serve: listening on " << path << "\n";
-  // Sequential accept loop: the engine core is single-threaded by design
-  // (sessions isolate state, not threads), so clients take turns.
+  // Thread-per-connection event loop: HandleLine is thread-safe (the
+  // compiled rule base is shared read-only; each session slot has its own
+  // mutex), so clients on distinct sessions run concurrently and clients
+  // on the same session serialize at the slot. A `shutdown` command from
+  // any client closes the listener, which unblocks accept() and drains.
+  std::mutex mu;
+  std::vector<std::thread> workers;
   for (;;) {
     int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR && !server.shutdown_requested()) continue;
       break;
     }
-    bool keep_serving = ServeConnection(server, fd);
-    ::close(fd);
-    if (!keep_serving) break;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      workers.emplace_back([&server, &mu, &listener, fd] {
+        ServeConnection(server, fd);
+        ::close(fd);
+        if (server.shutdown_requested()) {
+          // Wake the accept loop (shutdown closes every other client's
+          // next read too, since HandleLine answers with an error line).
+          std::lock_guard<std::mutex> lock(mu);
+          if (listener >= 0) ::shutdown(listener, SHUT_RDWR);
+        }
+      });
+    }
   }
-  ::close(listener);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ::close(listener);
+    listener = -1;
+  }
+  for (std::thread& worker : workers) worker.join();
   ::unlink(path.c_str());
   return 0;
 }
@@ -131,6 +157,8 @@ int main(int argc, char** argv) {
       socket_path = next("a path");
     } else if (arg == "--fsync-every") {
       options.fsync_every = std::atoi(next("a count"));
+    } else if (arg == "--max-sessions") {
+      options.max_resident_sessions = std::atoi(next("a count"));
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
       return 1;
@@ -140,7 +168,7 @@ int main(int argc, char** argv) {
   }
   if (rules_path.empty()) {
     std::cerr << "usage: sorel_serve <rules.ops> [--data-dir DIR] "
-                 "[--socket PATH] [--fsync-every N]\n";
+                 "[--socket PATH] [--fsync-every N] [--max-sessions N]\n";
     return 1;
   }
   std::ifstream in(rules_path);

@@ -97,7 +97,7 @@ void CmdCs(Engine& engine) {
 
 void CmdRules(Engine& engine) {
   sorel::AstPrinter printer(&engine.symbols());
-  for (const sorel::CompiledRulePtr& rule : engine.rules()) {
+  for (const sorel::CompiledRule* rule : engine.rules()) {
     std::cout << printer.PrintRule(rule->ast) << "\n";
   }
   std::cout << engine.rules().size() << " rules\n";
@@ -195,7 +195,7 @@ bool Dispatch(Engine& engine, const std::string& line) {
     std::cout << "watch level " << level << "\n";
   } else if (cmd == "lint") {
     size_t count = 0;
-    for (const sorel::CompiledRulePtr& rule : engine.rules()) {
+    for (const sorel::CompiledRule* rule : engine.rules()) {
       for (const sorel::LintWarning& w : sorel::LintRule(*rule)) {
         std::cout << w.ToString() << "\n";
         ++count;

@@ -14,6 +14,17 @@ SymbolTable::SymbolTable() {
   (void)fls;
 }
 
+void SymbolTable::CopyFrom(const SymbolTable& other) {
+  names_ = other.names_;
+  // Rebuild the id map from scratch: its string_view keys must point into
+  // *this* table's strings, not the source's.
+  ids_.clear();
+  ids_.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    ids_.emplace(std::string_view(names_[i]), static_cast<SymbolId>(i));
+  }
+}
+
 SymbolId SymbolTable::Intern(std::string_view text) {
   auto it = ids_.find(text);
   if (it != ids_.end()) return it->second;

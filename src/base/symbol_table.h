@@ -35,6 +35,13 @@ class SymbolTable {
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
 
+  /// Replaces this table's contents with a copy of `other`, preserving
+  /// every id. Used when an Engine binds to a shared CompiledRuleBase: the
+  /// session table starts from the base's interning so compiled SymbolIds
+  /// resolve identically, then grows privately as the session interns new
+  /// atoms.
+  void CopyFrom(const SymbolTable& other);
+
   /// Returns the id for `text`, interning it on first use.
   SymbolId Intern(std::string_view text);
 

@@ -100,6 +100,12 @@ DipsMatcher::DipsMatcher(WorkingMemory* wm, ConflictSet* cs, ThreadPool* pool,
                               [this] { return stats_.refreshes; });
     metrics_->RegisterCounter(this, "dips.batches",
                               [this] { return stats_.batches; });
+    // Per-session COND-table storage (the rule programs themselves are
+    // shared when the engine is bound to a CompiledRuleBase; these
+    // relations are what each session pays privately).
+    metrics_->RegisterGauge(this, "dips.table_bytes", [this] {
+      return static_cast<double>(TableMemoryBytes());
+    });
     metrics_->RegisterReset(this, [this] { ResetStats(); });
     if (metrics_->timing_enabled()) {
       match_timer_ = metrics_->GetOrCreateTimer("phase.match");
@@ -318,6 +324,20 @@ Result<rdb::Relation> DipsMatcher::MatchRelation(
     if (rs->rule == rule) return ComputeMatch(*rs);
   }
   return Status::NotFound("rule not loaded in DIPS matcher: " + rule->name);
+}
+
+size_t DipsMatcher::TableMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& rs : rules_) {
+    for (const CondTable& table : rs->tables) {
+      const std::vector<rdb::Tuple>& rows = table.relation().rows();
+      bytes += rows.capacity() * sizeof(rdb::Tuple);
+      for (const rdb::Tuple& row : rows) {
+        bytes += row.capacity() * sizeof(Value);
+      }
+    }
+  }
+  return bytes;
 }
 
 std::vector<std::string> DipsMatcher::KeyColumns(const CompiledRule& rule) {

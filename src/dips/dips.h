@@ -115,6 +115,10 @@ class DipsMatcher : public Matcher {
   /// Column names of the SOI partition key in the match relation.
   static std::vector<std::string> KeyColumns(const CompiledRule& rule);
 
+  /// Bytes held by every rule's COND-table relations — the session-private
+  /// match state (the `dips.table_bytes` gauge).
+  size_t TableMemoryBytes() const;
+
   Result<rdb::Relation> ComputeMatch(const RuleState& rs) const;
   /// Recomputes the match and diffs it into the conflict set. Counters go
   /// through `stats` so concurrent per-rule refreshes accumulate privately.

@@ -23,7 +23,7 @@ class Engine::WmTracer : public WorkingMemory::Listener {
 
  private:
   void Print(const char* arrow, const WmePtr& wme) {
-    const ClassSchema* schema = engine_->schemas_.Find(wme->cls());
+    const ClassSchema* schema = engine_->schemas().Find(wme->cls());
     *engine_->out_ << arrow << " "
                    << wme->ToString(engine_->symbols_, *schema) << "\n";
   }
@@ -31,12 +31,27 @@ class Engine::WmTracer : public WorkingMemory::Listener {
 };
 
 Engine::Engine(EngineOptions options)
-    : options_(options),
-      wm_(std::make_unique<WorkingMemory>(&schemas_, &symbols_, &metrics_,
-                                          &trace_, options.wme_arena)),
+    : Engine(std::move(options), nullptr) {}
+
+Engine::Engine(EngineOptions options, RuleBasePtr base)
+    : options_(std::move(options)),
+      base_(std::move(base)),
+      wm_(std::make_unique<WorkingMemory>(
+          base_ != nullptr ? &base_->schemas() : &schemas_, &symbols_,
+          &metrics_, &trace_, options_.wme_arena)),
       cs_(options_.indexed_conflict_set, &metrics_),
       compiler_(&symbols_, &schemas_),
       rhs_(wm_.get(), &symbols_, &std::cout, &metrics_, &trace_) {
+  if (base_ != nullptr) {
+    // Adopt the base's interning before anything can intern: the shared
+    // rules, schemas, and startup actions all hold the base's SymbolIds by
+    // value, and CopyFrom preserves ids exactly.
+    symbols_.CopyFrom(base_->symbols());
+    // Hand the matcher the shared topology so its alpha structures borrow
+    // the base's immutable patterns (pointer-identity dedup) instead of
+    // deriving private copies.
+    options_.rete.topology = &base_->topology();
+  }
   // Before any matcher is built: they consult timing_enabled() at
   // construction to decide whether to install hot-path scope timers.
   metrics_.set_timing_enabled(options_.enable_timers);
@@ -81,9 +96,9 @@ Engine::Engine(EngineOptions options)
     treat_ = treat.get();
     matcher_ = std::move(treat);
   } else if (options_.matcher == MatcherKind::kPlan) {
-    auto plan = std::make_unique<PlanMatcher>(wm_.get(), &cs_,
-                                              options_.join_order, match_pool,
-                                              &metrics_, &trace_);
+    auto plan = std::make_unique<PlanMatcher>(
+        wm_.get(), &cs_, options_.join_order, match_pool, &metrics_, &trace_,
+        base_ != nullptr ? &base_->topology() : nullptr);
     plan_ = plan.get();
     matcher_ = std::move(plan);
   } else {
@@ -132,6 +147,26 @@ Engine::Engine(EngineOptions options)
     tracer_ = std::make_unique<WmTracer>(this);
     wm_->AddListener(tracer_.get());
   }
+  if (base_ != nullptr) {
+    // Bind: load every base rule into the fresh matcher, then run the
+    // base's startup actions — the same order LoadString performs them in,
+    // so network shape, time tags, and traces are bit-identical to a
+    // private compile of base->source().
+    for (const CompiledRulePtr& rule : base_->rules()) {
+      bind_status_ = matcher_->AddRule(rule.get());
+      if (!bind_status_.ok()) return;
+      active_rules_.push_back(rule.get());
+    }
+    if (!base_->startup().empty()) {
+      Result<RhsExecutor::FireResult> result =
+          rhs_.ExecuteStandalone(startup_context_, base_->startup());
+      if (!result.ok()) bind_status_ = result.status();
+    }
+    const CompiledRuleBase* b = base_.get();
+    metrics_.RegisterGauge(this, "engine.rule_base_bytes", [b] {
+      return static_cast<double>(b->MemoryBytes());
+    });
+  }
 }
 
 Engine::~Engine() {
@@ -156,6 +191,11 @@ void Engine::set_trace_wm(bool on) {
 }
 
 Status Engine::LoadString(std::string_view source) {
+  if (base_ != nullptr) {
+    return Status::InvalidArgument(
+        "engine is bound to a shared rule base; the compiled artifact is "
+        "immutable — open a session on a base compiled from the new source");
+  }
   SOREL_ASSIGN_OR_RETURN(ProgramAst program, Parse(source));
   for (const LiteralizeAst& lit : program.literalizes) {
     SOREL_RETURN_IF_ERROR(compiler_.DeclareLiteralize(lit));
@@ -181,6 +221,7 @@ Status Engine::LoadString(std::string_view source) {
       if (r.reordered) ReorderRuleInPlace(rule.get(), r.order);
     }
     SOREL_RETURN_IF_ERROR(matcher_->AddRule(rule.get()));
+    active_rules_.push_back(rule.get());
     rules_.push_back(std::move(rule));
   }
   if (!program.startup.empty()) {
@@ -223,7 +264,7 @@ Result<TimeTag> Engine::ModifyWme(
     return Status::NotFound("modify: no live WME with time tag " +
                             std::to_string(tag));
   }
-  const ClassSchema* schema = schemas_.Find(old->cls());
+  const ClassSchema* schema = schemas().Find(old->cls());
   std::vector<Value> fields = old->fields();
   for (const auto& [attr, value] : values) {
     int field = schema->FieldOf(symbols_.Intern(attr));
@@ -279,7 +320,7 @@ std::string QuoteAtom(std::string_view text) {
 void Engine::DumpWm(std::ostream& out) const {
   out << "(startup\n";
   for (const WmePtr& wme : wm_->Snapshot()) {
-    const ClassSchema* schema = schemas_.Find(wme->cls());
+    const ClassSchema* schema = schemas().Find(wme->cls());
     out << "  (make " << symbols_.Name(wme->cls());
     for (int i = 0; i < wme->num_fields(); ++i) {
       const Value& v = wme->field(i);
@@ -304,6 +345,10 @@ Status Engine::ExciseRule(std::string_view name) {
   }
   SOREL_RETURN_IF_ERROR(matcher_->RemoveRule(rule));
   snodes_.erase(std::string(name));
+  std::erase(active_rules_, rule);
+  // Bound engines leave rules_ empty — the base keeps the rule alive for
+  // the other sessions (and for a later re-bind); only this session's
+  // match state is pruned.
   std::erase_if(rules_, [rule](const CompiledRulePtr& r) {
     return r.get() == rule;
   });
@@ -316,8 +361,8 @@ SNode* Engine::snode(std::string_view rule_name) {
 }
 
 const CompiledRule* Engine::FindRule(std::string_view name) const {
-  for (const CompiledRulePtr& rule : rules_) {
-    if (rule->name == name) return rule.get();
+  for (const CompiledRule* rule : active_rules_) {
+    if (rule->name == name) return rule;
   }
   return nullptr;
 }

@@ -18,6 +18,7 @@
 #include "lang/compiled_rule.h"
 #include "lang/compiler.h"
 #include "lang/join_order.h"
+#include "lang/rule_base.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/plan_matcher.h"
@@ -144,12 +145,24 @@ class Engine {
   };
 
   explicit Engine(EngineOptions options = {});
+  /// Binds a session to a shared compiled rule base: instead of compiling
+  /// source privately, the engine copies the base's symbol interning,
+  /// reads its schema registry directly, hands the matcher the base's
+  /// shared network topology, loads every base rule, and executes the
+  /// base's startup actions against its own (empty) working memory. All
+  /// mutable match state — alpha items, tokens, conflict set, WM — stays
+  /// per-engine; the base is read-only and may be bound by any number of
+  /// engines concurrently. Observable behavior is bit-identical to a
+  /// private `LoadString(base->source())` on a fresh engine.
+  Engine(EngineOptions options, RuleBasePtr base);
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Loads `(literalize ...)` and `(p ...)` forms from source text.
+  /// Refused on an engine bound to a shared rule base (the compiled
+  /// artifact is immutable; open a differently-fingerprinted base instead).
   Status LoadString(std::string_view source);
   Status LoadFile(const std::string& path);
 
@@ -201,9 +214,19 @@ class Engine {
   /// Interned symbol value for `text` (convenience for MakeWme).
   Value Sym(std::string_view text) { return Value::Symbol(symbols_.Intern(text)); }
 
+  /// OK after construction, or the first error binding to the rule base hit
+  /// (a rule the configured matcher rejects, a failing startup action).
+  /// Always OK on self-compiled engines — their loading reports through
+  /// LoadString's return value.
+  const Status& bind_status() const { return bind_status_; }
+
   // --- component access ---
   SymbolTable& symbols() { return symbols_; }
-  SchemaRegistry& schemas() { return schemas_; }
+  /// The schema registry rules were compiled against: the shared base's
+  /// when bound, this engine's own otherwise.
+  const SchemaRegistry& schemas() const {
+    return base_ != nullptr ? base_->schemas() : schemas_;
+  }
   WorkingMemory& wm() { return *wm_; }
   ConflictSet& conflict_set() { return cs_; }
   Matcher& matcher() { return *matcher_; }
@@ -212,7 +235,13 @@ class Engine {
   /// The S-node of a set-oriented rule, or nullptr (regular rule / TREAT).
   SNode* snode(std::string_view rule_name);
   const CompiledRule* FindRule(std::string_view name) const;
-  const std::vector<CompiledRulePtr>& rules() const { return rules_; }
+  /// The loaded rules in load order. Borrowed pointers: owned by this
+  /// engine (LoadString) or by the bound shared rule base.
+  const std::vector<const CompiledRule*>& rules() const {
+    return active_rules_;
+  }
+  /// The shared rule base this engine is bound to, or null (self-compiled).
+  const RuleBasePtr& rule_base() const { return base_; }
 
   /// Redirects `write` output and traces (default: std::cout).
   void set_output(std::ostream* out);
@@ -256,6 +285,11 @@ class Engine {
   Status MatchError() const;
 
   EngineOptions options_;
+  /// The shared compiled artifact when bound (null otherwise). Declared
+  /// first among the components so it is destroyed last: the matcher, WM,
+  /// and sinks all hold pointers into the base's rules, schemas, and
+  /// topology during teardown.
+  RuleBasePtr base_;
   SymbolTable symbols_;
   SchemaRegistry schemas_;
   // The registry and tracer are declared before every component that
@@ -269,7 +303,11 @@ class Engine {
   std::map<std::string, SNode*, std::less<>> snodes_;
   // Rules are declared before the matcher: beta nodes and S-nodes hold
   // pointers into them, and the matcher's teardown still dereferences them.
+  // Self-compiled engines own their rules here; bound engines leave this
+  // empty (the base owns the rules) — either way `active_rules_` is the
+  // load-ordered view the matcher and the public API work from.
   std::vector<CompiledRulePtr> rules_;
+  std::vector<const CompiledRule*> active_rules_;
   // The pool outlives the matcher (declared first): the matcher holds a
   // borrowed ThreadPool* and may still reference it during teardown.
   std::unique_ptr<ThreadPool> pool_;
@@ -286,6 +324,8 @@ class Engine {
   obs::Timer* select_timer_ = nullptr;
   obs::Timer* act_timer_ = nullptr;
   bool halted_ = false;
+  /// First error binding to the shared rule base (see bind_status()).
+  Status bind_status_;
   /// Empty rule context for startup-action execution.
   CompiledRule startup_context_;
   /// Listener printing WM changes when options.trace_wm is set.

@@ -26,6 +26,44 @@ bool PassesAlphaTests(const CompiledCondition& cond, const Wme& wme) {
   return true;
 }
 
+bool SameConstantTests(const std::vector<ConstantTest>& a,
+                       const std::vector<ConstantTest>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].field != b[i].field || a[i].pred != b[i].pred ||
+        !(a[i].value == b[i].value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameMemberTests(const std::vector<MemberTest>& a,
+                     const std::vector<MemberTest>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].field != b[i].field || a[i].values.size() != b[i].values.size()) {
+      return false;
+    }
+    for (size_t k = 0; k < a[i].values.size(); ++k) {
+      if (!(a[i].values[k] == b[i].values[k])) return false;
+    }
+  }
+  return true;
+}
+
+bool SameIntraTests(const std::vector<IntraTest>& a,
+                    const std::vector<IntraTest>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].field != b[i].field || a[i].pred != b[i].pred ||
+        a[i].other_field != b[i].other_field) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool PassesJoinTests(const CompiledCondition& cond,
                      const std::vector<WmePtr>& row, const Wme& wme) {
   for (const JoinTest& jt : cond.join_tests) {

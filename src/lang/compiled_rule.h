@@ -137,6 +137,18 @@ using CompiledRulePtr = std::unique_ptr<CompiledRule>;
 /// (constants, disjunctions, same-WME variable consistency).
 bool PassesAlphaTests(const CompiledCondition& cond, const Wme& wme);
 
+/// Structural equality of alpha-level test lists — the "same tests" check
+/// behind alpha-memory sharing (Rete), alpha-group sharing (plan), and
+/// topology deduplication (CompiledRuleBase). Order-sensitive: conditions
+/// compile their tests deterministically, so equal test sequences imply
+/// identical acceptance behavior *and* identical sharing decisions.
+bool SameConstantTests(const std::vector<ConstantTest>& a,
+                       const std::vector<ConstantTest>& b);
+bool SameMemberTests(const std::vector<MemberTest>& a,
+                     const std::vector<MemberTest>& b);
+bool SameIntraTests(const std::vector<IntraTest>& a,
+                    const std::vector<IntraTest>& b);
+
 /// True if `wme` passes `cond`'s join tests against `row` (indexed by token
 /// position; referenced entries must be non-null).
 bool PassesJoinTests(const CompiledCondition& cond,

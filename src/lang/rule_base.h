@@ -1,0 +1,162 @@
+#ifndef SOREL_LANG_RULE_BASE_H_
+#define SOREL_LANG_RULE_BASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol_table.h"
+#include "lang/ast.h"
+#include "lang/compiled_rule.h"
+#include "lang/join_order.h"
+#include "wm/schema.h"
+#include "wm/wme.h"
+
+namespace sorel {
+
+/// The immutable alpha-level signature of one condition element: the class
+/// plus every intra-WME test. This is the *compiled-artifact* half of an
+/// alpha memory — what used to be copied into each session's `AlphaMemory`
+/// (and the plan matcher's alpha groups) now lives here, deduplicated, and
+/// the per-session memories hold only a borrowed pointer plus their mutable
+/// item storage.
+///
+/// Patterns are compared structurally when built (Matches), and by pointer
+/// identity afterwards: two CEs share a pattern iff their tests are equal,
+/// so pointer equality is exactly the Rete "shared tests" property (§5).
+struct AlphaPattern {
+  SymbolId cls = kInvalidSymbol;
+  std::vector<ConstantTest> const_tests;
+  std::vector<MemberTest> member_tests;
+  std::vector<IntraTest> intra_tests;
+
+  /// Copies the alpha-level tests out of `cond`.
+  static std::unique_ptr<AlphaPattern> FromCondition(
+      const CompiledCondition& cond);
+
+  /// True if `wme` (already of class `cls`) passes every test.
+  bool Accepts(const Wme& wme) const;
+
+  /// Structural equality against a condition's alpha tests — the sharing
+  /// check.
+  bool Matches(const CompiledCondition& cond) const;
+
+  /// Bytes held by the test vectors (counted once per rule base, not per
+  /// session).
+  size_t MemoryBytes() const;
+};
+
+/// The deduplicated alpha-pattern set of a rule base, plus each rule's
+/// per-CE pattern assignment. Patterns appear in first-use order — the
+/// order an unbound matcher's GetOrCreateAlpha would create memories in —
+/// so a session binding to the topology builds a network whose memory
+/// creation order, successor lists, and therefore every observable trace
+/// are bit-identical to a session that compiled privately.
+class NetworkTopology {
+ public:
+  /// The patterns of `rule`'s conditions, in CE order, or nullptr if the
+  /// rule is not part of this topology.
+  const std::vector<const AlphaPattern*>* PatternsFor(
+      const CompiledRule* rule) const {
+    auto it = by_rule_.find(rule);
+    return it == by_rule_.end() ? nullptr : &it->second;
+  }
+
+  size_t num_patterns() const { return patterns_.size(); }
+  const std::vector<std::unique_ptr<AlphaPattern>>& patterns() const {
+    return patterns_;
+  }
+
+  /// Registers every condition of `rule`, reusing structurally equal
+  /// patterns (first-use order). Called by CompiledRuleBase::Compile.
+  void AddRule(const CompiledRule* rule);
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<AlphaPattern>> patterns_;
+  std::unordered_map<const CompiledRule*, std::vector<const AlphaPattern*>>
+      by_rule_;
+};
+
+/// Compile-time knobs that change the compiled artifact itself (and hence
+/// the sharing fingerprint). Kept free of engine-level concepts: two
+/// sessions differing only in runtime options (matcher kind, threads,
+/// strategy, tracing) share one base.
+struct RuleBaseConfig {
+  /// Join-order policy the artifact was compiled for (kOptimized plans are
+  /// consumed at run time by the plan matcher; see `reorder_at_load` for
+  /// the Rete/TREAT load-time rewrite).
+  JoinOrder join_order = JoinOrder::kTextual;
+  /// Apply the cost-guided CE pre-reordering pass (ReorderRuleInPlace) to
+  /// tuple-oriented rules at compile time — what Engine::LoadString does
+  /// for kRete/kTreat with join_order == kOptimized. Compile-time WM is
+  /// empty, so the estimates use the static test-count heuristic, exactly
+  /// as a fresh session's load did.
+  bool reorder_at_load = false;
+};
+
+/// The immutable compiled artifact of one rule source: parsed + compiled
+/// rules (with any load-time join reordering already applied), the symbol
+/// table and schema registry they were compiled against, the startup
+/// actions, and the deduplicated alpha-pattern topology. Produced once per
+/// (source, config) fingerprint and shared — `EngineServer` holds a
+/// registry of these, and every session binding to one instantiates only
+/// its private match state (alpha columns, token arenas, conflict set).
+///
+/// Thread safety: a CompiledRuleBase is deeply const after Compile returns
+/// (no mutable members, no caches), so any number of sessions may read it
+/// concurrently without synchronization.
+class CompiledRuleBase {
+ public:
+  /// Parses and compiles `source`. The returned base is immutable and
+  /// shareable; compilation errors come back as the usual lang statuses.
+  static Result<std::shared_ptr<const CompiledRuleBase>> Compile(
+      std::string source, RuleBaseConfig config = {});
+
+  /// FNV-1a over the source text and the config bits — the sharing key.
+  /// Stable across processes (used to key the server's base registry and
+  /// to name nothing on disk; snapshots still carry the full source).
+  static uint64_t Fingerprint(std::string_view source,
+                              const RuleBaseConfig& config);
+
+  const std::string& source() const { return source_; }
+  const RuleBaseConfig& config() const { return config_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  const SchemaRegistry& schemas() const { return schemas_; }
+  const std::vector<CompiledRulePtr>& rules() const { return rules_; }
+  /// Actions of the source's `(startup ...)` forms, already resolved;
+  /// each binding session executes them once against its own WM.
+  const std::vector<ActionPtr>& startup() const { return startup_; }
+  const NetworkTopology& topology() const { return topology_; }
+
+  const CompiledRule* FindRule(std::string_view name) const;
+
+  /// Estimated bytes of the shared artifact (source, rules, topology) —
+  /// what N sessions *don't* pay N times; feeds the
+  /// `server.shared_network_bytes` gauge.
+  size_t MemoryBytes() const;
+
+ private:
+  CompiledRuleBase() = default;
+
+  std::string source_;
+  RuleBaseConfig config_;
+  uint64_t fingerprint_ = 0;
+  SymbolTable symbols_;
+  SchemaRegistry schemas_;
+  std::vector<CompiledRulePtr> rules_;
+  std::vector<ActionPtr> startup_;
+  NetworkTopology topology_;
+};
+
+using RuleBasePtr = std::shared_ptr<const CompiledRuleBase>;
+
+}  // namespace sorel
+
+#endif  // SOREL_LANG_RULE_BASE_H_

@@ -32,43 +32,6 @@ std::vector<TimeTag> RowSignature(const Row& row) {
   return sig;
 }
 
-bool SameConstantTests(const std::vector<ConstantTest>& a,
-                       const std::vector<ConstantTest>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].field != b[i].field || a[i].pred != b[i].pred ||
-        !(a[i].value == b[i].value)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool SameMemberTests(const std::vector<MemberTest>& a,
-                     const std::vector<MemberTest>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].field != b[i].field || a[i].values.size() != b[i].values.size())
-      return false;
-    for (size_t k = 0; k < a[i].values.size(); ++k) {
-      if (!(a[i].values[k] == b[i].values[k])) return false;
-    }
-  }
-  return true;
-}
-
-bool SameIntraTests(const std::vector<IntraTest>& a,
-                    const std::vector<IntraTest>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].field != b[i].field || a[i].pred != b[i].pred ||
-        a[i].other_field != b[i].other_field) {
-      return false;
-    }
-  }
-  return true;
-}
-
 /// One resolved pairwise join predicate of an execution step, evaluated as
 /// `wme.field pred row[other_pos].other_field` (the bound side is already
 /// in the row; mirrored from the compiled test when the original owner
@@ -112,8 +75,11 @@ class PlanMatcher::PlanInst : public InstantiationRef {
 /// per-successor (each rule's CeState owns a column store), so parallel
 /// per-rule replays touch no shared mutable state; the group exists to
 /// reproduce Rete's activation-event order and memory-sharing structure.
+/// Like Rete's AlphaMemory, the tests themselves are a borrowed immutable
+/// `AlphaPattern` — from the bound rule base's topology, or owned by the
+/// matcher when self-contained.
 struct PlanMatcher::AlphaGroup {
-  CompiledCondition proto;  // cls + alpha tests (join tests unused)
+  const AlphaPattern* pattern = nullptr;
   struct Succ {
     RuleState* rs;
     int ce;
@@ -121,10 +87,7 @@ struct PlanMatcher::AlphaGroup {
   std::vector<Succ> succs;  // newest-first (Doorenbos ordering)
 
   bool SameTests(const CompiledCondition& cond) const {
-    return proto.cls == cond.cls &&
-           SameConstantTests(proto.const_tests, cond.const_tests) &&
-           SameMemberTests(proto.member_tests, cond.member_tests) &&
-           SameIntraTests(proto.intra_tests, cond.intra_tests);
+    return pattern->Matches(cond);
   }
 };
 
@@ -181,9 +144,10 @@ struct PlanMatcher::SearchCtx {
 
 PlanMatcher::PlanMatcher(WorkingMemory* wm, ConflictSet* cs,
                          JoinOrder join_order, ThreadPool* pool,
-                         obs::MetricRegistry* metrics, obs::Tracer* tracer)
+                         obs::MetricRegistry* metrics, obs::Tracer* tracer,
+                         const NetworkTopology* topology)
     : wm_(wm), cs_(cs), join_order_(join_order), pool_(pool),
-      metrics_(metrics), tracer_(tracer) {
+      metrics_(metrics), tracer_(tracer), topology_(topology) {
   wm_->AddListener(this);
   if (metrics_ != nullptr) {
     metrics_->RegisterGauge(this, "plan.alpha_bytes", [this] {
@@ -220,13 +184,22 @@ PlanMatcher::~PlanMatcher() {
 }
 
 PlanMatcher::AlphaGroup* PlanMatcher::GetOrCreateGroup(
-    const CompiledCondition& cond) {
+    const CompiledCondition& cond, const AlphaPattern* pattern) {
   auto& groups = groups_by_class_[cond.cls];
   for (const auto& g : groups) {
-    if (g->SameTests(cond)) return g.get();
+    // Pattern identity when bound to a shared topology, structural scan
+    // otherwise — the same two-mode dedup as ReteMatcher::GetOrCreateAlpha,
+    // and the same creation order either way.
+    if (pattern != nullptr ? g->pattern == pattern : g->SameTests(cond)) {
+      return g.get();
+    }
+  }
+  if (pattern == nullptr) {
+    owned_patterns_.push_back(AlphaPattern::FromCondition(cond));
+    pattern = owned_patterns_.back().get();
   }
   auto g = std::make_unique<AlphaGroup>();
-  g->proto = cond;
+  g->pattern = pattern;
   groups.push_back(std::move(g));
   return groups.back().get();
 }
@@ -237,7 +210,7 @@ void PlanMatcher::ScheduleFor(const Wme& wme,
   auto it = groups_by_class_.find(wme.cls());
   if (it == groups_by_class_.end()) return;
   for (const auto& g : it->second) {
-    if (PassesAlphaTests(g->proto, wme)) out->push_back(g.get());
+    if (g->pattern->Accepts(wme)) out->push_back(g.get());
   }
 }
 
@@ -785,8 +758,11 @@ Status PlanMatcher::AddRule(const CompiledRule* rule) {
   auto rs = std::make_unique<RuleState>();
   rs->rule = rule;
   rs->ces.resize(rule->conditions.size());
+  const std::vector<const AlphaPattern*>* bound =
+      topology_ != nullptr ? topology_->PatternsFor(rule) : nullptr;
   for (size_t ce = 0; ce < rule->conditions.size(); ++ce) {
-    AlphaGroup* g = GetOrCreateGroup(rule->conditions[ce]);
+    AlphaGroup* g = GetOrCreateGroup(rule->conditions[ce],
+                                     bound != nullptr ? (*bound)[ce] : nullptr);
     rs->ces[ce].group = g;
     // Newest-first successor insertion (Doorenbos's duplicate-avoiding
     // order, which the activation events reproduce).

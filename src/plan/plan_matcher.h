@@ -9,6 +9,7 @@
 #include "base/status.h"
 #include "lang/compiled_rule.h"
 #include "lang/join_order.h"
+#include "lang/rule_base.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rete/conflict_set.h"
@@ -68,11 +69,15 @@ class PlanMatcher : public Matcher {
   /// with conflict-set sends buffered under Rete-shaped OpStamps and
   /// merged into the exact sequential order. `metrics`/`tracer` hook into
   /// the observability layer (plan.* counters, rule_replay events).
+  /// `topology` (borrowed, may be null): the shared compiled topology of a
+  /// bound rule base — alpha groups then reference its immutable patterns
+  /// by pointer instead of the matcher deriving private copies.
   PlanMatcher(WorkingMemory* wm, ConflictSet* cs,
               JoinOrder join_order = JoinOrder::kOptimized,
               ThreadPool* pool = nullptr,
               obs::MetricRegistry* metrics = nullptr,
-              obs::Tracer* tracer = nullptr);
+              obs::Tracer* tracer = nullptr,
+              const NetworkTopology* topology = nullptr);
   ~PlanMatcher() override;
 
   PlanMatcher(const PlanMatcher&) = delete;
@@ -99,7 +104,11 @@ class PlanMatcher : public Matcher {
   struct ExecPlan;
   struct SearchCtx;
 
-  AlphaGroup* GetOrCreateGroup(const CompiledCondition& cond);
+  /// The alpha group for `cond`, creating it if absent. `pattern` is the
+  /// bound topology's assignment (pointer-identity lookup) or null for
+  /// self-contained matchers (structural dedup, matcher-owned pattern).
+  AlphaGroup* GetOrCreateGroup(const CompiledCondition& cond,
+                               const AlphaPattern* pattern);
   /// The accepting alpha groups for `wme`, in creation order — one
   /// change's activation-event schedule (shared across rules).
   void ScheduleFor(const Wme& wme, std::vector<AlphaGroup*>* out) const;
@@ -161,6 +170,10 @@ class PlanMatcher : public Matcher {
   /// and so per-CE storage registration mirrors Rete's network exactly.
   std::unordered_map<SymbolId, std::vector<std::unique_ptr<AlphaGroup>>>
       groups_by_class_;
+  /// Shared topology of the bound rule base (borrowed, may be null).
+  const NetworkTopology* topology_ = nullptr;
+  /// Patterns derived by this matcher itself (self-contained mode only).
+  std::vector<std::unique_ptr<AlphaPattern>> owned_patterns_;
   std::vector<std::unique_ptr<RuleState>> rules_;  // registration order
   Stats stats_;
 };

@@ -12,84 +12,10 @@ namespace sorel {
 
 thread_local ReteMatcher::ReplayCtx* ReteMatcher::tls_replay_ = nullptr;
 
-namespace {
-
-bool SameConstantTests(const std::vector<ConstantTest>& a,
-                       const std::vector<ConstantTest>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].field != b[i].field || a[i].pred != b[i].pred ||
-        !(a[i].value == b[i].value)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool SameMemberTests(const std::vector<MemberTest>& a,
-                     const std::vector<MemberTest>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].field != b[i].field || a[i].values.size() != b[i].values.size()) {
-      return false;
-    }
-    for (size_t k = 0; k < a[i].values.size(); ++k) {
-      if (!(a[i].values[k] == b[i].values[k])) return false;
-    }
-  }
-  return true;
-}
-
-bool SameIntraTests(const std::vector<IntraTest>& a,
-                    const std::vector<IntraTest>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].field != b[i].field || a[i].pred != b[i].pred ||
-        a[i].other_field != b[i].other_field) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
-
 // ---------------------------------------------------------------- alpha ---
 
-AlphaMemory::AlphaMemory(const CompiledCondition& cond, bool soa)
-    : cls_(cond.cls),
-      soa_(soa),
-      const_tests_(cond.const_tests),
-      member_tests_(cond.member_tests),
-      intra_tests_(cond.intra_tests) {}
-
-bool AlphaMemory::Accepts(const Wme& wme) const {
-  for (const ConstantTest& t : const_tests_) {
-    if (!EvalTestPred(t.pred, wme.field(t.field), t.value)) return false;
-  }
-  for (const MemberTest& t : member_tests_) {
-    bool any = false;
-    for (const Value& v : t.values) {
-      if (wme.field(t.field) == v) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) return false;
-  }
-  for (const IntraTest& t : intra_tests_) {
-    if (!EvalTestPred(t.pred, wme.field(t.field), wme.field(t.other_field))) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool AlphaMemory::SameTests(const CompiledCondition& cond) const {
-  return cls_ == cond.cls && SameConstantTests(const_tests_, cond.const_tests) &&
-         SameMemberTests(member_tests_, cond.member_tests) &&
-         SameIntraTests(intra_tests_, cond.intra_tests);
-}
+AlphaMemory::AlphaMemory(const AlphaPattern* pattern, bool soa)
+    : pattern_(pattern), soa_(soa) {}
 
 JoinKey AlphaMemory::Index::KeyOf(const Wme& wme) const {
   JoinKey key;
@@ -1042,12 +968,23 @@ void ReteMatcher::ParallelEval(
   }
 }
 
-AlphaMemory* ReteMatcher::GetOrCreateAlpha(const CompiledCondition& cond) {
+AlphaMemory* ReteMatcher::GetOrCreateAlpha(const CompiledCondition& cond,
+                                           const AlphaPattern* pattern) {
   auto& memories = alphas_by_class_[cond.cls];
   for (const auto& am : memories) {
-    if (am->SameTests(cond)) return am.get();
+    // Bound rules resolve by pattern identity (the topology already ran the
+    // structural dedup); self-contained rules compare structurally. Both
+    // scans visit memories in creation order, so sharing decisions — and
+    // hence network shape — are identical across the two modes.
+    if (pattern != nullptr ? am->pattern() == pattern : am->SameTests(cond)) {
+      return am.get();
+    }
   }
-  auto am = std::make_unique<AlphaMemory>(cond, options_.soa_memories);
+  if (pattern == nullptr) {
+    owned_patterns_.push_back(AlphaPattern::FromCondition(cond));
+    pattern = owned_patterns_.back().get();
+  }
+  auto am = std::make_unique<AlphaMemory>(pattern, options_.soa_memories);
   // Seed with the current working memory.
   for (const WmePtr& w : wm_->Snapshot()) {
     if (w->cls() == cond.cls && am->Accepts(*w)) {
@@ -1077,10 +1014,15 @@ Status ReteMatcher::AddRule(const CompiledRule* rule) {
   shard->arena.set_slab_size(
       options_.token_slab < 0 ? 0 : static_cast<size_t>(options_.token_slab));
   // Build the linear beta chain.
+  const std::vector<const AlphaPattern*>* bound =
+      options_.topology != nullptr ? options_.topology->PatternsFor(rule)
+                                   : nullptr;
   std::vector<BetaNode*> chain;
   BetaNode* prev = nullptr;
   for (const CompiledCondition& cond : rule->conditions) {
-    AlphaMemory* am = GetOrCreateAlpha(cond);
+    size_t ce = static_cast<size_t>(&cond - rule->conditions.data());
+    AlphaMemory* am =
+        GetOrCreateAlpha(cond, bound != nullptr ? (*bound)[ce] : nullptr);
     std::unique_ptr<BetaNode> node;
     if (cond.negated) {
       shard->has_negative = true;
@@ -1553,9 +1495,10 @@ void ReteMatcher::DumpNetwork(std::ostream& out,
   out << "alpha network:\n";
   for (const auto& [cls, memories] : alphas_by_class_) {
     for (const auto& am : memories) {
+      const AlphaPattern& p = *am->pattern();
       out << "  (" << symbols.Name(cls) << ") tests="
-          << am->const_tests_.size() + am->member_tests_.size() +
-                 am->intra_tests_.size()
+          << p.const_tests.size() + p.member_tests.size() +
+                 p.intra_tests.size()
           << " items=" << am->num_items()
           << " indexes=" << am->indexes_.size()
           << " successors=" << am->successors_.size() << "\n";

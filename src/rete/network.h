@@ -12,6 +12,7 @@
 
 #include "base/status.h"
 #include "lang/compiled_rule.h"
+#include "lang/rule_base.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rete/columnar.h"
@@ -74,6 +75,15 @@ struct ReteOptions {
   /// bit-identical traces, conflict sets, and counters (pinned by
   /// removal_property_test and the differential fuzzer).
   bool soa_memories = true;
+  /// Shared compiled topology (borrowed, may be null). When set — an Engine
+  /// bound to a CompiledRuleBase — AddRule resolves each CE's alpha pattern
+  /// by pointer out of the topology instead of copying tests into the
+  /// memory, so N sessions share one immutable pattern set and each
+  /// AlphaMemory holds only its private item storage. Null keeps the
+  /// self-contained path: the matcher derives (and owns) patterns from the
+  /// conditions it sees. Both paths dedup structurally in first-use order,
+  /// so network shape and traces are bit-identical.
+  const NetworkTopology* topology = nullptr;
 };
 
 /// Hot-path counters for the match network (see docs/INTERNALS.md,
@@ -181,7 +191,10 @@ struct RuleShard {
 /// An alpha memory: the WMEs of one class passing one set of intra-WME
 /// tests (constants, disjunctions, and same-WME variable consistency).
 /// Shared across rules/CEs with identical tests (the Rete "shared tests"
-/// property the paper preserves, §5).
+/// property the paper preserves, §5). The tests themselves live in an
+/// immutable `AlphaPattern` (borrowed — owned by the bound
+/// CompiledRuleBase's topology, or by the matcher when self-contained);
+/// the memory owns only the mutable per-session item storage.
 ///
 /// Two storage layouts (ReteOptions::soa_memories):
 ///  - AoS (off): `items_`, a vector<WmePtr> erased in place on removal;
@@ -248,13 +261,18 @@ class AlphaMemory {
     std::vector<std::vector<Value>> key_cols_;
   };
 
-  AlphaMemory(const CompiledCondition& cond, bool soa);
+  AlphaMemory(const AlphaPattern* pattern, bool soa);
 
   /// True if `wme` (already of the right class) passes all tests.
-  bool Accepts(const Wme& wme) const;
+  bool Accepts(const Wme& wme) const { return pattern_->Accepts(wme); }
 
   /// True if this memory can be shared with `cond`'s alpha tests.
-  bool SameTests(const CompiledCondition& cond) const;
+  bool SameTests(const CompiledCondition& cond) const {
+    return pattern_->Matches(cond);
+  }
+
+  /// The immutable test signature this memory instantiates.
+  const AlphaPattern* pattern() const { return pattern_; }
 
   /// The index keyed on `fields`, creating (and seeding from the current
   /// items) if absent.
@@ -273,7 +291,7 @@ class AlphaMemory {
   /// Copies the live items, in insertion order, into `out`.
   void SnapshotItems(std::vector<WmePtr>* out) const;
 
-  SymbolId cls() const { return cls_; }
+  SymbolId cls() const { return pattern_->cls; }
   size_t num_indexes() const { return indexes_.size(); }
   bool columnar() const { return soa_; }
   /// Bytes held by the item storage and indexes (the `rete.alpha_bytes`
@@ -298,11 +316,10 @@ class AlphaMemory {
   /// tombstones accumulate. Callers must not hold row ids across it.
   void MaybeCompact();
 
-  SymbolId cls_;
+  /// Borrowed immutable test signature; outlives the memory (owned by the
+  /// shared rule base's topology or by the matcher's owned_patterns_).
+  const AlphaPattern* pattern_;
   bool soa_ = false;
-  std::vector<ConstantTest> const_tests_;
-  std::vector<MemberTest> member_tests_;
-  std::vector<IntraTest> intra_tests_;
   std::vector<WmePtr> items_;  // AoS layout
   AlphaColumns cols_;          // SoA layout
   std::vector<uint32_t> remap_scratch_;
@@ -667,7 +684,12 @@ class ReteMatcher : public Matcher {
                     const std::function<bool(size_t, ReteStats*)>& eval,
                     std::vector<char>* hits);
 
-  AlphaMemory* GetOrCreateAlpha(const CompiledCondition& cond);
+  /// The alpha memory for `cond`, creating it if absent. `pattern` is the
+  /// shared topology's assignment for this CE (pointer-identity lookup) or
+  /// null for self-contained matchers, which dedup structurally and own the
+  /// pattern they derive.
+  AlphaMemory* GetOrCreateAlpha(const CompiledCondition& cond,
+                                const AlphaPattern* pattern);
 
   /// Shared bodies of OnAdd/OnRemove (also used by the batched path).
   void ApplyAdd(const WmePtr& wme);
@@ -719,6 +741,10 @@ class ReteMatcher : public Matcher {
   SinkFactory sink_factory_;
   std::unordered_map<SymbolId, std::vector<std::unique_ptr<AlphaMemory>>>
       alphas_by_class_;
+  /// Patterns this matcher derived itself (options_.topology unset); a
+  /// bound matcher borrows the shared topology's patterns instead and
+  /// leaves this empty.
+  std::vector<std::unique_ptr<AlphaPattern>> owned_patterns_;
   std::vector<std::unique_ptr<BetaNode>> nodes_;
   std::vector<std::unique_ptr<ReteSink>> sinks_;
   /// Per-rule shards, by rule and in registration order.

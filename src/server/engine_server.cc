@@ -2,9 +2,12 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -141,11 +144,27 @@ std::string TraceLinesToArray(const std::string& text) {
   return out;
 }
 
+/// Gauges are doubles but almost always carry byte/count values; print
+/// integral ones exactly and the rest with enough digits to round-trip.
+std::string GaugeToString(double value) {
+  if (std::nearbyint(value) == value && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
 }  // namespace
 
 EngineServer::EngineServer(std::string rules_source,
                            EngineServerOptions options)
     : rules_source_(std::move(rules_source)), options_(std::move(options)) {}
+
+EngineServer::~EngineServer() = default;
 
 Result<std::unique_ptr<EngineServer>> EngineServer::Create(
     std::string rules_source, EngineServerOptions options) {
@@ -157,19 +176,175 @@ Result<std::unique_ptr<EngineServer>> EngineServer::Create(
   }
   std::unique_ptr<EngineServer> server(
       new EngineServer(std::move(rules_source), std::move(options)));
-  // Compile once up front: a broken rule base should fail server start,
-  // not every later `open`.
-  Engine scratch;
-  SOREL_RETURN_IF_ERROR(scratch.LoadString(server->rules_source_));
-  for (const CompiledRulePtr& rule : scratch.rules()) {
+  // Compile the shared rule base once up front: a broken rule base should
+  // fail server start, not every later `open` — and every session binds
+  // this one artifact instead of recompiling.
+  SOREL_ASSIGN_OR_RETURN(server->base_,
+                         CompiledRuleBase::Compile(server->rules_source_));
+  server->bases_[server->base_->fingerprint()] = server->base_;
+  for (const CompiledRulePtr& rule : server->base_->rules()) {
     server->rule_names_.push_back(rule->name);
   }
   return server;
 }
 
 Session* EngineServer::FindSession(const std::string& name) {
-  auto it = sessions_.find(name);
-  return it == sessions_.end() ? nullptr : it->second.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  return it == slots_.end() ? nullptr : it->second->session.get();
+}
+
+size_t EngineServer::shared_network_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [fp, weak] : bases_) {
+    if (RuleBasePtr base = weak.lock()) total += base->MemoryBytes();
+  }
+  return total;
+}
+
+void EngineServer::InstallGauges(Session* session) {
+  obs::MetricRegistry& metrics = session->engine().metrics();
+  metrics.RegisterGauge(this, "server.sessions_resident", [this] {
+    return static_cast<double>(resident_.load(std::memory_order_relaxed));
+  });
+  metrics.RegisterGauge(this, "server.shared_network_bytes", [this] {
+    return static_cast<double>(shared_network_bytes());
+  });
+}
+
+Status EngineServer::Reopen(const std::string& name, Slot* slot) {
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(name, base_, options_.data_dir, slot->options);
+  SOREL_RETURN_IF_ERROR(session.status());
+  slot->session = std::move(*session);
+  InstallGauges(slot->session.get());
+  slot->resident.store(true, std::memory_order_release);
+  resident_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void EngineServer::MaybeEvict(Slot* keep) {
+  if (options_.max_resident_sessions <= 0) return;
+  std::vector<std::shared_ptr<Slot>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, slot] : slots_) {
+      if (slot.get() == keep) continue;
+      if (slot->closed.load(std::memory_order_relaxed)) continue;
+      if (!slot->resident.load(std::memory_order_relaxed)) continue;
+      candidates.push_back(slot);
+    }
+  }
+  // Oldest first. A candidate whose slot mutex is held is mid-command —
+  // by definition not LRU-idle — so try_lock failure just skips it.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const std::shared_ptr<Slot>& a, const std::shared_ptr<Slot>& b) {
+              return a->last_used.load(std::memory_order_relaxed) <
+                     b->last_used.load(std::memory_order_relaxed);
+            });
+  for (const std::shared_ptr<Slot>& slot : candidates) {
+    if (resident_.load(std::memory_order_relaxed) <=
+        options_.max_resident_sessions) {
+      break;
+    }
+    std::unique_lock<std::mutex> lock(slot->mu, std::try_to_lock);
+    if (!lock.owns_lock()) continue;
+    if (slot->closed.load(std::memory_order_relaxed) ||
+        !slot->resident.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    Session* session = slot->session.get();
+    // An open client transaction pins the session: its staged batch lives
+    // only in memory and a snapshot would refuse anyway.
+    if (session->engine().wm().InTransaction()) continue;
+    // Checkpoint so reopen replays snapshot + empty WAL, not full history.
+    // On failure keep the session resident — correctness over memory.
+    if (!session->TakeSnapshot().ok()) continue;
+    slot->session.reset();
+    slot->resident.store(false, std::memory_order_release);
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::string EngineServer::CmdOpen(const obs::JsonValue& req) {
+  Result<std::string> name = ArgString(req, "session");
+  if (!name.ok()) return ErrorLine(name.status());
+  Status valid = CheckSessionName(*name);
+  if (!valid.ok()) return ErrorLine(valid);
+  SessionOptions sopts;
+  sopts.fsync_every = options_.fsync_every;
+  if (const obs::JsonValue* m = req.Find("matcher")) {
+    if (!m->is_string()) {
+      return ErrorLine(Status::InvalidArgument("open: 'matcher' must be "
+                                               "a string"));
+    }
+    Result<MatcherKind> kind = ParseMatcher(m->string);
+    if (!kind.ok()) return ErrorLine(kind.status());
+    sopts.matcher = *kind;
+  }
+  if (const obs::JsonValue* s = req.Find("strategy")) {
+    if (!s->is_string()) {
+      return ErrorLine(Status::InvalidArgument("open: 'strategy' must be "
+                                               "a string"));
+    }
+    Result<Strategy> strat = ParseStrategy(s->string);
+    if (!strat.ok()) return ErrorLine(strat.status());
+    sopts.strategy = *strat;
+  }
+  if (const obs::JsonValue* t = req.Find("threads")) {
+    if (!t->is_number()) {
+      return ErrorLine(Status::InvalidArgument("open: 'threads' must be "
+                                               "a number"));
+    }
+    sopts.match_threads = static_cast<int>(t->number);
+  }
+  if (const obs::JsonValue* f = req.Find("fsync_every")) {
+    if (!f->is_number()) {
+      return ErrorLine(Status::InvalidArgument("open: 'fsync_every' must "
+                                               "be a number"));
+    }
+    sopts.fsync_every = static_cast<int>(f->number);
+  }
+  if (const obs::JsonValue* t = req.Find("trace")) {
+    sopts.capture_trace = t->kind == obs::JsonValue::Kind::kBool &&
+                          t->boolean;
+  }
+
+  // Claim the name under the server mutex (the insert decides races), then
+  // do the actual open under the slot mutex alone.
+  std::shared_ptr<Slot> slot = std::make_shared<Slot>();
+  slot->options = sopts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = slots_.emplace(*name, slot);
+    if (!inserted) {
+      return ErrorLine(Status::InvalidArgument("open: session '" + *name +
+                                               "' is already open"));
+    }
+  }
+  std::lock_guard<std::mutex> lock(slot->mu);
+  slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  Status opened = Reopen(*name, slot.get());
+  if (!opened.ok()) {
+    // Release the name: a failed open must not burn it.
+    std::lock_guard<std::mutex> server_lock(mu_);
+    slots_.erase(*name);
+    return ErrorLine(opened);
+  }
+  MaybeEvict(slot.get());
+  const RecoveryInfo& rec = slot->session->recovery();
+  std::string out = "{\"ok\":true,\"session\":" + Quoted(*name);
+  bool recovered = rec.had_snapshot || rec.replayed_records > 0;
+  out += recovered ? ",\"recovered\":true" : ",\"recovered\":false";
+  out += rec.had_snapshot ? ",\"snapshot\":true" : ",\"snapshot\":false";
+  out += ",\"replayed\":" + std::to_string(rec.replayed_records);
+  out += ",\"torn_bytes\":" + std::to_string(rec.torn_bytes);
+  out += rec.crc_mismatch ? ",\"crc_mismatch\":true"
+                          : ",\"crc_mismatch\":false";
+  out += "}";
+  return out;
 }
 
 std::string EngineServer::HandleLine(std::string_view line) {
@@ -199,8 +374,9 @@ std::string EngineServer::HandleLine(std::string_view line) {
 
   if (*cmd == "sessions") {
     std::string out = "{\"ok\":true,\"sessions\":[";
+    std::lock_guard<std::mutex> lock(mu_);
     bool first = true;
-    for (const auto& [name, session] : sessions_) {
+    for (const auto& [name, slot] : slots_) {
       if (!first) out += ",";
       out += Quoted(name);
       first = false;
@@ -209,94 +385,84 @@ std::string EngineServer::HandleLine(std::string_view line) {
   }
 
   if (*cmd == "shutdown") {
-    for (auto& [name, session] : sessions_) {
-      Status synced = session->SyncWal();
-      if (!synced.ok()) return ErrorLine(synced);
+    std::vector<std::shared_ptr<Slot>> all;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [name, slot] : slots_) all.push_back(slot);
     }
-    sessions_.clear();
-    shutdown_ = true;
+    for (const std::shared_ptr<Slot>& slot : all) {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      if (slot->session != nullptr) {
+        Status synced = slot->session->SyncWal();
+        if (!synced.ok()) return ErrorLine(synced);
+        slot->session.reset();
+        if (slot->resident.exchange(false)) {
+          resident_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+      slot->closed.store(true, std::memory_order_release);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_.clear();
+    }
+    shutdown_.store(true, std::memory_order_release);
     return "{\"ok\":true,\"bye\":true}";
   }
 
-  if (*cmd == "open") {
-    Result<std::string> name = ArgString(req, "session");
-    if (!name.ok()) return ErrorLine(name.status());
-    Status valid = CheckSessionName(*name);
-    if (!valid.ok()) return ErrorLine(valid);
-    if (sessions_.count(*name) != 0) {
-      return ErrorLine(Status::InvalidArgument("open: session '" + *name +
-                                               "' is already open"));
-    }
-    SessionOptions sopts;
-    sopts.fsync_every = options_.fsync_every;
-    if (const obs::JsonValue* m = req.Find("matcher")) {
-      if (!m->is_string()) {
-        return ErrorLine(Status::InvalidArgument("open: 'matcher' must be "
-                                                 "a string"));
-      }
-      Result<MatcherKind> kind = ParseMatcher(m->string);
-      if (!kind.ok()) return ErrorLine(kind.status());
-      sopts.matcher = *kind;
-    }
-    if (const obs::JsonValue* s = req.Find("strategy")) {
-      if (!s->is_string()) {
-        return ErrorLine(Status::InvalidArgument("open: 'strategy' must be "
-                                                 "a string"));
-      }
-      Result<Strategy> strat = ParseStrategy(s->string);
-      if (!strat.ok()) return ErrorLine(strat.status());
-      sopts.strategy = *strat;
-    }
-    if (const obs::JsonValue* t = req.Find("threads")) {
-      if (!t->is_number()) {
-        return ErrorLine(Status::InvalidArgument("open: 'threads' must be "
-                                                 "a number"));
-      }
-      sopts.match_threads = static_cast<int>(t->number);
-    }
-    if (const obs::JsonValue* f = req.Find("fsync_every")) {
-      if (!f->is_number()) {
-        return ErrorLine(Status::InvalidArgument("open: 'fsync_every' must "
-                                                 "be a number"));
-      }
-      sopts.fsync_every = static_cast<int>(f->number);
-    }
-    if (const obs::JsonValue* t = req.Find("trace")) {
-      sopts.capture_trace = t->kind == obs::JsonValue::Kind::kBool &&
-                            t->boolean;
-    }
-    Result<std::unique_ptr<Session>> session =
-        Session::Open(*name, rules_source_, options_.data_dir, sopts);
-    if (!session.ok()) return ErrorLine(session.status());
-    const RecoveryInfo& rec = (*session)->recovery();
-    std::string out = "{\"ok\":true,\"session\":" + Quoted(*name);
-    bool recovered = rec.had_snapshot || rec.replayed_records > 0;
-    out += recovered ? ",\"recovered\":true" : ",\"recovered\":false";
-    out += rec.had_snapshot ? ",\"snapshot\":true" : ",\"snapshot\":false";
-    out += ",\"replayed\":" + std::to_string(rec.replayed_records);
-    out += ",\"torn_bytes\":" + std::to_string(rec.torn_bytes);
-    out += rec.crc_mismatch ? ",\"crc_mismatch\":true"
-                            : ",\"crc_mismatch\":false";
-    out += "}";
-    sessions_[*name] = std::move(*session);
-    return out;
-  }
+  if (*cmd == "open") return CmdOpen(req);
 
   // Everything below addresses an existing session.
   Result<std::string> name = ArgString(req, "session");
   if (!name.ok()) return ErrorLine(name.status());
-  Session* session = FindSession(*name);
-  if (session == nullptr) {
-    return ErrorLine(
-        Status::NotFound("unknown session '" + *name + "'"));
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(*name);
+    if (it != slots_.end()) slot = it->second;
+  }
+  if (slot == nullptr || slot->closed.load(std::memory_order_acquire)) {
+    return ErrorLine(Status::NotFound("unknown session '" + *name + "'"));
+  }
+  slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  // Converge under the residency cap opportunistically: an overflow can
+  // outlive the open that caused it when every candidate was busy at the
+  // time (the eviction scan only try_locks). Cheap when under cap.
+  if (options_.max_resident_sessions > 0 &&
+      resident_.load(std::memory_order_relaxed) >
+          options_.max_resident_sessions) {
+    MaybeEvict(slot.get());
+  }
+  std::lock_guard<std::mutex> session_lock(slot->mu);
+  // Re-check: a close/shutdown may have won the race for the slot mutex.
+  if (slot->closed.load(std::memory_order_acquire)) {
+    return ErrorLine(Status::NotFound("unknown session '" + *name + "'"));
   }
 
   if (*cmd == "close") {
-    Status synced = session->SyncWal();
-    if (!synced.ok()) return ErrorLine(synced);
-    sessions_.erase(*name);
+    if (slot->session != nullptr) {
+      Status synced = slot->session->SyncWal();
+      if (!synced.ok()) return ErrorLine(synced);
+      slot->session.reset();
+      if (slot->resident.exchange(false)) {
+        resident_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    slot->closed.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.erase(*name);
     return "{\"ok\":true,\"closed\":" + Quoted(*name) + "}";
   }
+
+  // Transparent reopen of an evicted session: its snapshot + WAL rebuild
+  // the exact state it was evicted with, bound to the same shared base.
+  if (slot->session == nullptr) {
+    Status reopened = Reopen(*name, slot.get());
+    if (!reopened.ok()) return ErrorLine(reopened);
+    MaybeEvict(slot.get());
+  }
+  Session* session = slot->session.get();
 
   Engine& engine = session->engine();
 
@@ -356,6 +522,9 @@ std::string EngineServer::HandleLine(std::string_view line) {
   if (*cmd == "commit") {
     Status committed = session->Commit();
     if (!committed.ok()) return ErrorLine(committed);
+    // Ending the transaction unpins this session; if an open overflowed
+    // the residency cap while it was pinned, converge back under it now.
+    if (!engine.wm().InTransaction()) MaybeEvict(slot.get());
     return "{\"ok\":true,\"depth\":" +
            std::to_string(engine.wm().transaction_depth()) +
            ",\"out\":" + Quoted(session->DrainOutput()) + "}";
@@ -364,6 +533,7 @@ std::string EngineServer::HandleLine(std::string_view line) {
   if (*cmd == "rollback") {
     Status rolled = session->Rollback();
     if (!rolled.ok()) return ErrorLine(rolled);
+    if (!engine.wm().InTransaction()) MaybeEvict(slot.get());
     return "{\"ok\":true,\"depth\":" +
            std::to_string(engine.wm().transaction_depth()) + "}";
   }
@@ -410,6 +580,13 @@ std::string EngineServer::HandleLine(std::string_view line) {
     for (const auto& [counter, value] : engine.metrics().SnapshotCounters()) {
       if (!first) out += ",";
       out += Quoted(counter) + ":\"" + std::to_string(value) + "\"";
+      first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [gauge, value] : engine.metrics().SnapshotGauges()) {
+      if (!first) out += ",";
+      out += Quoted(gauge) + ":\"" + GaugeToString(value) + "\"";
       first = false;
     }
     return out + "}}";

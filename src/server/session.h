@@ -48,10 +48,20 @@ struct RecoveryInfo {
 /// live one — same firing traces, conflict set, counters, and time tags.
 class Session {
  public:
-  /// Opens (and, when its files exist, recovers) the session named `name`.
-  /// `rules_source` is loaded first — startup actions re-execute at every
-  /// open, which is why they are not journaled. WAL and snapshot live at
-  /// `<data_dir>/<name>.wal` / `<data_dir>/<name>.snap`.
+  /// Opens (and, when its files exist, recovers) the session named `name`,
+  /// bound to a shared compiled rule base: the engine binds to `base`
+  /// first — rules load and startup actions re-execute at every open,
+  /// which is why they are not journaled — then the snapshot and WAL tail
+  /// replay through the normal engine paths. Any number of concurrently
+  /// open sessions may bind the same base; each owns only its mutable
+  /// match state. WAL and snapshot live at `<data_dir>/<name>.wal` /
+  /// `<data_dir>/<name>.snap`.
+  static Result<std::unique_ptr<Session>> Open(const std::string& name,
+                                               RuleBasePtr base,
+                                               const std::string& data_dir,
+                                               const SessionOptions& options);
+  /// Convenience: compiles `rules_source` into a private rule base and
+  /// opens a session bound to it.
   static Result<std::unique_ptr<Session>> Open(const std::string& name,
                                                const std::string& rules_source,
                                                const std::string& data_dir,
@@ -109,7 +119,7 @@ class Session {
 
   Session(std::string name, const SessionOptions& options);
 
-  Status Recover(const std::string& rules_source);
+  Status Recover();
   Status LoadSnapshot();
   /// Journals one WAL payload, recording the first failure in wal_error_.
   void Journal(const std::string& payload);
